@@ -1,0 +1,30 @@
+//! Microbenchmark: rpmvercmp and EVR ordering throughput — the inner
+//! loop of every solver decision.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xcbc_rpm::{rpmvercmp, Evr};
+
+fn bench_evr(c: &mut Criterion) {
+    let pairs = [
+        ("1.0", "2.0"),
+        ("2.6.32-431.el6", "2.6.32-504.el6"),
+        ("1.0~rc1", "1.0"),
+        ("4.6.5", "4.6.5"),
+        ("1.7.0.51", "1.8.0.5"),
+        ("99999999999999999998", "99999999999999999999"),
+    ];
+    c.bench_function("rpmvercmp/mixed_pairs", |b| {
+        b.iter(|| {
+            for (x, y) in pairs {
+                black_box(rpmvercmp(black_box(x), black_box(y)));
+            }
+        })
+    });
+    let a = Evr::parse("2:4.6.5-2.el6");
+    let b2 = Evr::parse("2:4.6.5-10.el6");
+    c.bench_function("evr/cmp", |b| b.iter(|| black_box(&a).cmp(black_box(&b2))));
+    c.bench_function("evr/parse", |b| b.iter(|| Evr::parse(black_box("2:4.6.5-2.el6"))));
+}
+
+criterion_group!(benches, bench_evr);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Linpack benchmark: factorization GFLOPS vs problem size and threads
+//! (the real-run half of Table 5's Rmax story).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xcbc_hpl::{lu_factor, Matrix};
+
+fn bench_hpl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hpl/lu_factor");
+    group.sample_size(10);
+    for n in [128usize, 256, 512] {
+        let flops = 2.0 / 3.0 * (n as f64).powi(3);
+        group.throughput(Throughput::Elements(flops as u64));
+        let base = Matrix::random(n, 7);
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut m| lu_factor(&mut m, 64, 1).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("4threads", n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut m| lu_factor(&mut m, 64, 4).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hpl/block_size_n512");
+    group.sample_size(10);
+    let base = Matrix::random(512, 9);
+    for nb in [16usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(nb), &nb, |b, &nb| {
+            b.iter_batched(
+                || base.clone(),
+                |mut m| lu_factor(&mut m, nb, 1).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hpl);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ganglia-substrate throughput: concurrent metric publishing and
+//! cluster-wide aggregation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xcbc_cluster::{ClusterMonitor, MetricKind};
+
+fn bench_monitor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor/publish");
+    for nodes in [6usize, 36, 220] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            let m = ClusterMonitor::new(64);
+            let names: Vec<String> = (0..nodes).map(|i| format!("compute-0-{i}")).collect();
+            b.iter(|| {
+                for (i, name) in names.iter().enumerate() {
+                    m.publish(name, MetricKind::LoadOne, i as f64, 1.0);
+                }
+                m.cluster_mean(MetricKind::LoadOne)
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("monitor/dump_36_nodes", |b| {
+        let m = ClusterMonitor::new(64);
+        for i in 0..36 {
+            for k in MetricKind::ALL {
+                m.publish(&format!("compute-0-{i}"), k, 0.0, 1.0);
+            }
+        }
+        b.iter(|| m.dump().len())
+    });
+}
+
+criterion_group!(benches, bench_monitor);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Deployment-path benchmark: full from-scratch install vs XNIT overlay
+//! (simulated work, not wall-clock claims — the interesting output is
+//! the relative cost of the two code paths).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use xcbc_cluster::specs::{limulus_hpc200, littlefe_modified};
+use xcbc_core::deploy::{deploy_from_scratch, deploy_xnit_overlay, limulus_factory_image};
+use xcbc_core::XnitSetupMethod;
+
+fn bench_provision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provision");
+    group.sample_size(10);
+
+    group.bench_function("from_scratch_littlefe", |b| {
+        b.iter(|| deploy_from_scratch(&littlefe_modified()).unwrap().nodes_reinstalled)
+    });
+
+    let limulus: BTreeMap<_, _> = limulus_hpc200()
+        .nodes
+        .iter()
+        .map(|n| (n.hostname.clone(), limulus_factory_image()))
+        .collect();
+    group.bench_function("xnit_overlay_limulus", |b| {
+        b.iter(|| {
+            deploy_xnit_overlay(&limulus, XnitSetupMethod::RepoRpm).unwrap().compat.matching
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_provision);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Scheduler ablation: FIFO vs EASY backfill vs Maui priority on a
+//! LittleFe-class machine under the teaching-lab workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xcbc_sched::{ClusterSim, SchedPolicy, WorkloadGenerator, WorkloadProfile};
+
+fn run_policy(policy: SchedPolicy, jobs: &[(f64, xcbc_sched::JobRequest)]) -> f64 {
+    let mut sim = ClusterSim::new(6, 2, policy);
+    for (t, req) in jobs {
+        sim.run_until(*t);
+        sim.submit_at(*t, req.clone());
+    }
+    sim.run_to_completion();
+    xcbc_sched::SimMetrics::from_sim(&sim).mean_wait_s
+}
+
+fn bench_sched(c: &mut Criterion) {
+    let mut gen = WorkloadGenerator::new(WorkloadProfile::teaching_lab(), 6, 2, 42);
+    let jobs = gen.generate(200);
+
+    let mut group = c.benchmark_group("sched/200_jobs_littlefe");
+    for (label, policy) in [
+        ("fifo", SchedPolicy::Fifo),
+        ("easy_backfill", SchedPolicy::EasyBackfill),
+        ("maui", SchedPolicy::maui_default()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &p| {
+            b.iter(|| run_policy(p, &jobs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! STREAM kernels (real memory bandwidth) at two sizes and thread counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xcbc_hpl::{run_stream, StreamKernel};
+
+fn bench_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream/triad");
+    group.sample_size(10);
+    for n in [1usize << 16, 1 << 20] {
+        group.throughput(Throughput::Bytes(3 * 8 * n as u64));
+        for threads in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{threads}t"), n),
+                &n,
+                |b, &n| b.iter(|| run_stream(StreamKernel::Triad, n, threads, 1).checksum),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

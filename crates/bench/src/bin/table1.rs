@@ -1,0 +1,5 @@
+//! Regenerate Table 1 — XCBC build part 1 (general cluster setup).
+fn main() {
+    print!("{}", xcbc_bench::header("XCBC 0.9 — Table 1 regeneration"));
+    print!("{}", xcbc_core::report::render_table1());
+}

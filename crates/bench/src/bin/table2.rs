@@ -1,0 +1,5 @@
+//! Regenerate Table 2 — XSEDE run-alike components.
+fn main() {
+    print!("{}", xcbc_bench::header("XCBC 0.9 — Table 2 regeneration"));
+    print!("{}", xcbc_core::report::render_table2());
+}

@@ -1,0 +1,10 @@
+//! Regenerate Table 3 — deployed XCBC clusters.
+fn main() {
+    print!("{}", xcbc_bench::header("XCBC fleet — Table 3 regeneration"));
+    print!("{}", xcbc_core::report::render_table3());
+    let t = xcbc_core::fleet_totals();
+    println!(
+        "\nPaper totals: 304 nodes / 2708 cores / 49.61 TF — regenerated: {} / {} / {:.2} TF",
+        t.nodes, t.cores, t.rpeak_tflops
+    );
+}

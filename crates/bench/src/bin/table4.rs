@@ -1,0 +1,5 @@
+//! Regenerate Table 4 — deskside cluster characteristics.
+fn main() {
+    print!("{}", xcbc_bench::header("Table 4 regeneration"));
+    print!("{}", xcbc_core::report::render_table4());
+}

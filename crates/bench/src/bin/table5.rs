@@ -1,0 +1,5 @@
+//! Regenerate Table 5 — performance and price/performance.
+fn main() {
+    print!("{}", xcbc_bench::header("Table 5 regeneration"));
+    print!("{}", xcbc_core::report::render_table5());
+}

@@ -1,0 +1,158 @@
+//! Boot/provisioning timelines.
+//!
+//! A [`Timeline`] is an ordered list of timestamped phases; the Rocks
+//! installer (`xcbc-rocks`) and the deployment comparisons in
+//! `xcbc-core::deploy` build them to quantify "how long does each path
+//! take and how many steps does it have".
+
+use serde::{Deserialize, Serialize};
+
+/// A named phase with a start time and duration (seconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BootPhase {
+    pub start_s: f64,
+    pub duration_s: f64,
+    pub label: String,
+}
+
+impl BootPhase {
+    pub fn end_s(&self) -> f64 {
+        self.start_s + self.duration_s
+    }
+}
+
+/// An append-only timeline of phases.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    phases: Vec<BootPhase>,
+}
+
+impl Timeline {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a phase starting when the previous one ended.
+    pub fn push(&mut self, label: impl Into<String>, duration_s: f64) -> &mut Self {
+        let start_s = self.total_seconds();
+        self.phases.push(BootPhase { start_s, duration_s, label: label.into() });
+        self
+    }
+
+    /// Append a phase that runs concurrently with the previous one
+    /// (starts at the same time; the timeline end extends only if it
+    /// finishes later).
+    pub fn push_parallel(&mut self, label: impl Into<String>, duration_s: f64) -> &mut Self {
+        let start_s = self.phases.last().map(|p| p.start_s).unwrap_or(0.0);
+        self.phases.push(BootPhase { start_s, duration_s, label: label.into() });
+        self
+    }
+
+    pub fn phases(&self) -> &[BootPhase] {
+        &self.phases
+    }
+
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Wall-clock end of the timeline.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases.iter().map(BootPhase::end_s).fold(0.0, f64::max)
+    }
+
+    /// Merge another timeline onto the end of this one.
+    pub fn extend_sequential(&mut self, other: &Timeline) {
+        let offset = self.total_seconds();
+        for p in &other.phases {
+            self.phases.push(BootPhase {
+                start_s: p.start_s + offset,
+                duration_s: p.duration_s,
+                label: p.label.clone(),
+            });
+        }
+    }
+
+    /// Render as a simple text Gantt.
+    pub fn render(&self) -> String {
+        let total = self.total_seconds().max(1.0);
+        let mut out = String::new();
+        for p in &self.phases {
+            let lead = ((p.start_s / total) * 50.0).round() as usize;
+            let bar = (((p.duration_s / total) * 50.0).round() as usize).max(1);
+            out.push_str(&format!(
+                "{:>8.0}s {}{} {} ({:.0}s)\n",
+                p.start_s,
+                " ".repeat(lead),
+                "#".repeat(bar),
+                p.label,
+                p.duration_s
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_phases_accumulate() {
+        let mut t = Timeline::new();
+        t.push("bios", 30.0).push("pxe", 10.0).push("install", 600.0);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_seconds(), 640.0);
+        assert_eq!(t.phases()[2].start_s, 40.0);
+    }
+
+    #[test]
+    fn parallel_phase_shares_start() {
+        let mut t = Timeline::new();
+        t.push("frontend install", 1800.0);
+        t.push("compute-0-0 install", 600.0);
+        t.push_parallel("compute-0-1 install", 700.0);
+        assert_eq!(t.phases()[2].start_s, 1800.0);
+        assert_eq!(t.total_seconds(), 2500.0);
+    }
+
+    #[test]
+    fn parallel_on_empty_starts_at_zero() {
+        let mut t = Timeline::new();
+        t.push_parallel("x", 5.0);
+        assert_eq!(t.phases()[0].start_s, 0.0);
+        assert_eq!(t.total_seconds(), 5.0);
+    }
+
+    #[test]
+    fn extend_sequential_offsets() {
+        let mut a = Timeline::new();
+        a.push("one", 10.0);
+        let mut b = Timeline::new();
+        b.push("two", 5.0);
+        a.extend_sequential(&b);
+        assert_eq!(a.phases()[1].start_s, 10.0);
+        assert_eq!(a.total_seconds(), 15.0);
+    }
+
+    #[test]
+    fn render_contains_labels() {
+        let mut t = Timeline::new();
+        t.push("bios", 30.0).push("kickstart", 300.0);
+        let r = t.render();
+        assert!(r.contains("bios"));
+        assert!(r.contains("kickstart"));
+        assert!(r.contains('#'));
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let t = Timeline::new();
+        assert!(t.is_empty());
+        assert_eq!(t.total_seconds(), 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Theoretical peak (Rpeak) arithmetic.
+//!
+//! `Rpeak = cores × clock × FLOPs-per-cycle`, the standard TOP500
+//! convention the paper's Tables 3 and 5 use. GPU peaks (for the
+//! Marshall cluster's 3584 CUDA cores) use `cuda_cores × clock ×
+//! flops-per-core`.
+
+use crate::hw::CpuModel;
+
+/// Peak GFLOPS for one CPU package.
+pub fn rpeak_gflops_cpu(cpu: &CpuModel) -> f64 {
+    cpu.cores as f64 * cpu.clock_ghz * cpu.flops_per_cycle as f64
+}
+
+/// Peak GFLOPS for a GPU given CUDA core count, clock and per-core FLOPs
+/// per cycle (2 for FMA single precision on Fermi/Kepler).
+pub fn gpu_peak_gflops(cuda_cores: u32, clock_ghz: f64, flops_per_core: u32) -> f64 {
+    cuda_cores as f64 * clock_ghz * flops_per_core as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hw;
+
+    #[test]
+    fn celeron_rpeak() {
+        // 2 cores × 2.8 GHz × 16 = 89.6 GF; ×6 nodes = 537.6 (Table 5)
+        let one = rpeak_gflops_cpu(&hw::CELERON_G1840);
+        assert!((one - 89.6).abs() < 1e-9);
+        assert!((one * 6.0 - 537.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn i7_rpeak() {
+        // 4 cores × 3.1 GHz × 16 = 198.4 GF; ×4 nodes = 793.6 (Table 5)
+        let one = rpeak_gflops_cpu(&hw::I7_4770S);
+        assert!((one - 198.4).abs() < 1e-9);
+        assert!((one * 4.0 - 793.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn atom_rpeak_tiny() {
+        // 2 × 1.66 × 2 = 6.64 GF per node — why the original LittleFe was
+        // a teaching machine, not a research one.
+        let one = rpeak_gflops_cpu(&hw::ATOM_D510);
+        assert!((one - 6.64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_peak() {
+        // Marshall: 3584 CUDA cores (8 × GTX 480-class, 448 each),
+        // ~1.4 GHz shader clock, 2 flops → ~10 TF single precision
+        let gf = gpu_peak_gflops(3584, 1.4, 2);
+        assert!((gf - 10035.2).abs() < 0.1);
+    }
+}

@@ -1,0 +1,279 @@
+//! Ganglia-style cluster monitoring.
+//!
+//! The `ganglia` roll is part of every XCBC build (Table 1: "Cluster
+//! monitoring system"). We model the gmond (per-node metric daemon) /
+//! gmetad (cluster aggregator) split with fixed-capacity ring buffers in
+//! the spirit of RRDtool.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The metric kinds a stock gmond reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// 1-minute load average.
+    LoadOne,
+    /// CPU utilisation percent.
+    CpuPercent,
+    /// Memory utilisation percent.
+    MemPercent,
+    /// Network bytes/sec.
+    NetBytesPerSec,
+}
+
+impl MetricKind {
+    pub const ALL: [MetricKind; 4] = [
+        MetricKind::LoadOne,
+        MetricKind::CpuPercent,
+        MetricKind::MemPercent,
+        MetricKind::NetBytesPerSec,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::LoadOne => "load_one",
+            MetricKind::CpuPercent => "cpu_percent",
+            MetricKind::MemPercent => "mem_percent",
+            MetricKind::NetBytesPerSec => "net_bytes_sec",
+        }
+    }
+}
+
+/// One observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// Seconds since cluster epoch.
+    pub time_s: f64,
+    pub value: f64,
+}
+
+/// Fixed-capacity ring of samples (RRD-style: old data falls off).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ring {
+    capacity: usize,
+    samples: Vec<MetricSample>,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        Ring { capacity, samples: Vec::new() }
+    }
+
+    fn push(&mut self, s: MetricSample) {
+        if self.samples.len() == self.capacity {
+            self.samples.remove(0);
+        }
+        self.samples.push(s);
+    }
+
+    pub fn latest(&self) -> Option<MetricSample> {
+        self.samples.last().copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().map(|s| s.value).sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().map(|s| s.value).fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(a) => Some(a.max(v)),
+        })
+    }
+}
+
+/// Per-node metric daemon (gmond).
+#[derive(Debug)]
+pub struct NodeMonitor {
+    pub hostname: String,
+    rings: BTreeMap<MetricKind, Ring>,
+}
+
+impl NodeMonitor {
+    pub fn new(hostname: impl Into<String>, ring_capacity: usize) -> Self {
+        let rings =
+            MetricKind::ALL.iter().map(|k| (*k, Ring::new(ring_capacity))).collect();
+        NodeMonitor { hostname: hostname.into(), rings }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, kind: MetricKind, time_s: f64, value: f64) {
+        self.rings.get_mut(&kind).expect("all kinds present").push(MetricSample { time_s, value });
+    }
+
+    pub fn ring(&self, kind: MetricKind) -> &Ring {
+        &self.rings[&kind]
+    }
+}
+
+/// Cluster aggregator (gmetad): thread-safe so parallel node simulations
+/// can publish concurrently.
+#[derive(Debug, Clone)]
+pub struct ClusterMonitor {
+    inner: Arc<RwLock<BTreeMap<String, NodeMonitor>>>,
+    ring_capacity: usize,
+}
+
+impl ClusterMonitor {
+    pub fn new(ring_capacity: usize) -> Self {
+        ClusterMonitor { inner: Arc::new(RwLock::new(BTreeMap::new())), ring_capacity }
+    }
+
+    /// Register a node (idempotent).
+    pub fn register(&self, hostname: &str) {
+        let mut g = self.inner.write();
+        g.entry(hostname.to_string())
+            .or_insert_with(|| NodeMonitor::new(hostname, self.ring_capacity));
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Publish one observation for a node (auto-registers).
+    pub fn publish(&self, hostname: &str, kind: MetricKind, time_s: f64, value: f64) {
+        let mut g = self.inner.write();
+        g.entry(hostname.to_string())
+            .or_insert_with(|| NodeMonitor::new(hostname, self.ring_capacity))
+            .observe(kind, time_s, value);
+    }
+
+    /// Cluster-wide latest mean of a metric (the front page of a Ganglia
+    /// web UI).
+    pub fn cluster_mean(&self, kind: MetricKind) -> Option<f64> {
+        let g = self.inner.read();
+        let vals: Vec<f64> =
+            g.values().filter_map(|n| n.ring(kind).latest().map(|s| s.value)).collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Nodes whose latest sample of `kind` exceeds `threshold`.
+    pub fn hotspots(&self, kind: MetricKind, threshold: f64) -> Vec<String> {
+        let g = self.inner.read();
+        g.values()
+            .filter(|n| n.ring(kind).latest().map(|s| s.value > threshold).unwrap_or(false))
+            .map(|n| n.hostname.clone())
+            .collect()
+    }
+
+    /// Text dump in the spirit of gmetad's XML.
+    pub fn dump(&self) -> String {
+        let g = self.inner.read();
+        let mut out = String::new();
+        for n in g.values() {
+            out.push_str(&format!("HOST {}\n", n.hostname));
+            for k in MetricKind::ALL {
+                if let Some(s) = n.ring(k).latest() {
+                    out.push_str(&format!("  METRIC {} = {:.2} @ {:.0}s\n", k.name(), s.value, s.time_s));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut r = Ring::new(3);
+        for i in 0..5 {
+            r.push(MetricSample { time_s: i as f64, value: i as f64 });
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.latest().unwrap().value, 4.0);
+        assert_eq!(r.mean().unwrap(), 3.0); // samples 2,3,4
+        assert_eq!(r.max().unwrap(), 4.0);
+    }
+
+    #[test]
+    fn empty_ring() {
+        let r = Ring::new(4);
+        assert!(r.is_empty());
+        assert!(r.latest().is_none());
+        assert!(r.mean().is_none());
+        assert!(r.max().is_none());
+    }
+
+    #[test]
+    fn node_monitor_tracks_kinds_separately() {
+        let mut n = NodeMonitor::new("compute-0-0", 16);
+        n.observe(MetricKind::LoadOne, 0.0, 1.5);
+        n.observe(MetricKind::CpuPercent, 0.0, 88.0);
+        assert_eq!(n.ring(MetricKind::LoadOne).latest().unwrap().value, 1.5);
+        assert_eq!(n.ring(MetricKind::CpuPercent).latest().unwrap().value, 88.0);
+        assert!(n.ring(MetricKind::MemPercent).is_empty());
+    }
+
+    #[test]
+    fn cluster_mean_and_hotspots() {
+        let m = ClusterMonitor::new(8);
+        m.publish("a", MetricKind::CpuPercent, 1.0, 90.0);
+        m.publish("b", MetricKind::CpuPercent, 1.0, 10.0);
+        assert_eq!(m.cluster_mean(MetricKind::CpuPercent).unwrap(), 50.0);
+        assert_eq!(m.hotspots(MetricKind::CpuPercent, 80.0), vec!["a"]);
+        assert!(m.cluster_mean(MetricKind::LoadOne).is_none());
+    }
+
+    #[test]
+    fn register_idempotent() {
+        let m = ClusterMonitor::new(8);
+        m.register("x");
+        m.register("x");
+        assert_eq!(m.node_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_publish() {
+        let m = ClusterMonitor::new(64);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        m.publish(
+                            &format!("node-{t}"),
+                            MetricKind::LoadOne,
+                            i as f64,
+                            t as f64,
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(m.node_count(), 4);
+        for t in 0..4 {
+            let dump = m.dump();
+            assert!(dump.contains(&format!("node-{t}")));
+        }
+    }
+
+    #[test]
+    fn dump_contains_metrics() {
+        let m = ClusterMonitor::new(8);
+        m.publish("compute-0-0", MetricKind::MemPercent, 5.0, 42.5);
+        let d = m.dump();
+        assert!(d.contains("HOST compute-0-0"));
+        assert!(d.contains("mem_percent = 42.50"));
+    }
+}

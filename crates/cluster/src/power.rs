@@ -1,0 +1,193 @@
+//! Power management.
+//!
+//! §5.2: the Limulus has "power management that turns nodes on and off as
+//! needed for maximum power efficiency. This can also be scheduled."
+//! [`PowerManager`] simulates a cluster's energy use over a load
+//! timeline under three policies and reports energy and availability.
+
+use crate::topology::ClusterSpec;
+use crate::node::NodeRole;
+use serde::{Deserialize, Serialize};
+
+/// Node power policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PowerPolicy {
+    /// Every node stays on (classic LittleFe behavior).
+    AlwaysOn,
+    /// Nodes power on when demanded, off when idle (Limulus default).
+    OnDemand {
+        /// Seconds a node takes to boot when demand arrives.
+        boot_seconds: f64,
+    },
+    /// Nodes are up only inside a daily window (Limulus "can also be
+    /// scheduled"), `start_hour..end_hour` in 0..24.
+    Scheduled { start_hour: u32, end_hour: u32 },
+}
+
+/// Outcome of a power simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    pub policy_label: String,
+    /// Total energy over the simulated horizon, kWh.
+    pub energy_kwh: f64,
+    /// Mean watts.
+    pub mean_watts: f64,
+    /// Fraction of demanded node-hours that were actually served
+    /// (OnDemand boots create a small service lag).
+    pub service_fraction: f64,
+}
+
+/// Simulates cluster power under a policy.
+#[derive(Debug, Clone)]
+pub struct PowerManager {
+    pub policy: PowerPolicy,
+}
+
+impl PowerManager {
+    pub fn new(policy: PowerPolicy) -> Self {
+        PowerManager { policy }
+    }
+
+    /// Simulate `hours` of operation against an hourly demand profile.
+    /// `demand[h % demand.len()]` is the number of compute nodes busy in
+    /// hour `h`. The frontend is always on.
+    pub fn simulate(&self, cluster: &ClusterSpec, demand: &[u32], hours: u32) -> PowerReport {
+        assert!(!demand.is_empty(), "demand profile must be non-empty");
+        let computes: Vec<_> =
+            cluster.nodes.iter().filter(|n| n.role == NodeRole::Compute).collect();
+        let frontends: Vec<_> =
+            cluster.nodes.iter().filter(|n| n.role != NodeRole::Compute).collect();
+
+        let mut wh_total = 0.0;
+        let mut demanded_node_hours = 0.0;
+        let mut served_node_hours = 0.0;
+
+        for h in 0..hours {
+            let want = (demand[(h as usize) % demand.len()] as usize).min(computes.len());
+            demanded_node_hours += want as f64;
+            // frontend(s): always on, busy if any demand
+            for fe in &frontends {
+                wh_total += if want > 0 { fe.load_watts() } else { fe.idle_watts() };
+            }
+            match &self.policy {
+                PowerPolicy::AlwaysOn => {
+                    for (i, n) in computes.iter().enumerate() {
+                        wh_total += if i < want { n.load_watts() } else { n.idle_watts() };
+                    }
+                    served_node_hours += want as f64;
+                }
+                PowerPolicy::OnDemand { boot_seconds } => {
+                    // busy nodes run at load; the boot lag shaves service
+                    let boot_fraction = boot_seconds / 3600.0;
+                    for (i, n) in computes.iter().enumerate() {
+                        if i < want {
+                            wh_total += n.load_watts();
+                        }
+                        // idle nodes are off: 2 W standby
+                        else {
+                            wh_total += 2.0;
+                        }
+                    }
+                    served_node_hours += want as f64 * (1.0 - boot_fraction).max(0.0);
+                }
+                PowerPolicy::Scheduled { start_hour, end_hour } => {
+                    let hod = h % 24;
+                    let window = hod >= *start_hour && hod < *end_hour;
+                    for (i, n) in computes.iter().enumerate() {
+                        if window {
+                            wh_total += if i < want { n.load_watts() } else { n.idle_watts() };
+                        } else {
+                            wh_total += 2.0;
+                        }
+                    }
+                    if window {
+                        served_node_hours += want as f64;
+                    }
+                }
+            }
+        }
+
+        PowerReport {
+            policy_label: format!("{:?}", self.policy),
+            energy_kwh: wh_total / 1000.0,
+            mean_watts: wh_total / hours as f64,
+            service_fraction: if demanded_node_hours > 0.0 {
+                served_node_hours / demanded_node_hours
+            } else {
+                1.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::limulus_hpc200;
+
+    /// Office-hours demand: busy 9-17, idle otherwise.
+    fn office_demand() -> Vec<u32> {
+        (0..24).map(|h| if (9..17).contains(&h) { 3 } else { 0 }).collect()
+    }
+
+    #[test]
+    fn on_demand_saves_energy_vs_always_on() {
+        let c = limulus_hpc200();
+        let demand = office_demand();
+        let always = PowerManager::new(PowerPolicy::AlwaysOn).simulate(&c, &demand, 24 * 7);
+        let od = PowerManager::new(PowerPolicy::OnDemand { boot_seconds: 90.0 })
+            .simulate(&c, &demand, 24 * 7);
+        assert!(od.energy_kwh < always.energy_kwh, "{od:?} vs {always:?}");
+        assert_eq!(always.service_fraction, 1.0);
+        assert!(od.service_fraction > 0.95, "boot lag should cost <5%: {od:?}");
+    }
+
+    #[test]
+    fn scheduled_window_serves_only_inside() {
+        let c = limulus_hpc200();
+        let demand = office_demand();
+        // window exactly covering demand
+        let good = PowerManager::new(PowerPolicy::Scheduled { start_hour: 9, end_hour: 17 })
+            .simulate(&c, &demand, 24 * 7);
+        assert!((good.service_fraction - 1.0).abs() < 1e-9);
+        // window missing half the demand
+        let bad = PowerManager::new(PowerPolicy::Scheduled { start_hour: 13, end_hour: 17 })
+            .simulate(&c, &demand, 24 * 7);
+        assert!((bad.service_fraction - 0.5).abs() < 1e-9);
+        assert!(bad.energy_kwh < good.energy_kwh);
+    }
+
+    #[test]
+    fn zero_demand_all_policies_idle() {
+        let c = limulus_hpc200();
+        let demand = vec![0u32];
+        let always = PowerManager::new(PowerPolicy::AlwaysOn).simulate(&c, &demand, 24);
+        let od = PowerManager::new(PowerPolicy::OnDemand { boot_seconds: 90.0 })
+            .simulate(&c, &demand, 24);
+        assert!(od.energy_kwh < always.energy_kwh);
+        assert_eq!(od.service_fraction, 1.0);
+    }
+
+    #[test]
+    fn demand_clamped_to_cluster_size() {
+        let c = limulus_hpc200();
+        let demand = vec![99u32];
+        let r = PowerManager::new(PowerPolicy::AlwaysOn).simulate(&c, &demand, 10);
+        // 3 computes max
+        assert!((r.service_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_demand_panics() {
+        let c = limulus_hpc200();
+        PowerManager::new(PowerPolicy::AlwaysOn).simulate(&c, &[], 1);
+    }
+
+    #[test]
+    fn mean_watts_consistent_with_energy() {
+        let c = limulus_hpc200();
+        let r = PowerManager::new(PowerPolicy::AlwaysOn).simulate(&c, &office_demand(), 48);
+        assert!((r.energy_kwh * 1000.0 / 48.0 - r.mean_watts).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,139 @@
+//! Text renderings of the paper's hardware figures.
+//!
+//! Figures 1–3 are photographs (LittleFe frame rear/front; Limulus case
+//! internals). We substitute deterministic ASCII renderings generated
+//! from the same [`ClusterSpec`] data — they convey the structural
+//! content (six exposed stacked nodes; one deskside case with a head unit
+//! and three blades) and are testable.
+
+use crate::node::NodeRole;
+use crate::topology::ClusterSpec;
+
+/// Figure 1 substitute: LittleFe frame, rear view — PSUs and cabling side.
+pub fn render_littlefe_rear(c: &ClusterSpec) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{} — rear view (power & network side)\n", c.name));
+    out.push_str("┌──────────────────────────────────────────────┐\n");
+    for n in &c.nodes {
+        let psu = match (&n.psu, &c.shared_psu) {
+            (Some(p), _) => format!("[PSU {}W]", p.watts),
+            (None, Some(_)) => "[shared bus]".to_string(),
+            (None, None) => "[unpowered!]".to_string(),
+        };
+        let nics = "eth".repeat(n.nics.len().min(1)) + &"+eth".repeat(n.nics.len().saturating_sub(1));
+        out.push_str(&format!(
+            "│ {:<12} {:<12} {:<8} {:>9} │\n",
+            n.hostname,
+            psu,
+            nics,
+            match n.role {
+                NodeRole::Frontend => "FRONTEND",
+                NodeRole::Compute => "compute",
+                NodeRole::Storage => "storage",
+            }
+        ));
+    }
+    out.push_str("└──────────────────────────────────────────────┘\n");
+    out.push_str(&format!("  switch: {} ({} ports)\n", c.network.name, c.network.switch_ports));
+    out
+}
+
+/// Figure 2 substitute: LittleFe frame, front view — boards and coolers.
+pub fn render_littlefe_front(c: &ClusterSpec) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{} — front view (boards exposed)\n", c.name));
+    out.push_str("┌──────────────────────────────────────────────┐\n");
+    for n in &c.nodes {
+        let disk = if n.is_diskless() {
+            "diskless".to_string()
+        } else {
+            format!("{}GB", n.disk_capacity_gb())
+        };
+        out.push_str(&format!(
+            "│ [{:<10}] {:<22} {:>8} │\n",
+            n.cpu.name.split_whitespace().last().unwrap_or("cpu"),
+            n.cooler.name.split(',').next().unwrap_or(""),
+            disk,
+        ));
+    }
+    out.push_str("└──────────────────────────────────────────────┘\n");
+    out.push_str(&format!(
+        "  {} nodes, {} cores, Rpeak {:.1} GFLOPS, {:.0} lbs\n",
+        c.node_count(),
+        c.compute_cores(),
+        c.rpeak_gflops(),
+        c.weight_lbs
+    ));
+    out
+}
+
+/// Figure 3 substitute: Limulus deskside case internals.
+pub fn render_limulus(c: &ClusterSpec) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{} — deskside case, cover removed\n", c.name));
+    out.push_str("╔════════════════════════════════════╗\n");
+    for n in &c.nodes {
+        match n.role {
+            NodeRole::Frontend => {
+                out.push_str(&format!(
+                    "║ HEAD  {:<8} {:>2}c {:>4}GB {:>6}GB ║\n",
+                    n.cpu.name.split_whitespace().last().unwrap_or(""),
+                    n.cores(),
+                    n.ram_gb,
+                    n.disk_capacity_gb()
+                ));
+                out.push_str("║ ────────────────────────────────── ║\n");
+            }
+            _ => {
+                out.push_str(&format!(
+                    "║ BLADE {:<8} {:>2}c {:>4}GB diskless ║\n",
+                    n.cpu.name.split_whitespace().last().unwrap_or(""),
+                    n.cores(),
+                    n.ram_gb
+                ));
+            }
+        }
+    }
+    if let Some(psu) = &c.shared_psu {
+        out.push_str(&format!("║ PSU: {:<29} ║\n", format!("{} ({} W)", psu.name, psu.watts)));
+    }
+    out.push_str("╚════════════════════════════════════╝\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::specs::{limulus_hpc200, littlefe_modified};
+
+    #[test]
+    fn rear_view_shows_six_nodes_with_psus() {
+        let r = super::render_littlefe_rear(&littlefe_modified());
+        assert_eq!(r.matches("PSU 120W").count(), 6, "per-node supplies visible:\n{r}");
+        assert!(r.contains("FRONTEND"));
+        assert_eq!(r.matches("compute-0-").count(), 5);
+    }
+
+    #[test]
+    fn front_view_shows_coolers_and_disks() {
+        let r = super::render_littlefe_front(&littlefe_modified());
+        assert_eq!(r.matches("Rosewill").count(), 6);
+        assert_eq!(r.matches("128GB").count(), 6);
+        assert!(r.contains("537.6 GFLOPS"));
+    }
+
+    #[test]
+    fn limulus_view_shows_head_and_three_blades() {
+        let r = super::render_limulus(&limulus_hpc200());
+        assert_eq!(r.matches("HEAD").count(), 1);
+        assert_eq!(r.matches("BLADE").count(), 3);
+        assert_eq!(r.matches("diskless").count(), 3);
+        assert!(r.contains("850"));
+    }
+
+    #[test]
+    fn renders_are_deterministic() {
+        let a = super::render_limulus(&limulus_hpc200());
+        let b = super::render_limulus(&limulus_hpc200());
+        assert_eq!(a, b);
+    }
+}

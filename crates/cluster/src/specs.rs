@@ -1,0 +1,186 @@
+//! Blueprints of the paper's evaluated systems.
+//!
+//! * [`littlefe_v4`] — the historical 6-node Atom D510 LittleFe.
+//! * [`littlefe_modified`] — §5.1's modified design: Celeron G1840 on
+//!   Gigabyte GA-Q87TN, Crucial M550 mSATA per node (Rocks needs disks),
+//!   Rosewill low-profile coolers, an individual PSU per node, dual-homed
+//!   headnode. 6 nodes, 12 cores, Rpeak 537.6 GF, < 50 lb, ~$3,600.
+//! * [`limulus_hpc200`] — §5.2's commercial deskside cluster: 1 head +
+//!   3 diskless compute blades, i7-4770S each, one 850 W supply. 4 nodes,
+//!   16 cores, Rpeak 793.6 GF, 50 lb, $5,995.
+
+use crate::hw;
+use crate::node::{NodeRole, NodeSpec};
+use crate::topology::{ClusterSpec, NetworkSpec};
+
+/// Number of nodes in every LittleFe build.
+pub const LITTLEFE_NODES: usize = 6;
+/// Number of nodes in the Limulus HPC200.
+pub const LIMULUS_NODES: usize = 4;
+
+/// Table 5 cost of the modified LittleFe (the paper uses $3,600 in the
+/// price/performance arithmetic; the text says "$3,000 to $4,000").
+pub const LITTLEFE_COST_USD: f64 = 3600.0;
+/// Table 5 cost of the Limulus HPC200.
+pub const LIMULUS_COST_USD: f64 = 5995.0;
+
+/// The historical LittleFe v4: six Atom D510 boards, shared supply,
+/// diskless (PXE/NFS root) — which is why stock LittleFe cannot run
+/// Rocks/XCBC without modification.
+pub fn littlefe_v4() -> ClusterSpec {
+    let mut c = ClusterSpec::new("LittleFe v4", NetworkSpec::gigabit_ethernet(8));
+    c.weight_lbs = 45.0;
+    c.shared_psu = Some(hw::LITTLEFE_SHARED_PSU);
+    for i in 0..LITTLEFE_NODES {
+        let role = if i == 0 { NodeRole::Frontend } else { NodeRole::Compute };
+        let mut b = NodeSpec::new(node_name(i), role)
+            .board(hw::ATOM_BOARD_D510MO)
+            .cpu(hw::ATOM_D510)
+            .cooler(hw::ATOM_HEATSINK)
+            .ram_gb(2);
+        if i == 0 {
+            // the v4 headnode does carry a disk and a USB NIC for the
+            // public side
+            b = b.disk(hw::LAPTOP_HDD_500GB).nic(hw::GBE_NIC);
+        }
+        c.nodes.push(b.build());
+    }
+    c
+}
+
+/// §5.1's modified LittleFe: the exemplar built at IU.
+pub fn littlefe_modified() -> ClusterSpec {
+    let mut c = ClusterSpec::new("LittleFe (modified, Haswell)", NetworkSpec::gigabit_ethernet(8));
+    c.weight_lbs = 48.0;
+    for i in 0..LITTLEFE_NODES {
+        let role = if i == 0 { NodeRole::Frontend } else { NodeRole::Compute };
+        let mut b = NodeSpec::new(node_name(i), role)
+            .board(hw::GA_Q87TN)
+            .cpu(hw::CELERON_G1840)
+            .cooler(hw::ROSEWILL_RCX_Z775_LP)
+            .ram_gb(4)
+            .disk(hw::CRUCIAL_M550_MSATA)
+            .psu(hw::PER_NODE_PSU);
+        if i == 0 {
+            // "We used a hard-wired connection using a dual-homed
+            // headnode. All nodes utilize the same motherboard, but only
+            // one of the two network interfaces will be used on compute
+            // nodes."
+            b = b.nic(hw::GBE_NIC);
+        }
+        c.nodes.push(b.build());
+    }
+    c
+}
+
+/// §5.2's Limulus HPC200: head unit plus three diskless compute blades in
+/// one deskside case, Scientific Linux, 850 W shared supply, power-managed.
+pub fn limulus_hpc200() -> ClusterSpec {
+    let mut c = ClusterSpec::new("Limulus HPC200", NetworkSpec::gigabit_ethernet(5));
+    c.weight_lbs = 50.0;
+    c.shared_psu = Some(hw::LIMULUS_850W_PSU);
+    for i in 0..LIMULUS_NODES {
+        let role = if i == 0 { NodeRole::Frontend } else { NodeRole::Compute };
+        let mut b = NodeSpec::new(
+            if i == 0 { "limulus".to_string() } else { format!("n{i}") },
+            role,
+        )
+        .board(hw::GA_Q87TN)
+        .cpu(hw::I7_4770S)
+        .cooler(hw::INTEL_STOCK_COOLER) // full-height case: stock cooler fits
+        .ram_gb(16);
+        if i == 0 {
+            // headnode holds the storage ("40TB storage"-style local
+            // disks are on the head; computes are diskless)
+            b = b.disk(hw::LAPTOP_HDD_500GB).disk(hw::LAPTOP_HDD_500GB).nic(hw::GBE_NIC);
+        }
+        c.nodes.push(b.build());
+    }
+    c
+}
+
+fn node_name(i: usize) -> String {
+    if i == 0 {
+        "littlefe".to_string()
+    } else {
+        format!("compute-0-{}", i - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_littlefe_row() {
+        let c = littlefe_modified();
+        assert_eq!(c.node_count(), 6);
+        assert_eq!(c.cpu_count(), 6);
+        assert_eq!(c.compute_cores(), 12);
+        assert_eq!(c.nodes[0].cpu.clock_ghz, 2.8);
+    }
+
+    #[test]
+    fn table4_limulus_row() {
+        let c = limulus_hpc200();
+        assert_eq!(c.node_count(), 4);
+        assert_eq!(c.cpu_count(), 4);
+        assert_eq!(c.compute_cores(), 16);
+        assert_eq!(c.nodes[0].cpu.clock_ghz, 3.1);
+    }
+
+    #[test]
+    fn table5_rpeak_values() {
+        assert!((littlefe_modified().rpeak_gflops() - 537.6).abs() < 1e-6);
+        assert!((limulus_hpc200().rpeak_gflops() - 793.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn modified_littlefe_is_rocks_installable() {
+        let (ok, reasons) = littlefe_modified().rocks_installable();
+        assert!(ok, "{reasons:?}");
+    }
+
+    #[test]
+    fn v4_littlefe_is_not_rocks_installable() {
+        // diskless computes: the constraint §5.1 fixes with mSATA drives
+        let (ok, reasons) = littlefe_v4().rocks_installable();
+        assert!(!ok);
+        assert!(reasons.iter().any(|r| r.contains("diskless")));
+    }
+
+    #[test]
+    fn limulus_is_not_rocks_installable() {
+        // "It includes fewer compute nodes than the Rocks-based LittleFe
+        // but they are diskless in design" — hence the XNIT path.
+        let (ok, reasons) = limulus_hpc200().rocks_installable();
+        assert!(!ok);
+        assert_eq!(reasons.len(), 3, "all three compute blades are diskless");
+    }
+
+    #[test]
+    fn both_luggable() {
+        assert!(littlefe_modified().weight_lbs < 50.0);
+        assert!((limulus_hpc200().weight_lbs - 50.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn power_budgets_hold() {
+        assert!(littlefe_modified().power_budget_ok());
+        assert!(limulus_hpc200().power_budget_ok());
+        assert!(littlefe_v4().power_budget_ok());
+    }
+
+    #[test]
+    fn dual_homed_headnodes() {
+        assert!(littlefe_modified().frontend().unwrap().can_be_frontend());
+        assert!(limulus_hpc200().frontend().unwrap().can_be_frontend());
+    }
+
+    #[test]
+    fn limulus_computes_diskless() {
+        let c = limulus_hpc200();
+        assert!(c.compute_nodes().all(|n| n.is_diskless()));
+        assert!(!c.frontend().unwrap().is_diskless());
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests for the hardware substrate: power accounting, ring
+//! buffers, and BOM arithmetic under randomized inputs.
+
+use proptest::prelude::*;
+use xcbc_cluster::cost::Bom;
+use xcbc_cluster::{ClusterMonitor, MetricKind, PowerManager, PowerPolicy};
+
+proptest! {
+    /// On-demand power never exceeds always-on for the same demand, and
+    /// both deliver at least the scheduled window's service.
+    #[test]
+    fn on_demand_never_costs_more(
+        demand in proptest::collection::vec(0u32..6, 1..24),
+        hours in 1u32..200,
+    ) {
+        let cluster = xcbc_cluster::specs::littlefe_modified();
+        let always = PowerManager::new(PowerPolicy::AlwaysOn).simulate(&cluster, &demand, hours);
+        let od = PowerManager::new(PowerPolicy::OnDemand { boot_seconds: 60.0 })
+            .simulate(&cluster, &demand, hours);
+        prop_assert!(od.energy_kwh <= always.energy_kwh + 1e-9);
+        prop_assert!(always.service_fraction >= od.service_fraction - 1e-9);
+        prop_assert!(od.energy_kwh >= 0.0);
+    }
+
+    /// Ring buffers never exceed capacity and always surface the newest
+    /// sample.
+    #[test]
+    fn monitor_ring_caps_and_latest(
+        values in proptest::collection::vec(0.0f64..100.0, 1..100),
+        cap in 1usize..16,
+    ) {
+        let m = ClusterMonitor::new(cap);
+        for (i, v) in values.iter().enumerate() {
+            m.publish("n0", MetricKind::LoadOne, i as f64, *v);
+        }
+        // latest value wins regardless of capacity
+        let mean = m.cluster_mean(MetricKind::LoadOne).unwrap();
+        prop_assert!((mean - values[values.len() - 1]).abs() < 1e-12);
+    }
+
+    /// BOM totals are linear: scaling every quantity by k scales the
+    /// total by k, and $/GFLOPS rounding is stable.
+    #[test]
+    fn bom_arithmetic(
+        lines in proptest::collection::vec((1.0f64..500.0, 1u32..8), 1..8),
+        k in 2u32..4,
+    ) {
+        let mut single = Bom::new("one");
+        let mut scaled = Bom::new("k");
+        for (i, (price, qty)) in lines.iter().enumerate() {
+            single = single.line(format!("item{i}"), *price, *qty);
+            scaled = scaled.line(format!("item{i}"), *price, *qty * k);
+        }
+        prop_assert!((scaled.total_usd() - single.total_usd() * k as f64).abs() < 1e-6);
+        let gf = 100.0;
+        prop_assert_eq!(
+            single.usd_per_gflops_rounded(gf),
+            (single.total_usd() / gf).round() as u32
+        );
+    }
+}

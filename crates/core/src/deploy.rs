@@ -1,0 +1,284 @@
+//! The two deployment paths and their comparison.
+//!
+//! §3: from scratch, "using the XSEDE roll during the Rocks cluster
+//! install will add the packages necessary for an XSEDE-compatible basic
+//! cluster"; piecemeal, "using XNIT to create an XSEDE-compatible
+//! cluster is a fairly easy task". §8 adds the key property of the
+//! overlay path: "XNIT in particular enables such compatibility to be
+//! added to an existing, operating cluster in part or in whole, without
+//! changing the pre-existing cluster setup."
+
+use crate::compat::{check_compatibility, CompatReport};
+use crate::roll::xsede_roll;
+use crate::xnit::{enable_xnit, XnitSetupMethod};
+use std::collections::BTreeMap;
+use xcbc_cluster::{ClusterSpec, Timeline};
+use xcbc_rocks::{standard_rolls, ClusterInstall, InstallError};
+use xcbc_rpm::{PackageBuilder, PackageGroup, RpmDb};
+use xcbc_yum::{SolveError, Yum, YumConfig};
+
+/// Which way a cluster becomes XSEDE-compatible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeploymentPath {
+    /// Bare-metal Rocks install with the XSEDE roll.
+    FromScratch,
+    /// XNIT overlay on an existing, operating cluster.
+    XnitOverlay(XnitSetupMethod),
+}
+
+/// The outcome of a deployment.
+#[derive(Debug)]
+pub struct DeploymentReport {
+    pub path: DeploymentPath,
+    /// Administrator-visible steps, in order.
+    pub admin_steps: Vec<String>,
+    /// Wall-clock estimate of the whole deployment.
+    pub timeline: Timeline,
+    /// Nodes whose OS was wiped and reinstalled.
+    pub nodes_reinstalled: usize,
+    /// Did packages present before the deployment survive it?
+    pub preexisting_preserved: bool,
+    /// Post-deployment compatibility of a representative compute node.
+    pub compat: CompatReport,
+    /// Per-node package databases after deployment.
+    pub node_dbs: BTreeMap<String, RpmDb>,
+}
+
+/// The software a Limulus HPC200 ships with from the factory:
+/// Scientific Linux base plus Basement Supercomputing's management
+/// stack and a preconfigured SLURM ("delivered with software cluster
+/// management utilities off the shelf").
+pub fn limulus_factory_image() -> RpmDb {
+    let mut db = RpmDb::new();
+    for p in [
+        PackageBuilder::new("sl-release", "6.5", "1.sl6")
+            .group(PackageGroup::Basics)
+            .summary("Scientific Linux release")
+            .build(),
+        PackageBuilder::new("bash", "4.1.2", "15.sl6").group(PackageGroup::Basics).build(),
+        PackageBuilder::new("limulus-tools", "2.1", "1")
+            .group(PackageGroup::Basics)
+            .summary("Basement Supercomputing cluster management utilities")
+            .file("/usr/sbin/limulus-power")
+            .build(),
+        PackageBuilder::new("warewulf-provision", "3.5", "1")
+            .group(PackageGroup::Basics)
+            .summary("Diskless node provisioning")
+            .build(),
+        PackageBuilder::new("slurm", "2.6.5", "1.sl6")
+            .group(PackageGroup::SchedulerResourceManager)
+            .file("/usr/bin/sbatch")
+            .file("/usr/sbin/slurmctld")
+            .build(),
+    ] {
+        db.install(p);
+    }
+    db
+}
+
+/// Deploy from scratch: Rocks + XSEDE roll on bare metal.
+pub fn deploy_from_scratch(cluster: &ClusterSpec) -> Result<DeploymentReport, InstallError> {
+    let mut rolls = standard_rolls();
+    rolls.push(xsede_roll());
+    let install = ClusterInstall::new(cluster.clone(), rolls);
+    let report = install.run()?;
+
+    let compute = report
+        .node_dbs
+        .iter()
+        .find(|(name, _)| name.starts_with("compute-"))
+        .map(|(_, db)| db)
+        .or_else(|| report.node_dbs.values().next())
+        .expect("install produced at least one node");
+    let compat = check_compatibility(compute);
+
+    let admin_steps = vec![
+        "burn Rocks 6.1.1 + XSEDE roll install media".to_string(),
+        "boot frontend from media, answer installer screens".to_string(),
+        "select rolls: base kernel os web-server + xsede".to_string(),
+        "wait for frontend install".to_string(),
+        "run insert-ethers, power nodes on in order".to_string(),
+        "wait for compute PXE installs".to_string(),
+        "verify with cluster-fork + qsub test job".to_string(),
+    ];
+
+    Ok(DeploymentReport {
+        path: DeploymentPath::FromScratch,
+        admin_steps,
+        nodes_reinstalled: report.node_dbs.len(),
+        preexisting_preserved: false, // bare metal wipes everything
+        compat,
+        timeline: report.timeline,
+        node_dbs: report.node_dbs,
+    })
+}
+
+/// Deploy via XNIT overlay: take existing per-node databases (an
+/// operating cluster) and add the full XCBC software set without
+/// touching what is already there.
+pub fn deploy_xnit_overlay(
+    existing: &BTreeMap<String, RpmDb>,
+    method: XnitSetupMethod,
+) -> Result<DeploymentReport, SolveError> {
+    let mut node_dbs = existing.clone();
+    let mut timeline = Timeline::new();
+    let mut admin_steps: Vec<String> =
+        method.steps().iter().map(|s| s.to_string()).collect();
+
+    timeline.push("enable XSEDE yum repository", 300.0);
+
+    let mut preserved = true;
+    let mut first = true;
+    for (host, db) in node_dbs.iter_mut() {
+        let before: Vec<String> = db.names().iter().map(|s| s.to_string()).collect();
+
+        let mut yum = Yum::new(YumConfig::default());
+        enable_xnit(&mut yum, db, method).map_err(SolveError::Transaction)?;
+
+        // install everything the compat report says is missing
+        let missing: Vec<String> =
+            check_compatibility(db).missing().iter().map(|s| s.to_string()).collect();
+        let refs: Vec<&str> = missing.iter().map(String::as_str).collect();
+        let tx_report = yum.install(db, &refs)?;
+
+        // §8's invariant: nothing pre-existing was removed
+        for name in &before {
+            if !db.is_installed(name) {
+                preserved = false;
+            }
+        }
+
+        let secs = 60.0 + tx_report.installed.len() as f64 * 2.0;
+        let label = format!("{host}: yum install of {} packages", tx_report.installed.len());
+        if first {
+            timeline.push(label, secs);
+            first = false;
+        } else {
+            timeline.push_parallel(label, secs);
+        }
+    }
+    admin_steps.push("yum install <missing packages> across nodes".to_string());
+    admin_steps.push("verify with compat checker".to_string());
+
+    let compat = node_dbs
+        .values()
+        .next()
+        .map(check_compatibility)
+        .expect("at least one node");
+
+    Ok(DeploymentReport {
+        path: DeploymentPath::XnitOverlay(method),
+        admin_steps,
+        nodes_reinstalled: 0,
+        preexisting_preserved: preserved,
+        compat,
+        timeline,
+        node_dbs,
+    })
+}
+
+impl DeploymentReport {
+    /// Render the comparison row for this path.
+    pub fn render_row(&self) -> String {
+        format!(
+            "{:<28} steps={:<2} wall={:>6.0}s reinstalls={:<2} preserves-existing={:<5} compat={:>5.1}%",
+            match self.path {
+                DeploymentPath::FromScratch => "Rocks from-scratch".to_string(),
+                DeploymentPath::XnitOverlay(m) => format!("XNIT overlay ({m:?})"),
+            },
+            self.admin_steps.len(),
+            self.timeline.total_seconds(),
+            self.nodes_reinstalled,
+            self.preexisting_preserved,
+            self.compat.score * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcbc_cluster::specs::{limulus_hpc200, littlefe_modified};
+
+    fn limulus_dbs() -> BTreeMap<String, RpmDb> {
+        let cluster = limulus_hpc200();
+        cluster.nodes.iter().map(|n| (n.hostname.clone(), limulus_factory_image())).collect()
+    }
+
+    #[test]
+    fn from_scratch_on_littlefe_reaches_full_compat() {
+        let report = deploy_from_scratch(&littlefe_modified()).unwrap();
+        assert!(report.compat.is_compatible(), "{}", report.compat.render());
+        assert_eq!(report.nodes_reinstalled, 6);
+        assert!(!report.preexisting_preserved, "bare metal wipes the previous system");
+        assert!(report.timeline.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn from_scratch_on_limulus_fails() {
+        // diskless blades: the reason the paper pairs Limulus with XNIT
+        assert!(matches!(
+            deploy_from_scratch(&limulus_hpc200()),
+            Err(InstallError::NotInstallable(_))
+        ));
+    }
+
+    #[test]
+    fn xnit_overlay_on_limulus_reaches_full_compat() {
+        let report = deploy_xnit_overlay(&limulus_dbs(), XnitSetupMethod::RepoRpm).unwrap();
+        assert!(report.compat.is_compatible(), "{}", report.compat.render());
+        assert_eq!(report.nodes_reinstalled, 0, "no reinstalls on the overlay path");
+    }
+
+    #[test]
+    fn overlay_preserves_preexisting_setup() {
+        // §8: "without changing the pre-existing cluster setup"
+        let report = deploy_xnit_overlay(&limulus_dbs(), XnitSetupMethod::ManualRepoFile).unwrap();
+        assert!(report.preexisting_preserved);
+        for db in report.node_dbs.values() {
+            assert!(db.is_installed("limulus-tools"), "factory tooling survives");
+            assert!(db.is_installed("slurm"), "factory scheduler survives");
+            assert!(db.is_installed("warewulf-provision"));
+        }
+    }
+
+    #[test]
+    fn overlay_is_incremental_second_run_noop() {
+        let first = deploy_xnit_overlay(&limulus_dbs(), XnitSetupMethod::RepoRpm).unwrap();
+        let second = deploy_xnit_overlay(&first.node_dbs, XnitSetupMethod::RepoRpm).unwrap();
+        assert!(second.compat.is_compatible());
+        // nothing left to install: wall time is just repo setup + probes
+        assert!(second.timeline.total_seconds() < first.timeline.total_seconds());
+    }
+
+    #[test]
+    fn overlay_wall_time_beats_reinstall() {
+        // "Using XNIT to create an XSEDE-compatible cluster is a fairly
+        // easy task" — quantified: fewer reinstalls, less wall time than
+        // a from-scratch build of the same scale
+        let scratch = deploy_from_scratch(&littlefe_modified()).unwrap();
+        let overlay = deploy_xnit_overlay(&limulus_dbs(), XnitSetupMethod::RepoRpm).unwrap();
+        assert!(overlay.timeline.total_seconds() < scratch.timeline.total_seconds());
+        assert!(overlay.nodes_reinstalled < scratch.nodes_reinstalled);
+    }
+
+    #[test]
+    fn render_rows() {
+        let overlay = deploy_xnit_overlay(&limulus_dbs(), XnitSetupMethod::RepoRpm).unwrap();
+        let row = overlay.render_row();
+        assert!(row.contains("XNIT overlay"));
+        assert!(row.contains("reinstalls=0"));
+    }
+
+    #[test]
+    fn factory_image_is_far_from_compatible() {
+        let db = limulus_factory_image();
+        let report = check_compatibility(&db);
+        assert!(!report.is_compatible());
+        assert!(report.score < 0.1);
+        // the factory scheduler is not *against* the reference: slurm is
+        // a Table 1 "choose one" option, not a Table 2 requirement
+        assert!(!report.missing().contains(&"slurm"));
+        assert!(report.missing().contains(&"gromacs"));
+    }
+}

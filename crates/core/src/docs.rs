@@ -1,0 +1,101 @@
+//! Knowledge-base document generation.
+//!
+//! The paper cites two IU Knowledge Base articles as the user-facing
+//! documentation: "What is the XSEDE Yum Repository, and how do I use
+//! it?" (kb.iu.edu/d/bdwx) and "What software is installed on a
+//! 'bare-bones' XSEDE-compatible Rocks cluster?" (kb.iu.edu/d/bdww).
+//! These renderers produce those documents *from the implementation* —
+//! the setup steps from [`crate::xnit`], the software list from
+//! [`crate::catalog`] — so the docs can never drift from the code.
+
+use crate::catalog::entries_in;
+use crate::xnit::XnitSetupMethod;
+use xcbc_rpm::PackageGroup;
+use xcbc_yum::XSEDE_REPO_FILE;
+
+/// The bdwx analog: "What is the XSEDE Yum Repository, and how do I use
+/// it?"
+pub fn render_kb_yum_repository() -> String {
+    let mut out = String::from(
+        "What is the XSEDE Yum Repository, and how do I use it?\n\
+         ======================================================\n\n\
+         The XSEDE Yum repository (XNIT) carries the software installed on\n\
+         XSEDE-supported clusters, packaged so that an existing CentOS/Scientific\n\
+         Linux cluster can add any of it without changing its current setup.\n\n\
+         Method 1 — install the repo RPM:\n",
+    );
+    for step in XnitSetupMethod::RepoRpm.steps() {
+        out.push_str(&format!("  * {step}\n"));
+    }
+    out.push_str("\nMethod 2 — create the repo file by hand:\n");
+    for step in XnitSetupMethod::ManualRepoFile.steps() {
+        out.push_str(&format!("  * {step}\n"));
+    }
+    out.push_str("\nThe repo file the README specifies:\n\n");
+    for line in XSEDE_REPO_FILE.lines() {
+        out.push_str(&format!("    {line}\n"));
+    }
+    out.push_str(
+        "\nAfter setup, `yum install <package>` installs any XNIT package and\n\
+         its dependencies; `yum check-update` lists newer versions as they are\n\
+         published.\n",
+    );
+    out
+}
+
+/// The bdww analog: "What software is installed on a 'bare-bones'
+/// XSEDE-compatible Rocks cluster?"
+pub fn render_kb_barebones_software() -> String {
+    let mut out = String::from(
+        "What software is installed on a \"bare-bones\" XSEDE-compatible Rocks cluster?\n\
+         =============================================================================\n\n\
+         An XCBC built from the Rocks installation media with the XSEDE roll\n\
+         carries the following, kept version- and path-compatible with XSEDE\n\
+         systems (Stampede reference):\n\n",
+    );
+    for group in [
+        PackageGroup::CompilersLibraries,
+        PackageGroup::ScientificApplications,
+        PackageGroup::MiscellaneousTools,
+        PackageGroup::SchedulerResourceManager,
+        PackageGroup::XsedeTools,
+    ] {
+        let entries = entries_in(group);
+        out.push_str(&format!("{} ({}):\n", group.label(), entries.len()));
+        for e in entries {
+            out.push_str(&format!("  {:<24} {:<12} {}\n", e.name, e.version, e.summary));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yum_kb_covers_both_methods() {
+        let doc = render_kb_yum_repository();
+        assert!(doc.contains("xsede-release"));
+        assert!(doc.contains("yum-plugin-priorities"));
+        assert!(doc.contains("baseurl=http://cb-repo.iu.xsede.org/xsederepo/"));
+        assert!(doc.contains("check-update"));
+    }
+
+    #[test]
+    fn barebones_kb_lists_the_catalog() {
+        let doc = render_kb_barebones_software();
+        assert!(doc.contains("gromacs"));
+        assert!(doc.contains("4.6.5"));
+        assert!(doc.contains("Globus Connect Server"));
+        assert!(doc.contains("Scientific Applications (6"), "category counts rendered: {}",
+            doc.lines().find(|l| l.contains("Scientific Applications")).unwrap_or(""));
+    }
+
+    #[test]
+    fn docs_deterministic() {
+        assert_eq!(render_kb_yum_repository(), render_kb_yum_repository());
+        assert_eq!(render_kb_barebones_software(), render_kb_barebones_software());
+    }
+}

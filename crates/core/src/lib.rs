@@ -1,0 +1,55 @@
+//! # xcbc-core — XCBC and XNIT
+//!
+//! The paper's primary contribution, built on the substrates in the
+//! sibling crates:
+//!
+//! * [`catalog`] — the XCBC 0.9 software catalog (Tables 1 and 2): every
+//!   package, its category, version, dependencies, and install paths,
+//!   kept "run-alike" with the XSEDE Stampede reference.
+//! * [`roll`] — the XSEDE Rocks Roll (release history 0.0.8 → 0.0.9 →
+//!   0.9) for the **from-scratch** path.
+//! * [`xnit`] — the XSEDE National Integration Toolkit Yum repository for
+//!   the **piecemeal** path, with both setup methods §3 describes.
+//! * [`compat`] — the XSEDE-compatibility checker: versions, library
+//!   paths, and commands must match the reference profile.
+//! * [`deploy`] — the two deployment workflows and their comparison
+//!   (steps, wall time, what survives on an existing cluster).
+//! * [`update`] — keeping a cluster current: update rolls vs `yum
+//!   update` vs notification scripts, with the production-risk model.
+//! * [`sites`] — the Table 3 deployment registry and fleet statistics.
+//! * [`training`] — the LittleFe/XCBC curriculum module of §6.
+//! * [`report`] — renderers that regenerate the paper's tables.
+//!
+//! ```
+//! use xcbc_core::catalog::xcbc_catalog;
+//! use xcbc_core::xnit::xnit_repository;
+//!
+//! let repo = xnit_repository();
+//! assert!(repo.newest("gromacs").is_some());
+//! assert!(xcbc_catalog().len() > 100);
+//! ```
+
+pub mod bridging;
+pub mod catalog;
+pub mod community;
+pub mod compat;
+pub mod deploy;
+pub mod docs;
+pub mod report;
+pub mod roll;
+pub mod sites;
+pub mod training;
+pub mod update;
+pub mod xnit;
+
+pub use bridging::{setup_endpoint, transfer, Endpoint, GffsNamespace, TransferFile};
+pub use catalog::{xcbc_catalog, xsede_reference, CatalogEntry};
+pub use community::{RequestPipeline, RequestState, RequesterGroup, SoftwareRequest};
+pub use compat::{check_compatibility, CompatIssue, CompatReport};
+pub use deploy::{DeploymentPath, DeploymentReport};
+pub use docs::{render_kb_barebones_software, render_kb_yum_repository};
+pub use roll::{xsede_roll, RollRelease, XSEDE_ROLL_RELEASES};
+pub use sites::{deployed_sites, fleet_totals, Site};
+pub use training::{Curriculum, LabSession, LessonStep};
+pub use update::{UpdateRisk, UpdateStrategy};
+pub use xnit::{xnit_repository, XnitSetupMethod};

@@ -1,0 +1,248 @@
+//! Renderers that regenerate the paper's tables and figures.
+//!
+//! Each `render_tableN` function produces a text table whose rows come
+//! from the *implemented system* (the catalog, the cluster specs, the
+//! HPL model, the site registry) rather than hard-coded strings, so the
+//! EXPERIMENTS.md paper-vs-measured comparison is honest.
+
+use crate::catalog::entries_in;
+use crate::sites::{deployed_sites, fleet_totals, AdoptionPath};
+use xcbc_cluster::cost::{limulus_hpc200_bom, littlefe_modified_bom};
+use xcbc_cluster::specs::{limulus_hpc200, littlefe_modified};
+use xcbc_hpl::{EfficiencyModel, PAPER_LITTLEFE_RMAX_EST_GF};
+use xcbc_rocks::standard_rolls;
+use xcbc_rpm::PackageGroup;
+
+/// Table 1 — XCBC build part 1: general cluster setup (Rocks rolls).
+pub fn render_table1() -> String {
+    let mut out = String::from(
+        "Table 1. Components of current XCBC build Part 1 - General cluster setup\n\n",
+    );
+    out.push_str(&format!(
+        "{:<14} {}\n",
+        "Basics", "Rocks 6.1.1, CentOS 6.5, modules, apache-ant, gmake, scons"
+    ));
+    out.push_str(&format!("{:<14} {}\n\n", "Job Management", "Torque, SLURM, sge (choose one)"));
+    out.push_str("Rocks optional rolls:\n");
+    for roll in standard_rolls() {
+        if !roll.required {
+            out.push_str(&format!("{:<14} {}\n", roll.name, roll.description));
+        }
+    }
+    out
+}
+
+/// Table 2 — XCBC build part 2: XSEDE run-alike components, from the
+/// catalog.
+pub fn render_table2() -> String {
+    let mut out = String::from(
+        "Table 2. Components of current XCBC build Part 2 - XSEDE run-alike compatibility\n\n",
+    );
+    let rows = [
+        PackageGroup::CompilersLibraries,
+        PackageGroup::ScientificApplications,
+        PackageGroup::MiscellaneousTools,
+        PackageGroup::SchedulerResourceManager,
+        PackageGroup::XsedeTools,
+    ];
+    for group in rows {
+        let names: Vec<&str> = entries_in(group).iter().map(|e| e.name).collect();
+        out.push_str(&format!(
+            "{} ({} packages):\n  {}\n\n",
+            group.label(),
+            names.len(),
+            names.join(", ")
+        ));
+    }
+    out
+}
+
+/// Table 3 — deployed XCBC clusters with the totals row.
+pub fn render_table3() -> String {
+    let mut out = String::from(
+        "Table 3. Deployed XCBC Clusters that had XSEDE Campus Bridging team involvement.\n\n",
+    );
+    out.push_str(&format!(
+        "{:<46} {:>6} {:>6} {:>8}  {:<12} {}\n",
+        "Site", "Nodes", "Cores", "Rpeak", "Path", "Other Info"
+    ));
+    for s in deployed_sites() {
+        out.push_str(&format!(
+            "{:<46} {:>6} {:>6} {:>8.2}  {:<12} {}\n",
+            truncate(s.name, 46),
+            s.nodes,
+            s.cores,
+            s.rpeak_tflops,
+            match s.path {
+                AdoptionPath::XcbcFromScratch => "XCBC",
+                AdoptionPath::XnitRepository => "XNIT",
+            },
+            s.other_info
+        ));
+    }
+    let t = fleet_totals();
+    out.push_str(&format!(
+        "{:<46} {:>6} {:>6} {:>8.2}\n",
+        "Total", t.nodes, t.cores, t.rpeak_tflops
+    ));
+    out
+}
+
+/// Table 4 — basic characteristics of the two deskside clusters, derived
+/// from the hardware blueprints.
+pub fn render_table4() -> String {
+    let mut out = String::from(
+        "Table 4. Basic characteristics of a Limulus HPC200 cluster and a LittleFe cluster\n\n",
+    );
+    out.push_str(&format!(
+        "{:<18} {:>6} {:>12} {:>6} {:>6}\n",
+        "Cluster", "Nodes", "CPU clock", "CPUs", "Cores"
+    ));
+    for spec in [littlefe_modified(), limulus_hpc200()] {
+        out.push_str(&format!(
+            "{:<18} {:>6} {:>9.1} GHz {:>6} {:>6}\n",
+            truncate(&spec.name, 18),
+            spec.node_count(),
+            spec.nodes[0].cpu.clock_ghz,
+            spec.cpu_count(),
+            spec.compute_cores()
+        ));
+    }
+    out
+}
+
+/// Table 5 — performance and price/performance, Rpeak from hardware,
+/// Rmax from the calibrated efficiency model (LittleFe additionally
+/// reported at the paper's 75 % estimate).
+pub fn render_table5() -> String {
+    let model = EfficiencyModel::gigabit_deskside();
+    let lf = littlefe_modified();
+    let lm = limulus_hpc200();
+    let lf_bom = littlefe_modified_bom();
+    let lm_bom = limulus_hpc200_bom();
+
+    // Problem sizes from per-system memory at ~50% fill — matching the
+    // N used in Basement Supercomputing's published Limulus HPL run.
+    let lf_n = EfficiencyModel::memory_bound_n((lf.nodes.iter().map(|n| n.ram_gb as u64).sum::<u64>()) << 30, 0.5);
+    let lm_n = EfficiencyModel::memory_bound_n((lm.nodes.iter().map(|n| n.ram_gb as u64).sum::<u64>()) << 30, 0.5);
+
+    let lf_rmax_model = model.rmax_gflops(lf.rpeak_gflops(), lf.node_count() as u32, lf_n);
+    let lm_rmax_model = model.rmax_gflops(lm.rpeak_gflops(), lm.node_count() as u32, lm_n);
+
+    let mut out = String::from(
+        "Table 5. Performance and price/performance for LittleFe and Limulus HPC200.\n\n",
+    );
+    out.push_str(&format!(
+        "{:<18} {:>8} {:>8} {:>8} {:>14} {:>14}\n",
+        "System", "Rpeak", "Rmax", "Cost", "Rpeak $/GF", "Rmax $/GF"
+    ));
+    out.push_str(&format!(
+        "{:<18} {:>8.1} {:>8.1} {:>8.0} {:>13}/GF {:>13}/GF   (paper est. Rmax {:.1}*)\n",
+        "LittleFe",
+        lf.rpeak_gflops(),
+        lf_rmax_model,
+        lf_bom.total_usd(),
+        format!("${}", lf_bom.usd_per_gflops_rounded(lf.rpeak_gflops())),
+        format!("${}", lf_bom.usd_per_gflops_rounded(lf_rmax_model)),
+        PAPER_LITTLEFE_RMAX_EST_GF,
+    ));
+    out.push_str(&format!(
+        "{:<18} {:>8.1} {:>8.1} {:>8.0} {:>13}/GF {:>13}/GF\n",
+        "Limulus HPC200",
+        lm.rpeak_gflops(),
+        lm_rmax_model,
+        lm_bom.total_usd(),
+        format!("${}", lm_bom.usd_per_gflops_rounded(lm.rpeak_gflops())),
+        format!("${}", lm_bom.usd_per_gflops_rounded(lm_rmax_model)),
+    ));
+    out.push_str("* LittleFe Rmax was estimated at 75% of Rpeak in the paper (hardware failure prior to Linpack).\n");
+    out
+}
+
+/// Figures 1–3 — chassis renderings from the hardware model.
+pub fn render_figures() -> String {
+    let lf = littlefe_modified();
+    let lm = limulus_hpc200();
+    format!(
+        "Figure 1 (substitute).\n{}\nFigure 2 (substitute).\n{}\nFigure 3 (substitute).\n{}",
+        xcbc_cluster::render_littlefe_rear(&lf),
+        xcbc_cluster::render_littlefe_front(&lf),
+        xcbc_cluster::render_limulus(&lm),
+    )
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_optional_rolls() {
+        let t = render_table1();
+        for roll in ["area51", "bio", "ganglia", "hpc", "kvm", "perl", "python", "zfs-linux"] {
+            assert!(t.contains(roll), "table 1 missing {roll}");
+        }
+        assert!(t.contains("choose one"));
+    }
+
+    #[test]
+    fn table2_has_all_five_rows() {
+        let t = render_table2();
+        assert!(t.contains("Compilers, libraries, and programming"));
+        assert!(t.contains("Scientific Applications"));
+        assert!(t.contains("Miscellaneous Tools"));
+        assert!(t.contains("Scheduler and Resource Manager"));
+        assert!(t.contains("XSEDE Tools"));
+        assert!(t.contains("gromacs"));
+        assert!(t.contains("globus-connect-server"));
+    }
+
+    #[test]
+    fn table3_totals_row() {
+        let t = render_table3();
+        assert!(t.contains("304"));
+        assert!(t.contains("2708"));
+        assert!(t.contains("49.61"));
+        assert!(t.contains("Marshall"));
+    }
+
+    #[test]
+    fn table4_rows_match_paper() {
+        let t = render_table4();
+        assert!(t.contains("2.8 GHz"));
+        assert!(t.contains("3.1 GHz"));
+        assert!(t.contains("12"));
+        assert!(t.contains("16"));
+    }
+
+    #[test]
+    fn table5_reproduces_shape() {
+        let t = render_table5();
+        // Rpeak values exact
+        assert!(t.contains("537.6"));
+        assert!(t.contains("793.6"));
+        // price-performance ordering: LittleFe $7 Rpeak vs Limulus $8
+        assert!(t.contains("$7/GF"));
+        assert!(t.contains("$8/GF"));
+        assert!(t.contains("403.2"), "paper estimate cited");
+        // the conclusion's ordering: LittleFe wins price-performance on
+        // both axes ($11 vs $12 on modeled Rmax; paper: $9 vs $12)
+        assert!(t.contains("$11/GF"));
+        assert!(t.contains("$12/GF"));
+    }
+
+    #[test]
+    fn figures_render() {
+        let f = render_figures();
+        assert!(f.contains("Figure 1"));
+        assert!(f.contains("Figure 3"));
+        assert!(f.contains("BLADE"));
+    }
+}

@@ -1,0 +1,130 @@
+//! The HPL driver: generate, factor, solve, verify, report GFLOPS.
+
+use crate::lu::{lu_factor, lu_solve};
+use crate::matrix::{vec_norm_inf, Matrix};
+use std::time::Instant;
+
+/// One benchmark configuration (HPL.dat's N, NB, P×Q — here threads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HplConfig {
+    /// Problem size.
+    pub n: usize,
+    /// Block (panel) size.
+    pub nb: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// RNG seed for the input matrix.
+    pub seed: u64,
+}
+
+/// One benchmark result line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HplResult {
+    /// The configuration that produced this result.
+    pub config: HplConfig,
+    /// Wall-clock factor+solve time.
+    pub seconds: f64,
+    /// Achieved rate per the HPL flop convention.
+    pub gflops: f64,
+    /// HPL's scaled residual `‖Ax−b‖∞ / (ε·(‖A‖∞·‖x‖∞ + ‖b‖∞)·n)`.
+    pub residual: f64,
+    /// Residual below the HPL threshold of 16.
+    pub passed: bool,
+}
+
+impl HplResult {
+    /// Render like an HPL output line.
+    pub fn render(&self) -> String {
+        format!(
+            "WR00L2L2 {:>8} {:>5} {:>3}   {:>10.3}  {:>10.4e}  residual={:>8.3e} {}",
+            self.config.n,
+            self.config.nb,
+            self.config.threads,
+            self.seconds,
+            self.gflops,
+            self.residual,
+            if self.passed { "PASSED" } else { "FAILED" }
+        )
+    }
+}
+
+/// FLOP count of LU solve: `2n³/3 + 2n²` (the HPL convention — pivoting
+/// and substitutions included).
+pub fn hpl_flops(n: usize) -> f64 {
+    let n = n as f64;
+    2.0 / 3.0 * n * n * n + 2.0 * n * n
+}
+
+/// Run one Linpack configuration: random A and b, timed factor+solve,
+/// scaled-residual verification.
+pub fn run_hpl(config: &HplConfig) -> HplResult {
+    let a0 = Matrix::random(config.n, config.seed);
+    let x_true: Vec<f64> = (0..config.n).map(|i| ((i % 17) as f64) / 17.0 - 0.5).collect();
+    let b = a0.matvec(&x_true);
+
+    let mut a = a0.clone();
+    let start = Instant::now();
+    let piv = lu_factor(&mut a, config.nb, config.threads)
+        .expect("random HPL matrices are nonsingular with probability 1");
+    let x = lu_solve(&a, &piv, &b);
+    let seconds = start.elapsed().as_secs_f64();
+
+    // scaled residual per the HPL harness
+    let ax = a0.matvec(&x);
+    let r: Vec<f64> = ax.iter().zip(&b).map(|(a, b)| a - b).collect();
+    let eps = f64::EPSILON;
+    let denom = eps
+        * (a0.norm_inf() * vec_norm_inf(&x) + vec_norm_inf(&b))
+        * config.n as f64;
+    let residual = if denom > 0.0 { vec_norm_inf(&r) / denom } else { 0.0 };
+
+    let gflops = hpl_flops(config.n) / seconds / 1e9;
+    HplResult { config: *config, seconds, gflops, residual, passed: residual < 16.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_count_convention() {
+        assert_eq!(hpl_flops(3), 2.0 / 3.0 * 27.0 + 18.0);
+        assert!(hpl_flops(1000) > 6.6e8);
+    }
+
+    #[test]
+    fn small_run_passes_residual() {
+        let r = run_hpl(&HplConfig { n: 64, nb: 16, threads: 1, seed: 1 });
+        assert!(r.passed, "residual {}", r.residual);
+        assert!(r.gflops > 0.0);
+        assert!(r.seconds > 0.0);
+        assert!(r.render().contains("PASSED"));
+    }
+
+    #[test]
+    fn parallel_run_passes_residual() {
+        let r = run_hpl(&HplConfig { n: 192, nb: 32, threads: 4, seed: 2 });
+        assert!(r.passed, "residual {}", r.residual);
+    }
+
+    #[test]
+    fn different_seeds_both_pass() {
+        for seed in [3, 4, 5] {
+            let r = run_hpl(&HplConfig { n: 96, nb: 24, threads: 2, seed });
+            assert!(r.passed, "seed {seed}: residual {}", r.residual);
+        }
+    }
+
+    #[test]
+    fn gflops_grow_with_n() {
+        // bigger problems amortize overhead: the hallmark HPL curve
+        let small = run_hpl(&HplConfig { n: 64, nb: 32, threads: 1, seed: 6 });
+        let large = run_hpl(&HplConfig { n: 512, nb: 32, threads: 1, seed: 6 });
+        assert!(
+            large.gflops > small.gflops,
+            "N=512 {:.2} GF should beat N=64 {:.2} GF",
+            large.gflops,
+            small.gflops
+        );
+    }
+}

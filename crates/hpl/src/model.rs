@@ -1,0 +1,140 @@
+//! Analytic Rmax model — mapping Rpeak to expected Linpack performance.
+//!
+//! Table 5's published points:
+//!
+//! * **Limulus HPC200**: Rmax 498.3 of Rpeak 793.6 GF → 62.8 % efficiency,
+//!   "based on actual results of tests conducted by Basement
+//!   Supercomputing" with HPL.
+//! * **LittleFe (modified)**: Rmax "estimated at 75 % of Rpeak" (403.2 of
+//!   537.6) "due to a hardware failure prior to Linpack".
+//!
+//! The model splits a run into computation (`2n³/3` FLOPs at
+//! `node_efficiency × Rpeak`) and GbE communication (HPL's panel
+//! broadcasts and row swaps move `O(n²·√p)` bytes), which yields the two
+//! qualitative facts the paper leans on: efficiency *falls* as nodes are
+//! added over gigabit Ethernet, and *rises* with problem size.
+
+/// Parameters of the efficiency model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EfficiencyModel {
+    /// Fraction of one node's Rpeak that HPL achieves on that node alone
+    /// (BLAS quality, memory bandwidth) — ~0.80 for OpenBLAS-era Haswell.
+    pub node_efficiency: f64,
+    /// Interconnect bandwidth, bytes/second (GbE ≈ 117 MB/s effective).
+    pub net_bytes_per_s: f64,
+    /// Communication volume coefficient: HPL moves roughly
+    /// `c · n² · √p` bytes in total.
+    pub comm_coefficient: f64,
+}
+
+/// Paper's measured Limulus Rmax, GFLOPS (Table 5).
+pub const PAPER_LIMULUS_RMAX_GF: f64 = 498.3;
+/// Paper's estimated LittleFe Rmax, GFLOPS (75 % of 537.6; Table 5 note).
+pub const PAPER_LITTLEFE_RMAX_EST_GF: f64 = 403.2;
+
+impl EfficiencyModel {
+    /// A GbE deskside-cluster model calibrated so the Limulus point
+    /// (4 nodes, 793.6 GF Rpeak, N ≈ 64k) lands on the measured 498.3 GF.
+    pub fn gigabit_deskside() -> Self {
+        EfficiencyModel {
+            node_efficiency: 0.80,
+            net_bytes_per_s: 117.0e6,
+            comm_coefficient: 1.08,
+        }
+    }
+
+    /// Expected efficiency (Rmax/Rpeak) for a run of size `n` on
+    /// `nodes` nodes with aggregate `rpeak_gflops`.
+    pub fn efficiency(&self, rpeak_gflops: f64, nodes: u32, n: usize) -> f64 {
+        let nf = n as f64;
+        let flops = 2.0 / 3.0 * nf * nf * nf;
+        let t_comp = flops / (self.node_efficiency * rpeak_gflops * 1e9);
+        let t_comm = if nodes > 1 {
+            self.comm_coefficient * nf * nf * (nodes as f64).sqrt() / self.net_bytes_per_s
+        } else {
+            0.0
+        };
+        self.node_efficiency * t_comp / (t_comp + t_comm)
+    }
+
+    /// Expected Rmax in GFLOPS.
+    pub fn rmax_gflops(&self, rpeak_gflops: f64, nodes: u32, n: usize) -> f64 {
+        rpeak_gflops * self.efficiency(rpeak_gflops, nodes, n)
+    }
+
+    /// Largest problem that fits in memory: `N = √(fill × bytes / 8)`.
+    pub fn memory_bound_n(total_ram_bytes: u64, fill: f64) -> usize {
+        ((total_ram_bytes as f64 * fill / 8.0).sqrt()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIMULUS_RPEAK: f64 = 793.6;
+    const LITTLEFE_RPEAK: f64 = 537.6;
+
+    #[test]
+    fn calibrated_to_limulus_measurement() {
+        // Limulus: 4 nodes, 64 GB total RAM → N ≈ 80k; Basement's
+        // published run used N≈64k on 64 GB.
+        let m = EfficiencyModel::gigabit_deskside();
+        let rmax = m.rmax_gflops(LIMULUS_RPEAK, 4, 64_000);
+        let err = (rmax - PAPER_LIMULUS_RMAX_GF).abs() / PAPER_LIMULUS_RMAX_GF;
+        assert!(err < 0.05, "model {rmax:.1} GF vs paper 498.3 GF ({:.1}% off)", err * 100.0);
+    }
+
+    #[test]
+    fn littlefe_estimate_in_range() {
+        // The paper *estimates* 75%; our mechanistic model should land in
+        // the same neighbourhood (LittleFe: 6 nodes, 24 GB RAM → N ≈ 48k).
+        let m = EfficiencyModel::gigabit_deskside();
+        let eff = m.efficiency(LITTLEFE_RPEAK, 6, 48_000);
+        assert!(
+            (0.55..=0.80).contains(&eff),
+            "LittleFe efficiency {eff:.3} should bracket the paper's 0.75 estimate"
+        );
+    }
+
+    #[test]
+    fn efficiency_rises_with_problem_size() {
+        let m = EfficiencyModel::gigabit_deskside();
+        let small = m.efficiency(LIMULUS_RPEAK, 4, 10_000);
+        let large = m.efficiency(LIMULUS_RPEAK, 4, 80_000);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn efficiency_falls_with_more_gbe_nodes() {
+        let m = EfficiencyModel::gigabit_deskside();
+        let per_node = 198.4; // one i7-4770S
+        let e1 = m.efficiency(per_node, 1, 40_000);
+        let e4 = m.efficiency(4.0 * per_node, 4, 40_000);
+        let e16 = m.efficiency(16.0 * per_node, 16, 40_000);
+        assert!(e1 > e4 && e4 > e16, "{e1:.3} > {e4:.3} > {e16:.3} expected");
+        assert!((e1 - m.node_efficiency).abs() < 1e-12, "single node pays no network tax");
+    }
+
+    #[test]
+    fn memory_bound_problem_sizes() {
+        // 64 GB → ~87k; 8 GB/node × 6 misreported as total 24 GB → ~49k
+        let n64 = EfficiencyModel::memory_bound_n(64 << 30, 0.9);
+        assert!((80_000..95_000).contains(&n64), "{n64}");
+        let n24 = EfficiencyModel::memory_bound_n(24 << 30, 0.9);
+        assert!((45_000..60_000).contains(&n24), "{n24}");
+    }
+
+    #[test]
+    fn table5_shape_littlefe_cheaper_limulus_faster() {
+        // the paper's conclusion: Limulus wins absolute Rmax; LittleFe
+        // wins price-performance
+        let m = EfficiencyModel::gigabit_deskside();
+        let lf_rmax = m.rmax_gflops(LITTLEFE_RPEAK, 6, 48_000);
+        let lm_rmax = m.rmax_gflops(LIMULUS_RPEAK, 4, 64_000);
+        assert!(lm_rmax > lf_rmax, "Limulus {lm_rmax:.0} > LittleFe {lf_rmax:.0}");
+        let lf_price = 3600.0 / lf_rmax;
+        let lm_price = 5995.0 / lm_rmax;
+        assert!(lf_price < lm_price, "LittleFe $/GF {lf_price:.2} < Limulus {lm_price:.2}");
+    }
+}

@@ -1,0 +1,138 @@
+//! A shell environment: ordered path-list variables and scalars.
+
+use std::collections::BTreeMap;
+
+/// A process environment as modules sees it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Environment {
+    vars: BTreeMap<String, String>,
+}
+
+impl Environment {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A CentOS-ish starting environment.
+    pub fn default_login() -> Self {
+        let mut e = Self::new();
+        e.set("PATH", "/usr/local/bin:/usr/bin:/bin");
+        e.set("MANPATH", "/usr/share/man");
+        e
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.vars.get(key).map(String::as_str)
+    }
+
+    pub fn set(&mut self, key: &str, value: &str) {
+        self.vars.insert(key.to_string(), value.to_string());
+    }
+
+    pub fn unset(&mut self, key: &str) -> bool {
+        self.vars.remove(key).is_some()
+    }
+
+    /// Prepend a path element to a `:`-separated variable (no-op if the
+    /// element is already the head; duplicates elsewhere are removed).
+    pub fn prepend_path(&mut self, key: &str, element: &str) {
+        let current = self.vars.get(key).cloned().unwrap_or_default();
+        let mut parts: Vec<&str> =
+            current.split(':').filter(|p| !p.is_empty() && *p != element).collect();
+        parts.insert(0, element);
+        self.vars.insert(key.to_string(), parts.join(":"));
+    }
+
+    /// Remove a path element from a `:`-separated variable. A variable
+    /// left empty is unset, so `prepend_path` followed by `remove_path`
+    /// is a strict inverse even when the prepend created the variable.
+    pub fn remove_path(&mut self, key: &str, element: &str) {
+        if let Some(current) = self.vars.get(key) {
+            let parts: Vec<&str> =
+                current.split(':').filter(|p| !p.is_empty() && *p != element).collect();
+            if parts.is_empty() {
+                self.vars.remove(key);
+            } else {
+                self.vars.insert(key.to_string(), parts.join(":"));
+            }
+        }
+    }
+
+    /// Does a `:`-separated variable contain an element?
+    pub fn path_contains(&self, key: &str, element: &str) -> bool {
+        self.vars
+            .get(key)
+            .map(|v| v.split(':').any(|p| p == element))
+            .unwrap_or(false)
+    }
+
+    /// Variables that differ between `self` and `other`.
+    pub fn diff(&self, other: &Environment) -> Vec<String> {
+        let mut keys: Vec<&String> = self.vars.keys().chain(other.vars.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        keys.into_iter()
+            .filter(|k| self.vars.get(*k) != other.vars.get(*k))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepend_puts_element_first() {
+        let mut e = Environment::default_login();
+        e.prepend_path("PATH", "/opt/gromacs/bin");
+        assert!(e.get("PATH").unwrap().starts_with("/opt/gromacs/bin:"));
+    }
+
+    #[test]
+    fn prepend_dedupes() {
+        let mut e = Environment::new();
+        e.set("PATH", "/a:/b");
+        e.prepend_path("PATH", "/b");
+        assert_eq!(e.get("PATH"), Some("/b:/a"));
+        e.prepend_path("PATH", "/b");
+        assert_eq!(e.get("PATH"), Some("/b:/a"));
+    }
+
+    #[test]
+    fn prepend_to_missing_var_creates_it() {
+        let mut e = Environment::new();
+        e.prepend_path("LD_LIBRARY_PATH", "/usr/lib64/openmpi/lib");
+        assert_eq!(e.get("LD_LIBRARY_PATH"), Some("/usr/lib64/openmpi/lib"));
+    }
+
+    #[test]
+    fn remove_path_element() {
+        let mut e = Environment::new();
+        e.set("PATH", "/a:/b:/c");
+        e.remove_path("PATH", "/b");
+        assert_eq!(e.get("PATH"), Some("/a:/c"));
+        e.remove_path("PATH", "/zzz"); // absent: no-op
+        assert_eq!(e.get("PATH"), Some("/a:/c"));
+    }
+
+    #[test]
+    fn path_contains() {
+        let mut e = Environment::new();
+        e.set("PATH", "/a:/bb");
+        assert!(e.path_contains("PATH", "/bb"));
+        assert!(!e.path_contains("PATH", "/b"));
+        assert!(!e.path_contains("NOPE", "/b"));
+    }
+
+    #[test]
+    fn diff_lists_changed_keys() {
+        let a = Environment::default_login();
+        let mut b = a.clone();
+        b.set("MPI_HOME", "/usr/lib64/openmpi");
+        b.prepend_path("PATH", "/x");
+        let d = a.diff(&b);
+        assert_eq!(d, vec!["MPI_HOME".to_string(), "PATH".to_string()]);
+        assert!(a.diff(&a).is_empty());
+    }
+}

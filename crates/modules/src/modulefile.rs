@@ -1,0 +1,156 @@
+//! Modulefiles: named, versioned bundles of environment actions.
+
+use crate::env::Environment;
+
+/// One action a modulefile performs on load (reversed on unload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModuleAction {
+    PrependPath { var: String, value: String },
+    Setenv { var: String, value: String },
+}
+
+/// A modulefile, addressed as `name/version`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Modulefile {
+    pub name: String,
+    pub version: String,
+    pub actions: Vec<ModuleAction>,
+    /// Modules that may not be loaded at the same time
+    /// (`conflict openmpi` in an mpich modulefile).
+    pub conflicts: Vec<String>,
+    /// Module names that must already be loaded (`prereq`).
+    pub prereqs: Vec<String>,
+    /// Help text.
+    pub whatis: String,
+}
+
+impl Modulefile {
+    pub fn new(name: &str, version: &str) -> Self {
+        Modulefile {
+            name: name.to_string(),
+            version: version.to_string(),
+            actions: Vec::new(),
+            conflicts: Vec::new(),
+            prereqs: Vec::new(),
+            whatis: String::new(),
+        }
+    }
+
+    /// Full `name/version` key.
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.name, self.version)
+    }
+
+    pub fn prepend_path(mut self, var: &str, value: &str) -> Self {
+        self.actions.push(ModuleAction::PrependPath { var: var.to_string(), value: value.to_string() });
+        self
+    }
+
+    pub fn setenv(mut self, var: &str, value: &str) -> Self {
+        self.actions.push(ModuleAction::Setenv { var: var.to_string(), value: value.to_string() });
+        self
+    }
+
+    pub fn conflict(mut self, name: &str) -> Self {
+        self.conflicts.push(name.to_string());
+        self
+    }
+
+    pub fn prereq(mut self, name: &str) -> Self {
+        self.prereqs.push(name.to_string());
+        self
+    }
+
+    pub fn whatis(mut self, text: &str) -> Self {
+        self.whatis = text.to_string();
+        self
+    }
+
+    /// Apply the load actions to an environment.
+    pub fn apply(&self, env: &mut Environment) {
+        for a in &self.actions {
+            match a {
+                ModuleAction::PrependPath { var, value } => env.prepend_path(var, value),
+                ModuleAction::Setenv { var, value } => env.set(var, value),
+            }
+        }
+    }
+
+    /// Reverse the load actions.
+    pub fn revert(&self, env: &mut Environment) {
+        for a in &self.actions {
+            match a {
+                ModuleAction::PrependPath { var, value } => env.remove_path(var, value),
+                ModuleAction::Setenv { var, .. } => {
+                    env.unset(var);
+                }
+            }
+        }
+    }
+
+    /// Render in Tcl modulefile syntax.
+    pub fn render(&self) -> String {
+        let mut out = String::from("#%Module1.0\n");
+        if !self.whatis.is_empty() {
+            out.push_str(&format!("module-whatis \"{}\"\n", self.whatis));
+        }
+        for c in &self.conflicts {
+            out.push_str(&format!("conflict {c}\n"));
+        }
+        for p in &self.prereqs {
+            out.push_str(&format!("prereq {p}\n"));
+        }
+        for a in &self.actions {
+            match a {
+                ModuleAction::PrependPath { var, value } => {
+                    out.push_str(&format!("prepend-path {var} {value}\n"))
+                }
+                ModuleAction::Setenv { var, value } => {
+                    out.push_str(&format!("setenv {var} {value}\n"))
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn openmpi() -> Modulefile {
+        Modulefile::new("openmpi", "1.6.5")
+            .whatis("Open MPI message passing library")
+            .prepend_path("PATH", "/usr/lib64/openmpi/bin")
+            .prepend_path("LD_LIBRARY_PATH", "/usr/lib64/openmpi/lib")
+            .setenv("MPI_HOME", "/usr/lib64/openmpi")
+            .conflict("mpich2")
+    }
+
+    #[test]
+    fn apply_then_revert_roundtrips() {
+        let m = openmpi();
+        let base = Environment::default_login();
+        let mut env = base.clone();
+        m.apply(&mut env);
+        assert!(env.path_contains("PATH", "/usr/lib64/openmpi/bin"));
+        assert_eq!(env.get("MPI_HOME"), Some("/usr/lib64/openmpi"));
+        m.revert(&mut env);
+        assert_eq!(env, base, "revert must be a perfect inverse");
+    }
+
+    #[test]
+    fn key_format() {
+        assert_eq!(openmpi().key(), "openmpi/1.6.5");
+    }
+
+    #[test]
+    fn render_tcl_syntax() {
+        let text = openmpi().render();
+        assert!(text.starts_with("#%Module1.0"));
+        assert!(text.contains("prepend-path PATH /usr/lib64/openmpi/bin"));
+        assert!(text.contains("setenv MPI_HOME /usr/lib64/openmpi"));
+        assert!(text.contains("conflict mpich2"));
+        assert!(text.contains("module-whatis"));
+    }
+}

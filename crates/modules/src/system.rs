@@ -1,0 +1,295 @@
+//! The module command: avail/load/unload/list over a modulefile tree.
+
+use crate::env::Environment;
+use crate::modulefile::Modulefile;
+use std::collections::BTreeMap;
+use xcbc_rpm::RpmDb;
+
+/// Errors from module operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModuleError {
+    /// No modulefile matches the request.
+    NotFound(String),
+    /// Already loaded.
+    AlreadyLoaded(String),
+    /// Not currently loaded.
+    NotLoaded(String),
+    /// A loaded module conflicts with the request.
+    Conflict { requested: String, with: String },
+    /// A prereq is not loaded.
+    MissingPrereq { requested: String, needs: String },
+}
+
+impl std::fmt::Display for ModuleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModuleError::NotFound(m) => write!(f, "module {m} not found"),
+            ModuleError::AlreadyLoaded(m) => write!(f, "module {m} is already loaded"),
+            ModuleError::NotLoaded(m) => write!(f, "module {m} is not loaded"),
+            ModuleError::Conflict { requested, with } => {
+                write!(f, "{requested} conflicts with loaded module {with}")
+            }
+            ModuleError::MissingPrereq { requested, needs } => {
+                write!(f, "{requested} requires module {needs} to be loaded first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModuleError {}
+
+/// The module system: available modulefiles plus the session state.
+#[derive(Debug, Default)]
+pub struct ModuleSystem {
+    available: BTreeMap<String, Modulefile>,
+    loaded: Vec<String>,
+    env: Environment,
+}
+
+impl ModuleSystem {
+    pub fn new() -> Self {
+        ModuleSystem {
+            available: BTreeMap::new(),
+            loaded: Vec::new(),
+            env: Environment::default_login(),
+        }
+    }
+
+    /// Register a modulefile.
+    pub fn add(&mut self, m: Modulefile) {
+        self.available.insert(m.key(), m);
+    }
+
+    pub fn env(&self) -> &Environment {
+        &self.env
+    }
+
+    /// `module avail` — sorted keys, optionally filtered by prefix.
+    pub fn avail(&self, prefix: Option<&str>) -> Vec<&str> {
+        self.available
+            .keys()
+            .filter(|k| prefix.map(|p| k.starts_with(p)).unwrap_or(true))
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// `module list` — loaded modules in load order.
+    pub fn list(&self) -> &[String] {
+        &self.loaded
+    }
+
+    /// Resolve a request: exact `name/version`, or bare `name` → highest
+    /// version (lexicographic, as Tcl modules defaults to).
+    fn resolve(&self, request: &str) -> Result<&Modulefile, ModuleError> {
+        if let Some(m) = self.available.get(request) {
+            return Ok(m);
+        }
+        self.available
+            .values()
+            .filter(|m| m.name == request)
+            .max_by(|a, b| a.version.cmp(&b.version))
+            .ok_or_else(|| ModuleError::NotFound(request.to_string()))
+    }
+
+    /// `module load <name[/version]>`.
+    pub fn load(&mut self, request: &str) -> Result<String, ModuleError> {
+        let m = self.resolve(request)?.clone();
+        let key = m.key();
+        if self.loaded.contains(&key) {
+            return Err(ModuleError::AlreadyLoaded(key));
+        }
+        // same-name different-version is an implicit conflict
+        if let Some(other) = self.loaded.iter().find(|k| k.split('/').next() == Some(&m.name)) {
+            return Err(ModuleError::Conflict { requested: key, with: other.clone() });
+        }
+        for c in &m.conflicts {
+            if let Some(other) = self.loaded.iter().find(|k| k.split('/').next() == Some(c.as_str()))
+            {
+                return Err(ModuleError::Conflict { requested: key, with: other.clone() });
+            }
+        }
+        for p in &m.prereqs {
+            let satisfied =
+                self.loaded.iter().any(|k| k.split('/').next() == Some(p.as_str()) || k == p);
+            if !satisfied {
+                return Err(ModuleError::MissingPrereq { requested: key, needs: p.clone() });
+            }
+        }
+        m.apply(&mut self.env);
+        self.loaded.push(key.clone());
+        Ok(key)
+    }
+
+    /// `module unload <name[/version]>`.
+    pub fn unload(&mut self, request: &str) -> Result<String, ModuleError> {
+        let key = self
+            .loaded
+            .iter()
+            .find(|k| *k == request || k.split('/').next() == Some(request))
+            .cloned()
+            .ok_or_else(|| ModuleError::NotLoaded(request.to_string()))?;
+        let m = self.available.get(&key).expect("loaded implies available").clone();
+        m.revert(&mut self.env);
+        self.loaded.retain(|k| *k != key);
+        Ok(key)
+    }
+
+    /// `module purge`.
+    pub fn purge(&mut self) {
+        let loaded = self.loaded.clone();
+        for key in loaded.into_iter().rev() {
+            let _ = self.unload(&key);
+        }
+    }
+}
+
+/// The Montana State integration: generate a modulefile for every
+/// installed package that drops files under `/opt` or `/usr/lib64/<pkg>`
+/// (the XSEDE library-path convention).
+pub fn generate_from_rpmdb(db: &RpmDb) -> Vec<Modulefile> {
+    let mut out = Vec::new();
+    for ip in db.iter() {
+        let p = &ip.package;
+        let bin_dirs: Vec<&String> = p
+            .files
+            .iter()
+            .filter(|f| f.ends_with("/bin") || f.contains("/bin/"))
+            .collect();
+        if bin_dirs.is_empty() {
+            continue;
+        }
+        let mut m = Modulefile::new(p.name(), &p.evr().version).whatis(&p.summary);
+        for f in bin_dirs {
+            let dir = if f.ends_with("/bin") {
+                f.clone()
+            } else {
+                // strip the binary file name
+                match f.rfind('/') {
+                    Some(idx) => f[..idx].to_string(),
+                    None => continue,
+                }
+            };
+            m = m.prepend_path("PATH", &dir);
+        }
+        out.push(m);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcbc_rpm::PackageBuilder;
+
+    fn system() -> ModuleSystem {
+        let mut s = ModuleSystem::new();
+        s.add(
+            Modulefile::new("openmpi", "1.6.5")
+                .prepend_path("PATH", "/usr/lib64/openmpi/bin")
+                .conflict("mpich2"),
+        );
+        s.add(Modulefile::new("openmpi", "1.8.1").prepend_path("PATH", "/opt/openmpi-1.8/bin"));
+        s.add(
+            Modulefile::new("mpich2", "1.4.1")
+                .prepend_path("PATH", "/usr/lib64/mpich2/bin")
+                .conflict("openmpi"),
+        );
+        s.add(Modulefile::new("gromacs", "4.6.5").prereq("openmpi"));
+        s
+    }
+
+    #[test]
+    fn avail_sorted_and_filtered() {
+        let s = system();
+        assert_eq!(s.avail(None).len(), 4);
+        assert_eq!(s.avail(Some("openmpi")), vec!["openmpi/1.6.5", "openmpi/1.8.1"]);
+    }
+
+    #[test]
+    fn load_exact_and_default_version() {
+        let mut s = system();
+        assert_eq!(s.load("openmpi/1.6.5").unwrap(), "openmpi/1.6.5");
+        s.unload("openmpi").unwrap();
+        // bare name resolves to highest version
+        assert_eq!(s.load("openmpi").unwrap(), "openmpi/1.8.1");
+    }
+
+    #[test]
+    fn double_load_rejected() {
+        let mut s = system();
+        s.load("openmpi/1.6.5").unwrap();
+        assert_eq!(
+            s.load("openmpi/1.6.5"),
+            Err(ModuleError::AlreadyLoaded("openmpi/1.6.5".into()))
+        );
+        // another version of the same name is a conflict
+        assert!(matches!(s.load("openmpi/1.8.1"), Err(ModuleError::Conflict { .. })));
+    }
+
+    #[test]
+    fn conflicts_enforced_both_ways() {
+        let mut s = system();
+        s.load("openmpi/1.6.5").unwrap();
+        assert!(matches!(s.load("mpich2"), Err(ModuleError::Conflict { .. })));
+        s.unload("openmpi").unwrap();
+        s.load("mpich2").unwrap();
+        assert!(matches!(s.load("openmpi/1.6.5"), Err(ModuleError::Conflict { .. })));
+    }
+
+    #[test]
+    fn prereq_enforced() {
+        let mut s = system();
+        assert_eq!(
+            s.load("gromacs"),
+            Err(ModuleError::MissingPrereq {
+                requested: "gromacs/4.6.5".into(),
+                needs: "openmpi".into()
+            })
+        );
+        s.load("openmpi/1.6.5").unwrap();
+        assert!(s.load("gromacs").is_ok());
+    }
+
+    #[test]
+    fn unload_restores_env_and_purge_clears() {
+        let mut s = system();
+        let base = s.env().clone();
+        s.load("openmpi/1.6.5").unwrap();
+        s.load("gromacs").unwrap();
+        assert_eq!(s.list().len(), 2);
+        s.purge();
+        assert!(s.list().is_empty());
+        assert_eq!(s.env(), &base);
+    }
+
+    #[test]
+    fn unload_not_loaded_errors() {
+        let mut s = system();
+        assert_eq!(s.unload("openmpi"), Err(ModuleError::NotLoaded("openmpi".into())));
+    }
+
+    #[test]
+    fn load_unknown_errors() {
+        let mut s = system();
+        assert_eq!(s.load("matlab"), Err(ModuleError::NotFound("matlab".into())));
+    }
+
+    #[test]
+    fn generation_from_rpmdb() {
+        let mut db = RpmDb::new();
+        db.install(
+            PackageBuilder::new("gromacs", "4.6.5", "2.el6")
+                .summary("GROMACS molecular dynamics")
+                .file("/usr/lib64/gromacs/bin")
+                .build(),
+        );
+        db.install(PackageBuilder::new("libonly", "1.0", "1").file("/usr/lib64/libx.so").build());
+        let mods = generate_from_rpmdb(&db);
+        assert_eq!(mods.len(), 1, "only packages with bin dirs get modules");
+        assert_eq!(mods[0].name, "gromacs");
+        let mut s = ModuleSystem::new();
+        s.add(mods[0].clone());
+        s.load("gromacs").unwrap();
+        assert!(s.env().path_contains("PATH", "/usr/lib64/gromacs/bin"));
+    }
+}

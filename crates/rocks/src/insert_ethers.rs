@@ -1,0 +1,135 @@
+//! `insert-ethers` — Rocks' node discovery tool.
+//!
+//! During a bare-metal build the administrator runs `insert-ethers` on the
+//! frontend, picks an appliance type, and powers nodes on one at a time;
+//! each DHCP request from an unknown MAC becomes a new host record. This
+//! is the step a training lab has every student perform by hand.
+
+use crate::database::{DbError, RocksDb};
+use crate::graph::Appliance;
+
+/// A DHCP discover as the frontend sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DhcpRequest {
+    pub mac: String,
+    /// CPU count reported post-boot (stored in the DB on registration).
+    pub cpus: u32,
+}
+
+/// An interactive insert-ethers session.
+#[derive(Debug)]
+pub struct InsertEthers<'a> {
+    db: &'a mut RocksDb,
+    appliance: Appliance,
+    rack: u32,
+    /// Hostnames registered during this session.
+    registered: Vec<String>,
+    /// MACs seen but ignored (already known).
+    ignored: Vec<String>,
+}
+
+impl<'a> InsertEthers<'a> {
+    /// Start a session registering nodes of `appliance` into `rack`.
+    pub fn start(db: &'a mut RocksDb, appliance: Appliance, rack: u32) -> Self {
+        InsertEthers { db, appliance, rack, registered: Vec::new(), ignored: Vec::new() }
+    }
+
+    /// Handle one DHCP request: unknown MACs are registered with the next
+    /// name in sequence; known MACs are ignored (the node is just
+    /// rebooting).
+    pub fn on_dhcp(&mut self, req: &DhcpRequest) -> Result<Option<String>, DbError> {
+        if self.db.host_by_mac(&req.mac).is_some() {
+            self.ignored.push(req.mac.clone());
+            return Ok(None);
+        }
+        let record = self.db.add_host(self.appliance, self.rack, &req.mac, req.cpus)?;
+        let name = record.name.clone();
+        self.registered.push(name.clone());
+        Ok(Some(name))
+    }
+
+    /// Names registered so far, in discovery order.
+    pub fn registered(&self) -> &[String] {
+        &self.registered
+    }
+
+    /// Known MACs re-seen during the session.
+    pub fn ignored(&self) -> &[String] {
+        &self.ignored
+    }
+
+    /// End the session, returning the registration summary.
+    pub fn finish(self) -> (Vec<String>, Vec<String>) {
+        (self.registered, self.ignored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> RocksDb {
+        let mut db = RocksDb::new("littlefe");
+        db.add_frontend("ff:ff:ff:ff:ff:ff", 2).unwrap();
+        db
+    }
+
+    #[test]
+    fn discovery_assigns_sequential_names() {
+        let mut db = db();
+        let mut session = InsertEthers::start(&mut db, Appliance::Compute, 0);
+        for i in 0..5 {
+            let name = session
+                .on_dhcp(&DhcpRequest { mac: format!("aa:bb:cc:dd:ee:{i:02x}"), cpus: 2 })
+                .unwrap();
+            assert_eq!(name.as_deref(), Some(format!("compute-0-{i}").as_str()));
+        }
+        let (registered, ignored) = session.finish();
+        assert_eq!(registered.len(), 5);
+        assert!(ignored.is_empty());
+        assert_eq!(db.host_count(), 6);
+    }
+
+    #[test]
+    fn rebooting_known_node_ignored() {
+        let mut db = db();
+        let mut session = InsertEthers::start(&mut db, Appliance::Compute, 0);
+        let req = DhcpRequest { mac: "aa:00".to_string(), cpus: 2 };
+        assert!(session.on_dhcp(&req).unwrap().is_some());
+        assert!(session.on_dhcp(&req).unwrap().is_none());
+        assert_eq!(session.ignored().len(), 1);
+        assert_eq!(session.registered().len(), 1);
+    }
+
+    #[test]
+    fn frontend_mac_is_known() {
+        let mut db = db();
+        let mut session = InsertEthers::start(&mut db, Appliance::Compute, 0);
+        let none = session
+            .on_dhcp(&DhcpRequest { mac: "ff:ff:ff:ff:ff:ff".to_string(), cpus: 2 })
+            .unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn nas_appliance_names() {
+        let mut db = db();
+        let mut session = InsertEthers::start(&mut db, Appliance::Nas, 2);
+        let name = session.on_dhcp(&DhcpRequest { mac: "11:22".to_string(), cpus: 4 }).unwrap();
+        assert_eq!(name.as_deref(), Some("nas-2-0"));
+    }
+
+    #[test]
+    fn littlefe_lab_discovers_all_five_computes() {
+        // the full §5.1 LittleFe: frontend + 5 computes
+        let mut db = db();
+        let mut session = InsertEthers::start(&mut db, Appliance::Compute, 0);
+        for i in 0..5 {
+            session.on_dhcp(&DhcpRequest { mac: format!("littlefe-node-{i}"), cpus: 2 }).unwrap();
+        }
+        drop(session);
+        assert_eq!(db.hosts_of(Appliance::Compute).len(), 5);
+        let total_cpus: u32 = db.hosts().map(|h| h.cpus).sum();
+        assert_eq!(total_cpus, 12, "Table 4: LittleFe has 12 cores");
+    }
+}

@@ -1,0 +1,316 @@
+//! The bare-metal cluster install workflow.
+//!
+//! §3: "Using the XSEDE roll during the Rocks cluster install will add
+//! the packages necessary for an XSEDE-compatible basic cluster." This
+//! module runs the whole "all at once, from scratch" flow on a simulated
+//! cluster: installability checks, frontend install, insert-ethers
+//! discovery, per-node kickstart, package installation into per-node RPM
+//! databases, and a wall-clock [`Timeline`].
+
+use crate::database::RocksDb;
+use crate::graph::{Appliance, KickstartGraph};
+use crate::insert_ethers::{DhcpRequest, InsertEthers};
+use crate::kickstart::{self, KickstartError};
+use crate::roll::Roll;
+use std::collections::BTreeMap;
+use xcbc_cluster::{ClusterSpec, NodeRole, Timeline};
+use xcbc_rpm::{Package, RpmDb, TransactionSet};
+
+/// Why an install could not proceed.
+#[derive(Debug)]
+pub enum InstallError {
+    /// The hardware cannot host Rocks (diskless nodes, missing frontend).
+    NotInstallable(Vec<String>),
+    /// Kickstart generation failed for a node.
+    Kickstart(KickstartError),
+    /// The graph references a package no selected roll carries.
+    MissingPackage { node: String, package: String },
+    /// The package transaction failed on a node.
+    Transaction { node: String, error: xcbc_rpm::TransactionError },
+}
+
+impl std::fmt::Display for InstallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstallError::NotInstallable(reasons) => {
+                write!(f, "cluster is not Rocks-installable: {}", reasons.join("; "))
+            }
+            InstallError::Kickstart(e) => write!(f, "{e}"),
+            InstallError::MissingPackage { node, package } => {
+                write!(f, "{node}: package {package} not found in any selected roll")
+            }
+            InstallError::Transaction { node, error } => write!(f, "{node}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+impl From<KickstartError> for InstallError {
+    fn from(e: KickstartError) -> Self {
+        InstallError::Kickstart(e)
+    }
+}
+
+/// Result of a completed install.
+#[derive(Debug)]
+pub struct InstallReport {
+    /// The cluster database after discovery.
+    pub rocks_db: RocksDb,
+    /// Per-host installed-package databases.
+    pub node_dbs: BTreeMap<String, RpmDb>,
+    /// Wall-clock timeline of the whole build.
+    pub timeline: Timeline,
+    /// Names of the rolls that were installed.
+    pub rolls_installed: Vec<String>,
+}
+
+impl InstallReport {
+    /// Packages installed on a given host.
+    pub fn package_count(&self, host: &str) -> usize {
+        self.node_dbs.get(host).map(RpmDb::len).unwrap_or(0)
+    }
+}
+
+/// Install throughput assumption: anaconda lays down ~20 MB/s from the
+/// frontend's HTTP tree over GbE.
+const INSTALL_MBPS: f64 = 20.0;
+/// Fixed overheads (seconds).
+const FRONTEND_SCREENS_S: f64 = 600.0; // answering the installer screens
+const NODE_PXE_S: f64 = 90.0; // BIOS + PXE + anaconda start
+const FRONTEND_POST_S: f64 = 300.0; // db init, dhcpd, tree build
+
+/// The full from-scratch install driver.
+#[derive(Debug)]
+pub struct ClusterInstall {
+    cluster: ClusterSpec,
+    rolls: Vec<Roll>,
+    graph: KickstartGraph,
+}
+
+impl ClusterInstall {
+    /// Prepare an install of `cluster` with the given roll set. Roll
+    /// graph fragments are merged into the standard graph and attached to
+    /// both frontend and compute appliances.
+    pub fn new(cluster: ClusterSpec, rolls: Vec<Roll>) -> Self {
+        let mut graph = KickstartGraph::standard();
+        for roll in &rolls {
+            graph
+                .merge_roll_nodes(&roll.graph_nodes, &[Appliance::Frontend, Appliance::Compute])
+                .expect("standard graph has both roots");
+        }
+        ClusterInstall { cluster, rolls, graph }
+    }
+
+    pub fn graph(&self) -> &KickstartGraph {
+        &self.graph
+    }
+
+    /// All packages across the selected rolls.
+    fn roll_packages(&self) -> BTreeMap<&str, &Package> {
+        let mut map = BTreeMap::new();
+        for roll in &self.rolls {
+            for p in &roll.packages {
+                map.insert(p.name(), p);
+            }
+        }
+        map
+    }
+
+    /// Run the install.
+    pub fn run(&self) -> Result<InstallReport, InstallError> {
+        let (ok, reasons) = self.cluster.rocks_installable();
+        if !ok {
+            return Err(InstallError::NotInstallable(reasons));
+        }
+        let catalog = self.roll_packages();
+        let mut timeline = Timeline::new();
+        let mut node_dbs: BTreeMap<String, RpmDb> = BTreeMap::new();
+
+        // --- frontend install ---
+        let fe = self.cluster.frontend().expect("checked above");
+        let fe_ks = kickstart::generate(&self.graph, fe, Appliance::Frontend)?;
+        let fe_db = self.install_packages(&fe.hostname, &fe_ks.packages, &catalog)?;
+        let fe_payload: u64 = fe_db.installed_size_bytes();
+        timeline.push("frontend: installer screens & roll selection", FRONTEND_SCREENS_S);
+        timeline.push(
+            "frontend: package installation",
+            fe_payload as f64 / (INSTALL_MBPS * 1024.0 * 1024.0),
+        );
+        timeline.push("frontend: post-install (db, dhcpd, central tree)", FRONTEND_POST_S);
+        node_dbs.insert(fe.hostname.clone(), fe_db);
+
+        // --- insert-ethers discovery + compute installs (parallel) ---
+        let mut rocks_db = RocksDb::new(&fe.hostname);
+        rocks_db
+            .add_frontend(&synth_mac(&fe.hostname), fe.cores())
+            .expect("fresh database");
+        {
+            let mut session = InsertEthers::start(&mut rocks_db, Appliance::Compute, 0);
+            for n in self.cluster.nodes.iter().filter(|n| n.role == NodeRole::Compute) {
+                session
+                    .on_dhcp(&DhcpRequest { mac: synth_mac(&n.hostname), cpus: n.cores() })
+                    .expect("unique synthetic MACs");
+            }
+        }
+
+        let computes: Vec<_> =
+            self.cluster.nodes.iter().filter(|n| n.role == NodeRole::Compute).collect();
+        let mut first = true;
+        for n in &computes {
+            let ks = kickstart::generate(&self.graph, n, Appliance::Compute)?;
+            let db = self.install_packages(&n.hostname, &ks.packages, &catalog)?;
+            let secs = NODE_PXE_S
+                + db.installed_size_bytes() as f64 / (INSTALL_MBPS * 1024.0 * 1024.0);
+            let label = format!("{}: pxe + kickstart install", n.hostname);
+            if first {
+                timeline.push(label, secs);
+                first = false;
+            } else {
+                // computes install concurrently from the frontend tree
+                timeline.push_parallel(label, secs);
+            }
+            node_dbs.insert(n.hostname.clone(), db);
+        }
+
+        Ok(InstallReport {
+            rocks_db,
+            node_dbs,
+            timeline,
+            rolls_installed: self.rolls.iter().map(|r| r.name.clone()).collect(),
+        })
+    }
+
+    fn install_packages(
+        &self,
+        node: &str,
+        names: &[String],
+        catalog: &BTreeMap<&str, &Package>,
+    ) -> Result<RpmDb, InstallError> {
+        let mut tx = TransactionSet::new();
+        for name in names {
+            let pkg = catalog.get(name.as_str()).ok_or_else(|| InstallError::MissingPackage {
+                node: node.to_string(),
+                package: name.clone(),
+            })?;
+            tx.add_install((*pkg).clone());
+        }
+        let mut db = RpmDb::new();
+        tx.run(&mut db)
+            .map_err(|error| InstallError::Transaction { node: node.to_string(), error })?;
+        Ok(db)
+    }
+}
+
+/// Deterministic MAC derived from a hostname (simulation stand-in for
+/// real hardware addresses).
+fn synth_mac(hostname: &str) -> String {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in hostname.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    format!(
+        "02:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+        (h >> 32) as u8,
+        (h >> 24) as u8,
+        (h >> 16) as u8,
+        (h >> 8) as u8,
+        h as u8
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roll::standard_rolls;
+    use xcbc_cluster::specs::{limulus_hpc200, littlefe_modified};
+
+    fn required_rolls() -> Vec<Roll> {
+        standard_rolls().into_iter().filter(|r| r.required).collect()
+    }
+
+    #[test]
+    fn littlefe_full_install_succeeds() {
+        let install = ClusterInstall::new(littlefe_modified(), standard_rolls());
+        let report = install.run().unwrap();
+        assert_eq!(report.node_dbs.len(), 6);
+        assert_eq!(report.rocks_db.host_count(), 6);
+        assert!(report.rocks_db.host("compute-0-4").is_some());
+        // every node got the base packages
+        for (host, db) in &report.node_dbs {
+            assert!(db.is_installed("rocks-base"), "{host} missing rocks-base");
+            assert!(db.verify().is_empty(), "{host} db inconsistent");
+        }
+        // frontend has the web server, computes do not
+        assert!(report.node_dbs["littlefe"].is_installed("httpd"));
+        assert!(!report.node_dbs["compute-0-0"].is_installed("httpd"));
+    }
+
+    #[test]
+    fn timeline_has_frontend_then_parallel_computes() {
+        let install = ClusterInstall::new(littlefe_modified(), required_rolls());
+        let report = install.run().unwrap();
+        let phases = report.timeline.phases();
+        assert!(phases[0].label.contains("frontend"));
+        // the five compute installs share a start time
+        let compute_phases: Vec<_> =
+            phases.iter().filter(|p| p.label.contains("compute-0-")).collect();
+        assert_eq!(compute_phases.len(), 5);
+        let starts: Vec<_> = compute_phases.iter().map(|p| p.start_s).collect();
+        assert!(starts.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9), "parallel: {starts:?}");
+        // total time is dominated by frontend + one compute wave
+        assert!(report.timeline.total_seconds() < 3.0 * 3600.0, "a LittleFe builds in an afternoon");
+    }
+
+    #[test]
+    fn limulus_cannot_be_rocks_installed() {
+        let install = ClusterInstall::new(limulus_hpc200(), standard_rolls());
+        match install.run() {
+            Err(InstallError::NotInstallable(reasons)) => {
+                assert!(reasons.iter().any(|r| r.contains("diskless")))
+            }
+            other => panic!("expected NotInstallable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_roll_package_is_reported() {
+        // graph wants bash & friends, but we only supply the base roll
+        let only_base: Vec<Roll> =
+            standard_rolls().into_iter().filter(|r| r.name == "base").collect();
+        let install = ClusterInstall::new(littlefe_modified(), only_base);
+        match install.run() {
+            Err(InstallError::MissingPackage { package, .. }) => {
+                assert!(!package.is_empty());
+            }
+            other => panic!("expected MissingPackage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn synthetic_macs_unique_and_stable() {
+        let a = synth_mac("compute-0-0");
+        let b = synth_mac("compute-0-1");
+        assert_ne!(a, b);
+        assert_eq!(a, synth_mac("compute-0-0"));
+        assert!(a.starts_with("02:"));
+    }
+
+    #[test]
+    fn optional_rolls_add_packages() {
+        let base_report =
+            ClusterInstall::new(littlefe_modified(), required_rolls()).run().unwrap();
+        let full_report =
+            ClusterInstall::new(littlefe_modified(), standard_rolls()).run().unwrap();
+        // with the full roll set the graph is the same but the catalog is
+        // bigger; packages only land if the graph references them, so
+        // counts are equal here — the XSEDE roll in xcbc-core adds graph
+        // nodes and therefore packages.
+        assert_eq!(
+            base_report.package_count("compute-0-0"),
+            full_report.package_count("compute-0-0")
+        );
+        assert_eq!(full_report.rolls_installed.len(), standard_rolls().len());
+    }
+}

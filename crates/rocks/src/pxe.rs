@@ -1,0 +1,156 @@
+//! The PXE boot chain — how a compute node actually reinstalls.
+//!
+//! `insert-ethers` only works because every Rocks compute node network-
+//! boots: DHCP → TFTP (pxelinux) → installer kernel → kickstart fetch →
+//! anaconda → local boot. This module walks that state machine with
+//! per-stage failure injection, producing the timelines the install
+//! workflow accounts and the diagnostics a training lab teaches.
+
+use serde::Serialize;
+use xcbc_cluster::Timeline;
+
+/// Stages of the chain, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum PxeStage {
+    Dhcp,
+    Tftp,
+    KernelBoot,
+    KickstartFetch,
+    Anaconda,
+    LocalBoot,
+}
+
+impl PxeStage {
+    pub const ALL: [PxeStage; 6] = [
+        PxeStage::Dhcp,
+        PxeStage::Tftp,
+        PxeStage::KernelBoot,
+        PxeStage::KickstartFetch,
+        PxeStage::Anaconda,
+        PxeStage::LocalBoot,
+    ];
+
+    /// Nominal duration of the stage, seconds (anaconda's duration is
+    /// payload-dependent and passed separately).
+    pub fn nominal_seconds(self) -> f64 {
+        match self {
+            PxeStage::Dhcp => 5.0,
+            PxeStage::Tftp => 10.0,
+            PxeStage::KernelBoot => 30.0,
+            PxeStage::KickstartFetch => 5.0,
+            PxeStage::Anaconda => 0.0, // payload-driven
+            PxeStage::LocalBoot => 60.0,
+        }
+    }
+
+    /// The diagnostic an admin sees when this stage fails.
+    pub fn failure_symptom(self) -> &'static str {
+        match self {
+            PxeStage::Dhcp => "node sits at 'PXE-E51: No DHCP or proxyDHCP offers received'",
+            PxeStage::Tftp => "PXE-E32: TFTP open timeout",
+            PxeStage::KernelBoot => "installer kernel panic / wrong console",
+            PxeStage::KickstartFetch => "anaconda asks for install source interactively",
+            PxeStage::Anaconda => "package installation error mid-install",
+            PxeStage::LocalBoot => "node loops back into the installer",
+        }
+    }
+}
+
+/// Outcome of a boot attempt.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PxeOutcome {
+    pub hostname: String,
+    /// Stage reached; `None` in `failed_at` means full success.
+    pub failed_at: Option<PxeStage>,
+    pub timeline: Timeline,
+}
+
+impl PxeOutcome {
+    pub fn succeeded(&self) -> bool {
+        self.failed_at.is_none()
+    }
+}
+
+/// Walk the chain for one node. `payload_bytes` sizes the anaconda
+/// stage (at 20 MB/s, as the install workflow assumes); `fails_at`
+/// injects a failure at one stage.
+pub fn boot_node(
+    hostname: &str,
+    payload_bytes: u64,
+    fails_at: Option<PxeStage>,
+) -> PxeOutcome {
+    let mut timeline = Timeline::new();
+    for stage in PxeStage::ALL {
+        let secs = if stage == PxeStage::Anaconda {
+            payload_bytes as f64 / (20.0 * 1024.0 * 1024.0)
+        } else {
+            stage.nominal_seconds()
+        };
+        if fails_at == Some(stage) {
+            // a failed stage burns its timeout (3x nominal, min 30 s)
+            timeline.push(
+                format!("{hostname}: {:?} FAILED — {}", stage, stage.failure_symptom()),
+                (secs * 3.0).max(30.0),
+            );
+            return PxeOutcome { hostname: hostname.to_string(), failed_at: Some(stage), timeline };
+        }
+        timeline.push(format!("{hostname}: {stage:?}"), secs);
+    }
+    PxeOutcome { hostname: hostname.to_string(), failed_at: None, timeline }
+}
+
+/// Triage helper for the curriculum: from the observed symptom, which
+/// stage failed?
+pub fn diagnose(symptom: &str) -> Option<PxeStage> {
+    PxeStage::ALL.into_iter().find(|s| symptom.contains(s.failure_symptom()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_boot_walks_all_stages() {
+        let out = boot_node("compute-0-0", 500 << 20, None);
+        assert!(out.succeeded());
+        assert_eq!(out.timeline.len(), 6);
+        // anaconda dominates: 500 MB / 20 MBps = 25 s plus fixed stages
+        assert!((out.timeline.total_seconds() - (5.0 + 10.0 + 30.0 + 5.0 + 25.0 + 60.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_stops_the_chain() {
+        let out = boot_node("compute-0-1", 500 << 20, Some(PxeStage::Dhcp));
+        assert!(!out.succeeded());
+        assert_eq!(out.failed_at, Some(PxeStage::Dhcp));
+        assert_eq!(out.timeline.len(), 1, "nothing after the failed stage");
+        assert!(out.timeline.phases()[0].label.contains("PXE-E51"));
+    }
+
+    #[test]
+    fn late_failure_includes_earlier_stages() {
+        let out = boot_node("compute-0-2", 100 << 20, Some(PxeStage::Anaconda));
+        assert_eq!(out.timeline.len(), 5, "4 good stages + the failure");
+        assert_eq!(out.failed_at, Some(PxeStage::Anaconda));
+    }
+
+    #[test]
+    fn diagnose_maps_symptoms_back() {
+        for stage in PxeStage::ALL {
+            let symptom = format!("console shows: {}", stage.failure_symptom());
+            assert_eq!(diagnose(&symptom), Some(stage));
+        }
+        assert_eq!(diagnose("node is fine"), None);
+    }
+
+    #[test]
+    fn failed_stage_costs_a_timeout() {
+        let ok = boot_node("n", 0, None);
+        let failed = boot_node("n", 0, Some(PxeStage::Tftp));
+        // failed TFTP costs 30s (3 × 10); success costs 10s at that stage
+        let tftp_ok = ok.timeline.phases()[1].duration_s;
+        let tftp_bad = failed.timeline.phases().last().unwrap().duration_s;
+        assert_eq!(tftp_ok, 10.0);
+        assert_eq!(tftp_bad, 30.0);
+    }
+}

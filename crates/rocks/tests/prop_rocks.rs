@@ -1,0 +1,76 @@
+//! Property tests for the Rocks substrate: kickstart-graph invariants and
+//! insert-ethers discovery under randomized inputs.
+
+use proptest::prelude::*;
+use xcbc_rocks::{Appliance, DhcpRequest, GraphNode, InsertEthers, KickstartGraph, RocksDb};
+
+proptest! {
+    /// Merging roll fragments never removes packages an appliance already
+    /// had, and every fragment package becomes reachable on the appliances
+    /// it was attached to.
+    #[test]
+    fn merge_is_monotone(
+        pkg_lists in proptest::collection::vec(
+            proptest::collection::vec("[a-z]{3,8}", 1..4),
+            1..5,
+        ),
+    ) {
+        let mut graph = KickstartGraph::standard();
+        let before = graph.packages_for(Appliance::Compute).unwrap();
+        let nodes: Vec<GraphNode> = pkg_lists
+            .iter()
+            .enumerate()
+            .map(|(i, pkgs)| {
+                let mut n = GraphNode::new(&format!("frag{i}"));
+                n.packages = pkgs.clone();
+                n
+            })
+            .collect();
+        graph.merge_roll_nodes(&nodes, &[Appliance::Compute]).unwrap();
+        let after = graph.packages_for(Appliance::Compute).unwrap();
+        for p in &before {
+            prop_assert!(after.contains(p), "lost package {p}");
+        }
+        for pkgs in &pkg_lists {
+            for p in pkgs {
+                prop_assert!(after.contains(p), "fragment package {p} unreachable");
+            }
+        }
+        // frontend untouched by compute-only attachment (modulo shared names)
+        let fe = graph.packages_for(Appliance::Frontend).unwrap();
+        let fe_before = KickstartGraph::standard().packages_for(Appliance::Frontend).unwrap();
+        for p in &fe_before {
+            prop_assert!(fe.contains(p));
+        }
+    }
+
+    /// Insert-ethers over any stream of DHCP requests (with repeats)
+    /// assigns unique names/IPs and registers each MAC exactly once.
+    #[test]
+    fn discovery_unique_under_repeats(
+        macs in proptest::collection::vec(0u8..16, 1..40),
+    ) {
+        let mut db = RocksDb::new("head");
+        db.add_frontend("ff:ff", 2).unwrap();
+        let mut session = InsertEthers::start(&mut db, Appliance::Compute, 0);
+        for m in &macs {
+            session
+                .on_dhcp(&DhcpRequest { mac: format!("aa:{m:02x}"), cpus: 2 })
+                .unwrap();
+        }
+        let (registered, ignored) = session.finish();
+        let distinct: std::collections::BTreeSet<u8> = macs.iter().copied().collect();
+        prop_assert_eq!(registered.len(), distinct.len());
+        prop_assert_eq!(ignored.len(), macs.len() - distinct.len());
+        // names and IPs are unique
+        let mut names: Vec<&str> = db.hosts().map(|h| h.name.as_str()).collect();
+        let total = names.len();
+        names.sort();
+        names.dedup();
+        prop_assert_eq!(names.len(), total);
+        let mut ips: Vec<&str> = db.hosts().map(|h| h.ip.as_str()).collect();
+        ips.sort();
+        ips.dedup();
+        prop_assert_eq!(ips.len(), total);
+    }
+}

@@ -1,0 +1,202 @@
+//! Fluent construction of [`Package`] values.
+//!
+//! The XCBC catalog in `xcbc-core` declares ~190 packages; the builder
+//! keeps those declarations one-liners.
+
+use crate::arch::Arch;
+use crate::dep::{DepFlag, Dependency};
+use crate::evr::Evr;
+use crate::package::{Nevra, Package, PackageGroup};
+use crate::scriptlet::Scriptlet;
+
+/// Builder for [`Package`].
+///
+/// ```
+/// use xcbc_rpm::{PackageBuilder, PackageGroup, Arch};
+/// let pkg = PackageBuilder::new("lammps", "2014.06.28", "1.el6")
+///     .group(PackageGroup::ScientificApplications)
+///     .summary("LAMMPS molecular dynamics")
+///     .requires_simple("openmpi")
+///     .size_mb(120)
+///     .build();
+/// assert_eq!(pkg.arch(), Arch::X86_64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackageBuilder {
+    pkg: Package,
+}
+
+impl PackageBuilder {
+    /// Start a new x86_64 package with the given name/version/release.
+    pub fn new(name: &str, version: &str, release: &str) -> Self {
+        PackageBuilder {
+            pkg: Package {
+                nevra: Nevra::new(name, Evr::new(0, version, release), Arch::X86_64),
+                summary: String::new(),
+                license: "Open Source".to_string(),
+                group: PackageGroup::Other,
+                size_bytes: 1 << 20,
+                provides: Vec::new(),
+                requires: Vec::new(),
+                conflicts: Vec::new(),
+                obsoletes: Vec::new(),
+                files: Vec::new(),
+                scriptlets: Vec::new(),
+                buildtime: 0,
+            },
+        }
+    }
+
+    pub fn epoch(mut self, epoch: u32) -> Self {
+        self.pkg.nevra.evr.epoch = epoch;
+        self
+    }
+
+    pub fn arch(mut self, arch: Arch) -> Self {
+        self.pkg.nevra.arch = arch;
+        self
+    }
+
+    pub fn summary(mut self, s: impl Into<String>) -> Self {
+        self.pkg.summary = s.into();
+        self
+    }
+
+    pub fn license(mut self, s: impl Into<String>) -> Self {
+        self.pkg.license = s.into();
+        self
+    }
+
+    pub fn group(mut self, g: PackageGroup) -> Self {
+        self.pkg.group = g;
+        self
+    }
+
+    pub fn size_bytes(mut self, n: u64) -> Self {
+        self.pkg.size_bytes = n;
+        self
+    }
+
+    pub fn size_mb(self, n: u64) -> Self {
+        self.size_bytes(n << 20)
+    }
+
+    pub fn buildtime(mut self, t: u64) -> Self {
+        self.pkg.buildtime = t;
+        self
+    }
+
+    pub fn provides(mut self, d: Dependency) -> Self {
+        self.pkg.provides.push(d);
+        self
+    }
+
+    /// Unversioned Provides.
+    pub fn provides_simple(self, name: &str) -> Self {
+        let d = Dependency::any(name);
+        self.provides(d)
+    }
+
+    /// Versioned Provides at this package's own EVR.
+    pub fn provides_versioned(self, name: &str) -> Self {
+        let evr = self.pkg.nevra.evr.clone();
+        self.provides(Dependency::versioned(name, DepFlag::Eq, evr))
+    }
+
+    pub fn requires(mut self, d: Dependency) -> Self {
+        self.pkg.requires.push(d);
+        self
+    }
+
+    /// Unversioned Requires.
+    pub fn requires_simple(self, name: &str) -> Self {
+        let d = Dependency::any(name);
+        self.requires(d)
+    }
+
+    /// Parse-and-add Requires (`"hdf5 >= 1.8"`).
+    pub fn requires_spec(self, spec: &str) -> Self {
+        let d = Dependency::parse(spec);
+        self.requires(d)
+    }
+
+    pub fn conflicts(mut self, d: Dependency) -> Self {
+        self.pkg.conflicts.push(d);
+        self
+    }
+
+    pub fn conflicts_spec(self, spec: &str) -> Self {
+        let d = Dependency::parse(spec);
+        self.conflicts(d)
+    }
+
+    pub fn obsoletes(mut self, d: Dependency) -> Self {
+        self.pkg.obsoletes.push(d);
+        self
+    }
+
+    pub fn file(mut self, path: impl Into<String>) -> Self {
+        self.pkg.files.push(path.into());
+        self
+    }
+
+    pub fn files<I: IntoIterator<Item = S>, S: Into<String>>(mut self, paths: I) -> Self {
+        self.pkg.files.extend(paths.into_iter().map(Into::into));
+        self
+    }
+
+    pub fn scriptlet(mut self, s: Scriptlet) -> Self {
+        self.pkg.scriptlets.push(s);
+        self
+    }
+
+    pub fn build(self) -> Package {
+        self.pkg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scriptlet::ScriptletPhase;
+
+    #[test]
+    fn defaults() {
+        let p = PackageBuilder::new("gcc", "4.4.7", "17.el6").build();
+        assert_eq!(p.nevra.to_string(), "gcc-4.4.7-17.el6.x86_64");
+        assert_eq!(p.size_bytes, 1 << 20);
+        assert!(p.requires.is_empty());
+    }
+
+    #[test]
+    fn full_chain() {
+        let p = PackageBuilder::new("openmpi", "1.6.5", "1.el6")
+            .epoch(1)
+            .arch(Arch::X86_64)
+            .summary("Open MPI")
+            .license("BSD")
+            .group(PackageGroup::CompilersLibraries)
+            .size_mb(40)
+            .provides_versioned("mpi")
+            .requires_spec("librdmacm >= 1.0")
+            .conflicts_spec("mpich2")
+            .file("/usr/lib64/openmpi/bin/mpirun")
+            .scriptlet(Scriptlet::new(ScriptletPhase::Post, "ldconfig"))
+            .build();
+        assert_eq!(p.nevra.evr.epoch, 1);
+        assert_eq!(p.size_bytes, 40 << 20);
+        assert_eq!(p.provides.len(), 1);
+        assert_eq!(p.requires.len(), 1);
+        assert_eq!(p.conflicts.len(), 1);
+        assert_eq!(p.files.len(), 1);
+        assert_eq!(p.scriptlets.len(), 1);
+        assert!(p.satisfies(&Dependency::parse("mpi = 1:1.6.5-1.el6")));
+    }
+
+    #[test]
+    fn provides_versioned_uses_own_evr() {
+        let p = PackageBuilder::new("python27", "2.7.5", "3").provides_versioned("python").build();
+        assert!(p.satisfies(&Dependency::parse("python >= 2.7")));
+        assert!(!p.satisfies(&Dependency::parse("python >= 3.0")));
+    }
+}

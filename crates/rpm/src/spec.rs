@@ -1,0 +1,290 @@
+//! Minimal RPM `.spec` file parsing — the packaging pipeline.
+//!
+//! The XCBC team's day job is *packaging*: "the common software packages
+//! and configurations on XSEDE resources packaged for local clusters."
+//! This module parses the subset of spec syntax needed to turn a recipe
+//! into a [`Package`]: the preamble tags, `%description`, `%files`, and
+//! the scriptlet sections.
+
+use crate::builder::PackageBuilder;
+use crate::dep::Dependency;
+use crate::package::{Package, PackageGroup};
+use crate::scriptlet::{Scriptlet, ScriptletPhase};
+
+/// Errors from spec parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    MissingTag(&'static str),
+    UnknownSection { line_no: usize, section: String },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::MissingTag(t) => write!(f, "spec is missing the {t} tag"),
+            SpecError::UnknownSection { line_no, section } => {
+                write!(f, "line {line_no}: unknown section %{section}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn group_from(s: &str) -> PackageGroup {
+    match s.trim() {
+        "Applications/Engineering" | "Applications/Science" => {
+            PackageGroup::ScientificApplications
+        }
+        "Development/Languages" | "Development/Libraries" | "Development/Tools" => {
+            PackageGroup::CompilersLibraries
+        }
+        "System Environment/Daemons" => PackageGroup::SchedulerResourceManager,
+        _ => PackageGroup::Other,
+    }
+}
+
+/// Parse a spec file into a buildable [`Package`].
+///
+/// ```
+/// use xcbc_rpm::spec::parse_spec;
+/// let spec = "\
+/// Name: gromacs
+/// Version: 4.6.5
+/// Release: 2.el6
+/// Summary: GROMACS molecular dynamics
+/// License: GPLv2
+/// Group: Applications/Science
+/// Requires: openmpi
+/// Requires: fftw >= 3.3
+///
+/// %description
+/// Fast molecular dynamics.
+///
+/// %post
+/// /sbin/ldconfig
+///
+/// %files
+/// /usr/bin/mdrun
+/// /usr/bin/grompp
+/// ";
+/// let pkg = parse_spec(spec).unwrap();
+/// assert_eq!(pkg.name(), "gromacs");
+/// assert_eq!(pkg.requires.len(), 2);
+/// assert_eq!(pkg.files.len(), 2);
+/// ```
+pub fn parse_spec(text: &str) -> Result<Package, SpecError> {
+    #[derive(PartialEq)]
+    enum Section {
+        Preamble,
+        Description,
+        Files,
+        Script(ScriptletPhase),
+        Ignored,
+    }
+
+    let mut name = None;
+    let mut version = None;
+    let mut release = None;
+    let mut summary = String::new();
+    let mut license = String::new();
+    let mut group = PackageGroup::Other;
+    let mut requires: Vec<Dependency> = Vec::new();
+    let mut provides: Vec<Dependency> = Vec::new();
+    let mut conflicts: Vec<Dependency> = Vec::new();
+    let mut obsoletes: Vec<Dependency> = Vec::new();
+    let mut files: Vec<String> = Vec::new();
+    let mut scriptlets: Vec<Scriptlet> = Vec::new();
+
+    let mut section = Section::Preamble;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('%') {
+            let word = rest.split_whitespace().next().unwrap_or("");
+            section = match word {
+                "description" => Section::Description,
+                "files" => Section::Files,
+                "pre" => Section::Script(ScriptletPhase::Pre),
+                "post" => Section::Script(ScriptletPhase::Post),
+                "preun" => Section::Script(ScriptletPhase::PreUn),
+                "postun" => Section::Script(ScriptletPhase::PostUn),
+                "prep" | "build" | "install" | "clean" | "changelog" | "check" => Section::Ignored,
+                other => {
+                    return Err(SpecError::UnknownSection {
+                        line_no: i + 1,
+                        section: other.to_string(),
+                    })
+                }
+            };
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        match &section {
+            Section::Preamble => {
+                if let Some((tag, value)) = line.split_once(':') {
+                    let value = value.trim();
+                    match tag.trim() {
+                        "Name" => name = Some(value.to_string()),
+                        "Version" => version = Some(value.to_string()),
+                        "Release" => release = Some(value.to_string()),
+                        "Summary" => summary = value.to_string(),
+                        "License" => license = value.to_string(),
+                        "Group" => group = group_from(value),
+                        "Requires" => requires.push(Dependency::parse(value)),
+                        "Provides" => provides.push(Dependency::parse(value)),
+                        "Conflicts" => conflicts.push(Dependency::parse(value)),
+                        "Obsoletes" => obsoletes.push(Dependency::parse(value)),
+                        // BuildRequires, Source0, URL, ... parsed but unused
+                        _ => {}
+                    }
+                }
+            }
+            Section::Description => {
+                if summary.is_empty() {
+                    summary = line.to_string();
+                }
+            }
+            Section::Files => files.push(line.to_string()),
+            Section::Script(phase) => {
+                let restarting = line.contains("service") && line.contains("restart");
+                let mut s = Scriptlet::new(*phase, line);
+                if restarting {
+                    s = s.restarting();
+                }
+                scriptlets.push(s);
+            }
+            Section::Ignored => {}
+        }
+    }
+
+    let name = name.ok_or(SpecError::MissingTag("Name"))?;
+    let version = version.ok_or(SpecError::MissingTag("Version"))?;
+    let release = release.ok_or(SpecError::MissingTag("Release"))?;
+
+    let mut b = PackageBuilder::new(&name, &version, &release)
+        .summary(summary)
+        .group(group);
+    if !license.is_empty() {
+        b = b.license(license);
+    }
+    for d in requires {
+        b = b.requires(d);
+    }
+    for d in provides {
+        b = b.provides(d);
+    }
+    for d in conflicts {
+        b = b.conflicts(d);
+    }
+    for d in obsoletes {
+        b = b.obsoletes(d);
+    }
+    b = b.files(files);
+    for s in scriptlets {
+        b = b.scriptlet(s);
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = "\
+# XCBC packaging for torque
+Name: torque
+Version: 4.2.6
+Release: 1.el6
+Summary: Torque resource manager
+License: OpenPBS
+Group: System Environment/Daemons
+Provides: pbs = 4.2.6
+Conflicts: slurm
+Obsoletes: openpbs < 3.0
+
+%description
+Batch system.
+
+%prep
+rm -rf build
+
+%post
+/sbin/chkconfig --add pbs_server
+service pbs_server restart
+
+%postun
+userdel pbs
+
+%files
+/usr/bin/qsub
+/usr/sbin/pbs_server
+";
+
+    #[test]
+    fn full_spec_parses() {
+        let p = parse_spec(SPEC).unwrap();
+        assert_eq!(p.nevra.to_string(), "torque-4.2.6-1.el6.x86_64");
+        assert_eq!(p.license, "OpenPBS");
+        assert_eq!(p.group, PackageGroup::SchedulerResourceManager);
+        assert_eq!(p.provides.len(), 1);
+        assert_eq!(p.conflicts.len(), 1);
+        assert_eq!(p.obsoletes.len(), 1);
+        assert_eq!(p.files, vec!["/usr/bin/qsub", "/usr/sbin/pbs_server"]);
+        assert_eq!(p.scriptlets.len(), 3);
+        assert!(p.scriptlets.iter().any(|s| s.restarts_service));
+        assert_eq!(p.summary, "Torque resource manager");
+    }
+
+    #[test]
+    fn description_fills_missing_summary() {
+        let p = parse_spec(
+            "Name: x\nVersion: 1\nRelease: 1\n%description\nFirst line wins.\nSecond ignored.\n",
+        )
+        .unwrap();
+        assert_eq!(p.summary, "First line wins.");
+    }
+
+    #[test]
+    fn missing_tags_rejected() {
+        assert_eq!(parse_spec("Version: 1\nRelease: 1\n"), Err(SpecError::MissingTag("Name")));
+        assert_eq!(parse_spec("Name: x\nRelease: 1\n"), Err(SpecError::MissingTag("Version")));
+        assert_eq!(parse_spec("Name: x\nVersion: 1\n"), Err(SpecError::MissingTag("Release")));
+    }
+
+    #[test]
+    fn unknown_section_rejected() {
+        let err = parse_spec("Name: x\nVersion: 1\nRelease: 1\n%frobnicate\n").unwrap_err();
+        assert!(matches!(err, SpecError::UnknownSection { line_no: 4, .. }));
+    }
+
+    #[test]
+    fn build_sections_ignored() {
+        let p = parse_spec(
+            "Name: x\nVersion: 1\nRelease: 1\n%build\nmake -j4\n%install\nmake install\n%files\n/usr/bin/x\n",
+        )
+        .unwrap();
+        assert_eq!(p.files.len(), 1);
+    }
+
+    #[test]
+    fn parsed_package_installs() {
+        let p = parse_spec(SPEC).unwrap();
+        let mut db = crate::RpmDb::new();
+        let mut tx = crate::TransactionSet::new();
+        tx.add_install(p);
+        tx.run(&mut db).unwrap();
+        assert!(db.is_installed("torque"));
+        assert!(db.provides(&Dependency::parse("pbs >= 4.0")));
+    }
+
+    #[test]
+    fn versioned_requires_parse() {
+        let p = parse_spec("Name: x\nVersion: 1\nRelease: 1\nRequires: fftw >= 3.3\n").unwrap();
+        assert_eq!(p.requires[0].to_string(), "fftw >= 3.3");
+    }
+}

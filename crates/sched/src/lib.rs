@@ -1,0 +1,44 @@
+//! # xcbc-sched — resource-manager and scheduler substrate
+//!
+//! XCBC ships "Torque, SLURM, sge (choose one)" as job managers and Maui
+//! as the scheduler (Table 1/2). This crate provides a discrete-event
+//! cluster simulator with pluggable scheduling policies (FIFO, EASY
+//! backfill, Maui-style priority + backfill) and thin façades exposing
+//! each resource manager's command vocabulary (`qsub`/`qstat`,
+//! `sbatch`/`squeue`, SGE slot semantics), so the XNIT workflow of
+//! *changing the scheduler on a running cluster* (§8) is exercisable.
+//!
+//! ```
+//! use xcbc_sched::{ClusterSim, JobRequest, SchedPolicy};
+//!
+//! let mut sim = ClusterSim::new(6, 2, SchedPolicy::Fifo); // a LittleFe
+//! sim.submit_at(0.0, JobRequest::new("mpi-hello", 6, 2, 100.0, 90.0));
+//! sim.run_to_completion();
+//! assert_eq!(sim.completed().len(), 1);
+//! ```
+
+pub mod accounting;
+pub mod arrays;
+pub mod condor;
+pub mod job;
+pub mod metrics;
+pub mod policy;
+pub mod rm;
+pub mod sge;
+pub mod sim;
+pub mod slurm;
+pub mod torque;
+pub mod workload;
+
+pub use accounting::{usage_report, UsageReport, UserUsage};
+pub use arrays::{submit_array, JobArray};
+pub use condor::{CondorJob, CondorPool, CondorState};
+pub use job::{Job, JobId, JobRequest, JobState};
+pub use metrics::SimMetrics;
+pub use policy::SchedPolicy;
+pub use rm::ResourceManager;
+pub use sge::SgeCell;
+pub use sim::{ClusterSim, Reservation};
+pub use slurm::Slurm;
+pub use torque::TorqueServer;
+pub use workload::{WorkloadGenerator, WorkloadProfile};

@@ -1,0 +1,108 @@
+//! Workload-level metrics over a finished simulation.
+
+use crate::sim::ClusterSim;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimMetrics {
+    pub policy: String,
+    pub jobs_finished: usize,
+    pub jobs_timed_out: usize,
+    pub makespan_s: f64,
+    /// Core-seconds used / (total cores × makespan).
+    pub utilization: f64,
+    pub mean_wait_s: f64,
+    pub max_wait_s: f64,
+    pub mean_bounded_slowdown: f64,
+}
+
+impl SimMetrics {
+    /// Compute metrics from a (fully or partially) run simulator.
+    pub fn from_sim(sim: &ClusterSim) -> Self {
+        let finished: Vec<_> = sim.completed();
+        let waits: Vec<f64> = finished.iter().filter_map(|j| j.wait_s()).collect();
+        let slowdowns: Vec<f64> = finished.iter().filter_map(|j| j.bounded_slowdown()).collect();
+        let makespan = sim.now();
+        let timed_out = finished
+            .iter()
+            .filter(|j| matches!(j.state, crate::job::JobState::TimedOut { .. }))
+            .count();
+        SimMetrics {
+            policy: sim.policy().label().to_string(),
+            jobs_finished: finished.len(),
+            jobs_timed_out: timed_out,
+            makespan_s: makespan,
+            utilization: if makespan > 0.0 {
+                sim.used_core_seconds() / (sim.total_cores() as f64 * makespan)
+            } else {
+                0.0
+            },
+            mean_wait_s: mean(&waits),
+            max_wait_s: waits.iter().copied().fold(0.0, f64::max),
+            mean_bounded_slowdown: mean(&slowdowns),
+        }
+    }
+
+    /// One-line rendering for bench tables.
+    pub fn render_row(&self) -> String {
+        format!(
+            "{:<26} jobs={:<4} util={:>5.1}% wait(mean)={:>8.1}s wait(max)={:>8.1}s slowdown={:>6.2}",
+            self.policy,
+            self.jobs_finished,
+            self.utilization * 100.0,
+            self.mean_wait_s,
+            self.max_wait_s,
+            self.mean_bounded_slowdown
+        )
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobRequest;
+    use crate::policy::SchedPolicy;
+
+    #[test]
+    fn metrics_of_simple_run() {
+        let mut sim = ClusterSim::new(2, 2, SchedPolicy::Fifo);
+        sim.submit_at(0.0, JobRequest::new("a", 2, 2, 100.0, 100.0));
+        sim.submit_at(0.0, JobRequest::new("b", 2, 2, 100.0, 100.0));
+        sim.run_to_completion();
+        let m = SimMetrics::from_sim(&sim);
+        assert_eq!(m.jobs_finished, 2);
+        assert_eq!(m.jobs_timed_out, 0);
+        assert_eq!(m.makespan_s, 200.0);
+        assert!((m.utilization - 1.0).abs() < 1e-9, "back-to-back full-machine jobs: {m:?}");
+        assert_eq!(m.mean_wait_s, 50.0);
+        assert_eq!(m.max_wait_s, 100.0);
+        assert!(m.render_row().contains("FIFO"));
+    }
+
+    #[test]
+    fn empty_sim_metrics() {
+        let sim = ClusterSim::new(2, 2, SchedPolicy::Fifo);
+        let m = SimMetrics::from_sim(&sim);
+        assert_eq!(m.jobs_finished, 0);
+        assert_eq!(m.utilization, 0.0);
+        assert_eq!(m.mean_wait_s, 0.0);
+    }
+
+    #[test]
+    fn timeout_counted() {
+        let mut sim = ClusterSim::new(1, 1, SchedPolicy::Fifo);
+        sim.submit_at(0.0, JobRequest::new("over", 1, 1, 10.0, 100.0));
+        sim.run_to_completion();
+        let m = SimMetrics::from_sim(&sim);
+        assert_eq!(m.jobs_timed_out, 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! Scheduling policies.
+//!
+//! * [`SchedPolicy::Fifo`] — strict arrival order; the head of the queue
+//!   blocks everything behind it (stock Torque without a scheduler).
+//! * [`SchedPolicy::EasyBackfill`] — EASY backfill: the head job gets a
+//!   reservation at the earliest time it can run; later jobs may start
+//!   now if their walltime ends before that reservation (Maui's and
+//!   SLURM's default behavior).
+//! * [`SchedPolicy::MauiPriority`] — Maui-style priority ordering
+//!   (waiting time minus a fairshare penalty on heavy users) with EASY
+//!   backfill on top.
+
+use serde::{Deserialize, Serialize};
+
+/// The scheduling policy a simulator runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SchedPolicy {
+    /// First-in-first-out, head-of-line blocking.
+    Fifo,
+    /// FIFO order with EASY backfill.
+    EasyBackfill,
+    /// Priority = wait_seconds × `queue_weight` − user_used_core_seconds ×
+    /// `fairshare_weight`, with EASY backfill.
+    MauiPriority { queue_weight: f64, fairshare_weight: f64 },
+}
+
+impl SchedPolicy {
+    /// A Maui configuration close to the shipped default.
+    pub fn maui_default() -> Self {
+        SchedPolicy::MauiPriority { queue_weight: 1.0, fairshare_weight: 1e-4 }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedPolicy::Fifo => "FIFO",
+            SchedPolicy::EasyBackfill => "EASY backfill",
+            SchedPolicy::MauiPriority { .. } => "Maui priority + backfill",
+        }
+    }
+
+    /// Does this policy backfill?
+    pub fn backfills(&self) -> bool {
+        !matches!(self, SchedPolicy::Fifo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(SchedPolicy::Fifo.label(), "FIFO");
+        assert!(SchedPolicy::maui_default().label().contains("Maui"));
+    }
+
+    #[test]
+    fn backfill_flags() {
+        assert!(!SchedPolicy::Fifo.backfills());
+        assert!(SchedPolicy::EasyBackfill.backfills());
+        assert!(SchedPolicy::maui_default().backfills());
+    }
+}

@@ -1,0 +1,61 @@
+//! The resource-manager abstraction.
+//!
+//! XCBC's Table 1 says "Torque, SLURM, sge (choose one)". All three
+//! façades implement [`ResourceManager`], so the deployment code in
+//! `xcbc-core` can install any of them and the curriculum can teach the
+//! command differences while the underlying simulation stays the same.
+
+use crate::job::{JobId, JobRequest};
+use crate::metrics::SimMetrics;
+use crate::sim::ClusterSim;
+
+/// A batch system facade over the simulator.
+pub trait ResourceManager {
+    /// The package name XCBC installs for this RM (e.g. "torque").
+    fn package_name(&self) -> &'static str;
+
+    /// The submit command users type (`qsub` / `sbatch`).
+    fn submit_command(&self) -> &'static str;
+
+    /// Submit a job; returns the RM's textual job id.
+    fn submit(&mut self, req: JobRequest) -> String;
+
+    /// Cancel by textual id; true if a queued job was removed.
+    fn cancel(&mut self, id: &str) -> bool;
+
+    /// Render the queue status listing (`qstat` / `squeue`).
+    fn status(&self) -> String;
+
+    /// Advance simulated time.
+    fn advance_to(&mut self, t: f64);
+
+    /// Drain all events.
+    fn drain(&mut self);
+
+    /// Access the underlying simulator.
+    fn sim(&self) -> &ClusterSim;
+
+    /// Metrics snapshot.
+    fn metrics(&self) -> SimMetrics {
+        SimMetrics::from_sim(self.sim())
+    }
+}
+
+/// Parse the numeric part out of an RM job id like `"42.littlefe"` or
+/// `"42"`.
+pub(crate) fn parse_numeric_id(id: &str) -> Option<JobId> {
+    id.split('.').next()?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_parsing() {
+        assert_eq!(parse_numeric_id("42.littlefe"), Some(42));
+        assert_eq!(parse_numeric_id("17"), Some(17));
+        assert_eq!(parse_numeric_id("x.y"), None);
+        assert_eq!(parse_numeric_id(""), None);
+    }
+}

@@ -1,0 +1,152 @@
+//! Sun Grid Engine façade (the third "choose one" option).
+//!
+//! SGE thinks in *slots* rather than nodes×ppn: a parallel-environment
+//! request `-pe mpi N` asks for N slots anywhere. We map slot requests
+//! onto the node-granular simulator by packing slots one per core.
+
+use crate::job::{JobRequest, JobState};
+use crate::policy::SchedPolicy;
+use crate::rm::{parse_numeric_id, ResourceManager};
+use crate::sim::ClusterSim;
+
+/// An SGE cell.
+#[derive(Debug)]
+pub struct SgeCell {
+    sim: ClusterSim,
+    cores_per_node: u32,
+    nodes: usize,
+}
+
+impl SgeCell {
+    pub fn new(nodes: usize, cores_per_node: u32) -> Self {
+        SgeCell {
+            sim: ClusterSim::new(nodes, cores_per_node, SchedPolicy::EasyBackfill),
+            cores_per_node,
+            nodes,
+        }
+    }
+
+    /// Translate a slot count into a nodes×ppn shape: fill whole nodes,
+    /// then round up (SGE's `$fill_up` allocation rule). Returns `None`
+    /// when the cell cannot ever satisfy the request.
+    pub fn shape_for_slots(&self, slots: u32) -> Option<(u32, u32)> {
+        if slots == 0 || slots > self.cores_per_node * self.nodes as u32 {
+            return None;
+        }
+        if slots <= self.cores_per_node {
+            Some((1, slots))
+        } else {
+            // whole nodes; remainder rounds the node count up with full ppn
+            let nodes = slots.div_ceil(self.cores_per_node);
+            Some((nodes, self.cores_per_node))
+        }
+    }
+
+    /// `qsub -pe mpi <slots>`. Returns `Err` for impossible requests.
+    pub fn qsub_pe(&mut self, name: &str, slots: u32, walltime_s: f64, runtime_s: f64) -> Result<String, String> {
+        let (nodes, ppn) = self
+            .shape_for_slots(slots)
+            .ok_or_else(|| format!("cannot satisfy -pe mpi {slots} on this cell"))?;
+        let id = self.sim.submit(JobRequest::new(name, nodes, ppn, walltime_s, runtime_s));
+        Ok(id.to_string())
+    }
+
+    /// `qstat` (SGE flavor).
+    pub fn qstat(&self) -> String {
+        let mut out = String::from("job-ID  name      state\n");
+        for j in self.sim.jobs() {
+            let st = match j.state {
+                JobState::Queued => "qw",
+                JobState::Running { .. } => "r",
+                JobState::Completed { .. } => "z",
+                JobState::TimedOut { .. } => "Eqw",
+                JobState::Cancelled => "dz",
+            };
+            out.push_str(&format!("{:<7} {:<9} {}\n", j.id, j.request.name, st));
+        }
+        out
+    }
+}
+
+impl ResourceManager for SgeCell {
+    fn package_name(&self) -> &'static str {
+        "gridengine"
+    }
+
+    fn submit_command(&self) -> &'static str {
+        "qsub"
+    }
+
+    fn submit(&mut self, req: JobRequest) -> String {
+        self.sim.submit(req).to_string()
+    }
+
+    fn cancel(&mut self, id: &str) -> bool {
+        parse_numeric_id(id).map(|n| self.sim.cancel(n)).unwrap_or(false)
+    }
+
+    fn status(&self) -> String {
+        self.qstat()
+    }
+
+    fn advance_to(&mut self, t: f64) {
+        self.sim.run_until(t);
+    }
+
+    fn drain(&mut self) {
+        self.sim.run_to_completion();
+    }
+
+    fn sim(&self) -> &ClusterSim {
+        &self.sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_shapes() {
+        let cell = SgeCell::new(6, 2); // a LittleFe
+        assert_eq!(cell.shape_for_slots(1), Some((1, 1)));
+        assert_eq!(cell.shape_for_slots(2), Some((1, 2)));
+        assert_eq!(cell.shape_for_slots(3), Some((2, 2)));
+        assert_eq!(cell.shape_for_slots(12), Some((6, 2)));
+        assert_eq!(cell.shape_for_slots(13), None);
+        assert_eq!(cell.shape_for_slots(0), None);
+    }
+
+    #[test]
+    fn pe_submission_runs() {
+        let mut cell = SgeCell::new(6, 2);
+        let id = cell.qsub_pe("mpi-job", 12, 100.0, 80.0).unwrap();
+        cell.drain();
+        assert_eq!(cell.metrics().jobs_finished, 1);
+        assert!(!id.is_empty());
+    }
+
+    #[test]
+    fn impossible_pe_rejected() {
+        let mut cell = SgeCell::new(2, 2);
+        assert!(cell.qsub_pe("too-big", 5, 10.0, 5.0).is_err());
+    }
+
+    #[test]
+    fn qstat_sge_states() {
+        let mut cell = SgeCell::new(1, 1);
+        cell.qsub_pe("running", 1, 100.0, 50.0).unwrap();
+        cell.qsub_pe("waiting", 1, 100.0, 50.0).unwrap();
+        cell.advance_to(1.0);
+        let q = cell.qstat();
+        assert!(q.contains("running") && q.contains(" r"));
+        assert!(q.contains("waiting") && q.contains("qw"));
+    }
+
+    #[test]
+    fn facade_identity() {
+        let cell = SgeCell::new(1, 1);
+        assert_eq!(cell.package_name(), "gridengine");
+        assert_eq!(cell.submit_command(), "qsub");
+    }
+}

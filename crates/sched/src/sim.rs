@@ -1,0 +1,703 @@
+//! The discrete-event cluster simulator.
+//!
+//! Time advances through a binary-heap event queue (submits and job
+//! ends); at every event the active [`SchedPolicy`] is given a chance to
+//! start queued jobs. Placement is node-granular: a job asking for
+//! `nodes × ppn` needs `nodes` distinct nodes with `ppn` free cores each.
+
+use crate::job::{Job, JobId, JobRequest, JobState};
+use crate::policy::SchedPolicy;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeMap, HashMap};
+
+/// f64 event key with a total order (simulation times are never NaN).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TimeKey(f64);
+
+impl Eq for TimeKey {}
+
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// Ends sort before submits at the same instant so freed cores are
+    /// visible to arriving jobs.
+    End(JobId),
+    Submit(JobId),
+    /// Scheduler wake-up (reservation boundaries).
+    Wake,
+}
+
+/// A maintenance/advance reservation: the listed nodes accept no job
+/// whose execution window would overlap `[start_s, end_s)` (Maui's
+/// standing-reservation semantics for a maintenance window).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reservation {
+    pub label: String,
+    pub nodes: Vec<usize>,
+    pub start_s: f64,
+    pub end_s: f64,
+}
+
+impl Reservation {
+    fn blocks(&self, node: usize, job_start: f64, job_end: f64) -> bool {
+        self.nodes.contains(&node) && job_start < self.end_s && job_end > self.start_s
+    }
+}
+
+/// The simulator.
+#[derive(Debug)]
+pub struct ClusterSim {
+    /// Free cores per node.
+    free: Vec<u32>,
+    /// Cores per node (uniform).
+    cores_per_node: u32,
+    policy: SchedPolicy,
+    time_s: f64,
+    next_id: JobId,
+    events: BinaryHeap<Reverse<(TimeKey, u64, EventKind)>>,
+    seq: u64,
+    jobs: BTreeMap<JobId, Job>,
+    /// Queued job ids in arrival order.
+    queue: Vec<JobId>,
+    /// Per-user consumed core-seconds (fairshare input).
+    usage: HashMap<String, f64>,
+    /// Core-seconds actually executed (utilization numerator).
+    used_core_seconds: f64,
+    /// Advance reservations (maintenance windows).
+    reservations: Vec<Reservation>,
+    /// Held job ids (`qhold`): queued but not eligible to start.
+    held: std::collections::HashSet<JobId>,
+}
+
+impl ClusterSim {
+    /// A cluster of `nodes` nodes with `cores_per_node` cores each.
+    pub fn new(nodes: usize, cores_per_node: u32, policy: SchedPolicy) -> Self {
+        assert!(nodes > 0 && cores_per_node > 0);
+        ClusterSim {
+            free: vec![cores_per_node; nodes],
+            cores_per_node,
+            policy,
+            time_s: 0.0,
+            next_id: 0,
+            events: BinaryHeap::new(),
+            seq: 0,
+            jobs: BTreeMap::new(),
+            queue: Vec::new(),
+            usage: HashMap::new(),
+            used_core_seconds: 0.0,
+            reservations: Vec::new(),
+            held: std::collections::HashSet::new(),
+        }
+    }
+
+    /// `qhold`: keep a queued job from starting. Returns false for
+    /// running/finished/unknown jobs.
+    pub fn hold(&mut self, id: JobId) -> bool {
+        match self.jobs.get(&id) {
+            Some(j) if j.state == JobState::Queued => {
+                self.held.insert(id);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// `qrls`: release a held job (it becomes eligible immediately).
+    pub fn release(&mut self, id: JobId) -> bool {
+        let released = self.held.remove(&id);
+        if released {
+            self.try_start_jobs();
+        }
+        released
+    }
+
+    /// Is the job currently held?
+    pub fn is_held(&self, id: JobId) -> bool {
+        self.held.contains(&id)
+    }
+
+    /// Add a maintenance/advance reservation over node indices
+    /// `nodes` for `[start_s, end_s)`. Jobs whose walltime window would
+    /// overlap the reservation cannot be placed on those nodes.
+    pub fn add_reservation(
+        &mut self,
+        label: &str,
+        nodes: Vec<usize>,
+        start_s: f64,
+        end_s: f64,
+    ) {
+        assert!(start_s < end_s, "empty reservation window");
+        assert!(nodes.iter().all(|&n| n < self.free.len()), "reserved node out of range");
+        self.reservations.push(Reservation {
+            label: label.to_string(),
+            nodes,
+            start_s,
+            end_s,
+        });
+        // wake the scheduler when the window closes so blocked jobs start
+        if end_s >= self.time_s {
+            self.push_event(end_s, EventKind::Wake);
+        }
+    }
+
+    pub fn reservations(&self) -> &[Reservation] {
+        &self.reservations
+    }
+
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    /// Swap the scheduling policy on a live cluster (the §8 "change the
+    /// schedulers" workflow). Queued jobs are re-evaluated immediately.
+    pub fn set_policy(&mut self, policy: SchedPolicy) {
+        self.policy = policy;
+        self.try_start_jobs();
+    }
+
+    pub fn now(&self) -> f64 {
+        self.time_s
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.free.len()
+    }
+
+    pub fn total_cores(&self) -> u32 {
+        self.cores_per_node * self.free.len() as u32
+    }
+
+    fn push_event(&mut self, t: f64, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Reverse((TimeKey(t), self.seq, kind)));
+    }
+
+    /// Schedule a submission at absolute time `t` (>= now).
+    pub fn submit_at(&mut self, t: f64, request: JobRequest) -> JobId {
+        assert!(t >= self.time_s, "cannot submit in the past");
+        assert!(
+            request.ppn <= self.cores_per_node,
+            "job {} asks ppn={} but nodes have {} cores",
+            request.name,
+            request.ppn,
+            self.cores_per_node
+        );
+        assert!(
+            request.nodes as usize <= self.free.len(),
+            "job {} asks {} nodes but cluster has {}",
+            request.name,
+            request.nodes,
+            self.free.len()
+        );
+        self.next_id += 1;
+        let id = self.next_id;
+        self.jobs.insert(
+            id,
+            Job { id, request, submit_s: t, state: JobState::Queued, placement: vec![] },
+        );
+        self.push_event(t, EventKind::Submit(id));
+        id
+    }
+
+    /// Submit now.
+    pub fn submit(&mut self, request: JobRequest) -> JobId {
+        self.submit_at(self.time_s, request)
+    }
+
+    /// Cancel a queued job (`qdel`/`scancel`). Running jobs keep running.
+    pub fn cancel(&mut self, id: JobId) -> bool {
+        if let Some(job) = self.jobs.get_mut(&id) {
+            if job.state == JobState::Queued {
+                job.state = JobState::Cancelled;
+                self.queue.retain(|&q| q != id);
+                self.held.remove(&id);
+                return true;
+            }
+        }
+        false
+    }
+
+    pub fn job(&self, id: JobId) -> Option<&Job> {
+        self.jobs.get(&id)
+    }
+
+    pub fn jobs(&self) -> impl Iterator<Item = &Job> {
+        self.jobs.values()
+    }
+
+    pub fn queued(&self) -> Vec<&Job> {
+        self.queue.iter().map(|id| &self.jobs[id]).collect()
+    }
+
+    pub fn running(&self) -> Vec<&Job> {
+        self.jobs.values().filter(|j| matches!(j.state, JobState::Running { .. })).collect()
+    }
+
+    pub fn completed(&self) -> Vec<&Job> {
+        self.jobs.values().filter(|j| j.is_finished()).collect()
+    }
+
+    pub fn used_core_seconds(&self) -> f64 {
+        self.used_core_seconds
+    }
+
+    /// Per-user core-second usage so far.
+    pub fn user_usage(&self, user: &str) -> f64 {
+        self.usage.get(user).copied().unwrap_or(0.0)
+    }
+
+    // ----- placement -----
+
+    /// Find a placement for `nodes × ppn` in the given free vector.
+    fn find_placement(free: &[u32], nodes: u32, ppn: u32) -> Option<Vec<usize>> {
+        let mut picked = Vec::with_capacity(nodes as usize);
+        for (i, &f) in free.iter().enumerate() {
+            if f >= ppn {
+                picked.push(i);
+                if picked.len() == nodes as usize {
+                    return Some(picked);
+                }
+            }
+        }
+        None
+    }
+
+    fn fits_now(&self, req: &JobRequest) -> Option<Vec<usize>> {
+        let job_start = self.time_s;
+        let job_end = self.time_s + req.walltime_s;
+        let mut picked = Vec::with_capacity(req.nodes as usize);
+        for (i, &f) in self.free.iter().enumerate() {
+            let reserved = self
+                .reservations
+                .iter()
+                .any(|r| r.blocks(i, job_start, job_end));
+            if f >= req.ppn && !reserved {
+                picked.push(i);
+                if picked.len() == req.nodes as usize {
+                    return Some(picked);
+                }
+            }
+        }
+        None
+    }
+
+    fn start_job(&mut self, id: JobId) {
+        let placement = {
+            let job = &self.jobs[&id];
+            self.fits_now(&job.request).expect("caller checked fit")
+        };
+        let job = self.jobs.get_mut(&id).expect("job exists");
+        for &n in &placement {
+            self.free[n] -= job.request.ppn;
+        }
+        job.placement = placement;
+        job.state = JobState::Running { start_s: self.time_s };
+        let end = self.time_s + job.request.effective_runtime();
+        self.queue.retain(|&q| q != id);
+        self.push_event(end, EventKind::End(id));
+    }
+
+    fn finish_job(&mut self, id: JobId) {
+        let job = self.jobs.get_mut(&id).expect("job exists");
+        if let JobState::Running { start_s } = job.state {
+            let timed_out = job.request.runtime_s > job.request.walltime_s;
+            job.state = if timed_out {
+                JobState::TimedOut { start_s, end_s: self.time_s }
+            } else {
+                JobState::Completed { start_s, end_s: self.time_s }
+            };
+            let core_secs = job.request.cores() as f64 * (self.time_s - start_s);
+            let (ppn, placement, user) =
+                (job.request.ppn, job.placement.clone(), job.request.user.clone());
+            self.used_core_seconds += core_secs;
+            *self.usage.entry(user).or_insert(0.0) += core_secs;
+            for n in placement {
+                self.free[n] += ppn;
+            }
+        }
+    }
+
+    // ----- scheduling -----
+
+    /// Queue order the policy wants.
+    fn policy_order(&self) -> Vec<JobId> {
+        let eligible: Vec<JobId> =
+            self.queue.iter().copied().filter(|id| !self.held.contains(id)).collect();
+        match self.policy {
+            SchedPolicy::Fifo | SchedPolicy::EasyBackfill => eligible,
+            SchedPolicy::MauiPriority { queue_weight, fairshare_weight } => {
+                let mut ids = eligible;
+                ids.sort_by(|&a, &b| {
+                    let pa = self.maui_priority(a, queue_weight, fairshare_weight);
+                    let pb = self.maui_priority(b, queue_weight, fairshare_weight);
+                    pb.total_cmp(&pa).then(a.cmp(&b))
+                });
+                ids
+            }
+        }
+    }
+
+    fn maui_priority(&self, id: JobId, qw: f64, fw: f64) -> f64 {
+        let job = &self.jobs[&id];
+        let wait = self.time_s - job.submit_s;
+        wait * qw - self.user_usage(&job.request.user) * fw
+    }
+
+    /// Earliest time the head job could start, per the running jobs'
+    /// *walltime-based* planned ends (the scheduler cannot see actual
+    /// runtimes).
+    fn shadow_time(&self, head: &JobRequest) -> f64 {
+        let mut free = self.free.clone();
+        // (planned_end, ppn, placement)
+        let mut releases: Vec<(f64, u32, Vec<usize>)> = self
+            .jobs
+            .values()
+            .filter_map(|j| match j.state {
+                JobState::Running { start_s } => {
+                    Some((start_s + j.request.walltime_s, j.request.ppn, j.placement.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        releases.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (t, ppn, placement) in releases {
+            for n in placement {
+                free[n] += ppn;
+            }
+            if Self::find_placement(&free, head.nodes, head.ppn).is_some() {
+                return t;
+            }
+        }
+        f64::INFINITY // should not happen if the job fits the machine
+    }
+
+    /// Start every job the policy allows right now.
+    fn try_start_jobs(&mut self) {
+        loop {
+            let order = self.policy_order();
+            if order.is_empty() {
+                return;
+            }
+            // Start the head if it fits (then recompute ordering, since
+            // placement and fairshare state changed).
+            let head = order[0];
+            if self.fits_now(&self.jobs[&head].request).is_some() {
+                self.start_job(head);
+                continue;
+            }
+
+            // Head blocked: backfill if the policy allows.
+            if !self.policy.backfills() {
+                return;
+            }
+            let head_req = self.jobs[&order[0]].request.clone();
+            let shadow = self.shadow_time(&head_req);
+            let mut backfilled = false;
+            for &id in order.iter().skip(1) {
+                let req = self.jobs[&id].request.clone();
+                let fits = self.fits_now(&req).is_some();
+                let ends_before_shadow = self.time_s + req.walltime_s <= shadow;
+                if fits && ends_before_shadow {
+                    self.start_job(id);
+                    backfilled = true;
+                    break;
+                }
+            }
+            if !backfilled {
+                return;
+            }
+        }
+    }
+
+    // ----- event loop -----
+
+    /// Process events up to and including time `t`.
+    pub fn run_until(&mut self, t: f64) {
+        while let Some(Reverse((TimeKey(et), _, _))) = self.events.peek() {
+            if *et > t {
+                break;
+            }
+            let Reverse((TimeKey(et), _, kind)) = self.events.pop().expect("peeked");
+            self.time_s = et;
+            match kind {
+                EventKind::Submit(id) => {
+                    if self.jobs[&id].state == JobState::Queued {
+                        self.queue.push(id);
+                    }
+                }
+                EventKind::End(id) => self.finish_job(id),
+                EventKind::Wake => {}
+            }
+            self.try_start_jobs();
+        }
+        self.time_s = self.time_s.max(t);
+    }
+
+    /// Run until the event queue drains.
+    pub fn run_to_completion(&mut self) {
+        while let Some(Reverse((TimeKey(et), _, _))) = self.events.peek().cloned() {
+            self.run_until(et);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(name: &str, nodes: u32, ppn: u32, wall: f64, run: f64) -> JobRequest {
+        JobRequest::new(name, nodes, ppn, wall, run)
+    }
+
+    #[test]
+    fn single_job_runs_immediately() {
+        let mut sim = ClusterSim::new(6, 2, SchedPolicy::Fifo);
+        let id = sim.submit_at(0.0, req("hello", 6, 2, 100.0, 80.0));
+        sim.run_to_completion();
+        let j = sim.job(id).unwrap();
+        assert_eq!(j.wait_s(), Some(0.0));
+        assert!(matches!(j.state, JobState::Completed { end_s, .. } if end_s == 80.0));
+        assert_eq!(sim.used_core_seconds(), 12.0 * 80.0);
+    }
+
+    #[test]
+    fn overrunning_job_killed_at_walltime() {
+        let mut sim = ClusterSim::new(1, 2, SchedPolicy::Fifo);
+        let id = sim.submit_at(0.0, req("runaway", 1, 1, 50.0, 500.0));
+        sim.run_to_completion();
+        assert!(matches!(sim.job(id).unwrap().state, JobState::TimedOut { end_s, .. } if end_s == 50.0));
+    }
+
+    #[test]
+    fn fifo_serializes_full_machine_jobs() {
+        let mut sim = ClusterSim::new(2, 2, SchedPolicy::Fifo);
+        let a = sim.submit_at(0.0, req("a", 2, 2, 100.0, 100.0));
+        let b = sim.submit_at(1.0, req("b", 2, 2, 100.0, 100.0));
+        sim.run_to_completion();
+        assert_eq!(sim.job(a).unwrap().wait_s(), Some(0.0));
+        assert_eq!(sim.job(b).unwrap().wait_s(), Some(99.0));
+    }
+
+    #[test]
+    fn fifo_head_of_line_blocks_small_job() {
+        let mut sim = ClusterSim::new(2, 2, SchedPolicy::Fifo);
+        sim.submit_at(0.0, req("wide-running", 2, 1, 100.0, 100.0)); // leaves 1 core/node
+        sim.submit_at(1.0, req("wide-blocked", 2, 2, 100.0, 100.0)); // must wait
+        let tiny = sim.submit_at(2.0, req("tiny", 1, 1, 10.0, 10.0)); // would fit now!
+        sim.run_to_completion();
+        // FIFO: tiny waits behind the blocked head
+        assert!(sim.job(tiny).unwrap().wait_s().unwrap() >= 98.0);
+    }
+
+    #[test]
+    fn backfill_lets_small_job_jump() {
+        let mut sim = ClusterSim::new(2, 2, SchedPolicy::EasyBackfill);
+        sim.submit_at(0.0, req("wide-running", 2, 1, 100.0, 100.0));
+        sim.submit_at(1.0, req("wide-blocked", 2, 2, 100.0, 100.0));
+        let tiny = sim.submit_at(2.0, req("tiny", 1, 1, 10.0, 10.0));
+        sim.run_to_completion();
+        // EASY: tiny ends (t=12) before the head's shadow time (t=100)
+        assert_eq!(sim.job(tiny).unwrap().wait_s(), Some(0.0));
+    }
+
+    #[test]
+    fn backfill_never_delays_head_job() {
+        let mut sim = ClusterSim::new(2, 2, SchedPolicy::EasyBackfill);
+        sim.submit_at(0.0, req("running", 2, 1, 100.0, 100.0));
+        let head = sim.submit_at(1.0, req("head", 2, 2, 100.0, 100.0));
+        // this one would fit now but its walltime crosses the shadow time
+        let long = sim.submit_at(2.0, req("long", 1, 1, 500.0, 500.0));
+        sim.run_to_completion();
+        let head_start = match sim.job(head).unwrap().state {
+            JobState::Completed { start_s, .. } => start_s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(head_start, 100.0, "head starts exactly at the shadow time");
+        let long_start = sim.job(long).unwrap().wait_s().unwrap() + 2.0;
+        assert!(long_start >= 100.0, "long job must not backfill: started {long_start}");
+    }
+
+    #[test]
+    fn maui_fairshare_penalizes_heavy_user() {
+        let policy = SchedPolicy::MauiPriority { queue_weight: 1.0, fairshare_weight: 1.0 };
+        let mut sim = ClusterSim::new(1, 2, policy);
+        // hog builds up usage
+        sim.submit_at(0.0, req("hog1", 1, 2, 100.0, 100.0).by("hog"));
+        sim.run_until(50.0);
+        // both queue while hog1 runs; at t=100 the fair user's job should
+        // win despite submitting later
+        sim.submit_at(50.0, req("hog2", 1, 2, 100.0, 100.0).by("hog"));
+        let fair = sim.submit_at(60.0, req("fair1", 1, 2, 100.0, 100.0).by("fair"));
+        sim.run_to_completion();
+        assert_eq!(sim.job(fair).unwrap().wait_s(), Some(40.0), "fair user's job runs first");
+    }
+
+    #[test]
+    fn policy_swap_on_live_cluster() {
+        let mut sim = ClusterSim::new(2, 2, SchedPolicy::Fifo);
+        sim.submit_at(0.0, req("running", 2, 1, 100.0, 100.0));
+        sim.submit_at(1.0, req("blocked-head", 2, 2, 100.0, 100.0));
+        let tiny = sim.submit_at(2.0, req("tiny", 1, 1, 10.0, 10.0));
+        sim.run_until(5.0);
+        assert!(sim.job(tiny).unwrap().wait_s().is_none(), "FIFO keeps tiny queued");
+        // the XNIT scheduler swap: torque/fifo -> maui backfill
+        sim.set_policy(SchedPolicy::EasyBackfill);
+        sim.run_until(6.0);
+        assert!(sim.job(tiny).unwrap().wait_s().is_some(), "backfill starts tiny immediately");
+    }
+
+    #[test]
+    fn cancel_queued_job() {
+        let mut sim = ClusterSim::new(1, 1, SchedPolicy::Fifo);
+        sim.submit_at(0.0, req("running", 1, 1, 100.0, 100.0));
+        let victim = sim.submit_at(1.0, req("victim", 1, 1, 100.0, 100.0));
+        sim.run_until(2.0);
+        assert!(sim.cancel(victim));
+        assert!(!sim.cancel(victim), "double cancel is a no-op");
+        sim.run_to_completion();
+        assert_eq!(sim.job(victim).unwrap().state, JobState::Cancelled);
+    }
+
+    #[test]
+    #[should_panic(expected = "ppn")]
+    fn oversized_ppn_rejected() {
+        let mut sim = ClusterSim::new(2, 2, SchedPolicy::Fifo);
+        sim.submit_at(0.0, req("fat", 1, 4, 10.0, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "nodes")]
+    fn oversized_node_count_rejected() {
+        let mut sim = ClusterSim::new(2, 2, SchedPolicy::Fifo);
+        sim.submit_at(0.0, req("wide", 3, 1, 10.0, 10.0));
+    }
+
+    #[test]
+    fn reservation_blocks_overlapping_jobs() {
+        let mut sim = ClusterSim::new(2, 2, SchedPolicy::EasyBackfill);
+        // maintenance window on both nodes from t=100 to t=200
+        sim.add_reservation("maintenance", vec![0, 1], 100.0, 200.0);
+        // a job whose walltime crosses into the window cannot start now
+        let long = sim.submit_at(0.0, req("long", 2, 2, 150.0, 150.0));
+        // a short job fits before the window
+        let short = sim.submit_at(0.0, req("short", 2, 2, 90.0, 80.0));
+        sim.run_to_completion();
+        let short_start = sim.job(short).unwrap().wait_s().unwrap();
+        assert_eq!(short_start, 0.0, "short job runs before the window");
+        let long_start = sim.job(long).unwrap().wait_s().unwrap();
+        assert!(long_start >= 200.0, "long job must wait out the window: {long_start}");
+    }
+
+    #[test]
+    fn reservation_on_subset_leaves_other_nodes_usable() {
+        let mut sim = ClusterSim::new(2, 2, SchedPolicy::EasyBackfill);
+        sim.add_reservation("swap node 1 fan", vec![1], 0.0, 1000.0);
+        let j = sim.submit_at(0.0, req("fits-on-node0", 1, 2, 100.0, 50.0));
+        sim.run_to_completion();
+        assert_eq!(sim.job(j).unwrap().wait_s(), Some(0.0));
+        assert_eq!(sim.job(j).unwrap().placement, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty reservation")]
+    fn inverted_reservation_window_rejected() {
+        let mut sim = ClusterSim::new(1, 1, SchedPolicy::Fifo);
+        sim.add_reservation("bad", vec![0], 10.0, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reservation_on_unknown_node_rejected() {
+        let mut sim = ClusterSim::new(1, 1, SchedPolicy::Fifo);
+        sim.add_reservation("bad", vec![5], 0.0, 10.0);
+    }
+
+    #[test]
+    fn hold_keeps_job_queued_release_starts_it() {
+        let mut sim = ClusterSim::new(1, 1, SchedPolicy::Fifo);
+        let id = sim.submit_at(0.0, req("held", 1, 1, 10.0, 5.0));
+        sim.run_until(0.0);
+        // job started immediately (empty machine) — so test with a
+        // fresh one that is submitted while held-before-eligible
+        assert!(sim.job(id).unwrap().wait_s().is_some());
+
+        let mut sim = ClusterSim::new(1, 1, SchedPolicy::Fifo);
+        sim.submit_at(0.0, req("running", 1, 1, 100.0, 50.0));
+        let victim = sim.submit_at(1.0, req("victim", 1, 1, 10.0, 5.0));
+        sim.run_until(2.0);
+        assert!(sim.hold(victim));
+        assert!(sim.is_held(victim));
+        sim.run_until(60.0); // machine free at t=50, but victim held
+        assert!(sim.job(victim).unwrap().wait_s().is_none());
+        assert!(sim.release(victim));
+        assert!(sim.job(victim).unwrap().wait_s().is_some(), "starts on release");
+        sim.run_to_completion();
+    }
+
+    #[test]
+    fn hold_rejects_running_and_unknown() {
+        let mut sim = ClusterSim::new(1, 1, SchedPolicy::Fifo);
+        let id = sim.submit_at(0.0, req("r", 1, 1, 10.0, 5.0));
+        sim.run_until(1.0);
+        assert!(!sim.hold(id), "running job cannot be held");
+        assert!(!sim.hold(999));
+        assert!(!sim.release(id));
+    }
+
+    #[test]
+    fn held_job_does_not_block_fifo_queue() {
+        let mut sim = ClusterSim::new(1, 1, SchedPolicy::Fifo);
+        sim.submit_at(0.0, req("running", 1, 1, 100.0, 50.0));
+        let held = sim.submit_at(1.0, req("held-head", 1, 1, 10.0, 5.0));
+        let behind = sim.submit_at(2.0, req("behind", 1, 1, 10.0, 5.0));
+        sim.run_until(3.0);
+        sim.hold(held);
+        sim.run_to_completion();
+        // behind ran even though the held job was ahead of it
+        assert!(sim.job(behind).unwrap().turnaround_s().is_some());
+        assert!(sim.job(held).unwrap().wait_s().is_none());
+    }
+
+    #[test]
+    fn cancel_clears_hold() {
+        let mut sim = ClusterSim::new(1, 1, SchedPolicy::Fifo);
+        sim.submit_at(0.0, req("running", 1, 1, 100.0, 50.0));
+        let victim = sim.submit_at(1.0, req("v", 1, 1, 10.0, 5.0));
+        sim.run_until(2.0);
+        sim.hold(victim);
+        assert!(sim.cancel(victim));
+        assert!(!sim.is_held(victim));
+    }
+
+    #[test]
+    fn no_oversubscription_ever() {
+        // a randomized soak: run many jobs and assert free cores never
+        // go negative (they can't by construction, but the invariant is
+        // that placements are disjoint at any instant)
+        let mut sim = ClusterSim::new(4, 4, SchedPolicy::EasyBackfill);
+        let mut t = 0.0;
+        for i in 0..40 {
+            let nodes = 1 + (i % 4) as u32;
+            let ppn = 1 + (i % 3) as u32;
+            sim.submit_at(t, req(&format!("j{i}"), nodes, ppn, 50.0 + (i as f64), 40.0));
+            t += 3.0;
+        }
+        sim.run_to_completion();
+        assert_eq!(sim.completed().len(), 40);
+        // all cores free at the end
+        assert_eq!(sim.free.iter().sum::<u32>(), 16);
+        // utilization numerator sane
+        assert!(sim.used_core_seconds() > 0.0);
+    }
+}

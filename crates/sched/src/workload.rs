@@ -1,0 +1,156 @@
+//! Synthetic workload generation.
+//!
+//! Produces job streams shaped like the campus-cluster mixes the paper's
+//! target sites run: mostly small serial/bioinformatics jobs with
+//! occasional full-machine MPI runs. Arrivals are Poisson (exponential
+//! inter-arrival); runtimes are log-uniform; requested walltimes
+//! over-estimate runtimes by a configurable factor (users pad).
+
+use crate::job::JobRequest;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload shape parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfile {
+    /// Mean seconds between submissions.
+    pub mean_interarrival_s: f64,
+    /// Probability a job is a full-machine MPI run.
+    pub full_machine_fraction: f64,
+    /// Runtime range (log-uniform), seconds.
+    pub runtime_range_s: (f64, f64),
+    /// Users submit walltime = runtime × this factor (≥ 1).
+    pub walltime_padding: f64,
+    /// Distinct submitting users.
+    pub users: usize,
+}
+
+impl WorkloadProfile {
+    /// A teaching-lab mix on a deskside cluster: frequent small jobs,
+    /// occasional whole-machine Linpack runs.
+    pub fn teaching_lab() -> Self {
+        WorkloadProfile {
+            mean_interarrival_s: 120.0,
+            full_machine_fraction: 0.1,
+            runtime_range_s: (30.0, 1800.0),
+            walltime_padding: 2.0,
+            users: 8,
+        }
+    }
+
+    /// A research mix: longer jobs, more MPI.
+    pub fn campus_research() -> Self {
+        WorkloadProfile {
+            mean_interarrival_s: 600.0,
+            full_machine_fraction: 0.25,
+            runtime_range_s: (600.0, 24.0 * 3600.0),
+            walltime_padding: 1.5,
+            users: 20,
+        }
+    }
+}
+
+/// Deterministic (seeded) workload generator.
+#[derive(Debug)]
+pub struct WorkloadGenerator {
+    profile: WorkloadProfile,
+    rng: StdRng,
+    /// Cluster shape to size jobs against.
+    nodes: u32,
+    cores_per_node: u32,
+}
+
+impl WorkloadGenerator {
+    pub fn new(profile: WorkloadProfile, nodes: u32, cores_per_node: u32, seed: u64) -> Self {
+        WorkloadGenerator { profile, rng: StdRng::seed_from_u64(seed), nodes, cores_per_node }
+    }
+
+    /// Generate `n` jobs as `(submit_time, request)` pairs in time order.
+    pub fn generate(&mut self, n: usize) -> Vec<(f64, JobRequest)> {
+        let mut t = 0.0;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            // exponential inter-arrival
+            let u: f64 = self.rng.gen_range(1e-9..1.0);
+            t += -self.profile.mean_interarrival_s * u.ln();
+
+            let full = self.rng.gen_bool(self.profile.full_machine_fraction);
+            let (nodes, ppn) = if full {
+                (self.nodes, self.cores_per_node)
+            } else {
+                (1, self.rng.gen_range(1..=self.cores_per_node))
+            };
+
+            let (lo, hi) = self.profile.runtime_range_s;
+            let runtime = lo * (hi / lo).powf(self.rng.gen_range(0.0..1.0));
+            let walltime = runtime * self.profile.walltime_padding;
+            let user = format!("user{}", self.rng.gen_range(0..self.profile.users));
+            out.push((
+                t,
+                JobRequest::new(&format!("job{i}"), nodes, ppn, walltime, runtime).by(&user),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut a = WorkloadGenerator::new(WorkloadProfile::teaching_lab(), 6, 2, 42);
+        let mut b = WorkloadGenerator::new(WorkloadProfile::teaching_lab(), 6, 2, 42);
+        assert_eq!(a.generate(20), b.generate(20));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = WorkloadGenerator::new(WorkloadProfile::teaching_lab(), 6, 2, 1);
+        let mut b = WorkloadGenerator::new(WorkloadProfile::teaching_lab(), 6, 2, 2);
+        assert_ne!(a.generate(20), b.generate(20));
+    }
+
+    #[test]
+    fn jobs_fit_cluster_shape() {
+        let mut g = WorkloadGenerator::new(WorkloadProfile::campus_research(), 6, 2, 7);
+        for (_, req) in g.generate(200) {
+            assert!(req.nodes <= 6);
+            assert!(req.ppn <= 2);
+            assert!(req.walltime_s >= req.runtime_s, "padding keeps jobs inside walltime");
+            let (lo, hi) = WorkloadProfile::campus_research().runtime_range_s;
+            assert!(req.runtime_s >= lo && req.runtime_s <= hi);
+        }
+    }
+
+    #[test]
+    fn times_monotonic() {
+        let mut g = WorkloadGenerator::new(WorkloadProfile::teaching_lab(), 6, 2, 3);
+        let jobs = g.generate(100);
+        for w in jobs.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn full_machine_fraction_roughly_respected() {
+        let mut g = WorkloadGenerator::new(WorkloadProfile::teaching_lab(), 6, 2, 11);
+        let jobs = g.generate(1000);
+        let full = jobs.iter().filter(|(_, r)| r.nodes == 6).count();
+        assert!((50..200).contains(&full), "expected ~10% full-machine, got {full}/1000");
+    }
+
+    #[test]
+    fn generated_workload_runs_clean() {
+        let mut g = WorkloadGenerator::new(WorkloadProfile::teaching_lab(), 6, 2, 5);
+        let jobs = g.generate(50);
+        let mut sim = crate::ClusterSim::new(6, 2, crate::SchedPolicy::maui_default());
+        for (t, req) in jobs {
+            sim.run_until(t);
+            sim.submit_at(t, req);
+        }
+        sim.run_to_completion();
+        assert_eq!(sim.completed().len(), 50);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the scheduler: random workloads always drain, never
+//! oversubscribe, and reservations are never violated.
+
+use proptest::prelude::*;
+use xcbc_sched::{ClusterSim, JobRequest, JobState, SchedPolicy};
+
+fn policies() -> impl Strategy<Value = SchedPolicy> {
+    prop_oneof![
+        Just(SchedPolicy::Fifo),
+        Just(SchedPolicy::EasyBackfill),
+        Just(SchedPolicy::maui_default()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every submitted job eventually finishes, regardless of policy and
+    /// workload shape, and core accounting balances.
+    #[test]
+    fn workloads_always_drain(
+        policy in policies(),
+        jobs in proptest::collection::vec(
+            (1u32..4, 1u32..3, 1.0f64..200.0, 0.5f64..300.0, 0.0f64..500.0),
+            1..40,
+        ),
+    ) {
+        let mut sim = ClusterSim::new(4, 2, policy);
+        let mut expected_core_seconds = 0.0;
+        let mut sorted = jobs;
+        sorted.sort_by(|a, b| a.4.total_cmp(&b.4));
+        for (i, (nodes, ppn, wall, run, at)) in sorted.into_iter().enumerate() {
+            let req = JobRequest::new(&format!("j{i}"), nodes, ppn, wall, run);
+            expected_core_seconds += req.cores() as f64 * req.effective_runtime();
+            sim.submit_at(at, req);
+        }
+        sim.run_to_completion();
+        let finished = sim.completed().len();
+        prop_assert_eq!(finished, sim.jobs().count());
+        prop_assert!((sim.used_core_seconds() - expected_core_seconds).abs() < 1e-6);
+    }
+
+    /// With a whole-machine reservation, no job's walltime window ever
+    /// overlaps it.
+    #[test]
+    fn reservations_never_violated(
+        policy in policies(),
+        jobs in proptest::collection::vec((1.0f64..100.0, 0.0f64..400.0), 1..25),
+        window_start in 100.0f64..300.0,
+    ) {
+        let window_end = window_start + 100.0;
+        let mut sim = ClusterSim::new(2, 2, policy);
+        sim.add_reservation("window", vec![0, 1], window_start, window_end);
+        let mut sorted = jobs;
+        sorted.sort_by(|a, b| a.1.total_cmp(&b.1));
+        for (i, (wall, at)) in sorted.into_iter().enumerate() {
+            sim.submit_at(at, JobRequest::new(&format!("j{i}"), 1, 1, wall, wall * 0.9));
+        }
+        sim.run_to_completion();
+        for job in sim.jobs() {
+            if let JobState::Completed { start_s, .. } = job.state {
+                let wall_end = start_s + job.request.walltime_s;
+                prop_assert!(
+                    wall_end <= window_start || start_s >= window_end,
+                    "job {} [{}, {}] overlaps [{}, {}]",
+                    job.request.name, start_s, wall_end, window_start, window_end
+                );
+            }
+        }
+    }
+}

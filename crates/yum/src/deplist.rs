@@ -1,0 +1,130 @@
+//! `yum deplist` — render a package's dependency tree against the
+//! enabled repositories (what a training lab uses to explain why
+//! `yum install gromacs` pulled in fifteen packages).
+
+use crate::solver::Solver;
+use std::collections::BTreeSet;
+
+/// One line of deplist output: the dependency and its chosen provider.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepListEntry {
+    pub depth: usize,
+    pub requirement: String,
+    pub provider: Option<String>,
+}
+
+/// Walk the dependency tree of `name` breadth-first to `max_depth`,
+/// reporting the provider the solver would choose for each requirement.
+pub fn deplist(solver: &Solver<'_>, name: &str, max_depth: usize) -> Vec<DepListEntry> {
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let root = match solver.best_by_name(name) {
+        Some(p) => p,
+        None => {
+            out.push(DepListEntry {
+                depth: 0,
+                requirement: name.to_string(),
+                provider: None,
+            });
+            return out;
+        }
+    };
+    let mut frontier = vec![root];
+    seen.insert(root.name().to_string());
+    for depth in 0..max_depth {
+        let mut next = Vec::new();
+        for pkg in frontier {
+            for req in &pkg.requires {
+                let provider = solver.best_provider(req);
+                out.push(DepListEntry {
+                    depth,
+                    requirement: format!("{} -> {}", pkg.name(), req),
+                    provider: provider.map(|p| p.nevra.to_string()),
+                });
+                if let Some(p) = provider {
+                    if seen.insert(p.name().to_string()) {
+                        next.push(p);
+                    }
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    out
+}
+
+/// Render like `yum deplist`.
+pub fn render_deplist(entries: &[DepListEntry]) -> String {
+    let mut out = String::new();
+    for e in entries {
+        out.push_str(&format!(
+            "{}dependency: {}\n{} provider: {}\n",
+            "  ".repeat(e.depth),
+            e.requirement,
+            "  ".repeat(e.depth),
+            e.provider.as_deref().unwrap_or("(none found)")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Repository, YumConfig};
+    use xcbc_rpm::PackageBuilder;
+
+    fn repos() -> Vec<Repository> {
+        let mut r = Repository::new("t", "t");
+        r.add_package(PackageBuilder::new("app", "1", "1").requires_simple("lib").build());
+        r.add_package(PackageBuilder::new("lib", "1", "1").requires_simple("base").build());
+        r.add_package(PackageBuilder::new("base", "1", "1").build());
+        r.add_package(PackageBuilder::new("broken", "1", "1").requires_simple("ghost").build());
+        vec![r]
+    }
+
+    #[test]
+    fn walks_transitive_deps() {
+        let repos = repos();
+        let cfg = YumConfig::default();
+        let solver = Solver::new(&repos, &cfg);
+        let entries = deplist(&solver, "app", 10);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].depth, 0);
+        assert!(entries[0].provider.as_deref().unwrap().starts_with("lib"));
+        assert_eq!(entries[1].depth, 1);
+        assert!(entries[1].provider.as_deref().unwrap().starts_with("base"));
+    }
+
+    #[test]
+    fn missing_provider_reported() {
+        let repos = repos();
+        let cfg = YumConfig::default();
+        let solver = Solver::new(&repos, &cfg);
+        let entries = deplist(&solver, "broken", 5);
+        assert_eq!(entries[0].provider, None);
+        assert!(render_deplist(&entries).contains("(none found)"));
+    }
+
+    #[test]
+    fn unknown_package_is_single_unprovided_line() {
+        let repos = repos();
+        let cfg = YumConfig::default();
+        let solver = Solver::new(&repos, &cfg);
+        let entries = deplist(&solver, "nonexistent", 5);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].provider, None);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let repos = repos();
+        let cfg = YumConfig::default();
+        let solver = Solver::new(&repos, &cfg);
+        let entries = deplist(&solver, "app", 1);
+        assert_eq!(entries.len(), 1, "only depth 0 expanded");
+    }
+}

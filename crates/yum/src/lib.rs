@@ -1,0 +1,268 @@
+//! # xcbc-yum — Yum repository substrate
+//!
+//! Reimplements the parts of Yum the XNIT toolkit relies on (the paper:
+//! "XNIT is based on the Yum repository for installation or updates of
+//! RPMs"): repository objects with metadata, `.repo` configuration files
+//! (the paper's two setup methods — the `xsede-release` repo RPM, or a
+//! hand-written `/etc/yum.repos.d/xsede.repo` plus `yum-plugin-priorities`),
+//! a dependency solver with best-candidate selection, repository
+//! priorities, `yum check-update`/`yum update` semantics, update
+//! notification policies, mirror failover, and transaction history.
+//!
+//! ```
+//! use xcbc_rpm::{PackageBuilder, RpmDb};
+//! use xcbc_yum::{Repository, YumConfig, Yum};
+//!
+//! let mut repo = Repository::new("xsede", "XSEDE National Integration Toolkit");
+//! repo.add_package(PackageBuilder::new("gromacs", "4.6.5", "2.el6")
+//!     .requires_simple("openmpi").build());
+//! repo.add_package(PackageBuilder::new("openmpi", "1.6.5", "1.el6").build());
+//!
+//! let mut yum = Yum::new(YumConfig::default());
+//! yum.add_repository(repo);
+//! let mut db = RpmDb::new();
+//! yum.install(&mut db, &["gromacs"]).unwrap();
+//! assert!(db.is_installed("gromacs") && db.is_installed("openmpi"));
+//! ```
+
+pub mod cache;
+pub mod deplist;
+pub mod groups;
+pub mod history;
+pub mod metadata;
+pub mod mirror;
+pub mod notifier;
+pub mod priorities;
+pub mod repo;
+pub mod repoconfig;
+pub mod solver;
+pub mod updates;
+
+pub use cache::MetadataCache;
+pub use deplist::{deplist, render_deplist, DepListEntry};
+pub use groups::{group_install, PackageGroupDef};
+pub use history::{HistoryEntry, YumHistory};
+pub use metadata::{PrimaryRecord, RepoMetadata};
+pub use mirror::{Mirror, MirrorList, MirrorOutcome};
+pub use notifier::{NotificationReport, UpdateNotifier, UpdatePolicy};
+pub use priorities::apply_priorities;
+pub use repo::Repository;
+pub use repoconfig::{parse_repo_file, render_repo_file, RepoConfig, RepoFileError, XSEDE_REPO_FILE};
+pub use solver::{Solution, SolveError, Solver};
+pub use updates::{CheckUpdate, UpdateKind};
+
+use xcbc_rpm::{RpmDb, TransactionReport, TransactionSet};
+
+/// Top-level Yum engine configuration (`/etc/yum.conf` equivalent).
+#[derive(Debug, Clone)]
+pub struct YumConfig {
+    /// Honor repository priorities (requires `yum-plugin-priorities` in the
+    /// paper's manual XNIT setup path).
+    pub plugin_priorities: bool,
+    /// Host architecture.
+    pub host_arch: xcbc_rpm::Arch,
+    /// `obsoletes=1`: process Obsoletes during updates.
+    pub obsoletes: bool,
+}
+
+impl Default for YumConfig {
+    fn default() -> Self {
+        YumConfig {
+            plugin_priorities: true,
+            host_arch: xcbc_rpm::Arch::X86_64,
+            obsoletes: true,
+        }
+    }
+}
+
+/// The Yum engine: a set of repositories plus config, operating on a
+/// host's [`RpmDb`].
+#[derive(Debug)]
+pub struct Yum {
+    config: YumConfig,
+    repositories: Vec<Repository>,
+    history: YumHistory,
+}
+
+impl Default for Yum {
+    fn default() -> Self {
+        Yum::new(YumConfig::default())
+    }
+}
+
+impl Yum {
+    pub fn new(config: YumConfig) -> Self {
+        Yum { config, repositories: Vec::new(), history: YumHistory::new() }
+    }
+
+    pub fn config(&self) -> &YumConfig {
+        &self.config
+    }
+
+    /// Register a repository. Re-adding an id replaces the existing repo
+    /// (the way dropping a new file in `/etc/yum.repos.d/` does).
+    pub fn add_repository(&mut self, repo: Repository) {
+        if let Some(existing) = self.repositories.iter_mut().find(|r| r.id == repo.id) {
+            *existing = repo;
+        } else {
+            self.repositories.push(repo);
+        }
+    }
+
+    /// Remove a repository by id; returns true if it existed.
+    pub fn remove_repository(&mut self, id: &str) -> bool {
+        let before = self.repositories.len();
+        self.repositories.retain(|r| r.id != id);
+        self.repositories.len() != before
+    }
+
+    pub fn repositories(&self) -> &[Repository] {
+        &self.repositories
+    }
+
+    pub fn repository(&self, id: &str) -> Option<&Repository> {
+        self.repositories.iter().find(|r| r.id == id)
+    }
+
+    pub fn repository_mut(&mut self, id: &str) -> Option<&mut Repository> {
+        self.repositories.iter_mut().find(|r| r.id == id)
+    }
+
+    pub fn history(&self) -> &YumHistory {
+        &self.history
+    }
+
+    /// Build a solver view over the enabled repositories (with priorities
+    /// applied when the plugin is active).
+    pub fn solver(&self) -> Solver<'_> {
+        Solver::new(&self.repositories, &self.config)
+    }
+
+    /// `yum install <names...>`: resolve, check, and run.
+    pub fn install(
+        &mut self,
+        db: &mut RpmDb,
+        names: &[&str],
+    ) -> Result<TransactionReport, SolveError> {
+        let solution = self.solver().resolve_install(db, names)?;
+        if solution.is_empty() {
+            return Ok(TransactionReport::default());
+        }
+        let tx = solution.into_transaction();
+        let report = tx.run(db).map_err(SolveError::Transaction)?;
+        self.history.record(&format!("install {}", names.join(" ")), &report);
+        Ok(report)
+    }
+
+    /// `yum check-update`: list available updates without applying them.
+    pub fn check_update(&self, db: &RpmDb) -> Vec<CheckUpdate> {
+        updates::check_update(&self.repositories, &self.config, db)
+    }
+
+    /// `yum update`: apply every available update (optionally limited to
+    /// `names`), resolving any new dependencies updates pull in.
+    pub fn update(
+        &mut self,
+        db: &mut RpmDb,
+        names: Option<&[&str]>,
+    ) -> Result<TransactionReport, SolveError> {
+        let solution = self.solver().resolve_update(db, names)?;
+        if solution.is_empty() {
+            return Ok(TransactionReport::default());
+        }
+        let tx: TransactionSet = solution.into_transaction();
+        let report = tx.run(db).map_err(SolveError::Transaction)?;
+        self.history.record("update", &report);
+        Ok(report)
+    }
+
+    /// `yum erase <name>`.
+    pub fn erase(&mut self, db: &mut RpmDb, name: &str) -> Result<TransactionReport, SolveError> {
+        let mut tx = TransactionSet::new();
+        tx.add_erase(name);
+        let report = tx.run(db).map_err(SolveError::Transaction)?;
+        self.history.record(&format!("erase {name}"), &report);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcbc_rpm::PackageBuilder;
+
+    fn xnit_like_yum() -> Yum {
+        let mut repo = Repository::new("xsede", "XSEDE repo");
+        repo.add_package(
+            PackageBuilder::new("openmpi", "1.6.5", "1.el6").provides_versioned("mpi").build(),
+        );
+        repo.add_package(
+            PackageBuilder::new("gromacs", "4.6.5", "2.el6").requires_simple("mpi").build(),
+        );
+        repo.add_package(PackageBuilder::new("R", "3.0.2", "1.el6").build());
+        let mut yum = Yum::new(YumConfig::default());
+        yum.add_repository(repo);
+        yum
+    }
+
+    #[test]
+    fn install_pulls_dependencies() {
+        let mut yum = xnit_like_yum();
+        let mut db = RpmDb::new();
+        let report = yum.install(&mut db, &["gromacs"]).unwrap();
+        assert_eq!(report.installed.len(), 2);
+        assert!(db.is_installed("openmpi"));
+        assert!(db.verify().is_empty());
+    }
+
+    #[test]
+    fn install_unknown_package_errors() {
+        let mut yum = xnit_like_yum();
+        let mut db = RpmDb::new();
+        let err = yum.install(&mut db, &["no-such-package"]).unwrap_err();
+        assert!(matches!(err, SolveError::NothingProvides { .. }));
+    }
+
+    #[test]
+    fn update_noop_when_current() {
+        let mut yum = xnit_like_yum();
+        let mut db = RpmDb::new();
+        yum.install(&mut db, &["R"]).unwrap();
+        let report = yum.update(&mut db, None).unwrap();
+        assert!(report.upgraded.is_empty());
+    }
+
+    #[test]
+    fn update_applies_new_version() {
+        let mut yum = xnit_like_yum();
+        let mut db = RpmDb::new();
+        yum.install(&mut db, &["R"]).unwrap();
+        yum.repository_mut("xsede")
+            .unwrap()
+            .add_package(PackageBuilder::new("R", "3.1.0", "1.el6").build());
+        let updates = yum.check_update(&db);
+        assert_eq!(updates.len(), 1);
+        let report = yum.update(&mut db, None).unwrap();
+        assert_eq!(report.upgraded.len(), 1);
+        assert_eq!(db.newest("R").unwrap().package.evr().version, "3.1.0");
+    }
+
+    #[test]
+    fn re_adding_repo_replaces() {
+        let mut yum = xnit_like_yum();
+        let empty = Repository::new("xsede", "replaced");
+        yum.add_repository(empty);
+        assert_eq!(yum.repositories().len(), 1);
+        assert_eq!(yum.repository("xsede").unwrap().package_count(), 0);
+    }
+
+    #[test]
+    fn history_records_operations() {
+        let mut yum = xnit_like_yum();
+        let mut db = RpmDb::new();
+        yum.install(&mut db, &["R"]).unwrap();
+        yum.erase(&mut db, "R").unwrap();
+        assert_eq!(yum.history().entries().len(), 2);
+        assert!(yum.history().entries()[0].command.contains("install"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Repository metadata — the `repodata/` tree a `createrepo` run produces.
+//!
+//! Real yum serves `repomd.xml` + `primary.xml.gz`; we serialize the same
+//! information as JSON (see DESIGN.md's dependency note for `serde_json`).
+//! The metadata is what `yum makecache` downloads, and what the paper's
+//! "subscribe ... to automatically be notified of updates" workflow diffs.
+
+use crate::repo::Repository;
+use serde::{Deserialize, Serialize};
+use xcbc_rpm::{Arch, Evr};
+
+/// One package record in the primary metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrimaryRecord {
+    pub name: String,
+    pub epoch: u32,
+    pub version: String,
+    pub release: String,
+    pub arch: Arch,
+    pub summary: String,
+    pub size_bytes: u64,
+    pub provides: Vec<String>,
+    pub requires: Vec<String>,
+    pub location: String,
+}
+
+impl PrimaryRecord {
+    pub fn evr(&self) -> Evr {
+        Evr::new(self.epoch, self.version.clone(), self.release.clone())
+    }
+}
+
+/// The repo-level metadata document (`repomd.xml` analog).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepoMetadata {
+    pub repo_id: String,
+    pub revision: u64,
+    pub package_count: usize,
+    pub total_size_bytes: u64,
+    pub primary: Vec<PrimaryRecord>,
+}
+
+impl RepoMetadata {
+    /// Generate metadata from a repository's current contents.
+    pub fn generate(repo: &Repository) -> Self {
+        let mut primary: Vec<PrimaryRecord> = repo
+            .packages()
+            .iter()
+            .map(|p| PrimaryRecord {
+                name: p.name().to_string(),
+                epoch: p.evr().epoch,
+                version: p.evr().version.clone(),
+                release: p.evr().release.clone(),
+                arch: p.arch(),
+                summary: p.summary.clone(),
+                size_bytes: p.size_bytes,
+                provides: p.all_provides().iter().map(|d| d.to_string()).collect(),
+                requires: p.requires.iter().map(|d| d.to_string()).collect(),
+                location: format!("Packages/{}", p.nevra.filename()),
+            })
+            .collect();
+        primary.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.evr().cmp(&b.evr())));
+        RepoMetadata {
+            repo_id: repo.id.clone(),
+            revision: repo.revision,
+            package_count: primary.len(),
+            total_size_bytes: primary.iter().map(|r| r.size_bytes).sum(),
+            primary,
+        }
+    }
+
+    /// Serialize to the on-wire form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metadata serializes")
+    }
+
+    /// Parse the on-wire form.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Names of packages added or upgraded in `newer` relative to `self`
+    /// — the diff the paper's notification tooling reports.
+    pub fn diff_new_or_upgraded(&self, newer: &RepoMetadata) -> Vec<String> {
+        let mut out = Vec::new();
+        for rec in &newer.primary {
+            let best_old = self
+                .primary
+                .iter()
+                .filter(|r| r.name == rec.name)
+                .max_by(|a, b| a.evr().cmp(&b.evr()));
+            match best_old {
+                None => out.push(format!("{} {} (new)", rec.name, rec.evr())),
+                Some(old) if rec.evr() > old.evr() => {
+                    out.push(format!("{} {} -> {}", rec.name, old.evr(), rec.evr()))
+                }
+                Some(_) => {}
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcbc_rpm::PackageBuilder;
+
+    fn repo() -> Repository {
+        let mut r = Repository::new("xsede", "XSEDE repo");
+        r.add_package(
+            PackageBuilder::new("gromacs", "4.6.5", "2.el6")
+                .summary("molecular dynamics")
+                .requires_simple("openmpi")
+                .size_mb(50)
+                .build(),
+        );
+        r.add_package(PackageBuilder::new("openmpi", "1.6.5", "1.el6").size_mb(40).build());
+        r
+    }
+
+    #[test]
+    fn generate_counts_and_sizes() {
+        let md = repo().metadata();
+        assert_eq!(md.package_count, 2);
+        assert_eq!(md.total_size_bytes, 90 << 20);
+        assert_eq!(md.repo_id, "xsede");
+    }
+
+    #[test]
+    fn records_sorted_and_self_provide_included() {
+        let md = repo().metadata();
+        assert_eq!(md.primary[0].name, "gromacs");
+        assert!(md.primary[0].provides.iter().any(|p| p.starts_with("gromacs =")));
+        assert_eq!(md.primary[0].requires, vec!["openmpi"]);
+        assert!(md.primary[0].location.ends_with(".rpm"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let md = repo().metadata();
+        let json = md.to_json();
+        let back = RepoMetadata::from_json(&json).unwrap();
+        assert_eq!(back, md);
+    }
+
+    #[test]
+    fn diff_detects_new_and_upgraded() {
+        let mut r = repo();
+        let old_md = r.metadata();
+        r.add_package(PackageBuilder::new("gromacs", "5.0", "1.el6").build());
+        r.add_package(PackageBuilder::new("lammps", "2014.06.28", "1").build());
+        let new_md = r.metadata();
+        let diff = old_md.diff_new_or_upgraded(&new_md);
+        assert_eq!(diff.len(), 2);
+        assert!(diff.iter().any(|d| d.starts_with("gromacs 4.6.5-2.el6 -> 5.0")));
+        assert!(diff.iter().any(|d| d.contains("lammps") && d.contains("(new)")));
+    }
+
+    #[test]
+    fn diff_empty_when_unchanged() {
+        let md = repo().metadata();
+        assert!(md.diff_new_or_upgraded(&md).is_empty());
+    }
+}

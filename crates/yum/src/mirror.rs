@@ -1,0 +1,162 @@
+//! Mirror lists and failover.
+//!
+//! Yum fetches metadata and packages from a list of mirrors, falling back
+//! down the list on failure. We model latency and availability so the
+//! provisioning timelines in `xcbc-rocks`/`xcbc-core` can account for
+//! download time, and so failure injection can exercise retry paths.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One mirror of a repository.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mirror {
+    pub url: String,
+    /// Sustained throughput in MB/s.
+    pub bandwidth_mbps: f64,
+    /// Round-trip latency in milliseconds.
+    pub latency_ms: f64,
+    /// Probability a fetch from this mirror fails (0.0..=1.0).
+    pub failure_rate: f64,
+}
+
+impl Mirror {
+    pub fn new(url: impl Into<String>, bandwidth_mbps: f64, latency_ms: f64) -> Self {
+        Mirror { url: url.into(), bandwidth_mbps, latency_ms, failure_rate: 0.0 }
+    }
+
+    pub fn with_failure_rate(mut self, rate: f64) -> Self {
+        self.failure_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Seconds to fetch `bytes` from this mirror, if it succeeds.
+    pub fn fetch_seconds(&self, bytes: u64) -> f64 {
+        self.latency_ms / 1000.0 + (bytes as f64 / (1024.0 * 1024.0)) / self.bandwidth_mbps
+    }
+}
+
+/// Outcome of a fetch attempt across the mirror list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MirrorOutcome {
+    /// Mirror that served the fetch, if any.
+    pub served_by: Option<String>,
+    /// Mirrors tried and failed first.
+    pub failed: Vec<String>,
+    /// Total wall seconds including failed attempts (each failed attempt
+    /// costs its latency as a timeout).
+    pub seconds: f64,
+}
+
+impl MirrorOutcome {
+    pub fn succeeded(&self) -> bool {
+        self.served_by.is_some()
+    }
+}
+
+/// An ordered list of mirrors with failover.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MirrorList {
+    pub mirrors: Vec<Mirror>,
+}
+
+impl MirrorList {
+    pub fn new(mirrors: Vec<Mirror>) -> Self {
+        MirrorList { mirrors }
+    }
+
+    /// Attempt to fetch `bytes`, walking the list in order, using `rng`
+    /// for failure sampling. Failed attempts cost 3 timeout-latencies
+    /// (yum's default retry behavior per mirror).
+    pub fn fetch<R: Rng>(&self, bytes: u64, rng: &mut R) -> MirrorOutcome {
+        let mut outcome = MirrorOutcome { served_by: None, failed: Vec::new(), seconds: 0.0 };
+        for m in &self.mirrors {
+            let fails = rng.gen_bool(m.failure_rate);
+            if fails {
+                outcome.failed.push(m.url.clone());
+                outcome.seconds += 3.0 * m.latency_ms / 1000.0;
+                continue;
+            }
+            outcome.seconds += m.fetch_seconds(bytes);
+            outcome.served_by = Some(m.url.clone());
+            break;
+        }
+        outcome
+    }
+
+    /// Deterministic best-case fetch (first healthy mirror, no sampling).
+    pub fn fetch_seconds_best_case(&self, bytes: u64) -> Option<f64> {
+        self.mirrors.first().map(|m| m.fetch_seconds(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn list() -> MirrorList {
+        MirrorList::new(vec![
+            Mirror::new("http://cb-repo.iu.xsede.org/xsederepo/", 100.0, 20.0),
+            Mirror::new("http://mirror2.example.edu/xsederepo/", 50.0, 40.0),
+        ])
+    }
+
+    #[test]
+    fn fetch_time_scales_with_size() {
+        let m = Mirror::new("u", 100.0, 0.0);
+        let t1 = m.fetch_seconds(100 << 20);
+        let t2 = m.fetch_seconds(200 << 20);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn healthy_first_mirror_serves() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = list().fetch(10 << 20, &mut rng);
+        assert!(out.succeeded());
+        assert_eq!(out.served_by.as_deref(), Some("http://cb-repo.iu.xsede.org/xsederepo/"));
+        assert!(out.failed.is_empty());
+    }
+
+    #[test]
+    fn failover_to_second_mirror() {
+        let mut l = list();
+        l.mirrors[0].failure_rate = 1.0;
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = l.fetch(10 << 20, &mut rng);
+        assert!(out.succeeded());
+        assert_eq!(out.failed.len(), 1);
+        assert!(out.served_by.as_deref().unwrap().contains("mirror2"));
+        // time includes the timeout on the dead mirror
+        assert!(out.seconds > l.mirrors[1].fetch_seconds(10 << 20));
+    }
+
+    #[test]
+    fn all_mirrors_down_fails() {
+        let mut l = list();
+        for m in &mut l.mirrors {
+            m.failure_rate = 1.0;
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = l.fetch(10 << 20, &mut rng);
+        assert!(!out.succeeded());
+        assert_eq!(out.failed.len(), 2);
+    }
+
+    #[test]
+    fn empty_list_fails_instantly() {
+        let l = MirrorList::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = l.fetch(1, &mut rng);
+        assert!(!out.succeeded());
+        assert_eq!(out.seconds, 0.0);
+    }
+
+    #[test]
+    fn failure_rate_clamped() {
+        let m = Mirror::new("u", 1.0, 1.0).with_failure_rate(7.0);
+        assert_eq!(m.failure_rate, 1.0);
+    }
+}

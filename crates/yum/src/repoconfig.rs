@@ -1,0 +1,284 @@
+//! `.repo` configuration files — a hand-rolled INI parser/renderer.
+//!
+//! The paper's §3 gives two ways to enable XNIT: install the repo RPM, or
+//! "install the yum-plugin-priorities package, then create the file
+//! `/etc/yum.repos.d/xsede.repo` with the lines specified in the XSEDE Yum
+//! repository README". This module is that second path: it parses the same
+//! INI dialect yum does (sections, `key=value`, `#`/`;` comments) and can
+//! render a [`Repository`] back to file form.
+
+use crate::repo::Repository;
+use std::fmt;
+
+/// Parsed form of one section of a `.repo` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepoConfig {
+    pub id: String,
+    pub name: String,
+    pub baseurl: String,
+    pub enabled: bool,
+    pub gpgcheck: bool,
+    pub priority: Option<u32>,
+}
+
+/// Errors from [`parse_repo_file`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepoFileError {
+    /// `key=value` line outside any `[section]`.
+    KeyOutsideSection { line_no: usize, line: String },
+    /// A line that is neither a section, comment, blank, nor `key=value`.
+    Malformed { line_no: usize, line: String },
+    /// Section missing the mandatory `baseurl`.
+    MissingBaseurl { section: String },
+    /// Empty section name `[]`.
+    EmptySectionName { line_no: usize },
+    /// Bad integer value.
+    BadValue { section: String, key: String, value: String },
+}
+
+impl fmt::Display for RepoFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepoFileError::KeyOutsideSection { line_no, line } => {
+                write!(f, "line {line_no}: key/value outside a section: {line}")
+            }
+            RepoFileError::Malformed { line_no, line } => {
+                write!(f, "line {line_no}: malformed line: {line}")
+            }
+            RepoFileError::MissingBaseurl { section } => {
+                write!(f, "repo [{section}] has no baseurl")
+            }
+            RepoFileError::EmptySectionName { line_no } => {
+                write!(f, "line {line_no}: empty section name")
+            }
+            RepoFileError::BadValue { section, key, value } => {
+                write!(f, "repo [{section}]: bad value for {key}: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RepoFileError {}
+
+/// Parse a `.repo` file into its sections.
+///
+/// ```
+/// use xcbc_yum::parse_repo_file;
+/// let text = "\
+/// [xsede]
+/// name=XSEDE National Integration Toolkit
+/// baseurl=http://cb-repo.iu.xsede.org/xsederepo/
+/// enabled=1
+/// gpgcheck=0
+/// priority=50
+/// ";
+/// let repos = parse_repo_file(text).unwrap();
+/// assert_eq!(repos[0].id, "xsede");
+/// assert_eq!(repos[0].priority, Some(50));
+/// ```
+pub fn parse_repo_file(text: &str) -> Result<Vec<RepoConfig>, RepoFileError> {
+    struct Section {
+        id: String,
+        name: Option<String>,
+        baseurl: Option<String>,
+        enabled: bool,
+        gpgcheck: bool,
+        priority: Option<u32>,
+    }
+    let finish = |s: Section| -> Result<RepoConfig, RepoFileError> {
+        let baseurl = s
+            .baseurl
+            .ok_or(RepoFileError::MissingBaseurl { section: s.id.clone() })?;
+        Ok(RepoConfig {
+            name: s.name.unwrap_or_else(|| s.id.clone()),
+            id: s.id,
+            baseurl,
+            enabled: s.enabled,
+            gpgcheck: s.gpgcheck,
+            priority: s.priority,
+        })
+    };
+
+    let mut out = Vec::new();
+    let mut current: Option<Section> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with(';') {
+            continue;
+        }
+        if let Some(stripped) = line.strip_prefix('[') {
+            let id = stripped
+                .strip_suffix(']')
+                .ok_or_else(|| RepoFileError::Malformed { line_no, line: line.to_string() })?
+                .trim();
+            if id.is_empty() {
+                return Err(RepoFileError::EmptySectionName { line_no });
+            }
+            if let Some(prev) = current.take() {
+                out.push(finish(prev)?);
+            }
+            current = Some(Section {
+                id: id.to_string(),
+                name: None,
+                baseurl: None,
+                enabled: true,
+                gpgcheck: true,
+                priority: None,
+            });
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| RepoFileError::Malformed { line_no, line: line.to_string() })?;
+        let (key, value) = (key.trim(), value.trim());
+        let section = current
+            .as_mut()
+            .ok_or_else(|| RepoFileError::KeyOutsideSection { line_no, line: line.to_string() })?;
+        match key {
+            "name" => section.name = Some(value.to_string()),
+            "baseurl" | "mirrorlist" => section.baseurl = Some(value.to_string()),
+            "enabled" => section.enabled = value != "0",
+            "gpgcheck" => section.gpgcheck = value != "0",
+            "priority" => {
+                let p = value.parse::<u32>().map_err(|_| RepoFileError::BadValue {
+                    section: section.id.clone(),
+                    key: key.to_string(),
+                    value: value.to_string(),
+                })?;
+                section.priority = Some(p);
+            }
+            // yum ignores keys it doesn't know
+            _ => {}
+        }
+    }
+    if let Some(prev) = current.take() {
+        out.push(finish(prev)?);
+    }
+    Ok(out)
+}
+
+/// Render a repository back to `.repo` file form.
+pub fn render_repo_file(repo: &Repository) -> String {
+    format!(
+        "[{id}]\nname={name}\nbaseurl={url}\nenabled={en}\ngpgcheck={gpg}\npriority={prio}\n",
+        id = repo.id,
+        name = repo.name,
+        url = repo.baseurl,
+        en = repo.enabled as u8,
+        gpg = repo.gpgcheck as u8,
+        prio = repo.priority,
+    )
+}
+
+impl RepoConfig {
+    /// Materialize an empty [`Repository`] with this configuration (the
+    /// packages come from a mirror fetch).
+    pub fn into_repository(self) -> Repository {
+        let mut r = Repository::new(self.id, self.name).with_baseurl(self.baseurl);
+        r.enabled = self.enabled;
+        r.gpgcheck = self.gpgcheck;
+        if let Some(p) = self.priority {
+            r.priority = p;
+        }
+        r
+    }
+}
+
+/// The `/etc/yum.repos.d/xsede.repo` contents the XSEDE README specifies,
+/// as shipped by the `xsede-release` repo RPM.
+pub const XSEDE_REPO_FILE: &str = "\
+# XSEDE National Integration Toolkit (XNIT) yum repository
+# See: http://cb-repo.iu.xsede.org/xsederepo/readme.xsederepo
+[xsede]
+name=XSEDE National Integration Toolkit
+baseurl=http://cb-repo.iu.xsede.org/xsederepo/
+enabled=1
+gpgcheck=0
+priority=50
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_the_readme_file() {
+        let repos = parse_repo_file(XSEDE_REPO_FILE).unwrap();
+        assert_eq!(repos.len(), 1);
+        let r = &repos[0];
+        assert_eq!(r.id, "xsede");
+        assert!(r.enabled);
+        assert!(!r.gpgcheck);
+        assert_eq!(r.priority, Some(50));
+        assert!(r.baseurl.contains("xsederepo"));
+    }
+
+    #[test]
+    fn multiple_sections() {
+        let text = "[base]\nbaseurl=http://mirror.centos.org/6.5/os/\n[updates]\nname=updates\nbaseurl=http://mirror.centos.org/6.5/updates/\nenabled=0\n";
+        let repos = parse_repo_file(text).unwrap();
+        assert_eq!(repos.len(), 2);
+        assert_eq!(repos[0].name, "base", "name defaults to id");
+        assert!(!repos[1].enabled);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# c1\n\n; c2\n[x]\nbaseurl=u\n# inline-ish\n";
+        assert_eq!(parse_repo_file(text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn error_key_outside_section() {
+        let err = parse_repo_file("enabled=1\n").unwrap_err();
+        assert!(matches!(err, RepoFileError::KeyOutsideSection { line_no: 1, .. }));
+    }
+
+    #[test]
+    fn error_missing_baseurl() {
+        let err = parse_repo_file("[x]\nenabled=1\n").unwrap_err();
+        assert!(matches!(err, RepoFileError::MissingBaseurl { .. }));
+    }
+
+    #[test]
+    fn error_malformed_line() {
+        let err = parse_repo_file("[x]\nbaseurl=u\nnot a kv line\n").unwrap_err();
+        assert!(matches!(err, RepoFileError::Malformed { line_no: 3, .. }));
+    }
+
+    #[test]
+    fn error_bad_priority() {
+        let err = parse_repo_file("[x]\nbaseurl=u\npriority=high\n").unwrap_err();
+        assert!(matches!(err, RepoFileError::BadValue { .. }));
+    }
+
+    #[test]
+    fn error_empty_section() {
+        let err = parse_repo_file("[]\nbaseurl=u\n").unwrap_err();
+        assert!(matches!(err, RepoFileError::EmptySectionName { .. }));
+    }
+
+    #[test]
+    fn unknown_keys_ignored() {
+        let text = "[x]\nbaseurl=u\nmetadata_expire=90m\nsslverify=1\n";
+        assert!(parse_repo_file(text).is_ok());
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let repo = Repository::new("xsede", "XSEDE National Integration Toolkit")
+            .with_priority(50)
+            .with_baseurl("http://cb-repo.iu.xsede.org/xsederepo/");
+        let text = render_repo_file(&repo);
+        let parsed = parse_repo_file(&text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        let back = parsed.into_iter().next().unwrap().into_repository();
+        assert_eq!(back.id, repo.id);
+        assert_eq!(back.name, repo.name);
+        assert_eq!(back.baseurl, repo.baseurl);
+        assert_eq!(back.priority, repo.priority);
+        assert_eq!(back.enabled, repo.enabled);
+        assert_eq!(back.gpgcheck, repo.gpgcheck);
+    }
+}

@@ -1,0 +1,487 @@
+//! The dependency solver — yum's depsolve loop.
+//!
+//! Given a set of enabled repositories and an installed-package database,
+//! computes the transitive closure of Requires for an install or update
+//! request, choosing the *best candidate* for each unsatisfied capability
+//! the way yum does: higher-priority repository first (when the
+//! priorities plugin is active), then architecture preference, then
+//! highest EVR, then lexicographically smallest name for determinism.
+
+use crate::priorities::apply_priorities;
+use crate::repo::Repository;
+use crate::YumConfig;
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+use xcbc_rpm::{Dependency, Package, RpmDb, TransactionError, TransactionSet};
+
+/// Why a resolution failed.
+#[derive(Debug)]
+pub enum SolveError {
+    /// No enabled repository carries anything satisfying `what`.
+    NothingProvides {
+        what: String,
+        /// The package whose Requires chain led here (empty for a direct
+        /// user request).
+        needed_by: String,
+    },
+    /// The resolved set failed the transaction check (conflicts, file
+    /// conflicts, ...).
+    Transaction(TransactionError),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NothingProvides { what, needed_by } if needed_by.is_empty() => {
+                write!(f, "no package provides {what}")
+            }
+            SolveError::NothingProvides { what, needed_by } => {
+                write!(f, "no package provides {what} (needed by {needed_by})")
+            }
+            SolveError::Transaction(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A resolved set of operations, ready to become a transaction.
+#[derive(Debug, Clone, Default)]
+pub struct Solution {
+    pub installs: Vec<Package>,
+    pub upgrades: Vec<Package>,
+}
+
+impl Solution {
+    pub fn is_empty(&self) -> bool {
+        self.installs.is_empty() && self.upgrades.is_empty()
+    }
+
+    /// Total number of operations.
+    pub fn len(&self) -> usize {
+        self.installs.len() + self.upgrades.len()
+    }
+
+    /// Convert into a checked-later [`TransactionSet`].
+    pub fn into_transaction(self) -> TransactionSet {
+        let mut tx = TransactionSet::new();
+        for p in self.upgrades {
+            tx.add_upgrade(p);
+        }
+        for p in self.installs {
+            tx.add_install(p);
+        }
+        tx
+    }
+}
+
+/// A solver view over a repository set.
+pub struct Solver<'a> {
+    /// (repo, package) pairs surviving priority filtering.
+    candidates: Vec<(&'a Repository, &'a Package)>,
+    config: &'a YumConfig,
+}
+
+impl<'a> Solver<'a> {
+    pub fn new(repos: &'a [Repository], config: &'a YumConfig) -> Self {
+        let enabled: Vec<&Repository> = repos.iter().filter(|r| r.enabled).collect();
+        let candidates = if config.plugin_priorities {
+            apply_priorities(&enabled)
+        } else {
+            enabled
+                .iter()
+                .flat_map(|r| r.packages().iter().map(move |p| (*r, p)))
+                .collect()
+        };
+        // Filter to installable architectures up front.
+        let candidates = candidates
+            .into_iter()
+            .filter(|(_, p)| p.arch().installable_on(config.host_arch))
+            .collect();
+        Solver { candidates, config }
+    }
+
+    /// Number of visible candidates after priority/arch filtering.
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Candidate ordering: priority (lower number wins, only when the
+    /// plugin is active) → arch preference → EVR → name.
+    fn better(
+        &self,
+        (ra, pa): (&'a Repository, &'a Package),
+        (rb, pb): (&'a Repository, &'a Package),
+    ) -> std::cmp::Ordering {
+        let prio = if self.config.plugin_priorities {
+            rb.priority.cmp(&ra.priority) // lower priority value = better
+        } else {
+            std::cmp::Ordering::Equal
+        };
+        prio.then_with(|| {
+            pa.arch()
+                .preference_on(self.config.host_arch)
+                .cmp(&pb.arch().preference_on(self.config.host_arch))
+        })
+        .then_with(|| pa.nevra.evr.cmp(&pb.nevra.evr))
+        .then_with(|| pb.name().cmp(pa.name())) // smaller name wins
+    }
+
+    /// Best visible candidate satisfying `req`.
+    pub fn best_provider(&self, req: &Dependency) -> Option<&'a Package> {
+        self.candidates
+            .iter()
+            .filter(|(_, p)| p.satisfies(req))
+            .copied()
+            .max_by(|a, b| self.better(*a, *b))
+            .map(|(_, p)| p)
+    }
+
+    /// Best visible candidate *by package name* (for direct requests and
+    /// update targets). A name request matches real names first; if no
+    /// package has that name, yum falls back to `whatprovides`.
+    pub fn best_by_name(&self, name: &str) -> Option<&'a Package> {
+        self.candidates
+            .iter()
+            .filter(|(_, p)| p.name() == name)
+            .copied()
+            .max_by(|a, b| self.better(*a, *b))
+            .map(|(_, p)| p)
+            .or_else(|| self.best_provider(&Dependency::any(name)))
+    }
+
+    /// Resolve `yum install <names...>`: returns the closure of installs.
+    pub fn resolve_install(&self, db: &RpmDb, names: &[&str]) -> Result<Solution, SolveError> {
+        let mut solution = Solution::default();
+        let mut chosen: HashSet<String> = HashSet::new(); // names already in solution
+        let mut queue: VecDeque<(Package, String)> = VecDeque::new(); // (pkg, needed_by)
+
+        for name in names {
+            let p = self
+                .best_by_name(name)
+                .ok_or_else(|| SolveError::NothingProvides {
+                    what: name.to_string(),
+                    needed_by: String::new(),
+                })?;
+            if db
+                .newest(p.name())
+                .map(|ip| ip.package.nevra.evr >= p.nevra.evr)
+                .unwrap_or(false)
+            {
+                // already installed at same-or-newer: yum prints
+                // "Nothing to do" for this name
+                continue;
+            }
+            if chosen.insert(p.name().to_string()) {
+                queue.push_back((p.clone(), String::new()));
+            }
+        }
+
+        while let Some((pkg, _via)) = queue.pop_front() {
+            for req in pkg.requires.clone() {
+                // satisfied by the db?
+                if db.provides(&req) {
+                    continue;
+                }
+                // satisfied by something already chosen?
+                let in_solution = solution
+                    .installs
+                    .iter()
+                    .chain(solution.upgrades.iter())
+                    .chain(std::iter::once(&pkg))
+                    .chain(queue.iter().map(|(p, _)| p))
+                    .any(|p| p.satisfies(&req));
+                if in_solution {
+                    continue;
+                }
+                let provider =
+                    self.best_provider(&req).ok_or_else(|| SolveError::NothingProvides {
+                        what: req.to_string(),
+                        needed_by: pkg.nevra.to_string(),
+                    })?;
+                if chosen.insert(provider.name().to_string()) {
+                    queue.push_back((provider.clone(), pkg.nevra.to_string()));
+                }
+            }
+            // upgrade when an older instance is installed, install otherwise
+            if db.is_installed(pkg.name()) {
+                solution.upgrades.push(pkg);
+            } else {
+                solution.installs.push(pkg);
+            }
+        }
+        Ok(solution)
+    }
+
+    /// Resolve `yum update [names...]`: pick the newest visible candidate
+    /// for every installed (or listed) name that has one, plus any new
+    /// dependencies those updates require.
+    pub fn resolve_update(&self, db: &RpmDb, names: Option<&[&str]>) -> Result<Solution, SolveError> {
+        let targets: Vec<String> = match names {
+            Some(ns) => ns.iter().map(|s| s.to_string()).collect(),
+            None => db.names().iter().map(|s| s.to_string()).collect(),
+        };
+
+        let mut solution = Solution::default();
+        let mut chosen: HashSet<String> = HashSet::new();
+        let mut queue: VecDeque<Package> = VecDeque::new();
+
+        for name in &targets {
+            let installed = match db.newest(name) {
+                Some(ip) => ip,
+                None => continue, // yum update of a not-installed name is a no-op
+            };
+            if let Some(candidate) = self.best_by_name(name) {
+                if candidate.nevra.evr > installed.package.nevra.evr
+                    && chosen.insert(candidate.name().to_string())
+                {
+                    queue.push_back(candidate.clone());
+                }
+            }
+            // obsoletes processing: a visible package obsoleting this
+            // installed one replaces it (yum's `obsoletes=1`)
+            if self.config.obsoletes {
+                for (_, p) in &self.candidates {
+                    if p.obsoletes_package(&installed.package) && chosen.insert(p.name().to_string())
+                    {
+                        queue.push_back((*p).clone());
+                    }
+                }
+            }
+        }
+
+        while let Some(pkg) = queue.pop_front() {
+            for req in pkg.requires.clone() {
+                if db.provides(&req) {
+                    continue;
+                }
+                let in_solution = solution
+                    .installs
+                    .iter()
+                    .chain(solution.upgrades.iter())
+                    .chain(std::iter::once(&pkg))
+                    .chain(queue.iter())
+                    .any(|p| p.satisfies(&req));
+                if in_solution {
+                    continue;
+                }
+                let provider =
+                    self.best_provider(&req).ok_or_else(|| SolveError::NothingProvides {
+                        what: req.to_string(),
+                        needed_by: pkg.nevra.to_string(),
+                    })?;
+                if chosen.insert(provider.name().to_string()) {
+                    queue.push_back(provider.clone());
+                }
+            }
+            if db.is_installed(pkg.name()) {
+                solution.upgrades.push(pkg);
+            } else {
+                solution.installs.push(pkg);
+            }
+        }
+        Ok(solution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcbc_rpm::{Arch, PackageBuilder};
+
+    fn config() -> YumConfig {
+        YumConfig::default()
+    }
+
+    fn one_repo(pkgs: Vec<Package>) -> Vec<Repository> {
+        let mut r = Repository::new("test", "test repo");
+        r.add_packages(pkgs);
+        vec![r]
+    }
+
+    #[test]
+    fn closure_resolves_chain() {
+        let repos = one_repo(vec![
+            PackageBuilder::new("trinity", "r2013", "1").requires_simple("bowtie").build(),
+            PackageBuilder::new("bowtie", "1.0.0", "1").requires_simple("samtools").build(),
+            PackageBuilder::new("samtools", "0.1.19", "1").build(),
+        ]);
+        let cfg = config();
+        let solver = Solver::new(&repos, &cfg);
+        let db = RpmDb::new();
+        let sol = solver.resolve_install(&db, &["trinity"]).unwrap();
+        assert_eq!(sol.installs.len(), 3);
+    }
+
+    #[test]
+    fn satisfied_by_db_not_repulled() {
+        let repos = one_repo(vec![
+            PackageBuilder::new("gromacs", "4.6.5", "2").requires_simple("openmpi").build(),
+            PackageBuilder::new("openmpi", "1.6.5", "1").build(),
+        ]);
+        let cfg = config();
+        let solver = Solver::new(&repos, &cfg);
+        let mut db = RpmDb::new();
+        db.install(PackageBuilder::new("openmpi", "1.6.5", "1").build());
+        let sol = solver.resolve_install(&db, &["gromacs"]).unwrap();
+        assert_eq!(sol.installs.len(), 1);
+        assert_eq!(sol.installs[0].name(), "gromacs");
+    }
+
+    #[test]
+    fn missing_dep_reports_chain() {
+        let repos = one_repo(vec![PackageBuilder::new("meep", "1.2.1", "1")
+            .requires_simple("libctl")
+            .build()]);
+        let cfg = config();
+        let solver = Solver::new(&repos, &cfg);
+        let db = RpmDb::new();
+        let err = solver.resolve_install(&db, &["meep"]).unwrap_err();
+        match err {
+            SolveError::NothingProvides { what, needed_by } => {
+                assert_eq!(what, "libctl");
+                assert!(needed_by.contains("meep"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn best_candidate_highest_evr() {
+        let repos = one_repo(vec![
+            PackageBuilder::new("R", "3.0.2", "1").build(),
+            PackageBuilder::new("R", "3.1.0", "1").build(),
+        ]);
+        let cfg = config();
+        let solver = Solver::new(&repos, &cfg);
+        assert_eq!(solver.best_by_name("R").unwrap().evr().version, "3.1.0");
+    }
+
+    #[test]
+    fn priority_beats_evr_when_plugin_active() {
+        let mut base = Repository::new("base", "CentOS base").with_priority(1);
+        base.add_package(PackageBuilder::new("python", "2.6.6", "52").build());
+        let mut xsede = Repository::new("xsede", "XSEDE").with_priority(50);
+        xsede.add_package(PackageBuilder::new("python", "2.7.5", "1").build());
+        let repos = vec![base, xsede];
+        let cfg = config();
+        let solver = Solver::new(&repos, &cfg);
+        // priorities plugin: base (priority 1) shadows xsede's python
+        assert_eq!(solver.best_by_name("python").unwrap().evr().version, "2.6.6");
+
+        let cfg_noplugin = YumConfig { plugin_priorities: false, ..config() };
+        let solver2 = Solver::new(&repos, &cfg_noplugin);
+        assert_eq!(solver2.best_by_name("python").unwrap().evr().version, "2.7.5");
+    }
+
+    #[test]
+    fn disabled_repo_invisible() {
+        let mut r = Repository::new("x", "x").disabled();
+        r.add_package(PackageBuilder::new("gcc", "4.4.7", "17").build());
+        let repos = vec![r];
+        let cfg = config();
+        let solver = Solver::new(&repos, &cfg);
+        assert!(solver.best_by_name("gcc").is_none());
+        assert_eq!(solver.candidate_count(), 0);
+    }
+
+    #[test]
+    fn incompatible_arch_filtered() {
+        let repos = one_repo(vec![
+            PackageBuilder::new("tool", "1.0", "1").arch(Arch::Armv7).build(),
+            PackageBuilder::new("tool", "0.9", "1").arch(Arch::X86_64).build(),
+        ]);
+        let cfg = config();
+        let solver = Solver::new(&repos, &cfg);
+        // only the x86_64 build is installable on the x86_64 host
+        assert_eq!(solver.best_by_name("tool").unwrap().evr().version, "0.9");
+    }
+
+    #[test]
+    fn native_arch_preferred_over_multilib() {
+        let repos = one_repo(vec![
+            PackageBuilder::new("libfoo", "1.0", "1").arch(Arch::I686).build(),
+            PackageBuilder::new("libfoo", "1.0", "1").arch(Arch::X86_64).build(),
+        ]);
+        let cfg = config();
+        let solver = Solver::new(&repos, &cfg);
+        assert_eq!(solver.best_by_name("libfoo").unwrap().arch(), Arch::X86_64);
+    }
+
+    #[test]
+    fn capability_provider_chosen_for_requires() {
+        let repos = one_repo(vec![
+            PackageBuilder::new("app", "1.0", "1").requires_spec("mpi >= 1.6").build(),
+            PackageBuilder::new("openmpi", "1.6.5", "1").provides_versioned("mpi").build(),
+            PackageBuilder::new("mpich2", "1.4.1", "1").provides_versioned("mpi").build(),
+        ]);
+        let cfg = config();
+        let solver = Solver::new(&repos, &cfg);
+        let db = RpmDb::new();
+        let sol = solver.resolve_install(&db, &["app"]).unwrap();
+        let names: Vec<_> = sol.installs.iter().map(|p| p.name()).collect();
+        assert!(names.contains(&"openmpi"), "only openmpi satisfies mpi >= 1.6: {names:?}");
+        assert!(!names.contains(&"mpich2"));
+    }
+
+    #[test]
+    fn update_resolution_pulls_new_deps() {
+        let repos = one_repo(vec![
+            PackageBuilder::new("R", "3.1.0", "1").requires_simple("libRmath").build(),
+            PackageBuilder::new("libRmath", "3.1.0", "1").build(),
+        ]);
+        let cfg = config();
+        let solver = Solver::new(&repos, &cfg);
+        let mut db = RpmDb::new();
+        db.install(PackageBuilder::new("R", "3.0.2", "1").build());
+        let sol = solver.resolve_update(&db, None).unwrap();
+        assert_eq!(sol.upgrades.len(), 1);
+        assert_eq!(sol.installs.len(), 1);
+        assert_eq!(sol.installs[0].name(), "libRmath");
+    }
+
+    #[test]
+    fn update_processes_obsoletes() {
+        let repos = one_repo(vec![PackageBuilder::new("torque", "4.2.10", "1")
+            .obsoletes(Dependency::parse("pbs < 3.0"))
+            .build()]);
+        let cfg = config();
+        let solver = Solver::new(&repos, &cfg);
+        let mut db = RpmDb::new();
+        db.install(PackageBuilder::new("pbs", "2.3.16", "1").build());
+        let sol = solver.resolve_update(&db, None).unwrap();
+        assert_eq!(sol.installs.len(), 1);
+        assert_eq!(sol.installs[0].name(), "torque");
+
+        let cfg_no = YumConfig { obsoletes: false, ..config() };
+        let solver2 = Solver::new(&repos, &cfg_no);
+        let sol2 = solver2.resolve_update(&db, None).unwrap();
+        assert!(sol2.is_empty());
+    }
+
+    #[test]
+    fn already_installed_request_is_noop() {
+        let repos = one_repo(vec![PackageBuilder::new("gcc", "4.4.7", "17").build()]);
+        let cfg = config();
+        let solver = Solver::new(&repos, &cfg);
+        let mut db = RpmDb::new();
+        db.install(PackageBuilder::new("gcc", "4.4.7", "17").build());
+        let sol = solver.resolve_install(&db, &["gcc"]).unwrap();
+        assert!(sol.is_empty());
+    }
+
+    #[test]
+    fn diamond_dependency_resolved_once() {
+        let repos = one_repo(vec![
+            PackageBuilder::new("top", "1", "1").requires_simple("left").requires_simple("right").build(),
+            PackageBuilder::new("left", "1", "1").requires_simple("base").build(),
+            PackageBuilder::new("right", "1", "1").requires_simple("base").build(),
+            PackageBuilder::new("base", "1", "1").build(),
+        ]);
+        let cfg = config();
+        let solver = Solver::new(&repos, &cfg);
+        let db = RpmDb::new();
+        let sol = solver.resolve_install(&db, &["top"]).unwrap();
+        assert_eq!(sol.installs.len(), 4, "base must appear exactly once");
+    }
+}

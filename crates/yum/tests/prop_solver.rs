@@ -1,0 +1,115 @@
+//! Property tests for the Yum solver: closure soundness (every Requires of
+//! the solution satisfied post-transaction), priority shadowing, and
+//! update monotonicity.
+
+use proptest::prelude::*;
+use xcbc_rpm::{PackageBuilder, RpmDb};
+use xcbc_yum::{Repository, Yum, YumConfig};
+
+/// Build a random dependency forest of `n` packages where package i may
+/// require packages with smaller indices (guaranteeing solvability).
+fn forest(n: usize, edges: &[(usize, usize)]) -> Repository {
+    let mut repo = Repository::new("gen", "generated");
+    for i in 0..n {
+        let mut b = PackageBuilder::new(&format!("pkg{i}"), "1.0", "1");
+        for (from, to) in edges {
+            if *from == i && *to < i {
+                b = b.requires_simple(&format!("pkg{to}"));
+            }
+        }
+        repo.add_package(b.build());
+    }
+    repo
+}
+
+proptest! {
+    /// After `yum install` of any target, the database verifies clean:
+    /// every Requires satisfied, no conflicts.
+    #[test]
+    fn install_closure_is_sound(
+        n in 1usize..20,
+        edges in proptest::collection::vec((0usize..20, 0usize..20), 0..40),
+        target_seed in 0usize..20,
+    ) {
+        let repo = forest(n, &edges);
+        let mut yum = Yum::new(YumConfig::default());
+        yum.add_repository(repo);
+        let mut db = RpmDb::new();
+        let target = format!("pkg{}", target_seed % n);
+        yum.install(&mut db, &[&target]).unwrap();
+        prop_assert!(db.is_installed(&target));
+        prop_assert!(db.verify().is_empty(), "db must verify clean: {:?}", db.verify());
+    }
+
+    /// Installing everything one at a time ends in the same package set as
+    /// installing everything at once.
+    #[test]
+    fn batch_equals_incremental(
+        n in 1usize..12,
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 0..24),
+    ) {
+        let repo = forest(n, &edges);
+
+        let mut yum_a = Yum::new(YumConfig::default());
+        yum_a.add_repository(repo.clone());
+        let mut db_a = RpmDb::new();
+        let names: Vec<String> = (0..n).map(|i| format!("pkg{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        yum_a.install(&mut db_a, &refs).unwrap();
+
+        let mut yum_b = Yum::new(YumConfig::default());
+        yum_b.add_repository(repo);
+        let mut db_b = RpmDb::new();
+        for name in &names {
+            yum_b.install(&mut db_b, &[name]).unwrap();
+        }
+
+        prop_assert_eq!(db_a.names(), db_b.names());
+    }
+
+    /// With the priorities plugin on, a name carried by a
+    /// higher-priority repo always wins regardless of version.
+    #[test]
+    fn priority_shadowing_total(vlow in 1u32..9, vhigh in 1u32..9) {
+        let mut base = Repository::new("base", "base").with_priority(1);
+        base.add_package(PackageBuilder::new("p", &format!("{vlow}.0"), "1").build());
+        let mut addon = Repository::new("addon", "addon").with_priority(50);
+        addon.add_package(PackageBuilder::new("p", &format!("{vhigh}.0"), "1").build());
+        let mut yum = Yum::new(YumConfig::default());
+        yum.add_repository(base);
+        yum.add_repository(addon);
+        let mut db = RpmDb::new();
+        yum.install(&mut db, &["p"]).unwrap();
+        prop_assert_eq!(
+            db.newest("p").unwrap().package.evr().version.clone(),
+            format!("{vlow}.0")
+        );
+    }
+
+    /// `yum update` never downgrades: post-update EVR >= pre-update EVR
+    /// for every installed name.
+    #[test]
+    fn update_is_monotonic(versions in proptest::collection::vec(1u32..9, 1..8)) {
+        let mut repo = Repository::new("r", "r");
+        for (i, v) in versions.iter().enumerate() {
+            repo.add_package(PackageBuilder::new(&format!("p{i}"), &format!("{v}.0"), "1").build());
+        }
+        let mut yum = Yum::new(YumConfig::default());
+        yum.add_repository(repo);
+        let mut db = RpmDb::new();
+        for i in 0..versions.len() {
+            db.install(PackageBuilder::new(&format!("p{i}"), "1.0", "0").build());
+        }
+        let before: Vec<_> = (0..versions.len())
+            .map(|i| db.newest(&format!("p{i}")).unwrap().package.nevra.evr.clone())
+            .collect();
+        yum.update(&mut db, None).unwrap();
+        for i in 0..versions.len() {
+            let after = &db.newest(&format!("p{i}")).unwrap().package.nevra.evr;
+            prop_assert!(after >= &before[i]);
+        }
+        // and a second update is a no-op
+        let report = yum.update(&mut db, None).unwrap();
+        prop_assert!(report.upgraded.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! A week in the life of a deskside XCBC cluster: the batch system and
+//! the HTCondor roll share the machine, usage is accounted per user, a
+//! maintenance reservation protects the update window, and results move
+//! to XSEDE through the Globus endpoint.
+//!
+//! ```sh
+//! cargo run --example deskside_operations
+//! ```
+
+use xcbc::cluster::specs::littlefe_modified;
+use xcbc::core::bridging::{setup_endpoint, transfer, Endpoint, TransferFile};
+use xcbc::core::deploy::deploy_from_scratch;
+use xcbc::sched::{
+    submit_array, usage_report, ClusterSim, CondorPool, JobRequest, SchedPolicy,
+};
+
+fn main() {
+    // Monday: the cluster (already built with XCBC) takes the week's work.
+    let mut sim = ClusterSim::new(6, 2, SchedPolicy::maui_default());
+
+    // Friday 18:00–22:00 is the staged-update maintenance window.
+    let friday_start = 4.0 * 86_400.0 + 18.0 * 3600.0;
+    sim.add_reservation("yum update window", (0..6).collect(), friday_start, friday_start + 4.0 * 3600.0);
+
+    // alice runs MPI chemistry, bob runs a 30-task parameter sweep.
+    for day in 0..5u32 {
+        let t = day as f64 * 86_400.0 + 9.0 * 3600.0;
+        sim.submit_at(t, JobRequest::new("gromacs-md", 6, 2, 6.0 * 3600.0, 5.5 * 3600.0).by("alice"));
+    }
+    sim.run_until(86_400.0);
+    let array = submit_array(
+        &mut sim,
+        &JobRequest::new("bwa-sweep", 1, 1, 2.0 * 3600.0, 1.5 * 3600.0).by("bob"),
+        0..=29,
+    );
+    sim.run_to_completion();
+
+    println!("== weekly usage report ==");
+    print!("{}", usage_report(&sim).render());
+    let (done, total) = array.progress(&sim);
+    println!("bob's array: {done}/{total} tasks finished\n");
+
+    // The htcondor roll scavenges whatever the week left idle.
+    println!("== htcondor scavenging ==");
+    let mut condor = CondorPool::new(12);
+    for i in 0..40 {
+        condor.submit(&format!("autodock-{i}"), 3600.0, true);
+    }
+    // the owner takes the cores back during working hours each day
+    for _day in 0..5 {
+        condor.owner_claims(12);
+        condor.advance(8.0 * 3600.0); // working hours: nothing scavenged
+        condor.owner_releases(12);
+        condor.advance(16.0 * 3600.0); // nights: condor eats the queue
+    }
+    println!(
+        "  {} of 40 docking jobs finished overnight; goodput {:.0} core-h, badput {:.0} core-h",
+        condor.completed(),
+        condor.goodput_s / 3600.0,
+        condor.badput_s / 3600.0
+    );
+
+    // Ship the week's results to Stampede through the XSEDE tools.
+    println!("\n== results to XSEDE ==");
+    let report = deploy_from_scratch(&littlefe_modified()).expect("cluster exists");
+    let campus = setup_endpoint("campus#littlefe", &report.node_dbs["littlefe"], 80.0)
+        .expect("globus-connect-server came with the XSEDE roll");
+    let stampede = Endpoint { name: "xsede#stampede".to_string(), wan_mb_s: 1000.0 };
+    let xfer = transfer(
+        &campus,
+        &stampede,
+        &[TransferFile { path: "/export/data/week27-results.tar".to_string(), bytes: 12 << 30 }],
+        &[],
+    );
+    println!(
+        "  {} -> {}: {:.1} GB in {:.0} s, verified = {}",
+        xfer.source,
+        xfer.destination,
+        xfer.bytes as f64 / (1 << 30) as f64,
+        xfer.seconds,
+        xfer.verified
+    );
+}

@@ -1,0 +1,45 @@
+//! The §4 adoption story: regenerate Table 3, check the fleet totals,
+//! and project the half-petaflop 2020 goal.
+//!
+//! ```sh
+//! cargo run --example fleet_report
+//! ```
+
+use xcbc::core::report::render_table3;
+use xcbc::core::sites::{deployed_sites, fleet_totals, years_to_half_petaflops, AdoptionPath};
+
+fn main() {
+    print!("{}", render_table3());
+
+    let totals = fleet_totals();
+    println!(
+        "\n\"Clusters making use of XCBC or XNIT total almost 50 TFLOPS\": {:.2} TF across {} sites",
+        totals.rpeak_tflops, totals.sites
+    );
+
+    let from_scratch =
+        deployed_sites().iter().filter(|s| s.path == AdoptionPath::XcbcFromScratch).count();
+    println!(
+        "Adoption split: {} from-scratch XCBC builds, {} XNIT repository sites",
+        from_scratch,
+        totals.sites - from_scratch
+    );
+
+    let msi = deployed_sites().iter().filter(|s| s.msi_or_epscor).count();
+    println!(
+        "MSI/EPSCoR institutions: {}/{} (the paper: 'all but one')",
+        msi, totals.sites
+    );
+
+    println!("\nProjection to the half-petaflop goal (end of 2020):");
+    for growth_pct in [30u32, 50, 80] {
+        let growth = 1.0 + growth_pct as f64 / 100.0;
+        match years_to_half_petaflops(totals.rpeak_tflops, growth) {
+            Some(years) => println!(
+                "  at {growth_pct:>3}% annual growth: {years} years ({})",
+                if years <= 5 { "goal met by 2020" } else { "misses 2020" }
+            ),
+            None => println!("  at {growth_pct:>3}% annual growth: never"),
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Run the real Linpack implementation on this machine and compare the
+//! *shape* against Table 5: GFLOPS grow with problem size and threads,
+//! every run passes the residual check, and the analytic model maps the
+//! two deskside clusters' Rpeak to their paper Rmax values.
+//!
+//! ```sh
+//! cargo run --release --example linpack
+//! ```
+
+use xcbc::hpl::{run_hpl, sweep_block_size, EfficiencyModel, HplConfig};
+
+fn main() {
+    println!("HPL on this host (shape check — not 2015 hardware):\n");
+    println!("{:<10} {:>6} {:>8} {:>12} {:>10}", "N", "NB", "threads", "seconds", "GFLOPS");
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    for n in [256usize, 512, 1024] {
+        for t in [1usize, threads] {
+            let r = run_hpl(&HplConfig { n, nb: 64, threads: t, seed: 7 });
+            assert!(r.passed, "residual {} at N={n}", r.residual);
+            println!(
+                "{:<10} {:>6} {:>8} {:>12.3} {:>10.3}",
+                n, 64, t, r.seconds, r.gflops
+            );
+        }
+    }
+
+    println!("\nBlock-size sweep at N=512 (HPL.dat tuning):");
+    let (points, best) = sweep_block_size(512, &[8, 16, 32, 64, 128], 1, 11);
+    for p in &points {
+        println!("  NB={:<4} {:>8.3} GFLOPS {}", p.nb, p.gflops, if p.nb == best { "<= best" } else { "" });
+    }
+
+    println!("\nAnalytic Rmax model vs Table 5:");
+    let m = EfficiencyModel::gigabit_deskside();
+    let rows = [
+        ("LittleFe (6 nodes)", 537.6, 6u32, 40_000usize, 403.2, "estimated at 75% in-paper"),
+        ("Limulus HPC200 (4 nodes)", 793.6, 4, 64_000, 498.3, "measured by Basement Supercomputing"),
+    ];
+    for (name, rpeak, nodes, n, paper, note) in rows {
+        let rmax = m.rmax_gflops(rpeak, nodes, n);
+        println!(
+            "  {:<26} Rpeak {:>6.1}  model Rmax {:>6.1}  paper {:>6.1}  ({note})",
+            name, rpeak, rmax, paper
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! `xcbc` — the toolkit's command-line entry point.
+//!
+//! ```text
+//! xcbc tables              regenerate every paper table + figures
+//! xcbc deploy <target>     simulate a deployment (littlefe | limulus | both)
+//! xcbc lab <student>       run the training curriculum and print the grade sheet
+//! xcbc linpack [n]         run a real HPL point on this machine
+//! xcbc fleet               print the Table 3 fleet report
+//! xcbc compat              demo the compatibility checker on a bare cluster
+//! ```
+
+use std::collections::BTreeMap;
+use std::env;
+use std::process::ExitCode;
+
+use xcbc::cluster::specs::{limulus_hpc200, littlefe_modified};
+use xcbc::core::deploy::{deploy_from_scratch, deploy_xnit_overlay, limulus_factory_image};
+use xcbc::core::report;
+use xcbc::core::training::{littlefe_curriculum, LabSession};
+use xcbc::core::XnitSetupMethod;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "tables" => tables(),
+        "deploy" => deploy(args.get(1).map(String::as_str).unwrap_or("both")),
+        "lab" => lab(args.get(1).map(String::as_str).unwrap_or("student")),
+        "linpack" => linpack(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(512)),
+        "fleet" => {
+            print!("{}", report::render_table3());
+            ExitCode::SUCCESS
+        }
+        "compat" => compat(),
+        "help" | "--help" | "-h" => {
+            eprintln!(
+                "usage: xcbc <tables|deploy [littlefe|limulus|both]|lab [name]|linpack [n]|fleet|compat>"
+            );
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("xcbc: unknown command {other:?} (try `xcbc help`)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn tables() -> ExitCode {
+    print!("{}", report::render_table1());
+    println!();
+    print!("{}", report::render_table2());
+    print!("{}", report::render_table3());
+    println!();
+    print!("{}", report::render_table4());
+    println!();
+    print!("{}", report::render_table5());
+    println!();
+    print!("{}", report::render_figures());
+    ExitCode::SUCCESS
+}
+
+fn deploy(target: &str) -> ExitCode {
+    if target == "littlefe" || target == "both" {
+        match deploy_from_scratch(&littlefe_modified()) {
+            Ok(r) => println!("{}", r.render_row()),
+            Err(e) => {
+                eprintln!("littlefe deploy failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if target == "limulus" || target == "both" {
+        let existing: BTreeMap<_, _> = limulus_hpc200()
+            .nodes
+            .iter()
+            .map(|n| (n.hostname.clone(), limulus_factory_image()))
+            .collect();
+        match deploy_xnit_overlay(&existing, XnitSetupMethod::RepoRpm) {
+            Ok(r) => println!("{}", r.render_row()),
+            Err(e) => {
+                eprintln!("limulus overlay failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !["littlefe", "limulus", "both"].contains(&target) {
+        eprintln!("xcbc deploy: unknown target {target:?}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn lab(student: &str) -> ExitCode {
+    let mut session = LabSession::new(student, littlefe_modified());
+    session.run(&littlefe_curriculum());
+    print!("{}", session.render());
+    if session.grade() == 1.0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn linpack(n: usize) -> ExitCode {
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4).min(8);
+    let r = xcbc::hpl::run_hpl(&xcbc::hpl::HplConfig { n, nb: 64, threads, seed: 42 });
+    println!("{}", r.render());
+    if r.passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn compat() -> ExitCode {
+    use xcbc::core::compat::check_compatibility;
+    let bare = xcbc::rpm::RpmDb::new();
+    let report = check_compatibility(&bare);
+    println!(
+        "A bare cluster matches {}/{} reference packages; XNIT would install:",
+        report.matching, report.checked
+    );
+    for name in report.missing().iter().take(10) {
+        println!("  {name}");
+    }
+    println!("  ... and {} more", report.missing().len().saturating_sub(10));
+    ExitCode::SUCCESS
+}

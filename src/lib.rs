@@ -1,0 +1,24 @@
+//! # xcbc — XSEDE-compatible basic cluster & national integration toolkit
+//!
+//! Umbrella crate for the CLUSTER 2015 reproduction. Re-exports every
+//! subsystem so examples and integration tests can reach the whole stack
+//! through one dependency:
+//!
+//! * [`rpm`] — RPM package substrate (NEVRA, rpmvercmp, database, transactions)
+//! * [`yum`] — Yum repositories, dependency solver, priorities, updates
+//! * [`rocks`] — Rocks-style cluster distribution (rolls, kickstart graph, appliances)
+//! * [`cluster`] — cluster hardware simulation (LittleFe, Limulus HPC200, Table-3 sites)
+//! * [`sched`] — Torque/Maui, SLURM, SGE resource-manager simulation
+//! * [`hpl`] — High-Performance Linpack (blocked LU) and the analytic Rmax model
+//! * [`modules`] — environment modules
+//! * [`core`] — the paper's contribution: XCBC roll, XNIT repo, compatibility
+//!   checking, deployment paths, training curriculum
+
+pub use xcbc_cluster as cluster;
+pub use xcbc_core as core;
+pub use xcbc_hpl as hpl;
+pub use xcbc_modules as modules;
+pub use xcbc_rocks as rocks;
+pub use xcbc_rpm as rpm;
+pub use xcbc_sched as sched;
+pub use xcbc_yum as yum;

@@ -1,0 +1,106 @@
+//! End-to-end: the paper's primary workflow — a modified LittleFe built
+//! from scratch with Rocks + the XSEDE roll — exercised across every
+//! crate in the workspace.
+
+use xcbc::cluster::specs::littlefe_modified;
+use xcbc::cluster::thermal::LITTLEFE_BAY_CLEARANCE_MM;
+use xcbc::core::compat::check_compatibility;
+use xcbc::core::deploy::deploy_from_scratch;
+use xcbc::core::roll::xsede_roll;
+use xcbc::modules::{generate_from_rpmdb, ModuleSystem};
+use xcbc::rocks::{standard_rolls, Appliance, ClusterInstall, KickstartGraph};
+use xcbc::sched::{JobRequest, ResourceManager, TorqueServer};
+
+#[test]
+fn hardware_passes_all_design_constraints() {
+    let c = littlefe_modified();
+    assert!(c.power_budget_ok());
+    for n in &c.nodes {
+        assert!(xcbc::cluster::check_node_thermals(n, LITTLEFE_BAY_CLEARANCE_MM).is_empty());
+        assert!(!n.is_diskless(), "every node carries the Crucial mSATA drive");
+    }
+    let (ok, _) = c.rocks_installable();
+    assert!(ok);
+}
+
+#[test]
+fn full_install_produces_consistent_nodes() {
+    let mut rolls = standard_rolls();
+    rolls.push(xsede_roll());
+    let report = ClusterInstall::new(littlefe_modified(), rolls).run().unwrap();
+
+    assert_eq!(report.node_dbs.len(), 6);
+    for (host, db) in &report.node_dbs {
+        assert!(db.verify().is_empty(), "{host} rpmdb inconsistent");
+        assert!(db.is_installed("gromacs"), "{host}");
+        assert!(db.is_installed("maui"), "{host}");
+        assert!(db.len() > 120, "{host} only has {} packages", db.len());
+    }
+    // the rocks database knows every node with valid IPs
+    assert_eq!(report.rocks_db.host_count(), 6);
+    for h in report.rocks_db.hosts() {
+        assert!(h.ip.starts_with("10.1.255."));
+    }
+}
+
+#[test]
+fn installed_cluster_is_xsede_compatible_and_modular() {
+    let report = deploy_from_scratch(&littlefe_modified()).unwrap();
+    for db in report.node_dbs.values() {
+        let compat = check_compatibility(db);
+        assert!(compat.is_compatible(), "{}", compat.render());
+    }
+    // environment modules can be generated and loaded for the software
+    let db = &report.node_dbs["compute-0-0"];
+    let mut system = ModuleSystem::new();
+    let generated = generate_from_rpmdb(db);
+    assert!(generated.len() >= 20, "only {} modulefiles", generated.len());
+    for m in generated {
+        system.add(m);
+    }
+    system.load("gromacs").unwrap();
+    assert!(system.env().get("PATH").unwrap().contains("/usr/bin"));
+}
+
+#[test]
+fn graph_traversal_matches_install_contents() {
+    let mut graph = KickstartGraph::standard();
+    graph
+        .merge_roll_nodes(&xsede_roll().graph_nodes, &[Appliance::Frontend, Appliance::Compute])
+        .unwrap();
+    let compute_pkgs = graph.packages_for(Appliance::Compute).unwrap();
+
+    let mut rolls = standard_rolls();
+    rolls.push(xsede_roll());
+    let report = ClusterInstall::new(littlefe_modified(), rolls).run().unwrap();
+    let db = &report.node_dbs["compute-0-0"];
+    for pkg in &compute_pkgs {
+        assert!(db.is_installed(pkg), "graph says compute gets {pkg}");
+    }
+}
+
+#[test]
+fn cluster_runs_a_realistic_job_mix() {
+    use xcbc::sched::{SimMetrics, WorkloadGenerator, WorkloadProfile};
+    let mut torque = TorqueServer::with_maui("littlefe", 5, 2);
+    let mut gen = WorkloadGenerator::new(WorkloadProfile::teaching_lab(), 5, 2, 99);
+    for (t, req) in gen.generate(60) {
+        torque.advance_to(t);
+        torque.submit(req);
+    }
+    torque.drain();
+    let m: SimMetrics = torque.metrics();
+    assert_eq!(m.jobs_finished, 60);
+    assert!(m.utilization > 0.0 && m.utilization <= 1.0);
+}
+
+#[test]
+fn single_mpi_job_uses_whole_machine() {
+    let mut torque = TorqueServer::with_maui("littlefe", 5, 2);
+    let id = torque.qsub(JobRequest::new("hpl", 5, 2, 3600.0, 1800.0));
+    assert_eq!(id, "1.littlefe");
+    torque.drain();
+    let m = torque.metrics();
+    assert_eq!(m.jobs_finished, 1);
+    assert!((m.utilization - 1.0).abs() < 1e-9, "sole full-machine job: {m:?}");
+}

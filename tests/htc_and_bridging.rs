@@ -1,0 +1,87 @@
+//! Integration: the HTCondor roll's cycle scavenging alongside the batch
+//! system, and the XSEDE-tools data path (Globus endpoint + GFFS) from a
+//! freshly deployed campus cluster.
+
+use xcbc::cluster::specs::littlefe_modified;
+use xcbc::core::bridging::{setup_endpoint, transfer, Endpoint, GffsNamespace, TransferFile};
+use xcbc::core::deploy::deploy_from_scratch;
+use xcbc::sched::{ClusterSim, CondorPool, JobRequest, SchedPolicy};
+
+#[test]
+fn condor_scavenges_around_batch_demand() {
+    // a LittleFe: 12 cores shared between torque (owner) and condor
+    let mut condor = CondorPool::new(12);
+    for i in 0..24 {
+        condor.submit(&format!("param-sweep-{i}"), 600.0, true);
+    }
+
+    // mirror the batch system's demand with a simulator
+    let mut batch = ClusterSim::new(6, 2, SchedPolicy::maui_default());
+    batch.submit_at(0.0, JobRequest::new("mpi-burst", 6, 2, 1200.0, 1200.0));
+
+    // hour 0: batch takes the whole machine, condor waits
+    batch.run_until(0.0);
+    condor.owner_claims(12);
+    condor.advance(1200.0);
+    assert_eq!(condor.completed(), 0, "no scavenging while the owner computes");
+    assert_eq!(condor.goodput_s, 0.0);
+
+    // batch job ends: condor gets the cores back and chews through work
+    batch.run_to_completion();
+    condor.owner_releases(12);
+    condor.advance(1200.0);
+    assert_eq!(condor.completed(), 24, "two waves of 12 across 1200s");
+    assert_eq!(condor.badput_s, 0.0, "checkpointable jobs lose nothing");
+}
+
+#[test]
+fn checkpointless_scavenging_pays_badput_under_churn() {
+    let mut condor = CondorPool::new(4);
+    for i in 0..4 {
+        condor.submit(&format!("fragile-{i}"), 1000.0, false);
+    }
+    // owner churns: claim/release every 300s — jobs never finish
+    for _ in 0..4 {
+        condor.advance(300.0);
+        condor.owner_claims(4);
+        condor.advance(50.0);
+        condor.owner_releases(4);
+    }
+    assert_eq!(condor.completed(), 0);
+    assert!(condor.badput_s >= 4.0 * 300.0, "lost work accumulates: {}", condor.badput_s);
+}
+
+#[test]
+fn deployed_cluster_can_stand_up_globus_and_move_data() {
+    // full path: bare metal -> XCBC -> Globus endpoint -> GFFS -> transfer
+    let report = deploy_from_scratch(&littlefe_modified()).unwrap();
+    let head_db = &report.node_dbs["littlefe"];
+    let campus = setup_endpoint("campus#littlefe", head_db, 80.0).unwrap();
+
+    let stampede = Endpoint { name: "xsede#stampede".to_string(), wan_mb_s: 1000.0 };
+    let mut gffs = GffsNamespace::new();
+    gffs.export("/xsede/campus/iu/littlefe", &campus.name, "/export/data");
+
+    let (ep, local) = gffs.resolve("/xsede/campus/iu/littlefe/gromacs-run/traj.xtc").unwrap();
+    assert_eq!(ep, "campus#littlefe");
+    assert_eq!(local, "/export/data/gromacs-run/traj.xtc");
+
+    let files = vec![
+        TransferFile { path: local, bytes: 3 << 30 },
+        TransferFile { path: "/export/data/topol.tpr".to_string(), bytes: 10 << 20 },
+    ];
+    let xfer = transfer(&campus, &stampede, &files, &["/export/data/topol.tpr"]);
+    assert!(xfer.verified);
+    assert_eq!(xfer.files, 2);
+    assert_eq!(xfer.retried.len(), 1);
+    // 3082 MB + 10 MB retry at 80 MB/s ≈ 38.7 s
+    assert!((xfer.seconds - (3.0 * 1024.0 + 10.0 + 10.0) / 80.0).abs() < 1e-9);
+}
+
+#[test]
+fn endpoint_setup_fails_without_xnit_software() {
+    use xcbc::core::deploy::limulus_factory_image;
+    // factory Limulus: no globus yet — the error points at XNIT
+    let err = setup_endpoint("campus#limulus", &limulus_factory_image(), 80.0).unwrap_err();
+    assert!(err.to_string().contains("install it from XNIT"));
+}

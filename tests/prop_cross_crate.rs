@@ -1,0 +1,100 @@
+//! Cross-crate property tests: invariants that hold across the whole
+//! stack for randomized inputs.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use xcbc::core::compat::check_compatibility;
+use xcbc::core::deploy::deploy_xnit_overlay;
+use xcbc::core::xnit::XnitSetupMethod;
+use xcbc::rpm::{PackageBuilder, RpmDb};
+
+/// Build a random "pre-existing cluster" whose packages never collide
+/// with the XCBC catalog (site-local software).
+fn random_site_db(pkg_count: usize, seed: usize) -> RpmDb {
+    let mut db = RpmDb::new();
+    for i in 0..pkg_count {
+        db.install(
+            PackageBuilder::new(
+                &format!("site-local-{seed}-{i}"),
+                &format!("{}.{}", 1 + i % 5, i % 10),
+                "1.local",
+            )
+            .file(format!("/opt/site/{seed}/{i}"))
+            .build(),
+        );
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The §8 invariant for arbitrary pre-existing clusters: the XNIT
+    /// overlay reaches full compatibility and never removes anything.
+    #[test]
+    fn overlay_preserves_arbitrary_preexisting_software(
+        node_count in 1usize..4,
+        pkg_count in 0usize..12,
+    ) {
+        let existing: BTreeMap<String, RpmDb> = (0..node_count)
+            .map(|i| (format!("node-{i}"), random_site_db(pkg_count, i)))
+            .collect();
+        let report = deploy_xnit_overlay(&existing, XnitSetupMethod::RepoRpm).unwrap();
+        prop_assert!(report.compat.is_compatible());
+        prop_assert!(report.preexisting_preserved);
+        for (host, db) in &report.node_dbs {
+            prop_assert!(db.verify().is_empty(), "{host} inconsistent");
+            for i in 0..pkg_count {
+                let name = format!("site-local-{}-{i}", host.trim_start_matches("node-"));
+                prop_assert!(db.is_installed(&name));
+            }
+        }
+    }
+
+    /// Compatibility scoring is monotone: installing more reference
+    /// packages never lowers the score.
+    #[test]
+    fn compat_score_monotone(split in 1usize..100) {
+        let catalog = xcbc::core::catalog::xcbc_catalog();
+        let split = split.min(catalog.len());
+        let mut db = RpmDb::new();
+        let mut last = check_compatibility(&db).score;
+        // install in dependency-safe order by looping until progress stops
+        let mut remaining: Vec<_> = catalog.into_iter().take(split).collect();
+        while !remaining.is_empty() {
+            let before = remaining.len();
+            remaining.retain(|p| {
+                let deps_ok = p.requires.iter().all(|r| db.provides(r));
+                if deps_ok {
+                    db.install(p.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            let score = check_compatibility(&db).score;
+            prop_assert!(score >= last - 1e-12, "score dropped: {last} -> {score}");
+            last = score;
+            if remaining.len() == before {
+                // leftover entries depend on packages outside the prefix
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn hpl_and_scheduler_compose() {
+    // run a Linpack job description through the scheduler while the
+    // actual kernel runs — both halves of the Table 5 story in one test
+    use xcbc::hpl::{run_hpl, HplConfig};
+    use xcbc::sched::{JobRequest, ResourceManager, TorqueServer};
+
+    let result = run_hpl(&HplConfig { n: 128, nb: 32, threads: 2, seed: 3 });
+    assert!(result.passed);
+
+    let mut torque = TorqueServer::with_maui("littlefe", 5, 2);
+    torque.submit(JobRequest::new("hpl", 5, 2, result.seconds.max(1.0) * 10.0, result.seconds.max(0.5)));
+    torque.drain();
+    assert_eq!(torque.metrics().jobs_finished, 1);
+}
