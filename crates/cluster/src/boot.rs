@@ -27,6 +27,11 @@ pub struct Timeline {
     phases: Vec<BootPhase>,
 }
 
+/// Label prefix that marks a phase as retry backoff, so timelines can
+/// account for time lost to the resilience layer separately from real
+/// install work.
+pub const BACKOFF_PREFIX: &str = "backoff: ";
+
 impl Timeline {
     pub fn new() -> Self {
         Self::default()
@@ -46,6 +51,25 @@ impl Timeline {
         let start_s = self.phases.last().map(|p| p.start_s).unwrap_or(0.0);
         self.phases.push(BootPhase { start_s, duration_s, label: label.into() });
         self
+    }
+
+    /// Append a retry-backoff phase (labelled with [`BACKOFF_PREFIX`]).
+    /// Zero or negative durations are dropped so clean runs leave no
+    /// backoff phases behind.
+    pub fn push_backoff(&mut self, what: impl AsRef<str>, duration_s: f64) -> &mut Self {
+        if duration_s > 0.0 {
+            self.push(format!("{BACKOFF_PREFIX}{}", what.as_ref()), duration_s);
+        }
+        self
+    }
+
+    /// Total seconds spent in backoff phases.
+    pub fn backoff_seconds(&self) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.label.starts_with(BACKOFF_PREFIX))
+            .map(|p| p.duration_s)
+            .sum()
     }
 
     pub fn phases(&self) -> &[BootPhase] {
@@ -154,5 +178,27 @@ mod tests {
         let t = Timeline::new();
         assert!(t.is_empty());
         assert_eq!(t.total_seconds(), 0.0);
+    }
+
+    #[test]
+    fn backoff_phases_tracked_separately() {
+        let mut t = Timeline::new();
+        t.push("frontend install", 600.0);
+        t.push_backoff("mirror.fetch retry", 6.0);
+        t.push("compute install", 300.0);
+        t.push_backoff("dhcp.discover retry", 4.0);
+        assert_eq!(t.backoff_seconds(), 10.0);
+        assert_eq!(t.total_seconds(), 910.0);
+        assert!(t.render().contains("backoff: mirror.fetch retry"));
+    }
+
+    #[test]
+    fn zero_backoff_leaves_no_phase() {
+        let mut t = Timeline::new();
+        t.push("install", 100.0);
+        t.push_backoff("nothing", 0.0);
+        t.push_backoff("negative", -3.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.backoff_seconds(), 0.0);
     }
 }

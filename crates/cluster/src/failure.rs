@@ -40,6 +40,22 @@ impl FailedComponent {
             FailedComponent::Motherboard | FailedComponent::Cpu | FailedComponent::Psu
         )
     }
+
+    /// The hardware component a provisioning fault of `kind` most
+    /// plausibly indicates, used when quarantined nodes are mapped onto
+    /// a [`DegradedCluster`]: a node that hangs at boot looks like a dead
+    /// motherboard, repeated DHCP timeouts like a bad NIC, a failed
+    /// scriptlet or persistent transient error like a disk that needs
+    /// reinstalling, and a power loss like a dead PSU.
+    pub fn from_fault_kind(kind: xcbc_fault::FaultKind) -> FailedComponent {
+        match kind {
+            xcbc_fault::FaultKind::Transient => FailedComponent::Disk,
+            xcbc_fault::FaultKind::Timeout => FailedComponent::Nic,
+            xcbc_fault::FaultKind::Hang => FailedComponent::Motherboard,
+            xcbc_fault::FaultKind::ScriptletError => FailedComponent::Disk,
+            xcbc_fault::FaultKind::PowerLoss => FailedComponent::Psu,
+        }
+    }
 }
 
 /// One injected failure.
@@ -60,6 +76,24 @@ impl DegradedCluster {
     /// Apply failures to a healthy cluster.
     pub fn new(spec: ClusterSpec, failures: Vec<Failure>) -> Self {
         DegradedCluster { spec, failures }
+    }
+
+    /// Build a degraded cluster from provisioning quarantine: each
+    /// quarantined node becomes a [`Failure`] whose component is derived
+    /// from the fault kind that exhausted its retry budget (see
+    /// [`FailedComponent::from_fault_kind`]).
+    pub fn from_quarantine<'a>(
+        spec: ClusterSpec,
+        quarantined: impl IntoIterator<Item = (&'a str, xcbc_fault::FaultKind)>,
+    ) -> Self {
+        let failures = quarantined
+            .into_iter()
+            .map(|(hostname, kind)| Failure {
+                hostname: hostname.to_string(),
+                component: FailedComponent::from_fault_kind(kind),
+            })
+            .collect();
+        DegradedCluster::new(spec, failures)
     }
 
     /// Hostnames that are fully offline.
@@ -220,6 +254,34 @@ mod tests {
             }
         }
         assert!(!failures.is_empty());
+    }
+
+    #[test]
+    fn quarantine_maps_fault_kinds_to_components() {
+        use xcbc_fault::FaultKind;
+        let degraded = DegradedCluster::from_quarantine(
+            littlefe_modified(),
+            vec![
+                ("compute-0-3", FaultKind::Hang),
+                ("compute-0-1", FaultKind::Timeout),
+            ],
+        );
+        // A boot hang is fatal (motherboard); a DHCP timeout is a NIC.
+        assert_eq!(degraded.offline_nodes(), vec!["compute-0-3"]);
+        assert_eq!(degraded.usable_nodes().len(), 5);
+        assert!(!degraded.can_run_full_linpack(), "NIC quarantine breaks the all-node run");
+        assert!(degraded.frontend_alive());
+    }
+
+    #[test]
+    fn scriptlet_quarantine_needs_reinstall() {
+        use xcbc_fault::FaultKind;
+        let degraded = DegradedCluster::from_quarantine(
+            littlefe_modified(),
+            vec![("compute-0-2", FaultKind::ScriptletError)],
+        );
+        assert_eq!(degraded.needs_reinstall(), vec!["compute-0-2"]);
+        assert!(degraded.offline_nodes().is_empty());
     }
 
     #[test]

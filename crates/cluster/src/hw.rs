@@ -217,6 +217,8 @@ pub const ROSEWILL_RCX_Z775_LP: Cooler =
     Cooler { name: "Rosewill RCX-Z775-LP 80mm Low Profile", height_mm: 37.0, capacity_watts: 65.0, has_fan: true };
 
 #[cfg(test)]
+// the paper's hardware facts are constants; asserting them is the point
+#[allow(clippy::assertions_on_constants)]
 mod tests {
     use super::*;
 

@@ -12,8 +12,9 @@ use crate::compat::{check_compatibility, CompatReport};
 use crate::roll::xsede_roll;
 use crate::xnit::{enable_xnit, XnitSetupMethod};
 use std::collections::BTreeMap;
-use xcbc_cluster::{ClusterSpec, Timeline};
-use xcbc_rocks::{standard_rolls, ClusterInstall, InstallError};
+use xcbc_cluster::{ClusterSpec, DegradedCluster, Timeline};
+use xcbc_fault::{FaultPlan, InstallCheckpoint, PostMortem};
+use xcbc_rocks::{standard_rolls, ClusterInstall, InstallError, ResilienceConfig};
 use xcbc_rpm::{PackageBuilder, PackageGroup, RpmDb};
 use xcbc_yum::{SolveError, Yum, YumConfig};
 
@@ -42,6 +43,13 @@ pub struct DeploymentReport {
     pub compat: CompatReport,
     /// Per-node package databases after deployment.
     pub node_dbs: BTreeMap<String, RpmDb>,
+    /// Resilience telemetry, when the deployment ran under fault
+    /// injection (faults, retries, backoff, quarantines).
+    pub post_mortem: Option<PostMortem>,
+    /// The cluster minus quarantined nodes, when any were quarantined.
+    pub degraded: Option<DegradedCluster>,
+    /// Final install checkpoint, for resuming an aborted deployment.
+    pub checkpoint: Option<InstallCheckpoint>,
 }
 
 /// The software a Limulus HPC200 ships with from the factory:
@@ -110,6 +118,82 @@ pub fn deploy_from_scratch(cluster: &ClusterSpec) -> Result<DeploymentReport, In
         compat,
         timeline: report.timeline,
         node_dbs: report.node_dbs,
+        post_mortem: None,
+        degraded: None,
+        checkpoint: None,
+    })
+}
+
+/// Deploy from scratch under a fault plan: same Rocks + XSEDE roll
+/// install, but every risky step (mirror fetch, DHCP discovery,
+/// kickstart generation, RPM scriptlets, node boot) runs behind the
+/// retry/checkpoint machinery of [`ClusterInstall::run_resilient`].
+///
+/// Nodes that exhaust their retry budget are quarantined rather than
+/// failing the deployment: the report then carries a [`DegradedCluster`]
+/// view of the survivors and a [`PostMortem`] accounting of every fault,
+/// retry, and second lost to backoff. A power-loss fault aborts with a
+/// checkpoint inside the returned [`InstallError`]; passing that
+/// checkpoint back as `resume_from` continues the install without
+/// re-provisioning committed nodes.
+pub fn deploy_from_scratch_resilient(
+    cluster: &ClusterSpec,
+    plan: &FaultPlan,
+    config: &ResilienceConfig,
+    resume_from: InstallCheckpoint,
+) -> Result<DeploymentReport, InstallError> {
+    let mut rolls = standard_rolls();
+    rolls.push(xsede_roll());
+    let install = ClusterInstall::new(cluster.clone(), rolls);
+    let mut injector = plan.injector();
+    let resilient = install.run_resilient(&mut injector, config, resume_from)?;
+
+    let compute = resilient
+        .report
+        .node_dbs
+        .iter()
+        .find(|(name, _)| name.starts_with("compute-"))
+        .map(|(_, db)| db)
+        .or_else(|| resilient.report.node_dbs.values().next())
+        .expect("install produced at least one node");
+    let compat = check_compatibility(compute);
+
+    let mut admin_steps = vec![
+        "burn Rocks 6.1.1 + XSEDE roll install media".to_string(),
+        "boot frontend from media, answer installer screens".to_string(),
+        "select rolls: base kernel os web-server + xsede".to_string(),
+        "wait for frontend install".to_string(),
+        "run insert-ethers, power nodes on in order".to_string(),
+        "wait for compute PXE installs".to_string(),
+        "verify with cluster-fork + qsub test job".to_string(),
+    ];
+
+    let degraded = if resilient.quarantined.is_empty() {
+        None
+    } else {
+        for (node, kind) in &resilient.quarantined {
+            admin_steps.push(format!(
+                "service quarantined node {node} ({}), then reinstall it",
+                kind.as_str()
+            ));
+        }
+        Some(DegradedCluster::from_quarantine(
+            cluster.clone(),
+            resilient.quarantined.iter().map(|(n, k)| (n.as_str(), *k)),
+        ))
+    };
+
+    Ok(DeploymentReport {
+        path: DeploymentPath::FromScratch,
+        admin_steps,
+        nodes_reinstalled: resilient.report.node_dbs.len(),
+        preexisting_preserved: false, // bare metal wipes everything
+        compat,
+        timeline: resilient.report.timeline,
+        node_dbs: resilient.report.node_dbs,
+        post_mortem: Some(resilient.post_mortem),
+        degraded,
+        checkpoint: Some(resilient.checkpoint),
     })
 }
 
@@ -174,6 +258,9 @@ pub fn deploy_xnit_overlay(
         compat,
         timeline,
         node_dbs,
+        post_mortem: None,
+        degraded: None,
+        checkpoint: None,
     })
 }
 
@@ -192,6 +279,27 @@ impl DeploymentReport {
             self.preexisting_preserved,
             self.compat.score * 100.0
         )
+    }
+
+    /// Render the comparison row plus, when the deployment ran under
+    /// fault injection, the resilience post-mortem and degraded view.
+    pub fn render(&self) -> String {
+        let mut out = self.render_row();
+        out.push('\n');
+        if let Some(pm) = &self.post_mortem {
+            out.push_str(&pm.render());
+        }
+        if let Some(degraded) = &self.degraded {
+            let offline = degraded.offline_nodes();
+            out.push_str(&format!(
+                "degraded view       : {}/{} node(s) usable, offline: [{}], full-linpack: {}\n",
+                degraded.usable_nodes().len(),
+                degraded.spec.nodes.len(),
+                offline.join(", "),
+                degraded.can_run_full_linpack()
+            ));
+        }
+        out
     }
 }
 
@@ -218,8 +326,8 @@ mod tests {
     fn from_scratch_on_limulus_fails() {
         // diskless blades: the reason the paper pairs Limulus with XNIT
         assert!(matches!(
-            deploy_from_scratch(&limulus_hpc200()),
-            Err(InstallError::NotInstallable(_))
+            deploy_from_scratch(&limulus_hpc200()).map_err(|e| e.kind),
+            Err(xcbc_rocks::InstallErrorKind::NotInstallable(_))
         ));
     }
 
@@ -268,6 +376,64 @@ mod tests {
         let row = overlay.render_row();
         assert!(row.contains("XNIT overlay"));
         assert!(row.contains("reinstalls=0"));
+    }
+
+    #[test]
+    fn resilient_clean_plan_matches_plain_deploy() {
+        let plain = deploy_from_scratch(&littlefe_modified()).unwrap();
+        let resilient = deploy_from_scratch_resilient(
+            &littlefe_modified(),
+            &FaultPlan::new(42),
+            &ResilienceConfig::default(),
+            InstallCheckpoint::new(),
+        )
+        .unwrap();
+        assert_eq!(resilient.node_dbs, plain.node_dbs);
+        assert!(
+            (resilient.timeline.total_seconds() - plain.timeline.total_seconds()).abs() < 1e-6
+        );
+        assert!(resilient.post_mortem.as_ref().unwrap().is_clean());
+        assert!(resilient.degraded.is_none());
+        assert!(resilient.compat.is_compatible());
+    }
+
+    #[test]
+    fn resilient_deploy_quarantines_and_reports() {
+        use xcbc_fault::{FaultWindow, InjectionPoint};
+        let plan = FaultPlan::new(7).fail(
+            InjectionPoint::NodeBoot,
+            Some("compute-0-2"),
+            FaultWindow::Always,
+        );
+        let report = deploy_from_scratch_resilient(
+            &littlefe_modified(),
+            &plan,
+            &ResilienceConfig::default(),
+            InstallCheckpoint::new(),
+        )
+        .unwrap();
+
+        // deployment completed on the survivors
+        assert!(!report.node_dbs.contains_key("compute-0-2"));
+        assert_eq!(report.node_dbs.len(), 5);
+        assert!(report.compat.is_compatible());
+
+        // the degraded view marks the hung node offline
+        let degraded = report.degraded.as_ref().unwrap();
+        assert_eq!(degraded.offline_nodes(), vec!["compute-0-2"]);
+        assert!(!degraded.can_run_full_linpack());
+
+        // post-mortem + admin steps call out the quarantine
+        let pm = report.post_mortem.as_ref().unwrap();
+        assert!(!pm.is_clean());
+        assert!(pm.render().contains("compute-0-2"));
+        assert!(report
+            .admin_steps
+            .iter()
+            .any(|s| s.contains("quarantined node compute-0-2")));
+        let rendered = report.render();
+        assert!(rendered.contains("degraded view"));
+        assert!(rendered.contains("5/6 node(s) usable"));
     }
 
     #[test]

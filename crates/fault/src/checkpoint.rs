@@ -1,0 +1,301 @@
+//! Install checkpoints: per-node provisioning progress that survives a
+//! mid-install power loss.
+//!
+//! Rocks installs are long — a frontend install alone is ~10 minutes of
+//! screens plus package commit, and each compute node reinstalls itself
+//! from PXE. If the power fails halfway through, the expensive outcome is
+//! rewiping nodes that had already committed their package set. The
+//! checkpoint records the furthest stage each node reached so a re-run
+//! can skip committed work.
+//!
+//! Stages are strictly ordered and [`InstallCheckpoint::record`] is
+//! monotone: recording an earlier stage for a node never regresses it.
+//! The text format round-trips via [`InstallCheckpoint::to_text`] /
+//! [`InstallCheckpoint::parse`], standing in for the state file a real
+//! frontend would keep under `/var/lib/`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How far a node got through provisioning, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NodeStage {
+    /// Known to the install but nothing has happened yet.
+    Pending,
+    /// insert-ethers saw its DHCP request and assigned it a name/MAC.
+    Discovered,
+    /// A kickstart file was generated and served to it.
+    Kickstarted,
+    /// Its RPM transaction committed; the node is fully installed.
+    PackagesCommitted,
+}
+
+impl NodeStage {
+    pub const ALL: [NodeStage; 4] = [
+        NodeStage::Pending,
+        NodeStage::Discovered,
+        NodeStage::Kickstarted,
+        NodeStage::PackagesCommitted,
+    ];
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            NodeStage::Pending => "pending",
+            NodeStage::Discovered => "discovered",
+            NodeStage::Kickstarted => "kickstarted",
+            NodeStage::PackagesCommitted => "packages-committed",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<NodeStage> {
+        NodeStage::ALL.iter().copied().find(|st| st.as_str() == s)
+    }
+}
+
+impl fmt::Display for NodeStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Errors from [`InstallCheckpoint::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for CheckpointParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "checkpoint line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CheckpointParseError {}
+
+/// Durable record of install progress for one cluster.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstallCheckpoint {
+    /// The frontend finished its screens + package commit.
+    frontend_committed: bool,
+    /// Furthest stage reached per node, keyed by node name.
+    stages: BTreeMap<String, NodeStage>,
+    /// Nodes pulled from the install with the reason, keyed by node name.
+    quarantined: BTreeMap<String, String>,
+}
+
+impl InstallCheckpoint {
+    pub fn new() -> Self {
+        InstallCheckpoint::default()
+    }
+
+    pub fn frontend_committed(&self) -> bool {
+        self.frontend_committed
+    }
+
+    pub fn mark_frontend_committed(&mut self) {
+        self.frontend_committed = true;
+    }
+
+    /// Record that `node` reached `stage`. Monotone: an earlier stage
+    /// never overwrites a later one, so replaying a resumed install's
+    /// early steps cannot regress the checkpoint.
+    pub fn record(&mut self, node: &str, stage: NodeStage) {
+        let entry = self.stages.entry(node.to_string()).or_insert(NodeStage::Pending);
+        if stage > *entry {
+            *entry = stage;
+        }
+    }
+
+    /// Furthest stage `node` is known to have reached.
+    pub fn stage(&self, node: &str) -> NodeStage {
+        self.stages.get(node).copied().unwrap_or(NodeStage::Pending)
+    }
+
+    /// True when `node`'s package transaction committed.
+    pub fn is_committed(&self, node: &str) -> bool {
+        self.stage(node) == NodeStage::PackagesCommitted
+    }
+
+    /// Names of all fully installed nodes, sorted.
+    pub fn committed_nodes(&self) -> Vec<&str> {
+        self.stages
+            .iter()
+            .filter(|(_, st)| **st == NodeStage::PackagesCommitted)
+            .map(|(name, _)| name.as_str())
+            .collect()
+    }
+
+    /// Pull `node` from the install, recording why.
+    pub fn quarantine(&mut self, node: &str, reason: &str) {
+        self.quarantined.insert(node.to_string(), reason.to_string());
+    }
+
+    pub fn is_quarantined(&self, node: &str) -> bool {
+        self.quarantined.contains_key(node)
+    }
+
+    /// Quarantined nodes with reasons, sorted by name.
+    pub fn quarantined(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.quarantined.iter().map(|(n, r)| (n.as_str(), r.as_str()))
+    }
+
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    /// All tracked nodes and their stages, sorted by name.
+    pub fn nodes(&self) -> impl Iterator<Item = (&str, NodeStage)> {
+        self.stages.iter().map(|(n, st)| (n.as_str(), *st))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        !self.frontend_committed && self.stages.is_empty() && self.quarantined.is_empty()
+    }
+
+    /// Serialize to the line-oriented state-file format:
+    ///
+    /// ```text
+    /// frontend committed
+    /// node compute-0-0 packages-committed
+    /// quarantine compute-0-3 node.boot: retry budget exhausted
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if self.frontend_committed {
+            out.push_str("frontend committed\n");
+        }
+        for (name, stage) in &self.stages {
+            out.push_str(&format!("node {name} {stage}\n"));
+        }
+        for (name, reason) in &self.quarantined {
+            out.push_str(&format!("quarantine {name} {reason}\n"));
+        }
+        out
+    }
+
+    /// Parse the [`to_text`](Self::to_text) format. Blank lines and
+    /// `#` comments are ignored.
+    pub fn parse(text: &str) -> Result<InstallCheckpoint, CheckpointParseError> {
+        let mut cp = InstallCheckpoint::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |message: String| CheckpointParseError { line: idx + 1, message };
+            let mut words = line.splitn(3, ' ');
+            match words.next() {
+                Some("frontend") => {
+                    if words.next() != Some("committed") {
+                        return Err(err(format!("expected `frontend committed`, got `{line}`")));
+                    }
+                    cp.frontend_committed = true;
+                }
+                Some("node") => {
+                    let name = words.next().ok_or_else(|| err("missing node name".into()))?;
+                    let stage_s =
+                        words.next().ok_or_else(|| err("missing node stage".into()))?;
+                    let stage = NodeStage::parse(stage_s)
+                        .ok_or_else(|| err(format!("unknown stage `{stage_s}`")))?;
+                    cp.record(name, stage);
+                }
+                Some("quarantine") => {
+                    let name = words.next().ok_or_else(|| err("missing node name".into()))?;
+                    let reason = words.next().unwrap_or("").to_string();
+                    cp.quarantined.insert(name.to_string(), reason);
+                }
+                Some(other) => {
+                    return Err(err(format!("unknown directive `{other}`")));
+                }
+                None => unreachable!("splitn yields at least one item"),
+            }
+        }
+        Ok(cp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_are_ordered() {
+        assert!(NodeStage::Pending < NodeStage::Discovered);
+        assert!(NodeStage::Discovered < NodeStage::Kickstarted);
+        assert!(NodeStage::Kickstarted < NodeStage::PackagesCommitted);
+    }
+
+    #[test]
+    fn record_is_monotone() {
+        let mut cp = InstallCheckpoint::new();
+        cp.record("compute-0-0", NodeStage::Kickstarted);
+        cp.record("compute-0-0", NodeStage::Discovered);
+        assert_eq!(cp.stage("compute-0-0"), NodeStage::Kickstarted);
+        cp.record("compute-0-0", NodeStage::PackagesCommitted);
+        assert!(cp.is_committed("compute-0-0"));
+    }
+
+    #[test]
+    fn unknown_node_is_pending() {
+        let cp = InstallCheckpoint::new();
+        assert_eq!(cp.stage("compute-9-9"), NodeStage::Pending);
+        assert!(!cp.is_committed("compute-9-9"));
+    }
+
+    #[test]
+    fn committed_nodes_sorted() {
+        let mut cp = InstallCheckpoint::new();
+        cp.record("compute-0-1", NodeStage::PackagesCommitted);
+        cp.record("compute-0-0", NodeStage::PackagesCommitted);
+        cp.record("compute-0-2", NodeStage::Kickstarted);
+        assert_eq!(cp.committed_nodes(), vec!["compute-0-0", "compute-0-1"]);
+    }
+
+    #[test]
+    fn quarantine_tracked_with_reason() {
+        let mut cp = InstallCheckpoint::new();
+        cp.quarantine("compute-0-3", "node.boot: retry budget exhausted");
+        assert!(cp.is_quarantined("compute-0-3"));
+        assert_eq!(cp.quarantined_count(), 1);
+        let q: Vec<_> = cp.quarantined().collect();
+        assert_eq!(q, vec![("compute-0-3", "node.boot: retry budget exhausted")]);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut cp = InstallCheckpoint::new();
+        cp.mark_frontend_committed();
+        cp.record("compute-0-0", NodeStage::PackagesCommitted);
+        cp.record("compute-0-1", NodeStage::Discovered);
+        cp.quarantine("compute-0-2", "rpm.scriptlet: transaction rolled back");
+        let text = cp.to_text();
+        let parsed = InstallCheckpoint::parse(&text).unwrap();
+        assert_eq!(parsed, cp);
+    }
+
+    #[test]
+    fn parse_ignores_comments_and_blanks() {
+        let cp = InstallCheckpoint::parse(
+            "# resumed 2016-07-12\n\nfrontend committed\nnode compute-0-0 kickstarted\n",
+        )
+        .unwrap();
+        assert!(cp.frontend_committed());
+        assert_eq!(cp.stage("compute-0-0"), NodeStage::Kickstarted);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let err = InstallCheckpoint::parse("node compute-0-0 warp-speed").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("warp-speed"));
+        assert!(InstallCheckpoint::parse("reboot now").is_err());
+        assert!(InstallCheckpoint::parse("frontend exploded").is_err());
+    }
+
+    #[test]
+    fn empty_checkpoint_is_empty() {
+        assert!(InstallCheckpoint::new().is_empty());
+        assert!(InstallCheckpoint::parse("").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! Post-mortem: the report section a fault-injected deployment emits.
+//!
+//! After a degraded install completes on its survivors, the operator
+//! needs to know what the resilience layer actually did: which faults
+//! fired, how many retries were spent absorbing them, how much virtual
+//! time was lost to backoff, and which nodes were quarantined. The
+//! rendering is deterministic — identical fault plans yield
+//! byte-identical post-mortems, which the property tests assert.
+
+use std::fmt;
+
+use crate::plan::FaultEvent;
+
+/// Accumulated resilience telemetry for one deployment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PostMortem {
+    /// Seed of the fault plan that drove the run (None: no injection).
+    pub seed: Option<u64>,
+    /// Every fault the injector fired, in injection order.
+    pub faults: Vec<FaultEvent>,
+    /// Retry attempts spent beyond first tries, across all operations.
+    pub retries_spent: u32,
+    /// Total virtual time charged to backoff delays, seconds.
+    pub backoff_s: f64,
+    /// Nodes pulled from the install, with reasons (sorted by caller).
+    pub quarantined: Vec<(String, String)>,
+    /// Nodes skipped on resume because a checkpoint showed them
+    /// already committed.
+    pub resumed_nodes: Vec<String>,
+}
+
+impl PostMortem {
+    pub fn new(seed: Option<u64>) -> Self {
+        PostMortem { seed, ..PostMortem::default() }
+    }
+
+    /// Record the outcome of one retried operation.
+    pub fn charge_retries(&mut self, retries: u32, backoff_s: f64) {
+        self.retries_spent += retries;
+        self.backoff_s += backoff_s;
+    }
+
+    pub fn record_fault(&mut self, event: FaultEvent) {
+        self.faults.push(event);
+    }
+
+    pub fn record_quarantine(&mut self, node: &str, reason: &str) {
+        self.quarantined.push((node.to_string(), reason.to_string()));
+    }
+
+    pub fn record_resumed(&mut self, node: &str) {
+        self.resumed_nodes.push(node.to_string());
+    }
+
+    /// Merge another post-mortem (e.g. from a sub-phase) into this one.
+    pub fn absorb(&mut self, other: PostMortem) {
+        self.faults.extend(other.faults);
+        self.retries_spent += other.retries_spent;
+        self.backoff_s += other.backoff_s;
+        self.quarantined.extend(other.quarantined);
+        self.resumed_nodes.extend(other.resumed_nodes);
+    }
+
+    /// True when the run saw no faults, retries, or quarantines — the
+    /// report can omit the section entirely.
+    pub fn is_clean(&self) -> bool {
+        self.faults.is_empty()
+            && self.retries_spent == 0
+            && self.backoff_s == 0.0
+            && self.quarantined.is_empty()
+            && self.resumed_nodes.is_empty()
+    }
+
+    /// Deterministic text rendering for the deployment report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Post-mortem ==\n");
+        match self.seed {
+            Some(seed) => out.push_str(&format!("fault plan seed   : {seed}\n")),
+            None => out.push_str("fault plan seed   : (none)\n"),
+        }
+        out.push_str(&format!("faults injected   : {}\n", self.faults.len()));
+        out.push_str(&format!("retries spent     : {}\n", self.retries_spent));
+        out.push_str(&format!("backoff time lost : {:.1}s\n", self.backoff_s));
+        out.push_str(&format!("nodes quarantined : {}\n", self.quarantined.len()));
+        if !self.resumed_nodes.is_empty() {
+            out.push_str(&format!(
+                "resumed from checkpoint: {} node(s) skipped ({})\n",
+                self.resumed_nodes.len(),
+                self.resumed_nodes.join(", ")
+            ));
+        }
+        for event in &self.faults {
+            out.push_str(&format!(
+                "  fault {} at {} [{}] hit {}\n",
+                event.kind.as_str(),
+                event.point.as_str(),
+                event.key,
+                event.hit
+            ));
+        }
+        for (node, reason) in &self.quarantined {
+            out.push_str(&format!("  quarantined {node}: {reason}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for PostMortem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultKind, InjectionPoint};
+
+    fn sample_event() -> FaultEvent {
+        FaultEvent {
+            point: InjectionPoint::MirrorFetch,
+            key: "mirror-a".to_string(),
+            hit: 0,
+            kind: FaultKind::Transient,
+        }
+    }
+
+    #[test]
+    fn fresh_postmortem_is_clean() {
+        assert!(PostMortem::new(Some(7)).is_clean());
+    }
+
+    #[test]
+    fn charges_accumulate() {
+        let mut pm = PostMortem::new(Some(1));
+        pm.charge_retries(2, 6.5);
+        pm.charge_retries(1, 2.0);
+        assert_eq!(pm.retries_spent, 3);
+        assert!((pm.backoff_s - 8.5).abs() < 1e-9);
+        assert!(!pm.is_clean());
+    }
+
+    #[test]
+    fn render_mentions_everything() {
+        let mut pm = PostMortem::new(Some(42));
+        pm.record_fault(sample_event());
+        pm.charge_retries(1, 2.2);
+        pm.record_quarantine("compute-0-3", "node.boot: retry budget exhausted");
+        pm.record_resumed("compute-0-0");
+        let text = pm.render();
+        assert!(text.contains("fault plan seed   : 42"));
+        assert!(text.contains("faults injected   : 1"));
+        assert!(text.contains("retries spent     : 1"));
+        assert!(text.contains("backoff time lost : 2.2s"));
+        assert!(text.contains("nodes quarantined : 1"));
+        assert!(text.contains("mirror.fetch"));
+        assert!(text.contains("quarantined compute-0-3"));
+        assert!(text.contains("resumed from checkpoint: 1 node(s) skipped (compute-0-0)"));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let mut a = PostMortem::new(Some(3));
+        a.record_fault(sample_event());
+        a.charge_retries(2, 4.0);
+        let mut b = PostMortem::new(Some(3));
+        b.record_fault(sample_event());
+        b.charge_retries(2, 4.0);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn absorb_merges_sub_reports() {
+        let mut main = PostMortem::new(Some(5));
+        main.charge_retries(1, 2.0);
+        let mut sub = PostMortem::new(Some(5));
+        sub.record_fault(sample_event());
+        sub.charge_retries(2, 3.0);
+        sub.record_quarantine("compute-0-1", "hang");
+        main.absorb(sub);
+        assert_eq!(main.retries_spent, 3);
+        assert_eq!(main.faults.len(), 1);
+        assert_eq!(main.quarantined.len(), 1);
+        assert!((main.backoff_s - 5.0).abs() < 1e-9);
+    }
+}

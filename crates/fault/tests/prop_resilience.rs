@@ -1,0 +1,108 @@
+//! Property tests for the resilience primitives: retry loops always
+//! terminate inside their attempt/backoff budgets, backoff grows
+//! monotonically, and everything seeded is bit-reproducible.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xcbc_fault::{retry_with, FaultPlan, InjectionPoint, RetryPolicy};
+
+fn policy(
+    max_attempts: u32,
+    base_delay_s: f64,
+    multiplier: f64,
+    max_delay_s: f64,
+    jitter: f64,
+    budget_s: f64,
+) -> RetryPolicy {
+    RetryPolicy { max_attempts, base_delay_s, multiplier, max_delay_s, jitter, budget_s }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A retried operation always terminates within the attempt budget,
+    /// and the backoff it charges never exceeds either the backoff
+    /// budget or the analytic bound.
+    #[test]
+    fn retry_terminates_within_budget(
+        seed in any::<u64>(),
+        max_attempts in 1u32..12,
+        base in 0.01f64..20.0,
+        multiplier in 1.0f64..4.0,
+        cap in 0.01f64..200.0,
+        jitter in 0.0f64..0.9,
+        budget in 0.0f64..300.0,
+        fail_first in 0u32..16,
+    ) {
+        let p = policy(max_attempts, base, multiplier, cap, jitter, budget);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut calls = 0u32;
+        let out = retry_with(&p, &mut rng, |attempt| {
+            calls += 1;
+            if attempt <= fail_first { Err("injected") } else { Ok(attempt) }
+        });
+        prop_assert!(out.attempts >= 1);
+        prop_assert!(out.attempts <= max_attempts);
+        prop_assert_eq!(calls, out.attempts);
+        prop_assert!(out.backoff_s <= budget + 1e-9, "{} > {}", out.backoff_s, budget);
+        prop_assert!(
+            out.backoff_s <= p.total_backoff_bound_s() + 1e-9,
+            "{} > bound {}",
+            out.backoff_s,
+            p.total_backoff_bound_s()
+        );
+        if out.succeeded() {
+            prop_assert_eq!(out.attempts, fail_first + 1);
+        }
+    }
+
+    /// Nominal per-failure delay is monotone non-decreasing in the
+    /// failure number, and cumulative backoff is monotone in how many
+    /// failures actually happen (same policy, same jitter seed).
+    #[test]
+    fn backoff_monotone_in_attempts(
+        seed in any::<u64>(),
+        max_attempts in 2u32..12,
+        base in 0.01f64..20.0,
+        multiplier in 1.0f64..4.0,
+        jitter in 0.0f64..0.5,
+        k in 0u32..10,
+    ) {
+        let p = policy(max_attempts, base, multiplier, 1e6, jitter, 1e9);
+        for failure in 1..max_attempts {
+            prop_assert!(p.nominal_delay_s(failure) <= p.nominal_delay_s(failure + 1) + 1e-12);
+        }
+        let backoff_after = |failures: u32| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            retry_with(&p, &mut rng, |attempt| {
+                if attempt <= failures { Err(()) } else { Ok(()) }
+            })
+            .backoff_s
+        };
+        let fewer = k.min(max_attempts);
+        let more = (k + 1).min(max_attempts);
+        prop_assert!(backoff_after(fewer) <= backoff_after(more) + 1e-12);
+    }
+
+    /// Identical seeds give byte-identical retry schedules and fault
+    /// decisions; the whole layer is reproducible from (plan, seed).
+    #[test]
+    fn identical_seeds_identical_schedules(
+        seed in any::<u64>(),
+        rate in 0.0f64..1.0,
+        probes in 1usize..40,
+    ) {
+        let run = || {
+            let plan = FaultPlan::new(seed).with_rate(InjectionPoint::MirrorFetch, rate);
+            let mut injector = plan.injector();
+            let decisions: Vec<Option<_>> = (0..probes)
+                .map(|i| injector.should_fault(InjectionPoint::MirrorFetch, &format!("m{i}")))
+                .collect();
+            let mut rng = injector.rng_for("schedule");
+            let out = retry_with(&RetryPolicy::default(), &mut rng, |_| Err::<(), _>(()));
+            (decisions, format!("{:.12}", out.backoff_s), injector.injected_count())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -131,8 +131,8 @@ pub fn lu_solve(a: &Matrix, piv: &[usize], b: &[f64]) -> Vec<f64> {
     assert_eq!(piv.len(), n);
     let mut x = b.to_vec();
     // apply row interchanges in factorization order
-    for j in 0..n {
-        x.swap(j, piv[j]);
+    for (j, &pj) in piv.iter().enumerate().take(n) {
+        x.swap(j, pj);
     }
     // forward substitution, unit lower
     for j in 0..n {
@@ -182,8 +182,8 @@ mod tests {
         }
         // P*orig: apply the same row swaps to a copy
         let mut pa = orig.clone();
-        for j in 0..n {
-            pa.swap_rows(j, piv[j]);
+        for (j, &pj) in piv.iter().enumerate().take(n) {
+            pa.swap_rows(j, pj);
         }
         // compare P*A with L*U column by column
         for j in 0..n {

@@ -80,8 +80,7 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols);
         let mut y = vec![0.0; self.rows];
-        for j in 0..self.cols {
-            let xj = x[j];
+        for (j, &xj) in x.iter().enumerate().take(self.cols) {
             let col = self.col(j);
             for i in 0..self.rows {
                 y[i] += col[i] * xj;

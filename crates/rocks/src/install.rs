@@ -14,11 +14,39 @@ use crate::kickstart::{self, KickstartError};
 use crate::roll::Roll;
 use std::collections::BTreeMap;
 use xcbc_cluster::{ClusterSpec, NodeRole, Timeline};
-use xcbc_rpm::{Package, RpmDb, TransactionSet};
+use xcbc_fault::{
+    retry_with, FaultInjector, FaultKind, InjectionPoint, InstallCheckpoint, NodeStage,
+    PostMortem, RetryPolicy,
+};
+use xcbc_rpm::{Package, RpmDb, TransactionError, TransactionSet};
+
+/// How far the install had gotten when an error aborted it. Attached to
+/// every [`InstallError`] so callers can tell committed nodes from
+/// wasted work — and, for a power loss, resume from the checkpoint
+/// instead of rewiping healthy nodes.
+#[derive(Debug, Clone, Default)]
+pub struct InstallProgress {
+    /// Hostnames whose package transactions had committed.
+    pub completed: Vec<String>,
+    /// The host being provisioned when the install aborted, if any.
+    pub aborted_on: Option<String>,
+    /// Full per-node stage checkpoint at abort time.
+    pub checkpoint: InstallCheckpoint,
+}
+
+impl InstallProgress {
+    fn from_checkpoint(checkpoint: &InstallCheckpoint, aborted_on: Option<&str>) -> Self {
+        InstallProgress {
+            completed: checkpoint.committed_nodes().iter().map(|s| s.to_string()).collect(),
+            aborted_on: aborted_on.map(str::to_string),
+            checkpoint: checkpoint.clone(),
+        }
+    }
+}
 
 /// Why an install could not proceed.
 #[derive(Debug)]
-pub enum InstallError {
+pub enum InstallErrorKind {
     /// The hardware cannot host Rocks (diskless nodes, missing frontend).
     NotInstallable(Vec<String>),
     /// Kickstart generation failed for a node.
@@ -26,21 +54,58 @@ pub enum InstallError {
     /// The graph references a package no selected roll carries.
     MissingPackage { node: String, package: String },
     /// The package transaction failed on a node.
-    Transaction { node: String, error: xcbc_rpm::TransactionError },
+    Transaction { node: String, error: TransactionError },
+    /// A `power.loss` fault cut the install short; the progress
+    /// checkpoint says what survives for a resumed run.
+    PowerLoss,
+}
+
+/// An install failure plus the per-node progress made before it.
+/// (Progress is boxed to keep the `Err` variant small on the hot
+/// `Result` paths.)
+#[derive(Debug)]
+pub struct InstallError {
+    pub kind: InstallErrorKind,
+    pub progress: Box<InstallProgress>,
+}
+
+impl InstallError {
+    pub fn new(kind: InstallErrorKind) -> Self {
+        InstallError { kind, progress: Box::default() }
+    }
+
+    fn with_progress(mut self, progress: InstallProgress) -> Self {
+        self.progress = Box::new(progress);
+        self
+    }
+
+    /// Nodes whose package sets had committed before the abort.
+    pub fn completed_nodes(&self) -> &[String] {
+        &self.progress.completed
+    }
 }
 
 impl std::fmt::Display for InstallError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            InstallError::NotInstallable(reasons) => {
-                write!(f, "cluster is not Rocks-installable: {}", reasons.join("; "))
+        match &self.kind {
+            InstallErrorKind::NotInstallable(reasons) => {
+                write!(f, "cluster is not Rocks-installable: {}", reasons.join("; "))?
             }
-            InstallError::Kickstart(e) => write!(f, "{e}"),
-            InstallError::MissingPackage { node, package } => {
-                write!(f, "{node}: package {package} not found in any selected roll")
+            InstallErrorKind::Kickstart(e) => write!(f, "{e}")?,
+            InstallErrorKind::MissingPackage { node, package } => {
+                write!(f, "{node}: package {package} not found in any selected roll")?
             }
-            InstallError::Transaction { node, error } => write!(f, "{node}: {error}"),
+            InstallErrorKind::Transaction { node, error } => write!(f, "{node}: {error}")?,
+            InstallErrorKind::PowerLoss => write!(f, "power lost mid-install")?,
         }
+        if !self.progress.completed.is_empty() || self.progress.aborted_on.is_some() {
+            write!(f, " [{} node(s) committed", self.progress.completed.len())?;
+            if let Some(on) = &self.progress.aborted_on {
+                write!(f, ", aborted on {on}")?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
     }
 }
 
@@ -48,7 +113,7 @@ impl std::error::Error for InstallError {}
 
 impl From<KickstartError> for InstallError {
     fn from(e: KickstartError) -> Self {
-        InstallError::Kickstart(e)
+        InstallError::new(InstallErrorKind::Kickstart(e))
     }
 }
 
@@ -79,6 +144,83 @@ const INSTALL_MBPS: f64 = 20.0;
 const FRONTEND_SCREENS_S: f64 = 600.0; // answering the installer screens
 const NODE_PXE_S: f64 = 90.0; // BIOS + PXE + anaconda start
 const FRONTEND_POST_S: f64 = 300.0; // db init, dhcpd, tree build
+/// Cost of one failed DHCP discovery exchange (insert-ethers waits this
+/// long before giving the node another chance).
+const DHCP_TIMEOUT_S: f64 = 30.0;
+/// Cost of one hung node boot before the operator power-cycles it.
+const BOOT_HANG_S: f64 = 180.0;
+
+/// Per-operation retry policies for [`ClusterInstall::run_resilient`].
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// insert-ethers DHCP discovery (`dhcp.discover` faults).
+    pub dhcp_retry: RetryPolicy,
+    /// Node PXE/BIOS boot (`node.boot` faults).
+    pub boot_retry: RetryPolicy,
+    /// Kickstart generation (`kickstart.generate` faults).
+    pub kickstart_retry: RetryPolicy,
+    /// Per-node RPM transactions (`rpm.scriptlet` faults).
+    pub transaction_retry: RetryPolicy,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            dhcp_retry: RetryPolicy::default(),
+            boot_retry: RetryPolicy::patient(),
+            kickstart_retry: RetryPolicy::default(),
+            transaction_retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Result of a resilient install: the ordinary report plus the
+/// checkpoint (for a later resume), the post-mortem, and the fault
+/// kinds that quarantined nodes (for degraded-cluster mapping).
+#[derive(Debug)]
+pub struct ResilientReport {
+    pub report: InstallReport,
+    /// Final per-node progress; feed back into
+    /// [`ClusterInstall::run_resilient`] to resume after an abort.
+    pub checkpoint: InstallCheckpoint,
+    pub post_mortem: PostMortem,
+    /// Nodes pulled from the install, with the fault kind that
+    /// exhausted their retry budget.
+    pub quarantined: Vec<(String, FaultKind)>,
+}
+
+impl ResilientReport {
+    pub fn fully_provisioned(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+}
+
+/// Pull `node` from the install, recording the reason everywhere it
+/// matters: the checkpoint (so a resume skips it), the post-mortem, and
+/// the kind list (for hardware-failure mapping).
+fn quarantine_node(
+    node: &str,
+    kind: FaultKind,
+    point: InjectionPoint,
+    checkpoint: &mut InstallCheckpoint,
+    pm: &mut PostMortem,
+    kinds: &mut Vec<(String, FaultKind)>,
+) {
+    let reason = format!("{} at {}: retry budget exhausted", kind.as_str(), point.as_str());
+    checkpoint.quarantine(node, &reason);
+    pm.record_quarantine(node, &reason);
+    kinds.push((node.to_string(), kind));
+}
+
+/// Recover the fault kind from a quarantine reason written by
+/// [`quarantine_node`] (used when resuming from a parsed checkpoint).
+fn quarantine_kind(reason: &str) -> FaultKind {
+    reason
+        .split(' ')
+        .next()
+        .and_then(FaultKind::parse)
+        .unwrap_or(FaultKind::Transient)
+}
 
 /// The full from-scratch install driver.
 #[derive(Debug)]
@@ -121,16 +263,26 @@ impl ClusterInstall {
     pub fn run(&self) -> Result<InstallReport, InstallError> {
         let (ok, reasons) = self.cluster.rocks_installable();
         if !ok {
-            return Err(InstallError::NotInstallable(reasons));
+            return Err(InstallError::new(InstallErrorKind::NotInstallable(reasons)));
         }
         let catalog = self.roll_packages();
         let mut timeline = Timeline::new();
         let mut node_dbs: BTreeMap<String, RpmDb> = BTreeMap::new();
+        let mut checkpoint = InstallCheckpoint::new();
 
         // --- frontend install ---
         let fe = self.cluster.frontend().expect("checked above");
-        let fe_ks = kickstart::generate(&self.graph, fe, Appliance::Frontend)?;
-        let fe_db = self.install_packages(&fe.hostname, &fe_ks.packages, &catalog)?;
+        let fe_ks = kickstart::generate(&self.graph, fe, Appliance::Frontend)
+            .map_err(InstallError::from)
+            .map_err(|e| {
+                let p = InstallProgress::from_checkpoint(&checkpoint, Some(&fe.hostname));
+                e.with_progress(p)
+            })?;
+        let fe_db =
+            self.install_packages(&fe.hostname, &fe_ks.packages, &catalog).map_err(|e| {
+                let p = InstallProgress::from_checkpoint(&checkpoint, Some(&fe.hostname));
+                e.with_progress(p)
+            })?;
         let fe_payload: u64 = fe_db.installed_size_bytes();
         timeline.push("frontend: installer screens & roll selection", FRONTEND_SCREENS_S);
         timeline.push(
@@ -139,6 +291,8 @@ impl ClusterInstall {
         );
         timeline.push("frontend: post-install (db, dhcpd, central tree)", FRONTEND_POST_S);
         node_dbs.insert(fe.hostname.clone(), fe_db);
+        checkpoint.mark_frontend_committed();
+        checkpoint.record(&fe.hostname, NodeStage::PackagesCommitted);
 
         // --- insert-ethers discovery + compute installs (parallel) ---
         let mut rocks_db = RocksDb::new(&fe.hostname);
@@ -151,6 +305,7 @@ impl ClusterInstall {
                 session
                     .on_dhcp(&DhcpRequest { mac: synth_mac(&n.hostname), cpus: n.cores() })
                     .expect("unique synthetic MACs");
+                checkpoint.record(&n.hostname, NodeStage::Discovered);
             }
         }
 
@@ -158,8 +313,17 @@ impl ClusterInstall {
             self.cluster.nodes.iter().filter(|n| n.role == NodeRole::Compute).collect();
         let mut first = true;
         for n in &computes {
-            let ks = kickstart::generate(&self.graph, n, Appliance::Compute)?;
-            let db = self.install_packages(&n.hostname, &ks.packages, &catalog)?;
+            let ks = kickstart::generate(&self.graph, n, Appliance::Compute)
+                .map_err(InstallError::from)
+                .map_err(|e| {
+                    let p = InstallProgress::from_checkpoint(&checkpoint, Some(&n.hostname));
+                    e.with_progress(p)
+                })?;
+            checkpoint.record(&n.hostname, NodeStage::Kickstarted);
+            let db = self.install_packages(&n.hostname, &ks.packages, &catalog).map_err(|e| {
+                let p = InstallProgress::from_checkpoint(&checkpoint, Some(&n.hostname));
+                e.with_progress(p)
+            })?;
             let secs = NODE_PXE_S
                 + db.installed_size_bytes() as f64 / (INSTALL_MBPS * 1024.0 * 1024.0);
             let label = format!("{}: pxe + kickstart install", n.hostname);
@@ -171,6 +335,7 @@ impl ClusterInstall {
                 timeline.push_parallel(label, secs);
             }
             node_dbs.insert(n.hostname.clone(), db);
+            checkpoint.record(&n.hostname, NodeStage::PackagesCommitted);
         }
 
         Ok(InstallReport {
@@ -181,24 +346,355 @@ impl ClusterInstall {
         })
     }
 
+    fn build_transaction(
+        &self,
+        node: &str,
+        names: &[String],
+        catalog: &BTreeMap<&str, &Package>,
+    ) -> Result<TransactionSet, InstallError> {
+        let mut tx = TransactionSet::new();
+        for name in names {
+            let pkg = catalog.get(name.as_str()).ok_or_else(|| {
+                InstallError::new(InstallErrorKind::MissingPackage {
+                    node: node.to_string(),
+                    package: name.clone(),
+                })
+            })?;
+            tx.add_install((*pkg).clone());
+        }
+        Ok(tx)
+    }
+
     fn install_packages(
         &self,
         node: &str,
         names: &[String],
         catalog: &BTreeMap<&str, &Package>,
     ) -> Result<RpmDb, InstallError> {
-        let mut tx = TransactionSet::new();
-        for name in names {
-            let pkg = catalog.get(name.as_str()).ok_or_else(|| InstallError::MissingPackage {
-                node: node.to_string(),
-                package: name.clone(),
-            })?;
-            tx.add_install((*pkg).clone());
-        }
+        let tx = self.build_transaction(node, names, catalog)?;
         let mut db = RpmDb::new();
-        tx.run(&mut db)
-            .map_err(|error| InstallError::Transaction { node: node.to_string(), error })?;
+        tx.run(&mut db).map_err(|error| {
+            InstallError::new(InstallErrorKind::Transaction { node: node.to_string(), error })
+        })?;
         Ok(db)
+    }
+
+    /// Run the install under fault injection, with retry/backoff,
+    /// checkpointing, and graceful degradation.
+    ///
+    /// Differences from [`run`](Self::run):
+    ///
+    /// * Faults from `injector` fire at `dhcp.discover`, `node.boot`,
+    ///   `kickstart.generate`, `rpm.scriptlet`, and `power.loss`; each
+    ///   is retried under the matching [`ResilienceConfig`] policy, with
+    ///   backoff charged to the timeline as `backoff:` phases.
+    /// * A node that exhausts its retry budget is **quarantined** — the
+    ///   install continues on the survivors instead of aborting.
+    /// * Progress is tracked in an [`InstallCheckpoint`]. A `power.loss`
+    ///   fault aborts with [`InstallErrorKind::PowerLoss`] carrying that
+    ///   checkpoint; pass it back as `resume_from` to skip
+    ///   already-committed nodes on the next run (pass
+    ///   `InstallCheckpoint::new()` for a fresh install).
+    pub fn run_resilient(
+        &self,
+        injector: &mut FaultInjector,
+        config: &ResilienceConfig,
+        resume_from: InstallCheckpoint,
+    ) -> Result<ResilientReport, InstallError> {
+        let (ok, reasons) = self.cluster.rocks_installable();
+        if !ok {
+            return Err(InstallError::new(InstallErrorKind::NotInstallable(reasons)));
+        }
+        let catalog = self.roll_packages();
+        let mut timeline = Timeline::new();
+        let mut node_dbs: BTreeMap<String, RpmDb> = BTreeMap::new();
+        let mut checkpoint = resume_from;
+        let mut pm = PostMortem::new(Some(injector.plan().seed));
+        let mut quarantined: Vec<(String, FaultKind)> = Vec::new();
+
+        // Nodes quarantined by a previous (aborted) run stay quarantined.
+        for (node, reason) in checkpoint.quarantined() {
+            pm.record_quarantine(node, reason);
+            quarantined.push((node.to_string(), quarantine_kind(reason)));
+        }
+
+        // --- frontend ---
+        let fe = self.cluster.frontend().expect("checked above");
+        let fe_ks = kickstart::generate(&self.graph, fe, Appliance::Frontend)
+            .map_err(InstallError::from)
+            .map_err(|e| {
+                let p = InstallProgress::from_checkpoint(&checkpoint, Some(&fe.hostname));
+                e.with_progress(p)
+            })?;
+        if checkpoint.is_committed(&fe.hostname) {
+            // Resume: the frontend survived the abort; rebuild its view
+            // of the package set without charging install time.
+            let fe_db = self.install_packages(&fe.hostname, &fe_ks.packages, &catalog)?;
+            node_dbs.insert(fe.hostname.clone(), fe_db);
+            pm.record_resumed(&fe.hostname);
+        } else {
+            let fe_db = match self.install_packages_resilient(
+                &fe.hostname,
+                &fe_ks.packages,
+                &catalog,
+                injector,
+                &config.transaction_retry,
+                &mut timeline,
+                &mut pm,
+            )? {
+                Ok(db) => db,
+                Err(error) => {
+                    // No frontend, no cluster: transaction failure that
+                    // survives all retries is fatal, not quarantinable.
+                    let p = InstallProgress::from_checkpoint(&checkpoint, Some(&fe.hostname));
+                    return Err(InstallError::new(InstallErrorKind::Transaction {
+                        node: fe.hostname.clone(),
+                        error,
+                    })
+                    .with_progress(p));
+                }
+            };
+            let fe_payload: u64 = fe_db.installed_size_bytes();
+            timeline.push("frontend: installer screens & roll selection", FRONTEND_SCREENS_S);
+            timeline.push(
+                "frontend: package installation",
+                fe_payload as f64 / (INSTALL_MBPS * 1024.0 * 1024.0),
+            );
+            timeline.push("frontend: post-install (db, dhcpd, central tree)", FRONTEND_POST_S);
+            node_dbs.insert(fe.hostname.clone(), fe_db);
+            checkpoint.mark_frontend_committed();
+            checkpoint.record(&fe.hostname, NodeStage::PackagesCommitted);
+            if injector.should_fault(InjectionPoint::PowerLoss, &fe.hostname).is_some() {
+                let p = InstallProgress::from_checkpoint(&checkpoint, Some(&fe.hostname));
+                return Err(InstallError::new(InstallErrorKind::PowerLoss).with_progress(p));
+            }
+        }
+
+        // --- insert-ethers discovery (with DHCP retry) ---
+        let mut rocks_db = RocksDb::new(&fe.hostname);
+        rocks_db
+            .add_frontend(&synth_mac(&fe.hostname), fe.cores())
+            .expect("fresh database");
+        let computes: Vec<_> =
+            self.cluster.nodes.iter().filter(|n| n.role == NodeRole::Compute).collect();
+        let mut dhcp_timeout_s = 0.0;
+        let mut dhcp_backoff_s = 0.0;
+        {
+            let mut session = InsertEthers::start(&mut rocks_db, Appliance::Compute, 0);
+            for n in &computes {
+                if checkpoint.is_quarantined(&n.hostname) {
+                    continue;
+                }
+                if checkpoint.stage(&n.hostname) >= NodeStage::Discovered {
+                    // Resume: the frontend database already knows this
+                    // node; re-register it without injection or cost.
+                    session
+                        .on_dhcp(&DhcpRequest { mac: synth_mac(&n.hostname), cpus: n.cores() })
+                        .expect("unique synthetic MACs");
+                    continue;
+                }
+                let mut rng = injector.rng_for(&format!("dhcp.{}", n.hostname));
+                let outcome = retry_with(&config.dhcp_retry, &mut rng, |_| {
+                    match injector.should_fault(InjectionPoint::DhcpDiscover, &n.hostname) {
+                        Some(kind) => Err(kind),
+                        None => Ok(()),
+                    }
+                });
+                pm.charge_retries(outcome.retries(), outcome.backoff_s);
+                dhcp_backoff_s += outcome.backoff_s;
+                let failures =
+                    if outcome.succeeded() { outcome.retries() } else { outcome.attempts };
+                dhcp_timeout_s += failures as f64 * DHCP_TIMEOUT_S;
+                match outcome.result {
+                    Ok(()) => {
+                        session
+                            .on_dhcp(&DhcpRequest {
+                                mac: synth_mac(&n.hostname),
+                                cpus: n.cores(),
+                            })
+                            .expect("unique synthetic MACs");
+                        checkpoint.record(&n.hostname, NodeStage::Discovered);
+                    }
+                    Err(kind) => quarantine_node(
+                        &n.hostname,
+                        kind,
+                        InjectionPoint::DhcpDiscover,
+                        &mut checkpoint,
+                        &mut pm,
+                        &mut quarantined,
+                    ),
+                }
+            }
+        }
+        if dhcp_timeout_s > 0.0 {
+            timeline.push("insert-ethers: dhcp timeouts", dhcp_timeout_s);
+        }
+        timeline.push_backoff("insert-ethers retries", dhcp_backoff_s);
+
+        // --- per-node provisioning (boot, kickstart, packages) ---
+        let mut first = true;
+        for n in &computes {
+            if checkpoint.is_quarantined(&n.hostname) {
+                continue;
+            }
+            if checkpoint.is_committed(&n.hostname) {
+                // Resume: committed nodes are not rewiped; rebuild their
+                // package view without charging install time.
+                let ks = kickstart::generate(&self.graph, n, Appliance::Compute)
+                    .map_err(InstallError::from)?;
+                let db = self.install_packages(&n.hostname, &ks.packages, &catalog)?;
+                node_dbs.insert(n.hostname.clone(), db);
+                pm.record_resumed(&n.hostname);
+                continue;
+            }
+
+            // Boot the node into the installer.
+            let mut rng = injector.rng_for(&format!("boot.{}", n.hostname));
+            let boot = retry_with(&config.boot_retry, &mut rng, |_| {
+                match injector.should_fault(InjectionPoint::NodeBoot, &n.hostname) {
+                    Some(kind) => Err(kind),
+                    None => Ok(()),
+                }
+            });
+            pm.charge_retries(boot.retries(), boot.backoff_s);
+            let hangs = if boot.succeeded() { boot.retries() } else { boot.attempts };
+            if hangs > 0 {
+                timeline.push(
+                    format!("{}: hung boots", n.hostname),
+                    hangs as f64 * BOOT_HANG_S,
+                );
+            }
+            timeline.push_backoff(format!("{}: boot retries", n.hostname), boot.backoff_s);
+            if let Err(kind) = boot.result {
+                quarantine_node(
+                    &n.hostname,
+                    kind,
+                    InjectionPoint::NodeBoot,
+                    &mut checkpoint,
+                    &mut pm,
+                    &mut quarantined,
+                );
+                continue;
+            }
+
+            // Generate its kickstart (genuine graph errors are fatal;
+            // injected generation faults are retried).
+            let ks = kickstart::generate(&self.graph, n, Appliance::Compute)
+                .map_err(InstallError::from)
+                .map_err(|e| {
+                    let p = InstallProgress::from_checkpoint(&checkpoint, Some(&n.hostname));
+                    e.with_progress(p)
+                })?;
+            let mut rng = injector.rng_for(&format!("ks.{}", n.hostname));
+            let gen = retry_with(&config.kickstart_retry, &mut rng, |_| {
+                match injector.should_fault(InjectionPoint::KickstartGenerate, &n.hostname) {
+                    Some(kind) => Err(kind),
+                    None => Ok(()),
+                }
+            });
+            pm.charge_retries(gen.retries(), gen.backoff_s);
+            timeline.push_backoff(format!("{}: kickstart retries", n.hostname), gen.backoff_s);
+            if let Err(kind) = gen.result {
+                quarantine_node(
+                    &n.hostname,
+                    kind,
+                    InjectionPoint::KickstartGenerate,
+                    &mut checkpoint,
+                    &mut pm,
+                    &mut quarantined,
+                );
+                continue;
+            }
+            checkpoint.record(&n.hostname, NodeStage::Kickstarted);
+
+            // Install its packages (scriptlet faults roll back and retry).
+            let db = match self.install_packages_resilient(
+                &n.hostname,
+                &ks.packages,
+                &catalog,
+                injector,
+                &config.transaction_retry,
+                &mut timeline,
+                &mut pm,
+            )? {
+                Ok(db) => db,
+                Err(TransactionError::ScriptletFailed { .. }) => {
+                    quarantine_node(
+                        &n.hostname,
+                        FaultKind::ScriptletError,
+                        InjectionPoint::RpmScriptlet,
+                        &mut checkpoint,
+                        &mut pm,
+                        &mut quarantined,
+                    );
+                    continue;
+                }
+                Err(error) => {
+                    let p = InstallProgress::from_checkpoint(&checkpoint, Some(&n.hostname));
+                    return Err(InstallError::new(InstallErrorKind::Transaction {
+                        node: n.hostname.clone(),
+                        error,
+                    })
+                    .with_progress(p));
+                }
+            };
+            let secs = NODE_PXE_S
+                + db.installed_size_bytes() as f64 / (INSTALL_MBPS * 1024.0 * 1024.0);
+            let label = format!("{}: pxe + kickstart install", n.hostname);
+            if first {
+                timeline.push(label, secs);
+                first = false;
+            } else {
+                timeline.push_parallel(label, secs);
+            }
+            node_dbs.insert(n.hostname.clone(), db);
+            checkpoint.record(&n.hostname, NodeStage::PackagesCommitted);
+            if injector.should_fault(InjectionPoint::PowerLoss, &n.hostname).is_some() {
+                let p = InstallProgress::from_checkpoint(&checkpoint, Some(&n.hostname));
+                return Err(InstallError::new(InstallErrorKind::PowerLoss).with_progress(p));
+            }
+        }
+
+        pm.faults = injector.events().to_vec();
+        Ok(ResilientReport {
+            report: InstallReport {
+                rocks_db,
+                node_dbs,
+                timeline,
+                rolls_installed: self.rolls.iter().map(|r| r.name.clone()).collect(),
+            },
+            checkpoint,
+            post_mortem: pm,
+            quarantined,
+        })
+    }
+
+    /// Build and run one node's transaction under scriptlet fault
+    /// injection, retrying (the rollback in
+    /// [`TransactionSet::run_injected`] makes each attempt start from a
+    /// clean database). Outer `Err` is a hard install error
+    /// (missing package); inner `Err` is the transaction error left
+    /// after the retry budget ran out.
+    #[allow(clippy::too_many_arguments)]
+    fn install_packages_resilient(
+        &self,
+        node: &str,
+        names: &[String],
+        catalog: &BTreeMap<&str, &Package>,
+        injector: &mut FaultInjector,
+        policy: &RetryPolicy,
+        timeline: &mut Timeline,
+        pm: &mut PostMortem,
+    ) -> Result<Result<RpmDb, TransactionError>, InstallError> {
+        let tx = self.build_transaction(node, names, catalog)?;
+        let mut rng = injector.rng_for(&format!("tx.{node}"));
+        let outcome = retry_with(policy, &mut rng, |_| {
+            let mut db = RpmDb::new();
+            tx.run_injected(&mut db, injector).map(|_| db)
+        });
+        pm.charge_retries(outcome.retries(), outcome.backoff_s);
+        timeline.push_backoff(format!("{node}: rpm transaction retries"), outcome.backoff_s);
+        Ok(outcome.result)
     }
 }
 
@@ -266,8 +762,8 @@ mod tests {
     #[test]
     fn limulus_cannot_be_rocks_installed() {
         let install = ClusterInstall::new(limulus_hpc200(), standard_rolls());
-        match install.run() {
-            Err(InstallError::NotInstallable(reasons)) => {
+        match install.run().map_err(|e| e.kind) {
+            Err(InstallErrorKind::NotInstallable(reasons)) => {
                 assert!(reasons.iter().any(|r| r.contains("diskless")))
             }
             other => panic!("expected NotInstallable, got {other:?}"),
@@ -280,12 +776,179 @@ mod tests {
         let only_base: Vec<Roll> =
             standard_rolls().into_iter().filter(|r| r.name == "base").collect();
         let install = ClusterInstall::new(littlefe_modified(), only_base);
-        match install.run() {
-            Err(InstallError::MissingPackage { package, .. }) => {
+        match install.run().map_err(|e| e.kind) {
+            Err(InstallErrorKind::MissingPackage { package, .. }) => {
                 assert!(!package.is_empty());
             }
             other => panic!("expected MissingPackage, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn resilient_clean_plan_matches_plain_run() {
+        use xcbc_fault::FaultPlan;
+        let install = ClusterInstall::new(littlefe_modified(), standard_rolls());
+        let plain = install.run().unwrap();
+        let mut inj = FaultPlan::new(1).injector();
+        let res = install
+            .run_resilient(&mut inj, &ResilienceConfig::default(), InstallCheckpoint::new())
+            .unwrap();
+        assert!(res.fully_provisioned());
+        assert!(res.post_mortem.is_clean());
+        assert_eq!(res.report.node_dbs.len(), plain.node_dbs.len());
+        for (host, db) in &plain.node_dbs {
+            assert_eq!(&res.report.node_dbs[host], db, "{host} package set differs");
+        }
+        assert!(
+            (res.report.timeline.total_seconds() - plain.timeline.total_seconds()).abs() < 1e-6,
+            "no faults means no extra time"
+        );
+    }
+
+    #[test]
+    fn transient_faults_absorbed_by_retries() {
+        use xcbc_fault::{FaultPlan, FaultWindow, InjectionPoint};
+        // Every node's first DHCP exchange and first boot fail once.
+        let plan = FaultPlan::new(2)
+            .fail(InjectionPoint::DhcpDiscover, None, FaultWindow::Nth(0))
+            .fail(InjectionPoint::NodeBoot, None, FaultWindow::Nth(0));
+        let mut inj = plan.injector();
+        let install = ClusterInstall::new(littlefe_modified(), standard_rolls());
+        let res = install
+            .run_resilient(&mut inj, &ResilienceConfig::default(), InstallCheckpoint::new())
+            .unwrap();
+        assert!(res.fully_provisioned(), "single transient faults must not quarantine");
+        assert_eq!(res.report.node_dbs.len(), 6);
+        assert!(res.post_mortem.retries_spent >= 10, "5 dhcp + 5 boot retries");
+        assert!(res.post_mortem.backoff_s > 0.0);
+        assert!(res.report.timeline.backoff_seconds() > 0.0);
+        // faults cost real install time too (timeouts + hung boots)
+        let plain = install.run().unwrap();
+        assert!(res.report.timeline.total_seconds() > plain.timeline.total_seconds());
+    }
+
+    #[test]
+    fn persistent_node_fault_quarantines_and_degrades() {
+        use xcbc_fault::{FaultPlan, FaultWindow, InjectionPoint};
+        let plan = FaultPlan::new(3).fail(
+            InjectionPoint::NodeBoot,
+            Some("compute-0-3"),
+            FaultWindow::Always,
+        );
+        let mut inj = plan.injector();
+        let install = ClusterInstall::new(littlefe_modified(), standard_rolls());
+        let res = install
+            .run_resilient(&mut inj, &ResilienceConfig::default(), InstallCheckpoint::new())
+            .unwrap();
+        assert_eq!(res.quarantined.len(), 1);
+        assert_eq!(res.quarantined[0].0, "compute-0-3");
+        assert_eq!(res.quarantined[0].1, xcbc_fault::FaultKind::Hang);
+        // the rest of the cluster still installed
+        assert_eq!(res.report.node_dbs.len(), 5);
+        assert!(!res.report.node_dbs.contains_key("compute-0-3"));
+        assert!(res.checkpoint.is_quarantined("compute-0-3"));
+        assert!(res.post_mortem.render().contains("quarantined compute-0-3"));
+    }
+
+    #[test]
+    fn scriptlet_fault_quarantines_only_that_node() {
+        use xcbc_fault::{FaultPlan, FaultWindow, InjectionPoint};
+        // Each transaction consults `rpm.scriptlet` keyed by package name;
+        // hit counters are per (point, key) stream, so "rocks-base" hits
+        // accumulate across attempts. Fail its first 2 hits: the
+        // frontend's transaction fails twice and succeeds on attempt 3,
+        // inside the default 3-attempt budget.
+        let plan = FaultPlan::new(4).fail(
+            InjectionPoint::RpmScriptlet,
+            Some("rocks-base"),
+            FaultWindow::Range { start: 0, end: 2 },
+        );
+        let mut inj = plan.injector();
+        let install = ClusterInstall::new(littlefe_modified(), standard_rolls());
+        let res = install
+            .run_resilient(&mut inj, &ResilienceConfig::default(), InstallCheckpoint::new())
+            .unwrap();
+        assert!(res.fully_provisioned(), "2 scriptlet faults fit in the 3-attempt budget");
+        assert!(res.post_mortem.retries_spent >= 2);
+        assert_eq!(res.report.node_dbs.len(), 6);
+    }
+
+    #[test]
+    fn power_loss_aborts_with_checkpoint_then_resume_completes() {
+        use xcbc_fault::{FaultPlan, FaultWindow, InjectionPoint};
+        let install = ClusterInstall::new(littlefe_modified(), standard_rolls());
+        let fault_free = install.run().unwrap();
+
+        // Power fails right after compute-0-1 commits its packages.
+        let plan = FaultPlan::new(5).fail(
+            InjectionPoint::PowerLoss,
+            Some("compute-0-1"),
+            FaultWindow::Nth(0),
+        );
+        let mut inj = plan.injector();
+        let err = install
+            .run_resilient(&mut inj, &ResilienceConfig::default(), InstallCheckpoint::new())
+            .unwrap_err();
+        assert!(matches!(err.kind, InstallErrorKind::PowerLoss));
+        assert_eq!(err.progress.aborted_on.as_deref(), Some("compute-0-1"));
+        // the frontend and the committed computes survive in the checkpoint
+        let cp = err.progress.checkpoint.clone();
+        assert!(cp.frontend_committed());
+        assert!(cp.is_committed("littlefe"));
+        assert!(cp.is_committed("compute-0-1"));
+        assert!(!cp.is_committed("compute-0-4"));
+        assert!(err.completed_nodes().contains(&"compute-0-1".to_string()));
+
+        // The checkpoint round-trips through its state-file form.
+        let cp = InstallCheckpoint::parse(&cp.to_text()).unwrap();
+
+        // Resume under the same plan: committed nodes are skipped (their
+        // power.loss window is never consulted again), the rest install.
+        let mut inj2 = plan.injector();
+        let resumed = install
+            .run_resilient(&mut inj2, &ResilienceConfig::default(), cp)
+            .unwrap();
+        assert!(resumed.fully_provisioned());
+        assert!(
+            resumed.post_mortem.resumed_nodes.contains(&"compute-0-1".to_string()),
+            "committed node must be resumed, not reinstalled: {:?}",
+            resumed.post_mortem.resumed_nodes
+        );
+        // Final package sets equal the fault-free install, everywhere.
+        assert_eq!(resumed.report.node_dbs.len(), fault_free.node_dbs.len());
+        for (host, db) in &fault_free.node_dbs {
+            assert_eq!(&resumed.report.node_dbs[host], db, "{host} diverged from fault-free");
+        }
+        // Resumed nodes are not re-timed: no pxe+install phase for them.
+        let resumed_labels: Vec<_> = resumed
+            .report
+            .timeline
+            .phases()
+            .iter()
+            .map(|p| p.label.as_str())
+            .collect();
+        assert!(
+            !resumed_labels.iter().any(|l| l.starts_with("compute-0-1:")),
+            "compute-0-1 was reinstalled: {resumed_labels:?}"
+        );
+    }
+
+    #[test]
+    fn identical_seeds_identical_resilient_outcomes() {
+        use xcbc_fault::FaultPlan;
+        let run = |seed: u64| {
+            let plan = FaultPlan::new(seed)
+                .with_rate(xcbc_fault::InjectionPoint::DhcpDiscover, 0.3)
+                .with_rate(xcbc_fault::InjectionPoint::NodeBoot, 0.2);
+            let mut inj = plan.injector();
+            let install = ClusterInstall::new(littlefe_modified(), standard_rolls());
+            install
+                .run_resilient(&mut inj, &ResilienceConfig::default(), InstallCheckpoint::new())
+                .map(|r| (r.post_mortem.render(), r.checkpoint.to_text()))
+                .map_err(|e| e.to_string())
+        };
+        assert_eq!(run(77), run(77), "same seed must replay identically");
+        assert_ne!(run(77), run(78), "different seeds should diverge");
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub use database::{HostRecord, Membership, RocksDb};
 pub use distribution::{build_update_roll, Distribution};
 pub use graph::{Appliance, GraphError, GraphNode, KickstartGraph};
 pub use insert_ethers::{DhcpRequest, InsertEthers};
-pub use install::{ClusterInstall, InstallError, InstallReport};
+pub use install::{
+    ClusterInstall, InstallError, InstallErrorKind, InstallProgress, InstallReport,
+    ResilienceConfig, ResilientReport,
+};
 pub use kickstart::{KickstartError, KickstartProfile, Partition};
 pub use netconfig::{generate_etc_hosts, validate_nics, NetworkDef, NetworkTable};
 pub use pxe::{boot_node, diagnose, PxeOutcome, PxeStage};

@@ -19,7 +19,7 @@ pub struct InstalledPackage {
 }
 
 /// Per-host installed-package database.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RpmDb {
     /// name → instances (multiple only for multilib/kernel-style installs).
     by_name: BTreeMap<String, Vec<InstalledPackage>>,

@@ -14,6 +14,7 @@ use crate::scriptlet::ScriptletTrace;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
+use xcbc_fault::{FaultInjector, InjectionPoint};
 
 /// One element of a transaction set.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -90,6 +91,10 @@ pub enum TransactionError {
     CheckFailed(Vec<TransactionProblem>),
     /// The set was empty.
     Empty,
+    /// A scriptlet failed mid-transaction (fault-injected). The database
+    /// was rolled back to its pre-transaction state; `completed` lists
+    /// the element labels that had executed before the failure.
+    ScriptletFailed { package: String, completed: Vec<String> },
 }
 
 impl fmt::Display for TransactionError {
@@ -103,6 +108,11 @@ impl fmt::Display for TransactionError {
                 Ok(())
             }
             TransactionError::Empty => write!(f, "empty transaction"),
+            TransactionError::ScriptletFailed { package, completed } => write!(
+                f,
+                "scriptlet failed for {package} after {} element(s); transaction rolled back",
+                completed.len()
+            ),
         }
     }
 }
@@ -435,6 +445,32 @@ impl TransactionSet {
 
     /// Check, order, and execute the transaction against `db`.
     pub fn run(&self, db: &mut RpmDb) -> Result<TransactionReport, TransactionError> {
+        self.preflight(db)?;
+        Ok(self
+            .execute(db, &mut |_| false)
+            .expect("ungated execution cannot fail"))
+    }
+
+    /// Like [`run`](Self::run), but scriptlets can be failed by a
+    /// `rpm.scriptlet` fault from `injector` (keyed by package name).
+    /// On a scriptlet fault the database is rolled back to its
+    /// pre-transaction state and
+    /// [`TransactionError::ScriptletFailed`] reports how far execution
+    /// had gotten.
+    pub fn run_injected(
+        &self,
+        db: &mut RpmDb,
+        injector: &mut FaultInjector,
+    ) -> Result<TransactionReport, TransactionError> {
+        self.preflight(db)?;
+        let snapshot = db.clone();
+        self.execute(db, &mut |p| {
+            injector.should_fault(InjectionPoint::RpmScriptlet, p.name()).is_some()
+        })
+        .inspect_err(|_| *db = snapshot)
+    }
+
+    fn preflight(&self, db: &RpmDb) -> Result<(), TransactionError> {
         if self.is_empty() {
             return Err(TransactionError::Empty);
         }
@@ -442,11 +478,31 @@ impl TransactionSet {
         if !problems.is_empty() {
             return Err(TransactionError::CheckFailed(problems));
         }
+        Ok(())
+    }
 
+    /// The execution loop shared by [`run`](Self::run) and
+    /// [`run_injected`](Self::run_injected). `scriptlet_fails` is
+    /// consulted once per install-side element, before its scriptlets
+    /// run; a `true` aborts with [`TransactionError::ScriptletFailed`]
+    /// (the caller owns rollback).
+    fn execute(
+        &self,
+        db: &mut RpmDb,
+        scriptlet_fails: &mut dyn FnMut(&Package) -> bool,
+    ) -> Result<TransactionReport, TransactionError> {
         let mut report = TransactionReport::default();
         let ordered = self.order();
         let mut queue: VecDeque<TransactionElement> = ordered.into_iter().collect();
         while let Some(e) = queue.pop_front() {
+            if let TransactionElement::Install(p) | TransactionElement::Upgrade(p) = &e {
+                if scriptlet_fails(p) {
+                    return Err(TransactionError::ScriptletFailed {
+                        package: p.nevra.to_string(),
+                        completed: report.executed,
+                    });
+                }
+            }
             report.executed.push(e.label());
             match e {
                 TransactionElement::Install(p) => {
@@ -753,6 +809,53 @@ mod tests {
         let tx = upgrade_all(&db, candidates.iter());
         assert_eq!(tx.len(), 1);
         assert_eq!(tx.elements()[0].label(), "upgrade R-3.1.1-1.x86_64");
+    }
+
+    #[test]
+    fn injected_scriptlet_fault_rolls_back_cleanly() {
+        use xcbc_fault::{FaultPlan, FaultWindow, InjectionPoint};
+        let mut db = RpmDb::new();
+        db.install(PackageBuilder::new("base", "1", "1").build());
+        let before = db.clone();
+        let mut tx = TransactionSet::new();
+        tx.add_install(PackageBuilder::new("openmpi", "1.6.5", "1").provides_versioned("mpi").build());
+        tx.add_install(
+            PackageBuilder::new("gromacs", "4.6.5", "2")
+                .requires_simple("mpi")
+                .scriptlet(Scriptlet::new(ScriptletPhase::Post, "register gromacs"))
+                .build(),
+        );
+        let plan = FaultPlan::new(3).fail(
+            InjectionPoint::RpmScriptlet,
+            Some("gromacs"),
+            FaultWindow::Always,
+        );
+        let mut inj = plan.injector();
+        match tx.run_injected(&mut db, &mut inj) {
+            Err(TransactionError::ScriptletFailed { package, completed }) => {
+                assert!(package.contains("gromacs"));
+                // openmpi orders first, so one element had executed.
+                assert_eq!(completed, vec!["install openmpi-1.6.5-1.x86_64"]);
+            }
+            other => panic!("expected scriptlet failure, got {other:?}"),
+        }
+        assert_eq!(db, before, "rollback must restore the pre-transaction db");
+        assert!(!db.is_installed("openmpi"), "partial installs must be undone");
+    }
+
+    #[test]
+    fn injected_run_without_matching_fault_behaves_like_run() {
+        use xcbc_fault::FaultPlan;
+        let mut db_a = RpmDb::new();
+        let mut db_b = RpmDb::new();
+        let mut tx = TransactionSet::new();
+        tx.add_install(PackageBuilder::new("gcc", "4.4.7", "17").size_mb(80).build());
+        let plain = tx.run(&mut db_a).unwrap();
+        let mut inj = FaultPlan::new(5).injector();
+        let injected = tx.run_injected(&mut db_b, &mut inj).unwrap();
+        assert_eq!(plain.executed, injected.executed);
+        assert_eq!(db_a, db_b);
+        assert_eq!(inj.injected_count(), 0);
     }
 
     #[test]

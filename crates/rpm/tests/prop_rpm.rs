@@ -127,9 +127,9 @@ proptest! {
             }
         }
         let mut tx = TransactionSet::new();
-        for i in 0..8 {
+        for (i, deps) in requires.iter().enumerate() {
             let mut b = PackageBuilder::new(&format!("n{i}"), "1.0", "1");
-            for &dep in &requires[i] {
+            for &dep in deps {
                 b = b.requires_simple(&format!("n{dep}"));
             }
             tx.add_install(b.build());
@@ -140,8 +140,8 @@ proptest! {
             .enumerate()
             .map(|(i, e)| (e.label(), i))
             .collect();
-        for i in 0..8 {
-            for &dep in &requires[i] {
+        for (i, deps) in requires.iter().enumerate() {
+            for &dep in deps {
                 let pi = pos[&format!("install n{i}-1.0-1.x86_64")];
                 let pd = pos[&format!("install n{dep}-1.0-1.x86_64")];
                 prop_assert!(pd < pi, "n{} must precede n{}", dep, i);

@@ -29,6 +29,7 @@ pub mod cache;
 pub mod deplist;
 pub mod groups;
 pub mod history;
+pub mod json;
 pub mod metadata;
 pub mod mirror;
 pub mod notifier;
@@ -42,8 +43,8 @@ pub use cache::MetadataCache;
 pub use deplist::{deplist, render_deplist, DepListEntry};
 pub use groups::{group_install, PackageGroupDef};
 pub use history::{HistoryEntry, YumHistory};
-pub use metadata::{PrimaryRecord, RepoMetadata};
-pub use mirror::{Mirror, MirrorList, MirrorOutcome};
+pub use metadata::{MetadataError, PrimaryRecord, RepoMetadata};
+pub use mirror::{Mirror, MirrorList, MirrorOutcome, ResilientFetch, MIN_BANDWIDTH_MBPS};
 pub use notifier::{NotificationReport, UpdateNotifier, UpdatePolicy};
 pub use priorities::apply_priorities;
 pub use repo::Repository;

@@ -1,13 +1,40 @@
 //! Repository metadata — the `repodata/` tree a `createrepo` run produces.
 //!
 //! Real yum serves `repomd.xml` + `primary.xml.gz`; we serialize the same
-//! information as JSON (see DESIGN.md's dependency note for `serde_json`).
-//! The metadata is what `yum makecache` downloads, and what the paper's
-//! "subscribe ... to automatically be notified of updates" workflow diffs.
+//! information as JSON via the crate-local [`crate::json`] module (the
+//! offline build cannot fetch `serde_json`). The metadata is what
+//! `yum makecache` downloads, and what the paper's "subscribe ... to
+//! automatically be notified of updates" workflow diffs.
 
+use crate::json::{JsonError, JsonObject, JsonValue};
 use crate::repo::Repository;
 use serde::{Deserialize, Serialize};
 use xcbc_rpm::{Arch, Evr};
+
+/// Error from [`RepoMetadata::from_json`]: either malformed JSON or a
+/// well-formed document missing expected fields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetadataError {
+    Json(JsonError),
+    Shape(String),
+}
+
+impl std::fmt::Display for MetadataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetadataError::Json(e) => write!(f, "{e}"),
+            MetadataError::Shape(m) => write!(f, "metadata shape error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MetadataError {}
+
+impl From<JsonError> for MetadataError {
+    fn from(e: JsonError) -> Self {
+        MetadataError::Json(e)
+    }
+}
 
 /// One package record in the primary metadata.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -71,12 +98,91 @@ impl RepoMetadata {
 
     /// Serialize to the on-wire form.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("metadata serializes")
+        let primary = self
+            .primary
+            .iter()
+            .map(|r| {
+                JsonObject::new()
+                    .string("name", &r.name)
+                    .number("epoch", r.epoch as f64)
+                    .string("version", &r.version)
+                    .string("release", &r.release)
+                    .string("arch", r.arch.as_str())
+                    .string("summary", &r.summary)
+                    .number("size_bytes", r.size_bytes as f64)
+                    .strings("provides", &r.provides)
+                    .strings("requires", &r.requires)
+                    .string("location", &r.location)
+                    .build()
+            })
+            .collect();
+        JsonObject::new()
+            .string("repo_id", &self.repo_id)
+            .number("revision", self.revision as f64)
+            .number("package_count", self.package_count as f64)
+            .number("total_size_bytes", self.total_size_bytes as f64)
+            .field("primary", JsonValue::Array(primary))
+            .build()
+            .to_string_pretty()
     }
 
     /// Parse the on-wire form.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Self, MetadataError> {
+        let doc = JsonValue::parse(s)?;
+        let shape = |m: &str| MetadataError::Shape(m.to_string());
+        let str_field = |v: &JsonValue, key: &str| -> Result<String, MetadataError> {
+            Ok(v.get(key)
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| shape(&format!("missing string field '{key}'")))?
+                .to_string())
+        };
+        let u64_field = |v: &JsonValue, key: &str| -> Result<u64, MetadataError> {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| shape(&format!("missing numeric field '{key}'")))
+        };
+        let strings_field = |v: &JsonValue, key: &str| -> Result<Vec<String>, MetadataError> {
+            v.get(key)
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| shape(&format!("missing array field '{key}'")))?
+                .iter()
+                .map(|item| {
+                    item.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| shape(&format!("non-string item in '{key}'")))
+                })
+                .collect()
+        };
+
+        let mut primary = Vec::new();
+        for rec in doc
+            .get("primary")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| shape("missing array field 'primary'"))?
+        {
+            let arch_s = str_field(rec, "arch")?;
+            primary.push(PrimaryRecord {
+                name: str_field(rec, "name")?,
+                epoch: u64_field(rec, "epoch")? as u32,
+                version: str_field(rec, "version")?,
+                release: str_field(rec, "release")?,
+                arch: arch_s
+                    .parse::<Arch>()
+                    .map_err(|_| shape(&format!("unknown arch '{arch_s}'")))?,
+                summary: str_field(rec, "summary")?,
+                size_bytes: u64_field(rec, "size_bytes")?,
+                provides: strings_field(rec, "provides")?,
+                requires: strings_field(rec, "requires")?,
+                location: str_field(rec, "location")?,
+            });
+        }
+        Ok(RepoMetadata {
+            repo_id: str_field(&doc, "repo_id")?,
+            revision: u64_field(&doc, "revision")?,
+            package_count: u64_field(&doc, "package_count")? as usize,
+            total_size_bytes: u64_field(&doc, "total_size_bytes")?,
+            primary,
+        })
     }
 
     /// Names of packages added or upgraded in `newer` relative to `self`

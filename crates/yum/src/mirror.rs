@@ -7,6 +7,11 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use xcbc_fault::{retry_with, FaultInjector, InjectionPoint, RetryPolicy};
+
+/// Floor for [`Mirror::bandwidth_mbps`]: a mirror this slow is
+/// effectively dead, but fetch times stay finite and positive.
+pub const MIN_BANDWIDTH_MBPS: f64 = 1e-3;
 
 /// One mirror of a repository.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -21,8 +26,16 @@ pub struct Mirror {
 }
 
 impl Mirror {
+    /// Build a mirror. Bandwidth is floored at [`MIN_BANDWIDTH_MBPS`]
+    /// and latency at zero, so zero/negative inputs cannot produce
+    /// infinite or negative fetch times.
     pub fn new(url: impl Into<String>, bandwidth_mbps: f64, latency_ms: f64) -> Self {
-        Mirror { url: url.into(), bandwidth_mbps, latency_ms, failure_rate: 0.0 }
+        Mirror {
+            url: url.into(),
+            bandwidth_mbps: bandwidth_mbps.max(MIN_BANDWIDTH_MBPS),
+            latency_ms: latency_ms.max(0.0),
+            failure_rate: 0.0,
+        }
     }
 
     pub fn with_failure_rate(mut self, rate: f64) -> Self {
@@ -31,8 +44,11 @@ impl Mirror {
     }
 
     /// Seconds to fetch `bytes` from this mirror, if it succeeds.
+    /// Guards against a zero/negative `bandwidth_mbps` written directly
+    /// into the (public) field after construction.
     pub fn fetch_seconds(&self, bytes: u64) -> f64 {
-        self.latency_ms / 1000.0 + (bytes as f64 / (1024.0 * 1024.0)) / self.bandwidth_mbps
+        let bandwidth = self.bandwidth_mbps.max(MIN_BANDWIDTH_MBPS);
+        self.latency_ms.max(0.0) / 1000.0 + (bytes as f64 / (1024.0 * 1024.0)) / bandwidth
     }
 }
 
@@ -87,6 +103,78 @@ impl MirrorList {
     /// Deterministic best-case fetch (first healthy mirror, no sampling).
     pub fn fetch_seconds_best_case(&self, bytes: u64) -> Option<f64> {
         self.mirrors.first().map(|m| m.fetch_seconds(bytes))
+    }
+
+    /// Fetch `bytes` under fault injection with retry/backoff.
+    ///
+    /// Each attempt walks the mirror list in order; a mirror fails the
+    /// attempt when the injector schedules a `mirror.fetch` fault for
+    /// its URL (the mirror's own `failure_rate` is also sampled, from a
+    /// plan-seeded stream, so legacy flakiness stays deterministic
+    /// under a fault plan). When every mirror fails, the whole pass is
+    /// retried under `policy` with exponential backoff; the backoff
+    /// seconds are reported separately so callers can charge them to an
+    /// install `Timeline`.
+    pub fn fetch_resilient(
+        &self,
+        bytes: u64,
+        injector: &mut FaultInjector,
+        policy: &RetryPolicy,
+    ) -> ResilientFetch {
+        let mut jitter_rng = injector.rng_for("mirror.fetch.backoff");
+        let mut rate_rng = injector.rng_for("mirror.fetch.rate");
+        let mut failed: Vec<String> = Vec::new();
+        let mut transfer_s = 0.0;
+        let retry = retry_with(policy, &mut jitter_rng, |_attempt| {
+            for m in &self.mirrors {
+                let injected = injector.should_fault(InjectionPoint::MirrorFetch, &m.url);
+                let sampled = rate_rng.gen_bool(m.failure_rate);
+                if injected.is_some() || sampled {
+                    failed.push(m.url.clone());
+                    transfer_s += 3.0 * m.latency_ms / 1000.0;
+                    continue;
+                }
+                transfer_s += m.fetch_seconds(bytes);
+                return Ok(m.url.clone());
+            }
+            Err(())
+        });
+        ResilientFetch {
+            outcome: MirrorOutcome {
+                served_by: retry.result.ok(),
+                failed,
+                seconds: transfer_s,
+            },
+            attempts: retry.attempts,
+            backoff_s: retry.backoff_s,
+        }
+    }
+}
+
+/// Outcome of [`MirrorList::fetch_resilient`]: the fetch result plus the
+/// retry/backoff accounting the resilience layer owes the timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientFetch {
+    pub outcome: MirrorOutcome,
+    /// Full passes over the mirror list (1 = no retry needed).
+    pub attempts: u32,
+    /// Backoff seconds charged between passes.
+    pub backoff_s: f64,
+}
+
+impl ResilientFetch {
+    pub fn succeeded(&self) -> bool {
+        self.outcome.succeeded()
+    }
+
+    /// Total virtual seconds: transfer/timeout time plus backoff.
+    pub fn total_seconds(&self) -> f64 {
+        self.outcome.seconds + self.backoff_s
+    }
+
+    /// Retries beyond the first pass.
+    pub fn retries(&self) -> u32 {
+        self.attempts.saturating_sub(1)
     }
 }
 
@@ -158,5 +246,83 @@ mod tests {
     fn failure_rate_clamped() {
         let m = Mirror::new("u", 1.0, 1.0).with_failure_rate(7.0);
         assert_eq!(m.failure_rate, 1.0);
+    }
+
+    #[test]
+    fn zero_bandwidth_clamped_at_construction() {
+        let m = Mirror::new("u", 0.0, 10.0);
+        assert_eq!(m.bandwidth_mbps, MIN_BANDWIDTH_MBPS);
+        let t = m.fetch_seconds(1 << 20);
+        assert!(t.is_finite() && t > 0.0, "got {t}");
+    }
+
+    #[test]
+    fn negative_bandwidth_and_latency_clamped() {
+        let m = Mirror::new("u", -50.0, -20.0);
+        assert_eq!(m.bandwidth_mbps, MIN_BANDWIDTH_MBPS);
+        assert_eq!(m.latency_ms, 0.0);
+        assert!(m.fetch_seconds(1 << 20).is_finite());
+    }
+
+    #[test]
+    fn fetch_seconds_guards_field_mutation() {
+        let mut m = Mirror::new("u", 100.0, 5.0);
+        m.bandwidth_mbps = 0.0; // fields are pub; simulate bad mutation
+        m.latency_ms = -3.0;
+        let t = m.fetch_seconds(1 << 20);
+        assert!(t.is_finite() && t >= 0.0, "got {t}");
+    }
+
+    #[test]
+    fn resilient_fetch_clean_plan_first_pass() {
+        let mut inj = xcbc_fault::FaultPlan::new(7).injector();
+        let out = list().fetch_resilient(10 << 20, &mut inj, &xcbc_fault::RetryPolicy::default());
+        assert!(out.succeeded());
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.backoff_s, 0.0);
+        assert_eq!(out.retries(), 0);
+    }
+
+    #[test]
+    fn resilient_fetch_survives_transient_mirror_fault() {
+        // First hit on every mirror fails; second pass succeeds.
+        let plan = xcbc_fault::FaultPlan::new(11).fail(
+            xcbc_fault::InjectionPoint::MirrorFetch,
+            None,
+            xcbc_fault::FaultWindow::Nth(0),
+        );
+        let mut inj = plan.injector();
+        let out = list().fetch_resilient(10 << 20, &mut inj, &xcbc_fault::RetryPolicy::default());
+        assert!(out.succeeded(), "failover + retry should recover");
+        assert_eq!(out.attempts, 2);
+        assert!(out.backoff_s > 0.0, "backoff charged for the retry");
+        assert_eq!(out.outcome.failed.len(), 2, "both mirrors failed the first pass");
+        assert!(out.total_seconds() > out.outcome.seconds);
+    }
+
+    #[test]
+    fn resilient_fetch_exhausts_attempts_when_plan_insists() {
+        let plan = xcbc_fault::FaultPlan::new(13).fail(
+            xcbc_fault::InjectionPoint::MirrorFetch,
+            None,
+            xcbc_fault::FaultWindow::Always,
+        );
+        let mut inj = plan.injector();
+        let policy = xcbc_fault::RetryPolicy::new(3, 1.0);
+        let out = list().fetch_resilient(10 << 20, &mut inj, &policy);
+        assert!(!out.succeeded());
+        assert_eq!(out.attempts, 3);
+        assert_eq!(inj.injected_count(), 6, "2 mirrors x 3 passes");
+    }
+
+    #[test]
+    fn resilient_fetch_deterministic_per_seed() {
+        let run = || {
+            let plan = xcbc_fault::FaultPlan::new(21)
+                .with_rate(xcbc_fault::InjectionPoint::MirrorFetch, 0.5);
+            let mut inj = plan.injector();
+            list().fetch_resilient(10 << 20, &mut inj, &xcbc_fault::RetryPolicy::default())
+        };
+        assert_eq!(run(), run());
     }
 }

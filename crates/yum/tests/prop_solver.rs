@@ -104,9 +104,9 @@ proptest! {
             .map(|i| db.newest(&format!("p{i}")).unwrap().package.nevra.evr.clone())
             .collect();
         yum.update(&mut db, None).unwrap();
-        for i in 0..versions.len() {
+        for (i, was) in before.iter().enumerate() {
             let after = &db.newest(&format!("p{i}")).unwrap().package.nevra.evr;
-            prop_assert!(after >= &before[i]);
+            prop_assert!(after >= was);
         }
         // and a second update is a no-op
         let report = yum.update(&mut db, None).unwrap();

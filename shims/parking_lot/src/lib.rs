@@ -1,0 +1,83 @@
+//! Offline stand-in for `parking_lot`, backed by `std::sync`.
+//!
+//! Exposes the non-poisoning `read()` / `write()` / `lock()` API the
+//! workspace uses; poisoning from a panicked holder is surfaced as a
+//! panic, which matches how parking_lot-using code treats locks as
+//! infallible.
+
+use std::sync::{self, LockResult};
+
+fn unpoison<G>(r: LockResult<G>) -> G {
+    match r {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+/// `parking_lot::RwLock` lookalike.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock { inner: sync::RwLock::new(value) }
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        unpoison(self.inner.read())
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        unpoison(self.inner.write())
+    }
+
+    pub fn into_inner(self) -> T {
+        unpoison(self.inner.into_inner())
+    }
+}
+
+/// `parking_lot::Mutex` lookalike.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex { inner: sync::Mutex::new(value) }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        unpoison(self.inner.lock())
+    }
+
+    pub fn into_inner(self) -> T {
+        unpoison(self.inner.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_round_trip() {
+        let l = RwLock::new(5);
+        assert_eq!(*l.read(), 5);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(vec![1]);
+        m.lock().push(2);
+        assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+}

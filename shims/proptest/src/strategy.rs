@@ -1,0 +1,352 @@
+//! Strategies: seeded samplers for the input shapes the workspace's
+//! property tests draw from.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies by the `proptest!` macro.
+pub type TestRng = StdRng;
+
+/// Deterministic per-(test, case) RNG so failures reproduce exactly.
+pub fn case_rng(test_name: &str, case: u64) -> TestRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9e3779b97f4a7c15))
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Box a strategy for heterogeneous unions (`prop_oneof!`).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+// --- ranges ---
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+// --- constants and any ---
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+/// Marker returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// --- tuples ---
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+// --- unions (prop_oneof!) ---
+
+/// Uniform choice among boxed strategies of one value type.
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].sample(rng)
+    }
+}
+
+// --- collections ---
+
+/// `proptest::collection::vec(element, size_range)`.
+pub struct VecStrategy<S> {
+    element: S,
+    sizes: core::ops::Range<usize>,
+}
+
+pub fn vec<S: Strategy>(element: S, sizes: core::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(sizes.start < sizes.end, "vec strategy: empty size range");
+    VecStrategy { element, sizes }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.sizes.clone());
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+// --- regex strings ---
+
+/// Error from [`string_regex`] on an unsupported pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StringRegexError(pub String);
+
+impl std::fmt::Display for StringRegexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported regex: {}", self.0)
+    }
+}
+
+impl std::error::Error for StringRegexError {}
+
+#[derive(Debug, Clone)]
+enum RegexItem {
+    /// A set of candidate chars with a repeat range (min, max inclusive).
+    Class { chars: Vec<char>, min: usize, max: usize },
+}
+
+/// Generator for the small regex subset used in tests: literal chars,
+/// `[...]` classes with ranges, and `{m}` / `{m,n}` quantifiers.
+#[derive(Debug, Clone)]
+pub struct StringStrategy {
+    items: Vec<RegexItem>,
+}
+
+pub fn string_regex(pattern: &str) -> Result<StringStrategy, StringRegexError> {
+    let err = || StringRegexError(pattern.to_string());
+    let mut items = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let class: Vec<char> = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => return Err(err()),
+                        Some(']') => break,
+                        Some('^') if set.is_empty() && prev.is_none() => return Err(err()),
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().unwrap();
+                            let hi = chars.next().ok_or_else(err)?;
+                            if hi < lo {
+                                return Err(err());
+                            }
+                            // `lo` was already pushed when seen; add the rest
+                            let mut ch = lo;
+                            while ch < hi {
+                                ch = char::from_u32(ch as u32 + 1).ok_or_else(err)?;
+                                set.push(ch);
+                            }
+                        }
+                        Some(ch) => {
+                            set.push(ch);
+                            prev = Some(ch);
+                        }
+                    }
+                }
+                if set.is_empty() {
+                    return Err(err());
+                }
+                set
+            }
+            '\\' => vec![chars.next().ok_or_else(err)?],
+            '.' | '*' | '+' | '?' | '(' | ')' | '|' | '{' | '}' => return Err(err()),
+            literal => vec![literal],
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    None => return Err(err()),
+                    Some('}') => break,
+                    Some(ch) => spec.push(ch),
+                }
+            }
+            match spec.split_once(',') {
+                None => {
+                    let n: usize = spec.trim().parse().map_err(|_| err())?;
+                    (n, n)
+                }
+                Some((m, n)) => {
+                    let m: usize = m.trim().parse().map_err(|_| err())?;
+                    let n: usize = n.trim().parse().map_err(|_| err())?;
+                    if n < m {
+                        return Err(err());
+                    }
+                    (m, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        items.push(RegexItem::Class { chars: class, min, max });
+    }
+    Ok(StringStrategy { items })
+}
+
+impl Strategy for StringStrategy {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for RegexItem::Class { chars, min, max } in &self.items {
+            let reps = rng.gen_range(*min..=*max);
+            for _ in 0..reps {
+                out.push(chars[rng.gen_range(0..chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Bare `&str` literals act as regex strategies (matches proptest).
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        string_regex(self).expect("invalid regex strategy literal").sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regex_class_with_quantifier() {
+        let s = string_regex("[0-9a-z.~^_]{0,12}").unwrap();
+        let mut rng = case_rng("regex", 0);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!(v.len() <= 12);
+            assert!(v.chars().all(|c| c.is_ascii_digit()
+                || c.is_ascii_lowercase()
+                || ".~^_".contains(c)));
+        }
+    }
+
+    #[test]
+    fn regex_literal_prefix() {
+        let s = string_regex("[0-9][0-9a-z.]{0,6}").unwrap();
+        let mut rng = case_rng("prefix", 1);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!(!v.is_empty() && v.len() <= 7);
+            assert!(v.chars().next().unwrap().is_ascii_digit());
+        }
+    }
+
+    #[test]
+    fn unsupported_regex_rejected() {
+        assert!(string_regex("a|b").is_err());
+        assert!(string_regex("[^a]").is_err());
+        assert!(string_regex("a*").is_err());
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies() {
+        let strat = vec((0u32..5, 0.0f64..1.0), 1..10);
+        let mut rng = case_rng("vec", 0);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!(!v.is_empty() && v.len() < 10);
+            for (a, b) in v {
+                assert!(a < 5);
+                assert!((0.0..1.0).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn union_uniformish() {
+        let u = Union::new(vec![boxed(Just(1u8)), boxed(Just(2u8))]);
+        let mut rng = case_rng("union", 0);
+        let ones = (0..1000).filter(|_| u.sample(&mut rng) == 1).count();
+        assert!((300..700).contains(&ones));
+    }
+}

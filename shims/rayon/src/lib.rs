@@ -1,0 +1,182 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Mirrors the slice of rayon's API the workspace uses. `par_chunks_mut`
+//! runs genuinely parallel on scoped std threads (it backs the LU
+//! trailing-matrix update, the one hot loop that benefits); `par_iter` /
+//! `par_iter_mut` degrade to ordinary sequential iterators, which keeps
+//! arbitrary `zip`/`for_each` chains compiling with identical results.
+
+use std::cell::Cell;
+
+thread_local! {
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(1) };
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by the shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads: n })
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count active for `par_chunks_mut`.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = CURRENT_THREADS.with(|t| t.replace(self.threads));
+        let out = f();
+        CURRENT_THREADS.with(|t| t.set(prev));
+        out
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Parallel mutable chunk iterator (consumed by [`ParChunksMut::for_each`]).
+pub struct ParChunksMut<'data, T> {
+    slice: &'data mut [T],
+    chunk: usize,
+}
+
+impl<'data, T: Send> ParChunksMut<'data, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Send + Sync,
+    {
+        let threads = CURRENT_THREADS.with(|t| t.get()).max(1);
+        if threads == 1 || self.slice.len() <= self.chunk {
+            for c in self.slice.chunks_mut(self.chunk) {
+                f(c);
+            }
+            return;
+        }
+        let chunks: Vec<&mut [T]> = self.slice.chunks_mut(self.chunk).collect();
+        let per = chunks.len().div_ceil(threads);
+        let mut groups: Vec<Vec<&mut [T]>> = Vec::with_capacity(threads);
+        let mut it = chunks.into_iter();
+        loop {
+            let group: Vec<&mut [T]> = it.by_ref().take(per).collect();
+            if group.is_empty() {
+                break;
+            }
+            groups.push(group);
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            for group in groups {
+                s.spawn(move || {
+                    for c in group {
+                        f(c);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// `rayon::slice::ParallelSliceMut` lookalike.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, chunk: chunk_size }
+    }
+}
+
+/// `par_iter` lookalike — sequential `std::slice::Iter` so every adapter
+/// chain (`zip`, `enumerate`, `for_each`, ...) works unchanged.
+pub trait IntoParallelRefIterator<'data> {
+    type Iter;
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+/// `par_iter_mut` lookalike — sequential `std::slice::IterMut`.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Iter;
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Iter = std::slice::IterMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.iter_mut()
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let mut data = vec![0u64; 1000];
+        pool.install(|| {
+            data.par_chunks_mut(7).for_each(|c| {
+                for v in c {
+                    *v += 1;
+                }
+            });
+        });
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn sequential_iters_match_std() {
+        let a = [1, 2, 3];
+        let mut b = vec![0, 0, 0];
+        b.par_iter_mut().zip(a.par_iter()).for_each(|(b, a)| *b = a * 2);
+        assert_eq!(b, vec![2, 4, 6]);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides marker traits named `Serialize` / `Deserialize` plus the
+//! matching no-op derive macros (feature `derive`). The workspace's only
+//! real wire format — yum repo metadata JSON — is hand-written in
+//! `crates/yum/src/metadata.rs`, so nothing here needs serde's data model.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as a
+//! marker — the only real (de)serialization, `xcbc-yum`'s repo metadata
+//! JSON, is hand-rolled (see `crates/yum/src/metadata.rs`). These derives
+//! therefore expand to nothing; they exist so the attribute positions keep
+//! compiling without crates.io access. `#[serde(...)]` helper attributes
+//! are accepted and ignored.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

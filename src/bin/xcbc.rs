@@ -3,6 +3,7 @@
 //! ```text
 //! xcbc tables              regenerate every paper table + figures
 //! xcbc deploy <target>     simulate a deployment (littlefe | limulus | both)
+//!       [--faults "<plan>"]  inject faults, e.g. "seed=42; node.boot key=compute-0-2"
 //! xcbc lab <student>       run the training curriculum and print the grade sheet
 //! xcbc linpack [n]         run a real HPL point on this machine
 //! xcbc fleet               print the Table 3 fleet report
@@ -14,17 +15,33 @@ use std::env;
 use std::process::ExitCode;
 
 use xcbc::cluster::specs::{limulus_hpc200, littlefe_modified};
-use xcbc::core::deploy::{deploy_from_scratch, deploy_xnit_overlay, limulus_factory_image};
+use xcbc::core::deploy::{
+    deploy_from_scratch, deploy_from_scratch_resilient, deploy_xnit_overlay,
+    limulus_factory_image,
+};
 use xcbc::core::report;
 use xcbc::core::training::{littlefe_curriculum, LabSession};
 use xcbc::core::XnitSetupMethod;
+use xcbc::fault::{FaultPlan, InstallCheckpoint};
+use xcbc::rocks::{InstallErrorKind, ResilienceConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
         "tables" => tables(),
-        "deploy" => deploy(args.get(1).map(String::as_str).unwrap_or("both")),
+        "deploy" => {
+            let target = match args.get(1).map(String::as_str) {
+                None | Some("--faults") => "both",
+                Some(t) => t,
+            };
+            let faults = args
+                .iter()
+                .position(|a| a == "--faults")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str);
+            deploy(target, faults)
+        }
         "lab" => lab(args.get(1).map(String::as_str).unwrap_or("student")),
         "linpack" => linpack(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(512)),
         "fleet" => {
@@ -34,7 +51,7 @@ fn main() -> ExitCode {
         "compat" => compat(),
         "help" | "--help" | "-h" => {
             eprintln!(
-                "usage: xcbc <tables|deploy [littlefe|limulus|both]|lab [name]|linpack [n]|fleet|compat>"
+                "usage: xcbc <tables|deploy [littlefe|limulus|both] [--faults \"<plan>\"]|lab [name]|linpack [n]|fleet|compat>"
             );
             ExitCode::SUCCESS
         }
@@ -59,14 +76,21 @@ fn tables() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn deploy(target: &str) -> ExitCode {
+fn deploy(target: &str, faults: Option<&str>) -> ExitCode {
     if target == "littlefe" || target == "both" {
-        match deploy_from_scratch(&littlefe_modified()) {
-            Ok(r) => println!("{}", r.render_row()),
-            Err(e) => {
-                eprintln!("littlefe deploy failed: {e}");
-                return ExitCode::FAILURE;
+        match faults {
+            Some(dsl) => {
+                if deploy_littlefe_with_faults(dsl) == ExitCode::FAILURE {
+                    return ExitCode::FAILURE;
+                }
             }
+            None => match deploy_from_scratch(&littlefe_modified()) {
+                Ok(r) => println!("{}", r.render_row()),
+                Err(e) => {
+                    eprintln!("littlefe deploy failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
         }
     }
     if target == "limulus" || target == "both" {
@@ -88,6 +112,50 @@ fn deploy(target: &str) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// From-scratch LittleFe build under an injected fault plan. A power
+/// loss aborts with a checkpoint; we resume from it the way an
+/// administrator re-running the installer would, until the deployment
+/// lands (possibly degraded, with a post-mortem).
+fn deploy_littlefe_with_faults(dsl: &str) -> ExitCode {
+    let plan = match FaultPlan::parse(dsl) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("xcbc deploy: bad fault plan: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cluster = littlefe_modified();
+    let mut checkpoint = InstallCheckpoint::new();
+    // each power loss strictly grows the committed set, so this
+    // terminates; the cap only guards against future plan mistakes
+    for _ in 0..=cluster.nodes.len() {
+        match deploy_from_scratch_resilient(
+            &cluster,
+            &plan,
+            &ResilienceConfig::default(),
+            checkpoint,
+        ) {
+            Ok(r) => {
+                print!("{}", r.render());
+                return ExitCode::SUCCESS;
+            }
+            Err(e) if matches!(e.kind, InstallErrorKind::PowerLoss) => {
+                eprintln!(
+                    "power lost mid-install [{} node(s) committed]; resuming from checkpoint",
+                    e.progress.completed.len()
+                );
+                checkpoint = e.progress.checkpoint.clone();
+            }
+            Err(e) => {
+                eprintln!("littlefe deploy failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!("littlefe deploy: gave up after repeated power losses");
+    ExitCode::FAILURE
 }
 
 fn lab(student: &str) -> ExitCode {

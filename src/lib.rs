@@ -8,6 +8,7 @@
 //! * [`yum`] — Yum repositories, dependency solver, priorities, updates
 //! * [`rocks`] — Rocks-style cluster distribution (rolls, kickstart graph, appliances)
 //! * [`cluster`] — cluster hardware simulation (LittleFe, Limulus HPC200, Table-3 sites)
+//! * [`fault`] — deterministic fault injection, retry/backoff, install checkpoints
 //! * [`sched`] — Torque/Maui, SLURM, SGE resource-manager simulation
 //! * [`hpl`] — High-Performance Linpack (blocked LU) and the analytic Rmax model
 //! * [`modules`] — environment modules
@@ -16,6 +17,7 @@
 
 pub use xcbc_cluster as cluster;
 pub use xcbc_core as core;
+pub use xcbc_fault as fault;
 pub use xcbc_hpl as hpl;
 pub use xcbc_modules as modules;
 pub use xcbc_rocks as rocks;
