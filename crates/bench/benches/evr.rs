@@ -23,7 +23,9 @@ fn bench_evr(c: &mut Criterion) {
     let a = Evr::parse("2:4.6.5-2.el6");
     let b2 = Evr::parse("2:4.6.5-10.el6");
     c.bench_function("evr/cmp", |b| b.iter(|| black_box(&a).cmp(black_box(&b2))));
-    c.bench_function("evr/parse", |b| b.iter(|| Evr::parse(black_box("2:4.6.5-2.el6"))));
+    c.bench_function("evr/parse", |b| {
+        b.iter(|| Evr::parse(black_box("2:4.6.5-2.el6")))
+    });
 }
 
 criterion_group!(benches, bench_evr);

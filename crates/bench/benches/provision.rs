@@ -13,7 +13,11 @@ fn bench_provision(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("from_scratch_littlefe", |b| {
-        b.iter(|| deploy_from_scratch(&littlefe_modified()).unwrap().nodes_reinstalled)
+        b.iter(|| {
+            deploy_from_scratch(&littlefe_modified())
+                .unwrap()
+                .nodes_reinstalled
+        })
     });
 
     let limulus: BTreeMap<_, _> = limulus_hpc200()
@@ -23,7 +27,10 @@ fn bench_provision(c: &mut Criterion) {
         .collect();
     group.bench_function("xnit_overlay_limulus", |b| {
         b.iter(|| {
-            deploy_xnit_overlay(&limulus, XnitSetupMethod::RepoRpm).unwrap().compat.matching
+            deploy_xnit_overlay(&limulus, XnitSetupMethod::RepoRpm)
+                .unwrap()
+                .compat
+                .matching
         })
     });
     group.finish();

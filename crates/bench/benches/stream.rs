@@ -9,11 +9,9 @@ fn bench_stream(c: &mut Criterion) {
     for n in [1usize << 16, 1 << 20] {
         group.throughput(Throughput::Bytes(3 * 8 * n as u64));
         for threads in [1usize, 4] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{threads}t"), n),
-                &n,
-                |b, &n| b.iter(|| run_stream(StreamKernel::Triad, n, threads, 1).checksum),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{threads}t"), n), &n, |b, &n| {
+                b.iter(|| run_stream(StreamKernel::Triad, n, threads, 1).checksum)
+            });
         }
     }
     group.finish();

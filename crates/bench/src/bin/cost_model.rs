@@ -14,7 +14,13 @@ fn main() {
     let lf_bom = littlefe_modified_bom();
     println!("LittleFe (modified) bill of materials:");
     for line in &lf_bom.lines {
-        println!("  {:<38} {:>8.2} x{:<2} = {:>9.2}", line.item, line.unit_usd, line.quantity, line.total());
+        println!(
+            "  {:<38} {:>8.2} x{:<2} = {:>9.2}",
+            line.item,
+            line.unit_usd,
+            line.quantity,
+            line.total()
+        );
     }
     println!("  {:<38} {:>24.2}", "TOTAL", lf_bom.total_usd());
 

@@ -1,5 +1,8 @@
 //! Regenerate Figures 1-3 as chassis renderings from the hardware model.
 fn main() {
-    print!("{}", xcbc_bench::header("Figures 1-3 (substitute renderings)"));
+    print!(
+        "{}",
+        xcbc_bench::header("Figures 1-3 (substitute renderings)")
+    );
     print!("{}", xcbc_core::report::render_figures());
 }

@@ -4,22 +4,37 @@
 use xcbc_hpl::{run_hpl, EfficiencyModel, HplConfig};
 
 fn main() {
-    print!("{}", xcbc_bench::header("HPL scaling (real runs on this host)"));
+    print!(
+        "{}",
+        xcbc_bench::header("HPL scaling (real runs on this host)")
+    );
 
     println!("GFLOPS vs problem size (NB=64, 1 thread):");
     for n in [128usize, 256, 512, 1024] {
-        let r = run_hpl(&HplConfig { n, nb: 64, threads: 1, seed: 42 });
+        let r = run_hpl(&HplConfig {
+            n,
+            nb: 64,
+            threads: 1,
+            seed: 42,
+        });
         println!("  {}", r.render());
         assert!(r.passed, "residual check failed at N={n}");
     }
 
-    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     println!("\nGFLOPS vs threads (N=1024, NB=64):");
     for t in [1usize, 2, 4, max_threads] {
         if t > max_threads {
             continue;
         }
-        let r = run_hpl(&HplConfig { n: 1024, nb: 64, threads: t, seed: 42 });
+        let r = run_hpl(&HplConfig {
+            n: 1024,
+            nb: 64,
+            threads: t,
+            seed: 42,
+        });
         println!("  {}", r.render());
     }
 
@@ -27,6 +42,12 @@ fn main() {
     let m = EfficiencyModel::gigabit_deskside();
     let lf_rmax = m.rmax_gflops(537.6, 6, 48_000);
     let lm_rmax = m.rmax_gflops(793.6, 4, 64_000);
-    println!("  LittleFe  (6 nodes, Rpeak 537.6): model Rmax {:.1} GF (paper est. 403.2)", lf_rmax);
-    println!("  Limulus   (4 nodes, Rpeak 793.6): model Rmax {:.1} GF (paper meas. 498.3)", lm_rmax);
+    println!(
+        "  LittleFe  (6 nodes, Rpeak 537.6): model Rmax {:.1} GF (paper est. 403.2)",
+        lf_rmax
+    );
+    println!(
+        "  Limulus   (4 nodes, Rpeak 793.6): model Rmax {:.1} GF (paper meas. 498.3)",
+        lm_rmax
+    );
 }

@@ -6,7 +6,10 @@ use xcbc_cluster::thermal::LITTLEFE_BAY_CLEARANCE_MM;
 use xcbc_cluster::{check_node_thermals, hw, NodeRole, NodeSpec};
 
 fn main() {
-    print!("{}", xcbc_bench::header("LittleFe modification analysis (§5.1)"));
+    print!(
+        "{}",
+        xcbc_bench::header("LittleFe modification analysis (§5.1)")
+    );
 
     let v4 = littlefe_v4();
     let modified = littlefe_modified();
@@ -14,7 +17,15 @@ fn main() {
     println!("Rocks installability:");
     for c in [&v4, &modified] {
         let (ok, reasons) = c.rocks_installable();
-        println!("  {:<28} {}", c.name, if ok { "OK".to_string() } else { reasons.join("; ") });
+        println!(
+            "  {:<28} {}",
+            c.name,
+            if ok {
+                "OK".to_string()
+            } else {
+                reasons.join("; ")
+            }
+        );
     }
 
     println!("\nPer-CPU comparison (paper: 10.56 W vs 43.06 W):");
@@ -30,7 +41,11 @@ fn main() {
     }
 
     println!("\nCooler fit in a {LITTLEFE_BAY_CLEARANCE_MM} mm LittleFe bay:");
-    for cooler in [hw::ATOM_HEATSINK, hw::INTEL_STOCK_COOLER, hw::ROSEWILL_RCX_Z775_LP] {
+    for cooler in [
+        hw::ATOM_HEATSINK,
+        hw::INTEL_STOCK_COOLER,
+        hw::ROSEWILL_RCX_Z775_LP,
+    ] {
         let node = NodeSpec::new("probe", NodeRole::Compute)
             .cpu(hw::CELERON_G1840)
             .cooler(cooler.clone())
@@ -42,7 +57,11 @@ fn main() {
             if issues.is_empty() {
                 "fits and cools".to_string()
             } else {
-                issues.iter().map(|i| i.to_string()).collect::<Vec<_>>().join("; ")
+                issues
+                    .iter()
+                    .map(|i| i.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; ")
             }
         );
     }

@@ -5,19 +5,27 @@
 
 use xcbc_cluster::specs::littlefe_modified;
 use xcbc_cluster::{DegradedCluster, FailedComponent, Failure};
-use xcbc_hpl::{
-    pingpong_bandwidth_mb_s, run_hpl, run_stream, HplConfig, StreamKernel,
-};
+use xcbc_hpl::{pingpong_bandwidth_mb_s, run_hpl, run_stream, HplConfig, StreamKernel};
 
 fn main() {
     print!("{}", xcbc_bench::header("Deskside-cluster microbenchmarks"));
 
     println!("STREAM (real, this host, N=4M doubles):");
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
-    for kernel in [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad]
-    {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    for kernel in [
+        StreamKernel::Copy,
+        StreamKernel::Scale,
+        StreamKernel::Add,
+        StreamKernel::Triad,
+    ] {
         let r = run_stream(kernel, 4 << 20, threads, 3);
-        println!("  {:<6?} {:>8.2} GB/s ({} threads)", kernel, r.bandwidth_gb_s, r.threads);
+        println!(
+            "  {:<6?} {:>8.2} GB/s ({} threads)",
+            kernel, r.bandwidth_gb_s, r.threads
+        );
     }
 
     println!("\nMPI ping-pong over the LittleFe's GbE (model):");
@@ -31,13 +39,21 @@ fn main() {
     }
 
     println!("\nHPL spot check (real, N=512):");
-    let r = run_hpl(&HplConfig { n: 512, nb: 64, threads, seed: 1 });
+    let r = run_hpl(&HplConfig {
+        n: 512,
+        nb: 64,
+        threads,
+        seed: 1,
+    });
     println!("  {}", r.render());
 
     println!("\nTable 5 footnote reprise — a node dies before Linpack:");
     let degraded = DegradedCluster::new(
         littlefe_modified(),
-        vec![Failure { hostname: "compute-0-3".into(), component: FailedComponent::Motherboard }],
+        vec![Failure {
+            hostname: "compute-0-3".into(),
+            component: FailedComponent::Motherboard,
+        }],
     );
     println!(
         "  full Linpack possible: {}; degraded Rpeak {:.1} GF of 537.6",

@@ -1,6 +1,9 @@
 //! Regenerate Table 3 — deployed XCBC clusters.
 fn main() {
-    print!("{}", xcbc_bench::header("XCBC fleet — Table 3 regeneration"));
+    print!(
+        "{}",
+        xcbc_bench::header("XCBC fleet — Table 3 regeneration")
+    );
     print!("{}", xcbc_core::report::render_table3());
     let t = xcbc_core::fleet_totals();
     println!(

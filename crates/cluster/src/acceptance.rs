@@ -21,7 +21,11 @@ pub struct AcceptanceCheck {
 }
 
 /// A node-level acceptance run.
-pub fn check_node(node: &NodeSpec, bay_clearance_mm: f64, needs_disk: bool) -> Vec<AcceptanceCheck> {
+pub fn check_node(
+    node: &NodeSpec,
+    bay_clearance_mm: f64,
+    needs_disk: bool,
+) -> Vec<AcceptanceCheck> {
     let mut out = Vec::new();
 
     // socket match
@@ -42,7 +46,11 @@ pub fn check_node(node: &NodeSpec, bay_clearance_mm: f64, needs_disk: bool) -> V
         detail: if thermal_issues.is_empty() {
             "cooler fits and covers TDP".to_string()
         } else {
-            thermal_issues.iter().map(|i| i.to_string()).collect::<Vec<_>>().join("; ")
+            thermal_issues
+                .iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
         },
     });
 
@@ -53,7 +61,11 @@ pub fn check_node(node: &NodeSpec, bay_clearance_mm: f64, needs_disk: bool) -> V
             node: node.hostname.clone(),
             check: "psu-headroom",
             passed: ok,
-            detail: format!("{:.1} W load vs {:.0} W supply", node.load_watts(), psu.watts),
+            detail: format!(
+                "{:.1} W load vs {:.0} W supply",
+                node.load_watts(),
+                psu.watts
+            ),
         });
     }
 
@@ -68,7 +80,11 @@ pub fn check_node(node: &NodeSpec, bay_clearance_mm: f64, needs_disk: bool) -> V
     }
 
     // NIC inventory
-    let needed = if node.role == NodeRole::Frontend { 2 } else { 1 };
+    let needed = if node.role == NodeRole::Frontend {
+        2
+    } else {
+        1
+    };
     out.push(AcceptanceCheck {
         node: node.hostname.clone(),
         check: "nic-count",
@@ -147,7 +163,10 @@ mod tests {
             .psu(hw::PER_NODE_PSU)
             .build();
         let checks = check_node(&node, LITTLEFE_BAY_CLEARANCE_MM, true);
-        let socket = checks.iter().find(|c| c.check == "cpu-socket-match").unwrap();
+        let socket = checks
+            .iter()
+            .find(|c| c.check == "cpu-socket-match")
+            .unwrap();
         assert!(!socket.passed);
         assert!(socket.detail.contains("FCBGA559"));
     }
@@ -157,7 +176,10 @@ mod tests {
         let node = NodeSpec::new("brownout", NodeRole::Compute)
             .cpu(hw::CELERON_G1840)
             .disk(hw::CRUCIAL_M550_MSATA)
-            .psu(hw::Psu { name: "tiny 40W", watts: 40.0 })
+            .psu(hw::Psu {
+                name: "tiny 40W",
+                watts: 40.0,
+            })
             .build();
         let checks = check_node(&node, LITTLEFE_BAY_CLEARANCE_MM, true);
         let psu = checks.iter().find(|c| c.check == "psu-headroom").unwrap();
@@ -167,8 +189,18 @@ mod tests {
     #[test]
     fn summary_counts() {
         let checks = vec![
-            AcceptanceCheck { node: "a".into(), check: "x", passed: true, detail: String::new() },
-            AcceptanceCheck { node: "a".into(), check: "y", passed: false, detail: String::new() },
+            AcceptanceCheck {
+                node: "a".into(),
+                check: "x",
+                passed: true,
+                detail: String::new(),
+            },
+            AcceptanceCheck {
+                node: "a".into(),
+                check: "y",
+                passed: false,
+                detail: String::new(),
+            },
         ];
         assert_eq!(summarize(&checks), (1, 1));
     }

@@ -30,11 +30,18 @@ pub struct Bom {
 
 impl Bom {
     pub fn new(system: impl Into<String>) -> Self {
-        Bom { system: system.into(), lines: Vec::new() }
+        Bom {
+            system: system.into(),
+            lines: Vec::new(),
+        }
     }
 
     pub fn line(mut self, item: impl Into<String>, unit_usd: f64, quantity: u32) -> Self {
-        self.lines.push(BomLine { item: item.into(), unit_usd, quantity });
+        self.lines.push(BomLine {
+            item: item.into(),
+            unit_usd,
+            quantity,
+        });
         self
     }
 
@@ -78,8 +85,11 @@ pub fn limulus_hpc200_bom() -> Bom {
 /// capability — the paper: "these prices are an order of magnitude lower
 /// than similarly powered systems in a typical server configuration".
 pub fn server_configuration_bom() -> Bom {
-    Bom::new("PowerEdge VRTX-class server config")
-        .line("Chassis + 4 blade nodes, configured", 42000.0, 1)
+    Bom::new("PowerEdge VRTX-class server config").line(
+        "Chassis + 4 blade nodes, configured",
+        42000.0,
+        1,
+    )
 }
 
 /// A commercial cloud offering for the §8 comparison.
@@ -93,7 +103,10 @@ pub struct CloudOffering {
 impl CloudOffering {
     /// c3.2xlarge-era pricing (2015): ~$0.42/hr per node-equivalent.
     pub fn aws_2015() -> Self {
-        CloudOffering { name: "AWS c3.2xlarge (2015)".to_string(), usd_per_node_hour: 0.42 }
+        CloudOffering {
+            name: "AWS c3.2xlarge (2015)".to_string(),
+            usd_per_node_hour: 0.42,
+        }
     }
 }
 
@@ -155,7 +168,11 @@ mod tests {
     #[test]
     fn littlefe_bom_totals_to_paper_cost() {
         let bom = littlefe_modified_bom();
-        assert!((bom.total_usd() - specs::LITTLEFE_COST_USD).abs() < 1e-9, "{}", bom.total_usd());
+        assert!(
+            (bom.total_usd() - specs::LITTLEFE_COST_USD).abs() < 1e-9,
+            "{}",
+            bom.total_usd()
+        );
     }
 
     #[test]
@@ -214,7 +231,11 @@ mod tests {
 
     #[test]
     fn bom_line_math() {
-        let l = BomLine { item: "x".into(), unit_usd: 10.0, quantity: 6 };
+        let l = BomLine {
+            item: "x".into(),
+            unit_usd: 10.0,
+            quantity: 6,
+        };
         assert_eq!(l.total(), 60.0);
         let bom = Bom::new("s").line("a", 1.5, 2).line("b", 7.0, 1);
         assert_eq!(bom.total_usd(), 10.0);

@@ -108,7 +108,11 @@ impl DegradedCluster {
     /// Nodes still usable (possibly degraded).
     pub fn usable_nodes(&self) -> Vec<&crate::node::NodeSpec> {
         let offline = self.offline_nodes();
-        self.spec.nodes.iter().filter(|n| !offline.contains(&n.hostname.as_str())).collect()
+        self.spec
+            .nodes
+            .iter()
+            .filter(|n| !offline.contains(&n.hostname.as_str()))
+            .collect()
     }
 
     /// Rpeak of what still powers on.
@@ -169,7 +173,10 @@ pub fn sample_failures(
                 continue;
             }
             if rng.gen_bool(p_window.clamp(0.0, 1.0)) {
-                failures.push(Failure { hostname: node.hostname.clone(), component });
+                failures.push(Failure {
+                    hostname: node.hostname.clone(),
+                    component,
+                });
             }
         }
     }
@@ -195,7 +202,10 @@ mod tests {
                 component: FailedComponent::Motherboard,
             }],
         );
-        assert!(!degraded.can_run_full_linpack(), "no 12-core Linpack possible");
+        assert!(
+            !degraded.can_run_full_linpack(),
+            "no 12-core Linpack possible"
+        );
         assert!(degraded.frontend_alive(), "cluster still manageable");
         // 5 of 6 nodes: 5/6 of Rpeak still available
         assert!((degraded.degraded_rpeak_gflops() - full_rpeak * 5.0 / 6.0).abs() < 1e-9);
@@ -205,18 +215,27 @@ mod tests {
     fn non_fatal_failures_keep_nodes_usable() {
         let degraded = DegradedCluster::new(
             littlefe_modified(),
-            vec![Failure { hostname: "compute-0-0".into(), component: FailedComponent::Fan }],
+            vec![Failure {
+                hostname: "compute-0-0".into(),
+                component: FailedComponent::Fan,
+            }],
         );
         assert!(degraded.offline_nodes().is_empty());
         assert_eq!(degraded.usable_nodes().len(), 6);
-        assert!(degraded.can_run_full_linpack(), "a degraded fan does not stop HPL");
+        assert!(
+            degraded.can_run_full_linpack(),
+            "a degraded fan does not stop HPL"
+        );
     }
 
     #[test]
     fn nic_failure_breaks_full_run_but_not_node() {
         let degraded = DegradedCluster::new(
             littlefe_modified(),
-            vec![Failure { hostname: "compute-0-1".into(), component: FailedComponent::Nic }],
+            vec![Failure {
+                hostname: "compute-0-1".into(),
+                component: FailedComponent::Nic,
+            }],
         );
         assert!(degraded.offline_nodes().is_empty());
         assert!(!degraded.can_run_full_linpack());
@@ -226,7 +245,10 @@ mod tests {
     fn frontend_death_detected() {
         let degraded = DegradedCluster::new(
             littlefe_modified(),
-            vec![Failure { hostname: "littlefe".into(), component: FailedComponent::Psu }],
+            vec![Failure {
+                hostname: "littlefe".into(),
+                component: FailedComponent::Psu,
+            }],
         );
         assert!(!degraded.frontend_alive());
     }
@@ -236,11 +258,20 @@ mod tests {
         let degraded = DegradedCluster::new(
             littlefe_modified(),
             vec![
-                Failure { hostname: "compute-0-0".into(), component: FailedComponent::Disk },
-                Failure { hostname: "compute-0-2".into(), component: FailedComponent::Disk },
+                Failure {
+                    hostname: "compute-0-0".into(),
+                    component: FailedComponent::Disk,
+                },
+                Failure {
+                    hostname: "compute-0-2".into(),
+                    component: FailedComponent::Disk,
+                },
             ],
         );
-        assert_eq!(degraded.needs_reinstall(), vec!["compute-0-0", "compute-0-2"]);
+        assert_eq!(
+            degraded.needs_reinstall(),
+            vec!["compute-0-0", "compute-0-2"]
+        );
     }
 
     #[test]
@@ -269,7 +300,10 @@ mod tests {
         // A boot hang is fatal (motherboard); a DHCP timeout is a NIC.
         assert_eq!(degraded.offline_nodes(), vec!["compute-0-3"]);
         assert_eq!(degraded.usable_nodes().len(), 5);
-        assert!(!degraded.can_run_full_linpack(), "NIC quarantine breaks the all-node run");
+        assert!(
+            !degraded.can_run_full_linpack(),
+            "NIC quarantine breaks the all-node run"
+        );
         assert!(degraded.frontend_alive());
     }
 

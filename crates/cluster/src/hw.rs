@@ -131,7 +131,10 @@ pub struct Nic {
 }
 
 /// Onboard Intel GbE (the GA-Q87TN has two).
-pub const GBE_NIC: Nic = Nic { name: "Intel I217LM GbE", speed_gbps: 1.0 };
+pub const GBE_NIC: Nic = Nic {
+    name: "Intel I217LM GbE",
+    speed_gbps: 1.0,
+};
 
 /// Motherboard form factor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -180,13 +183,22 @@ pub struct Psu {
 
 /// The per-node PicoPSU-style supply the modified LittleFe uses
 /// (§5.1: "we added an individual power supply for each node").
-pub const PER_NODE_PSU: Psu = Psu { name: "picoPSU-120 per-node supply", watts: 120.0 };
+pub const PER_NODE_PSU: Psu = Psu {
+    name: "picoPSU-120 per-node supply",
+    watts: 120.0,
+};
 
 /// The single shared supply of the original LittleFe design.
-pub const LITTLEFE_SHARED_PSU: Psu = Psu { name: "LittleFe shared ATX supply", watts: 350.0 };
+pub const LITTLEFE_SHARED_PSU: Psu = Psu {
+    name: "LittleFe shared ATX supply",
+    watts: 350.0,
+};
 
 /// The Limulus HPC200's 850 W supply (§5.2).
-pub const LIMULUS_850W_PSU: Psu = Psu { name: "Limulus 850W supply", watts: 850.0 };
+pub const LIMULUS_850W_PSU: Psu = Psu {
+    name: "Limulus 850W supply",
+    watts: 850.0,
+};
 
 /// CPU cooling solution with physical height (the binding constraint in
 /// a LittleFe bay).
@@ -203,18 +215,30 @@ pub struct Cooler {
 /// Passive heat sink + chassis airflow — enough for the Atom
 /// ("The original LittleFe used a heat sink on the CPU and a small add-on
 /// fan to blow air over the heat sink fins").
-pub const ATOM_HEATSINK: Cooler =
-    Cooler { name: "passive heatsink + chassis fan", height_mm: 25.0, capacity_watts: 18.0, has_fan: false };
+pub const ATOM_HEATSINK: Cooler = Cooler {
+    name: "passive heatsink + chassis fan",
+    height_mm: 25.0,
+    capacity_watts: 18.0,
+    has_fan: false,
+};
 
 /// The stock Intel cooler bundled with the Celeron G1840 — "too large to
 /// fit in the space allocated per LittleFe node".
-pub const INTEL_STOCK_COOLER: Cooler =
-    Cooler { name: "Intel stock cooler", height_mm: 47.0, capacity_watts: 73.0, has_fan: true };
+pub const INTEL_STOCK_COOLER: Cooler = Cooler {
+    name: "Intel stock cooler",
+    height_mm: 47.0,
+    capacity_watts: 73.0,
+    has_fan: true,
+};
 
 /// Rosewill RCX-Z775-LP 80 mm low-profile cooler — "fits well in the
 /// allotted space".
-pub const ROSEWILL_RCX_Z775_LP: Cooler =
-    Cooler { name: "Rosewill RCX-Z775-LP 80mm Low Profile", height_mm: 37.0, capacity_watts: 65.0, has_fan: true };
+pub const ROSEWILL_RCX_Z775_LP: Cooler = Cooler {
+    name: "Rosewill RCX-Z775-LP 80mm Low Profile",
+    height_mm: 37.0,
+    capacity_watts: 65.0,
+    has_fan: true,
+};
 
 #[cfg(test)]
 // the paper's hardware facts are constants; asserting them is the point

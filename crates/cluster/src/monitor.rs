@@ -58,7 +58,10 @@ pub struct Ring {
 
 impl Ring {
     fn new(capacity: usize) -> Self {
-        Ring { capacity, samples: Vec::new() }
+        Ring {
+            capacity,
+            samples: Vec::new(),
+        }
     }
 
     fn push(&mut self, s: MetricSample) {
@@ -89,10 +92,13 @@ impl Ring {
     }
 
     pub fn max(&self) -> Option<f64> {
-        self.samples.iter().map(|s| s.value).fold(None, |acc, v| match acc {
-            None => Some(v),
-            Some(a) => Some(a.max(v)),
-        })
+        self.samples
+            .iter()
+            .map(|s| s.value)
+            .fold(None, |acc, v| match acc {
+                None => Some(v),
+                Some(a) => Some(a.max(v)),
+            })
     }
 }
 
@@ -105,14 +111,22 @@ pub struct NodeMonitor {
 
 impl NodeMonitor {
     pub fn new(hostname: impl Into<String>, ring_capacity: usize) -> Self {
-        let rings =
-            MetricKind::ALL.iter().map(|k| (*k, Ring::new(ring_capacity))).collect();
-        NodeMonitor { hostname: hostname.into(), rings }
+        let rings = MetricKind::ALL
+            .iter()
+            .map(|k| (*k, Ring::new(ring_capacity)))
+            .collect();
+        NodeMonitor {
+            hostname: hostname.into(),
+            rings,
+        }
     }
 
     /// Record one observation.
     pub fn observe(&mut self, kind: MetricKind, time_s: f64, value: f64) {
-        self.rings.get_mut(&kind).expect("all kinds present").push(MetricSample { time_s, value });
+        self.rings
+            .get_mut(&kind)
+            .expect("all kinds present")
+            .push(MetricSample { time_s, value });
     }
 
     pub fn ring(&self, kind: MetricKind) -> &Ring {
@@ -130,7 +144,10 @@ pub struct ClusterMonitor {
 
 impl ClusterMonitor {
     pub fn new(ring_capacity: usize) -> Self {
-        ClusterMonitor { inner: Arc::new(RwLock::new(BTreeMap::new())), ring_capacity }
+        ClusterMonitor {
+            inner: Arc::new(RwLock::new(BTreeMap::new())),
+            ring_capacity,
+        }
     }
 
     /// Register a node (idempotent).
@@ -156,8 +173,10 @@ impl ClusterMonitor {
     /// web UI).
     pub fn cluster_mean(&self, kind: MetricKind) -> Option<f64> {
         let g = self.inner.read();
-        let vals: Vec<f64> =
-            g.values().filter_map(|n| n.ring(kind).latest().map(|s| s.value)).collect();
+        let vals: Vec<f64> = g
+            .values()
+            .filter_map(|n| n.ring(kind).latest().map(|s| s.value))
+            .collect();
         if vals.is_empty() {
             None
         } else {
@@ -169,7 +188,12 @@ impl ClusterMonitor {
     pub fn hotspots(&self, kind: MetricKind, threshold: f64) -> Vec<String> {
         let g = self.inner.read();
         g.values()
-            .filter(|n| n.ring(kind).latest().map(|s| s.value > threshold).unwrap_or(false))
+            .filter(|n| {
+                n.ring(kind)
+                    .latest()
+                    .map(|s| s.value > threshold)
+                    .unwrap_or(false)
+            })
             .map(|n| n.hostname.clone())
             .collect()
     }
@@ -182,7 +206,12 @@ impl ClusterMonitor {
             out.push_str(&format!("HOST {}\n", n.hostname));
             for k in MetricKind::ALL {
                 if let Some(s) = n.ring(k).latest() {
-                    out.push_str(&format!("  METRIC {} = {:.2} @ {:.0}s\n", k.name(), s.value, s.time_s));
+                    out.push_str(&format!(
+                        "  METRIC {} = {:.2} @ {:.0}s\n",
+                        k.name(),
+                        s.value,
+                        s.time_s
+                    ));
                 }
             }
         }
@@ -198,7 +227,10 @@ mod tests {
     fn ring_evicts_oldest() {
         let mut r = Ring::new(3);
         for i in 0..5 {
-            r.push(MetricSample { time_s: i as f64, value: i as f64 });
+            r.push(MetricSample {
+                time_s: i as f64,
+                value: i as f64,
+            });
         }
         assert_eq!(r.len(), 3);
         assert_eq!(r.latest().unwrap().value, 4.0);

@@ -191,7 +191,9 @@ mod tests {
 
     #[test]
     fn diskless_detection() {
-        let diskless = NodeSpec::new("n0", NodeRole::Compute).cpu(hw::I7_4770S).build();
+        let diskless = NodeSpec::new("n0", NodeRole::Compute)
+            .cpu(hw::I7_4770S)
+            .build();
         assert!(diskless.is_diskless());
         assert!(!littlefe_node(0).is_diskless());
         assert_eq!(littlefe_node(0).disk_capacity_gb(), 128);
@@ -209,7 +211,9 @@ mod tests {
     fn frontend_needs_two_nics() {
         let single = NodeSpec::new("fe", NodeRole::Frontend).build();
         assert!(!single.can_be_frontend());
-        let dual = NodeSpec::new("fe", NodeRole::Frontend).nic(hw::GBE_NIC).build();
+        let dual = NodeSpec::new("fe", NodeRole::Frontend)
+            .nic(hw::GBE_NIC)
+            .build();
         assert!(dual.can_be_frontend());
     }
 

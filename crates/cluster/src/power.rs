@@ -5,9 +5,10 @@
 //! [`PowerManager`] simulates a cluster's energy use over a load
 //! timeline under three policies and reports energy and availability.
 
-use crate::topology::ClusterSpec;
 use crate::node::NodeRole;
+use crate::topology::ClusterSpec;
 use serde::{Deserialize, Serialize};
+use xcbc_sim::SimDuration;
 
 /// Node power policy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -16,12 +17,34 @@ pub enum PowerPolicy {
     AlwaysOn,
     /// Nodes power on when demanded, off when idle (Limulus default).
     OnDemand {
-        /// Seconds a node takes to boot when demand arrives.
-        boot_seconds: f64,
+        /// How long a node takes to boot when demand arrives.
+        boot: SimDuration,
     },
     /// Nodes are up only inside a daily window (Limulus "can also be
     /// scheduled"), `start_hour..end_hour` in 0..24.
     Scheduled { start_hour: u32, end_hour: u32 },
+}
+
+impl PowerPolicy {
+    /// On-demand power with the given boot lag (accepts `SimDuration`
+    /// or float seconds).
+    pub fn on_demand(boot: impl Into<SimDuration>) -> PowerPolicy {
+        PowerPolicy::OnDemand { boot: boot.into() }
+    }
+
+    /// Human-readable policy name for reports.
+    pub fn label(&self) -> String {
+        match self {
+            PowerPolicy::AlwaysOn => "AlwaysOn".to_string(),
+            PowerPolicy::OnDemand { boot } => format!("OnDemand {{ boot: {boot} }}"),
+            PowerPolicy::Scheduled {
+                start_hour,
+                end_hour,
+            } => {
+                format!("Scheduled {{ {start_hour}..{end_hour} }}")
+            }
+        }
+    }
 }
 
 /// Outcome of a power simulation.
@@ -53,10 +76,16 @@ impl PowerManager {
     /// hour `h`. The frontend is always on.
     pub fn simulate(&self, cluster: &ClusterSpec, demand: &[u32], hours: u32) -> PowerReport {
         assert!(!demand.is_empty(), "demand profile must be non-empty");
-        let computes: Vec<_> =
-            cluster.nodes.iter().filter(|n| n.role == NodeRole::Compute).collect();
-        let frontends: Vec<_> =
-            cluster.nodes.iter().filter(|n| n.role != NodeRole::Compute).collect();
+        let computes: Vec<_> = cluster
+            .nodes
+            .iter()
+            .filter(|n| n.role == NodeRole::Compute)
+            .collect();
+        let frontends: Vec<_> = cluster
+            .nodes
+            .iter()
+            .filter(|n| n.role != NodeRole::Compute)
+            .collect();
 
         let mut wh_total = 0.0;
         let mut demanded_node_hours = 0.0;
@@ -67,18 +96,26 @@ impl PowerManager {
             demanded_node_hours += want as f64;
             // frontend(s): always on, busy if any demand
             for fe in &frontends {
-                wh_total += if want > 0 { fe.load_watts() } else { fe.idle_watts() };
+                wh_total += if want > 0 {
+                    fe.load_watts()
+                } else {
+                    fe.idle_watts()
+                };
             }
             match &self.policy {
                 PowerPolicy::AlwaysOn => {
                     for (i, n) in computes.iter().enumerate() {
-                        wh_total += if i < want { n.load_watts() } else { n.idle_watts() };
+                        wh_total += if i < want {
+                            n.load_watts()
+                        } else {
+                            n.idle_watts()
+                        };
                     }
                     served_node_hours += want as f64;
                 }
-                PowerPolicy::OnDemand { boot_seconds } => {
+                PowerPolicy::OnDemand { boot } => {
                     // busy nodes run at load; the boot lag shaves service
-                    let boot_fraction = boot_seconds / 3600.0;
+                    let boot_fraction = boot.as_secs_f64() / 3600.0;
                     for (i, n) in computes.iter().enumerate() {
                         if i < want {
                             wh_total += n.load_watts();
@@ -90,12 +127,19 @@ impl PowerManager {
                     }
                     served_node_hours += want as f64 * (1.0 - boot_fraction).max(0.0);
                 }
-                PowerPolicy::Scheduled { start_hour, end_hour } => {
+                PowerPolicy::Scheduled {
+                    start_hour,
+                    end_hour,
+                } => {
                     let hod = h % 24;
                     let window = hod >= *start_hour && hod < *end_hour;
                     for (i, n) in computes.iter().enumerate() {
                         if window {
-                            wh_total += if i < want { n.load_watts() } else { n.idle_watts() };
+                            wh_total += if i < want {
+                                n.load_watts()
+                            } else {
+                                n.idle_watts()
+                            };
                         } else {
                             wh_total += 2.0;
                         }
@@ -108,7 +152,7 @@ impl PowerManager {
         }
 
         PowerReport {
-            policy_label: format!("{:?}", self.policy),
+            policy_label: self.policy.label(),
             energy_kwh: wh_total / 1000.0,
             mean_watts: wh_total / hours as f64,
             service_fraction: if demanded_node_hours > 0.0 {
@@ -127,7 +171,9 @@ mod tests {
 
     /// Office-hours demand: busy 9-17, idle otherwise.
     fn office_demand() -> Vec<u32> {
-        (0..24).map(|h| if (9..17).contains(&h) { 3 } else { 0 }).collect()
+        (0..24)
+            .map(|h| if (9..17).contains(&h) { 3 } else { 0 })
+            .collect()
     }
 
     #[test]
@@ -135,11 +181,13 @@ mod tests {
         let c = limulus_hpc200();
         let demand = office_demand();
         let always = PowerManager::new(PowerPolicy::AlwaysOn).simulate(&c, &demand, 24 * 7);
-        let od = PowerManager::new(PowerPolicy::OnDemand { boot_seconds: 90.0 })
-            .simulate(&c, &demand, 24 * 7);
+        let od = PowerManager::new(PowerPolicy::on_demand(90.0)).simulate(&c, &demand, 24 * 7);
         assert!(od.energy_kwh < always.energy_kwh, "{od:?} vs {always:?}");
         assert_eq!(always.service_fraction, 1.0);
-        assert!(od.service_fraction > 0.95, "boot lag should cost <5%: {od:?}");
+        assert!(
+            od.service_fraction > 0.95,
+            "boot lag should cost <5%: {od:?}"
+        );
     }
 
     #[test]
@@ -147,12 +195,18 @@ mod tests {
         let c = limulus_hpc200();
         let demand = office_demand();
         // window exactly covering demand
-        let good = PowerManager::new(PowerPolicy::Scheduled { start_hour: 9, end_hour: 17 })
-            .simulate(&c, &demand, 24 * 7);
+        let good = PowerManager::new(PowerPolicy::Scheduled {
+            start_hour: 9,
+            end_hour: 17,
+        })
+        .simulate(&c, &demand, 24 * 7);
         assert!((good.service_fraction - 1.0).abs() < 1e-9);
         // window missing half the demand
-        let bad = PowerManager::new(PowerPolicy::Scheduled { start_hour: 13, end_hour: 17 })
-            .simulate(&c, &demand, 24 * 7);
+        let bad = PowerManager::new(PowerPolicy::Scheduled {
+            start_hour: 13,
+            end_hour: 17,
+        })
+        .simulate(&c, &demand, 24 * 7);
         assert!((bad.service_fraction - 0.5).abs() < 1e-9);
         assert!(bad.energy_kwh < good.energy_kwh);
     }
@@ -162,8 +216,7 @@ mod tests {
         let c = limulus_hpc200();
         let demand = vec![0u32];
         let always = PowerManager::new(PowerPolicy::AlwaysOn).simulate(&c, &demand, 24);
-        let od = PowerManager::new(PowerPolicy::OnDemand { boot_seconds: 90.0 })
-            .simulate(&c, &demand, 24);
+        let od = PowerManager::new(PowerPolicy::on_demand(90.0)).simulate(&c, &demand, 24);
         assert!(od.energy_kwh < always.energy_kwh);
         assert_eq!(od.service_fraction, 1.0);
     }

@@ -20,7 +20,8 @@ pub fn render_littlefe_rear(c: &ClusterSpec) -> String {
             (None, Some(_)) => "[shared bus]".to_string(),
             (None, None) => "[unpowered!]".to_string(),
         };
-        let nics = "eth".repeat(n.nics.len().min(1)) + &"+eth".repeat(n.nics.len().saturating_sub(1));
+        let nics =
+            "eth".repeat(n.nics.len().min(1)) + &"+eth".repeat(n.nics.len().saturating_sub(1));
         out.push_str(&format!(
             "│ {:<12} {:<12} {:<8} {:>9} │\n",
             n.hostname,
@@ -34,7 +35,10 @@ pub fn render_littlefe_rear(c: &ClusterSpec) -> String {
         ));
     }
     out.push_str("└──────────────────────────────────────────────┘\n");
-    out.push_str(&format!("  switch: {} ({} ports)\n", c.network.name, c.network.switch_ports));
+    out.push_str(&format!(
+        "  switch: {} ({} ports)\n",
+        c.network.name, c.network.switch_ports
+    ));
     out
 }
 
@@ -95,7 +99,10 @@ pub fn render_limulus(c: &ClusterSpec) -> String {
         }
     }
     if let Some(psu) = &c.shared_psu {
-        out.push_str(&format!("║ PSU: {:<29} ║\n", format!("{} ({} W)", psu.name, psu.watts)));
+        out.push_str(&format!(
+            "║ PSU: {:<29} ║\n",
+            format!("{} ({} W)", psu.name, psu.watts)
+        ));
     }
     out.push_str("╚════════════════════════════════════╝\n");
     out
@@ -108,7 +115,11 @@ mod tests {
     #[test]
     fn rear_view_shows_six_nodes_with_psus() {
         let r = super::render_littlefe_rear(&littlefe_modified());
-        assert_eq!(r.matches("PSU 120W").count(), 6, "per-node supplies visible:\n{r}");
+        assert_eq!(
+            r.matches("PSU 120W").count(),
+            6,
+            "per-node supplies visible:\n{r}"
+        );
         assert!(r.contains("FRONTEND"));
         assert_eq!(r.matches("compute-0-").count(), 5);
     }

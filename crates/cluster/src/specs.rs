@@ -32,7 +32,11 @@ pub fn littlefe_v4() -> ClusterSpec {
     c.weight_lbs = 45.0;
     c.shared_psu = Some(hw::LITTLEFE_SHARED_PSU);
     for i in 0..LITTLEFE_NODES {
-        let role = if i == 0 { NodeRole::Frontend } else { NodeRole::Compute };
+        let role = if i == 0 {
+            NodeRole::Frontend
+        } else {
+            NodeRole::Compute
+        };
         let mut b = NodeSpec::new(node_name(i), role)
             .board(hw::ATOM_BOARD_D510MO)
             .cpu(hw::ATOM_D510)
@@ -50,10 +54,17 @@ pub fn littlefe_v4() -> ClusterSpec {
 
 /// §5.1's modified LittleFe: the exemplar built at IU.
 pub fn littlefe_modified() -> ClusterSpec {
-    let mut c = ClusterSpec::new("LittleFe (modified, Haswell)", NetworkSpec::gigabit_ethernet(8));
+    let mut c = ClusterSpec::new(
+        "LittleFe (modified, Haswell)",
+        NetworkSpec::gigabit_ethernet(8),
+    );
     c.weight_lbs = 48.0;
     for i in 0..LITTLEFE_NODES {
-        let role = if i == 0 { NodeRole::Frontend } else { NodeRole::Compute };
+        let role = if i == 0 {
+            NodeRole::Frontend
+        } else {
+            NodeRole::Compute
+        };
         let mut b = NodeSpec::new(node_name(i), role)
             .board(hw::GA_Q87TN)
             .cpu(hw::CELERON_G1840)
@@ -80,9 +91,17 @@ pub fn limulus_hpc200() -> ClusterSpec {
     c.weight_lbs = 50.0;
     c.shared_psu = Some(hw::LIMULUS_850W_PSU);
     for i in 0..LIMULUS_NODES {
-        let role = if i == 0 { NodeRole::Frontend } else { NodeRole::Compute };
+        let role = if i == 0 {
+            NodeRole::Frontend
+        } else {
+            NodeRole::Compute
+        };
         let mut b = NodeSpec::new(
-            if i == 0 { "limulus".to_string() } else { format!("n{i}") },
+            if i == 0 {
+                "limulus".to_string()
+            } else {
+                format!("n{i}")
+            },
             role,
         )
         .board(hw::GA_Q87TN)
@@ -92,7 +111,10 @@ pub fn limulus_hpc200() -> ClusterSpec {
         if i == 0 {
             // headnode holds the storage ("40TB storage"-style local
             // disks are on the head; computes are diskless)
-            b = b.disk(hw::LAPTOP_HDD_500GB).disk(hw::LAPTOP_HDD_500GB).nic(hw::GBE_NIC);
+            b = b
+                .disk(hw::LAPTOP_HDD_500GB)
+                .disk(hw::LAPTOP_HDD_500GB)
+                .nic(hw::GBE_NIC);
         }
         c.nodes.push(b.build());
     }

@@ -22,9 +22,19 @@ pub const DESKSIDE_CLEARANCE_MM: f64 = 160.0;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ThermalIssue {
     /// The cooler stack is taller than the bay allows.
-    CoolerDoesNotFit { node: String, cooler: String, height_mm: f64, clearance_mm: f64 },
+    CoolerDoesNotFit {
+        node: String,
+        cooler: String,
+        height_mm: f64,
+        clearance_mm: f64,
+    },
     /// The cooler cannot dissipate the CPU's thermal design power.
-    InsufficientCooling { node: String, cooler: String, cpu_tdp: f64, capacity: f64 },
+    InsufficientCooling {
+        node: String,
+        cooler: String,
+        cpu_tdp: f64,
+        capacity: f64,
+    },
     /// CPU needs a fan but the cooler is passive.
     NeedsFan { node: String, cpu: String },
 }
@@ -32,11 +42,21 @@ pub enum ThermalIssue {
 impl std::fmt::Display for ThermalIssue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ThermalIssue::CoolerDoesNotFit { node, cooler, height_mm, clearance_mm } => write!(
+            ThermalIssue::CoolerDoesNotFit {
+                node,
+                cooler,
+                height_mm,
+                clearance_mm,
+            } => write!(
                 f,
                 "{node}: {cooler} ({height_mm} mm) does not fit in {clearance_mm} mm bay"
             ),
-            ThermalIssue::InsufficientCooling { node, cooler, cpu_tdp, capacity } => write!(
+            ThermalIssue::InsufficientCooling {
+                node,
+                cooler,
+                cpu_tdp,
+                capacity,
+            } => write!(
                 f,
                 "{node}: {cooler} ({capacity} W) cannot cool a {cpu_tdp} W CPU"
             ),
@@ -83,7 +103,10 @@ mod tests {
     use crate::node::{NodeRole, NodeSpec};
 
     fn node(cpu: hw::CpuModel, cooler: hw::Cooler) -> NodeSpec {
-        NodeSpec::new("n0", NodeRole::Compute).cpu(cpu).cooler(cooler).build()
+        NodeSpec::new("n0", NodeRole::Compute)
+            .cpu(cpu)
+            .cooler(cooler)
+            .build()
     }
 
     #[test]
@@ -98,7 +121,9 @@ mod tests {
         // processor we used is too large to fit"
         let n = node(hw::CELERON_G1840, hw::INTEL_STOCK_COOLER);
         let issues = check_node_thermals(&n, LITTLEFE_BAY_CLEARANCE_MM);
-        assert!(issues.iter().any(|i| matches!(i, ThermalIssue::CoolerDoesNotFit { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ThermalIssue::CoolerDoesNotFit { .. })));
     }
 
     #[test]
@@ -112,8 +137,12 @@ mod tests {
     fn celeron_with_atom_heatsink_overheats() {
         let n = node(hw::CELERON_G1840, hw::ATOM_HEATSINK);
         let issues = check_node_thermals(&n, LITTLEFE_BAY_CLEARANCE_MM);
-        assert!(issues.iter().any(|i| matches!(i, ThermalIssue::InsufficientCooling { .. })));
-        assert!(issues.iter().any(|i| matches!(i, ThermalIssue::NeedsFan { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ThermalIssue::InsufficientCooling { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ThermalIssue::NeedsFan { .. })));
     }
 
     #[test]

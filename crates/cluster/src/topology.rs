@@ -1,8 +1,8 @@
 //! Cluster-level specification: a frontend, compute nodes, a network, and
 //! (optionally) a chassis-shared power supply.
 
-use crate::node::{NodeRole, NodeSpec};
 use crate::hw::Psu;
+use crate::node::{NodeRole, NodeSpec};
 use serde::Serialize;
 
 /// The private interconnect.
@@ -99,10 +99,12 @@ impl ClusterSpec {
     pub fn power_budget_ok(&self) -> bool {
         match &self.shared_psu {
             Some(psu) => self.load_watts() * 1.2 <= psu.watts,
-            None => self
-                .nodes
-                .iter()
-                .all(|n| n.psu.as_ref().map(|p| n.load_watts() * 1.2 <= p.watts).unwrap_or(false)),
+            None => self.nodes.iter().all(|n| {
+                n.psu
+                    .as_ref()
+                    .map(|p| n.load_watts() * 1.2 <= p.watts)
+                    .unwrap_or(false)
+            }),
         }
     }
 
@@ -218,7 +220,10 @@ mod tests {
         for n in &mut c.nodes {
             n.psu = None;
         }
-        c.shared_psu = Some(hw::Psu { name: "tiny", watts: 50.0 });
+        c.shared_psu = Some(hw::Psu {
+            name: "tiny",
+            watts: 50.0,
+        });
         assert!(!c.power_budget_ok(), "3 haswell nodes cannot run on 50 W");
         c.shared_psu = Some(hw::LIMULUS_850W_PSU);
         assert!(c.power_budget_ok());

@@ -15,7 +15,7 @@ proptest! {
     ) {
         let cluster = xcbc_cluster::specs::littlefe_modified();
         let always = PowerManager::new(PowerPolicy::AlwaysOn).simulate(&cluster, &demand, hours);
-        let od = PowerManager::new(PowerPolicy::OnDemand { boot_seconds: 60.0 })
+        let od = PowerManager::new(PowerPolicy::on_demand(60.0))
             .simulate(&cluster, &demand, hours);
         prop_assert!(od.energy_kwh <= always.energy_kwh + 1e-9);
         prop_assert!(always.service_fraction >= od.service_fraction - 1e-9);

@@ -1,6 +1,6 @@
 //! Campus-bridging data movement: Globus Connect Server and the GFFS.
 //!
-//! The XSEDE Tools row of Table 2 exists so that "a researcher [can]
+//! The XSEDE Tools row of Table 2 exists so that "a researcher \[can\]
 //! move from an XCBC- or XNIT-based campus cluster to an XSEDE-supported
 //! resource". The concrete mechanism is a Globus endpoint on the campus
 //! cluster plus the Global Federated File System. This module models
@@ -30,7 +30,10 @@ impl std::fmt::Display for SetupError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SetupError::MissingPackage(p) => {
-                write!(f, "endpoint setup requires the {p} package (install it from XNIT)")
+                write!(
+                    f,
+                    "endpoint setup requires the {p} package (install it from XNIT)"
+                )
             }
         }
     }
@@ -40,9 +43,14 @@ impl std::fmt::Display for SetupError {
 /// tools row.
 pub fn setup_endpoint(name: &str, db: &RpmDb, wan_mb_s: f64) -> Result<Endpoint, SetupError> {
     if !db.is_installed("globus-connect-server") {
-        return Err(SetupError::MissingPackage("globus-connect-server".to_string()));
+        return Err(SetupError::MissingPackage(
+            "globus-connect-server".to_string(),
+        ));
     }
-    Ok(Endpoint { name: name.to_string(), wan_mb_s })
+    Ok(Endpoint {
+        name: name.to_string(),
+        wan_mb_s,
+    })
 }
 
 /// One file in a transfer.
@@ -106,7 +114,8 @@ impl GffsNamespace {
 
     /// Export a local directory at a global path.
     pub fn export(&mut self, global: &str, endpoint: &str, local: &str) {
-        self.mounts.push((global.to_string(), endpoint.to_string(), local.to_string()));
+        self.mounts
+            .push((global.to_string(), endpoint.to_string(), local.to_string()));
     }
 
     /// Resolve a global path to (endpoint, local path).
@@ -116,9 +125,7 @@ impl GffsNamespace {
             .iter()
             .filter(|(prefix, _, _)| global.starts_with(prefix.as_str()))
             .max_by_key(|(prefix, _, _)| prefix.len())
-            .map(|(prefix, ep, local)| {
-                (ep.clone(), format!("{local}{}", &global[prefix.len()..]))
-            })
+            .map(|(prefix, ep, local)| (ep.clone(), format!("{local}{}", &global[prefix.len()..])))
     }
 
     pub fn mount_count(&self) -> usize {
@@ -153,22 +160,47 @@ mod tests {
 
     #[test]
     fn transfer_time_is_bottleneck_bound() {
-        let campus = Endpoint { name: "campus#littlefe".into(), wan_mb_s: 50.0 };
-        let stampede = Endpoint { name: "xsede#stampede".into(), wan_mb_s: 1000.0 };
-        let files = vec![TransferFile { path: "/data/run1.nc".into(), bytes: 500 << 20 }];
+        let campus = Endpoint {
+            name: "campus#littlefe".into(),
+            wan_mb_s: 50.0,
+        };
+        let stampede = Endpoint {
+            name: "xsede#stampede".into(),
+            wan_mb_s: 1000.0,
+        };
+        let files = vec![TransferFile {
+            path: "/data/run1.nc".into(),
+            bytes: 500 << 20,
+        }];
         let report = transfer(&campus, &stampede, &files, &[]);
-        assert!((report.seconds - 10.0).abs() < 1e-9, "500MB at 50MB/s: {}", report.seconds);
+        assert!(
+            (report.seconds - 10.0).abs() < 1e-9,
+            "500MB at 50MB/s: {}",
+            report.seconds
+        );
         assert!(report.verified);
         assert!(report.retried.is_empty());
     }
 
     #[test]
     fn corrupted_files_retried_and_verified() {
-        let a = Endpoint { name: "a".into(), wan_mb_s: 100.0 };
-        let b = Endpoint { name: "b".into(), wan_mb_s: 100.0 };
+        let a = Endpoint {
+            name: "a".into(),
+            wan_mb_s: 100.0,
+        };
+        let b = Endpoint {
+            name: "b".into(),
+            wan_mb_s: 100.0,
+        };
         let files = vec![
-            TransferFile { path: "/data/x".into(), bytes: 100 << 20 },
-            TransferFile { path: "/data/y".into(), bytes: 100 << 20 },
+            TransferFile {
+                path: "/data/x".into(),
+                bytes: 100 << 20,
+            },
+            TransferFile {
+                path: "/data/y".into(),
+                bytes: 100 << 20,
+            },
         ];
         let clean = transfer(&a, &b, &files, &[]);
         let faulty = transfer(&a, &b, &files, &["/data/y"]);
@@ -181,7 +213,11 @@ mod tests {
     fn gffs_longest_prefix_resolution() {
         let mut ns = GffsNamespace::new();
         ns.export("/xsede/campus/iu", "campus#littlefe", "/export/data");
-        ns.export("/xsede/campus/iu/scratch", "campus#littlefe-scratch", "/scratch");
+        ns.export(
+            "/xsede/campus/iu/scratch",
+            "campus#littlefe-scratch",
+            "/scratch",
+        );
         let (ep, local) = ns.resolve("/xsede/campus/iu/results/run1.nc").unwrap();
         assert_eq!(ep, "campus#littlefe");
         assert_eq!(local, "/export/data/results/run1.nc");
@@ -198,7 +234,10 @@ mod tests {
         // software, export via GFFS, move the data
         let db = cluster_with_globus();
         let campus = setup_endpoint("campus#littlefe", &db, 80.0).unwrap();
-        let xsede = Endpoint { name: "xsede#stampede".into(), wan_mb_s: 800.0 };
+        let xsede = Endpoint {
+            name: "xsede#stampede".into(),
+            wan_mb_s: 800.0,
+        };
         let mut ns = GffsNamespace::new();
         ns.export("/xsede/campus/iu", &campus.name, "/export/data");
         let (ep, _) = ns.resolve("/xsede/campus/iu/thesis").unwrap();
@@ -206,7 +245,10 @@ mod tests {
         let report = transfer(
             &campus,
             &xsede,
-            &[TransferFile { path: "/export/data/thesis".into(), bytes: 2 << 30 }],
+            &[TransferFile {
+                path: "/export/data/thesis".into(),
+                bytes: 2 << 30,
+            }],
             &[],
         );
         assert!(report.verified);

@@ -103,11 +103,17 @@ impl RequestPipeline {
                 continue;
             }
             r.state = if repo.newest(&r.package_name).is_some() {
-                RequestState::Rejected { reason: RejectReason::AlreadyAvailable }
+                RequestState::Rejected {
+                    reason: RejectReason::AlreadyAvailable,
+                }
             } else if !r.open_source {
-                RequestState::Rejected { reason: RejectReason::NotOpenSource }
+                RequestState::Rejected {
+                    reason: RejectReason::NotOpenSource,
+                }
             } else if !r.builds_on_el6 {
-                RequestState::Rejected { reason: RejectReason::DoesNotBuild }
+                RequestState::Rejected {
+                    reason: RejectReason::DoesNotBuild,
+                }
             } else {
                 RequestState::Accepted
             };
@@ -129,7 +135,9 @@ impl RequestPipeline {
                     .build();
                 repo.add_package(pkg.clone());
                 shipped.push(pkg);
-                r.state = RequestState::Shipped { in_release: release };
+                r.state = RequestState::Shipped {
+                    in_release: release,
+                };
             }
         }
         shipped
@@ -151,10 +159,38 @@ mod tests {
 
     fn pipeline_with_requests() -> (RequestPipeline, Repository) {
         let mut p = RequestPipeline::new();
-        p.submit("openfoam", "2.3.0", RequesterGroup::CampusChampion, "Marshall University", true, true);
-        p.submit("gromacs", "4.6.5", RequesterGroup::SiteAdministrator, "Montana State", true, true);
-        p.submit("matlab", "R2014a", RequesterGroup::AciRef, "University of Hawaii", false, true);
-        p.submit("cuda-ancient", "3.0", RequesterGroup::CampusChampion, "Howard University", true, false);
+        p.submit(
+            "openfoam",
+            "2.3.0",
+            RequesterGroup::CampusChampion,
+            "Marshall University",
+            true,
+            true,
+        );
+        p.submit(
+            "gromacs",
+            "4.6.5",
+            RequesterGroup::SiteAdministrator,
+            "Montana State",
+            true,
+            true,
+        );
+        p.submit(
+            "matlab",
+            "R2014a",
+            RequesterGroup::AciRef,
+            "University of Hawaii",
+            false,
+            true,
+        );
+        p.submit(
+            "cuda-ancient",
+            "3.0",
+            RequesterGroup::CampusChampion,
+            "Howard University",
+            true,
+            false,
+        );
         (p, xnit_repository())
     }
 
@@ -166,15 +202,21 @@ mod tests {
         assert_eq!(by_name("openfoam").state, RequestState::Accepted);
         assert_eq!(
             by_name("gromacs").state,
-            RequestState::Rejected { reason: RejectReason::AlreadyAvailable }
+            RequestState::Rejected {
+                reason: RejectReason::AlreadyAvailable
+            }
         );
         assert_eq!(
             by_name("matlab").state,
-            RequestState::Rejected { reason: RejectReason::NotOpenSource }
+            RequestState::Rejected {
+                reason: RejectReason::NotOpenSource
+            }
         );
         assert_eq!(
             by_name("cuda-ancient").state,
-            RequestState::Rejected { reason: RejectReason::DoesNotBuild }
+            RequestState::Rejected {
+                reason: RejectReason::DoesNotBuild
+            }
         );
     }
 
@@ -208,12 +250,21 @@ mod tests {
         let (mut p, mut repo) = pipeline_with_requests();
         p.triage(&repo);
         p.ship_release(&mut repo);
-        p.submit("openfoam", "2.3.1", RequesterGroup::AciRef, "Kean University", true, true);
+        p.submit(
+            "openfoam",
+            "2.3.1",
+            RequesterGroup::AciRef,
+            "Kean University",
+            true,
+            true,
+        );
         p.triage(&repo);
         let last = p.requests().last().unwrap();
         assert_eq!(
             last.state,
-            RequestState::Rejected { reason: RejectReason::AlreadyAvailable }
+            RequestState::Rejected {
+                reason: RejectReason::AlreadyAvailable
+            }
         );
     }
 
@@ -222,6 +273,9 @@ mod tests {
         let (mut p, repo) = pipeline_with_requests();
         p.triage(&repo);
         assert_eq!(p.count_by(|s| *s == RequestState::Accepted), 1);
-        assert_eq!(p.count_by(|s| matches!(s, RequestState::Rejected { .. })), 3);
+        assert_eq!(
+            p.count_by(|s| matches!(s, RequestState::Rejected { .. })),
+            3
+        );
     }
 }

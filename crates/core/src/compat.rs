@@ -16,7 +16,11 @@ pub enum CompatIssue {
     /// A reference package is absent.
     Missing { package: String },
     /// Installed at a different version than the reference.
-    WrongVersion { package: String, installed: String, reference: String },
+    WrongVersion {
+        package: String,
+        installed: String,
+        reference: String,
+    },
     /// A reference path (library location / command) is not provided.
     MissingPath { package: String, path: String },
 }
@@ -25,8 +29,15 @@ impl std::fmt::Display for CompatIssue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CompatIssue::Missing { package } => write!(f, "{package}: not installed"),
-            CompatIssue::WrongVersion { package, installed, reference } => {
-                write!(f, "{package}: version {installed} != XSEDE reference {reference}")
+            CompatIssue::WrongVersion {
+                package,
+                installed,
+                reference,
+            } => {
+                write!(
+                    f,
+                    "{package}: version {installed} != XSEDE reference {reference}"
+                )
             }
             CompatIssue::MissingPath { package, path } => {
                 write!(f, "{package}: reference path {path} absent")
@@ -82,7 +93,11 @@ impl CompatReport {
 
 fn check_entry(db: &RpmDb, entry: &CatalogEntry) -> Vec<CompatIssue> {
     let installed = match db.newest(entry.name) {
-        None => return vec![CompatIssue::Missing { package: entry.name.to_string() }],
+        None => {
+            return vec![CompatIssue::Missing {
+                package: entry.name.to_string(),
+            }]
+        }
         Some(ip) => ip,
     };
     let mut issues = Vec::new();
@@ -129,7 +144,11 @@ pub fn check_against(db: &RpmDb, reference: &[CatalogEntry]) -> CompatReport {
     CompatReport {
         checked: reference.len(),
         matching,
-        score: if reference.is_empty() { 1.0 } else { matching as f64 / reference.len() as f64 },
+        score: if reference.is_empty() {
+            1.0
+        } else {
+            matching as f64 / reference.len() as f64
+        },
         issues,
     }
 }
@@ -195,31 +214,41 @@ mod tests {
                 .build(),
         );
         let report = check_compatibility(&db);
-        assert!(report
-            .issues
-            .iter()
-            .any(|i| matches!(i, CompatIssue::MissingPath { path, .. } if path == "/usr/bin/mdrun")));
+        assert!(report.issues.iter().any(
+            |i| matches!(i, CompatIssue::MissingPath { path, .. } if path == "/usr/bin/mdrun")
+        ));
     }
 
     #[test]
     fn missing_lists_feed_xnit() {
         let mut db = RpmDb::new();
         // a Limulus-style cluster with only a scheduler preinstalled
-        db.install(PackageBuilder::new("slurm", "2.6.5", "1.el6").file("/usr/bin/sbatch").build());
+        db.install(
+            PackageBuilder::new("slurm", "2.6.5", "1.el6")
+                .file("/usr/bin/sbatch")
+                .build(),
+        );
         let report = check_compatibility(&db);
         let missing = report.missing();
         assert!(missing.contains(&"gromacs"));
-        assert!(!missing.contains(&"slurm"), "slurm is present (version+path match)");
+        assert!(
+            !missing.contains(&"slurm"),
+            "slurm is present (version+path match)"
+        );
     }
 
     #[test]
     fn check_against_subset() {
         let mut db = RpmDb::new();
         db.install(
-            PackageBuilder::new("gcc", "4.4.7", "17.el6").file("/usr/bin/gcc").build(),
+            PackageBuilder::new("gcc", "4.4.7", "17.el6")
+                .file("/usr/bin/gcc")
+                .build(),
         );
-        let subset: Vec<_> =
-            xsede_reference().into_iter().filter(|e| e.name == "gcc").collect();
+        let subset: Vec<_> = xsede_reference()
+            .into_iter()
+            .filter(|e| e.name == "gcc")
+            .collect();
         let report = check_against(&db, &subset);
         assert!(report.is_compatible(), "{}", report.render());
     }

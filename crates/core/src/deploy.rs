@@ -12,11 +12,17 @@ use crate::compat::{check_compatibility, CompatReport};
 use crate::roll::xsede_roll;
 use crate::xnit::{enable_xnit, XnitSetupMethod};
 use std::collections::BTreeMap;
-use xcbc_cluster::{ClusterSpec, DegradedCluster, Timeline};
+use xcbc_cluster::{timeline_from_recorder, ClusterSpec, DegradedCluster, Timeline};
 use xcbc_fault::{FaultPlan, InstallCheckpoint, PostMortem};
 use xcbc_rocks::{standard_rolls, ClusterInstall, InstallError, ResilienceConfig};
 use xcbc_rpm::{PackageBuilder, PackageGroup, RpmDb};
+use xcbc_sim::{events_to_jsonl, SpanRecorder, TraceEvent};
 use xcbc_yum::{SolveError, Yum, YumConfig};
+
+/// `source` tag on trace events recorded by the XNIT overlay path.
+/// (From-scratch deployments carry the installer's own
+/// `xcbc_rocks::install::TRACE_SOURCE` spans instead.)
+pub const OVERLAY_TRACE_SOURCE: &str = "xnit.overlay";
 
 /// Which way a cluster becomes XSEDE-compatible.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,8 +39,12 @@ pub struct DeploymentReport {
     pub path: DeploymentPath,
     /// Administrator-visible steps, in order.
     pub admin_steps: Vec<String>,
-    /// Wall-clock estimate of the whole deployment.
+    /// Wall-clock estimate of the whole deployment (a view over
+    /// [`trace`](DeploymentReport::trace)).
     pub timeline: Timeline,
+    /// Every span the deployment recorded on the shared simulation
+    /// timebase; deterministic for a fixed cluster and fault-plan seed.
+    pub trace: Vec<TraceEvent>,
     /// Nodes whose OS was wiped and reinstalled.
     pub nodes_reinstalled: usize,
     /// Did packages present before the deployment survive it?
@@ -63,7 +73,9 @@ pub fn limulus_factory_image() -> RpmDb {
             .group(PackageGroup::Basics)
             .summary("Scientific Linux release")
             .build(),
-        PackageBuilder::new("bash", "4.1.2", "15.sl6").group(PackageGroup::Basics).build(),
+        PackageBuilder::new("bash", "4.1.2", "15.sl6")
+            .group(PackageGroup::Basics)
+            .build(),
         PackageBuilder::new("limulus-tools", "2.1", "1")
             .group(PackageGroup::Basics)
             .summary("Basement Supercomputing cluster management utilities")
@@ -117,6 +129,7 @@ pub fn deploy_from_scratch(cluster: &ClusterSpec) -> Result<DeploymentReport, In
         preexisting_preserved: false, // bare metal wipes everything
         compat,
         timeline: report.timeline,
+        trace: report.trace,
         node_dbs: report.node_dbs,
         post_mortem: None,
         degraded: None,
@@ -190,6 +203,7 @@ pub fn deploy_from_scratch_resilient(
         preexisting_preserved: false, // bare metal wipes everything
         compat,
         timeline: resilient.report.timeline,
+        trace: resilient.report.trace,
         node_dbs: resilient.report.node_dbs,
         post_mortem: Some(resilient.post_mortem),
         degraded,
@@ -205,11 +219,10 @@ pub fn deploy_xnit_overlay(
     method: XnitSetupMethod,
 ) -> Result<DeploymentReport, SolveError> {
     let mut node_dbs = existing.clone();
-    let mut timeline = Timeline::new();
-    let mut admin_steps: Vec<String> =
-        method.steps().iter().map(|s| s.to_string()).collect();
+    let mut rec = SpanRecorder::new(OVERLAY_TRACE_SOURCE);
+    let mut admin_steps: Vec<String> = method.steps().iter().map(|s| s.to_string()).collect();
 
-    timeline.push("enable XSEDE yum repository", 300.0);
+    rec.record("enable XSEDE yum repository", 300.0);
 
     let mut preserved = true;
     let mut first = true;
@@ -220,8 +233,11 @@ pub fn deploy_xnit_overlay(
         enable_xnit(&mut yum, db, method).map_err(SolveError::Transaction)?;
 
         // install everything the compat report says is missing
-        let missing: Vec<String> =
-            check_compatibility(db).missing().iter().map(|s| s.to_string()).collect();
+        let missing: Vec<String> = check_compatibility(db)
+            .missing()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let refs: Vec<&str> = missing.iter().map(String::as_str).collect();
         let tx_report = yum.install(db, &refs)?;
 
@@ -233,12 +249,15 @@ pub fn deploy_xnit_overlay(
         }
 
         let secs = 60.0 + tx_report.installed.len() as f64 * 2.0;
-        let label = format!("{host}: yum install of {} packages", tx_report.installed.len());
+        let label = format!(
+            "{host}: yum install of {} packages",
+            tx_report.installed.len()
+        );
         if first {
-            timeline.push(label, secs);
+            rec.record(label, secs);
             first = false;
         } else {
-            timeline.push_parallel(label, secs);
+            rec.record_parallel(label, secs);
         }
     }
     admin_steps.push("yum install <missing packages> across nodes".to_string());
@@ -256,7 +275,8 @@ pub fn deploy_xnit_overlay(
         nodes_reinstalled: 0,
         preexisting_preserved: preserved,
         compat,
-        timeline,
+        timeline: timeline_from_recorder(&rec),
+        trace: rec.into_events(),
         node_dbs,
         post_mortem: None,
         degraded: None,
@@ -265,6 +285,16 @@ pub fn deploy_xnit_overlay(
 }
 
 impl DeploymentReport {
+    /// The deployment's event log as JSONL, one event per line.
+    ///
+    /// Byte-deterministic: the same cluster, fault-plan seed, and
+    /// resume checkpoint always yield the identical string, which makes
+    /// the log diffable across runs and machines (asserted by the
+    /// cross-crate property tests).
+    pub fn trace_jsonl(&self) -> String {
+        events_to_jsonl(&self.trace)
+    }
+
     /// Render the comparison row for this path.
     pub fn render_row(&self) -> String {
         format!(
@@ -310,7 +340,11 @@ mod tests {
 
     fn limulus_dbs() -> BTreeMap<String, RpmDb> {
         let cluster = limulus_hpc200();
-        cluster.nodes.iter().map(|n| (n.hostname.clone(), limulus_factory_image())).collect()
+        cluster
+            .nodes
+            .iter()
+            .map(|n| (n.hostname.clone(), limulus_factory_image()))
+            .collect()
     }
 
     #[test]
@@ -318,7 +352,10 @@ mod tests {
         let report = deploy_from_scratch(&littlefe_modified()).unwrap();
         assert!(report.compat.is_compatible(), "{}", report.compat.render());
         assert_eq!(report.nodes_reinstalled, 6);
-        assert!(!report.preexisting_preserved, "bare metal wipes the previous system");
+        assert!(
+            !report.preexisting_preserved,
+            "bare metal wipes the previous system"
+        );
         assert!(report.timeline.total_seconds() > 0.0);
     }
 
@@ -335,7 +372,10 @@ mod tests {
     fn xnit_overlay_on_limulus_reaches_full_compat() {
         let report = deploy_xnit_overlay(&limulus_dbs(), XnitSetupMethod::RepoRpm).unwrap();
         assert!(report.compat.is_compatible(), "{}", report.compat.render());
-        assert_eq!(report.nodes_reinstalled, 0, "no reinstalls on the overlay path");
+        assert_eq!(
+            report.nodes_reinstalled, 0,
+            "no reinstalls on the overlay path"
+        );
     }
 
     #[test]
@@ -389,9 +429,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(resilient.node_dbs, plain.node_dbs);
-        assert!(
-            (resilient.timeline.total_seconds() - plain.timeline.total_seconds()).abs() < 1e-6
-        );
+        assert!((resilient.timeline.total_seconds() - plain.timeline.total_seconds()).abs() < 1e-6);
         assert!(resilient.post_mortem.as_ref().unwrap().is_clean());
         assert!(resilient.degraded.is_none());
         assert!(resilient.compat.is_compatible());
@@ -434,6 +472,51 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("degraded view"));
         assert!(rendered.contains("5/6 node(s) usable"));
+    }
+
+    #[test]
+    fn fixed_seed_resilient_deploy_trace_is_byte_identical() {
+        use xcbc_fault::{FaultWindow, InjectionPoint};
+        let plan = FaultPlan::new(42)
+            .with_rate(InjectionPoint::DhcpDiscover, 0.3)
+            .fail(
+                InjectionPoint::NodeBoot,
+                Some("compute-0-1"),
+                FaultWindow::Nth(0),
+            );
+        let deploy = || {
+            deploy_from_scratch_resilient(
+                &littlefe_modified(),
+                &plan,
+                &ResilienceConfig::default(),
+                InstallCheckpoint::new(),
+            )
+            .unwrap()
+        };
+        let (a, b) = (deploy(), deploy());
+        assert!(!a.trace.is_empty());
+        assert_eq!(
+            a.trace_jsonl(),
+            b.trace_jsonl(),
+            "same seed must replay byte-identically"
+        );
+        assert_eq!(
+            a.post_mortem.as_ref().unwrap(),
+            b.post_mortem.as_ref().unwrap()
+        );
+    }
+
+    #[test]
+    fn deployment_timeline_agrees_with_trace() {
+        let report = deploy_from_scratch(&littlefe_modified()).unwrap();
+        assert_eq!(Timeline::from_spans(&report.trace), report.timeline);
+        let overlay = deploy_xnit_overlay(&limulus_dbs(), XnitSetupMethod::RepoRpm).unwrap();
+        assert!(overlay
+            .trace
+            .iter()
+            .all(|e| e.source == OVERLAY_TRACE_SOURCE));
+        assert_eq!(Timeline::from_spans(&overlay.trace), overlay.timeline);
+        assert!(overlay.trace_jsonl().lines().count() == overlay.trace.len());
     }
 
     #[test]

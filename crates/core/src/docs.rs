@@ -63,7 +63,10 @@ pub fn render_kb_barebones_software() -> String {
         let entries = entries_in(group);
         out.push_str(&format!("{} ({}):\n", group.label(), entries.len()));
         for e in entries {
-            out.push_str(&format!("  {:<24} {:<12} {}\n", e.name, e.version, e.summary));
+            out.push_str(&format!(
+                "  {:<24} {:<12} {}\n",
+                e.name, e.version, e.summary
+            ));
         }
         out.push('\n');
     }
@@ -89,13 +92,21 @@ mod tests {
         assert!(doc.contains("gromacs"));
         assert!(doc.contains("4.6.5"));
         assert!(doc.contains("Globus Connect Server"));
-        assert!(doc.contains("Scientific Applications (6"), "category counts rendered: {}",
-            doc.lines().find(|l| l.contains("Scientific Applications")).unwrap_or(""));
+        assert!(
+            doc.contains("Scientific Applications (6"),
+            "category counts rendered: {}",
+            doc.lines()
+                .find(|l| l.contains("Scientific Applications"))
+                .unwrap_or("")
+        );
     }
 
     #[test]
     fn docs_deterministic() {
         assert_eq!(render_kb_yum_repository(), render_kb_yum_repository());
-        assert_eq!(render_kb_barebones_software(), render_kb_barebones_software());
+        assert_eq!(
+            render_kb_barebones_software(),
+            render_kb_barebones_software()
+        );
     }
 }

@@ -22,7 +22,10 @@ pub fn render_table1() -> String {
         "{:<14} {}\n",
         "Basics", "Rocks 6.1.1, CentOS 6.5, modules, apache-ant, gmake, scons"
     ));
-    out.push_str(&format!("{:<14} {}\n\n", "Job Management", "Torque, SLURM, sge (choose one)"));
+    out.push_str(&format!(
+        "{:<14} {}\n\n",
+        "Job Management", "Torque, SLURM, sge (choose one)"
+    ));
     out.push_str("Rocks optional rolls:\n");
     for roll in standard_rolls() {
         if !roll.required {
@@ -123,8 +126,14 @@ pub fn render_table5() -> String {
 
     // Problem sizes from per-system memory at ~50% fill — matching the
     // N used in Basement Supercomputing's published Limulus HPL run.
-    let lf_n = EfficiencyModel::memory_bound_n((lf.nodes.iter().map(|n| n.ram_gb as u64).sum::<u64>()) << 30, 0.5);
-    let lm_n = EfficiencyModel::memory_bound_n((lm.nodes.iter().map(|n| n.ram_gb as u64).sum::<u64>()) << 30, 0.5);
+    let lf_n = EfficiencyModel::memory_bound_n(
+        (lf.nodes.iter().map(|n| n.ram_gb as u64).sum::<u64>()) << 30,
+        0.5,
+    );
+    let lm_n = EfficiencyModel::memory_bound_n(
+        (lm.nodes.iter().map(|n| n.ram_gb as u64).sum::<u64>()) << 30,
+        0.5,
+    );
 
     let lf_rmax_model = model.rmax_gflops(lf.rpeak_gflops(), lf.node_count() as u32, lf_n);
     let lm_rmax_model = model.rmax_gflops(lm.rpeak_gflops(), lm.node_count() as u32, lm_n);
@@ -186,7 +195,16 @@ mod tests {
     #[test]
     fn table1_lists_all_optional_rolls() {
         let t = render_table1();
-        for roll in ["area51", "bio", "ganglia", "hpc", "kvm", "perl", "python", "zfs-linux"] {
+        for roll in [
+            "area51",
+            "bio",
+            "ganglia",
+            "hpc",
+            "kvm",
+            "perl",
+            "python",
+            "zfs-linux",
+        ] {
             assert!(t.contains(roll), "table 1 missing {roll}");
         }
         assert!(t.contains("choose one"));

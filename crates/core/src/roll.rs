@@ -28,9 +28,25 @@ pub static XSEDE_ROLL_RELEASES: &[RollRelease] = &[
         date: "2014-03",
         base_os: "CentOS 6.3",
         additions: &[
-            "gcc", "gcc-gfortran", "openmpi", "mpich2", "torque", "maui", "python", "tcl",
-            "fftw", "fftw2", "hdf5", "atlas", "boost", "netcdf", "numpy", "valgrind",
-            "globus-connect-server", "genesis2", "gffs",
+            "gcc",
+            "gcc-gfortran",
+            "openmpi",
+            "mpich2",
+            "torque",
+            "maui",
+            "python",
+            "tcl",
+            "fftw",
+            "fftw2",
+            "hdf5",
+            "atlas",
+            "boost",
+            "netcdf",
+            "numpy",
+            "valgrind",
+            "globus-connect-server",
+            "genesis2",
+            "gffs",
         ],
         notes: "baseline XCBC roll (XSEDE14 report)",
     },
@@ -41,10 +57,33 @@ pub static XSEDE_ROLL_RELEASES: &[RollRelease] = &[
         additions: &[
             // "27 scientific and supporting packages have been added,
             // including GenomeAnalysisTK, gromacs, mpiblast, and others"
-            "gatk", "gromacs", "gromacs-common", "gromacs-libs", "mpiblast", "ncbi-blast",
-            "lammps", "lammps-common", "bedtools", "bowtie", "bwa", "samtools", "hmmer",
-            "abyss", "sparsehash-devel", "libgtextutils", "shrimp", "sratoolkit", "arpack",
-            "glpk", "gnuplot", "gnuplot-common", "gd", "libXpm", "octave", "petsc", "slepc",
+            "gatk",
+            "gromacs",
+            "gromacs-common",
+            "gromacs-libs",
+            "mpiblast",
+            "ncbi-blast",
+            "lammps",
+            "lammps-common",
+            "bedtools",
+            "bowtie",
+            "bwa",
+            "samtools",
+            "hmmer",
+            "abyss",
+            "sparsehash-devel",
+            "libgtextutils",
+            "shrimp",
+            "sratoolkit",
+            "arpack",
+            "glpk",
+            "gnuplot",
+            "gnuplot-common",
+            "gd",
+            "libXpm",
+            "octave",
+            "petsc",
+            "slepc",
         ],
         notes: "major OS update Centos 6.3 -> 6.5; 27 additions",
     },
@@ -55,14 +94,47 @@ pub static XSEDE_ROLL_RELEASES: &[RollRelease] = &[
         additions: &[
             // "41 additions, including TrinityRNASeq, R, significant
             // Java updates, and other scientific and supporting packages"
-            "trinity", "R", "R-core", "R-core-devel", "R-devel", "R-java", "R-java-devel",
-            "libRmath", "libRmath-devel", "java-1.7.0-openjdk", "tzdata-java",
-            "jpackage-utils", "jline", "rhino", "ant", "picard-tools", "autodocksuite",
-            "mrbayes", "meep", "espresso-ab", "elemental", "plapack", "pnetcdf",
-            "GotoBLAS2", "scalapack-common", "darshan-runtime-mpich",
-            "darshan-runtime-openmpi", "darshan-util", "ncl", "ncl-common", "nco", "plplot",
-            "saga", "sundials", "sprng", "lua", "libmspack", "wxBase3", "wxGTK3",
-            "papi", "numactl",
+            "trinity",
+            "R",
+            "R-core",
+            "R-core-devel",
+            "R-devel",
+            "R-java",
+            "R-java-devel",
+            "libRmath",
+            "libRmath-devel",
+            "java-1.7.0-openjdk",
+            "tzdata-java",
+            "jpackage-utils",
+            "jline",
+            "rhino",
+            "ant",
+            "picard-tools",
+            "autodocksuite",
+            "mrbayes",
+            "meep",
+            "espresso-ab",
+            "elemental",
+            "plapack",
+            "pnetcdf",
+            "GotoBLAS2",
+            "scalapack-common",
+            "darshan-runtime-mpich",
+            "darshan-runtime-openmpi",
+            "darshan-util",
+            "ncl",
+            "ncl-common",
+            "nco",
+            "plplot",
+            "saga",
+            "sundials",
+            "sprng",
+            "lua",
+            "libmspack",
+            "wxBase3",
+            "wxGTK3",
+            "papi",
+            "numactl",
         ],
         notes: "November 2014; 41 additions",
     },
@@ -98,8 +170,12 @@ pub fn xsede_roll() -> Roll {
         };
         node.packages.push(entry.name.to_string());
     }
-    sched.post_scripts.push("configure pbs_server + maui on frontend".to_string());
-    tools.post_scripts.push("run globus-connect-server-setup".to_string());
+    sched
+        .post_scripts
+        .push("configure pbs_server + maui on frontend".to_string());
+    tools
+        .post_scripts
+        .push("run globus-connect-server-setup".to_string());
 
     Roll::new("xsede", "0.9", false, "XSEDE-compatible basic cluster roll")
         .with_packages(packages)
@@ -147,7 +223,11 @@ mod tests {
     fn all_additions_exist_in_catalog() {
         for rel in XSEDE_ROLL_RELEASES {
             for name in rel.additions {
-                assert!(entry(name).is_some(), "release {} adds unknown {name}", rel.version);
+                assert!(
+                    entry(name).is_some(),
+                    "release {} adds unknown {name}",
+                    rel.version
+                );
             }
         }
     }
@@ -182,7 +262,10 @@ mod tests {
             let db = &report.node_dbs[host];
             assert!(db.is_installed("gromacs"), "{host} gets gromacs");
             assert!(db.is_installed("torque"), "{host} gets torque");
-            assert!(db.is_installed("globus-connect-server"), "{host} gets globus");
+            assert!(
+                db.is_installed("globus-connect-server"),
+                "{host} gets globus"
+            );
             assert!(db.verify().is_empty(), "{host} verifies clean");
         }
     }
@@ -191,7 +274,10 @@ mod tests {
     fn roll_graph_attaches_to_both_appliances() {
         let mut graph = xcbc_rocks::KickstartGraph::standard();
         graph
-            .merge_roll_nodes(&xsede_roll().graph_nodes, &[Appliance::Frontend, Appliance::Compute])
+            .merge_roll_nodes(
+                &xsede_roll().graph_nodes,
+                &[Appliance::Frontend, Appliance::Compute],
+            )
             .unwrap();
         let fe = graph.packages_for(Appliance::Frontend).unwrap();
         let co = graph.packages_for(Appliance::Compute).unwrap();
@@ -204,9 +290,16 @@ mod tests {
     #[test]
     fn slurm_and_sge_not_in_default_graph() {
         let roll = xsede_roll();
-        let sched_node = roll.graph_nodes.iter().find(|n| n.name == "xsede-scheduler").unwrap();
+        let sched_node = roll
+            .graph_nodes
+            .iter()
+            .find(|n| n.name == "xsede-scheduler")
+            .unwrap();
         assert!(sched_node.packages.contains(&"torque".to_string()));
-        assert!(!sched_node.packages.contains(&"slurm".to_string()), "choose-one default");
+        assert!(
+            !sched_node.packages.contains(&"slurm".to_string()),
+            "choose-one default"
+        );
         // but slurm IS in the roll's package payload for swapping later
         assert!(roll.packages.iter().any(|p| p.name() == "slurm"));
     }

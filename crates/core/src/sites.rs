@@ -135,7 +135,11 @@ mod tests {
         assert_eq!(t.sites, 6);
         assert_eq!(t.nodes, 304, "Table 3 total nodes");
         assert_eq!(t.cores, 2708, "Table 3 total cores");
-        assert!((t.rpeak_tflops - 49.61).abs() < 1e-9, "Table 3 total Rpeak: {}", t.rpeak_tflops);
+        assert!(
+            (t.rpeak_tflops - 49.61).abs() < 1e-9,
+            "Table 3 total Rpeak: {}",
+            t.rpeak_tflops
+        );
     }
 
     #[test]
@@ -166,13 +170,19 @@ mod tests {
     fn deskside_rows_match_cluster_specs() {
         // Table 3's IU rows equal the Table 4/5 hardware derivations
         let sites = deployed_sites();
-        let lf = sites.iter().find(|s| s.other_info.contains("LittleFe")).unwrap();
+        let lf = sites
+            .iter()
+            .find(|s| s.other_info.contains("LittleFe"))
+            .unwrap();
         let spec = xcbc_cluster::specs::littlefe_modified();
         assert_eq!(lf.nodes, spec.node_count() as u32);
         assert_eq!(lf.cores, spec.compute_cores());
         assert!((lf.rpeak_tflops - spec.rpeak_gflops() / 1000.0).abs() < 0.01);
 
-        let lm = sites.iter().find(|s| s.other_info.contains("Limulus")).unwrap();
+        let lm = sites
+            .iter()
+            .find(|s| s.other_info.contains("Limulus"))
+            .unwrap();
         let spec = xcbc_cluster::specs::limulus_hpc200();
         assert_eq!(lm.nodes, spec.node_count() as u32);
         assert_eq!(lm.cores, spec.compute_cores());

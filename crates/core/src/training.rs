@@ -12,7 +12,7 @@
 use crate::compat::check_compatibility;
 use crate::deploy::deploy_from_scratch;
 use serde::Serialize;
-use xcbc_cluster::{ClusterSpec, MetricKind, ClusterMonitor};
+use xcbc_cluster::{ClusterMonitor, ClusterSpec, MetricKind};
 use xcbc_sched::{JobRequest, ResourceManager, TorqueServer};
 
 /// One lesson step.
@@ -150,7 +150,11 @@ impl LabSession {
                         ),
                     }
                 }
-                Err(e) => StepOutcome { step, passed: false, detail: e.to_string() },
+                Err(e) => StepOutcome {
+                    step,
+                    passed: false,
+                    detail: e.to_string(),
+                },
             },
             LessonStep::DiscoverNodes => {
                 let expected = self.cluster.node_count() - 1;
@@ -158,7 +162,10 @@ impl LabSession {
                 StepOutcome {
                     step,
                     passed,
-                    detail: format!("{}/{} compute nodes discovered", self.discovered_nodes, expected),
+                    detail: format!(
+                        "{}/{} compute nodes discovered",
+                        self.discovered_nodes, expected
+                    ),
                 }
             }
             LessonStep::StartMonitoring => {
@@ -182,13 +189,22 @@ impl LabSession {
                     .min()
                     .unwrap_or(1);
                 let mut torque = TorqueServer::with_maui(&self.cluster.name, computes, ppn);
-                let id = torque.qsub(JobRequest::new("mpi-hello", computes as u32, ppn, 120.0, 60.0));
+                let id = torque.qsub(JobRequest::new(
+                    "mpi-hello",
+                    computes as u32,
+                    ppn,
+                    120.0,
+                    60.0,
+                ));
                 torque.drain();
                 let metrics = torque.metrics();
                 StepOutcome {
                     step,
                     passed: metrics.jobs_finished == 1,
-                    detail: format!("job {id} finished; utilization {:.0}%", metrics.utilization * 100.0),
+                    detail: format!(
+                        "job {id} finished; utilization {:.0}%",
+                        metrics.utilization * 100.0
+                    ),
                 }
             }
             LessonStep::VerifyCompatibility => match &self.node_dbs {
@@ -212,7 +228,11 @@ impl LabSession {
 
     /// Render the grade sheet.
     pub fn render(&self) -> String {
-        let mut out = format!("Lab session: {} — grade {:.0}%\n", self.student, self.grade() * 100.0);
+        let mut out = format!(
+            "Lab session: {} — grade {:.0}%\n",
+            self.student,
+            self.grade() * 100.0
+        );
         for o in &self.outcomes {
             out.push_str(&format!(
                 "  [{}] {} — {}\n",
@@ -257,7 +277,11 @@ mod tests {
     fn lab_on_limulus_fails_rocks_path() {
         let mut lab = LabSession::new("student-c", limulus_hpc200());
         lab.run(&littlefe_curriculum());
-        let install = lab.outcomes().iter().find(|o| o.step == LessonStep::InstallXcbc).unwrap();
+        let install = lab
+            .outcomes()
+            .iter()
+            .find(|o| o.step == LessonStep::InstallXcbc)
+            .unwrap();
         assert!(!install.passed);
         assert!(install.detail.contains("diskless"));
     }

@@ -109,14 +109,18 @@ pub fn simulate_updates(
         match strategy {
             UpdateStrategy::AutomaticYum => {
                 let notifier = UpdateNotifier::new(UpdatePolicy::Automatic);
-                notifier.run_check(&mut yum, &mut prod, None).expect("update applies");
+                notifier
+                    .run_check(&mut yum, &mut prod, None)
+                    .expect("update applies");
                 if breaking {
                     production_incidents += 1;
                 }
             }
             UpdateStrategy::NotifyOnly => {
                 let notifier = UpdateNotifier::new(UpdatePolicy::NotifyOnly);
-                notifier.run_check(&mut yum, &mut prod, None).expect("check runs");
+                notifier
+                    .run_check(&mut yum, &mut prod, None)
+                    .expect("check runs");
                 // admin reviews the mail and applies by hand; review
                 // catches breakage half the time
                 let caught = breaking && rng.gen_bool(0.5);
@@ -204,7 +208,11 @@ mod tests {
     fn update_roll_is_safe_but_laborious() {
         let roll = simulate_updates(UpdateStrategy::UpdateRoll, CYCLES, BREAK_PROB, 3);
         assert_eq!(roll.production_incidents, 0);
-        assert!(roll.admin_steps_total > simulate_updates(UpdateStrategy::StagedTest, CYCLES, BREAK_PROB, 3).admin_steps_total);
+        assert!(
+            roll.admin_steps_total
+                > simulate_updates(UpdateStrategy::StagedTest, CYCLES, BREAK_PROB, 3)
+                    .admin_steps_total
+        );
         assert!(UpdateStrategy::UpdateRoll.reinstalls_nodes());
         assert!(roll.mean_staleness_days > 7.0, "roll rebuilds lag the repo");
     }
@@ -221,7 +229,9 @@ mod tests {
         assert!(UpdateStrategy::AutomaticYum.unvetted_in_production());
         assert!(!UpdateStrategy::StagedTest.unvetted_in_production());
         assert_eq!(UpdateStrategy::AutomaticYum.admin_steps(), 0);
-        assert!(UpdateStrategy::UpdateRoll.admin_steps() > UpdateStrategy::StagedTest.admin_steps());
+        assert!(
+            UpdateStrategy::UpdateRoll.admin_steps() > UpdateStrategy::StagedTest.admin_steps()
+        );
     }
 
     #[test]

@@ -182,10 +182,11 @@ mod tests {
         let mut db = RpmDb::new();
         enable_xnit(&mut yum, &mut db, XnitSetupMethod::RepoRpm).unwrap();
         assert!(db.is_installed("xsede-release"));
-        assert!(db
-            .whatprovides(&xcbc_rpm::Dependency::parse("/etc/yum.repos.d/xsede.repo"))
-            .len()
-            == 1);
+        assert!(
+            db.whatprovides(&xcbc_rpm::Dependency::parse("/etc/yum.repos.d/xsede.repo"))
+                .len()
+                == 1
+        );
     }
 
     #[test]
@@ -205,7 +206,10 @@ mod tests {
         enable_xnit(&mut yum, &mut db, XnitSetupMethod::RepoRpm).unwrap();
         yum.install(&mut db, &["gromacs"]).unwrap();
         assert!(db.is_installed("gromacs"));
-        assert!(db.is_installed("openmpi"), "dependencies resolved from XNIT");
+        assert!(
+            db.is_installed("openmpi"),
+            "dependencies resolved from XNIT"
+        );
         assert!(db.verify().is_empty());
     }
 
@@ -221,6 +225,9 @@ mod tests {
         let mut db = RpmDb::new();
         enable_xnit(&mut yum, &mut db, XnitSetupMethod::RepoRpm).unwrap();
         yum.install(&mut db, &["wrf"]).unwrap();
-        assert!(db.is_installed("netcdf"), "wrf pulls netcdf from the catalog");
+        assert!(
+            db.is_installed("netcdf"),
+            "wrf pulls netcdf from the catalog"
+        );
     }
 }

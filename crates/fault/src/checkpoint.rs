@@ -101,7 +101,10 @@ impl InstallCheckpoint {
     /// never overwrites a later one, so replaying a resumed install's
     /// early steps cannot regress the checkpoint.
     pub fn record(&mut self, node: &str, stage: NodeStage) {
-        let entry = self.stages.entry(node.to_string()).or_insert(NodeStage::Pending);
+        let entry = self
+            .stages
+            .entry(node.to_string())
+            .or_insert(NodeStage::Pending);
         if stage > *entry {
             *entry = stage;
         }
@@ -128,7 +131,8 @@ impl InstallCheckpoint {
 
     /// Pull `node` from the install, recording why.
     pub fn quarantine(&mut self, node: &str, reason: &str) {
-        self.quarantined.insert(node.to_string(), reason.to_string());
+        self.quarantined
+            .insert(node.to_string(), reason.to_string());
     }
 
     pub fn is_quarantined(&self, node: &str) -> bool {
@@ -137,7 +141,9 @@ impl InstallCheckpoint {
 
     /// Quarantined nodes with reasons, sorted by name.
     pub fn quarantined(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.quarantined.iter().map(|(n, r)| (n.as_str(), r.as_str()))
+        self.quarantined
+            .iter()
+            .map(|(n, r)| (n.as_str(), r.as_str()))
     }
 
     pub fn quarantined_count(&self) -> usize {
@@ -183,7 +189,10 @@ impl InstallCheckpoint {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let err = |message: String| CheckpointParseError { line: idx + 1, message };
+            let err = |message: String| CheckpointParseError {
+                line: idx + 1,
+                message,
+            };
             let mut words = line.splitn(3, ' ');
             match words.next() {
                 Some("frontend") => {
@@ -193,15 +202,20 @@ impl InstallCheckpoint {
                     cp.frontend_committed = true;
                 }
                 Some("node") => {
-                    let name = words.next().ok_or_else(|| err("missing node name".into()))?;
-                    let stage_s =
-                        words.next().ok_or_else(|| err("missing node stage".into()))?;
+                    let name = words
+                        .next()
+                        .ok_or_else(|| err("missing node name".into()))?;
+                    let stage_s = words
+                        .next()
+                        .ok_or_else(|| err("missing node stage".into()))?;
                     let stage = NodeStage::parse(stage_s)
                         .ok_or_else(|| err(format!("unknown stage `{stage_s}`")))?;
                     cp.record(name, stage);
                 }
                 Some("quarantine") => {
-                    let name = words.next().ok_or_else(|| err("missing node name".into()))?;
+                    let name = words
+                        .next()
+                        .ok_or_else(|| err("missing node name".into()))?;
                     let reason = words.next().unwrap_or("").to_string();
                     cp.quarantined.insert(name.to_string(), reason);
                 }
@@ -259,7 +273,10 @@ mod tests {
         assert!(cp.is_quarantined("compute-0-3"));
         assert_eq!(cp.quarantined_count(), 1);
         let q: Vec<_> = cp.quarantined().collect();
-        assert_eq!(q, vec![("compute-0-3", "node.boot: retry budget exhausted")]);
+        assert_eq!(
+            q,
+            vec![("compute-0-3", "node.boot: retry budget exhausted")]
+        );
     }
 
     #[test]

@@ -191,7 +191,10 @@ impl FaultSpec {
     fn applies(&self, point: InjectionPoint, key: &str, hit: u64) -> bool {
         self.point == point
             && self.window.matches(hit)
-            && self.key.as_deref().is_none_or(|filter| key.contains(filter))
+            && self
+                .key
+                .as_deref()
+                .is_none_or(|filter| key.contains(filter))
     }
 }
 
@@ -214,7 +217,11 @@ pub struct PlanParseError {
 
 impl fmt::Display for PlanParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "bad fault plan clause '{}': {}", self.clause, self.message)
+        write!(
+            f,
+            "bad fault plan clause '{}': {}",
+            self.clause, self.message
+        )
     }
 }
 
@@ -235,7 +242,11 @@ impl FaultPlan {
     /// An empty plan: nothing ever faults (but retries/jitter still draw
     /// deterministically from `seed`).
     pub fn new(seed: u64) -> Self {
-        FaultPlan { seed, specs: Vec::new(), rates: Vec::new() }
+        FaultPlan {
+            seed,
+            specs: Vec::new(),
+            rates: Vec::new(),
+        }
     }
 
     /// Schedule a fault. `key` filters by substring of the operation key
@@ -247,7 +258,12 @@ impl FaultPlan {
         window: FaultWindow,
         kind: FaultKind,
     ) -> Self {
-        self.specs.push(FaultSpec { point, key: key.map(str::to_string), window, kind });
+        self.specs.push(FaultSpec {
+            point,
+            key: key.map(str::to_string),
+            window,
+            kind,
+        });
         self
     }
 
@@ -302,8 +318,8 @@ impl FaultPlan {
                 plan = plan.with_rate(point, p);
                 continue;
             }
-            let point = InjectionPoint::parse(head)
-                .ok_or_else(|| err("unknown injection point"))?;
+            let point =
+                InjectionPoint::parse(head).ok_or_else(|| err("unknown injection point"))?;
             let mut key = None;
             let mut window = FaultWindow::Always;
             let mut kind = point.default_kind();
@@ -318,7 +334,12 @@ impl FaultPlan {
                     return Err(err("expected key=, on=, or kind= field"));
                 }
             }
-            plan.specs.push(FaultSpec { point, key, window, kind });
+            plan.specs.push(FaultSpec {
+                point,
+                key,
+                window,
+                kind,
+            });
         }
         Ok(plan)
     }
@@ -357,7 +378,11 @@ pub struct FaultEvent {
 
 impl fmt::Display for FaultEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} key={} hit={} -> {}", self.point, self.key, self.hit, self.kind)
+        write!(
+            f,
+            "{} key={} hit={} -> {}",
+            self.point, self.key, self.hit, self.kind
+        )
     }
 }
 
@@ -416,7 +441,12 @@ impl FaultInjector {
             }
         }
         if let Some(kind) = kind {
-            self.events.push(FaultEvent { point, key: key.to_string(), hit, kind });
+            self.events.push(FaultEvent {
+                point,
+                key: key.to_string(),
+                hit,
+                kind,
+            });
         }
         kind
     }
@@ -472,11 +502,20 @@ mod tests {
         );
         let mut inj = plan.injector();
         // other key: untouched
-        assert_eq!(inj.should_fault(InjectionPoint::MirrorFetch, "http://cb-repo"), None);
+        assert_eq!(
+            inj.should_fault(InjectionPoint::MirrorFetch, "http://cb-repo"),
+            None
+        );
         // matching key: first two hits fault, third succeeds
         let key = "http://mirror2.example.edu/";
-        assert_eq!(inj.should_fault(InjectionPoint::MirrorFetch, key), Some(FaultKind::Timeout));
-        assert_eq!(inj.should_fault(InjectionPoint::MirrorFetch, key), Some(FaultKind::Timeout));
+        assert_eq!(
+            inj.should_fault(InjectionPoint::MirrorFetch, key),
+            Some(FaultKind::Timeout)
+        );
+        assert_eq!(
+            inj.should_fault(InjectionPoint::MirrorFetch, key),
+            Some(FaultKind::Timeout)
+        );
         assert_eq!(inj.should_fault(InjectionPoint::MirrorFetch, key), None);
         assert_eq!(inj.injected_count(), 2);
         assert_eq!(inj.events()[0].hit, 0);
@@ -488,14 +527,22 @@ mod tests {
         let plan = FaultPlan::new(7).with_rate(InjectionPoint::DhcpDiscover, 0.5);
         let sample = |keys: &[&str]| -> Vec<Option<FaultKind>> {
             let mut inj = plan.injector();
-            keys.iter().map(|k| inj.should_fault(InjectionPoint::DhcpDiscover, k)).collect()
+            keys.iter()
+                .map(|k| inj.should_fault(InjectionPoint::DhcpDiscover, k))
+                .collect()
         };
         let forward = sample(&["a", "b", "c", "d", "e", "f", "g", "h"]);
         let mut reversed = sample(&["h", "g", "f", "e", "d", "c", "b", "a"]);
         reversed.reverse();
-        assert_eq!(forward, reversed, "per-key decisions must not depend on call order");
+        assert_eq!(
+            forward, reversed,
+            "per-key decisions must not depend on call order"
+        );
         assert_eq!(forward, sample(&["a", "b", "c", "d", "e", "f", "g", "h"]));
-        assert!(forward.iter().any(Option::is_some), "rate 0.5 over 8 keys should fire");
+        assert!(
+            forward.iter().any(Option::is_some),
+            "rate 0.5 over 8 keys should fire"
+        );
         assert!(forward.iter().any(Option::is_none));
     }
 
@@ -522,8 +569,7 @@ mod tests {
 
     #[test]
     fn default_kinds_per_point() {
-        let plan =
-            FaultPlan::parse("power.loss on=nth:0; dhcp.discover key=x").unwrap();
+        let plan = FaultPlan::parse("power.loss on=nth:0; dhcp.discover key=x").unwrap();
         assert_eq!(plan.specs[0].kind, FaultKind::PowerLoss);
         assert_eq!(plan.specs[1].kind, FaultKind::Timeout);
     }

@@ -10,6 +10,7 @@
 use std::fmt;
 
 use crate::plan::FaultEvent;
+use xcbc_sim::SimTime;
 
 /// Accumulated resilience telemetry for one deployment.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -27,11 +28,17 @@ pub struct PostMortem {
     /// Nodes skipped on resume because a checkpoint showed them
     /// already committed.
     pub resumed_nodes: Vec<String>,
+    /// Notable resilience moments (retry absorbed, quarantine, resume)
+    /// stamped on the shared simulation clock, in occurrence order.
+    pub moments: Vec<(SimTime, String)>,
 }
 
 impl PostMortem {
     pub fn new(seed: Option<u64>) -> Self {
-        PostMortem { seed, ..PostMortem::default() }
+        PostMortem {
+            seed,
+            ..PostMortem::default()
+        }
     }
 
     /// Record the outcome of one retried operation.
@@ -45,11 +52,18 @@ impl PostMortem {
     }
 
     pub fn record_quarantine(&mut self, node: &str, reason: &str) {
-        self.quarantined.push((node.to_string(), reason.to_string()));
+        self.quarantined
+            .push((node.to_string(), reason.to_string()));
     }
 
     pub fn record_resumed(&mut self, node: &str) {
         self.resumed_nodes.push(node.to_string());
+    }
+
+    /// Stamp a notable moment on the shared simulation clock, so the
+    /// rendered post-mortem reads as a timeline rather than a tally.
+    pub fn record_moment(&mut self, at: impl Into<SimTime>, what: impl Into<String>) {
+        self.moments.push((at.into(), what.into()));
     }
 
     /// Merge another post-mortem (e.g. from a sub-phase) into this one.
@@ -59,6 +73,7 @@ impl PostMortem {
         self.backoff_s += other.backoff_s;
         self.quarantined.extend(other.quarantined);
         self.resumed_nodes.extend(other.resumed_nodes);
+        self.moments.extend(other.moments);
     }
 
     /// True when the run saw no faults, retries, or quarantines — the
@@ -101,6 +116,12 @@ impl PostMortem {
         }
         for (node, reason) in &self.quarantined {
             out.push_str(&format!("  quarantined {node}: {reason}\n"));
+        }
+        if !self.moments.is_empty() {
+            out.push_str("moments:\n");
+            for (t, what) in &self.moments {
+                out.push_str(&format!("  [{t:>10}] {what}\n"));
+            }
         }
         out
     }
@@ -168,6 +189,25 @@ mod tests {
         b.record_fault(sample_event());
         b.charge_retries(2, 4.0);
         assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn moments_render_with_sim_timestamps() {
+        use xcbc_sim::SimTime;
+        let mut pm = PostMortem::new(Some(9));
+        pm.record_moment(
+            SimTime::from_secs(690),
+            "quarantined compute-0-3 (hang at node.boot)",
+        );
+        pm.record_moment(900.5, "compute-0-4: rpm.scriptlet absorbed 1 retry");
+        let text = pm.render();
+        assert!(text.contains("moments:"));
+        assert!(text.contains("690.000s] quarantined compute-0-3"));
+        assert!(text.contains("900.500s] compute-0-4: rpm.scriptlet absorbed 1 retry"));
+        // occurrence order is preserved
+        let q = text.find("quarantined compute-0-3").unwrap();
+        let r = text.find("absorbed 1 retry").unwrap();
+        assert!(q < r);
     }
 
     #[test]

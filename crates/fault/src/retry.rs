@@ -55,7 +55,10 @@ impl RetryPolicy {
 
     /// No retries at all — the pre-resilience one-shot behavior.
     pub fn none() -> Self {
-        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
     }
 
     /// A patient policy for slow hardware paths (node boot, PXE).
@@ -93,7 +96,9 @@ impl RetryPolicy {
     /// Upper bound on total backoff across all allowed failures (with
     /// maximal jitter) — used by property tests and budget planning.
     pub fn total_backoff_bound_s(&self) -> f64 {
-        let sum: f64 = (1..self.max_attempts).map(|i| self.nominal_delay_s(i)).sum();
+        let sum: f64 = (1..self.max_attempts)
+            .map(|i| self.nominal_delay_s(i))
+            .sum();
         (sum * (1.0 + self.jitter)).min(self.budget_s)
     }
 }
@@ -201,7 +206,11 @@ mod tests {
         assert_eq!(out.result, Ok("served"));
         assert_eq!(out.attempts, 3);
         // two failures: ~2s + ~4s with 10% jitter
-        assert!(out.backoff_s > 5.0 && out.backoff_s < 7.0, "{}", out.backoff_s);
+        assert!(
+            out.backoff_s > 5.0 && out.backoff_s < 7.0,
+            "{}",
+            out.backoff_s
+        );
     }
 
     #[test]

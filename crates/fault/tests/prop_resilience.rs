@@ -15,7 +15,14 @@ fn policy(
     jitter: f64,
     budget_s: f64,
 ) -> RetryPolicy {
-    RetryPolicy { max_attempts, base_delay_s, multiplier, max_delay_s, jitter, budget_s }
+    RetryPolicy {
+        max_attempts,
+        base_delay_s,
+        multiplier,
+        max_delay_s,
+        jitter,
+        budget_s,
+    }
 }
 
 proptest! {

@@ -71,7 +71,17 @@ mod tests {
         let c0 = Matrix::random(8, 3);
         let expect = reference(&a, &b, &c0);
         let mut c = c0.clone();
-        dgemm_minus(8, 8, 8, a.as_slice(), 8, b.as_slice(), 8, c.as_mut_slice(), 8);
+        dgemm_minus(
+            8,
+            8,
+            8,
+            a.as_slice(),
+            8,
+            b.as_slice(),
+            8,
+            c.as_mut_slice(),
+            8,
+        );
         for i in 0..8 {
             for j in 0..8 {
                 assert!((c[(i, j)] - expect[(i, j)]).abs() < 1e-12);
@@ -104,8 +114,7 @@ mod tests {
         for i in 0..n {
             for j in 0..n {
                 if i >= 2 && j >= 2 {
-                    let expect = c0[(i, j)]
-                        - (2..4).map(|l| a[(i, l)] * b[(l, j)]).sum::<f64>();
+                    let expect = c0[(i, j)] - (2..4).map(|l| a[(i, l)] * b[(l, j)]).sum::<f64>();
                     assert!((c[(i, j)] - expect).abs() < 1e-12);
                 } else {
                     assert_eq!(c[(i, j)], c0[(i, j)]);
@@ -129,7 +138,17 @@ mod tests {
         let a = Matrix::random(m, 2);
         let id = Matrix::identity(m);
         let mut c = Matrix::zeros(m, m);
-        dgemm_minus(m, m, m, a.as_slice(), m, id.as_slice(), m, c.as_mut_slice(), m);
+        dgemm_minus(
+            m,
+            m,
+            m,
+            a.as_slice(),
+            m,
+            id.as_slice(),
+            m,
+            c.as_mut_slice(),
+            m,
+        );
         for i in 0..m {
             for j in 0..m {
                 assert!((c[(i, j)] + a[(i, j)]).abs() < 1e-15);

@@ -59,7 +59,9 @@ pub fn hpl_flops(n: usize) -> f64 {
 /// scaled-residual verification.
 pub fn run_hpl(config: &HplConfig) -> HplResult {
     let a0 = Matrix::random(config.n, config.seed);
-    let x_true: Vec<f64> = (0..config.n).map(|i| ((i % 17) as f64) / 17.0 - 0.5).collect();
+    let x_true: Vec<f64> = (0..config.n)
+        .map(|i| ((i % 17) as f64) / 17.0 - 0.5)
+        .collect();
     let b = a0.matvec(&x_true);
 
     let mut a = a0.clone();
@@ -73,13 +75,21 @@ pub fn run_hpl(config: &HplConfig) -> HplResult {
     let ax = a0.matvec(&x);
     let r: Vec<f64> = ax.iter().zip(&b).map(|(a, b)| a - b).collect();
     let eps = f64::EPSILON;
-    let denom = eps
-        * (a0.norm_inf() * vec_norm_inf(&x) + vec_norm_inf(&b))
-        * config.n as f64;
-    let residual = if denom > 0.0 { vec_norm_inf(&r) / denom } else { 0.0 };
+    let denom = eps * (a0.norm_inf() * vec_norm_inf(&x) + vec_norm_inf(&b)) * config.n as f64;
+    let residual = if denom > 0.0 {
+        vec_norm_inf(&r) / denom
+    } else {
+        0.0
+    };
 
     let gflops = hpl_flops(config.n) / seconds / 1e9;
-    HplResult { config: *config, seconds, gflops, residual, passed: residual < 16.0 }
+    HplResult {
+        config: *config,
+        seconds,
+        gflops,
+        residual,
+        passed: residual < 16.0,
+    }
 }
 
 #[cfg(test)]
@@ -94,7 +104,12 @@ mod tests {
 
     #[test]
     fn small_run_passes_residual() {
-        let r = run_hpl(&HplConfig { n: 64, nb: 16, threads: 1, seed: 1 });
+        let r = run_hpl(&HplConfig {
+            n: 64,
+            nb: 16,
+            threads: 1,
+            seed: 1,
+        });
         assert!(r.passed, "residual {}", r.residual);
         assert!(r.gflops > 0.0);
         assert!(r.seconds > 0.0);
@@ -103,14 +118,24 @@ mod tests {
 
     #[test]
     fn parallel_run_passes_residual() {
-        let r = run_hpl(&HplConfig { n: 192, nb: 32, threads: 4, seed: 2 });
+        let r = run_hpl(&HplConfig {
+            n: 192,
+            nb: 32,
+            threads: 4,
+            seed: 2,
+        });
         assert!(r.passed, "residual {}", r.residual);
     }
 
     #[test]
     fn different_seeds_both_pass() {
         for seed in [3, 4, 5] {
-            let r = run_hpl(&HplConfig { n: 96, nb: 24, threads: 2, seed });
+            let r = run_hpl(&HplConfig {
+                n: 96,
+                nb: 24,
+                threads: 2,
+                seed,
+            });
             assert!(r.passed, "seed {seed}: residual {}", r.residual);
         }
     }
@@ -118,8 +143,18 @@ mod tests {
     #[test]
     fn gflops_grow_with_n() {
         // bigger problems amortize overhead: the hallmark HPL curve
-        let small = run_hpl(&HplConfig { n: 64, nb: 32, threads: 1, seed: 6 });
-        let large = run_hpl(&HplConfig { n: 512, nb: 32, threads: 1, seed: 6 });
+        let small = run_hpl(&HplConfig {
+            n: 64,
+            nb: 32,
+            threads: 1,
+            seed: 6,
+        });
+        let large = run_hpl(&HplConfig {
+            n: 512,
+            nb: 32,
+            threads: 1,
+            seed: 6,
+        });
         assert!(
             large.gflops > small.gflops,
             "N=512 {:.2} GF should beat N=64 {:.2} GF",

@@ -35,5 +35,7 @@ pub use hpl::{run_hpl, HplConfig, HplResult};
 pub use lu::{lu_factor, lu_solve, SingularMatrix};
 pub use matrix::Matrix;
 pub use model::{EfficiencyModel, PAPER_LIMULUS_RMAX_GF, PAPER_LITTLEFE_RMAX_EST_GF};
-pub use stream::{pingpong_bandwidth_mb_s, pingpong_seconds, run_stream, StreamKernel, StreamResult};
+pub use stream::{
+    pingpong_bandwidth_mb_s, pingpong_seconds, run_stream, StreamKernel, StreamResult,
+};
 pub use tuning::{max_problem_size, sweep_block_size, TuningPoint};

@@ -246,7 +246,11 @@ mod tests {
         let piv = lu_factor(&mut a, 8, 1).unwrap();
         let x = lu_solve(&a, &piv, &b);
         let err: Vec<f64> = x.iter().zip(&x_true).map(|(a, b)| a - b).collect();
-        assert!(vec_norm_inf(&err) < 1e-8, "solution error {}", vec_norm_inf(&err));
+        assert!(
+            vec_norm_inf(&err) < 1e-8,
+            "solution error {}",
+            vec_norm_inf(&err)
+        );
     }
 
     #[test]

@@ -18,7 +18,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Square matrix with entries uniform in [-0.5, 0.5] (the HPL input
@@ -26,7 +30,11 @@ impl Matrix {
     pub fn random(n: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let data = (0..n * n).map(|_| rng.gen_range(-0.5..0.5)).collect();
-        Matrix { rows: n, cols: n, data }
+        Matrix {
+            rows: n,
+            cols: n,
+            data,
+        }
     }
 
     /// Build from a row-major slice (test convenience).

@@ -82,7 +82,11 @@ mod tests {
         let m = EfficiencyModel::gigabit_deskside();
         let rmax = m.rmax_gflops(LIMULUS_RPEAK, 4, 64_000);
         let err = (rmax - PAPER_LIMULUS_RMAX_GF).abs() / PAPER_LIMULUS_RMAX_GF;
-        assert!(err < 0.05, "model {rmax:.1} GF vs paper 498.3 GF ({:.1}% off)", err * 100.0);
+        assert!(
+            err < 0.05,
+            "model {rmax:.1} GF vs paper 498.3 GF ({:.1}% off)",
+            err * 100.0
+        );
     }
 
     #[test]
@@ -113,7 +117,10 @@ mod tests {
         let e4 = m.efficiency(4.0 * per_node, 4, 40_000);
         let e16 = m.efficiency(16.0 * per_node, 16, 40_000);
         assert!(e1 > e4 && e4 > e16, "{e1:.3} > {e4:.3} > {e16:.3} expected");
-        assert!((e1 - m.node_efficiency).abs() < 1e-12, "single node pays no network tax");
+        assert!(
+            (e1 - m.node_efficiency).abs() < 1e-12,
+            "single node pays no network tax"
+        );
     }
 
     #[test]
@@ -132,9 +139,15 @@ mod tests {
         let m = EfficiencyModel::gigabit_deskside();
         let lf_rmax = m.rmax_gflops(LITTLEFE_RPEAK, 6, 48_000);
         let lm_rmax = m.rmax_gflops(LIMULUS_RPEAK, 4, 64_000);
-        assert!(lm_rmax > lf_rmax, "Limulus {lm_rmax:.0} > LittleFe {lf_rmax:.0}");
+        assert!(
+            lm_rmax > lf_rmax,
+            "Limulus {lm_rmax:.0} > LittleFe {lf_rmax:.0}"
+        );
         let lf_price = 3600.0 / lf_rmax;
         let lm_price = 5995.0 / lm_rmax;
-        assert!(lf_price < lm_price, "LittleFe $/GF {lf_price:.2} < Limulus {lm_price:.2}");
+        assert!(
+            lf_price < lm_price,
+            "LittleFe $/GF {lf_price:.2} < Limulus {lm_price:.2}"
+        );
     }
 }

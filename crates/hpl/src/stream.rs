@@ -4,7 +4,7 @@
 //! "demonstrate HPC capabilities" needs the other two classic
 //! microbenchmarks. The STREAM kernels are *real* (they measure this
 //! host); the ping-pong model is analytic over the cluster's
-//! [`NetworkSpec`]-style parameters, matching the GbE numbers the
+//! `NetworkSpec`-style parameters, matching the GbE numbers the
 //! efficiency model in [`crate::model`] assumes.
 
 use rayon::prelude::*;
@@ -59,16 +59,23 @@ pub fn run_stream(kernel: StreamKernel, n: usize, threads: usize, reps: usize) -
     let mut b = vec![2.0f64; n];
     let mut c = vec![0.0f64; n];
 
-    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool");
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let start = Instant::now();
         pool.install(|| match kernel {
             StreamKernel::Copy => {
-                c.par_iter_mut().zip(a.par_iter()).for_each(|(c, a)| *c = *a);
+                c.par_iter_mut()
+                    .zip(a.par_iter())
+                    .for_each(|(c, a)| *c = *a);
             }
             StreamKernel::Scale => {
-                b.par_iter_mut().zip(c.par_iter()).for_each(|(b, c)| *b = scalar * *c);
+                b.par_iter_mut()
+                    .zip(c.par_iter())
+                    .for_each(|(b, c)| *b = scalar * *c);
             }
             StreamKernel::Add => {
                 c.par_iter_mut()

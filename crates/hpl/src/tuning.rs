@@ -23,8 +23,17 @@ pub fn sweep_block_size(
     assert!(!nbs.is_empty());
     let mut points = Vec::with_capacity(nbs.len());
     for &nb in nbs {
-        let r: HplResult = run_hpl(&HplConfig { n, nb, threads, seed });
-        points.push(TuningPoint { nb, gflops: r.gflops, passed: r.passed });
+        let r: HplResult = run_hpl(&HplConfig {
+            n,
+            nb,
+            threads,
+            seed,
+        });
+        points.push(TuningPoint {
+            nb,
+            gflops: r.gflops,
+            passed: r.passed,
+        });
     }
     let best = points
         .iter()
@@ -55,7 +64,10 @@ mod tests {
     #[test]
     fn best_is_argmax() {
         let (points, best) = sweep_block_size(128, &[4, 32], 1, 2);
-        let max = points.iter().max_by(|a, b| a.gflops.total_cmp(&b.gflops)).unwrap();
+        let max = points
+            .iter()
+            .max_by(|a, b| a.gflops.total_cmp(&b.gflops))
+            .unwrap();
         assert_eq!(best, max.nb);
     }
 

@@ -31,7 +31,10 @@ impl CollectionStore {
 
     /// `module save <name>`: snapshot the currently loaded set.
     pub fn save(&mut self, name: &str, system: &ModuleSystem) -> &Collection {
-        let c = Collection { name: name.to_string(), modules: system.list().to_vec() };
+        let c = Collection {
+            name: name.to_string(),
+            modules: system.list().to_vec(),
+        };
         self.collections.insert(name.to_string(), c);
         &self.collections[name]
     }
@@ -63,7 +66,10 @@ impl CollectionStore {
 
 /// `module show <name>`: render what loading would do.
 pub fn module_show(m: &Modulefile) -> String {
-    let mut out = format!("-------------------------------------------------------------------\n{}:\n\n", m.key());
+    let mut out = format!(
+        "-------------------------------------------------------------------\n{}:\n\n",
+        m.key()
+    );
     if !m.whatis.is_empty() {
         out.push_str(&format!("module-whatis\t{}\n", m.whatis));
     }
@@ -136,7 +142,10 @@ mod tests {
         store.save("stats", &campus);
 
         let mut bare = ModuleSystem::new(); // nothing installed
-        assert!(matches!(store.restore("stats", &mut bare), Err(ModuleError::NotFound(_))));
+        assert!(matches!(
+            store.restore("stats", &mut bare),
+            Err(ModuleError::NotFound(_))
+        ));
     }
 
     #[test]

@@ -37,8 +37,10 @@ impl Environment {
     /// element is already the head; duplicates elsewhere are removed).
     pub fn prepend_path(&mut self, key: &str, element: &str) {
         let current = self.vars.get(key).cloned().unwrap_or_default();
-        let mut parts: Vec<&str> =
-            current.split(':').filter(|p| !p.is_empty() && *p != element).collect();
+        let mut parts: Vec<&str> = current
+            .split(':')
+            .filter(|p| !p.is_empty() && *p != element)
+            .collect();
         parts.insert(0, element);
         self.vars.insert(key.to_string(), parts.join(":"));
     }
@@ -48,8 +50,10 @@ impl Environment {
     /// is a strict inverse even when the prepend created the variable.
     pub fn remove_path(&mut self, key: &str, element: &str) {
         if let Some(current) = self.vars.get(key) {
-            let parts: Vec<&str> =
-                current.split(':').filter(|p| !p.is_empty() && *p != element).collect();
+            let parts: Vec<&str> = current
+                .split(':')
+                .filter(|p| !p.is_empty() && *p != element)
+                .collect();
             if parts.is_empty() {
                 self.vars.remove(key);
             } else {

@@ -42,12 +42,18 @@ impl Modulefile {
     }
 
     pub fn prepend_path(mut self, var: &str, value: &str) -> Self {
-        self.actions.push(ModuleAction::PrependPath { var: var.to_string(), value: value.to_string() });
+        self.actions.push(ModuleAction::PrependPath {
+            var: var.to_string(),
+            value: value.to_string(),
+        });
         self
     }
 
     pub fn setenv(mut self, var: &str, value: &str) -> Self {
-        self.actions.push(ModuleAction::Setenv { var: var.to_string(), value: value.to_string() });
+        self.actions.push(ModuleAction::Setenv {
+            var: var.to_string(),
+            value: value.to_string(),
+        });
         self
     }
 

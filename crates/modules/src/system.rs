@@ -99,20 +99,38 @@ impl ModuleSystem {
             return Err(ModuleError::AlreadyLoaded(key));
         }
         // same-name different-version is an implicit conflict
-        if let Some(other) = self.loaded.iter().find(|k| k.split('/').next() == Some(&m.name)) {
-            return Err(ModuleError::Conflict { requested: key, with: other.clone() });
+        if let Some(other) = self
+            .loaded
+            .iter()
+            .find(|k| k.split('/').next() == Some(&m.name))
+        {
+            return Err(ModuleError::Conflict {
+                requested: key,
+                with: other.clone(),
+            });
         }
         for c in &m.conflicts {
-            if let Some(other) = self.loaded.iter().find(|k| k.split('/').next() == Some(c.as_str()))
+            if let Some(other) = self
+                .loaded
+                .iter()
+                .find(|k| k.split('/').next() == Some(c.as_str()))
             {
-                return Err(ModuleError::Conflict { requested: key, with: other.clone() });
+                return Err(ModuleError::Conflict {
+                    requested: key,
+                    with: other.clone(),
+                });
             }
         }
         for p in &m.prereqs {
-            let satisfied =
-                self.loaded.iter().any(|k| k.split('/').next() == Some(p.as_str()) || k == p);
+            let satisfied = self
+                .loaded
+                .iter()
+                .any(|k| k.split('/').next() == Some(p.as_str()) || k == p);
             if !satisfied {
-                return Err(ModuleError::MissingPrereq { requested: key, needs: p.clone() });
+                return Err(ModuleError::MissingPrereq {
+                    requested: key,
+                    needs: p.clone(),
+                });
             }
         }
         m.apply(&mut self.env);
@@ -128,7 +146,11 @@ impl ModuleSystem {
             .find(|k| *k == request || k.split('/').next() == Some(request))
             .cloned()
             .ok_or_else(|| ModuleError::NotLoaded(request.to_string()))?;
-        let m = self.available.get(&key).expect("loaded implies available").clone();
+        let m = self
+            .available
+            .get(&key)
+            .expect("loaded implies available")
+            .clone();
         m.revert(&mut self.env);
         self.loaded.retain(|k| *k != key);
         Ok(key)
@@ -202,7 +224,10 @@ mod tests {
     fn avail_sorted_and_filtered() {
         let s = system();
         assert_eq!(s.avail(None).len(), 4);
-        assert_eq!(s.avail(Some("openmpi")), vec!["openmpi/1.6.5", "openmpi/1.8.1"]);
+        assert_eq!(
+            s.avail(Some("openmpi")),
+            vec!["openmpi/1.6.5", "openmpi/1.8.1"]
+        );
     }
 
     #[test]
@@ -223,17 +248,26 @@ mod tests {
             Err(ModuleError::AlreadyLoaded("openmpi/1.6.5".into()))
         );
         // another version of the same name is a conflict
-        assert!(matches!(s.load("openmpi/1.8.1"), Err(ModuleError::Conflict { .. })));
+        assert!(matches!(
+            s.load("openmpi/1.8.1"),
+            Err(ModuleError::Conflict { .. })
+        ));
     }
 
     #[test]
     fn conflicts_enforced_both_ways() {
         let mut s = system();
         s.load("openmpi/1.6.5").unwrap();
-        assert!(matches!(s.load("mpich2"), Err(ModuleError::Conflict { .. })));
+        assert!(matches!(
+            s.load("mpich2"),
+            Err(ModuleError::Conflict { .. })
+        ));
         s.unload("openmpi").unwrap();
         s.load("mpich2").unwrap();
-        assert!(matches!(s.load("openmpi/1.6.5"), Err(ModuleError::Conflict { .. })));
+        assert!(matches!(
+            s.load("openmpi/1.6.5"),
+            Err(ModuleError::Conflict { .. })
+        ));
     }
 
     #[test]
@@ -265,13 +299,19 @@ mod tests {
     #[test]
     fn unload_not_loaded_errors() {
         let mut s = system();
-        assert_eq!(s.unload("openmpi"), Err(ModuleError::NotLoaded("openmpi".into())));
+        assert_eq!(
+            s.unload("openmpi"),
+            Err(ModuleError::NotLoaded("openmpi".into()))
+        );
     }
 
     #[test]
     fn load_unknown_errors() {
         let mut s = system();
-        assert_eq!(s.load("matlab"), Err(ModuleError::NotFound("matlab".into())));
+        assert_eq!(
+            s.load("matlab"),
+            Err(ModuleError::NotFound("matlab".into()))
+        );
     }
 
     #[test]
@@ -283,7 +323,11 @@ mod tests {
                 .file("/usr/lib64/gromacs/bin")
                 .build(),
         );
-        db.install(PackageBuilder::new("libonly", "1.0", "1").file("/usr/lib64/libx.so").build());
+        db.install(
+            PackageBuilder::new("libonly", "1.0", "1")
+                .file("/usr/lib64/libx.so")
+                .build(),
+        );
         let mods = generate_from_rpmdb(&db);
         assert_eq!(mods.len(), 1, "only packages with bin dirs get modules");
         assert_eq!(mods[0].name, "gromacs");

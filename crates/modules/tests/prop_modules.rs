@@ -9,7 +9,11 @@ fn modfile(idx: usize, actions: &[(bool, u8, u8)]) -> Modulefile {
     for (i, (is_path, var, val)) in actions.iter().enumerate() {
         let var = format!("VAR{}", var % 4);
         let val = format!("/opt/m{idx}/{i}/{val}");
-        m = if *is_path { m.prepend_path(&var, &val) } else { m.setenv(&var, &val) };
+        m = if *is_path {
+            m.prepend_path(&var, &val)
+        } else {
+            m.setenv(&var, &val)
+        };
     }
     m
 }

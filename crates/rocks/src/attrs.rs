@@ -48,7 +48,8 @@ impl AttrStore {
                 self.global.insert(key.to_string(), value.to_string());
             }
             AttrScope::Appliance(a) => {
-                self.appliance.insert((a, key.to_string()), value.to_string());
+                self.appliance
+                    .insert((a, key.to_string()), value.to_string());
             }
             AttrScope::Host(h) => {
                 self.host.insert((h, key.to_string()), value.to_string());
@@ -100,15 +101,34 @@ mod tests {
     fn precedence_host_over_appliance_over_global() {
         let mut s = AttrStore::new();
         s.set(AttrScope::Global, "ssh_key", "global-key");
-        assert_eq!(s.resolve("compute-0-0", Appliance::Compute, "ssh_key"), Some("global-key"));
-        s.set(AttrScope::Appliance(Appliance::Compute), "ssh_key", "compute-key");
-        assert_eq!(s.resolve("compute-0-0", Appliance::Compute, "ssh_key"), Some("compute-key"));
+        assert_eq!(
+            s.resolve("compute-0-0", Appliance::Compute, "ssh_key"),
+            Some("global-key")
+        );
+        s.set(
+            AttrScope::Appliance(Appliance::Compute),
+            "ssh_key",
+            "compute-key",
+        );
+        assert_eq!(
+            s.resolve("compute-0-0", Appliance::Compute, "ssh_key"),
+            Some("compute-key")
+        );
         s.set(AttrScope::Host("compute-0-0".into()), "ssh_key", "host-key");
-        assert_eq!(s.resolve("compute-0-0", Appliance::Compute, "ssh_key"), Some("host-key"));
+        assert_eq!(
+            s.resolve("compute-0-0", Appliance::Compute, "ssh_key"),
+            Some("host-key")
+        );
         // other hosts unaffected by the host-level override
-        assert_eq!(s.resolve("compute-0-1", Appliance::Compute, "ssh_key"), Some("compute-key"));
+        assert_eq!(
+            s.resolve("compute-0-1", Appliance::Compute, "ssh_key"),
+            Some("compute-key")
+        );
         // other appliances fall back to global
-        assert_eq!(s.resolve("nas-0-0", Appliance::Nas, "ssh_key"), Some("global-key"));
+        assert_eq!(
+            s.resolve("nas-0-0", Appliance::Nas, "ssh_key"),
+            Some("global-key")
+        );
     }
 
     #[test]
@@ -131,9 +151,18 @@ mod tests {
     #[test]
     fn defaults_sensible() {
         let s = AttrStore::with_defaults("littlefe");
-        assert_eq!(s.resolve("littlefe", Appliance::Frontend, "rocks_version"), Some("6.1.1"));
-        assert_eq!(s.resolve("compute-0-0", Appliance::Compute, "x11"), Some("false"));
-        assert_eq!(s.resolve("littlefe", Appliance::Frontend, "x11"), Some("true"));
+        assert_eq!(
+            s.resolve("littlefe", Appliance::Frontend, "rocks_version"),
+            Some("6.1.1")
+        );
+        assert_eq!(
+            s.resolve("compute-0-0", Appliance::Compute, "x11"),
+            Some("false")
+        );
+        assert_eq!(
+            s.resolve("littlefe", Appliance::Frontend, "x11"),
+            Some("true")
+        );
     }
 
     #[test]

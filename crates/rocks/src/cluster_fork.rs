@@ -30,7 +30,11 @@ impl ForkReport {
     }
 
     pub fn failed_hosts(&self) -> Vec<&str> {
-        self.results.iter().filter(|r| r.exit_code != 0).map(|r| r.host.as_str()).collect()
+        self.results
+            .iter()
+            .filter(|r| r.exit_code != 0)
+            .map(|r| r.host.as_str())
+            .collect()
     }
 
     /// The interleaved output cluster-fork prints.
@@ -56,9 +60,16 @@ where
     let mut results = Vec::new();
     for host in db.hosts_of(Appliance::Compute) {
         let (exit_code, stdout) = exec(&host.name, command);
-        results.push(ForkResult { host: host.name.clone(), exit_code, stdout });
+        results.push(ForkResult {
+            host: host.name.clone(),
+            exit_code,
+            stdout,
+        });
     }
-    ForkReport { command: command.to_string(), results }
+    ForkReport {
+        command: command.to_string(),
+        results,
+    }
 }
 
 #[cfg(test)]
@@ -69,7 +80,8 @@ mod tests {
         let mut db = RocksDb::new("littlefe");
         db.add_frontend("ff:ff", 2).unwrap();
         for i in 0..5 {
-            db.add_host(Appliance::Compute, 0, &format!("aa:{i:02x}"), 2).unwrap();
+            db.add_host(Appliance::Compute, 0, &format!("aa:{i:02x}"), 2)
+                .unwrap();
         }
         db
     }
@@ -81,7 +93,10 @@ mod tests {
         });
         assert_eq!(report.results.len(), 5);
         assert!(report.all_succeeded());
-        assert!(!report.render().contains("littlefe:"), "frontend not targeted");
+        assert!(
+            !report.render().contains("littlefe:"),
+            "frontend not targeted"
+        );
         assert!(report.render().contains("compute-0-4"));
     }
 

@@ -31,7 +31,11 @@ impl RocksCli {
     /// Wrap an existing database (e.g. the one an install produced).
     pub fn with_db(db: RocksDb) -> Self {
         let attrs = AttrStore::with_defaults(&db.cluster_name.clone());
-        RocksCli { db, attrs, history: Vec::new() }
+        RocksCli {
+            db,
+            attrs,
+            history: Vec::new(),
+        }
     }
 
     /// Execute one command line.
@@ -55,7 +59,8 @@ impl RocksCli {
             }
             ["rocks", "set", "host", "attr", host, key, value] => {
                 self.appliance_of(host)?;
-                self.attrs.set(AttrScope::Host(host.to_string()), key, value);
+                self.attrs
+                    .set(AttrScope::Host(host.to_string()), key, value);
                 Ok(String::new())
             }
             ["rocks", "add", "host", appliance, rest @ ..] => {
@@ -76,7 +81,10 @@ impl RocksCli {
                     }
                 }
                 let mac = mac.ok_or("mac= is required")?;
-                let rec = self.db.add_host(appliance, rack, &mac, cpus).map_err(|e| e.to_string())?;
+                let rec = self
+                    .db
+                    .add_host(appliance, rack, &mac, cpus)
+                    .map_err(|e| e.to_string())?;
                 Ok(format!("added {}\n", rec.name))
             }
             ["rocks", "remove", "host", host] => {
@@ -89,12 +97,16 @@ impl RocksCli {
                     "action=os" => false,
                     other => return Err(format!("unknown boot action: {other}")),
                 };
-                self.db.set_install_action(host, reinstall).map_err(|e| e.to_string())?;
+                self.db
+                    .set_install_action(host, reinstall)
+                    .map_err(|e| e.to_string())?;
                 Ok(String::new())
             }
-            ["rocks", "report", "host"] => {
-                Ok(format!("{} hosts in cluster {}\n", self.db.host_count(), self.db.cluster_name))
-            }
+            ["rocks", "report", "host"] => Ok(format!(
+                "{} hosts in cluster {}\n",
+                self.db.host_count(),
+                self.db.cluster_name
+            )),
             _ => Err(format!("unknown command: {line}")),
         }
     }
@@ -129,7 +141,9 @@ mod tests {
     #[test]
     fn add_and_list_hosts() {
         let mut c = cli();
-        let out = c.run("rocks add host compute rack=0 mac=aa:00 cpus=2").unwrap();
+        let out = c
+            .run("rocks add host compute rack=0 mac=aa:00 cpus=2")
+            .unwrap();
         assert_eq!(out, "added compute-0-0\n");
         let listing = c.run("rocks list host").unwrap();
         assert!(listing.contains("compute-0-0"));
@@ -145,7 +159,8 @@ mod tests {
     #[test]
     fn set_and_list_attrs() {
         let mut c = cli();
-        c.run("rocks add host compute rack=0 mac=aa:00 cpus=2").unwrap();
+        c.run("rocks add host compute rack=0 mac=aa:00 cpus=2")
+            .unwrap();
         c.run("rocks set attr Kickstart_Lang en_US").unwrap();
         c.run("rocks set host attr compute-0-0 x11 true").unwrap();
         let out = c.run("rocks list host attr compute-0-0").unwrap();
@@ -156,18 +171,23 @@ mod tests {
     #[test]
     fn boot_action() {
         let mut c = cli();
-        c.run("rocks add host compute rack=0 mac=aa:00 cpus=2").unwrap();
+        c.run("rocks add host compute rack=0 mac=aa:00 cpus=2")
+            .unwrap();
         c.run("rocks set host boot compute-0-0 action=os").unwrap();
         assert!(!c.db.host("compute-0-0").unwrap().install_action);
-        c.run("rocks set host boot compute-0-0 action=install").unwrap();
+        c.run("rocks set host boot compute-0-0 action=install")
+            .unwrap();
         assert!(c.db.host("compute-0-0").unwrap().install_action);
-        assert!(c.run("rocks set host boot compute-0-0 action=nonsense").is_err());
+        assert!(c
+            .run("rocks set host boot compute-0-0 action=nonsense")
+            .is_err());
     }
 
     #[test]
     fn remove_host() {
         let mut c = cli();
-        c.run("rocks add host compute rack=0 mac=aa:00 cpus=2").unwrap();
+        c.run("rocks add host compute rack=0 mac=aa:00 cpus=2")
+            .unwrap();
         c.run("rocks remove host compute-0-0").unwrap();
         assert!(c.run("rocks remove host compute-0-0").is_err());
     }

@@ -82,7 +82,10 @@ impl RocksDb {
         if self.next_host_octet == 255 {
             return Err(DbError::NetworkExhausted);
         }
-        let ip = format!("{}.{}.255.{}", self.net_prefix.0, self.net_prefix.1, self.next_host_octet);
+        let ip = format!(
+            "{}.{}.255.{}",
+            self.net_prefix.0, self.net_prefix.1, self.next_host_octet
+        );
         self.next_host_octet += 1;
         Ok(ip)
     }
@@ -157,7 +160,9 @@ impl RocksDb {
 
     /// Remove a host (`rocks remove host`).
     pub fn remove_host(&mut self, name: &str) -> Result<HostRecord, DbError> {
-        self.hosts.remove(name).ok_or_else(|| DbError::UnknownHost(name.to_string()))
+        self.hosts
+            .remove(name)
+            .ok_or_else(|| DbError::UnknownHost(name.to_string()))
     }
 
     pub fn host(&self, name: &str) -> Option<&HostRecord> {
@@ -179,7 +184,10 @@ impl RocksDb {
 
     /// Hosts of one appliance type.
     pub fn hosts_of(&self, appliance: Appliance) -> Vec<&HostRecord> {
-        self.hosts.values().filter(|h| h.membership.appliance == appliance).collect()
+        self.hosts
+            .values()
+            .filter(|h| h.membership.appliance == appliance)
+            .collect()
     }
 
     /// Look a host up by the MAC its DHCP request carries.
@@ -220,7 +228,8 @@ mod tests {
         let mut db = RocksDb::new("littlefe");
         db.add_frontend("00:00:00:00:00:ff", 2).unwrap();
         for i in 0..n {
-            db.add_host(Appliance::Compute, 0, &format!("00:00:00:00:00:{i:02x}"), 2).unwrap();
+            db.add_host(Appliance::Compute, 0, &format!("00:00:00:00:00:{i:02x}"), 2)
+                .unwrap();
         }
         db
     }
@@ -259,7 +268,9 @@ mod tests {
     #[test]
     fn duplicate_mac_rejected() {
         let mut db = db_with_nodes(1);
-        let err = db.add_host(Appliance::Compute, 0, "00:00:00:00:00:00", 2).unwrap_err();
+        let err = db
+            .add_host(Appliance::Compute, 0, "00:00:00:00:00:00", 2)
+            .unwrap_err();
         assert_eq!(err, DbError::DuplicateMac("00:00:00:00:00:00".to_string()));
     }
 
@@ -274,14 +285,20 @@ mod tests {
     fn remove_and_unknown_host() {
         let mut db = db_with_nodes(1);
         assert!(db.remove_host("compute-0-0").is_ok());
-        assert_eq!(db.remove_host("compute-0-0"), Err(DbError::UnknownHost("compute-0-0".into())));
+        assert_eq!(
+            db.remove_host("compute-0-0"),
+            Err(DbError::UnknownHost("compute-0-0".into()))
+        );
         assert_eq!(db.host_count(), 1);
     }
 
     #[test]
     fn lookup_by_mac() {
         let db = db_with_nodes(2);
-        assert_eq!(db.host_by_mac("00:00:00:00:00:01").unwrap().name, "compute-0-1");
+        assert_eq!(
+            db.host_by_mac("00:00:00:00:00:01").unwrap().name,
+            "compute-0-1"
+        );
         assert!(db.host_by_mac("ff:ff").is_none());
     }
 
@@ -315,7 +332,8 @@ mod tests {
     fn network_exhaustion() {
         let mut db = RocksDb::new("big");
         for i in 0..254u32 {
-            db.add_host(Appliance::Compute, 0, &format!("m{i}"), 1).unwrap();
+            db.add_host(Appliance::Compute, 0, &format!("m{i}"), 1)
+                .unwrap();
         }
         let err = db.add_host(Appliance::Compute, 0, "mlast", 1).unwrap_err();
         assert_eq!(err, DbError::NetworkExhausted);

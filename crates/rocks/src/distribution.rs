@@ -83,8 +83,13 @@ pub fn build_update_roll(distro: &Distribution, newer: &[Package], version: &str
         })
         .cloned()
         .collect();
-    Roll::new("updates", version, false, "site update roll (rocks create mirror)")
-        .with_packages(updates)
+    Roll::new(
+        "updates",
+        version,
+        false,
+        "site update roll (rocks create mirror)",
+    )
+    .with_packages(updates)
 }
 
 #[cfg(test)]
@@ -131,7 +136,11 @@ mod tests {
         let roll = build_update_roll(&d, &newer, "2015.03");
         d.add_roll_and_rebuild(&roll);
         assert_eq!(d.version_of("bash").unwrap().release, "29.el6");
-        assert_eq!(d.rebuild_count, rebuilds_before + 1, "every update costs a rebuild");
+        assert_eq!(
+            d.rebuild_count,
+            rebuilds_before + 1,
+            "every update costs a rebuild"
+        );
     }
 
     #[test]

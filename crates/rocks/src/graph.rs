@@ -48,7 +48,10 @@ pub struct GraphNode {
 
 impl GraphNode {
     pub fn new(name: &str) -> Self {
-        GraphNode { name: name.to_string(), ..Default::default() }
+        GraphNode {
+            name: name.to_string(),
+            ..Default::default()
+        }
     }
 
     pub fn package(mut self, p: &str) -> Self {
@@ -119,7 +122,11 @@ impl KickstartGraph {
                 .post("build central installer tree"),
         );
         g.add_node(GraphNode::new("compute").post("configure pxe re-install flag"));
-        g.add_node(GraphNode::new("nas").package("rsync").post("export /export via nfs"));
+        g.add_node(
+            GraphNode::new("nas")
+                .package("rsync")
+                .post("export /export via nfs"),
+        );
         g.add_node(
             GraphNode::new("client")
                 .package("rsync")
@@ -154,7 +161,10 @@ impl KickstartGraph {
         if !self.nodes.contains_key(to) {
             return Err(GraphError::UnknownNode(to.to_string()));
         }
-        self.edges.get_mut(from).expect("entry exists").insert(to.to_string());
+        self.edges
+            .get_mut(from)
+            .expect("entry exists")
+            .insert(to.to_string());
         Ok(())
     }
 
@@ -281,11 +291,23 @@ mod tests {
     #[test]
     fn merge_roll_attaches_to_appliances() {
         let mut g = KickstartGraph::standard();
-        let nodes = vec![GraphNode::new("xsede-sci").package("gromacs").package("lammps")];
-        g.merge_roll_nodes(&nodes, &[Appliance::Frontend, Appliance::Compute]).unwrap();
-        assert!(g.packages_for(Appliance::Frontend).unwrap().contains(&"gromacs".to_string()));
-        assert!(g.packages_for(Appliance::Compute).unwrap().contains(&"lammps".to_string()));
-        assert!(!g.packages_for(Appliance::Nas).unwrap().contains(&"gromacs".to_string()));
+        let nodes = vec![GraphNode::new("xsede-sci")
+            .package("gromacs")
+            .package("lammps")];
+        g.merge_roll_nodes(&nodes, &[Appliance::Frontend, Appliance::Compute])
+            .unwrap();
+        assert!(g
+            .packages_for(Appliance::Frontend)
+            .unwrap()
+            .contains(&"gromacs".to_string()));
+        assert!(g
+            .packages_for(Appliance::Compute)
+            .unwrap()
+            .contains(&"lammps".to_string()));
+        assert!(!g
+            .packages_for(Appliance::Nas)
+            .unwrap()
+            .contains(&"gromacs".to_string()));
     }
 
     #[test]

@@ -31,7 +31,13 @@ pub struct InsertEthers<'a> {
 impl<'a> InsertEthers<'a> {
     /// Start a session registering nodes of `appliance` into `rack`.
     pub fn start(db: &'a mut RocksDb, appliance: Appliance, rack: u32) -> Self {
-        InsertEthers { db, appliance, rack, registered: Vec::new(), ignored: Vec::new() }
+        InsertEthers {
+            db,
+            appliance,
+            rack,
+            registered: Vec::new(),
+            ignored: Vec::new(),
+        }
     }
 
     /// Handle one DHCP request: unknown MACs are registered with the next
@@ -42,7 +48,9 @@ impl<'a> InsertEthers<'a> {
             self.ignored.push(req.mac.clone());
             return Ok(None);
         }
-        let record = self.db.add_host(self.appliance, self.rack, &req.mac, req.cpus)?;
+        let record = self
+            .db
+            .add_host(self.appliance, self.rack, &req.mac, req.cpus)?;
         let name = record.name.clone();
         self.registered.push(name.clone());
         Ok(Some(name))
@@ -80,7 +88,10 @@ mod tests {
         let mut session = InsertEthers::start(&mut db, Appliance::Compute, 0);
         for i in 0..5 {
             let name = session
-                .on_dhcp(&DhcpRequest { mac: format!("aa:bb:cc:dd:ee:{i:02x}"), cpus: 2 })
+                .on_dhcp(&DhcpRequest {
+                    mac: format!("aa:bb:cc:dd:ee:{i:02x}"),
+                    cpus: 2,
+                })
                 .unwrap();
             assert_eq!(name.as_deref(), Some(format!("compute-0-{i}").as_str()));
         }
@@ -94,7 +105,10 @@ mod tests {
     fn rebooting_known_node_ignored() {
         let mut db = db();
         let mut session = InsertEthers::start(&mut db, Appliance::Compute, 0);
-        let req = DhcpRequest { mac: "aa:00".to_string(), cpus: 2 };
+        let req = DhcpRequest {
+            mac: "aa:00".to_string(),
+            cpus: 2,
+        };
         assert!(session.on_dhcp(&req).unwrap().is_some());
         assert!(session.on_dhcp(&req).unwrap().is_none());
         assert_eq!(session.ignored().len(), 1);
@@ -106,7 +120,10 @@ mod tests {
         let mut db = db();
         let mut session = InsertEthers::start(&mut db, Appliance::Compute, 0);
         let none = session
-            .on_dhcp(&DhcpRequest { mac: "ff:ff:ff:ff:ff:ff".to_string(), cpus: 2 })
+            .on_dhcp(&DhcpRequest {
+                mac: "ff:ff:ff:ff:ff:ff".to_string(),
+                cpus: 2,
+            })
             .unwrap();
         assert!(none.is_none());
     }
@@ -115,7 +132,12 @@ mod tests {
     fn nas_appliance_names() {
         let mut db = db();
         let mut session = InsertEthers::start(&mut db, Appliance::Nas, 2);
-        let name = session.on_dhcp(&DhcpRequest { mac: "11:22".to_string(), cpus: 4 }).unwrap();
+        let name = session
+            .on_dhcp(&DhcpRequest {
+                mac: "11:22".to_string(),
+                cpus: 4,
+            })
+            .unwrap();
         assert_eq!(name.as_deref(), Some("nas-2-0"));
     }
 
@@ -125,7 +147,12 @@ mod tests {
         let mut db = db();
         let mut session = InsertEthers::start(&mut db, Appliance::Compute, 0);
         for i in 0..5 {
-            session.on_dhcp(&DhcpRequest { mac: format!("littlefe-node-{i}"), cpus: 2 }).unwrap();
+            session
+                .on_dhcp(&DhcpRequest {
+                    mac: format!("littlefe-node-{i}"),
+                    cpus: 2,
+                })
+                .unwrap();
         }
         drop(session);
         assert_eq!(db.hosts_of(Appliance::Compute).len(), 5);

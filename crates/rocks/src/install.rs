@@ -13,12 +13,16 @@ use crate::insert_ethers::{DhcpRequest, InsertEthers};
 use crate::kickstart::{self, KickstartError};
 use crate::roll::Roll;
 use std::collections::BTreeMap;
-use xcbc_cluster::{ClusterSpec, NodeRole, Timeline};
+use xcbc_cluster::{timeline_from_recorder, ClusterSpec, NodeRole, Timeline};
 use xcbc_fault::{
-    retry_with, FaultInjector, FaultKind, InjectionPoint, InstallCheckpoint, NodeStage,
-    PostMortem, RetryPolicy,
+    retry_with, FaultInjector, FaultKind, InjectionPoint, InstallCheckpoint, NodeStage, PostMortem,
+    RetryPolicy,
 };
 use xcbc_rpm::{Package, RpmDb, TransactionError, TransactionSet};
+use xcbc_sim::{SimTime, SpanRecorder, TraceEvent};
+
+/// `source` tag carried by every trace event this module records.
+pub const TRACE_SOURCE: &str = "rocks.install";
 
 /// How far the install had gotten when an error aborted it. Attached to
 /// every [`InstallError`] so callers can tell committed nodes from
@@ -37,7 +41,11 @@ pub struct InstallProgress {
 impl InstallProgress {
     fn from_checkpoint(checkpoint: &InstallCheckpoint, aborted_on: Option<&str>) -> Self {
         InstallProgress {
-            completed: checkpoint.committed_nodes().iter().map(|s| s.to_string()).collect(),
+            completed: checkpoint
+                .committed_nodes()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             aborted_on: aborted_on.map(str::to_string),
             checkpoint: checkpoint.clone(),
         }
@@ -54,7 +62,10 @@ pub enum InstallErrorKind {
     /// The graph references a package no selected roll carries.
     MissingPackage { node: String, package: String },
     /// The package transaction failed on a node.
-    Transaction { node: String, error: TransactionError },
+    Transaction {
+        node: String,
+        error: TransactionError,
+    },
     /// A `power.loss` fault cut the install short; the progress
     /// checkpoint says what survives for a resumed run.
     PowerLoss,
@@ -71,7 +82,10 @@ pub struct InstallError {
 
 impl InstallError {
     pub fn new(kind: InstallErrorKind) -> Self {
-        InstallError { kind, progress: Box::default() }
+        InstallError {
+            kind,
+            progress: Box::default(),
+        }
     }
 
     fn with_progress(mut self, progress: InstallProgress) -> Self {
@@ -88,13 +102,16 @@ impl InstallError {
 impl std::fmt::Display for InstallError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match &self.kind {
-            InstallErrorKind::NotInstallable(reasons) => {
-                write!(f, "cluster is not Rocks-installable: {}", reasons.join("; "))?
-            }
+            InstallErrorKind::NotInstallable(reasons) => write!(
+                f,
+                "cluster is not Rocks-installable: {}",
+                reasons.join("; ")
+            )?,
             InstallErrorKind::Kickstart(e) => write!(f, "{e}")?,
-            InstallErrorKind::MissingPackage { node, package } => {
-                write!(f, "{node}: package {package} not found in any selected roll")?
-            }
+            InstallErrorKind::MissingPackage { node, package } => write!(
+                f,
+                "{node}: package {package} not found in any selected roll"
+            )?,
             InstallErrorKind::Transaction { node, error } => write!(f, "{node}: {error}")?,
             InstallErrorKind::PowerLoss => write!(f, "power lost mid-install")?,
         }
@@ -124,8 +141,13 @@ pub struct InstallReport {
     pub rocks_db: RocksDb,
     /// Per-host installed-package databases.
     pub node_dbs: BTreeMap<String, RpmDb>,
-    /// Wall-clock timeline of the whole build.
+    /// Wall-clock timeline of the whole build (a view over [`trace`]).
+    ///
+    /// [`trace`]: InstallReport::trace
     pub timeline: Timeline,
+    /// Every span the install recorded, tagged [`TRACE_SOURCE`] on the
+    /// shared simulation timebase; the `timeline` is derived from it.
+    pub trace: Vec<TraceEvent>,
     /// Names of the rolls that were installed.
     pub rolls_installed: Vec<String>,
 }
@@ -200,15 +222,21 @@ impl ResilientReport {
 /// the kind list (for hardware-failure mapping).
 fn quarantine_node(
     node: &str,
+    at: SimTime,
     kind: FaultKind,
     point: InjectionPoint,
     checkpoint: &mut InstallCheckpoint,
     pm: &mut PostMortem,
     kinds: &mut Vec<(String, FaultKind)>,
 ) {
-    let reason = format!("{} at {}: retry budget exhausted", kind.as_str(), point.as_str());
+    let reason = format!(
+        "{} at {}: retry budget exhausted",
+        kind.as_str(),
+        point.as_str()
+    );
     checkpoint.quarantine(node, &reason);
     pm.record_quarantine(node, &reason);
+    pm.record_moment(at, format!("quarantined {node} ({reason})"));
     kinds.push((node.to_string(), kind));
 }
 
@@ -238,10 +266,17 @@ impl ClusterInstall {
         let mut graph = KickstartGraph::standard();
         for roll in &rolls {
             graph
-                .merge_roll_nodes(&roll.graph_nodes, &[Appliance::Frontend, Appliance::Compute])
+                .merge_roll_nodes(
+                    &roll.graph_nodes,
+                    &[Appliance::Frontend, Appliance::Compute],
+                )
                 .expect("standard graph has both roots");
         }
-        ClusterInstall { cluster, rolls, graph }
+        ClusterInstall {
+            cluster,
+            rolls,
+            graph,
+        }
     }
 
     pub fn graph(&self) -> &KickstartGraph {
@@ -266,7 +301,7 @@ impl ClusterInstall {
             return Err(InstallError::new(InstallErrorKind::NotInstallable(reasons)));
         }
         let catalog = self.roll_packages();
-        let mut timeline = Timeline::new();
+        let mut rec = SpanRecorder::new(TRACE_SOURCE);
         let mut node_dbs: BTreeMap<String, RpmDb> = BTreeMap::new();
         let mut checkpoint = InstallCheckpoint::new();
 
@@ -278,18 +313,25 @@ impl ClusterInstall {
                 let p = InstallProgress::from_checkpoint(&checkpoint, Some(&fe.hostname));
                 e.with_progress(p)
             })?;
-        let fe_db =
-            self.install_packages(&fe.hostname, &fe_ks.packages, &catalog).map_err(|e| {
+        let fe_db = self
+            .install_packages(&fe.hostname, &fe_ks.packages, &catalog)
+            .map_err(|e| {
                 let p = InstallProgress::from_checkpoint(&checkpoint, Some(&fe.hostname));
                 e.with_progress(p)
             })?;
         let fe_payload: u64 = fe_db.installed_size_bytes();
-        timeline.push("frontend: installer screens & roll selection", FRONTEND_SCREENS_S);
-        timeline.push(
+        rec.record(
+            "frontend: installer screens & roll selection",
+            FRONTEND_SCREENS_S,
+        );
+        rec.record(
             "frontend: package installation",
             fe_payload as f64 / (INSTALL_MBPS * 1024.0 * 1024.0),
         );
-        timeline.push("frontend: post-install (db, dhcpd, central tree)", FRONTEND_POST_S);
+        rec.record(
+            "frontend: post-install (db, dhcpd, central tree)",
+            FRONTEND_POST_S,
+        );
         node_dbs.insert(fe.hostname.clone(), fe_db);
         checkpoint.mark_frontend_committed();
         checkpoint.record(&fe.hostname, NodeStage::PackagesCommitted);
@@ -301,16 +343,28 @@ impl ClusterInstall {
             .expect("fresh database");
         {
             let mut session = InsertEthers::start(&mut rocks_db, Appliance::Compute, 0);
-            for n in self.cluster.nodes.iter().filter(|n| n.role == NodeRole::Compute) {
+            for n in self
+                .cluster
+                .nodes
+                .iter()
+                .filter(|n| n.role == NodeRole::Compute)
+            {
                 session
-                    .on_dhcp(&DhcpRequest { mac: synth_mac(&n.hostname), cpus: n.cores() })
+                    .on_dhcp(&DhcpRequest {
+                        mac: synth_mac(&n.hostname),
+                        cpus: n.cores(),
+                    })
                     .expect("unique synthetic MACs");
                 checkpoint.record(&n.hostname, NodeStage::Discovered);
             }
         }
 
-        let computes: Vec<_> =
-            self.cluster.nodes.iter().filter(|n| n.role == NodeRole::Compute).collect();
+        let computes: Vec<_> = self
+            .cluster
+            .nodes
+            .iter()
+            .filter(|n| n.role == NodeRole::Compute)
+            .collect();
         let mut first = true;
         for n in &computes {
             let ks = kickstart::generate(&self.graph, n, Appliance::Compute)
@@ -320,19 +374,21 @@ impl ClusterInstall {
                     e.with_progress(p)
                 })?;
             checkpoint.record(&n.hostname, NodeStage::Kickstarted);
-            let db = self.install_packages(&n.hostname, &ks.packages, &catalog).map_err(|e| {
-                let p = InstallProgress::from_checkpoint(&checkpoint, Some(&n.hostname));
-                e.with_progress(p)
-            })?;
-            let secs = NODE_PXE_S
-                + db.installed_size_bytes() as f64 / (INSTALL_MBPS * 1024.0 * 1024.0);
+            let db = self
+                .install_packages(&n.hostname, &ks.packages, &catalog)
+                .map_err(|e| {
+                    let p = InstallProgress::from_checkpoint(&checkpoint, Some(&n.hostname));
+                    e.with_progress(p)
+                })?;
+            let secs =
+                NODE_PXE_S + db.installed_size_bytes() as f64 / (INSTALL_MBPS * 1024.0 * 1024.0);
             let label = format!("{}: pxe + kickstart install", n.hostname);
             if first {
-                timeline.push(label, secs);
+                rec.record(label, secs);
                 first = false;
             } else {
                 // computes install concurrently from the frontend tree
-                timeline.push_parallel(label, secs);
+                rec.record_parallel(label, secs);
             }
             node_dbs.insert(n.hostname.clone(), db);
             checkpoint.record(&n.hostname, NodeStage::PackagesCommitted);
@@ -341,7 +397,8 @@ impl ClusterInstall {
         Ok(InstallReport {
             rocks_db,
             node_dbs,
-            timeline,
+            timeline: timeline_from_recorder(&rec),
+            trace: rec.into_events(),
             rolls_installed: self.rolls.iter().map(|r| r.name.clone()).collect(),
         })
     }
@@ -374,7 +431,10 @@ impl ClusterInstall {
         let tx = self.build_transaction(node, names, catalog)?;
         let mut db = RpmDb::new();
         tx.run(&mut db).map_err(|error| {
-            InstallError::new(InstallErrorKind::Transaction { node: node.to_string(), error })
+            InstallError::new(InstallErrorKind::Transaction {
+                node: node.to_string(),
+                error,
+            })
         })?;
         Ok(db)
     }
@@ -406,7 +466,7 @@ impl ClusterInstall {
             return Err(InstallError::new(InstallErrorKind::NotInstallable(reasons)));
         }
         let catalog = self.roll_packages();
-        let mut timeline = Timeline::new();
+        let mut rec = SpanRecorder::new(TRACE_SOURCE);
         let mut node_dbs: BTreeMap<String, RpmDb> = BTreeMap::new();
         let mut checkpoint = resume_from;
         let mut pm = PostMortem::new(Some(injector.plan().seed));
@@ -415,6 +475,10 @@ impl ClusterInstall {
         // Nodes quarantined by a previous (aborted) run stay quarantined.
         for (node, reason) in checkpoint.quarantined() {
             pm.record_quarantine(node, reason);
+            pm.record_moment(
+                SimTime::ZERO,
+                format!("carried quarantine of {node} from previous run"),
+            );
             quarantined.push((node.to_string(), quarantine_kind(reason)));
         }
 
@@ -432,6 +496,10 @@ impl ClusterInstall {
             let fe_db = self.install_packages(&fe.hostname, &fe_ks.packages, &catalog)?;
             node_dbs.insert(fe.hostname.clone(), fe_db);
             pm.record_resumed(&fe.hostname);
+            pm.record_moment(
+                rec.cursor(),
+                format!("resumed {} from checkpoint", fe.hostname),
+            );
         } else {
             let fe_db = match self.install_packages_resilient(
                 &fe.hostname,
@@ -439,7 +507,7 @@ impl ClusterInstall {
                 &catalog,
                 injector,
                 &config.transaction_retry,
-                &mut timeline,
+                &mut rec,
                 &mut pm,
             )? {
                 Ok(db) => db,
@@ -455,16 +523,25 @@ impl ClusterInstall {
                 }
             };
             let fe_payload: u64 = fe_db.installed_size_bytes();
-            timeline.push("frontend: installer screens & roll selection", FRONTEND_SCREENS_S);
-            timeline.push(
+            rec.record(
+                "frontend: installer screens & roll selection",
+                FRONTEND_SCREENS_S,
+            );
+            rec.record(
                 "frontend: package installation",
                 fe_payload as f64 / (INSTALL_MBPS * 1024.0 * 1024.0),
             );
-            timeline.push("frontend: post-install (db, dhcpd, central tree)", FRONTEND_POST_S);
+            rec.record(
+                "frontend: post-install (db, dhcpd, central tree)",
+                FRONTEND_POST_S,
+            );
             node_dbs.insert(fe.hostname.clone(), fe_db);
             checkpoint.mark_frontend_committed();
             checkpoint.record(&fe.hostname, NodeStage::PackagesCommitted);
-            if injector.should_fault(InjectionPoint::PowerLoss, &fe.hostname).is_some() {
+            if injector
+                .should_fault(InjectionPoint::PowerLoss, &fe.hostname)
+                .is_some()
+            {
                 let p = InstallProgress::from_checkpoint(&checkpoint, Some(&fe.hostname));
                 return Err(InstallError::new(InstallErrorKind::PowerLoss).with_progress(p));
             }
@@ -475,8 +552,12 @@ impl ClusterInstall {
         rocks_db
             .add_frontend(&synth_mac(&fe.hostname), fe.cores())
             .expect("fresh database");
-        let computes: Vec<_> =
-            self.cluster.nodes.iter().filter(|n| n.role == NodeRole::Compute).collect();
+        let computes: Vec<_> = self
+            .cluster
+            .nodes
+            .iter()
+            .filter(|n| n.role == NodeRole::Compute)
+            .collect();
         let mut dhcp_timeout_s = 0.0;
         let mut dhcp_backoff_s = 0.0;
         {
@@ -489,7 +570,10 @@ impl ClusterInstall {
                     // Resume: the frontend database already knows this
                     // node; re-register it without injection or cost.
                     session
-                        .on_dhcp(&DhcpRequest { mac: synth_mac(&n.hostname), cpus: n.cores() })
+                        .on_dhcp(&DhcpRequest {
+                            mac: synth_mac(&n.hostname),
+                            cpus: n.cores(),
+                        })
                         .expect("unique synthetic MACs");
                     continue;
                 }
@@ -502,9 +586,22 @@ impl ClusterInstall {
                 });
                 pm.charge_retries(outcome.retries(), outcome.backoff_s);
                 dhcp_backoff_s += outcome.backoff_s;
-                let failures =
-                    if outcome.succeeded() { outcome.retries() } else { outcome.attempts };
+                let failures = if outcome.succeeded() {
+                    outcome.retries()
+                } else {
+                    outcome.attempts
+                };
                 dhcp_timeout_s += failures as f64 * DHCP_TIMEOUT_S;
+                if outcome.succeeded() && outcome.retries() > 0 {
+                    pm.record_moment(
+                        rec.cursor(),
+                        format!(
+                            "{}: dhcp.discover absorbed {} retry(ies)",
+                            n.hostname,
+                            outcome.retries()
+                        ),
+                    );
+                }
                 match outcome.result {
                     Ok(()) => {
                         session
@@ -517,6 +614,7 @@ impl ClusterInstall {
                     }
                     Err(kind) => quarantine_node(
                         &n.hostname,
+                        rec.cursor(),
                         kind,
                         InjectionPoint::DhcpDiscover,
                         &mut checkpoint,
@@ -527,9 +625,9 @@ impl ClusterInstall {
             }
         }
         if dhcp_timeout_s > 0.0 {
-            timeline.push("insert-ethers: dhcp timeouts", dhcp_timeout_s);
+            rec.record("insert-ethers: dhcp timeouts", dhcp_timeout_s);
         }
-        timeline.push_backoff("insert-ethers retries", dhcp_backoff_s);
+        rec.record_backoff("insert-ethers retries", dhcp_backoff_s);
 
         // --- per-node provisioning (boot, kickstart, packages) ---
         let mut first = true;
@@ -545,6 +643,10 @@ impl ClusterInstall {
                 let db = self.install_packages(&n.hostname, &ks.packages, &catalog)?;
                 node_dbs.insert(n.hostname.clone(), db);
                 pm.record_resumed(&n.hostname);
+                pm.record_moment(
+                    rec.cursor(),
+                    format!("resumed {} from checkpoint", n.hostname),
+                );
                 continue;
             }
 
@@ -557,17 +659,32 @@ impl ClusterInstall {
                 }
             });
             pm.charge_retries(boot.retries(), boot.backoff_s);
-            let hangs = if boot.succeeded() { boot.retries() } else { boot.attempts };
+            let hangs = if boot.succeeded() {
+                boot.retries()
+            } else {
+                boot.attempts
+            };
             if hangs > 0 {
-                timeline.push(
+                rec.record(
                     format!("{}: hung boots", n.hostname),
                     hangs as f64 * BOOT_HANG_S,
                 );
             }
-            timeline.push_backoff(format!("{}: boot retries", n.hostname), boot.backoff_s);
+            rec.record_backoff(format!("{}: boot retries", n.hostname), boot.backoff_s);
+            if boot.succeeded() && boot.retries() > 0 {
+                pm.record_moment(
+                    rec.cursor(),
+                    format!(
+                        "{}: node.boot absorbed {} retry(ies)",
+                        n.hostname,
+                        boot.retries()
+                    ),
+                );
+            }
             if let Err(kind) = boot.result {
                 quarantine_node(
                     &n.hostname,
+                    rec.cursor(),
                     kind,
                     InjectionPoint::NodeBoot,
                     &mut checkpoint,
@@ -593,10 +710,21 @@ impl ClusterInstall {
                 }
             });
             pm.charge_retries(gen.retries(), gen.backoff_s);
-            timeline.push_backoff(format!("{}: kickstart retries", n.hostname), gen.backoff_s);
+            rec.record_backoff(format!("{}: kickstart retries", n.hostname), gen.backoff_s);
+            if gen.succeeded() && gen.retries() > 0 {
+                pm.record_moment(
+                    rec.cursor(),
+                    format!(
+                        "{}: kickstart.generate absorbed {} retry(ies)",
+                        n.hostname,
+                        gen.retries()
+                    ),
+                );
+            }
             if let Err(kind) = gen.result {
                 quarantine_node(
                     &n.hostname,
+                    rec.cursor(),
                     kind,
                     InjectionPoint::KickstartGenerate,
                     &mut checkpoint,
@@ -614,13 +742,14 @@ impl ClusterInstall {
                 &catalog,
                 injector,
                 &config.transaction_retry,
-                &mut timeline,
+                &mut rec,
                 &mut pm,
             )? {
                 Ok(db) => db,
                 Err(TransactionError::ScriptletFailed { .. }) => {
                     quarantine_node(
                         &n.hostname,
+                        rec.cursor(),
                         FaultKind::ScriptletError,
                         InjectionPoint::RpmScriptlet,
                         &mut checkpoint,
@@ -638,18 +767,21 @@ impl ClusterInstall {
                     .with_progress(p));
                 }
             };
-            let secs = NODE_PXE_S
-                + db.installed_size_bytes() as f64 / (INSTALL_MBPS * 1024.0 * 1024.0);
+            let secs =
+                NODE_PXE_S + db.installed_size_bytes() as f64 / (INSTALL_MBPS * 1024.0 * 1024.0);
             let label = format!("{}: pxe + kickstart install", n.hostname);
             if first {
-                timeline.push(label, secs);
+                rec.record(label, secs);
                 first = false;
             } else {
-                timeline.push_parallel(label, secs);
+                rec.record_parallel(label, secs);
             }
             node_dbs.insert(n.hostname.clone(), db);
             checkpoint.record(&n.hostname, NodeStage::PackagesCommitted);
-            if injector.should_fault(InjectionPoint::PowerLoss, &n.hostname).is_some() {
+            if injector
+                .should_fault(InjectionPoint::PowerLoss, &n.hostname)
+                .is_some()
+            {
                 let p = InstallProgress::from_checkpoint(&checkpoint, Some(&n.hostname));
                 return Err(InstallError::new(InstallErrorKind::PowerLoss).with_progress(p));
             }
@@ -660,7 +792,8 @@ impl ClusterInstall {
             report: InstallReport {
                 rocks_db,
                 node_dbs,
-                timeline,
+                timeline: timeline_from_recorder(&rec),
+                trace: rec.into_events(),
                 rolls_installed: self.rolls.iter().map(|r| r.name.clone()).collect(),
             },
             checkpoint,
@@ -683,7 +816,7 @@ impl ClusterInstall {
         catalog: &BTreeMap<&str, &Package>,
         injector: &mut FaultInjector,
         policy: &RetryPolicy,
-        timeline: &mut Timeline,
+        rec: &mut SpanRecorder,
         pm: &mut PostMortem,
     ) -> Result<Result<RpmDb, TransactionError>, InstallError> {
         let tx = self.build_transaction(node, names, catalog)?;
@@ -693,7 +826,19 @@ impl ClusterInstall {
             tx.run_injected(&mut db, injector).map(|_| db)
         });
         pm.charge_retries(outcome.retries(), outcome.backoff_s);
-        timeline.push_backoff(format!("{node}: rpm transaction retries"), outcome.backoff_s);
+        rec.record_backoff(
+            format!("{node}: rpm transaction retries"),
+            outcome.backoff_s,
+        );
+        if outcome.succeeded() && outcome.retries() > 0 {
+            pm.record_moment(
+                rec.cursor(),
+                format!(
+                    "{node}: rpm.scriptlet absorbed {} retry(ies)",
+                    outcome.retries()
+                ),
+            );
+        }
         Ok(outcome.result)
     }
 }
@@ -723,7 +868,10 @@ mod tests {
     use xcbc_cluster::specs::{limulus_hpc200, littlefe_modified};
 
     fn required_rolls() -> Vec<Roll> {
-        standard_rolls().into_iter().filter(|r| r.required).collect()
+        standard_rolls()
+            .into_iter()
+            .filter(|r| r.required)
+            .collect()
     }
 
     #[test]
@@ -750,13 +898,74 @@ mod tests {
         let phases = report.timeline.phases();
         assert!(phases[0].label.contains("frontend"));
         // the five compute installs share a start time
-        let compute_phases: Vec<_> =
-            phases.iter().filter(|p| p.label.contains("compute-0-")).collect();
+        let compute_phases: Vec<_> = phases
+            .iter()
+            .filter(|p| p.label.contains("compute-0-"))
+            .collect();
         assert_eq!(compute_phases.len(), 5);
-        let starts: Vec<_> = compute_phases.iter().map(|p| p.start_s).collect();
-        assert!(starts.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9), "parallel: {starts:?}");
+        let starts: Vec<_> = compute_phases.iter().map(|p| p.start_s()).collect();
+        assert!(
+            starts.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9),
+            "parallel: {starts:?}"
+        );
         // total time is dominated by frontend + one compute wave
-        assert!(report.timeline.total_seconds() < 3.0 * 3600.0, "a LittleFe builds in an afternoon");
+        assert!(
+            report.timeline.total_seconds() < 3.0 * 3600.0,
+            "a LittleFe builds in an afternoon"
+        );
+    }
+
+    #[test]
+    fn install_trace_mirrors_timeline() {
+        let install = ClusterInstall::new(littlefe_modified(), standard_rolls());
+        let report = install.run().unwrap();
+        assert!(!report.trace.is_empty());
+        assert!(report.trace.iter().all(|e| e.source == TRACE_SOURCE));
+        let rebuilt = Timeline::from_spans(&report.trace);
+        assert_eq!(
+            rebuilt, report.timeline,
+            "timeline must be a pure view over the trace"
+        );
+    }
+
+    #[test]
+    fn resilient_moments_carry_real_timestamps() {
+        use xcbc_fault::{FaultPlan, FaultWindow, InjectionPoint};
+        let plan = FaultPlan::new(3).fail(
+            InjectionPoint::NodeBoot,
+            Some("compute-0-3"),
+            FaultWindow::Always,
+        );
+        let mut inj = plan.injector();
+        let install = ClusterInstall::new(littlefe_modified(), standard_rolls());
+        let res = install
+            .run_resilient(
+                &mut inj,
+                &ResilienceConfig::default(),
+                InstallCheckpoint::new(),
+            )
+            .unwrap();
+        // the quarantine moment is stamped after the frontend install and
+        // the hung boots it sat through, not at t = 0
+        let (t, what) = res
+            .post_mortem
+            .moments
+            .iter()
+            .find(|(_, what)| what.contains("quarantined compute-0-3"))
+            .expect("quarantine recorded as a moment");
+        assert!(
+            *t > SimTime::ZERO,
+            "moment at {t} should be after frontend install"
+        );
+        assert!(what.contains("hang at node.boot"));
+        assert!(res.post_mortem.render().contains("moments:"));
+        // the resilient trace carries the extra fault-cost spans too
+        assert!(res
+            .report
+            .trace
+            .iter()
+            .any(|e| e.label.contains("hung boots")));
+        assert_eq!(Timeline::from_spans(&res.report.trace), res.report.timeline);
     }
 
     #[test]
@@ -773,8 +982,10 @@ mod tests {
     #[test]
     fn missing_roll_package_is_reported() {
         // graph wants bash & friends, but we only supply the base roll
-        let only_base: Vec<Roll> =
-            standard_rolls().into_iter().filter(|r| r.name == "base").collect();
+        let only_base: Vec<Roll> = standard_rolls()
+            .into_iter()
+            .filter(|r| r.name == "base")
+            .collect();
         let install = ClusterInstall::new(littlefe_modified(), only_base);
         match install.run().map_err(|e| e.kind) {
             Err(InstallErrorKind::MissingPackage { package, .. }) => {
@@ -791,7 +1002,11 @@ mod tests {
         let plain = install.run().unwrap();
         let mut inj = FaultPlan::new(1).injector();
         let res = install
-            .run_resilient(&mut inj, &ResilienceConfig::default(), InstallCheckpoint::new())
+            .run_resilient(
+                &mut inj,
+                &ResilienceConfig::default(),
+                InstallCheckpoint::new(),
+            )
             .unwrap();
         assert!(res.fully_provisioned());
         assert!(res.post_mortem.is_clean());
@@ -815,11 +1030,21 @@ mod tests {
         let mut inj = plan.injector();
         let install = ClusterInstall::new(littlefe_modified(), standard_rolls());
         let res = install
-            .run_resilient(&mut inj, &ResilienceConfig::default(), InstallCheckpoint::new())
+            .run_resilient(
+                &mut inj,
+                &ResilienceConfig::default(),
+                InstallCheckpoint::new(),
+            )
             .unwrap();
-        assert!(res.fully_provisioned(), "single transient faults must not quarantine");
+        assert!(
+            res.fully_provisioned(),
+            "single transient faults must not quarantine"
+        );
         assert_eq!(res.report.node_dbs.len(), 6);
-        assert!(res.post_mortem.retries_spent >= 10, "5 dhcp + 5 boot retries");
+        assert!(
+            res.post_mortem.retries_spent >= 10,
+            "5 dhcp + 5 boot retries"
+        );
         assert!(res.post_mortem.backoff_s > 0.0);
         assert!(res.report.timeline.backoff_seconds() > 0.0);
         // faults cost real install time too (timeouts + hung boots)
@@ -838,7 +1063,11 @@ mod tests {
         let mut inj = plan.injector();
         let install = ClusterInstall::new(littlefe_modified(), standard_rolls());
         let res = install
-            .run_resilient(&mut inj, &ResilienceConfig::default(), InstallCheckpoint::new())
+            .run_resilient(
+                &mut inj,
+                &ResilienceConfig::default(),
+                InstallCheckpoint::new(),
+            )
             .unwrap();
         assert_eq!(res.quarantined.len(), 1);
         assert_eq!(res.quarantined[0].0, "compute-0-3");
@@ -866,9 +1095,16 @@ mod tests {
         let mut inj = plan.injector();
         let install = ClusterInstall::new(littlefe_modified(), standard_rolls());
         let res = install
-            .run_resilient(&mut inj, &ResilienceConfig::default(), InstallCheckpoint::new())
+            .run_resilient(
+                &mut inj,
+                &ResilienceConfig::default(),
+                InstallCheckpoint::new(),
+            )
             .unwrap();
-        assert!(res.fully_provisioned(), "2 scriptlet faults fit in the 3-attempt budget");
+        assert!(
+            res.fully_provisioned(),
+            "2 scriptlet faults fit in the 3-attempt budget"
+        );
         assert!(res.post_mortem.retries_spent >= 2);
         assert_eq!(res.report.node_dbs.len(), 6);
     }
@@ -887,7 +1123,11 @@ mod tests {
         );
         let mut inj = plan.injector();
         let err = install
-            .run_resilient(&mut inj, &ResilienceConfig::default(), InstallCheckpoint::new())
+            .run_resilient(
+                &mut inj,
+                &ResilienceConfig::default(),
+                InstallCheckpoint::new(),
+            )
             .unwrap_err();
         assert!(matches!(err.kind, InstallErrorKind::PowerLoss));
         assert_eq!(err.progress.aborted_on.as_deref(), Some("compute-0-1"));
@@ -910,14 +1150,20 @@ mod tests {
             .unwrap();
         assert!(resumed.fully_provisioned());
         assert!(
-            resumed.post_mortem.resumed_nodes.contains(&"compute-0-1".to_string()),
+            resumed
+                .post_mortem
+                .resumed_nodes
+                .contains(&"compute-0-1".to_string()),
             "committed node must be resumed, not reinstalled: {:?}",
             resumed.post_mortem.resumed_nodes
         );
         // Final package sets equal the fault-free install, everywhere.
         assert_eq!(resumed.report.node_dbs.len(), fault_free.node_dbs.len());
         for (host, db) in &fault_free.node_dbs {
-            assert_eq!(&resumed.report.node_dbs[host], db, "{host} diverged from fault-free");
+            assert_eq!(
+                &resumed.report.node_dbs[host], db,
+                "{host} diverged from fault-free"
+            );
         }
         // Resumed nodes are not re-timed: no pxe+install phase for them.
         let resumed_labels: Vec<_> = resumed
@@ -943,7 +1189,11 @@ mod tests {
             let mut inj = plan.injector();
             let install = ClusterInstall::new(littlefe_modified(), standard_rolls());
             install
-                .run_resilient(&mut inj, &ResilienceConfig::default(), InstallCheckpoint::new())
+                .run_resilient(
+                    &mut inj,
+                    &ResilienceConfig::default(),
+                    InstallCheckpoint::new(),
+                )
                 .map(|r| (r.post_mortem.render(), r.checkpoint.to_text()))
                 .map_err(|e| e.to_string())
         };
@@ -962,10 +1212,12 @@ mod tests {
 
     #[test]
     fn optional_rolls_add_packages() {
-        let base_report =
-            ClusterInstall::new(littlefe_modified(), required_rolls()).run().unwrap();
-        let full_report =
-            ClusterInstall::new(littlefe_modified(), standard_rolls()).run().unwrap();
+        let base_report = ClusterInstall::new(littlefe_modified(), required_rolls())
+            .run()
+            .unwrap();
+        let full_report = ClusterInstall::new(littlefe_modified(), standard_rolls())
+            .run()
+            .unwrap();
         // with the full roll set the graph is the same but the catalog is
         // bigger; packages only land if the graph references them, so
         // counts are equal here — the XSEDE roll in xcbc-core adds graph

@@ -36,7 +36,11 @@ pub enum KickstartError {
     /// Rocks cannot install a diskless node.
     DisklessUnsupported { hostname: String },
     /// The node's disk cannot hold the payload plus the standard layout.
-    InsufficientDisk { hostname: String, need_gb: f64, have_gb: u32 },
+    InsufficientDisk {
+        hostname: String,
+        need_gb: f64,
+        have_gb: u32,
+    },
     /// Graph traversal failed.
     Graph(GraphError),
 }
@@ -48,7 +52,11 @@ impl std::fmt::Display for KickstartError {
                 f,
                 "{hostname}: Rocks does not support diskless installation"
             ),
-            KickstartError::InsufficientDisk { hostname, need_gb, have_gb } => write!(
+            KickstartError::InsufficientDisk {
+                hostname,
+                need_gb,
+                have_gb,
+            } => write!(
                 f,
                 "{hostname}: needs {need_gb:.1} GB but only {have_gb} GB of disk present"
             ),
@@ -73,14 +81,38 @@ const EST_PACKAGE_BYTES: u64 = 25 << 20;
 /// (frontend) or /state/partition1 (compute).
 fn standard_partitions(appliance: Appliance) -> Vec<Partition> {
     let mut parts = vec![
-        Partition { mount: "/boot".into(), size_mb: 500, grow: false },
-        Partition { mount: "swap".into(), size_mb: 1024, grow: false },
-        Partition { mount: "/".into(), size_mb: 16 << 10, grow: false },
-        Partition { mount: "/var".into(), size_mb: 4 << 10, grow: false },
+        Partition {
+            mount: "/boot".into(),
+            size_mb: 500,
+            grow: false,
+        },
+        Partition {
+            mount: "swap".into(),
+            size_mb: 1024,
+            grow: false,
+        },
+        Partition {
+            mount: "/".into(),
+            size_mb: 16 << 10,
+            grow: false,
+        },
+        Partition {
+            mount: "/var".into(),
+            size_mb: 4 << 10,
+            grow: false,
+        },
     ];
     parts.push(match appliance {
-        Appliance::Frontend => Partition { mount: "/export".into(), size_mb: 0, grow: true },
-        _ => Partition { mount: "/state/partition1".into(), size_mb: 0, grow: true },
+        Appliance::Frontend => Partition {
+            mount: "/export".into(),
+            size_mb: 0,
+            grow: true,
+        },
+        _ => Partition {
+            mount: "/state/partition1".into(),
+            size_mb: 0,
+            grow: true,
+        },
     });
     parts
 }
@@ -92,7 +124,9 @@ pub fn generate(
     appliance: Appliance,
 ) -> Result<KickstartProfile, KickstartError> {
     if node.is_diskless() {
-        return Err(KickstartError::DisklessUnsupported { hostname: node.hostname.clone() });
+        return Err(KickstartError::DisklessUnsupported {
+            hostname: node.hostname.clone(),
+        });
     }
     let packages = graph.packages_for(appliance)?;
     let post_scripts = graph.post_scripts_for(appliance)?;
@@ -123,7 +157,11 @@ pub fn generate(
 impl KickstartProfile {
     /// Render in kickstart syntax (abridged).
     pub fn render(&self) -> String {
-        let mut out = format!("# kickstart for {} ({})\n", self.hostname, self.appliance.label());
+        let mut out = format!(
+            "# kickstart for {} ({})\n",
+            self.hostname,
+            self.appliance.label()
+        );
         out.push_str("install\ntext\nreboot\n\n# partitioning\nclearpart --all\n");
         for p in &self.partitions {
             if p.grow {
@@ -155,7 +193,11 @@ mod tests {
         let g = KickstartGraph::standard();
         let c = littlefe_modified();
         for (i, n) in c.nodes.iter().enumerate() {
-            let appliance = if i == 0 { Appliance::Frontend } else { Appliance::Compute };
+            let appliance = if i == 0 {
+                Appliance::Frontend
+            } else {
+                Appliance::Compute
+            };
             let ks = generate(&g, n, appliance).unwrap();
             assert!(!ks.packages.is_empty());
             assert_eq!(ks.partitions.len(), 5);
@@ -187,7 +229,10 @@ mod tests {
         let fe = generate(&g, c.frontend().unwrap(), Appliance::Frontend).unwrap();
         assert!(fe.partitions.iter().any(|p| p.mount == "/export" && p.grow));
         let co = generate(&g, c.compute_nodes().next().unwrap(), Appliance::Compute).unwrap();
-        assert!(co.partitions.iter().any(|p| p.mount == "/state/partition1" && p.grow));
+        assert!(co
+            .partitions
+            .iter()
+            .any(|p| p.mount == "/state/partition1" && p.grow));
     }
 
     #[test]

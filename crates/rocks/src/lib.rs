@@ -39,7 +39,7 @@ pub use graph::{Appliance, GraphError, GraphNode, KickstartGraph};
 pub use insert_ethers::{DhcpRequest, InsertEthers};
 pub use install::{
     ClusterInstall, InstallError, InstallErrorKind, InstallProgress, InstallReport,
-    ResilienceConfig, ResilientReport,
+    ResilienceConfig, ResilientReport, TRACE_SOURCE,
 };
 pub use kickstart::{KickstartError, KickstartProfile, Partition};
 pub use netconfig::{generate_etc_hosts, validate_nics, NetworkDef, NetworkTable};

@@ -60,7 +60,10 @@ impl NetworkTable {
 /// host` feeds to every node via 411).
 pub fn generate_etc_hosts(db: &RocksDb, table: &NetworkTable) -> String {
     let mut out = String::from("127.0.0.1\tlocalhost.localdomain localhost\n");
-    out.push_str(&format!("# Rocks private network ({})\n", table.private.subnet));
+    out.push_str(&format!(
+        "# Rocks private network ({})\n",
+        table.private.subnet
+    ));
     for h in db.hosts() {
         out.push_str(&format!("{}\t{}.local {}\n", h.ip, h.name, h.name));
     }
@@ -74,8 +77,9 @@ pub fn validate_nics(
     table: &NetworkTable,
 ) -> Result<(), String> {
     for node in &cluster.nodes {
-        let needed =
-            table.interfaces_for(node.role == xcbc_cluster::NodeRole::Frontend).len();
+        let needed = table
+            .interfaces_for(node.role == xcbc_cluster::NodeRole::Frontend)
+            .len();
         if node.nics.len() < needed {
             return Err(format!(
                 "{} has {} NIC(s) but needs {} for its networks",
@@ -98,7 +102,8 @@ mod tests {
         let mut db = RocksDb::new("littlefe");
         db.add_frontend("ff:ff", 2).unwrap();
         for i in 0..2 {
-            db.add_host(Appliance::Compute, 0, &format!("aa:{i:02x}"), 2).unwrap();
+            db.add_host(Appliance::Compute, 0, &format!("aa:{i:02x}"), 2)
+                .unwrap();
         }
         db
     }

@@ -74,11 +74,7 @@ impl PxeOutcome {
 /// Walk the chain for one node. `payload_bytes` sizes the anaconda
 /// stage (at 20 MB/s, as the install workflow assumes); `fails_at`
 /// injects a failure at one stage.
-pub fn boot_node(
-    hostname: &str,
-    payload_bytes: u64,
-    fails_at: Option<PxeStage>,
-) -> PxeOutcome {
+pub fn boot_node(hostname: &str, payload_bytes: u64, fails_at: Option<PxeStage>) -> PxeOutcome {
     let mut timeline = Timeline::new();
     for stage in PxeStage::ALL {
         let secs = if stage == PxeStage::Anaconda {
@@ -89,20 +85,34 @@ pub fn boot_node(
         if fails_at == Some(stage) {
             // a failed stage burns its timeout (3x nominal, min 30 s)
             timeline.push(
-                format!("{hostname}: {:?} FAILED — {}", stage, stage.failure_symptom()),
+                format!(
+                    "{hostname}: {:?} FAILED — {}",
+                    stage,
+                    stage.failure_symptom()
+                ),
                 (secs * 3.0).max(30.0),
             );
-            return PxeOutcome { hostname: hostname.to_string(), failed_at: Some(stage), timeline };
+            return PxeOutcome {
+                hostname: hostname.to_string(),
+                failed_at: Some(stage),
+                timeline,
+            };
         }
         timeline.push(format!("{hostname}: {stage:?}"), secs);
     }
-    PxeOutcome { hostname: hostname.to_string(), failed_at: None, timeline }
+    PxeOutcome {
+        hostname: hostname.to_string(),
+        failed_at: None,
+        timeline,
+    }
 }
 
 /// Triage helper for the curriculum: from the observed symptom, which
 /// stage failed?
 pub fn diagnose(symptom: &str) -> Option<PxeStage> {
-    PxeStage::ALL.into_iter().find(|s| symptom.contains(s.failure_symptom()))
+    PxeStage::ALL
+        .into_iter()
+        .find(|s| symptom.contains(s.failure_symptom()))
 }
 
 #[cfg(test)]
@@ -115,7 +125,9 @@ mod tests {
         assert!(out.succeeded());
         assert_eq!(out.timeline.len(), 6);
         // anaconda dominates: 500 MB / 20 MBps = 25 s plus fixed stages
-        assert!((out.timeline.total_seconds() - (5.0 + 10.0 + 30.0 + 5.0 + 25.0 + 60.0)).abs() < 1e-9);
+        assert!(
+            (out.timeline.total_seconds() - (5.0 + 10.0 + 30.0 + 5.0 + 25.0 + 60.0)).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -148,8 +160,8 @@ mod tests {
         let ok = boot_node("n", 0, None);
         let failed = boot_node("n", 0, Some(PxeStage::Tftp));
         // failed TFTP costs 30s (3 × 10); success costs 10s at that stage
-        let tftp_ok = ok.timeline.phases()[1].duration_s;
-        let tftp_bad = failed.timeline.phases().last().unwrap().duration_s;
+        let tftp_ok = ok.timeline.phases()[1].duration_s();
+        let tftp_bad = failed.timeline.phases().last().unwrap().duration_s();
         assert_eq!(tftp_ok, 10.0);
         assert_eq!(tftp_bad, 30.0);
     }

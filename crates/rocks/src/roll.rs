@@ -64,82 +64,132 @@ fn pkg(name: &str, version: &str, group: PackageGroup, mb: u64) -> Package {
 pub fn standard_rolls() -> Vec<Roll> {
     use PackageGroup::*;
     vec![
-        Roll::new("base", "6.1.1", true, "Rocks core: command line, insert-ethers, 411")
-            .with_packages(vec![
-                pkg("rocks-base", "6.1.1", Basics, 50),
-                pkg("rocks-command", "6.1.1", Basics, 10),
-                pkg("rocks-411", "6.1.1", Basics, 5),
-            ]),
-        Roll::new("kernel", "6.1.1", true, "Installer kernel and anaconda hooks")
-            .with_packages(vec![pkg("rocks-installer-kernel", "2.6.32", Basics, 120)]),
-        Roll::new("os", "6.1.1", true, "CentOS 6.5 base operating system")
-            .with_packages(vec![
-                pkg("centos-release", "6.5", Basics, 1),
-                pkg("bash", "4.1.2", Basics, 3),
-                pkg("coreutils", "8.4", Basics, 12),
-                pkg("glibc", "2.12", Basics, 25),
-                pkg("openssh-server", "5.3p1", Basics, 2),
-                pkg("rsync", "3.0.6", Basics, 1),
-                pkg("modules", "3.2.10", Basics, 2),
-                pkg("apache-ant", "1.7.1", Basics, 15),
-                pkg("gmake", "3.81", Basics, 2),
-                pkg("scons", "2.0.1", Basics, 3),
-            ]),
-        Roll::new("area51", "6.1.1", false,
-            "Security-related packages for analyzing the integrity of files and the kernel")
-            .with_packages(vec![
-                pkg("tripwire", "2.4.2", Security, 5),
-                pkg("chkrootkit", "0.49", Security, 1),
-            ]),
-        Roll::new("bio", "6.1.1", false, "Bioinformatics utilities")
-            .with_packages(vec![
-                pkg("hmmer-rocks", "3.0", ScientificApplications, 20),
-                pkg("ncbi-blast-rocks", "2.2.22", ScientificApplications, 80),
-            ]),
-        Roll::new("fingerprint", "6.1.1", false, "Fingerprint application dependencies")
-            .with_packages(vec![pkg("fingerprint", "1.0", Other, 3)]),
-        Roll::new("htcondor", "6.1.1", false,
-            "HTCondor high-throughput computing workload management system")
-            .with_packages(vec![pkg("condor", "8.0.6", SchedulerResourceManager, 90)]),
-        Roll::new("ganglia", "6.1.1", false, "Cluster monitoring system")
-            .with_packages(vec![
-                pkg("ganglia-gmond", "3.6.0", Monitoring, 2),
-                pkg("ganglia-gmetad", "3.6.0", Monitoring, 3),
-                pkg("ganglia-web", "3.5.12", Monitoring, 8),
-            ]),
-        Roll::new("hpc", "6.1.1", false, "Tools for running parallel applications")
-            .with_packages(vec![
-                pkg("rocks-openmpi", "1.6.2", CompilersLibraries, 40),
-                pkg("mpich2-rocks", "1.4.1", CompilersLibraries, 35),
-                pkg("benchmarks-hpc", "6.1.1", Other, 15),
-            ]),
-        Roll::new("kvm", "6.1.1", false,
-            "Support for building KVM virtual machines on cluster nodes")
-            .with_packages(vec![pkg("qemu-kvm", "0.12.1.2", Other, 25)]),
-        Roll::new("perl", "6.1.1", false,
-            "Perl RPM, CPAN support utilities, and various CPAN modules")
-            .with_packages(vec![
-                pkg("rocks-perl", "5.10.1", CompilersLibraries, 30),
-                pkg("perl-CPAN", "1.9402", CompilersLibraries, 5),
-            ]),
-        Roll::new("python", "6.1.1", false, "Python 2.7 and Python 3.x")
-            .with_packages(vec![
-                pkg("python27", "2.7.2", CompilersLibraries, 60),
-                pkg("python3", "3.2.3", CompilersLibraries, 65),
-            ]),
-        Roll::new("web-server", "6.1.1", true, "Rocks web server roll (required for the frontend installer tree)")
-            .with_packages(vec![
-                pkg("httpd", "2.2.15", Other, 4),
-                pkg("rocks-webserver", "6.1.1", Other, 6),
-            ]),
-        Roll::new("zfs-linux", "6.1.1", false, "Zetabyte File System (ZFS) drivers for Linux")
-            .with_packages(vec![pkg("zfs", "0.6.2", Other, 30)]),
+        Roll::new(
+            "base",
+            "6.1.1",
+            true,
+            "Rocks core: command line, insert-ethers, 411",
+        )
+        .with_packages(vec![
+            pkg("rocks-base", "6.1.1", Basics, 50),
+            pkg("rocks-command", "6.1.1", Basics, 10),
+            pkg("rocks-411", "6.1.1", Basics, 5),
+        ]),
+        Roll::new(
+            "kernel",
+            "6.1.1",
+            true,
+            "Installer kernel and anaconda hooks",
+        )
+        .with_packages(vec![pkg("rocks-installer-kernel", "2.6.32", Basics, 120)]),
+        Roll::new("os", "6.1.1", true, "CentOS 6.5 base operating system").with_packages(vec![
+            pkg("centos-release", "6.5", Basics, 1),
+            pkg("bash", "4.1.2", Basics, 3),
+            pkg("coreutils", "8.4", Basics, 12),
+            pkg("glibc", "2.12", Basics, 25),
+            pkg("openssh-server", "5.3p1", Basics, 2),
+            pkg("rsync", "3.0.6", Basics, 1),
+            pkg("modules", "3.2.10", Basics, 2),
+            pkg("apache-ant", "1.7.1", Basics, 15),
+            pkg("gmake", "3.81", Basics, 2),
+            pkg("scons", "2.0.1", Basics, 3),
+        ]),
+        Roll::new(
+            "area51",
+            "6.1.1",
+            false,
+            "Security-related packages for analyzing the integrity of files and the kernel",
+        )
+        .with_packages(vec![
+            pkg("tripwire", "2.4.2", Security, 5),
+            pkg("chkrootkit", "0.49", Security, 1),
+        ]),
+        Roll::new("bio", "6.1.1", false, "Bioinformatics utilities").with_packages(vec![
+            pkg("hmmer-rocks", "3.0", ScientificApplications, 20),
+            pkg("ncbi-blast-rocks", "2.2.22", ScientificApplications, 80),
+        ]),
+        Roll::new(
+            "fingerprint",
+            "6.1.1",
+            false,
+            "Fingerprint application dependencies",
+        )
+        .with_packages(vec![pkg("fingerprint", "1.0", Other, 3)]),
+        Roll::new(
+            "htcondor",
+            "6.1.1",
+            false,
+            "HTCondor high-throughput computing workload management system",
+        )
+        .with_packages(vec![pkg("condor", "8.0.6", SchedulerResourceManager, 90)]),
+        Roll::new("ganglia", "6.1.1", false, "Cluster monitoring system").with_packages(vec![
+            pkg("ganglia-gmond", "3.6.0", Monitoring, 2),
+            pkg("ganglia-gmetad", "3.6.0", Monitoring, 3),
+            pkg("ganglia-web", "3.5.12", Monitoring, 8),
+        ]),
+        Roll::new(
+            "hpc",
+            "6.1.1",
+            false,
+            "Tools for running parallel applications",
+        )
+        .with_packages(vec![
+            pkg("rocks-openmpi", "1.6.2", CompilersLibraries, 40),
+            pkg("mpich2-rocks", "1.4.1", CompilersLibraries, 35),
+            pkg("benchmarks-hpc", "6.1.1", Other, 15),
+        ]),
+        Roll::new(
+            "kvm",
+            "6.1.1",
+            false,
+            "Support for building KVM virtual machines on cluster nodes",
+        )
+        .with_packages(vec![pkg("qemu-kvm", "0.12.1.2", Other, 25)]),
+        Roll::new(
+            "perl",
+            "6.1.1",
+            false,
+            "Perl RPM, CPAN support utilities, and various CPAN modules",
+        )
+        .with_packages(vec![
+            pkg("rocks-perl", "5.10.1", CompilersLibraries, 30),
+            pkg("perl-CPAN", "1.9402", CompilersLibraries, 5),
+        ]),
+        Roll::new("python", "6.1.1", false, "Python 2.7 and Python 3.x").with_packages(vec![
+            pkg("python27", "2.7.2", CompilersLibraries, 60),
+            pkg("python3", "3.2.3", CompilersLibraries, 65),
+        ]),
+        Roll::new(
+            "web-server",
+            "6.1.1",
+            true,
+            "Rocks web server roll (required for the frontend installer tree)",
+        )
+        .with_packages(vec![
+            pkg("httpd", "2.2.15", Other, 4),
+            pkg("rocks-webserver", "6.1.1", Other, 6),
+        ]),
+        Roll::new(
+            "zfs-linux",
+            "6.1.1",
+            false,
+            "Zetabyte File System (ZFS) drivers for Linux",
+        )
+        .with_packages(vec![pkg("zfs", "0.6.2", Other, 30)]),
     ]
 }
 
 /// Names of the optional rolls from Table 1, for coverage checks.
 pub const TABLE1_OPTIONAL_ROLLS: [&str; 10] = [
-    "area51", "bio", "fingerprint", "htcondor", "ganglia", "hpc", "kvm", "perl", "python",
+    "area51",
+    "bio",
+    "fingerprint",
+    "htcondor",
+    "ganglia",
+    "hpc",
+    "kvm",
+    "perl",
+    "python",
     "zfs-linux",
 ];
 
@@ -150,7 +200,11 @@ mod tests {
     #[test]
     fn standard_set_contains_required_rolls() {
         let rolls = standard_rolls();
-        let required: Vec<_> = rolls.iter().filter(|r| r.required).map(|r| r.name.as_str()).collect();
+        let required: Vec<_> = rolls
+            .iter()
+            .filter(|r| r.required)
+            .map(|r| r.name.as_str())
+            .collect();
         assert_eq!(required, vec!["base", "kernel", "os", "web-server"]);
     }
 
@@ -161,7 +215,10 @@ mod tests {
             let roll = rolls.iter().find(|r| r.name == name);
             assert!(roll.is_some(), "missing roll {name}");
             assert!(!roll.unwrap().required);
-            assert!(!roll.unwrap().packages.is_empty(), "roll {name} must carry packages");
+            assert!(
+                !roll.unwrap().packages.is_empty(),
+                "roll {name} must carry packages"
+            );
         }
         // web-server is in Table 1 but required for the frontend tree
         assert!(rolls.iter().any(|r| r.name == "web-server" && r.required));
@@ -180,7 +237,13 @@ mod tests {
         for r in standard_rolls() {
             assert_eq!(r.version, "6.1.1");
         }
-        let os = standard_rolls().into_iter().find(|r| r.name == "os").unwrap();
-        assert!(os.packages.iter().any(|p| p.name() == "centos-release" && p.evr().version == "6.5"));
+        let os = standard_rolls()
+            .into_iter()
+            .find(|r| r.name == "os")
+            .unwrap();
+        assert!(os
+            .packages
+            .iter()
+            .any(|p| p.name() == "centos-release" && p.evr().version == "6.5"));
     }
 }

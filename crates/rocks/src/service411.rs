@@ -40,7 +40,11 @@ impl Master411 {
         self.serial += 1;
         self.files.insert(
             path.to_string(),
-            SyncedFile { path: path.to_string(), content: content.to_string(), serial: self.serial },
+            SyncedFile {
+                path: path.to_string(),
+                content: content.to_string(),
+                serial: self.serial,
+            },
         );
     }
 
@@ -70,8 +74,11 @@ impl Client411 {
 
     /// Poll the master; returns how many files were refreshed.
     pub fn poll(&mut self, master: &Master411) -> usize {
-        let updates: Vec<SyncedFile> =
-            master.newer_than(self.serial()).into_iter().cloned().collect();
+        let updates: Vec<SyncedFile> = master
+            .newer_than(self.serial())
+            .into_iter()
+            .cloned()
+            .collect();
         let n = updates.len();
         for f in updates {
             self.files.insert(f.path.clone(), f);
@@ -98,12 +105,19 @@ pub fn add_user_lab(
     uid: u32,
 ) -> Vec<String> {
     let passwd_line = format!("{username}:x:{uid}:{uid}::/export/home/{username}:/bin/bash\n");
-    let current = master.get("/etc/passwd").map(|f| f.content.clone()).unwrap_or_default();
+    let current = master
+        .get("/etc/passwd")
+        .map(|f| f.content.clone())
+        .unwrap_or_default();
     master.publish("/etc/passwd", &(current + &passwd_line));
     let mut reached = Vec::new();
     for (host, client) in clients.iter_mut() {
         client.poll(master);
-        if client.get("/etc/passwd").map(|c| c.contains(username)).unwrap_or(false) {
+        if client
+            .get("/etc/passwd")
+            .map(|c| c.contains(username))
+            .unwrap_or(false)
+        {
             reached.push(host.clone());
         }
     }
@@ -150,7 +164,10 @@ mod tests {
         assert_eq!(reached.len(), 5);
         for c in clients.values() {
             assert!(c.get("/etc/passwd").unwrap().contains("student1:x:500"));
-            assert!(c.get("/etc/passwd").unwrap().contains("root"), "old entries kept");
+            assert!(
+                c.get("/etc/passwd").unwrap().contains("root"),
+                "old entries kept"
+            );
         }
     }
 

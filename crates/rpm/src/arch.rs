@@ -131,7 +131,13 @@ mod tests {
 
     #[test]
     fn parse_roundtrip() {
-        for a in [Arch::X86_64, Arch::I686, Arch::Noarch, Arch::Src, Arch::Armv7] {
+        for a in [
+            Arch::X86_64,
+            Arch::I686,
+            Arch::Noarch,
+            Arch::Src,
+            Arch::Armv7,
+        ] {
             assert_eq!(a.as_str().parse::<Arch>().unwrap(), a);
         }
         assert!("mips".parse::<Arch>().is_err());

@@ -195,7 +195,9 @@ mod tests {
 
     #[test]
     fn provides_versioned_uses_own_evr() {
-        let p = PackageBuilder::new("python27", "2.7.5", "3").provides_versioned("python").build();
+        let p = PackageBuilder::new("python27", "2.7.5", "3")
+            .provides_versioned("python")
+            .build();
         assert!(p.satisfies(&Dependency::parse("python >= 2.7")));
         assert!(!p.satisfies(&Dependency::parse("python >= 3.0")));
     }

@@ -34,7 +34,10 @@ pub enum VerifyProblem {
     /// An installed package has a Requires nothing installed satisfies.
     UnsatisfiedRequire { package: String, require: String },
     /// Two installed packages conflict.
-    Conflict { package: String, conflicts_with: String },
+    Conflict {
+        package: String,
+        conflicts_with: String,
+    },
     /// Two installed packages own the same path.
     FileConflict { path: String, packages: Vec<String> },
 }
@@ -45,11 +48,18 @@ impl std::fmt::Display for VerifyProblem {
             VerifyProblem::UnsatisfiedRequire { package, require } => {
                 write!(f, "{package}: unsatisfied requirement {require}")
             }
-            VerifyProblem::Conflict { package, conflicts_with } => {
+            VerifyProblem::Conflict {
+                package,
+                conflicts_with,
+            } => {
                 write!(f, "{package} conflicts with installed {conflicts_with}")
             }
             VerifyProblem::FileConflict { path, packages } => {
-                write!(f, "file {path} owned by multiple packages: {}", packages.join(", "))
+                write!(
+                    f,
+                    "file {path} owned by multiple packages: {}",
+                    packages.join(", ")
+                )
             }
         }
     }
@@ -81,7 +91,9 @@ impl RpmDb {
 
     /// The newest installed instance of `name`, if any.
     pub fn newest(&self, name: &str) -> Option<&InstalledPackage> {
-        self.get(name).iter().max_by(|a, b| a.package.nevra.evr.cmp(&b.package.nevra.evr))
+        self.get(name)
+            .iter()
+            .max_by(|a, b| a.package.nevra.evr.cmp(&b.package.nevra.evr))
     }
 
     pub fn is_installed(&self, name: &str) -> bool {
@@ -145,7 +157,10 @@ impl RpmDb {
         self.by_name
             .entry(package.nevra.name.clone())
             .or_default()
-            .push(InstalledPackage { package, install_tid: tid });
+            .push(InstalledPackage {
+                package,
+                install_tid: tid,
+            });
         tid
     }
 
@@ -268,7 +283,10 @@ mod tests {
             PackageBuilder::new("kernel", "2.6.32", "504.el6").build(),
         ]);
         assert_eq!(db.len(), 2);
-        assert_eq!(db.newest("kernel").unwrap().package.evr().release, "504.el6");
+        assert_eq!(
+            db.newest("kernel").unwrap().package.evr().release,
+            "504.el6"
+        );
     }
 
     #[test]
@@ -278,20 +296,34 @@ mod tests {
                 .provides_versioned("mpi")
                 .file("/usr/lib64/openmpi/bin/mpirun")
                 .build(),
-            PackageBuilder::new("mpich2", "1.4.1", "1").provides_versioned("mpi").build(),
+            PackageBuilder::new("mpich2", "1.4.1", "1")
+                .provides_versioned("mpi")
+                .build(),
         ]);
         assert_eq!(db.whatprovides(&Dependency::parse("mpi")).len(), 2);
         assert_eq!(db.whatprovides(&Dependency::parse("mpi >= 1.6")).len(), 1);
-        assert_eq!(db.whatprovides(&Dependency::parse("/usr/lib64/openmpi/bin/mpirun")).len(), 1);
-        assert!(db.whatprovides(&Dependency::parse("/no/such/file")).is_empty());
+        assert_eq!(
+            db.whatprovides(&Dependency::parse("/usr/lib64/openmpi/bin/mpirun"))
+                .len(),
+            1
+        );
+        assert!(db
+            .whatprovides(&Dependency::parse("/no/such/file"))
+            .is_empty());
     }
 
     #[test]
     fn whatrequires_reverse_deps() {
         let db = db_with(vec![
-            PackageBuilder::new("openmpi", "1.6.5", "1").provides_versioned("mpi").build(),
-            PackageBuilder::new("gromacs", "4.6.5", "2").requires_simple("mpi").build(),
-            PackageBuilder::new("lammps", "2014", "1").requires_simple("openmpi").build(),
+            PackageBuilder::new("openmpi", "1.6.5", "1")
+                .provides_versioned("mpi")
+                .build(),
+            PackageBuilder::new("gromacs", "4.6.5", "2")
+                .requires_simple("mpi")
+                .build(),
+            PackageBuilder::new("lammps", "2014", "1")
+                .requires_simple("openmpi")
+                .build(),
             PackageBuilder::new("bash", "4.1.2", "15").build(),
         ]);
         let rdeps = db.whatrequires("openmpi");
@@ -322,16 +354,23 @@ mod tests {
         let gone = db.erase_exact("kernel", &crate::evr::Evr::parse("2.6.32-431.el6"));
         assert!(gone.is_some());
         assert_eq!(db.get("kernel").len(), 1);
-        assert_eq!(db.newest("kernel").unwrap().package.evr().release, "504.el6");
+        assert_eq!(
+            db.newest("kernel").unwrap().package.evr().release,
+            "504.el6"
+        );
     }
 
     #[test]
     fn verify_detects_unsatisfied_require() {
-        let db =
-            db_with(vec![PackageBuilder::new("gromacs", "4.6.5", "2").requires_simple("mpi").build()]);
+        let db = db_with(vec![PackageBuilder::new("gromacs", "4.6.5", "2")
+            .requires_simple("mpi")
+            .build()]);
         let problems = db.verify();
         assert_eq!(problems.len(), 1);
-        assert!(matches!(problems[0], VerifyProblem::UnsatisfiedRequire { .. }));
+        assert!(matches!(
+            problems[0],
+            VerifyProblem::UnsatisfiedRequire { .. }
+        ));
     }
 
     #[test]
@@ -341,18 +380,28 @@ mod tests {
                 .conflicts_spec("slurm")
                 .file("/usr/bin/qsub")
                 .build(),
-            PackageBuilder::new("slurm", "14.03", "1").file("/usr/bin/qsub").build(),
+            PackageBuilder::new("slurm", "14.03", "1")
+                .file("/usr/bin/qsub")
+                .build(),
         ]);
         let problems = db.verify();
-        assert!(problems.iter().any(|p| matches!(p, VerifyProblem::Conflict { .. })));
-        assert!(problems.iter().any(|p| matches!(p, VerifyProblem::FileConflict { .. })));
+        assert!(problems
+            .iter()
+            .any(|p| matches!(p, VerifyProblem::Conflict { .. })));
+        assert!(problems
+            .iter()
+            .any(|p| matches!(p, VerifyProblem::FileConflict { .. })));
     }
 
     #[test]
     fn verify_clean_db_is_clean() {
         let db = db_with(vec![
-            PackageBuilder::new("openmpi", "1.6.5", "1").provides_versioned("mpi").build(),
-            PackageBuilder::new("gromacs", "4.6.5", "2").requires_simple("mpi").build(),
+            PackageBuilder::new("openmpi", "1.6.5", "1")
+                .provides_versioned("mpi")
+                .build(),
+            PackageBuilder::new("gromacs", "4.6.5", "2")
+                .requires_simple("mpi")
+                .build(),
         ]);
         assert!(db.verify().is_empty());
     }

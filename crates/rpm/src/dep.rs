@@ -66,14 +66,22 @@ impl Dependency {
     /// Unversioned dependency on `name` (also used for file deps such as
     /// `/usr/bin/perl`).
     pub fn any(name: impl Into<String>) -> Self {
-        Dependency { name: name.into(), flag: DepFlag::Any, evr: None }
+        Dependency {
+            name: name.into(),
+            flag: DepFlag::Any,
+            evr: None,
+        }
     }
 
     /// Versioned dependency.
     pub fn versioned(name: impl Into<String>, flag: DepFlag, evr: impl Into<Evr>) -> Self {
         let evr = evr.into();
         debug_assert!(flag != DepFlag::Any, "versioned() needs a real comparison");
-        Dependency { name: name.into(), flag, evr: Some(evr) }
+        Dependency {
+            name: name.into(),
+            flag,
+            evr: Some(evr),
+        }
     }
 
     /// Parse `"name"`, `"name = 1.0-1"`, `"name >= 2:3.4"` etc.
@@ -228,7 +236,10 @@ mod tests {
         assert_eq!(Dependency::parse("gcc").flag, DepFlag::Any);
         assert_eq!(Dependency::parse("gcc == 4.4.7").flag, DepFlag::Eq);
         assert!(Dependency::parse("/usr/bin/perl").is_file_dep());
-        assert_eq!(Dependency::parse("hdf5 <= 1.8.9").to_string(), "hdf5 <= 1.8.9");
+        assert_eq!(
+            Dependency::parse("hdf5 <= 1.8.9").to_string(),
+            "hdf5 <= 1.8.9"
+        );
     }
 
     #[test]

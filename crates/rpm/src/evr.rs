@@ -60,7 +60,11 @@ pub fn rpmvercmp(a: &str, b: &str) -> Ordering {
                 j += 1;
                 continue;
             }
-            return if a_tilde { Ordering::Less } else { Ordering::Greater };
+            return if a_tilde {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            };
         }
 
         // Caret: newer than the bare version, older than any longer suffix.
@@ -75,7 +79,11 @@ pub fn rpmvercmp(a: &str, b: &str) -> Ordering {
             // `1.0^x` vs `1.0` → the caret side is newer; `1.0^x` vs `1.0.1`
             // → the caret side is older (the other side still has content).
             return if a_caret {
-                if j < b.len() { Ordering::Less } else { Ordering::Greater }
+                if j < b.len() {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
             } else if i < a.len() {
                 Ordering::Greater
             } else {
@@ -115,7 +123,11 @@ pub fn rpmvercmp(a: &str, b: &str) -> Ordering {
         if a_digit != b_digit {
             // RPM: "a numeric segment is always newer than an alpha segment".
             // (When types differ, `b` holding the digits means `b` is newer.)
-            return if a_digit { Ordering::Greater } else { Ordering::Less };
+            return if a_digit {
+                Ordering::Greater
+            } else {
+                Ordering::Less
+            };
         }
 
         let seg_a = &a[start_i..i];
@@ -170,7 +182,11 @@ pub struct Evr {
 impl Evr {
     /// Construct from explicit parts.
     pub fn new(epoch: u32, version: impl Into<String>, release: impl Into<String>) -> Self {
-        Evr { epoch, version: version.into(), release: release.into() }
+        Evr {
+            epoch,
+            version: version.into(),
+            release: release.into(),
+        }
     }
 
     /// Parse `"[epoch:]version[-release]"`.
@@ -358,7 +374,13 @@ mod tests {
         lt("5.5p1", "5.5p2");
         lt("5.5p1", "5.5p10");
         eq("10xyz", "10xyz");
-        lt("10.1xyz", "10.1abc".replace("abc", "xyz").replace("xyz", "zzz").as_str());
+        lt(
+            "10.1xyz",
+            "10.1abc"
+                .replace("abc", "xyz")
+                .replace("xyz", "zzz")
+                .as_str(),
+        );
         eq("xyz10", "xyz10");
         lt("xyz10", "xyz10.1");
         lt("xyz.4", "8");

@@ -18,7 +18,11 @@ pub struct Nevra {
 
 impl Nevra {
     pub fn new(name: impl Into<String>, evr: impl Into<Evr>, arch: Arch) -> Self {
-        Nevra { name: name.into(), evr: evr.into(), arch }
+        Nevra {
+            name: name.into(),
+            evr: evr.into(),
+            arch,
+        }
     }
 
     /// The `name-version-release.arch` filename stem, as yum prints it.
@@ -182,7 +186,11 @@ mod tests {
     #[test]
     fn explicit_provides() {
         let p = PackageBuilder::new("openmpi", "1.6.5", "1")
-            .provides(Dependency::versioned("mpi", DepFlag::Eq, Evr::parse("1.6.5")))
+            .provides(Dependency::versioned(
+                "mpi",
+                DepFlag::Eq,
+                Evr::parse("1.6.5"),
+            ))
             .build();
         assert!(p.satisfies(&Dependency::parse("mpi >= 1.5")));
         assert!(!p.satisfies(&Dependency::parse("mpi >= 1.7")));

@@ -10,8 +10,7 @@ use crate::package::Package;
 /// `rpm -qa`: every installed package as `name-version-release.arch`,
 /// sorted by name.
 pub fn query_all(db: &RpmDb) -> Vec<String> {
-    let mut out: Vec<String> =
-        db.iter().map(|ip| ip.package.nevra.to_string()).collect();
+    let mut out: Vec<String> = db.iter().map(|ip| ip.package.nevra.to_string()).collect();
     out.sort();
     out
 }
@@ -97,7 +96,10 @@ mod tests {
         let mut db = RpmDb::new();
         db.install(PackageBuilder::new("zsh", "4.3.11", "4").build());
         db.install(PackageBuilder::new("bash", "4.1.2", "15").build());
-        assert_eq!(query_all(&db), vec!["bash-4.1.2-15.x86_64", "zsh-4.3.11-4.x86_64"]);
+        assert_eq!(
+            query_all(&db),
+            vec!["bash-4.1.2-15.x86_64", "zsh-4.3.11-4.x86_64"]
+        );
     }
 
     #[test]
@@ -129,7 +131,10 @@ mod tests {
     fn qf_owner() {
         let mut db = RpmDb::new();
         db.install(sample());
-        assert_eq!(query_file_owner(&db, "/usr/bin/mdrun").unwrap().name(), "gromacs");
+        assert_eq!(
+            query_file_owner(&db, "/usr/bin/mdrun").unwrap().name(),
+            "gromacs"
+        );
         assert!(query_file_owner(&db, "/no/such").is_none());
     }
 }

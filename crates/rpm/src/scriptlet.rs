@@ -53,7 +53,11 @@ pub struct Scriptlet {
 
 impl Scriptlet {
     pub fn new(phase: ScriptletPhase, action: impl Into<String>) -> Self {
-        Scriptlet { phase, action: action.into(), restarts_service: false }
+        Scriptlet {
+            phase,
+            action: action.into(),
+            restarts_service: false,
+        }
     }
 
     /// Mark this scriptlet as restarting a service (risky in production).

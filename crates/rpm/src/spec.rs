@@ -33,9 +33,7 @@ impl std::error::Error for SpecError {}
 
 fn group_from(s: &str) -> PackageGroup {
     match s.trim() {
-        "Applications/Engineering" | "Applications/Science" => {
-            PackageGroup::ScientificApplications
-        }
+        "Applications/Engineering" | "Applications/Science" => PackageGroup::ScientificApplications,
         "Development/Languages" | "Development/Libraries" | "Development/Tools" => {
             PackageGroup::CompilersLibraries
         }
@@ -251,9 +249,18 @@ userdel pbs
 
     #[test]
     fn missing_tags_rejected() {
-        assert_eq!(parse_spec("Version: 1\nRelease: 1\n"), Err(SpecError::MissingTag("Name")));
-        assert_eq!(parse_spec("Name: x\nRelease: 1\n"), Err(SpecError::MissingTag("Version")));
-        assert_eq!(parse_spec("Name: x\nVersion: 1\n"), Err(SpecError::MissingTag("Release")));
+        assert_eq!(
+            parse_spec("Version: 1\nRelease: 1\n"),
+            Err(SpecError::MissingTag("Name"))
+        );
+        assert_eq!(
+            parse_spec("Name: x\nRelease: 1\n"),
+            Err(SpecError::MissingTag("Version"))
+        );
+        assert_eq!(
+            parse_spec("Name: x\nVersion: 1\n"),
+            Err(SpecError::MissingTag("Release"))
+        );
     }
 
     #[test]

@@ -53,7 +53,11 @@ pub enum TransactionProblem {
     /// Erase of something not installed.
     NotInstalled { name: String },
     /// Erasing this package would break an installed package's Requires.
-    BreaksDependents { erased: String, dependent: String, require: String },
+    BreaksDependents {
+        erased: String,
+        dependent: String,
+        require: String,
+    },
     /// Upgrade target is not actually newer.
     NotAnUpgrade { package: String, installed: String },
 }
@@ -74,8 +78,15 @@ impl fmt::Display for TransactionProblem {
                 write!(f, "{package} is already installed")
             }
             TransactionProblem::NotInstalled { name } => write!(f, "{name} is not installed"),
-            TransactionProblem::BreaksDependents { erased, dependent, require } => {
-                write!(f, "erasing {erased} breaks {dependent} (requires {require})")
+            TransactionProblem::BreaksDependents {
+                erased,
+                dependent,
+                require,
+            } => {
+                write!(
+                    f,
+                    "erasing {erased} breaks {dependent} (requires {require})"
+                )
             }
             TransactionProblem::NotAnUpgrade { package, installed } => {
                 write!(f, "{package} is not newer than installed {installed}")
@@ -94,7 +105,10 @@ pub enum TransactionError {
     /// A scriptlet failed mid-transaction (fault-injected). The database
     /// was rolled back to its pre-transaction state; `completed` lists
     /// the element labels that had executed before the failure.
-    ScriptletFailed { package: String, completed: Vec<String> },
+    ScriptletFailed {
+        package: String,
+        completed: Vec<String>,
+    },
 }
 
 impl fmt::Display for TransactionError {
@@ -260,8 +274,9 @@ impl TransactionSet {
                             continue;
                         }
                         for req in &dependent.package.requires {
-                            let only_from_erased = db.get(name).iter().any(|ip| ip.package.satisfies(req))
-                                && !self.satisfied_post(db, req, &removed);
+                            let only_from_erased =
+                                db.get(name).iter().any(|ip| ip.package.satisfies(req))
+                                    && !self.satisfied_post(db, req, &removed);
                             if only_from_erased {
                                 problems.push(TransactionProblem::BreaksDependents {
                                     erased: name.clone(),
@@ -465,7 +480,9 @@ impl TransactionSet {
         self.preflight(db)?;
         let snapshot = db.clone();
         self.execute(db, &mut |p| {
-            injector.should_fault(InjectionPoint::RpmScriptlet, p.name()).is_some()
+            injector
+                .should_fault(InjectionPoint::RpmScriptlet, p.name())
+                .is_some()
         })
         .inspect_err(|_| *db = snapshot)
     }
@@ -589,19 +606,26 @@ pub fn upgrade_all<'a>(
 mod tests {
     use super::*;
     use crate::builder::PackageBuilder;
-        use crate::scriptlet::{Scriptlet, ScriptletPhase};
+    use crate::scriptlet::{Scriptlet, ScriptletPhase};
 
     #[test]
     fn empty_transaction_is_error() {
         let mut db = RpmDb::new();
-        assert!(matches!(TransactionSet::new().run(&mut db), Err(TransactionError::Empty)));
+        assert!(matches!(
+            TransactionSet::new().run(&mut db),
+            Err(TransactionError::Empty)
+        ));
     }
 
     #[test]
     fn simple_install() {
         let mut db = RpmDb::new();
         let mut tx = TransactionSet::new();
-        tx.add_install(PackageBuilder::new("gcc", "4.4.7", "17").size_mb(80).build());
+        tx.add_install(
+            PackageBuilder::new("gcc", "4.4.7", "17")
+                .size_mb(80)
+                .build(),
+        );
         let report = tx.run(&mut db).unwrap();
         assert_eq!(report.installed, vec!["gcc-4.4.7-17.x86_64"]);
         assert_eq!(report.size_delta_bytes, 80 << 20);
@@ -612,10 +636,17 @@ mod tests {
     fn unresolved_require_rejected() {
         let mut db = RpmDb::new();
         let mut tx = TransactionSet::new();
-        tx.add_install(PackageBuilder::new("gromacs", "4.6.5", "2").requires_simple("mpi").build());
+        tx.add_install(
+            PackageBuilder::new("gromacs", "4.6.5", "2")
+                .requires_simple("mpi")
+                .build(),
+        );
         match tx.run(&mut db) {
             Err(TransactionError::CheckFailed(ps)) => {
-                assert!(matches!(ps[0], TransactionProblem::UnresolvedRequire { .. }))
+                assert!(matches!(
+                    ps[0],
+                    TransactionProblem::UnresolvedRequire { .. }
+                ))
             }
             other => panic!("expected check failure, got {other:?}"),
         }
@@ -626,24 +657,57 @@ mod tests {
     fn require_satisfied_by_co_installed() {
         let mut db = RpmDb::new();
         let mut tx = TransactionSet::new();
-        tx.add_install(PackageBuilder::new("gromacs", "4.6.5", "2").requires_simple("mpi").build());
-        tx.add_install(PackageBuilder::new("openmpi", "1.6.5", "1").provides_versioned("mpi").build());
+        tx.add_install(
+            PackageBuilder::new("gromacs", "4.6.5", "2")
+                .requires_simple("mpi")
+                .build(),
+        );
+        tx.add_install(
+            PackageBuilder::new("openmpi", "1.6.5", "1")
+                .provides_versioned("mpi")
+                .build(),
+        );
         assert!(tx.check(&db).is_empty());
         let report = tx.run(&mut db).unwrap();
         // dependency must be installed first
-        let pos_mpi = report.executed.iter().position(|l| l.contains("openmpi")).unwrap();
-        let pos_gro = report.executed.iter().position(|l| l.contains("gromacs")).unwrap();
-        assert!(pos_mpi < pos_gro, "openmpi must install before gromacs: {:?}", report.executed);
+        let pos_mpi = report
+            .executed
+            .iter()
+            .position(|l| l.contains("openmpi"))
+            .unwrap();
+        let pos_gro = report
+            .executed
+            .iter()
+            .position(|l| l.contains("gromacs"))
+            .unwrap();
+        assert!(
+            pos_mpi < pos_gro,
+            "openmpi must install before gromacs: {:?}",
+            report.executed
+        );
     }
 
     #[test]
     fn ordering_is_topological_chain() {
         let mut tx = TransactionSet::new();
-        tx.add_install(PackageBuilder::new("c", "1", "1").requires_simple("b").build());
+        tx.add_install(
+            PackageBuilder::new("c", "1", "1")
+                .requires_simple("b")
+                .build(),
+        );
         tx.add_install(PackageBuilder::new("a", "1", "1").build());
-        tx.add_install(PackageBuilder::new("b", "1", "1").requires_simple("a").build());
+        tx.add_install(
+            PackageBuilder::new("b", "1", "1")
+                .requires_simple("a")
+                .build(),
+        );
         let order: Vec<String> = tx.order().iter().map(|e| e.label()).collect();
-        let pos = |n: &str| order.iter().position(|l| l.contains(&format!("install {n}-"))).unwrap();
+        let pos = |n: &str| {
+            order
+                .iter()
+                .position(|l| l.contains(&format!("install {n}-")))
+                .unwrap()
+        };
         assert!(pos("a") < pos("b"));
         assert!(pos("b") < pos("c"));
     }
@@ -651,8 +715,16 @@ mod tests {
     #[test]
     fn cycle_is_broken_deterministically() {
         let mut tx = TransactionSet::new();
-        tx.add_install(PackageBuilder::new("x", "1", "1").requires_simple("y").build());
-        tx.add_install(PackageBuilder::new("y", "1", "1").requires_simple("x").build());
+        tx.add_install(
+            PackageBuilder::new("x", "1", "1")
+                .requires_simple("y")
+                .build(),
+        );
+        tx.add_install(
+            PackageBuilder::new("y", "1", "1")
+                .requires_simple("x")
+                .build(),
+        );
         let order = tx.order();
         assert_eq!(order.len(), 2);
         let mut db = RpmDb::new();
@@ -665,9 +737,15 @@ mod tests {
         let mut db = RpmDb::new();
         db.install(PackageBuilder::new("slurm", "14.03", "1").build());
         let mut tx = TransactionSet::new();
-        tx.add_install(PackageBuilder::new("torque", "4.2.10", "1").conflicts_spec("slurm").build());
+        tx.add_install(
+            PackageBuilder::new("torque", "4.2.10", "1")
+                .conflicts_spec("slurm")
+                .build(),
+        );
         let ps = tx.check(&db);
-        assert!(ps.iter().any(|p| matches!(p, TransactionProblem::Conflict { .. })));
+        assert!(ps
+            .iter()
+            .any(|p| matches!(p, TransactionProblem::Conflict { .. })));
     }
 
     #[test]
@@ -678,7 +756,11 @@ mod tests {
         db.install(PackageBuilder::new("slurm", "14.03", "1").build());
         let mut tx = TransactionSet::new();
         tx.add_erase("slurm");
-        tx.add_install(PackageBuilder::new("torque", "4.2.10", "1").conflicts_spec("slurm").build());
+        tx.add_install(
+            PackageBuilder::new("torque", "4.2.10", "1")
+                .conflicts_spec("slurm")
+                .build(),
+        );
         assert!(tx.check(&db).is_empty(), "{:?}", tx.check(&db));
         tx.run(&mut db).unwrap();
         assert!(db.is_installed("torque"));
@@ -688,32 +770,60 @@ mod tests {
     #[test]
     fn reverse_conflict_detected() {
         let mut db = RpmDb::new();
-        db.install(PackageBuilder::new("torque", "4.2.10", "1").conflicts_spec("slurm").build());
+        db.install(
+            PackageBuilder::new("torque", "4.2.10", "1")
+                .conflicts_spec("slurm")
+                .build(),
+        );
         let mut tx = TransactionSet::new();
         tx.add_install(PackageBuilder::new("slurm", "14.03", "1").build());
         let ps = tx.check(&db);
-        assert!(ps.iter().any(|p| matches!(p, TransactionProblem::Conflict { .. })));
+        assert!(ps
+            .iter()
+            .any(|p| matches!(p, TransactionProblem::Conflict { .. })));
     }
 
     #[test]
     fn erase_that_breaks_dependent_rejected() {
         let mut db = RpmDb::new();
-        db.install(PackageBuilder::new("openmpi", "1.6.5", "1").provides_versioned("mpi").build());
-        db.install(PackageBuilder::new("gromacs", "4.6.5", "2").requires_simple("mpi").build());
+        db.install(
+            PackageBuilder::new("openmpi", "1.6.5", "1")
+                .provides_versioned("mpi")
+                .build(),
+        );
+        db.install(
+            PackageBuilder::new("gromacs", "4.6.5", "2")
+                .requires_simple("mpi")
+                .build(),
+        );
         let mut tx = TransactionSet::new();
         tx.add_erase("openmpi");
         let ps = tx.check(&db);
-        assert!(ps.iter().any(|p| matches!(p, TransactionProblem::BreaksDependents { .. })));
+        assert!(ps
+            .iter()
+            .any(|p| matches!(p, TransactionProblem::BreaksDependents { .. })));
     }
 
     #[test]
     fn erase_ok_when_replacement_provided() {
         let mut db = RpmDb::new();
-        db.install(PackageBuilder::new("openmpi", "1.6.5", "1").provides_versioned("mpi").build());
-        db.install(PackageBuilder::new("gromacs", "4.6.5", "2").requires_simple("mpi").build());
+        db.install(
+            PackageBuilder::new("openmpi", "1.6.5", "1")
+                .provides_versioned("mpi")
+                .build(),
+        );
+        db.install(
+            PackageBuilder::new("gromacs", "4.6.5", "2")
+                .requires_simple("mpi")
+                .build(),
+        );
         let mut tx = TransactionSet::new();
         tx.add_erase("openmpi");
-        tx.add_install(PackageBuilder::new("mpich2", "1.4.1", "1").provides_versioned("mpi").build());
+        tx.add_install(
+            PackageBuilder::new("mpich2", "1.4.1", "1")
+                .provides_versioned("mpi")
+                .build(),
+        );
         assert!(tx.check(&db).is_empty(), "{:?}", tx.check(&db));
     }
 
@@ -737,8 +847,14 @@ mod tests {
         assert_eq!(db.get("R").len(), 1);
         assert_eq!(db.newest("R").unwrap().package.evr().version, "3.1.0");
         assert_eq!(report.size_delta_bytes, (70i64 - 60) << 20);
-        assert!(report.scriptlets.iter().any(|s| s.action == "register R 3.1"));
-        assert!(report.scriptlets.iter().any(|s| s.action == "cleanup R 3.0"));
+        assert!(report
+            .scriptlets
+            .iter()
+            .any(|s| s.action == "register R 3.1"));
+        assert!(report
+            .scriptlets
+            .iter()
+            .any(|s| s.action == "cleanup R 3.0"));
     }
 
     #[test]
@@ -748,7 +864,9 @@ mod tests {
         let mut tx = TransactionSet::new();
         tx.add_upgrade(PackageBuilder::new("R", "3.0.2", "1").build());
         let ps = tx.check(&db);
-        assert!(ps.iter().any(|p| matches!(p, TransactionProblem::NotAnUpgrade { .. })));
+        assert!(ps
+            .iter()
+            .any(|p| matches!(p, TransactionProblem::NotAnUpgrade { .. })));
     }
 
     #[test]
@@ -770,10 +888,20 @@ mod tests {
     fn file_conflict_between_incoming_rejected() {
         let db = RpmDb::new();
         let mut tx = TransactionSet::new();
-        tx.add_install(PackageBuilder::new("a", "1", "1").file("/usr/bin/tool").build());
-        tx.add_install(PackageBuilder::new("b", "1", "1").file("/usr/bin/tool").build());
+        tx.add_install(
+            PackageBuilder::new("a", "1", "1")
+                .file("/usr/bin/tool")
+                .build(),
+        );
+        tx.add_install(
+            PackageBuilder::new("b", "1", "1")
+                .file("/usr/bin/tool")
+                .build(),
+        );
         let ps = tx.check(&db);
-        assert!(ps.iter().any(|p| matches!(p, TransactionProblem::FileConflict { .. })));
+        assert!(ps
+            .iter()
+            .any(|p| matches!(p, TransactionProblem::FileConflict { .. })));
     }
 
     #[test]
@@ -783,7 +911,9 @@ mod tests {
         let mut tx = TransactionSet::new();
         tx.add_install(PackageBuilder::new("gcc", "4.4.7", "17").build());
         let ps = tx.check(&db);
-        assert!(ps.iter().any(|p| matches!(p, TransactionProblem::AlreadyInstalled { .. })));
+        assert!(ps
+            .iter()
+            .any(|p| matches!(p, TransactionProblem::AlreadyInstalled { .. })));
     }
 
     #[test]
@@ -792,7 +922,9 @@ mod tests {
         let mut tx = TransactionSet::new();
         tx.add_erase("ghost");
         let ps = tx.check(&db);
-        assert!(ps.iter().any(|p| matches!(p, TransactionProblem::NotInstalled { .. })));
+        assert!(ps
+            .iter()
+            .any(|p| matches!(p, TransactionProblem::NotInstalled { .. })));
     }
 
     #[test]
@@ -818,7 +950,11 @@ mod tests {
         db.install(PackageBuilder::new("base", "1", "1").build());
         let before = db.clone();
         let mut tx = TransactionSet::new();
-        tx.add_install(PackageBuilder::new("openmpi", "1.6.5", "1").provides_versioned("mpi").build());
+        tx.add_install(
+            PackageBuilder::new("openmpi", "1.6.5", "1")
+                .provides_versioned("mpi")
+                .build(),
+        );
         tx.add_install(
             PackageBuilder::new("gromacs", "4.6.5", "2")
                 .requires_simple("mpi")
@@ -840,7 +976,10 @@ mod tests {
             other => panic!("expected scriptlet failure, got {other:?}"),
         }
         assert_eq!(db, before, "rollback must restore the pre-transaction db");
-        assert!(!db.is_installed("openmpi"), "partial installs must be undone");
+        assert!(
+            !db.is_installed("openmpi"),
+            "partial installs must be undone"
+        );
     }
 
     #[test]
@@ -849,7 +988,11 @@ mod tests {
         let mut db_a = RpmDb::new();
         let mut db_b = RpmDb::new();
         let mut tx = TransactionSet::new();
-        tx.add_install(PackageBuilder::new("gcc", "4.4.7", "17").size_mb(80).build());
+        tx.add_install(
+            PackageBuilder::new("gcc", "4.4.7", "17")
+                .size_mb(80)
+                .build(),
+        );
         let plain = tx.run(&mut db_a).unwrap();
         let mut inj = FaultPlan::new(5).injector();
         let injected = tx.run_injected(&mut db_b, &mut inj).unwrap();
@@ -863,7 +1006,11 @@ mod tests {
         let mut db = RpmDb::new();
         let before = db.len();
         let mut tx = TransactionSet::new();
-        tx.add_install(PackageBuilder::new("valgrind", "3.8.1", "3").file("/usr/bin/valgrind").build());
+        tx.add_install(
+            PackageBuilder::new("valgrind", "3.8.1", "3")
+                .file("/usr/bin/valgrind")
+                .build(),
+        );
         tx.run(&mut db).unwrap();
         let mut tx2 = TransactionSet::new();
         tx2.add_erase("valgrind");

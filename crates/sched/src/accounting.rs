@@ -47,9 +47,11 @@ pub fn usage_report(sim: &ClusterSim) -> UsageReport {
             }
             _ => continue,
         };
-        let acc = per_user
-            .entry(job.request.user.clone())
-            .or_insert(Acc { jobs: 0, core_seconds: 0.0, waits: Vec::new() });
+        let acc = per_user.entry(job.request.user.clone()).or_insert(Acc {
+            jobs: 0,
+            core_seconds: 0.0,
+            waits: Vec::new(),
+        });
         acc.jobs += 1;
         acc.core_seconds += job.request.cores() as f64 * (end - start);
         if let Some(w) = job.wait_s() {
@@ -67,11 +69,19 @@ pub fn usage_report(sim: &ClusterSim) -> UsageReport {
             } else {
                 acc.waits.iter().sum::<f64>() / acc.waits.len() as f64
             },
-            share: if total > 0.0 { acc.core_seconds / total } else { 0.0 },
+            share: if total > 0.0 {
+                acc.core_seconds / total
+            } else {
+                0.0
+            },
             core_seconds: acc.core_seconds,
         })
         .collect();
-    UsageReport { rows, total_core_seconds: total, timed_out_jobs: timed_out }
+    UsageReport {
+        rows,
+        total_core_seconds: total,
+        timed_out_jobs: timed_out,
+    }
 }
 
 impl UsageReport {
@@ -125,7 +135,10 @@ mod tests {
     fn accounting_matches_sim_counter() {
         let mut sim = ClusterSim::new(2, 2, SchedPolicy::Fifo);
         for i in 0..10 {
-            sim.submit_at(i as f64, JobRequest::new(&format!("j{i}"), 1, 1, 60.0, 30.0));
+            sim.submit_at(
+                i as f64,
+                JobRequest::new(&format!("j{i}"), 1, 1, 60.0, 30.0),
+            );
         }
         sim.run_to_completion();
         let report = usage_report(&sim);

@@ -26,7 +26,9 @@ impl JobArray {
 
     /// Are all members finished in `sim`?
     pub fn all_finished(&self, sim: &ClusterSim) -> bool {
-        self.member_ids.iter().all(|id| sim.job(*id).map(|j| j.is_finished()).unwrap_or(false))
+        self.member_ids
+            .iter()
+            .all(|id| sim.job(*id).map(|j| j.is_finished()).unwrap_or(false))
     }
 
     /// (finished, total) progress.
@@ -53,7 +55,10 @@ pub fn submit_array(
         req.name = format!("{}[{i}]", template.name);
         member_ids.push(sim.submit(req));
     }
-    JobArray { base_name: template.name.clone(), member_ids }
+    JobArray {
+        base_name: template.name.clone(),
+        member_ids,
+    }
 }
 
 #[cfg(test)]

@@ -83,7 +83,10 @@ impl CondorPool {
     }
 
     fn running(&self) -> usize {
-        self.jobs.iter().filter(|j| j.state == CondorState::Running).count()
+        self.jobs
+            .iter()
+            .filter(|j| j.state == CondorState::Running)
+            .count()
     }
 
     /// The owner (batch system) claims `cores`; condor vacates enough
@@ -170,7 +173,10 @@ impl CondorPool {
     }
 
     pub fn completed(&self) -> usize {
-        self.jobs.iter().filter(|j| j.state == CondorState::Completed).count()
+        self.jobs
+            .iter()
+            .filter(|j| j.state == CondorState::Completed)
+            .count()
     }
 
     pub fn now(&self) -> f64 {

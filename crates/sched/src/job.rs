@@ -54,10 +54,18 @@ impl JobRequest {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum JobState {
     Queued,
-    Running { start_s: f64 },
-    Completed { start_s: f64, end_s: f64 },
+    Running {
+        start_s: f64,
+    },
+    Completed {
+        start_s: f64,
+        end_s: f64,
+    },
     /// Killed at the walltime limit.
-    TimedOut { start_s: f64, end_s: f64 },
+    TimedOut {
+        start_s: f64,
+        end_s: f64,
+    },
     Cancelled,
 }
 
@@ -134,7 +142,10 @@ mod tests {
         assert!(j.turnaround_s().is_none());
         j.state = JobState::Running { start_s: 25.0 };
         assert_eq!(j.wait_s(), Some(15.0));
-        j.state = JobState::Completed { start_s: 25.0, end_s: 75.0 };
+        j.state = JobState::Completed {
+            start_s: 25.0,
+            end_s: 75.0,
+        };
         assert_eq!(j.turnaround_s(), Some(65.0));
         assert!(j.is_finished());
     }
@@ -145,7 +156,10 @@ mod tests {
             id: 1,
             request: JobRequest::new("quick", 1, 1, 5.0, 1.0),
             submit_s: 0.0,
-            state: JobState::Completed { start_s: 0.0, end_s: 1.0 },
+            state: JobState::Completed {
+                start_s: 0.0,
+                end_s: 1.0,
+            },
             placement: vec![0],
         };
         // tiny jobs use the 10s floor and clamp at 1.0

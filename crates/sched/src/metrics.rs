@@ -22,7 +22,10 @@ impl SimMetrics {
     pub fn from_sim(sim: &ClusterSim) -> Self {
         let finished: Vec<_> = sim.completed();
         let waits: Vec<f64> = finished.iter().filter_map(|j| j.wait_s()).collect();
-        let slowdowns: Vec<f64> = finished.iter().filter_map(|j| j.bounded_slowdown()).collect();
+        let slowdowns: Vec<f64> = finished
+            .iter()
+            .filter_map(|j| j.bounded_slowdown())
+            .collect();
         let makespan = sim.now();
         let timed_out = finished
             .iter()
@@ -82,7 +85,10 @@ mod tests {
         assert_eq!(m.jobs_finished, 2);
         assert_eq!(m.jobs_timed_out, 0);
         assert_eq!(m.makespan_s, 200.0);
-        assert!((m.utilization - 1.0).abs() < 1e-9, "back-to-back full-machine jobs: {m:?}");
+        assert!(
+            (m.utilization - 1.0).abs() < 1e-9,
+            "back-to-back full-machine jobs: {m:?}"
+        );
         assert_eq!(m.mean_wait_s, 50.0);
         assert_eq!(m.max_wait_s, 100.0);
         assert!(m.render_row().contains("FIFO"));

@@ -21,13 +21,19 @@ pub enum SchedPolicy {
     EasyBackfill,
     /// Priority = wait_seconds × `queue_weight` − user_used_core_seconds ×
     /// `fairshare_weight`, with EASY backfill.
-    MauiPriority { queue_weight: f64, fairshare_weight: f64 },
+    MauiPriority {
+        queue_weight: f64,
+        fairshare_weight: f64,
+    },
 }
 
 impl SchedPolicy {
     /// A Maui configuration close to the shipped default.
     pub fn maui_default() -> Self {
-        SchedPolicy::MauiPriority { queue_weight: 1.0, fairshare_weight: 1e-4 }
+        SchedPolicy::MauiPriority {
+            queue_weight: 1.0,
+            fairshare_weight: 1e-4,
+        }
     }
 
     pub fn label(&self) -> &'static str {

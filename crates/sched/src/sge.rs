@@ -43,11 +43,19 @@ impl SgeCell {
     }
 
     /// `qsub -pe mpi <slots>`. Returns `Err` for impossible requests.
-    pub fn qsub_pe(&mut self, name: &str, slots: u32, walltime_s: f64, runtime_s: f64) -> Result<String, String> {
+    pub fn qsub_pe(
+        &mut self,
+        name: &str,
+        slots: u32,
+        walltime_s: f64,
+        runtime_s: f64,
+    ) -> Result<String, String> {
         let (nodes, ppn) = self
             .shape_for_slots(slots)
             .ok_or_else(|| format!("cannot satisfy -pe mpi {slots} on this cell"))?;
-        let id = self.sim.submit(JobRequest::new(name, nodes, ppn, walltime_s, runtime_s));
+        let id = self
+            .sim
+            .submit(JobRequest::new(name, nodes, ppn, walltime_s, runtime_s));
         Ok(id.to_string())
     }
 
@@ -82,7 +90,9 @@ impl ResourceManager for SgeCell {
     }
 
     fn cancel(&mut self, id: &str) -> bool {
-        parse_numeric_id(id).map(|n| self.sim.cancel(n)).unwrap_or(false)
+        parse_numeric_id(id)
+            .map(|n| self.sim.cancel(n))
+            .unwrap_or(false)
     }
 
     fn status(&self) -> String {

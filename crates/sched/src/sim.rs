@@ -1,37 +1,24 @@
 //! The discrete-event cluster simulator.
 //!
-//! Time advances through a binary-heap event queue (submits and job
-//! ends); at every event the active [`SchedPolicy`] is given a chance to
-//! start queued jobs. Placement is node-granular: a job asking for
-//! `nodes × ppn` needs `nodes` distinct nodes with `ppn` free cores each.
+//! Time advances through the shared `xcbc-sim` event queue (submits
+//! and job ends on one [`SimClock`] timebase); at every event the
+//! active [`SchedPolicy`] is given a chance to start queued jobs.
+//! Placement is node-granular: a job asking for `nodes × ppn` needs
+//! `nodes` distinct nodes with `ppn` free cores each. Job lifecycle is
+//! reported as trace spans/marks on an internal [`EventBus`], so
+//! scheduler time is directly commensurable with boot and install time
+//! elsewhere in the stack.
 
 use crate::job::{Job, JobId, JobRequest, JobState};
 use crate::policy::SchedPolicy;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap};
+use xcbc_sim::{EventBus, EventQueue, SimClock, SimTime, TraceEvent};
 
-/// f64 event key with a total order (simulation times are never NaN).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct TimeKey(f64);
-
-impl Eq for TimeKey {}
-
-impl PartialOrd for TimeKey {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for TimeKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
+/// Trace source tag for events this simulator emits.
+const TRACE_SOURCE: &str = "sched";
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EventKind {
-    /// Ends sort before submits at the same instant so freed cores are
-    /// visible to arriving jobs.
     End(JobId),
     Submit(JobId),
     /// Scheduler wake-up (reservation boundaries).
@@ -39,19 +26,39 @@ enum EventKind {
 }
 
 /// A maintenance/advance reservation: the listed nodes accept no job
-/// whose execution window would overlap `[start_s, end_s)` (Maui's
+/// whose execution window would overlap `[start, end)` (Maui's
 /// standing-reservation semantics for a maintenance window).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Reservation {
     pub label: String,
     pub nodes: Vec<usize>,
-    pub start_s: f64,
-    pub end_s: f64,
+    start: SimTime,
+    end: SimTime,
 }
 
 impl Reservation {
+    /// When the window opens.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// When the window closes.
+    pub fn end(&self) -> SimTime {
+        self.end
+    }
+
+    /// Window start in seconds (compatibility accessor).
+    pub fn start_s(&self) -> f64 {
+        self.start.as_secs_f64()
+    }
+
+    /// Window end in seconds (compatibility accessor).
+    pub fn end_s(&self) -> f64 {
+        self.end.as_secs_f64()
+    }
+
     fn blocks(&self, node: usize, job_start: f64, job_end: f64) -> bool {
-        self.nodes.contains(&node) && job_start < self.end_s && job_end > self.start_s
+        self.nodes.contains(&node) && job_start < self.end_s() && job_end > self.start_s()
     }
 }
 
@@ -63,10 +70,11 @@ pub struct ClusterSim {
     /// Cores per node (uniform).
     cores_per_node: u32,
     policy: SchedPolicy,
-    time_s: f64,
+    clock: SimClock,
     next_id: JobId,
-    events: BinaryHeap<Reverse<(TimeKey, u64, EventKind)>>,
-    seq: u64,
+    events: EventQueue<EventKind>,
+    /// Structured trace of submits, job spans, and reservations.
+    bus: EventBus,
     jobs: BTreeMap<JobId, Job>,
     /// Queued job ids in arrival order.
     queue: Vec<JobId>,
@@ -88,10 +96,10 @@ impl ClusterSim {
             free: vec![cores_per_node; nodes],
             cores_per_node,
             policy,
-            time_s: 0.0,
+            clock: SimClock::new(),
             next_id: 0,
-            events: BinaryHeap::new(),
-            seq: 0,
+            events: EventQueue::new(),
+            bus: EventBus::new(),
             jobs: BTreeMap::new(),
             queue: Vec::new(),
             usage: HashMap::new(),
@@ -128,26 +136,40 @@ impl ClusterSim {
     }
 
     /// Add a maintenance/advance reservation over node indices
-    /// `nodes` for `[start_s, end_s)`. Jobs whose walltime window would
+    /// `nodes` for `[start, end)`. Jobs whose walltime window would
     /// overlap the reservation cannot be placed on those nodes.
+    /// Accepts `SimTime` or float seconds for the window bounds.
     pub fn add_reservation(
         &mut self,
         label: &str,
         nodes: Vec<usize>,
-        start_s: f64,
-        end_s: f64,
+        start: impl Into<SimTime>,
+        end: impl Into<SimTime>,
     ) {
-        assert!(start_s < end_s, "empty reservation window");
-        assert!(nodes.iter().all(|&n| n < self.free.len()), "reserved node out of range");
+        let (start, end) = (start.into(), end.into());
+        assert!(start < end, "empty reservation window");
+        assert!(
+            nodes.iter().all(|&n| n < self.free.len()),
+            "reserved node out of range"
+        );
+        self.bus.emit(
+            TraceEvent::span(
+                start,
+                TRACE_SOURCE,
+                format!("reservation: {label}"),
+                end - start,
+            )
+            .with_field("nodes", nodes.len()),
+        );
         self.reservations.push(Reservation {
             label: label.to_string(),
             nodes,
-            start_s,
-            end_s,
+            start,
+            end,
         });
         // wake the scheduler when the window closes so blocked jobs start
-        if end_s >= self.time_s {
-            self.push_event(end_s, EventKind::Wake);
+        if end >= self.clock.now() {
+            self.push_event(end, EventKind::Wake);
         }
     }
 
@@ -166,8 +188,26 @@ impl ClusterSim {
         self.try_start_jobs();
     }
 
+    /// Current simulation time in seconds (compatibility accessor).
     pub fn now(&self) -> f64 {
-        self.time_s
+        self.clock.now().as_secs_f64()
+    }
+
+    /// Current simulation time on the shared integer-nanosecond clock.
+    pub fn now_sim(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// The structured trace recorded so far: a `Mark` per submission, a
+    /// `Span` per finished job (at its start time), a `Span` per
+    /// reservation window.
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        self.bus.events()
+    }
+
+    /// Drain the recorded trace (for merging into a scenario-wide log).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.bus).into_events()
     }
 
     pub fn node_count(&self) -> usize {
@@ -178,14 +218,15 @@ impl ClusterSim {
         self.cores_per_node * self.free.len() as u32
     }
 
-    fn push_event(&mut self, t: f64, kind: EventKind) {
-        self.seq += 1;
-        self.events.push(Reverse((TimeKey(t), self.seq, kind)));
+    fn push_event(&mut self, t: impl Into<SimTime>, kind: EventKind) {
+        self.events.schedule(t, kind);
     }
 
-    /// Schedule a submission at absolute time `t` (>= now).
-    pub fn submit_at(&mut self, t: f64, request: JobRequest) -> JobId {
-        assert!(t >= self.time_s, "cannot submit in the past");
+    /// Schedule a submission at absolute time `t` (>= now). Accepts
+    /// `SimTime` or float seconds.
+    pub fn submit_at(&mut self, t: impl Into<SimTime>, request: JobRequest) -> JobId {
+        let t = t.into();
+        assert!(t >= self.clock.now(), "cannot submit in the past");
         assert!(
             request.ppn <= self.cores_per_node,
             "job {} asks ppn={} but nodes have {} cores",
@@ -202,9 +243,21 @@ impl ClusterSim {
         );
         self.next_id += 1;
         let id = self.next_id;
+        self.bus.emit(
+            TraceEvent::mark(t, TRACE_SOURCE, format!("submit {}", request.name))
+                .with_field("user", request.user.clone())
+                .with_field("nodes", request.nodes)
+                .with_field("ppn", request.ppn),
+        );
         self.jobs.insert(
             id,
-            Job { id, request, submit_s: t, state: JobState::Queued, placement: vec![] },
+            Job {
+                id,
+                request,
+                submit_s: t.as_secs_f64(),
+                state: JobState::Queued,
+                placement: vec![],
+            },
         );
         self.push_event(t, EventKind::Submit(id));
         id
@@ -212,7 +265,7 @@ impl ClusterSim {
 
     /// Submit now.
     pub fn submit(&mut self, request: JobRequest) -> JobId {
-        self.submit_at(self.time_s, request)
+        self.submit_at(self.clock.now(), request)
     }
 
     /// Cancel a queued job (`qdel`/`scancel`). Running jobs keep running.
@@ -241,7 +294,10 @@ impl ClusterSim {
     }
 
     pub fn running(&self) -> Vec<&Job> {
-        self.jobs.values().filter(|j| matches!(j.state, JobState::Running { .. })).collect()
+        self.jobs
+            .values()
+            .filter(|j| matches!(j.state, JobState::Running { .. }))
+            .collect()
     }
 
     pub fn completed(&self) -> Vec<&Job> {
@@ -274,8 +330,8 @@ impl ClusterSim {
     }
 
     fn fits_now(&self, req: &JobRequest) -> Option<Vec<usize>> {
-        let job_start = self.time_s;
-        let job_end = self.time_s + req.walltime_s;
+        let job_start = self.now();
+        let job_end = job_start + req.walltime_s;
         let mut picked = Vec::with_capacity(req.nodes as usize);
         for (i, &f) in self.free.iter().enumerate() {
             let reserved = self
@@ -297,29 +353,50 @@ impl ClusterSim {
             let job = &self.jobs[&id];
             self.fits_now(&job.request).expect("caller checked fit")
         };
+        let now_s = self.now();
         let job = self.jobs.get_mut(&id).expect("job exists");
         for &n in &placement {
             self.free[n] -= job.request.ppn;
         }
         job.placement = placement;
-        job.state = JobState::Running { start_s: self.time_s };
-        let end = self.time_s + job.request.effective_runtime();
+        job.state = JobState::Running { start_s: now_s };
+        let end = now_s + job.request.effective_runtime();
         self.queue.retain(|&q| q != id);
         self.push_event(end, EventKind::End(id));
     }
 
     fn finish_job(&mut self, id: JobId) {
+        let now_s = self.now();
         let job = self.jobs.get_mut(&id).expect("job exists");
         if let JobState::Running { start_s } = job.state {
             let timed_out = job.request.runtime_s > job.request.walltime_s;
             job.state = if timed_out {
-                JobState::TimedOut { start_s, end_s: self.time_s }
+                JobState::TimedOut {
+                    start_s,
+                    end_s: now_s,
+                }
             } else {
-                JobState::Completed { start_s, end_s: self.time_s }
+                JobState::Completed {
+                    start_s,
+                    end_s: now_s,
+                }
             };
-            let core_secs = job.request.cores() as f64 * (self.time_s - start_s);
-            let (ppn, placement, user) =
-                (job.request.ppn, job.placement.clone(), job.request.user.clone());
+            let core_secs = job.request.cores() as f64 * (now_s - start_s);
+            let (ppn, placement, user) = (
+                job.request.ppn,
+                job.placement.clone(),
+                job.request.user.clone(),
+            );
+            let span = TraceEvent::span(
+                start_s,
+                TRACE_SOURCE,
+                format!("job {}", job.request.name),
+                now_s - start_s,
+            )
+            .with_field("user", user.clone())
+            .with_field("cores", job.request.cores())
+            .with_field("state", if timed_out { "timed-out" } else { "completed" });
+            self.bus.emit(span);
             self.used_core_seconds += core_secs;
             *self.usage.entry(user).or_insert(0.0) += core_secs;
             for n in placement {
@@ -332,11 +409,18 @@ impl ClusterSim {
 
     /// Queue order the policy wants.
     fn policy_order(&self) -> Vec<JobId> {
-        let eligible: Vec<JobId> =
-            self.queue.iter().copied().filter(|id| !self.held.contains(id)).collect();
+        let eligible: Vec<JobId> = self
+            .queue
+            .iter()
+            .copied()
+            .filter(|id| !self.held.contains(id))
+            .collect();
         match self.policy {
             SchedPolicy::Fifo | SchedPolicy::EasyBackfill => eligible,
-            SchedPolicy::MauiPriority { queue_weight, fairshare_weight } => {
+            SchedPolicy::MauiPriority {
+                queue_weight,
+                fairshare_weight,
+            } => {
                 let mut ids = eligible;
                 ids.sort_by(|&a, &b| {
                     let pa = self.maui_priority(a, queue_weight, fairshare_weight);
@@ -350,7 +434,7 @@ impl ClusterSim {
 
     fn maui_priority(&self, id: JobId, qw: f64, fw: f64) -> f64 {
         let job = &self.jobs[&id];
-        let wait = self.time_s - job.submit_s;
+        let wait = self.now() - job.submit_s;
         wait * qw - self.user_usage(&job.request.user) * fw
     }
 
@@ -364,9 +448,11 @@ impl ClusterSim {
             .jobs
             .values()
             .filter_map(|j| match j.state {
-                JobState::Running { start_s } => {
-                    Some((start_s + j.request.walltime_s, j.request.ppn, j.placement.clone()))
-                }
+                JobState::Running { start_s } => Some((
+                    start_s + j.request.walltime_s,
+                    j.request.ppn,
+                    j.placement.clone(),
+                )),
                 _ => None,
             })
             .collect();
@@ -407,7 +493,7 @@ impl ClusterSim {
             for &id in order.iter().skip(1) {
                 let req = self.jobs[&id].request.clone();
                 let fits = self.fits_now(&req).is_some();
-                let ends_before_shadow = self.time_s + req.walltime_s <= shadow;
+                let ends_before_shadow = self.now() + req.walltime_s <= shadow;
                 if fits && ends_before_shadow {
                     self.start_job(id);
                     backfilled = true;
@@ -422,15 +508,17 @@ impl ClusterSim {
 
     // ----- event loop -----
 
-    /// Process events up to and including time `t`.
-    pub fn run_until(&mut self, t: f64) {
-        while let Some(Reverse((TimeKey(et), _, _))) = self.events.peek() {
-            if *et > t {
+    /// Process events up to and including time `t`. Accepts `SimTime`
+    /// or float seconds.
+    pub fn run_until(&mut self, t: impl Into<SimTime>) {
+        let t = t.into();
+        while let Some(et) = self.events.peek_time() {
+            if et > t {
                 break;
             }
-            let Reverse((TimeKey(et), _, kind)) = self.events.pop().expect("peeked");
-            self.time_s = et;
-            match kind {
+            let scheduled = self.events.pop().expect("peeked");
+            self.clock.advance_to(scheduled.t);
+            match scheduled.event {
                 EventKind::Submit(id) => {
                     if self.jobs[&id].state == JobState::Queued {
                         self.queue.push(id);
@@ -441,12 +529,12 @@ impl ClusterSim {
             }
             self.try_start_jobs();
         }
-        self.time_s = self.time_s.max(t);
+        self.clock.advance_to(t);
     }
 
     /// Run until the event queue drains.
     pub fn run_to_completion(&mut self) {
-        while let Some(Reverse((TimeKey(et), _, _))) = self.events.peek().cloned() {
+        while let Some(et) = self.events.peek_time() {
             self.run_until(et);
         }
     }
@@ -476,7 +564,9 @@ mod tests {
         let mut sim = ClusterSim::new(1, 2, SchedPolicy::Fifo);
         let id = sim.submit_at(0.0, req("runaway", 1, 1, 50.0, 500.0));
         sim.run_to_completion();
-        assert!(matches!(sim.job(id).unwrap().state, JobState::TimedOut { end_s, .. } if end_s == 50.0));
+        assert!(
+            matches!(sim.job(id).unwrap().state, JobState::TimedOut { end_s, .. } if end_s == 50.0)
+        );
     }
 
     #[test]
@@ -525,12 +615,18 @@ mod tests {
         };
         assert_eq!(head_start, 100.0, "head starts exactly at the shadow time");
         let long_start = sim.job(long).unwrap().wait_s().unwrap() + 2.0;
-        assert!(long_start >= 100.0, "long job must not backfill: started {long_start}");
+        assert!(
+            long_start >= 100.0,
+            "long job must not backfill: started {long_start}"
+        );
     }
 
     #[test]
     fn maui_fairshare_penalizes_heavy_user() {
-        let policy = SchedPolicy::MauiPriority { queue_weight: 1.0, fairshare_weight: 1.0 };
+        let policy = SchedPolicy::MauiPriority {
+            queue_weight: 1.0,
+            fairshare_weight: 1.0,
+        };
         let mut sim = ClusterSim::new(1, 2, policy);
         // hog builds up usage
         sim.submit_at(0.0, req("hog1", 1, 2, 100.0, 100.0).by("hog"));
@@ -540,7 +636,11 @@ mod tests {
         sim.submit_at(50.0, req("hog2", 1, 2, 100.0, 100.0).by("hog"));
         let fair = sim.submit_at(60.0, req("fair1", 1, 2, 100.0, 100.0).by("fair"));
         sim.run_to_completion();
-        assert_eq!(sim.job(fair).unwrap().wait_s(), Some(40.0), "fair user's job runs first");
+        assert_eq!(
+            sim.job(fair).unwrap().wait_s(),
+            Some(40.0),
+            "fair user's job runs first"
+        );
     }
 
     #[test]
@@ -550,11 +650,17 @@ mod tests {
         sim.submit_at(1.0, req("blocked-head", 2, 2, 100.0, 100.0));
         let tiny = sim.submit_at(2.0, req("tiny", 1, 1, 10.0, 10.0));
         sim.run_until(5.0);
-        assert!(sim.job(tiny).unwrap().wait_s().is_none(), "FIFO keeps tiny queued");
+        assert!(
+            sim.job(tiny).unwrap().wait_s().is_none(),
+            "FIFO keeps tiny queued"
+        );
         // the XNIT scheduler swap: torque/fifo -> maui backfill
         sim.set_policy(SchedPolicy::EasyBackfill);
         sim.run_until(6.0);
-        assert!(sim.job(tiny).unwrap().wait_s().is_some(), "backfill starts tiny immediately");
+        assert!(
+            sim.job(tiny).unwrap().wait_s().is_some(),
+            "backfill starts tiny immediately"
+        );
     }
 
     #[test]
@@ -596,7 +702,10 @@ mod tests {
         let short_start = sim.job(short).unwrap().wait_s().unwrap();
         assert_eq!(short_start, 0.0, "short job runs before the window");
         let long_start = sim.job(long).unwrap().wait_s().unwrap();
-        assert!(long_start >= 200.0, "long job must wait out the window: {long_start}");
+        assert!(
+            long_start >= 200.0,
+            "long job must wait out the window: {long_start}"
+        );
     }
 
     #[test]
@@ -641,7 +750,10 @@ mod tests {
         sim.run_until(60.0); // machine free at t=50, but victim held
         assert!(sim.job(victim).unwrap().wait_s().is_none());
         assert!(sim.release(victim));
-        assert!(sim.job(victim).unwrap().wait_s().is_some(), "starts on release");
+        assert!(
+            sim.job(victim).unwrap().wait_s().is_some(),
+            "starts on release"
+        );
         sim.run_to_completion();
     }
 
@@ -681,6 +793,44 @@ mod tests {
     }
 
     #[test]
+    fn trace_records_submits_jobs_and_reservations() {
+        use xcbc_sim::TraceKind;
+        let mut sim = ClusterSim::new(2, 2, SchedPolicy::Fifo);
+        sim.add_reservation("maintenance", vec![1], 500.0, 600.0);
+        sim.submit_at(0.0, req("a", 1, 2, 100.0, 80.0));
+        sim.run_to_completion();
+        let events = sim.trace_events();
+        assert!(events
+            .iter()
+            .any(|e| e.label == "reservation: maintenance"
+                && matches!(e.kind, TraceKind::Span { .. })));
+        assert!(events
+            .iter()
+            .any(|e| e.label == "submit a" && matches!(e.kind, TraceKind::Mark)));
+        let job = events
+            .iter()
+            .find(|e| e.label == "job a")
+            .expect("job span");
+        assert_eq!(job.t, SimTime::ZERO);
+        assert_eq!(job.duration(), xcbc_sim::SimDuration::from_secs(80));
+        assert_eq!(job.source, "sched");
+    }
+
+    #[test]
+    fn trace_job_span_starts_at_job_start_not_submit() {
+        let mut sim = ClusterSim::new(1, 1, SchedPolicy::Fifo);
+        sim.submit_at(0.0, req("first", 1, 1, 100.0, 100.0));
+        sim.submit_at(1.0, req("second", 1, 1, 50.0, 50.0));
+        sim.run_to_completion();
+        let second = sim
+            .trace_events()
+            .iter()
+            .find(|e| e.label == "job second")
+            .expect("span");
+        assert_eq!(second.t, SimTime::from_secs(100));
+    }
+
+    #[test]
     fn no_oversubscription_ever() {
         // a randomized soak: run many jobs and assert free cores never
         // go negative (they can't by construction, but the invariant is
@@ -690,7 +840,10 @@ mod tests {
         for i in 0..40 {
             let nodes = 1 + (i % 4) as u32;
             let ppn = 1 + (i % 3) as u32;
-            sim.submit_at(t, req(&format!("j{i}"), nodes, ppn, 50.0 + (i as f64), 40.0));
+            sim.submit_at(
+                t,
+                req(&format!("j{i}"), nodes, ppn, 50.0 + (i as f64), 40.0),
+            );
             t += 3.0;
         }
         sim.run_to_completion();

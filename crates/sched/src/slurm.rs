@@ -56,7 +56,9 @@ impl Slurm {
 
     /// `scancel <id>`.
     pub fn scancel(&mut self, id: &str) -> bool {
-        parse_numeric_id(id).map(|n| self.sim.cancel(n)).unwrap_or(false)
+        parse_numeric_id(id)
+            .map(|n| self.sim.cancel(n))
+            .unwrap_or(false)
     }
 }
 

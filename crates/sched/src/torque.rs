@@ -73,7 +73,9 @@ impl TorqueServer {
 
     /// `qdel <id>`.
     pub fn qdel(&mut self, id: &str) -> bool {
-        parse_numeric_id(id).map(|n| self.sim.cancel(n)).unwrap_or(false)
+        parse_numeric_id(id)
+            .map(|n| self.sim.cancel(n))
+            .unwrap_or(false)
     }
 }
 
@@ -164,9 +166,15 @@ mod tests {
     fn maui_beats_fifo_on_mixed_workload() {
         let workload: Vec<(f64, JobRequest)> = (0..30)
             .map(|i| {
-                let (nodes, ppn, run) =
-                    if i % 5 == 0 { (6, 2, 600.0) } else { (1, 1, 60.0) };
-                (i as f64 * 10.0, JobRequest::new(&format!("j{i}"), nodes, ppn, run * 1.5, run))
+                let (nodes, ppn, run) = if i % 5 == 0 {
+                    (6, 2, 600.0)
+                } else {
+                    (1, 1, 60.0)
+                };
+                (
+                    i as f64 * 10.0,
+                    JobRequest::new(&format!("j{i}"), nodes, ppn, run * 1.5, run),
+                )
             })
             .collect();
         let mut fifo = TorqueServer::fifo_only("c", 6, 2);

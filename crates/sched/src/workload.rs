@@ -62,7 +62,12 @@ pub struct WorkloadGenerator {
 
 impl WorkloadGenerator {
     pub fn new(profile: WorkloadProfile, nodes: u32, cores_per_node: u32, seed: u64) -> Self {
-        WorkloadGenerator { profile, rng: StdRng::seed_from_u64(seed), nodes, cores_per_node }
+        WorkloadGenerator {
+            profile,
+            rng: StdRng::seed_from_u64(seed),
+            nodes,
+            cores_per_node,
+        }
     }
 
     /// Generate `n` jobs as `(submit_time, request)` pairs in time order.
@@ -118,7 +123,10 @@ mod tests {
         for (_, req) in g.generate(200) {
             assert!(req.nodes <= 6);
             assert!(req.ppn <= 2);
-            assert!(req.walltime_s >= req.runtime_s, "padding keeps jobs inside walltime");
+            assert!(
+                req.walltime_s >= req.runtime_s,
+                "padding keeps jobs inside walltime"
+            );
             let (lo, hi) = WorkloadProfile::campus_research().runtime_range_s;
             assert!(req.runtime_s >= lo && req.runtime_s <= hi);
         }
@@ -138,7 +146,10 @@ mod tests {
         let mut g = WorkloadGenerator::new(WorkloadProfile::teaching_lab(), 6, 2, 11);
         let jobs = g.generate(1000);
         let full = jobs.iter().filter(|(_, r)| r.nodes == 6).count();
-        assert!((50..200).contains(&full), "expected ~10% full-machine, got {full}/1000");
+        assert!(
+            (50..200).contains(&full),
+            "expected ~10% full-machine, got {full}/1000"
+        );
     }
 
     #[test]

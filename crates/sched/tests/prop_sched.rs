@@ -48,9 +48,12 @@ proptest! {
         jobs in proptest::collection::vec((1.0f64..100.0, 0.0f64..400.0), 1..25),
         window_start in 100.0f64..300.0,
     ) {
-        let window_end = window_start + 100.0;
         let mut sim = ClusterSim::new(2, 2, policy);
-        sim.add_reservation("window", vec![0, 1], window_start, window_end);
+        sim.add_reservation("window", vec![0, 1], window_start, window_start + 100.0);
+        // compare against the window as the scheduler stores it: times
+        // are quantized to integer nanoseconds on the shared clock
+        let window_start = sim.reservations()[0].start_s();
+        let window_end = sim.reservations()[0].end_s();
         let mut sorted = jobs;
         sorted.sort_by(|a, b| a.1.total_cmp(&b.1));
         for (i, (wall, at)) in sorted.into_iter().enumerate() {

@@ -1,0 +1,43 @@
+//! `xcbc-sim` — the unified simulation substrate for the XCBC/XNIT
+//! reproduction.
+//!
+//! Before this crate, every layer kept a private notion of time: the
+//! boot `Timeline`'s `f64` seconds in `xcbc-cluster`, the scheduler's
+//! hand-rolled event heap in `xcbc-sched`, mirror latency/bandwidth
+//! float math in `xcbc-yum`, and the install phase durations scattered
+//! through `xcbc-rocks`. This crate gives them one substrate:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond instants and
+//!   durations, exact and totally ordered, with `From<f64>` (seconds)
+//!   conversions that keep existing call sites terse;
+//! * [`SimClock`] — the monotonic virtual clock an event loop drives;
+//! * [`EventQueue`] — a binary-heap discrete-event queue with strict
+//!   `(time, insertion-order)` determinism;
+//! * [`TraceEvent`] / [`EventBus`] — structured, timestamped spans,
+//!   marks, and counters fanned out to pluggable [`TraceSink`]s
+//!   ([`RingBufferSink`], [`JsonlSink`], [`MetricsSink`]);
+//! * [`SpanRecorder`] — span recording with the classic boot-timeline
+//!   placement rules, so `cluster::Timeline` can become a pure view
+//!   over the trace log.
+//!
+//! Everything is deterministic by construction: no wall clock, no
+//! hash-order iteration, FIFO tie-breaking at equal timestamps. Two
+//! runs of the same scenario with the same fault seed serialize to
+//! byte-identical JSONL.
+
+#![deny(missing_docs)]
+
+mod clock;
+mod queue;
+mod recorder;
+mod time;
+mod trace;
+
+pub use clock::SimClock;
+pub use queue::{EventQueue, Scheduled};
+pub use recorder::{SpanRecorder, BACKOFF_PREFIX};
+pub use time::{SimDuration, SimTime, NANOS_PER_SEC};
+pub use trace::{
+    events_to_jsonl, EventBus, FieldValue, JsonlSink, MetricsSink, RingBufferSink, TraceEvent,
+    TraceKind, TraceSink,
+};

@@ -1,0 +1,160 @@
+//! The discrete-event queue shared by the simulation layers.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled occurrence popped from an [`EventQueue`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub t: SimTime,
+    /// Insertion sequence number; unique per queue, and the FIFO
+    /// tie-breaker for events scheduled at the same instant.
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+// Min-heap entry: earliest time first, then insertion order. The
+// payload deliberately never participates in ordering — two events at
+// the same instant pop in the order they were scheduled, exactly the
+// discipline the scheduler's old hand-rolled heap used (its seq field
+// was unique, so the payload comparison behind it was dead).
+struct Entry<E> {
+    t: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed: BinaryHeap is a max-heap, we want the earliest out
+        (other.t, other.seq).cmp(&(self.t, self.seq))
+    }
+}
+
+/// A binary-heap discrete-event queue ordered by `(time, insertion
+/// sequence)`.
+///
+/// Determinism contract: for equal timestamps, events pop in insertion
+/// order, regardless of payload. That makes runs byte-replayable — the
+/// only inputs are the schedule calls themselves.
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` at `t`; returns its sequence number.
+    pub fn schedule(&mut self, t: impl Into<SimTime>, event: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            t: t.into(),
+            seq,
+            event,
+        });
+        seq
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop().map(|e| Scheduled {
+            t: e.t,
+            seq: e.seq,
+            event: e.event,
+        })
+    }
+
+    /// When the earliest event fires, without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(30), "c");
+        q.schedule(SimTime::from_secs(10), "a");
+        q.schedule(SimTime::from_secs(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|s| s.event).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|s| s.event).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_reports_earliest_without_popping() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(7.5, ());
+        q.schedule(2.5, ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs_f64(2.5)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn f64_seconds_convert_at_the_boundary() {
+        let mut q = EventQueue::new();
+        q.schedule(1.5, "later");
+        q.schedule(0.5, "sooner");
+        assert_eq!(q.pop().unwrap().event, "sooner");
+    }
+}

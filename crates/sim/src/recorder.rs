@@ -1,0 +1,186 @@
+//! Span recording with the same placement discipline as the classic
+//! boot `Timeline`.
+
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{EventBus, TraceEvent, TraceKind};
+
+/// Label prefix marking a span as retry backoff, so traces can account
+/// for time lost to the resilience layer separately from real work.
+/// (`cluster::boot` re-exports this so existing imports keep working.)
+pub const BACKOFF_PREFIX: &str = "backoff: ";
+
+/// Records spans with the classic `Timeline` placement rules:
+///
+/// * [`record`](SpanRecorder::record) starts a span when all previous
+///   work has finished (the max end over recorded spans);
+/// * [`record_parallel`](SpanRecorder::record_parallel) starts a span
+///   together with the previously recorded one;
+/// * [`record_backoff`](SpanRecorder::record_backoff) is `record` with
+///   the [`BACKOFF_PREFIX`] label, dropping zero durations so clean
+///   runs leave no backoff spans behind.
+///
+/// A `Timeline` built from the recorded events (see
+/// `Timeline::from_spans` in `xcbc-cluster`) is phase-for-phase
+/// identical to one built with the old `push`/`push_parallel` calls —
+/// that is what lets the boot timeline become a pure view over the
+/// trace log without changing a single rendered report.
+#[derive(Debug)]
+pub struct SpanRecorder {
+    source: String,
+    events: Vec<TraceEvent>,
+}
+
+impl SpanRecorder {
+    /// A recorder whose spans carry `source` (e.g. `"rocks.install"`).
+    pub fn new(source: impl Into<String>) -> SpanRecorder {
+        SpanRecorder {
+            source: source.into(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The instant all recorded work has finished — where the next
+    /// sequential span starts.
+    pub fn cursor(&self) -> SimTime {
+        self.events
+            .iter()
+            .map(TraceEvent::end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Record a span starting when all previous work has finished.
+    pub fn record(&mut self, label: impl Into<String>, dur: impl Into<SimDuration>) -> &mut Self {
+        let start = self.cursor();
+        self.events
+            .push(TraceEvent::span(start, self.source.clone(), label, dur));
+        self
+    }
+
+    /// Record a span that runs concurrently with the previously
+    /// recorded one (same start; extends the cursor only if it
+    /// finishes later). With nothing recorded yet it starts at zero.
+    pub fn record_parallel(
+        &mut self,
+        label: impl Into<String>,
+        dur: impl Into<SimDuration>,
+    ) -> &mut Self {
+        let start = self.events.last().map(|e| e.t).unwrap_or(SimTime::ZERO);
+        self.events
+            .push(TraceEvent::span(start, self.source.clone(), label, dur));
+        self
+    }
+
+    /// Record a retry-backoff span ([`BACKOFF_PREFIX`]-labelled).
+    /// Zero durations are dropped.
+    pub fn record_backoff(
+        &mut self,
+        what: impl AsRef<str>,
+        dur: impl Into<SimDuration>,
+    ) -> &mut Self {
+        let dur = dur.into();
+        if !dur.is_zero() {
+            self.record(format!("{BACKOFF_PREFIX}{}", what.as_ref()), dur);
+        }
+        self
+    }
+
+    /// Append an event verbatim — for marks/counters interleaved with
+    /// recorded spans, or spans placed by some other rule.
+    pub fn record_event(&mut self, event: TraceEvent) -> &mut Self {
+        self.events.push(event);
+        self
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consume the recorder, returning its events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+
+    /// Total span time lost to backoff.
+    pub fn backoff_time(&self) -> SimDuration {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, TraceKind::Span { .. }) && e.label.starts_with(BACKOFF_PREFIX)
+            })
+            .map(TraceEvent::duration)
+            .sum()
+    }
+
+    /// Emit every recorded event onto `bus`, in order.
+    pub fn flush_to(&self, bus: &mut EventBus) {
+        for ev in &self.events {
+            bus.emit(ev.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_spans_accumulate_like_timeline_push() {
+        let mut r = SpanRecorder::new("test");
+        r.record("bios", 30.0)
+            .record("pxe", 10.0)
+            .record("install", 600.0);
+        assert_eq!(r.events()[2].t, SimTime::from_secs(40));
+        assert_eq!(r.cursor(), SimTime::from_secs(640));
+    }
+
+    #[test]
+    fn parallel_spans_share_start_like_push_parallel() {
+        let mut r = SpanRecorder::new("test");
+        r.record("frontend install", 1800.0);
+        r.record("compute-0-0 install", 600.0);
+        r.record_parallel("compute-0-1 install", 700.0);
+        assert_eq!(r.events()[2].t, SimTime::from_secs(1800));
+        assert_eq!(r.cursor(), SimTime::from_secs(2500));
+    }
+
+    #[test]
+    fn parallel_on_empty_starts_at_zero() {
+        let mut r = SpanRecorder::new("test");
+        r.record_parallel("x", 5.0);
+        assert_eq!(r.events()[0].t, SimTime::ZERO);
+        assert_eq!(r.cursor(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn zero_backoff_leaves_no_span() {
+        let mut r = SpanRecorder::new("test");
+        r.record("install", 100.0);
+        r.record_backoff("nothing", 0.0);
+        r.record_backoff("negative", -3.0);
+        assert_eq!(r.events().len(), 1);
+        assert_eq!(r.backoff_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn backoff_spans_are_labelled_and_totalled() {
+        let mut r = SpanRecorder::new("test");
+        r.record("frontend install", 600.0);
+        r.record_backoff("mirror.fetch retry", 6.0);
+        r.record_backoff("dhcp.discover retry", 4.0);
+        assert_eq!(r.backoff_time(), SimDuration::from_secs(10));
+        assert!(r.events()[1].label.starts_with(BACKOFF_PREFIX));
+        assert_eq!(r.cursor(), SimTime::from_secs(610));
+    }
+
+    #[test]
+    fn flush_forwards_in_order() {
+        let mut r = SpanRecorder::new("test");
+        r.record("a", 1.0).record("b", 2.0);
+        let mut bus = EventBus::new();
+        r.flush_to(&mut bus);
+        assert_eq!(bus.events().len(), 2);
+        assert_eq!(bus.events()[1].label, "b");
+    }
+}

@@ -23,7 +23,11 @@ pub struct MetadataCache {
 
 impl MetadataCache {
     pub fn new(expire_s: f64) -> Self {
-        MetadataCache { entries: HashMap::new(), expire_s, fetches: 0 }
+        MetadataCache {
+            entries: HashMap::new(),
+            expire_s,
+            fetches: 0,
+        }
     }
 
     /// Yum's default 90-minute expiry.
@@ -40,7 +44,8 @@ impl MetadataCache {
         };
         if stale {
             self.fetches += 1;
-            self.entries.insert(repo.id.clone(), (now_s, repo.metadata()));
+            self.entries
+                .insert(repo.id.clone(), (now_s, repo.metadata()));
         }
         (&self.entries.get(&repo.id).expect("just inserted").1, stale)
     }

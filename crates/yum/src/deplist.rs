@@ -79,10 +79,22 @@ mod tests {
 
     fn repos() -> Vec<Repository> {
         let mut r = Repository::new("t", "t");
-        r.add_package(PackageBuilder::new("app", "1", "1").requires_simple("lib").build());
-        r.add_package(PackageBuilder::new("lib", "1", "1").requires_simple("base").build());
+        r.add_package(
+            PackageBuilder::new("app", "1", "1")
+                .requires_simple("lib")
+                .build(),
+        );
+        r.add_package(
+            PackageBuilder::new("lib", "1", "1")
+                .requires_simple("base")
+                .build(),
+        );
         r.add_package(PackageBuilder::new("base", "1", "1").build());
-        r.add_package(PackageBuilder::new("broken", "1", "1").requires_simple("ghost").build());
+        r.add_package(
+            PackageBuilder::new("broken", "1", "1")
+                .requires_simple("ghost")
+                .build(),
+        );
         vec![r]
     }
 

@@ -52,7 +52,11 @@ impl PackageGroupDef {
 
     /// Packages a plain `groupinstall` pulls (mandatory + default).
     pub fn install_set(&self) -> Vec<&str> {
-        self.mandatory.iter().chain(self.default.iter()).map(String::as_str).collect()
+        self.mandatory
+            .iter()
+            .chain(self.default.iter())
+            .map(String::as_str)
+            .collect()
     }
 }
 
@@ -143,7 +147,10 @@ mod tests {
 
     #[test]
     fn install_set_order() {
-        let g = PackageGroupDef::new("g", "G").mandatory_pkg("a").default_pkg("b").optional_pkg("c");
+        let g = PackageGroupDef::new("g", "G")
+            .mandatory_pkg("a")
+            .default_pkg("b")
+            .optional_pkg("c");
         assert_eq!(g.install_set(), vec!["a", "b"]);
     }
 }

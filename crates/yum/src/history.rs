@@ -62,9 +62,15 @@ impl YumHistory {
 
     /// Render like `yum history list`.
     pub fn render(&self) -> String {
-        let mut out = String::from("ID | Command        | Actions\n---+----------------+--------\n");
+        let mut out =
+            String::from("ID | Command        | Actions\n---+----------------+--------\n");
         for e in self.entries.iter().rev() {
-            out.push_str(&format!("{:>2} | {:<14} | {}\n", e.id, truncate(&e.command, 14), e.action_count()));
+            out.push_str(&format!(
+                "{:>2} | {:<14} | {}\n",
+                e.id,
+                truncate(&e.command, 14),
+                e.action_count()
+            ));
         }
         out
     }

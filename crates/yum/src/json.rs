@@ -30,7 +30,11 @@ pub struct JsonError {
 
 impl std::fmt::Display for JsonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -38,7 +42,10 @@ impl std::error::Error for JsonError {}
 
 impl JsonValue {
     pub fn parse(s: &str) -> Result<JsonValue, JsonError> {
-        let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -108,9 +115,7 @@ impl JsonValue {
 
     pub fn get<'a>(&'a self, key: &str) -> Option<&'a JsonValue> {
         match self {
-            JsonValue::Object(fields) => {
-                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -169,7 +174,10 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn err(&self, message: impl Into<String>) -> JsonError {
-        JsonError { offset: self.pos, message: message.into() }
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -295,8 +303,8 @@ impl Parser<'_> {
                                 .bytes
                                 .get(self.pos + 1..self.pos + 5)
                                 .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| self.err("bad \\u escape"))?;
                             // Surrogate pairs are not needed for package
@@ -327,13 +335,19 @@ impl Parser<'_> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
         text.parse::<f64>()
             .map(JsonValue::Number)
-            .map_err(|_| JsonError { offset: start, message: format!("bad number '{text}'") })
+            .map_err(|_| JsonError {
+                offset: start,
+                message: format!("bad number '{text}'"),
+            })
     }
 }
 
@@ -364,7 +378,12 @@ impl JsonObject {
     pub fn strings(self, key: &str, values: &[String]) -> Self {
         self.field(
             key,
-            JsonValue::Array(values.iter().map(|s| JsonValue::String(s.clone())).collect()),
+            JsonValue::Array(
+                values
+                    .iter()
+                    .map(|s| JsonValue::String(s.clone()))
+                    .collect(),
+            ),
         )
     }
 
@@ -382,7 +401,10 @@ mod tests {
         let doc = JsonObject::new()
             .string("id", "xsede")
             .number("revision", 3.0)
-            .field("flags", JsonValue::Array(vec![JsonValue::Bool(true), JsonValue::Null]))
+            .field(
+                "flags",
+                JsonValue::Array(vec![JsonValue::Bool(true), JsonValue::Null]),
+            )
             .field(
                 "pkgs",
                 JsonValue::Array(vec![JsonObject::new()
@@ -401,7 +423,10 @@ mod tests {
         let v = JsonValue::parse(r#"{"a": 3, "b": "x", "c": [1, 2]}"#).unwrap();
         assert_eq!(v.get("a").and_then(JsonValue::as_u64), Some(3));
         assert_eq!(v.get("b").and_then(JsonValue::as_str), Some("x"));
-        assert_eq!(v.get("c").and_then(JsonValue::as_array).map(<[_]>::len), Some(2));
+        assert_eq!(
+            v.get("c").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(2)
+        );
         assert!(v.get("missing").is_none());
     }
 

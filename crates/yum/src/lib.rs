@@ -44,11 +44,15 @@ pub use deplist::{deplist, render_deplist, DepListEntry};
 pub use groups::{group_install, PackageGroupDef};
 pub use history::{HistoryEntry, YumHistory};
 pub use metadata::{MetadataError, PrimaryRecord, RepoMetadata};
-pub use mirror::{Mirror, MirrorList, MirrorOutcome, ResilientFetch, MIN_BANDWIDTH_MBPS};
+pub use mirror::{
+    Mirror, MirrorList, MirrorOutcome, ResilientFetch, TracedFetch, MIN_BANDWIDTH_MBPS,
+};
 pub use notifier::{NotificationReport, UpdateNotifier, UpdatePolicy};
 pub use priorities::apply_priorities;
 pub use repo::Repository;
-pub use repoconfig::{parse_repo_file, render_repo_file, RepoConfig, RepoFileError, XSEDE_REPO_FILE};
+pub use repoconfig::{
+    parse_repo_file, render_repo_file, RepoConfig, RepoFileError, XSEDE_REPO_FILE,
+};
 pub use solver::{Solution, SolveError, Solver};
 pub use updates::{CheckUpdate, UpdateKind};
 
@@ -93,7 +97,11 @@ impl Default for Yum {
 
 impl Yum {
     pub fn new(config: YumConfig) -> Self {
-        Yum { config, repositories: Vec::new(), history: YumHistory::new() }
+        Yum {
+            config,
+            repositories: Vec::new(),
+            history: YumHistory::new(),
+        }
     }
 
     pub fn config(&self) -> &YumConfig {
@@ -151,7 +159,8 @@ impl Yum {
         }
         let tx = solution.into_transaction();
         let report = tx.run(db).map_err(SolveError::Transaction)?;
-        self.history.record(&format!("install {}", names.join(" ")), &report);
+        self.history
+            .record(&format!("install {}", names.join(" ")), &report);
         Ok(report)
     }
 
@@ -195,10 +204,14 @@ mod tests {
     fn xnit_like_yum() -> Yum {
         let mut repo = Repository::new("xsede", "XSEDE repo");
         repo.add_package(
-            PackageBuilder::new("openmpi", "1.6.5", "1.el6").provides_versioned("mpi").build(),
+            PackageBuilder::new("openmpi", "1.6.5", "1.el6")
+                .provides_versioned("mpi")
+                .build(),
         );
         repo.add_package(
-            PackageBuilder::new("gromacs", "4.6.5", "2.el6").requires_simple("mpi").build(),
+            PackageBuilder::new("gromacs", "4.6.5", "2.el6")
+                .requires_simple("mpi")
+                .build(),
         );
         repo.add_package(PackageBuilder::new("R", "3.0.2", "1.el6").build());
         let mut yum = Yum::new(YumConfig::default());

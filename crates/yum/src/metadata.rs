@@ -223,7 +223,11 @@ mod tests {
                 .size_mb(50)
                 .build(),
         );
-        r.add_package(PackageBuilder::new("openmpi", "1.6.5", "1.el6").size_mb(40).build());
+        r.add_package(
+            PackageBuilder::new("openmpi", "1.6.5", "1.el6")
+                .size_mb(40)
+                .build(),
+        );
         r
     }
 
@@ -239,7 +243,10 @@ mod tests {
     fn records_sorted_and_self_provide_included() {
         let md = repo().metadata();
         assert_eq!(md.primary[0].name, "gromacs");
-        assert!(md.primary[0].provides.iter().any(|p| p.starts_with("gromacs =")));
+        assert!(md.primary[0]
+            .provides
+            .iter()
+            .any(|p| p.starts_with("gromacs =")));
         assert_eq!(md.primary[0].requires, vec!["openmpi"]);
         assert!(md.primary[0].location.ends_with(".rpm"));
     }
@@ -261,8 +268,12 @@ mod tests {
         let new_md = r.metadata();
         let diff = old_md.diff_new_or_upgraded(&new_md);
         assert_eq!(diff.len(), 2);
-        assert!(diff.iter().any(|d| d.starts_with("gromacs 4.6.5-2.el6 -> 5.0")));
-        assert!(diff.iter().any(|d| d.contains("lammps") && d.contains("(new)")));
+        assert!(diff
+            .iter()
+            .any(|d| d.starts_with("gromacs 4.6.5-2.el6 -> 5.0")));
+        assert!(diff
+            .iter()
+            .any(|d| d.contains("lammps") && d.contains("(new)")));
     }
 
     #[test]

@@ -8,6 +8,10 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use xcbc_fault::{retry_with, FaultInjector, InjectionPoint, RetryPolicy};
+use xcbc_sim::{SimTime, TraceEvent, BACKOFF_PREFIX};
+
+/// Trace source tag for mirror fetch events.
+const TRACE_SOURCE: &str = "yum.mirror";
 
 /// Floor for [`Mirror::bandwidth_mbps`]: a mirror this slow is
 /// effectively dead, but fetch times stay finite and positive.
@@ -85,7 +89,11 @@ impl MirrorList {
     /// for failure sampling. Failed attempts cost 3 timeout-latencies
     /// (yum's default retry behavior per mirror).
     pub fn fetch<R: Rng>(&self, bytes: u64, rng: &mut R) -> MirrorOutcome {
-        let mut outcome = MirrorOutcome { served_by: None, failed: Vec::new(), seconds: 0.0 };
+        let mut outcome = MirrorOutcome {
+            served_by: None,
+            failed: Vec::new(),
+            seconds: 0.0,
+        };
         for m in &self.mirrors {
             let fails = rng.gen_bool(m.failure_rate);
             if fails {
@@ -121,34 +129,90 @@ impl MirrorList {
         injector: &mut FaultInjector,
         policy: &RetryPolicy,
     ) -> ResilientFetch {
+        self.fetch_resilient_traced(bytes, injector, policy, SimTime::ZERO)
+            .fetch
+    }
+
+    /// [`MirrorList::fetch_resilient`] that also records the fetch as
+    /// trace spans on the shared timebase, starting at `start`: one
+    /// span per mirror attempt (`timeout <url>` for a failed attempt at
+    /// yum's 3-latency cost, `fetch <url>` for the transfer that
+    /// served), plus one [`BACKOFF_PREFIX`] span for any retry backoff
+    /// charged between passes.
+    pub fn fetch_resilient_traced(
+        &self,
+        bytes: u64,
+        injector: &mut FaultInjector,
+        policy: &RetryPolicy,
+        start: impl Into<SimTime>,
+    ) -> TracedFetch {
         let mut jitter_rng = injector.rng_for("mirror.fetch.backoff");
         let mut rate_rng = injector.rng_for("mirror.fetch.rate");
         let mut failed: Vec<String> = Vec::new();
         let mut transfer_s = 0.0;
-        let retry = retry_with(policy, &mut jitter_rng, |_attempt| {
+        let mut events: Vec<TraceEvent> = Vec::new();
+        let mut cursor = start.into();
+        let retry = retry_with(policy, &mut jitter_rng, |attempt| {
             for m in &self.mirrors {
                 let injected = injector.should_fault(InjectionPoint::MirrorFetch, &m.url);
                 let sampled = rate_rng.gen_bool(m.failure_rate);
                 if injected.is_some() || sampled {
                     failed.push(m.url.clone());
-                    transfer_s += 3.0 * m.latency_ms / 1000.0;
+                    let timeout_s = 3.0 * m.latency_ms / 1000.0;
+                    transfer_s += timeout_s;
+                    let span = TraceEvent::span(
+                        cursor,
+                        TRACE_SOURCE,
+                        format!("timeout {}", m.url),
+                        timeout_s,
+                    )
+                    .with_field("attempt", attempt as u64);
+                    cursor = span.end();
+                    events.push(span);
                     continue;
                 }
-                transfer_s += m.fetch_seconds(bytes);
+                let fetch_s = m.fetch_seconds(bytes);
+                transfer_s += fetch_s;
+                let span =
+                    TraceEvent::span(cursor, TRACE_SOURCE, format!("fetch {}", m.url), fetch_s)
+                        .with_field("bytes", bytes)
+                        .with_field("attempt", attempt as u64);
+                cursor = span.end();
+                events.push(span);
                 return Ok(m.url.clone());
             }
             Err(())
         });
-        ResilientFetch {
-            outcome: MirrorOutcome {
-                served_by: retry.result.ok(),
-                failed,
-                seconds: transfer_s,
+        if retry.backoff_s > 0.0 {
+            events.push(TraceEvent::span(
+                cursor,
+                TRACE_SOURCE,
+                format!("{BACKOFF_PREFIX}mirror.fetch retry"),
+                retry.backoff_s,
+            ));
+        }
+        TracedFetch {
+            fetch: ResilientFetch {
+                outcome: MirrorOutcome {
+                    served_by: retry.result.ok(),
+                    failed,
+                    seconds: transfer_s,
+                },
+                attempts: retry.attempts,
+                backoff_s: retry.backoff_s,
             },
-            attempts: retry.attempts,
-            backoff_s: retry.backoff_s,
+            events,
         }
     }
+}
+
+/// Outcome of [`MirrorList::fetch_resilient_traced`]: the fetch result
+/// plus its per-attempt trace spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedFetch {
+    pub fetch: ResilientFetch,
+    /// Spans for every mirror attempt and any backoff, in time order.
+    pub events: Vec<TraceEvent>,
 }
 
 /// Outcome of [`MirrorList::fetch_resilient`]: the fetch result plus the
@@ -204,7 +268,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let out = list().fetch(10 << 20, &mut rng);
         assert!(out.succeeded());
-        assert_eq!(out.served_by.as_deref(), Some("http://cb-repo.iu.xsede.org/xsederepo/"));
+        assert_eq!(
+            out.served_by.as_deref(),
+            Some("http://cb-repo.iu.xsede.org/xsederepo/")
+        );
         assert!(out.failed.is_empty());
     }
 
@@ -296,7 +363,11 @@ mod tests {
         assert!(out.succeeded(), "failover + retry should recover");
         assert_eq!(out.attempts, 2);
         assert!(out.backoff_s > 0.0, "backoff charged for the retry");
-        assert_eq!(out.outcome.failed.len(), 2, "both mirrors failed the first pass");
+        assert_eq!(
+            out.outcome.failed.len(),
+            2,
+            "both mirrors failed the first pass"
+        );
         assert!(out.total_seconds() > out.outcome.seconds);
     }
 
@@ -313,6 +384,80 @@ mod tests {
         assert!(!out.succeeded());
         assert_eq!(out.attempts, 3);
         assert_eq!(inj.injected_count(), 6, "2 mirrors x 3 passes");
+    }
+
+    #[test]
+    fn traced_fetch_spans_cover_transfer_and_backoff() {
+        let plan = xcbc_fault::FaultPlan::new(11).fail(
+            xcbc_fault::InjectionPoint::MirrorFetch,
+            None,
+            xcbc_fault::FaultWindow::Nth(0),
+        );
+        let mut inj = plan.injector();
+        let traced = list().fetch_resilient_traced(
+            10 << 20,
+            &mut inj,
+            &xcbc_fault::RetryPolicy::default(),
+            0.0,
+        );
+        assert!(traced.fetch.succeeded());
+        // 2 timeouts (first pass), 1 fetch (second pass), 1 backoff span
+        let labels: Vec<_> = traced.events.iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(
+            traced
+                .events
+                .iter()
+                .filter(|e| e.label.starts_with("timeout "))
+                .count(),
+            2
+        );
+        assert_eq!(
+            traced
+                .events
+                .iter()
+                .filter(|e| e.label.starts_with("fetch "))
+                .count(),
+            1
+        );
+        assert!(
+            labels.iter().any(|l| l.starts_with(BACKOFF_PREFIX)),
+            "{labels:?}"
+        );
+        // span durations account for every virtual second of the fetch
+        let span_total: f64 = traced
+            .events
+            .iter()
+            .map(|e| e.duration().as_secs_f64())
+            .sum();
+        assert!((span_total - traced.fetch.total_seconds()).abs() < 1e-6);
+        // attempt spans tile the timeline: each starts where the previous ended
+        for pair in traced.events.windows(2) {
+            assert_eq!(pair[1].t, pair[0].end());
+        }
+    }
+
+    #[test]
+    fn traced_fetch_matches_untraced_result() {
+        let run_traced = || {
+            let plan = xcbc_fault::FaultPlan::new(21)
+                .with_rate(xcbc_fault::InjectionPoint::MirrorFetch, 0.5);
+            let mut inj = plan.injector();
+            list()
+                .fetch_resilient_traced(
+                    10 << 20,
+                    &mut inj,
+                    &xcbc_fault::RetryPolicy::default(),
+                    0.0,
+                )
+                .fetch
+        };
+        let run_untraced = || {
+            let plan = xcbc_fault::FaultPlan::new(21)
+                .with_rate(xcbc_fault::InjectionPoint::MirrorFetch, 0.5);
+            let mut inj = plan.injector();
+            list().fetch_resilient(10 << 20, &mut inj, &xcbc_fault::RetryPolicy::default())
+        };
+        assert_eq!(run_traced(), run_untraced());
     }
 
     #[test]

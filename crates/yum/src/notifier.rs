@@ -111,7 +111,10 @@ impl UpdateNotifier {
 
     fn render_mail(&self, report: &NotificationReport) -> String {
         let mut body = String::new();
-        body.push_str(&format!("To: {}\nSubject: yum update check ({:?})\n\n", self.mailto, self.policy));
+        body.push_str(&format!(
+            "To: {}\nSubject: yum update check ({:?})\n\n",
+            self.mailto, self.policy
+        ));
         if report.pending.is_empty() {
             body.push_str("No updates available.\n");
         } else {
@@ -125,7 +128,10 @@ impl UpdateNotifier {
                 UpdatePolicy::Automatic => "production",
                 _ => "test nodes",
             };
-            body.push_str(&format!("Applied to {target}: {}\n", report.applied.join(", ")));
+            body.push_str(&format!(
+                "Applied to {target}: {}\n",
+                report.applied.join(", ")
+            ));
         }
         if !report.service_restarts.is_empty() {
             body.push_str("WARNING: service restarts occurred:\n");
@@ -147,7 +153,9 @@ mod tests {
         let mut repo = Repository::new("xsede", "XSEDE");
         repo.add_package(
             PackageBuilder::new("torque", "4.2.10", "1.el6")
-                .scriptlet(Scriptlet::new(ScriptletPhase::Post, "service pbs_server restart").restarting())
+                .scriptlet(
+                    Scriptlet::new(ScriptletPhase::Post, "service pbs_server restart").restarting(),
+                )
                 .build(),
         );
         let mut yum = Yum::new(YumConfig::default());
@@ -166,8 +174,15 @@ mod tests {
         let report = notifier.run_check(&mut yum, &mut prod, None).unwrap();
         assert_eq!(report.pending.len(), 1);
         assert_eq!(report.applied.len(), 1);
-        assert_eq!(prod.newest("torque").unwrap().package.evr().version, "4.2.10");
-        assert_eq!(report.service_restarts.len(), 1, "restart risk must be visible");
+        assert_eq!(
+            prod.newest("torque").unwrap().package.evr().version,
+            "4.2.10"
+        );
+        assert_eq!(
+            report.service_restarts.len(),
+            1,
+            "restart risk must be visible"
+        );
         assert!(report.mail_body.contains("WARNING"));
     }
 
@@ -178,7 +193,10 @@ mod tests {
         let report = notifier.run_check(&mut yum, &mut prod, None).unwrap();
         assert_eq!(report.pending.len(), 1);
         assert!(report.applied.is_empty());
-        assert_eq!(prod.newest("torque").unwrap().package.evr().version, "4.2.8");
+        assert_eq!(
+            prod.newest("torque").unwrap().package.evr().version,
+            "4.2.8"
+        );
         assert!(report.mail_body.contains("1 update(s) available"));
     }
 
@@ -186,10 +204,18 @@ mod tests {
     fn staged_test_applies_only_to_test_node() {
         let (mut yum, mut prod, mut test) = setup();
         let notifier = UpdateNotifier::new(UpdatePolicy::StagedTest);
-        let report = notifier.run_check(&mut yum, &mut prod, Some(&mut test)).unwrap();
+        let report = notifier
+            .run_check(&mut yum, &mut prod, Some(&mut test))
+            .unwrap();
         assert_eq!(report.applied.len(), 1);
-        assert_eq!(prod.newest("torque").unwrap().package.evr().version, "4.2.8");
-        assert_eq!(test.newest("torque").unwrap().package.evr().version, "4.2.10");
+        assert_eq!(
+            prod.newest("torque").unwrap().package.evr().version,
+            "4.2.8"
+        );
+        assert_eq!(
+            test.newest("torque").unwrap().package.evr().version,
+            "4.2.10"
+        );
         assert!(report.mail_body.contains("test nodes"));
     }
 

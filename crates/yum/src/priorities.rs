@@ -48,8 +48,16 @@ mod tests {
 
     #[test]
     fn higher_priority_shadows_same_name() {
-        let base = repo("base", 1, vec![PackageBuilder::new("python", "2.6.6", "52").build()]);
-        let xsede = repo("xsede", 50, vec![PackageBuilder::new("python", "2.7.5", "1").build()]);
+        let base = repo(
+            "base",
+            1,
+            vec![PackageBuilder::new("python", "2.6.6", "52").build()],
+        );
+        let xsede = repo(
+            "xsede",
+            50,
+            vec![PackageBuilder::new("python", "2.7.5", "1").build()],
+        );
         let repos = [&base, &xsede];
         let survivors = apply_priorities(&repos);
         assert_eq!(survivors.len(), 1);
@@ -58,8 +66,16 @@ mod tests {
 
     #[test]
     fn unique_names_survive_regardless_of_priority() {
-        let base = repo("base", 1, vec![PackageBuilder::new("bash", "4.1.2", "15").build()]);
-        let xsede = repo("xsede", 50, vec![PackageBuilder::new("gromacs", "4.6.5", "2").build()]);
+        let base = repo(
+            "base",
+            1,
+            vec![PackageBuilder::new("bash", "4.1.2", "15").build()],
+        );
+        let xsede = repo(
+            "xsede",
+            50,
+            vec![PackageBuilder::new("gromacs", "4.6.5", "2").build()],
+        );
         let repos = [&base, &xsede];
         let survivors = apply_priorities(&repos);
         assert_eq!(survivors.len(), 2);
@@ -67,8 +83,16 @@ mod tests {
 
     #[test]
     fn equal_priorities_keep_both() {
-        let a = repo("a", 50, vec![PackageBuilder::new("R", "3.0.2", "1").build()]);
-        let b = repo("b", 50, vec![PackageBuilder::new("R", "3.1.0", "1").build()]);
+        let a = repo(
+            "a",
+            50,
+            vec![PackageBuilder::new("R", "3.0.2", "1").build()],
+        );
+        let b = repo(
+            "b",
+            50,
+            vec![PackageBuilder::new("R", "3.1.0", "1").build()],
+        );
         let repos = [&a, &b];
         let survivors = apply_priorities(&repos);
         assert_eq!(survivors.len(), 2, "equal priority does not shadow");

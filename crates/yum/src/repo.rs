@@ -95,12 +95,16 @@ impl Repository {
 
     /// Newest candidate with the given name.
     pub fn newest(&self, name: &str) -> Option<&Package> {
-        self.by_name(name).into_iter().max_by(|a, b| a.nevra.evr.cmp(&b.nevra.evr))
+        self.by_name(name)
+            .into_iter()
+            .max_by(|a, b| a.nevra.evr.cmp(&b.nevra.evr))
     }
 
     /// Specific NEVR lookup.
     pub fn find(&self, name: &str, evr: &Evr) -> Option<&Package> {
-        self.packages.iter().find(|p| p.name() == name && p.evr() == evr)
+        self.packages
+            .iter()
+            .find(|p| p.name() == name && p.evr() == evr)
     }
 
     /// Candidates satisfying a dependency (capability or file).
@@ -128,7 +132,11 @@ mod tests {
         let mut r = Repository::new("xsede", "XSEDE National Integration Toolkit");
         r.add_package(PackageBuilder::new("R", "3.0.2", "1.el6").build());
         r.add_package(PackageBuilder::new("R", "3.1.0", "1.el6").build());
-        r.add_package(PackageBuilder::new("openmpi", "1.6.5", "1.el6").provides_versioned("mpi").build());
+        r.add_package(
+            PackageBuilder::new("openmpi", "1.6.5", "1.el6")
+                .provides_versioned("mpi")
+                .build(),
+        );
         r
     }
 

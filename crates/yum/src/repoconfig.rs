@@ -33,7 +33,11 @@ pub enum RepoFileError {
     /// Empty section name `[]`.
     EmptySectionName { line_no: usize },
     /// Bad integer value.
-    BadValue { section: String, key: String, value: String },
+    BadValue {
+        section: String,
+        key: String,
+        value: String,
+    },
 }
 
 impl fmt::Display for RepoFileError {
@@ -51,7 +55,11 @@ impl fmt::Display for RepoFileError {
             RepoFileError::EmptySectionName { line_no } => {
                 write!(f, "line {line_no}: empty section name")
             }
-            RepoFileError::BadValue { section, key, value } => {
+            RepoFileError::BadValue {
+                section,
+                key,
+                value,
+            } => {
                 write!(f, "repo [{section}]: bad value for {key}: {value}")
             }
         }
@@ -86,9 +94,9 @@ pub fn parse_repo_file(text: &str) -> Result<Vec<RepoConfig>, RepoFileError> {
         priority: Option<u32>,
     }
     let finish = |s: Section| -> Result<RepoConfig, RepoFileError> {
-        let baseurl = s
-            .baseurl
-            .ok_or(RepoFileError::MissingBaseurl { section: s.id.clone() })?;
+        let baseurl = s.baseurl.ok_or(RepoFileError::MissingBaseurl {
+            section: s.id.clone(),
+        })?;
         Ok(RepoConfig {
             name: s.name.unwrap_or_else(|| s.id.clone()),
             id: s.id,
@@ -110,7 +118,10 @@ pub fn parse_repo_file(text: &str) -> Result<Vec<RepoConfig>, RepoFileError> {
         if let Some(stripped) = line.strip_prefix('[') {
             let id = stripped
                 .strip_suffix(']')
-                .ok_or_else(|| RepoFileError::Malformed { line_no, line: line.to_string() })?
+                .ok_or_else(|| RepoFileError::Malformed {
+                    line_no,
+                    line: line.to_string(),
+                })?
                 .trim();
             if id.is_empty() {
                 return Err(RepoFileError::EmptySectionName { line_no });
@@ -130,11 +141,17 @@ pub fn parse_repo_file(text: &str) -> Result<Vec<RepoConfig>, RepoFileError> {
         }
         let (key, value) = line
             .split_once('=')
-            .ok_or_else(|| RepoFileError::Malformed { line_no, line: line.to_string() })?;
+            .ok_or_else(|| RepoFileError::Malformed {
+                line_no,
+                line: line.to_string(),
+            })?;
         let (key, value) = (key.trim(), value.trim());
         let section = current
             .as_mut()
-            .ok_or_else(|| RepoFileError::KeyOutsideSection { line_no, line: line.to_string() })?;
+            .ok_or_else(|| RepoFileError::KeyOutsideSection {
+                line_no,
+                line: line.to_string(),
+            })?;
         match key {
             "name" => section.name = Some(value.to_string()),
             "baseurl" | "mirrorlist" => section.baseurl = Some(value.to_string()),
@@ -232,7 +249,10 @@ mod tests {
     #[test]
     fn error_key_outside_section() {
         let err = parse_repo_file("enabled=1\n").unwrap_err();
-        assert!(matches!(err, RepoFileError::KeyOutsideSection { line_no: 1, .. }));
+        assert!(matches!(
+            err,
+            RepoFileError::KeyOutsideSection { line_no: 1, .. }
+        ));
     }
 
     #[test]

@@ -151,10 +151,16 @@ impl<'a> Solver<'a> {
     }
 
     /// Resolve `yum install <names...>`: returns the closure of installs.
+    ///
+    /// The worklist and in-progress solution hold `&Package` borrows of
+    /// the repository candidates — packages (whose Requires/Provides
+    /// vectors make cloning expensive) are copied exactly once, into
+    /// the returned [`Solution`].
     pub fn resolve_install(&self, db: &RpmDb, names: &[&str]) -> Result<Solution, SolveError> {
-        let mut solution = Solution::default();
-        let mut chosen: HashSet<String> = HashSet::new(); // names already in solution
-        let mut queue: VecDeque<(Package, String)> = VecDeque::new(); // (pkg, needed_by)
+        let mut installs: Vec<&'a Package> = Vec::new();
+        let mut upgrades: Vec<&'a Package> = Vec::new();
+        let mut chosen: HashSet<&'a str> = HashSet::new(); // names already in solution
+        let mut queue: VecDeque<&'a Package> = VecDeque::new();
 
         for name in names {
             let p = self
@@ -172,59 +178,67 @@ impl<'a> Solver<'a> {
                 // "Nothing to do" for this name
                 continue;
             }
-            if chosen.insert(p.name().to_string()) {
-                queue.push_back((p.clone(), String::new()));
+            if chosen.insert(p.name()) {
+                queue.push_back(p);
             }
         }
 
-        while let Some((pkg, _via)) = queue.pop_front() {
-            for req in pkg.requires.clone() {
+        while let Some(pkg) = queue.pop_front() {
+            for req in &pkg.requires {
                 // satisfied by the db?
-                if db.provides(&req) {
+                if db.provides(req) {
                     continue;
                 }
                 // satisfied by something already chosen?
-                let in_solution = solution
-                    .installs
+                let in_solution = installs
                     .iter()
-                    .chain(solution.upgrades.iter())
+                    .chain(upgrades.iter())
                     .chain(std::iter::once(&pkg))
-                    .chain(queue.iter().map(|(p, _)| p))
-                    .any(|p| p.satisfies(&req));
+                    .chain(queue.iter())
+                    .any(|p| p.satisfies(req));
                 if in_solution {
                     continue;
                 }
                 let provider =
-                    self.best_provider(&req).ok_or_else(|| SolveError::NothingProvides {
-                        what: req.to_string(),
-                        needed_by: pkg.nevra.to_string(),
-                    })?;
-                if chosen.insert(provider.name().to_string()) {
-                    queue.push_back((provider.clone(), pkg.nevra.to_string()));
+                    self.best_provider(req)
+                        .ok_or_else(|| SolveError::NothingProvides {
+                            what: req.to_string(),
+                            needed_by: pkg.nevra.to_string(),
+                        })?;
+                if chosen.insert(provider.name()) {
+                    queue.push_back(provider);
                 }
             }
             // upgrade when an older instance is installed, install otherwise
             if db.is_installed(pkg.name()) {
-                solution.upgrades.push(pkg);
+                upgrades.push(pkg);
             } else {
-                solution.installs.push(pkg);
+                installs.push(pkg);
             }
         }
-        Ok(solution)
+        Ok(Solution {
+            installs: installs.into_iter().cloned().collect(),
+            upgrades: upgrades.into_iter().cloned().collect(),
+        })
     }
 
     /// Resolve `yum update [names...]`: pick the newest visible candidate
     /// for every installed (or listed) name that has one, plus any new
     /// dependencies those updates require.
-    pub fn resolve_update(&self, db: &RpmDb, names: Option<&[&str]>) -> Result<Solution, SolveError> {
+    pub fn resolve_update(
+        &self,
+        db: &RpmDb,
+        names: Option<&[&str]>,
+    ) -> Result<Solution, SolveError> {
         let targets: Vec<String> = match names {
             Some(ns) => ns.iter().map(|s| s.to_string()).collect(),
             None => db.names().iter().map(|s| s.to_string()).collect(),
         };
 
-        let mut solution = Solution::default();
-        let mut chosen: HashSet<String> = HashSet::new();
-        let mut queue: VecDeque<Package> = VecDeque::new();
+        let mut installs: Vec<&'a Package> = Vec::new();
+        let mut upgrades: Vec<&'a Package> = Vec::new();
+        let mut chosen: HashSet<&'a str> = HashSet::new();
+        let mut queue: VecDeque<&'a Package> = VecDeque::new();
 
         for name in &targets {
             let installed = match db.newest(name) {
@@ -233,54 +247,56 @@ impl<'a> Solver<'a> {
             };
             if let Some(candidate) = self.best_by_name(name) {
                 if candidate.nevra.evr > installed.package.nevra.evr
-                    && chosen.insert(candidate.name().to_string())
+                    && chosen.insert(candidate.name())
                 {
-                    queue.push_back(candidate.clone());
+                    queue.push_back(candidate);
                 }
             }
             // obsoletes processing: a visible package obsoleting this
             // installed one replaces it (yum's `obsoletes=1`)
             if self.config.obsoletes {
                 for (_, p) in &self.candidates {
-                    if p.obsoletes_package(&installed.package) && chosen.insert(p.name().to_string())
-                    {
-                        queue.push_back((*p).clone());
+                    if p.obsoletes_package(&installed.package) && chosen.insert(p.name()) {
+                        queue.push_back(p);
                     }
                 }
             }
         }
 
         while let Some(pkg) = queue.pop_front() {
-            for req in pkg.requires.clone() {
-                if db.provides(&req) {
+            for req in &pkg.requires {
+                if db.provides(req) {
                     continue;
                 }
-                let in_solution = solution
-                    .installs
+                let in_solution = installs
                     .iter()
-                    .chain(solution.upgrades.iter())
+                    .chain(upgrades.iter())
                     .chain(std::iter::once(&pkg))
                     .chain(queue.iter())
-                    .any(|p| p.satisfies(&req));
+                    .any(|p| p.satisfies(req));
                 if in_solution {
                     continue;
                 }
                 let provider =
-                    self.best_provider(&req).ok_or_else(|| SolveError::NothingProvides {
-                        what: req.to_string(),
-                        needed_by: pkg.nevra.to_string(),
-                    })?;
-                if chosen.insert(provider.name().to_string()) {
-                    queue.push_back(provider.clone());
+                    self.best_provider(req)
+                        .ok_or_else(|| SolveError::NothingProvides {
+                            what: req.to_string(),
+                            needed_by: pkg.nevra.to_string(),
+                        })?;
+                if chosen.insert(provider.name()) {
+                    queue.push_back(provider);
                 }
             }
             if db.is_installed(pkg.name()) {
-                solution.upgrades.push(pkg);
+                upgrades.push(pkg);
             } else {
-                solution.installs.push(pkg);
+                installs.push(pkg);
             }
         }
-        Ok(solution)
+        Ok(Solution {
+            installs: installs.into_iter().cloned().collect(),
+            upgrades: upgrades.into_iter().cloned().collect(),
+        })
     }
 }
 
@@ -302,8 +318,12 @@ mod tests {
     #[test]
     fn closure_resolves_chain() {
         let repos = one_repo(vec![
-            PackageBuilder::new("trinity", "r2013", "1").requires_simple("bowtie").build(),
-            PackageBuilder::new("bowtie", "1.0.0", "1").requires_simple("samtools").build(),
+            PackageBuilder::new("trinity", "r2013", "1")
+                .requires_simple("bowtie")
+                .build(),
+            PackageBuilder::new("bowtie", "1.0.0", "1")
+                .requires_simple("samtools")
+                .build(),
             PackageBuilder::new("samtools", "0.1.19", "1").build(),
         ]);
         let cfg = config();
@@ -316,7 +336,9 @@ mod tests {
     #[test]
     fn satisfied_by_db_not_repulled() {
         let repos = one_repo(vec![
-            PackageBuilder::new("gromacs", "4.6.5", "2").requires_simple("openmpi").build(),
+            PackageBuilder::new("gromacs", "4.6.5", "2")
+                .requires_simple("openmpi")
+                .build(),
             PackageBuilder::new("openmpi", "1.6.5", "1").build(),
         ]);
         let cfg = config();
@@ -367,11 +389,20 @@ mod tests {
         let cfg = config();
         let solver = Solver::new(&repos, &cfg);
         // priorities plugin: base (priority 1) shadows xsede's python
-        assert_eq!(solver.best_by_name("python").unwrap().evr().version, "2.6.6");
+        assert_eq!(
+            solver.best_by_name("python").unwrap().evr().version,
+            "2.6.6"
+        );
 
-        let cfg_noplugin = YumConfig { plugin_priorities: false, ..config() };
+        let cfg_noplugin = YumConfig {
+            plugin_priorities: false,
+            ..config()
+        };
         let solver2 = Solver::new(&repos, &cfg_noplugin);
-        assert_eq!(solver2.best_by_name("python").unwrap().evr().version, "2.7.5");
+        assert_eq!(
+            solver2.best_by_name("python").unwrap().evr().version,
+            "2.7.5"
+        );
     }
 
     #[test]
@@ -388,8 +419,12 @@ mod tests {
     #[test]
     fn incompatible_arch_filtered() {
         let repos = one_repo(vec![
-            PackageBuilder::new("tool", "1.0", "1").arch(Arch::Armv7).build(),
-            PackageBuilder::new("tool", "0.9", "1").arch(Arch::X86_64).build(),
+            PackageBuilder::new("tool", "1.0", "1")
+                .arch(Arch::Armv7)
+                .build(),
+            PackageBuilder::new("tool", "0.9", "1")
+                .arch(Arch::X86_64)
+                .build(),
         ]);
         let cfg = config();
         let solver = Solver::new(&repos, &cfg);
@@ -400,8 +435,12 @@ mod tests {
     #[test]
     fn native_arch_preferred_over_multilib() {
         let repos = one_repo(vec![
-            PackageBuilder::new("libfoo", "1.0", "1").arch(Arch::I686).build(),
-            PackageBuilder::new("libfoo", "1.0", "1").arch(Arch::X86_64).build(),
+            PackageBuilder::new("libfoo", "1.0", "1")
+                .arch(Arch::I686)
+                .build(),
+            PackageBuilder::new("libfoo", "1.0", "1")
+                .arch(Arch::X86_64)
+                .build(),
         ]);
         let cfg = config();
         let solver = Solver::new(&repos, &cfg);
@@ -411,23 +450,34 @@ mod tests {
     #[test]
     fn capability_provider_chosen_for_requires() {
         let repos = one_repo(vec![
-            PackageBuilder::new("app", "1.0", "1").requires_spec("mpi >= 1.6").build(),
-            PackageBuilder::new("openmpi", "1.6.5", "1").provides_versioned("mpi").build(),
-            PackageBuilder::new("mpich2", "1.4.1", "1").provides_versioned("mpi").build(),
+            PackageBuilder::new("app", "1.0", "1")
+                .requires_spec("mpi >= 1.6")
+                .build(),
+            PackageBuilder::new("openmpi", "1.6.5", "1")
+                .provides_versioned("mpi")
+                .build(),
+            PackageBuilder::new("mpich2", "1.4.1", "1")
+                .provides_versioned("mpi")
+                .build(),
         ]);
         let cfg = config();
         let solver = Solver::new(&repos, &cfg);
         let db = RpmDb::new();
         let sol = solver.resolve_install(&db, &["app"]).unwrap();
         let names: Vec<_> = sol.installs.iter().map(|p| p.name()).collect();
-        assert!(names.contains(&"openmpi"), "only openmpi satisfies mpi >= 1.6: {names:?}");
+        assert!(
+            names.contains(&"openmpi"),
+            "only openmpi satisfies mpi >= 1.6: {names:?}"
+        );
         assert!(!names.contains(&"mpich2"));
     }
 
     #[test]
     fn update_resolution_pulls_new_deps() {
         let repos = one_repo(vec![
-            PackageBuilder::new("R", "3.1.0", "1").requires_simple("libRmath").build(),
+            PackageBuilder::new("R", "3.1.0", "1")
+                .requires_simple("libRmath")
+                .build(),
             PackageBuilder::new("libRmath", "3.1.0", "1").build(),
         ]);
         let cfg = config();
@@ -453,7 +503,10 @@ mod tests {
         assert_eq!(sol.installs.len(), 1);
         assert_eq!(sol.installs[0].name(), "torque");
 
-        let cfg_no = YumConfig { obsoletes: false, ..config() };
+        let cfg_no = YumConfig {
+            obsoletes: false,
+            ..config()
+        };
         let solver2 = Solver::new(&repos, &cfg_no);
         let sol2 = solver2.resolve_update(&db, None).unwrap();
         assert!(sol2.is_empty());
@@ -473,9 +526,16 @@ mod tests {
     #[test]
     fn diamond_dependency_resolved_once() {
         let repos = one_repo(vec![
-            PackageBuilder::new("top", "1", "1").requires_simple("left").requires_simple("right").build(),
-            PackageBuilder::new("left", "1", "1").requires_simple("base").build(),
-            PackageBuilder::new("right", "1", "1").requires_simple("base").build(),
+            PackageBuilder::new("top", "1", "1")
+                .requires_simple("left")
+                .requires_simple("right")
+                .build(),
+            PackageBuilder::new("left", "1", "1")
+                .requires_simple("base")
+                .build(),
+            PackageBuilder::new("right", "1", "1")
+                .requires_simple("base")
+                .build(),
             PackageBuilder::new("base", "1", "1").build(),
         ]);
         let cfg = config();

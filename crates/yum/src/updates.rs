@@ -37,7 +37,12 @@ pub struct CheckUpdate {
 impl CheckUpdate {
     /// Render the way yum prints it: `name.arch  evr  repo`.
     pub fn render(&self) -> String {
-        format!("{:<30} {:<20} {}", self.name, self.available.to_string(), self.repo_id)
+        format!(
+            "{:<30} {:<20} {}",
+            self.name,
+            self.available.to_string(),
+            self.repo_id
+        )
     }
 }
 
@@ -47,7 +52,10 @@ pub fn check_update(repos: &[Repository], config: &YumConfig, db: &RpmDb) -> Vec
     let candidates = if config.plugin_priorities {
         apply_priorities(&enabled)
     } else {
-        enabled.iter().flat_map(|r| r.packages().iter().map(move |p| (*r, p))).collect()
+        enabled
+            .iter()
+            .flat_map(|r| r.packages().iter().map(move |p| (*r, p)))
+            .collect()
     };
 
     // best candidate per name
@@ -59,7 +67,8 @@ pub fn check_update(repos: &[Repository], config: &YumConfig, db: &RpmDb) -> Vec
         best.entry(p.name())
             .and_modify(|slot| {
                 let better_prio = repo.priority < slot.0.priority;
-                let same_prio_newer = repo.priority == slot.0.priority && p.nevra.evr > slot.1.nevra.evr;
+                let same_prio_newer =
+                    repo.priority == slot.0.priority && p.nevra.evr > slot.1.nevra.evr;
                 if better_prio || same_prio_newer {
                     *slot = (repo, p);
                 }
@@ -105,7 +114,11 @@ mod tests {
         let mut repo = Repository::new("xsede", "XSEDE");
         repo.add_package(PackageBuilder::new("R", "3.1.0", "1.el6").build());
         repo.add_package(PackageBuilder::new("gromacs", "4.6.5", "3.el6").build());
-        repo.add_package(PackageBuilder::new("java", "1.7.0", "1.el6").epoch(1).build());
+        repo.add_package(
+            PackageBuilder::new("java", "1.7.0", "1.el6")
+                .epoch(1)
+                .build(),
+        );
         let mut db = RpmDb::new();
         db.install(PackageBuilder::new("R", "3.0.2", "1.el6").build());
         db.install(PackageBuilder::new("gromacs", "4.6.5", "2.el6").build());
@@ -136,7 +149,11 @@ mod tests {
     fn current_packages_not_listed() {
         let (repos, cfg, mut db) = setup();
         db.erase("java");
-        db.install(PackageBuilder::new("java", "1.7.0", "1.el6").epoch(1).build());
+        db.install(
+            PackageBuilder::new("java", "1.7.0", "1.el6")
+                .epoch(1)
+                .build(),
+        );
         let updates = check_update(&repos, &cfg, &db);
         assert!(!updates.iter().any(|u| u.name == "java"));
     }
@@ -158,7 +175,10 @@ mod tests {
         db.install(PackageBuilder::new("python", "2.6.6", "52").build());
         let cfg = YumConfig::default();
         let updates = check_update(&[base, xsede], &cfg, &db);
-        assert!(updates.is_empty(), "shadowed python 2.7.5 must not appear: {updates:?}");
+        assert!(
+            updates.is_empty(),
+            "shadowed python 2.7.5 must not appear: {updates:?}"
+        );
     }
 
     #[test]

@@ -10,9 +10,7 @@
 use xcbc::cluster::specs::littlefe_modified;
 use xcbc::core::bridging::{setup_endpoint, transfer, Endpoint, TransferFile};
 use xcbc::core::deploy::deploy_from_scratch;
-use xcbc::sched::{
-    submit_array, usage_report, ClusterSim, CondorPool, JobRequest, SchedPolicy,
-};
+use xcbc::sched::{submit_array, usage_report, ClusterSim, CondorPool, JobRequest, SchedPolicy};
 
 fn main() {
     // Monday: the cluster (already built with XCBC) takes the week's work.
@@ -20,12 +18,20 @@ fn main() {
 
     // Friday 18:00–22:00 is the staged-update maintenance window.
     let friday_start = 4.0 * 86_400.0 + 18.0 * 3600.0;
-    sim.add_reservation("yum update window", (0..6).collect(), friday_start, friday_start + 4.0 * 3600.0);
+    sim.add_reservation(
+        "yum update window",
+        (0..6).collect(),
+        friday_start,
+        friday_start + 4.0 * 3600.0,
+    );
 
     // alice runs MPI chemistry, bob runs a 30-task parameter sweep.
     for day in 0..5u32 {
         let t = day as f64 * 86_400.0 + 9.0 * 3600.0;
-        sim.submit_at(t, JobRequest::new("gromacs-md", 6, 2, 6.0 * 3600.0, 5.5 * 3600.0).by("alice"));
+        sim.submit_at(
+            t,
+            JobRequest::new("gromacs-md", 6, 2, 6.0 * 3600.0, 5.5 * 3600.0).by("alice"),
+        );
     }
     sim.run_until(86_400.0);
     let array = submit_array(
@@ -65,11 +71,17 @@ fn main() {
     let report = deploy_from_scratch(&littlefe_modified()).expect("cluster exists");
     let campus = setup_endpoint("campus#littlefe", &report.node_dbs["littlefe"], 80.0)
         .expect("globus-connect-server came with the XSEDE roll");
-    let stampede = Endpoint { name: "xsede#stampede".to_string(), wan_mb_s: 1000.0 };
+    let stampede = Endpoint {
+        name: "xsede#stampede".to_string(),
+        wan_mb_s: 1000.0,
+    };
     let xfer = transfer(
         &campus,
         &stampede,
-        &[TransferFile { path: "/export/data/week27-results.tar".to_string(), bytes: 12 << 30 }],
+        &[TransferFile {
+            path: "/export/data/week27-results.tar".to_string(),
+            bytes: 12 << 30,
+        }],
         &[],
     );
     println!(

@@ -17,8 +17,10 @@ fn main() {
         totals.rpeak_tflops, totals.sites
     );
 
-    let from_scratch =
-        deployed_sites().iter().filter(|s| s.path == AdoptionPath::XcbcFromScratch).count();
+    let from_scratch = deployed_sites()
+        .iter()
+        .filter(|s| s.path == AdoptionPath::XcbcFromScratch)
+        .count();
     println!(
         "Adoption split: {} from-scratch XCBC builds, {} XNIT repository sites",
         from_scratch,
@@ -37,7 +39,11 @@ fn main() {
         match years_to_half_petaflops(totals.rpeak_tflops, growth) {
             Some(years) => println!(
                 "  at {growth_pct:>3}% annual growth: {years} years ({})",
-                if years <= 5 { "goal met by 2020" } else { "misses 2020" }
+                if years <= 5 {
+                    "goal met by 2020"
+                } else {
+                    "misses 2020"
+                }
             ),
             None => println!("  at {growth_pct:>3}% annual growth: never"),
         }

@@ -28,13 +28,19 @@ fn main() {
     println!("\n== 1. enable the XSEDE yum repository ==");
     let mut yum = Yum::new(YumConfig::default());
     enable_xnit(&mut yum, &mut head_db, XnitSetupMethod::RepoRpm).unwrap();
-    println!("  repo 'xsede' enabled, priority {}", yum.repository("xsede").unwrap().priority);
+    println!(
+        "  repo 'xsede' enabled, priority {}",
+        yum.repository("xsede").unwrap().priority
+    );
 
     // 2. One-time install of particular capabilities.
     println!("\n== 2. piecemeal installs ==");
     for pkg in ["gromacs", "R", "globus-connect-server"] {
         let report = yum.install(&mut head_db, &[pkg]).unwrap();
-        println!("  yum install {pkg}: {} packages (deps resolved)", report.installed.len());
+        println!(
+            "  yum install {pkg}: {} packages (deps resolved)",
+            report.installed.len()
+        );
     }
 
     // 3. "with XNIT add software, change the schedulers" — swap the
@@ -58,15 +64,24 @@ fn main() {
     sim.submit_at(1.0, JobRequest::new("wide-blocked", 3, 4, 1000.0, 1000.0));
     let tiny = sim.submit_at(2.0, JobRequest::new("tiny", 1, 1, 30.0, 30.0));
     sim.run_until(5.0);
-    println!("  under FIFO the tiny job waits: started = {}", sim.job(tiny).unwrap().wait_s().is_some());
+    println!(
+        "  under FIFO the tiny job waits: started = {}",
+        sim.job(tiny).unwrap().wait_s().is_some()
+    );
     sim.set_policy(SchedPolicy::maui_default());
     sim.run_until(6.0);
-    println!("  after the Maui swap it backfills: started = {}", sim.job(tiny).unwrap().wait_s().is_some());
+    println!(
+        "  after the Maui swap it backfills: started = {}",
+        sim.job(tiny).unwrap().wait_s().is_some()
+    );
 
     // 4. Full compatibility via the overlay.
     println!("\n== 4. complete the overlay ==");
-    let missing: Vec<String> =
-        check_compatibility(&head_db).missing().iter().map(|s| s.to_string()).collect();
+    let missing: Vec<String> = check_compatibility(&head_db)
+        .missing()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let refs: Vec<&str> = missing.iter().map(String::as_str).collect();
     yum.install(&mut head_db, &refs).unwrap();
     let compat = check_compatibility(&head_db);
@@ -77,13 +92,21 @@ fn main() {
     println!("\n== 5. operations ==");
     let notifier = UpdateNotifier::new(UpdatePolicy::StagedTest);
     let mut test_db = head_db.clone();
-    let report = notifier.run_check(&mut yum, &mut head_db, Some(&mut test_db)).unwrap();
-    println!("  update check: {} pending, {} staged", report.pending.len(), report.applied.len());
+    let report = notifier
+        .run_check(&mut yum, &mut head_db, Some(&mut test_db))
+        .unwrap();
+    println!(
+        "  update check: {} pending, {} staged",
+        report.pending.len(),
+        report.applied.len()
+    );
 
-    let demand: Vec<u32> = (0..24).map(|h| if (9..17).contains(&h) { 3 } else { 0 }).collect();
+    let demand: Vec<u32> = (0..24)
+        .map(|h| if (9..17).contains(&h) { 3 } else { 0 })
+        .collect();
     let always = PowerManager::new(PowerPolicy::AlwaysOn).simulate(&cluster, &demand, 24 * 30);
-    let on_demand = PowerManager::new(PowerPolicy::OnDemand { boot_seconds: 90.0 })
-        .simulate(&cluster, &demand, 24 * 30);
+    let on_demand =
+        PowerManager::new(PowerPolicy::on_demand(90.0)).simulate(&cluster, &demand, 24 * 30);
     println!(
         "  power management: {:.1} kWh/month always-on vs {:.1} kWh/month on-demand ({:.0}% saved)",
         always.energy_kwh,

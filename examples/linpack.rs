@@ -11,11 +11,22 @@ use xcbc::hpl::{run_hpl, sweep_block_size, EfficiencyModel, HplConfig};
 
 fn main() {
     println!("HPL on this host (shape check — not 2015 hardware):\n");
-    println!("{:<10} {:>6} {:>8} {:>12} {:>10}", "N", "NB", "threads", "seconds", "GFLOPS");
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    println!(
+        "{:<10} {:>6} {:>8} {:>12} {:>10}",
+        "N", "NB", "threads", "seconds", "GFLOPS"
+    );
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
     for n in [256usize, 512, 1024] {
         for t in [1usize, threads] {
-            let r = run_hpl(&HplConfig { n, nb: 64, threads: t, seed: 7 });
+            let r = run_hpl(&HplConfig {
+                n,
+                nb: 64,
+                threads: t,
+                seed: 7,
+            });
             assert!(r.passed, "residual {} at N={n}", r.residual);
             println!(
                 "{:<10} {:>6} {:>8} {:>12.3} {:>10.3}",
@@ -27,14 +38,33 @@ fn main() {
     println!("\nBlock-size sweep at N=512 (HPL.dat tuning):");
     let (points, best) = sweep_block_size(512, &[8, 16, 32, 64, 128], 1, 11);
     for p in &points {
-        println!("  NB={:<4} {:>8.3} GFLOPS {}", p.nb, p.gflops, if p.nb == best { "<= best" } else { "" });
+        println!(
+            "  NB={:<4} {:>8.3} GFLOPS {}",
+            p.nb,
+            p.gflops,
+            if p.nb == best { "<= best" } else { "" }
+        );
     }
 
     println!("\nAnalytic Rmax model vs Table 5:");
     let m = EfficiencyModel::gigabit_deskside();
     let rows = [
-        ("LittleFe (6 nodes)", 537.6, 6u32, 40_000usize, 403.2, "estimated at 75% in-paper"),
-        ("Limulus HPC200 (4 nodes)", 793.6, 4, 64_000, 498.3, "measured by Basement Supercomputing"),
+        (
+            "LittleFe (6 nodes)",
+            537.6,
+            6u32,
+            40_000usize,
+            403.2,
+            "estimated at 75% in-paper",
+        ),
+        (
+            "Limulus HPC200 (4 nodes)",
+            793.6,
+            4,
+            64_000,
+            498.3,
+            "measured by Basement Supercomputing",
+        ),
     ];
     for (name, rpeak, nodes, n, paper, note) in rows {
         let rmax = m.rmax_gflops(rpeak, nodes, n);

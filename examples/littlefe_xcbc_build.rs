@@ -56,7 +56,12 @@ fn main() {
     println!("\n== 5. monitoring ==");
     let monitor = ClusterMonitor::new(16);
     for (i, node) in cluster.nodes.iter().enumerate() {
-        monitor.publish(&node.hostname, MetricKind::LoadOne, 60.0, 1.5 + i as f64 * 0.1);
+        monitor.publish(
+            &node.hostname,
+            MetricKind::LoadOne,
+            60.0,
+            1.5 + i as f64 * 0.1,
+        );
         monitor.publish(&node.hostname, MetricKind::CpuPercent, 60.0, 85.0);
     }
     println!(

@@ -35,12 +35,23 @@ fn marshall_cluster() -> ClusterSpec {
         msata_slot: false,
         nic_count: 2,
     };
-    let mut c = ClusterSpec::new("Marshall BigGreen (rebuilt)", NetworkSpec::gigabit_ethernet(48));
+    let mut c = ClusterSpec::new(
+        "Marshall BigGreen (rebuilt)",
+        NetworkSpec::gigabit_ethernet(48),
+    );
     c.weight_lbs = 2200.0; // a real rack, not a luggable
     for i in 0..22 {
-        let role = if i == 0 { NodeRole::Frontend } else { NodeRole::Compute };
+        let role = if i == 0 {
+            NodeRole::Frontend
+        } else {
+            NodeRole::Compute
+        };
         let mut b = NodeSpec::new(
-            if i == 0 { "biggreen".to_string() } else { format!("compute-0-{}", i - 1) },
+            if i == 0 {
+                "biggreen".to_string()
+            } else {
+                format!("compute-0-{}", i - 1)
+            },
             role,
         )
         .board(server_board.clone())
@@ -49,7 +60,10 @@ fn marshall_cluster() -> ClusterSpec {
         .ram_gb(48)
         .disk(hw::LAPTOP_HDD_500GB)
         .cooler(hw::INTEL_STOCK_COOLER)
-        .psu(hw::Psu { name: "server 750W", watts: 750.0 });
+        .psu(hw::Psu {
+            name: "server 750W",
+            watts: 750.0,
+        });
         if i == 0 {
             b = b.nic(hw::GBE_NIC);
         }
@@ -79,7 +93,10 @@ fn main() {
         report.nodes_reinstalled,
         report.timeline.total_seconds() / 3600.0
     );
-    println!("  XSEDE compatibility after rebuild: {:.1}%", report.compat.score * 100.0);
+    println!(
+        "  XSEDE compatibility after rebuild: {:.1}%",
+        report.compat.score * 100.0
+    );
 
     // the campus-bridging verification pass: cluster-fork across nodes
     let mut rocks_cli = xcbc::rocks::RocksCli::new("biggreen");
@@ -87,7 +104,12 @@ fn main() {
     for i in 0..21 {
         rocks_cli
             .db
-            .add_host(xcbc::rocks::Appliance::Compute, 0, &format!("aa:{i:02x}"), 12)
+            .add_host(
+                xcbc::rocks::Appliance::Compute,
+                0,
+                &format!("aa:{i:02x}"),
+                12,
+            )
             .unwrap();
     }
     let fork = cluster_fork(&rocks_cli.db, "rpm -q gromacs", |_, _| {
@@ -98,7 +120,5 @@ fn main() {
         fork.results.len(),
         fork.all_succeeded()
     );
-    println!(
-        "\n\"...to the significant satisfaction of the professor responsible for it.\""
-    );
+    println!("\n\"...to the significant satisfaction of the professor responsible for it.\"");
 }

@@ -14,7 +14,10 @@ fn main() {
     // The modified LittleFe (Celeron G1840, mSATA drives) is the paper's
     // reference hardware for this path.
     let littlefe = littlefe_modified();
-    println!("Building {} from scratch with the XCBC Rocks roll...", littlefe.name);
+    println!(
+        "Building {} from scratch with the XCBC Rocks roll...",
+        littlefe.name
+    );
     let report = deploy_from_scratch(&littlefe).expect("LittleFe is Rocks-installable");
     println!(
         "  {} nodes installed in {:.0} simulated seconds; XSEDE compatibility {:.1}%",
@@ -27,7 +30,10 @@ fn main() {
     // operating cluster (a factory-imaged Limulus HPC200) without
     // changing its pre-existing setup.
     let limulus = limulus_hpc200();
-    println!("\nOverlaying XNIT onto {} (factory image preserved)...", limulus.name);
+    println!(
+        "\nOverlaying XNIT onto {} (factory image preserved)...",
+        limulus.name
+    );
     let existing: BTreeMap<_, _> = limulus
         .nodes
         .iter()

@@ -26,7 +26,9 @@ pub struct RwLock<T> {
 
 impl<T> RwLock<T> {
     pub fn new(value: T) -> Self {
-        RwLock { inner: sync::RwLock::new(value) }
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
     }
 
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
@@ -50,7 +52,9 @@ pub struct Mutex<T> {
 
 impl<T> Mutex<T> {
     pub fn new(value: T) -> Self {
-        Mutex { inner: sync::Mutex::new(value) }
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
     }
 
     pub fn lock(&self) -> MutexGuard<'_, T> {

@@ -51,7 +51,9 @@ pub mod test_runner {
 
     impl TestCaseError {
         pub fn fail(message: impl Into<String>) -> Self {
-            TestCaseError { message: message.into() }
+            TestCaseError {
+                message: message.into(),
+            }
         }
     }
 

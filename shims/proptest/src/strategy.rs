@@ -187,7 +187,11 @@ impl std::error::Error for StringRegexError {}
 #[derive(Debug, Clone)]
 enum RegexItem {
     /// A set of candidate chars with a repeat range (min, max inclusive).
-    Class { chars: Vec<char>, min: usize, max: usize },
+    Class {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    },
 }
 
 /// Generator for the small regex subset used in tests: literal chars,
@@ -266,7 +270,11 @@ pub fn string_regex(pattern: &str) -> Result<StringStrategy, StringRegexError> {
         } else {
             (1, 1)
         };
-        items.push(RegexItem::Class { chars: class, min, max });
+        items.push(RegexItem::Class {
+            chars: class,
+            min,
+            max,
+        });
     }
     Ok(StringStrategy { items })
 }
@@ -289,7 +297,9 @@ impl Strategy for StringStrategy {
 impl Strategy for &str {
     type Value = String;
     fn sample(&self, rng: &mut TestRng) -> String {
-        string_regex(self).expect("invalid regex strategy literal").sample(rng)
+        string_regex(self)
+            .expect("invalid regex strategy literal")
+            .sample(rng)
     }
 }
 
@@ -304,9 +314,9 @@ mod tests {
         for _ in 0..200 {
             let v = s.sample(&mut rng);
             assert!(v.len() <= 12);
-            assert!(v.chars().all(|c| c.is_ascii_digit()
-                || c.is_ascii_lowercase()
-                || ".~^_".contains(c)));
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_digit() || c.is_ascii_lowercase() || ".~^_".contains(c)));
         }
     }
 

@@ -41,7 +41,9 @@ impl ThreadPoolBuilder {
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let n = if self.num_threads == 0 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
         } else {
             self.num_threads
         };
@@ -118,7 +120,10 @@ pub trait ParallelSliceMut<T: Send> {
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
         assert!(chunk_size > 0, "chunk size must be positive");
-        ParChunksMut { slice: self, chunk: chunk_size }
+        ParChunksMut {
+            slice: self,
+            chunk: chunk_size,
+        }
     }
 }
 
@@ -176,7 +181,9 @@ mod tests {
     fn sequential_iters_match_std() {
         let a = [1, 2, 3];
         let mut b = vec![0, 0, 0];
-        b.par_iter_mut().zip(a.par_iter()).for_each(|(b, a)| *b = a * 2);
+        b.par_iter_mut()
+            .zip(a.par_iter())
+            .for_each(|(b, a)| *b = a * 2);
         assert_eq!(b, vec![2, 4, 6]);
     }
 }

@@ -8,6 +8,9 @@
 //! xcbc linpack [n]         run a real HPL point on this machine
 //! xcbc fleet               print the Table 3 fleet report
 //! xcbc compat              demo the compatibility checker on a bare cluster
+//! xcbc trace <scenario>    merged event trace of a whole deployment day
+//!       [--faults "<plan>"]  on one simulated timebase (scenario: littlefe)
+//!       [--jsonl]            emit the raw deterministic JSONL log instead
 //! ```
 
 use std::collections::BTreeMap;
@@ -16,14 +19,16 @@ use std::process::ExitCode;
 
 use xcbc::cluster::specs::{limulus_hpc200, littlefe_modified};
 use xcbc::core::deploy::{
-    deploy_from_scratch, deploy_from_scratch_resilient, deploy_xnit_overlay,
-    limulus_factory_image,
+    deploy_from_scratch, deploy_from_scratch_resilient, deploy_xnit_overlay, limulus_factory_image,
 };
 use xcbc::core::report;
 use xcbc::core::training::{littlefe_curriculum, LabSession};
 use xcbc::core::XnitSetupMethod;
-use xcbc::fault::{FaultPlan, InstallCheckpoint};
-use xcbc::rocks::{InstallErrorKind, ResilienceConfig};
+use xcbc::fault::{FaultPlan, InstallCheckpoint, RetryPolicy};
+use xcbc::rocks::{boot_node, InstallErrorKind, ResilienceConfig};
+use xcbc::sched::{ClusterSim, JobRequest, SchedPolicy};
+use xcbc::sim::{events_to_jsonl, MetricsSink, SimTime, TraceEvent, TraceKind, TraceSink};
+use xcbc::yum::{Mirror, MirrorList};
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -49,9 +54,22 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "compat" => compat(),
+        "trace" => {
+            let scenario = match args.get(1).map(String::as_str) {
+                None | Some("--faults") | Some("--jsonl") => "littlefe",
+                Some(s) => s,
+            };
+            let faults = args
+                .iter()
+                .position(|a| a == "--faults")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str);
+            let jsonl = args.iter().any(|a| a == "--jsonl");
+            trace(scenario, faults, jsonl)
+        }
         "help" | "--help" | "-h" => {
             eprintln!(
-                "usage: xcbc <tables|deploy [littlefe|limulus|both] [--faults \"<plan>\"]|lab [name]|linpack [n]|fleet|compat>"
+                "usage: xcbc <tables|deploy [littlefe|limulus|both] [--faults \"<plan>\"]|lab [name]|linpack [n]|fleet|compat|trace [littlefe] [--faults \"<plan>\"] [--jsonl]>"
             );
             ExitCode::SUCCESS
         }
@@ -170,14 +188,172 @@ fn lab(student: &str) -> ExitCode {
 }
 
 fn linpack(n: usize) -> ExitCode {
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4).min(8);
-    let r = xcbc::hpl::run_hpl(&xcbc::hpl::HplConfig { n, nb: 64, threads, seed: 42 });
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4)
+        .min(8);
+    let r = xcbc::hpl::run_hpl(&xcbc::hpl::HplConfig {
+        n,
+        nb: 64,
+        threads,
+        seed: 42,
+    });
     println!("{}", r.render());
     if r.passed {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// One virtual day-one on a LittleFe, end to end, on a single timebase:
+/// fetch the XSEDE roll over the mirror network, build the cluster from
+/// scratch (under the fault plan, if any), PXE-boot the first compute
+/// node into production, then push an opening workload through the
+/// scheduler. Every subsystem records spans through `xcbc-sim`, so the
+/// merged log reads as one coherent timeline — and, for a fixed plan
+/// seed, replays byte-identically (`--jsonl` emits the raw log).
+fn trace(scenario: &str, faults: Option<&str>, jsonl: bool) -> ExitCode {
+    if scenario != "littlefe" {
+        eprintln!("xcbc trace: unknown scenario {scenario:?} (try `littlefe`)");
+        return ExitCode::FAILURE;
+    }
+    let plan = match faults
+        .map(FaultPlan::parse)
+        .unwrap_or_else(|| Ok(FaultPlan::new(42)))
+    {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("xcbc trace: bad fault plan: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = |events: &[TraceEvent]| {
+        events
+            .iter()
+            .map(TraceEvent::end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .since(SimTime::ZERO)
+    };
+    let mut events: Vec<TraceEvent> = Vec::new();
+
+    // 1. pull the XSEDE roll ISO from the mirror network (yum.mirror)
+    let mirrors = MirrorList::new(vec![
+        Mirror::new("http://mirror.xsede.org/rocks/6.1.1", 80.0, 40.0),
+        Mirror::new("http://mirror.campus.edu/rocks/6.1.1", 200.0, 15.0),
+    ]);
+    let mut injector = plan.injector();
+    let fetched = mirrors.fetch_resilient_traced(
+        650 << 20,
+        &mut injector,
+        &RetryPolicy::default(),
+        SimTime::ZERO,
+    );
+    events.extend(fetched.events);
+
+    // 2. from-scratch resilient install (rocks.install), resuming
+    //    across any power losses the plan injects
+    let cluster = littlefe_modified();
+    let mut checkpoint = InstallCheckpoint::new();
+    let mut report = None;
+    for _ in 0..=cluster.nodes.len() {
+        match deploy_from_scratch_resilient(
+            &cluster,
+            &plan,
+            &ResilienceConfig::default(),
+            checkpoint.clone(),
+        ) {
+            Ok(r) => {
+                report = Some(r);
+                break;
+            }
+            Err(e) if matches!(e.kind, InstallErrorKind::PowerLoss) => {
+                checkpoint = e.progress.checkpoint.clone();
+            }
+            Err(e) => {
+                eprintln!("xcbc trace: littlefe deploy failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(report) = report else {
+        eprintln!("xcbc trace: gave up after repeated power losses");
+        return ExitCode::FAILURE;
+    };
+    let t_install = elapsed(&events);
+    events.extend(report.trace.iter().map(|e| e.shifted(t_install)));
+
+    // 3. the first compute node's production PXE boot (cluster.boot)
+    let payload = report
+        .node_dbs
+        .get("compute-0-0")
+        .map(|db| db.installed_size_bytes())
+        .unwrap_or(500 << 20);
+    let t_boot = elapsed(&events);
+    events.extend(
+        boot_node("compute-0-0", payload, None)
+            .timeline
+            .to_spans("cluster.boot")
+            .iter()
+            .map(|e| e.shifted(t_boot)),
+    );
+
+    // 4. the opening workload through the scheduler (sched)
+    let mut sim = ClusterSim::new(5, 2, SchedPolicy::maui_default());
+    sim.add_reservation("maintenance window", vec![4], 3600.0, 7200.0);
+    sim.submit_at(0.0, JobRequest::new("hello-mpi", 2, 2, 600.0, 300.0));
+    sim.submit_at(
+        120.0,
+        JobRequest::new("gromacs-bench", 4, 2, 1800.0, 1500.0),
+    );
+    sim.submit_at(300.0, JobRequest::new("hpl-smoke", 5, 2, 900.0, 700.0));
+    sim.run_to_completion();
+    let t_sched = elapsed(&events);
+    events.extend(sim.take_trace().iter().map(|e| e.shifted(t_sched)));
+
+    // one shared timebase: merge-sort by timestamp (stable, so events
+    // emitted together stay together)
+    events.sort_by_key(|e| e.t);
+
+    if jsonl {
+        print!("{}", events_to_jsonl(&events));
+        return ExitCode::SUCCESS;
+    }
+    let mut metrics = MetricsSink::new();
+    for e in &events {
+        metrics.record(e);
+    }
+    println!(
+        "== xcbc trace: {scenario} (fault plan seed {}) ==",
+        plan.seed
+    );
+    for e in &events {
+        let detail = match &e.kind {
+            TraceKind::Span { dur } => format!("  [ran {dur}]"),
+            TraceKind::Mark => String::new(),
+            TraceKind::Counter { value } => format!("  = {value}"),
+        };
+        println!(
+            "[{:>10}] {:<13} {}{}",
+            e.t.to_string(),
+            e.source,
+            e.label,
+            detail
+        );
+    }
+    println!();
+    println!("{:<14} {:>7} {:>14}", "source", "events", "span time");
+    for (src, n, dur) in metrics.rows() {
+        println!("{src:<14} {n:>7} {:>14}", dur.to_string());
+    }
+    println!(
+        "{:<14} {:>7} {:>14}",
+        "total",
+        events.len(),
+        elapsed(&events).to_string()
+    );
+    ExitCode::SUCCESS
 }
 
 fn compat() -> ExitCode {
@@ -191,6 +367,9 @@ fn compat() -> ExitCode {
     for name in report.missing().iter().take(10) {
         println!("  {name}");
     }
-    println!("  ... and {} more", report.missing().len().saturating_sub(10));
+    println!(
+        "  ... and {} more",
+        report.missing().len().saturating_sub(10)
+    );
     ExitCode::SUCCESS
 }

@@ -14,6 +14,8 @@
 //! * [`modules`] — environment modules
 //! * [`core`] — the paper's contribution: XCBC roll, XNIT repo, compatibility
 //!   checking, deployment paths, training curriculum
+//! * [`sim`] — the shared simulation clock, event queue, and trace bus
+//!   every layer above records onto
 
 pub use xcbc_cluster as cluster;
 pub use xcbc_core as core;
@@ -23,4 +25,5 @@ pub use xcbc_modules as modules;
 pub use xcbc_rocks as rocks;
 pub use xcbc_rpm as rpm;
 pub use xcbc_sched as sched;
+pub use xcbc_sim as sim;
 pub use xcbc_yum as yum;

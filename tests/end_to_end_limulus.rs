@@ -45,8 +45,16 @@ fn overlay_reaches_compat_without_touching_factory_software() {
 fn both_setup_methods_converge_to_same_package_set() {
     let a = deploy_xnit_overlay(&factory_cluster(), XnitSetupMethod::RepoRpm).unwrap();
     let b = deploy_xnit_overlay(&factory_cluster(), XnitSetupMethod::ManualRepoFile).unwrap();
-    let names_a: Vec<_> = a.node_dbs["limulus"].names().iter().map(|s| s.to_string()).collect();
-    let names_b: Vec<_> = b.node_dbs["limulus"].names().iter().map(|s| s.to_string()).collect();
+    let names_a: Vec<_> = a.node_dbs["limulus"]
+        .names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let names_b: Vec<_> = b.node_dbs["limulus"]
+        .names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     // method 1 additionally installs the xsede-release rpm
     let only_in_a: Vec<_> = names_a.iter().filter(|n| !names_b.contains(n)).collect();
     assert_eq!(only_in_a, vec!["xsede-release"]);
@@ -68,7 +76,10 @@ fn scheduler_swap_in_one_transaction() {
     tx.run(&mut db).unwrap();
     assert!(!db.is_installed("slurm"));
     assert!(db.is_installed("torque") && db.is_installed("maui"));
-    assert!(db.is_installed("limulus-tools"), "factory tooling untouched");
+    assert!(
+        db.is_installed("limulus-tools"),
+        "factory tooling untouched"
+    );
 }
 
 #[test]
@@ -90,10 +101,15 @@ fn update_lifecycle_staged_then_promoted() {
 
     let mut test_db = db.clone();
     let notifier = UpdateNotifier::new(UpdatePolicy::StagedTest);
-    let report = notifier.run_check(&mut yum, &mut db, Some(&mut test_db)).unwrap();
+    let report = notifier
+        .run_check(&mut yum, &mut db, Some(&mut test_db))
+        .unwrap();
     assert_eq!(report.pending.len(), 1);
     // staged: the test node has the update, production does not yet
-    assert_eq!(test_db.newest("gromacs").unwrap().package.evr().version, "4.6.7");
+    assert_eq!(
+        test_db.newest("gromacs").unwrap().package.evr().version,
+        "4.6.7"
+    );
     assert_eq!(db.newest("gromacs").unwrap().package.evr().version, "4.6.5");
     // after review, promote
     yum.update(&mut db, None).unwrap();
@@ -104,11 +120,16 @@ fn update_lifecycle_staged_then_promoted() {
 #[test]
 fn power_managed_operation_saves_energy_with_full_service() {
     let cluster = limulus_hpc200();
-    let demand: Vec<u32> = (0..24).map(|h| if (8..18).contains(&h) { 2 } else { 0 }).collect();
+    let demand: Vec<u32> = (0..24)
+        .map(|h| if (8..18).contains(&h) { 2 } else { 0 })
+        .collect();
     let always = PowerManager::new(PowerPolicy::AlwaysOn).simulate(&cluster, &demand, 24 * 30);
-    let managed = PowerManager::new(PowerPolicy::OnDemand { boot_seconds: 120.0 })
-        .simulate(&cluster, &demand, 24 * 30);
-    assert!(managed.energy_kwh < always.energy_kwh * 0.9, "{managed:?} vs {always:?}");
+    let managed =
+        PowerManager::new(PowerPolicy::on_demand(120.0)).simulate(&cluster, &demand, 24 * 30);
+    assert!(
+        managed.energy_kwh < always.energy_kwh * 0.9,
+        "{managed:?} vs {always:?}"
+    );
     assert!(managed.service_fraction > 0.95);
 }
 

@@ -17,7 +17,10 @@ fn hardware_passes_all_design_constraints() {
     assert!(c.power_budget_ok());
     for n in &c.nodes {
         assert!(xcbc::cluster::check_node_thermals(n, LITTLEFE_BAY_CLEARANCE_MM).is_empty());
-        assert!(!n.is_diskless(), "every node carries the Crucial mSATA drive");
+        assert!(
+            !n.is_diskless(),
+            "every node carries the Crucial mSATA drive"
+        );
     }
     let (ok, _) = c.rocks_installable();
     assert!(ok);
@@ -27,7 +30,9 @@ fn hardware_passes_all_design_constraints() {
 fn full_install_produces_consistent_nodes() {
     let mut rolls = standard_rolls();
     rolls.push(xsede_roll());
-    let report = ClusterInstall::new(littlefe_modified(), rolls).run().unwrap();
+    let report = ClusterInstall::new(littlefe_modified(), rolls)
+        .run()
+        .unwrap();
 
     assert_eq!(report.node_dbs.len(), 6);
     for (host, db) in &report.node_dbs {
@@ -54,7 +59,11 @@ fn installed_cluster_is_xsede_compatible_and_modular() {
     let db = &report.node_dbs["compute-0-0"];
     let mut system = ModuleSystem::new();
     let generated = generate_from_rpmdb(db);
-    assert!(generated.len() >= 20, "only {} modulefiles", generated.len());
+    assert!(
+        generated.len() >= 20,
+        "only {} modulefiles",
+        generated.len()
+    );
     for m in generated {
         system.add(m);
     }
@@ -66,13 +75,18 @@ fn installed_cluster_is_xsede_compatible_and_modular() {
 fn graph_traversal_matches_install_contents() {
     let mut graph = KickstartGraph::standard();
     graph
-        .merge_roll_nodes(&xsede_roll().graph_nodes, &[Appliance::Frontend, Appliance::Compute])
+        .merge_roll_nodes(
+            &xsede_roll().graph_nodes,
+            &[Appliance::Frontend, Appliance::Compute],
+        )
         .unwrap();
     let compute_pkgs = graph.packages_for(Appliance::Compute).unwrap();
 
     let mut rolls = standard_rolls();
     rolls.push(xsede_roll());
-    let report = ClusterInstall::new(littlefe_modified(), rolls).run().unwrap();
+    let report = ClusterInstall::new(littlefe_modified(), rolls)
+        .run()
+        .unwrap();
     let db = &report.node_dbs["compute-0-0"];
     for pkg in &compute_pkgs {
         assert!(db.is_installed(pkg), "graph says compute gets {pkg}");
@@ -102,5 +116,8 @@ fn single_mpi_job_uses_whole_machine() {
     torque.drain();
     let m = torque.metrics();
     assert_eq!(m.jobs_finished, 1);
-    assert!((m.utilization - 1.0).abs() < 1e-9, "sole full-machine job: {m:?}");
+    assert!(
+        (m.utilization - 1.0).abs() < 1e-9,
+        "sole full-machine job: {m:?}"
+    );
 }

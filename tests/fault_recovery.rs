@@ -37,7 +37,10 @@ fn power_loss_then_resume_matches_fault_free_deploy() {
         committed.iter().any(|n| n == "compute-0-2"),
         "the node that triggered the outage had already committed: {committed:?}"
     );
-    assert!(committed.len() < cluster.nodes.len(), "outage struck mid-install");
+    assert!(
+        committed.len() < cluster.nodes.len(),
+        "outage struck mid-install"
+    );
 
     // The checkpoint survives serialization, like a file on the frontend
     // disk would.
@@ -46,13 +49,9 @@ fn power_loss_then_resume_matches_fault_free_deploy() {
 
     // Resume under the SAME plan: committed nodes are skipped, so the
     // power-loss fault keyed to compute-0-2 never re-fires.
-    let report = deploy_from_scratch_resilient(
-        &cluster,
-        &plan,
-        &ResilienceConfig::default(),
-        restored,
-    )
-    .unwrap();
+    let report =
+        deploy_from_scratch_resilient(&cluster, &plan, &ResilienceConfig::default(), restored)
+            .unwrap();
 
     // Converged to exactly the fault-free package state...
     assert_eq!(report.node_dbs, fault_free.node_dbs);
@@ -73,7 +72,10 @@ fn power_loss_then_resume_matches_fault_free_deploy() {
     }
     let pm = report.post_mortem.as_ref().unwrap();
     for host in &committed {
-        assert!(pm.resumed_nodes.contains(host), "{host} missing from post-mortem resume list");
+        assert!(
+            pm.resumed_nodes.contains(host),
+            "{host} missing from post-mortem resume list"
+        );
     }
     assert!(pm.render().contains("resumed from checkpoint"));
 }

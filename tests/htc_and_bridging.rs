@@ -23,7 +23,11 @@ fn condor_scavenges_around_batch_demand() {
     batch.run_until(0.0);
     condor.owner_claims(12);
     condor.advance(1200.0);
-    assert_eq!(condor.completed(), 0, "no scavenging while the owner computes");
+    assert_eq!(
+        condor.completed(),
+        0,
+        "no scavenging while the owner computes"
+    );
     assert_eq!(condor.goodput_s, 0.0);
 
     // batch job ends: condor gets the cores back and chews through work
@@ -48,7 +52,11 @@ fn checkpointless_scavenging_pays_badput_under_churn() {
         condor.owner_releases(4);
     }
     assert_eq!(condor.completed(), 0);
-    assert!(condor.badput_s >= 4.0 * 300.0, "lost work accumulates: {}", condor.badput_s);
+    assert!(
+        condor.badput_s >= 4.0 * 300.0,
+        "lost work accumulates: {}",
+        condor.badput_s
+    );
 }
 
 #[test]
@@ -58,17 +66,28 @@ fn deployed_cluster_can_stand_up_globus_and_move_data() {
     let head_db = &report.node_dbs["littlefe"];
     let campus = setup_endpoint("campus#littlefe", head_db, 80.0).unwrap();
 
-    let stampede = Endpoint { name: "xsede#stampede".to_string(), wan_mb_s: 1000.0 };
+    let stampede = Endpoint {
+        name: "xsede#stampede".to_string(),
+        wan_mb_s: 1000.0,
+    };
     let mut gffs = GffsNamespace::new();
     gffs.export("/xsede/campus/iu/littlefe", &campus.name, "/export/data");
 
-    let (ep, local) = gffs.resolve("/xsede/campus/iu/littlefe/gromacs-run/traj.xtc").unwrap();
+    let (ep, local) = gffs
+        .resolve("/xsede/campus/iu/littlefe/gromacs-run/traj.xtc")
+        .unwrap();
     assert_eq!(ep, "campus#littlefe");
     assert_eq!(local, "/export/data/gromacs-run/traj.xtc");
 
     let files = vec![
-        TransferFile { path: local, bytes: 3 << 30 },
-        TransferFile { path: "/export/data/topol.tpr".to_string(), bytes: 10 << 20 },
+        TransferFile {
+            path: local,
+            bytes: 3 << 30,
+        },
+        TransferFile {
+            path: "/export/data/topol.tpr".to_string(),
+            bytes: 10 << 20,
+        },
     ];
     let xfer = transfer(&campus, &stampede, &files, &["/export/data/topol.tpr"]);
     assert!(xfer.verified);

@@ -15,7 +15,11 @@ fn maintenance_window_and_job_array_interact() {
     // plus a 20-task parameter sweep: every task lands outside the window
     let mut sim = ClusterSim::new(6, 2, SchedPolicy::EasyBackfill);
     sim.add_reservation("kernel updates", (0..6).collect(), 500.0, 1000.0);
-    let array = submit_array(&mut sim, &JobRequest::new("sweep", 1, 1, 300.0, 250.0), 0..=19);
+    let array = submit_array(
+        &mut sim,
+        &JobRequest::new("sweep", 1, 1, 300.0, 250.0),
+        0..=19,
+    );
     sim.run_to_completion();
     assert!(array.all_finished(&sim));
     for id in &array.member_ids {
@@ -39,14 +43,20 @@ fn degraded_cluster_still_schedules_on_survivors() {
     let cluster = littlefe_modified();
     let degraded = DegradedCluster::new(
         cluster,
-        vec![Failure { hostname: "compute-0-1".into(), component: FailedComponent::Cpu }],
+        vec![Failure {
+            hostname: "compute-0-1".into(),
+            component: FailedComponent::Cpu,
+        }],
     );
     assert!(!degraded.can_run_full_linpack());
     let usable = degraded.usable_nodes().len();
     assert_eq!(usable, 5);
     // schedule on what's left
     let mut sim = ClusterSim::new(usable, 2, SchedPolicy::maui_default());
-    sim.submit_at(0.0, JobRequest::new("reduced-hpl", usable as u32, 2, 100.0, 90.0));
+    sim.submit_at(
+        0.0,
+        JobRequest::new("reduced-hpl", usable as u32, 2, 100.0, 90.0),
+    );
     sim.run_to_completion();
     assert_eq!(sim.completed().len(), 1);
 }
@@ -71,7 +81,14 @@ fn xnit_group_install_on_top_of_catalog() {
         .optional_pkg("gatk")];
     let mut db = xcbc::rpm::RpmDb::new();
     group_install(&mut yum, &mut db, &groups, "xsede-bio", false).unwrap();
-    for p in ["trinity", "ncbi-blast", "bwa", "samtools", "bowtie", "java-1.7.0-openjdk"] {
+    for p in [
+        "trinity",
+        "ncbi-blast",
+        "bwa",
+        "samtools",
+        "bowtie",
+        "java-1.7.0-openjdk",
+    ] {
         assert!(db.is_installed(p), "{p} (bowtie/java via deps)");
     }
     assert!(!db.is_installed("gatk"));
@@ -116,7 +133,8 @@ fn cluster_fork_verifies_post_install_state() {
     let mut db = RocksDb::new("littlefe");
     db.add_frontend("ff", 2).unwrap();
     for i in 0..5 {
-        db.add_host(Appliance::Compute, 0, &format!("aa:{i:02x}"), 2).unwrap();
+        db.add_host(Appliance::Compute, 0, &format!("aa:{i:02x}"), 2)
+            .unwrap();
     }
     // one node missed the reinstall
     let report = cluster_fork(&db, "rpm -q gromacs", |host, _| {
@@ -151,14 +169,25 @@ fn module_collection_portability_between_xcbc_clusters() {
     }
     let loaded = store.restore("thesis", &mut xsede).unwrap();
     assert_eq!(loaded.len(), 2);
-    assert_eq!(xsede.env(), campus.env(), "identical environments on both clusters");
+    assert_eq!(
+        xsede.env(),
+        campus.env(),
+        "identical environments on both clusters"
+    );
 }
 
 #[test]
 fn community_pipeline_feeds_site_installs() {
     let mut repo = xcbc::core::xnit_repository();
     let mut pipeline = RequestPipeline::new();
-    pipeline.submit("openfoam", "2.3.0", RequesterGroup::CampusChampion, "Marshall", true, true);
+    pipeline.submit(
+        "openfoam",
+        "2.3.0",
+        RequesterGroup::CampusChampion,
+        "Marshall",
+        true,
+        true,
+    );
     pipeline.triage(&repo);
     pipeline.ship_release(&mut repo);
 

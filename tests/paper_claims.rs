@@ -3,7 +3,9 @@
 
 use xcbc::cluster::cost::{limulus_hpc200_bom, littlefe_modified_bom, server_configuration_bom};
 use xcbc::cluster::specs::{limulus_hpc200, littlefe_modified};
-use xcbc::core::report::{render_figures, render_table1, render_table2, render_table3, render_table4, render_table5};
+use xcbc::core::report::{
+    render_figures, render_table1, render_table2, render_table3, render_table4, render_table5,
+};
 use xcbc::core::sites::fleet_totals;
 use xcbc::hpl::EfficiencyModel;
 
@@ -18,12 +20,22 @@ fn table3_totals_exact() {
 fn table4_numbers_exact() {
     let lf = littlefe_modified();
     assert_eq!(
-        (lf.node_count(), lf.nodes[0].cpu.clock_ghz, lf.cpu_count(), lf.compute_cores()),
+        (
+            lf.node_count(),
+            lf.nodes[0].cpu.clock_ghz,
+            lf.cpu_count(),
+            lf.compute_cores()
+        ),
         (6, 2.8, 6, 12)
     );
     let lm = limulus_hpc200();
     assert_eq!(
-        (lm.node_count(), lm.nodes[0].cpu.clock_ghz, lm.cpu_count(), lm.compute_cores()),
+        (
+            lm.node_count(),
+            lm.nodes[0].cpu.clock_ghz,
+            lm.cpu_count(),
+            lm.compute_cores()
+        ),
         (4, 3.1, 4, 16)
     );
 }
@@ -82,9 +94,28 @@ fn all_renderers_are_nonempty_and_stable() {
 fn catalog_covers_every_package_the_paper_names() {
     // §2's explicit mentions across Tables 1-2 and the release notes
     for name in [
-        "gromacs", "mpiblast", "gatk", "trinity", "R", "java-1.7.0-openjdk", "torque", "maui",
-        "slurm", "gridengine", "globus-connect-server", "genesis2", "gffs", "openmpi", "mpich2",
-        "lammps", "petsc", "octave", "valgrind", "hdf5", "fftw", "fftw2",
+        "gromacs",
+        "mpiblast",
+        "gatk",
+        "trinity",
+        "R",
+        "java-1.7.0-openjdk",
+        "torque",
+        "maui",
+        "slurm",
+        "gridengine",
+        "globus-connect-server",
+        "genesis2",
+        "gffs",
+        "openmpi",
+        "mpich2",
+        "lammps",
+        "petsc",
+        "octave",
+        "valgrind",
+        "hdf5",
+        "fftw",
+        "fftw2",
     ] {
         assert!(
             xcbc::core::catalog::entry(name).is_some(),
@@ -99,7 +130,11 @@ fn xnit_superset_claim() {
     // build, and more"
     let repo = xcbc::core::xnit_repository();
     for entry in xcbc::core::catalog::CATALOG {
-        assert!(repo.newest(entry.name).is_some(), "XNIT missing {}", entry.name);
+        assert!(
+            repo.newest(entry.name).is_some(),
+            "XNIT missing {}",
+            entry.name
+        );
     }
     assert!(repo.package_count() > xcbc::core::catalog::CATALOG.len());
 }

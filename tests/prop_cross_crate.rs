@@ -90,11 +90,22 @@ fn hpl_and_scheduler_compose() {
     use xcbc::hpl::{run_hpl, HplConfig};
     use xcbc::sched::{JobRequest, ResourceManager, TorqueServer};
 
-    let result = run_hpl(&HplConfig { n: 128, nb: 32, threads: 2, seed: 3 });
+    let result = run_hpl(&HplConfig {
+        n: 128,
+        nb: 32,
+        threads: 2,
+        seed: 3,
+    });
     assert!(result.passed);
 
     let mut torque = TorqueServer::with_maui("littlefe", 5, 2);
-    torque.submit(JobRequest::new("hpl", 5, 2, result.seconds.max(1.0) * 10.0, result.seconds.max(0.5)));
+    torque.submit(JobRequest::new(
+        "hpl",
+        5,
+        2,
+        result.seconds.max(1.0) * 10.0,
+        result.seconds.max(0.5),
+    ));
     torque.drain();
     assert_eq!(torque.metrics().jobs_finished, 1);
 }
