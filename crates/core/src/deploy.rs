@@ -12,12 +12,13 @@ use crate::compat::{check_compatibility, CompatReport};
 use crate::roll::xsede_roll;
 use crate::xnit::{enable_xnit, XnitSetupMethod};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use xcbc_cluster::{timeline_from_recorder, ClusterSpec, DegradedCluster, Timeline};
 use xcbc_fault::{FaultPlan, InstallCheckpoint, PostMortem};
 use xcbc_rocks::{standard_rolls, ClusterInstall, InstallError, ResilienceConfig};
 use xcbc_rpm::{PackageBuilder, PackageGroup, RpmDb};
 use xcbc_sim::{events_to_jsonl, SpanRecorder, TraceEvent};
-use xcbc_yum::{SolveError, Yum, YumConfig};
+use xcbc_yum::{SolveCache, SolveError, Yum, YumConfig};
 
 /// `source` tag on trace events recorded by the XNIT overlay path.
 /// (From-scratch deployments carry the installer's own
@@ -218,6 +219,21 @@ pub fn deploy_xnit_overlay(
     existing: &BTreeMap<String, RpmDb>,
     method: XnitSetupMethod,
 ) -> Result<DeploymentReport, SolveError> {
+    deploy_xnit_overlay_with(existing, method, None)
+}
+
+/// [`deploy_xnit_overlay`] with an optional fleet-shared
+/// [`SolveCache`]: identical nodes (and identical sites in a fleet)
+/// then reuse one memoized depsolve instead of re-walking the closure
+/// per node. The cache never changes *what* is installed — the solver
+/// is deterministic, so a hit returns exactly the solution a fresh
+/// solve would — which keeps the recorded trace byte-identical with
+/// and without the cache.
+pub fn deploy_xnit_overlay_with(
+    existing: &BTreeMap<String, RpmDb>,
+    method: XnitSetupMethod,
+    solve_cache: Option<Arc<SolveCache>>,
+) -> Result<DeploymentReport, SolveError> {
     let mut node_dbs = existing.clone();
     let mut rec = SpanRecorder::new(OVERLAY_TRACE_SOURCE);
     let mut admin_steps: Vec<String> = method.steps().iter().map(|s| s.to_string()).collect();
@@ -230,6 +246,9 @@ pub fn deploy_xnit_overlay(
         let before: Vec<String> = db.names().iter().map(|s| s.to_string()).collect();
 
         let mut yum = Yum::new(YumConfig::default());
+        if let Some(cache) = &solve_cache {
+            yum = yum.with_solve_cache(Arc::clone(cache));
+        }
         enable_xnit(&mut yum, db, method).map_err(SolveError::Transaction)?;
 
         // install everything the compat report says is missing

@@ -1,0 +1,546 @@
+//! Fleet-scale deployment: N sites, one orchestrator.
+//!
+//! Table 3 is not one cluster — it is a *fleet* of campus clusters
+//! (Kansas, Montana State, Marshall, Hawai‘i, the two IU desksides)
+//! adopting XCBC/XNIT. [`Fleet`] deploys many site configurations
+//! concurrently on a worker pool, each site on its own deterministic
+//! seed and simulation clock, and merges the per-site traces into one
+//! fleet-level JSONL report.
+//!
+//! Two properties the design guarantees:
+//!
+//! 1. **Determinism survives parallelism.** A site's deployment is a
+//!    pure function of its [`FleetSite`] spec — its own fault-plan seed,
+//!    its own clock starting at zero. Worker threads only decide *when*
+//!    a site runs, never *what* it computes, and results are slotted by
+//!    site index, so per-site traces are byte-identical whether the
+//!    fleet runs on 1 thread or 8 (property-tested in
+//!    `tests/fleet_determinism.rs`).
+//! 2. **Shared solves, not shared state.** XNIT overlay sites route
+//!    their depsolves through one fleet-wide
+//!    [`SolveCache`]: near-identical sites hit the
+//!    memoized solution instead of re-walking the closure. Cache
+//!    hit/miss counters are *fleet-level* telemetry (they depend on
+//!    scheduling) and are reported beside — never inside — the per-site
+//!    traces.
+
+use crate::deploy::{deploy_from_scratch_resilient, deploy_xnit_overlay_with, DeploymentReport};
+use crate::xnit::XnitSetupMethod;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use xcbc_cluster::ClusterSpec;
+use xcbc_fault::{FaultPlan, InstallCheckpoint};
+use xcbc_rocks::{InstallError, ResilienceConfig};
+use xcbc_rpm::RpmDb;
+use xcbc_sim::TraceEvent;
+use xcbc_yum::{CacheStats, SolveCache};
+
+/// How one fleet site gets deployed.
+#[derive(Debug, Clone)]
+pub enum SitePlan {
+    /// Bare-metal Rocks + XSEDE roll install, run resiliently under the
+    /// site's fault plan (the plan's seed is the site's seed).
+    FromScratch {
+        /// The hardware to install onto.
+        cluster: ClusterSpec,
+        /// The site's deterministic fault scenario.
+        faults: FaultPlan,
+    },
+    /// XNIT overlay onto an existing, operating cluster. Depsolves go
+    /// through the fleet's shared solve cache.
+    XnitOverlay {
+        /// Per-node package databases of the running cluster.
+        existing: BTreeMap<String, RpmDb>,
+        /// Which of §3's two setup methods the site uses.
+        method: XnitSetupMethod,
+    },
+}
+
+/// One site configuration in a fleet.
+#[derive(Debug, Clone)]
+pub struct FleetSite {
+    /// Site name (used to address per-site traces in the report).
+    pub name: String,
+    /// How the site deploys.
+    pub plan: SitePlan,
+}
+
+impl FleetSite {
+    /// A from-scratch site with a clean fault plan seeded at `seed`.
+    pub fn from_scratch(name: impl Into<String>, cluster: ClusterSpec, seed: u64) -> FleetSite {
+        FleetSite {
+            name: name.into(),
+            plan: SitePlan::FromScratch {
+                cluster,
+                faults: FaultPlan::new(seed),
+            },
+        }
+    }
+
+    /// A from-scratch site deploying under an explicit fault plan.
+    pub fn from_scratch_with_faults(
+        name: impl Into<String>,
+        cluster: ClusterSpec,
+        faults: FaultPlan,
+    ) -> FleetSite {
+        FleetSite {
+            name: name.into(),
+            plan: SitePlan::FromScratch { cluster, faults },
+        }
+    }
+
+    /// An XNIT overlay site over `existing` node databases.
+    pub fn overlay(
+        name: impl Into<String>,
+        existing: BTreeMap<String, RpmDb>,
+        method: XnitSetupMethod,
+    ) -> FleetSite {
+        FleetSite {
+            name: name.into(),
+            plan: SitePlan::XnitOverlay { existing, method },
+        }
+    }
+}
+
+/// Why one site's deployment failed (the fleet keeps going; per-site
+/// failures land in that site's [`SiteOutcome`]).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// The overlay path could not resolve its package set.
+    Solve(xcbc_yum::SolveError),
+    /// The from-scratch path aborted.
+    Install(InstallError),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Solve(e) => write!(f, "site depsolve failed: {e}"),
+            FleetError::Install(e) => write!(f, "site install failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// One site's result inside a [`FleetReport`].
+#[derive(Debug)]
+pub struct SiteOutcome {
+    /// The site's name, copied from its [`FleetSite`].
+    pub name: String,
+    /// The deployment report, or why the site failed.
+    pub result: Result<DeploymentReport, FleetError>,
+}
+
+impl SiteOutcome {
+    /// Did this site deploy successfully?
+    pub fn succeeded(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+/// The fleet-level deployment report: per-site outcomes in site order,
+/// plus the shared solve-cache counters.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// One outcome per site, in the order sites were added (independent
+    /// of which worker finished first).
+    pub sites: Vec<SiteOutcome>,
+    /// How many worker threads the deploy ran on.
+    pub threads: usize,
+    /// Solve-cache counters at the end of the run. Scheduling-dependent
+    /// (which site misses first is a race), so fleet-level only.
+    pub cache: CacheStats,
+}
+
+impl FleetReport {
+    /// Did every site deploy successfully?
+    pub fn all_succeeded(&self) -> bool {
+        self.sites.iter().all(SiteOutcome::succeeded)
+    }
+
+    /// Look up one site's outcome by name.
+    pub fn site(&self, name: &str) -> Option<&SiteOutcome> {
+        self.sites.iter().find(|s| s.name == name)
+    }
+
+    /// One site's trace as byte-deterministic JSONL — identical at any
+    /// worker-thread count.
+    pub fn site_trace_jsonl(&self, name: &str) -> Option<String> {
+        self.site(name)
+            .and_then(|s| s.result.as_ref().ok())
+            .map(DeploymentReport::trace_jsonl)
+    }
+
+    /// The merged fleet trace: every successful site's events, each
+    /// line tagged with a `site` field, ordered by site then by each
+    /// site's own emission order. Deterministic at any thread count.
+    pub fn merged_jsonl(&self) -> String {
+        let mut out = String::new();
+        for site in &self.sites {
+            if let Ok(report) = &site.result {
+                for ev in &report.trace {
+                    let tagged = ev.clone().with_field("site", site.name.as_str());
+                    out.push_str(&tagged.to_jsonl());
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum of per-site deployment wall estimates (the sequential cost
+    /// the fleet's parallelism amortizes).
+    pub fn total_site_seconds(&self) -> f64 {
+        self.sites
+            .iter()
+            .filter_map(|s| s.result.as_ref().ok())
+            .map(|r| r.timeline.total_seconds())
+            .sum()
+    }
+
+    /// The fleet's simulated makespan: sites assigned in order to the
+    /// least-loaded of the run's workers, makespan = the busiest
+    /// worker's total simulated seconds. Wall-clock speedup depends on
+    /// host cores, but this models what N parallel site crews buy on
+    /// the simulation clock (8 equal sites on 4 workers → 2 sites per
+    /// worker → a 4× shorter campaign). Deterministic: assignment uses
+    /// site order and breaks ties by lowest worker index.
+    pub fn makespan_seconds(&self) -> f64 {
+        let workers = self.threads.max(1);
+        let mut loads = vec![0.0f64; workers];
+        for site in &self.sites {
+            let secs = site
+                .result
+                .as_ref()
+                .map(|r| r.timeline.total_seconds())
+                .unwrap_or(0.0);
+            let mut lightest = 0;
+            for (i, load) in loads.iter().enumerate().skip(1) {
+                if *load < loads[lightest] {
+                    lightest = i;
+                }
+            }
+            loads[lightest] += secs;
+        }
+        loads.into_iter().fold(0.0, f64::max)
+    }
+
+    /// Render the fleet table: one row per site plus a summary line
+    /// with the solve-cache hit rate.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for site in &self.sites {
+            match &site.result {
+                Ok(report) => {
+                    out.push_str(&format!("{:<24} {}\n", site.name, report.render_row()));
+                }
+                Err(e) => {
+                    out.push_str(&format!("{:<24} FAILED: {e}\n", site.name));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "fleet: {}/{} sites ok on {} thread(s), {:.0} site-seconds ({:.0}s makespan); solve cache {} hits / {} misses ({:.0}% hit rate, {} entries)\n",
+            self.sites.iter().filter(|s| s.succeeded()).count(),
+            self.sites.len(),
+            self.threads,
+            self.total_site_seconds(),
+            self.makespan_seconds(),
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0,
+            self.cache.entries,
+        ));
+        out
+    }
+}
+
+/// The fleet orchestrator: a list of site configurations, a worker
+/// count, and a shared solve cache.
+///
+/// ```
+/// use xcbc_core::deploy::limulus_factory_image;
+/// use xcbc_core::fleet::{Fleet, FleetSite};
+/// use xcbc_core::XnitSetupMethod;
+/// use xcbc_cluster::specs::limulus_hpc200;
+///
+/// let dbs = |_| limulus_hpc200().nodes.iter()
+///     .map(|n| (n.hostname.clone(), limulus_factory_image()))
+///     .collect();
+/// let fleet = Fleet::new()
+///     .add_site(FleetSite::overlay("marshall", dbs(0), XnitSetupMethod::RepoRpm))
+///     .add_site(FleetSite::overlay("hawaii", dbs(1), XnitSetupMethod::RepoRpm))
+///     .with_threads(2);
+/// let report = fleet.deploy();
+/// assert!(report.all_succeeded());
+/// assert!(report.cache.hits > 0, "second site reuses the first's solves");
+/// ```
+#[derive(Debug)]
+pub struct Fleet {
+    sites: Vec<FleetSite>,
+    threads: usize,
+    cache: Arc<SolveCache>,
+}
+
+impl Default for Fleet {
+    fn default() -> Self {
+        Fleet::new()
+    }
+}
+
+impl Fleet {
+    /// An empty fleet: no sites, 1 worker thread, a fresh solve cache.
+    pub fn new() -> Fleet {
+        Fleet {
+            sites: Vec::new(),
+            threads: 1,
+            cache: Arc::new(SolveCache::new()),
+        }
+    }
+
+    /// Append a site (builder style). Sites deploy independently; order
+    /// only determines report order.
+    pub fn add_site(mut self, site: FleetSite) -> Fleet {
+        self.sites.push(site);
+        self
+    }
+
+    /// Deploy on `threads` workers (clamped to at least 1; more workers
+    /// than sites is allowed, the extras just exit).
+    pub fn with_threads(mut self, threads: usize) -> Fleet {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Share a caller-provided solve cache (e.g. one cache across
+    /// several fleet runs). A fresh fleet already has its own.
+    pub fn with_solve_cache(mut self, cache: Arc<SolveCache>) -> Fleet {
+        self.cache = cache;
+        self
+    }
+
+    /// The configured sites.
+    pub fn sites(&self) -> &[FleetSite] {
+        &self.sites
+    }
+
+    /// The shared solve cache.
+    pub fn solve_cache(&self) -> &Arc<SolveCache> {
+        &self.cache
+    }
+
+    /// Deploy every site and collect the fleet report.
+    ///
+    /// Workers pull the next undeployed site off a shared counter; the
+    /// outcome lands in the slot of the site's index, so report order
+    /// is site order no matter which worker finishes when.
+    pub fn deploy(&self) -> FleetReport {
+        let n = self.sites.len();
+        let workers = self.threads.min(n.max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<SiteOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let outcome = self.deploy_site(&self.sites[i]);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+                });
+            }
+        });
+
+        let sites = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("every site slot filled before scope exit")
+            })
+            .collect();
+        FleetReport {
+            sites,
+            threads: workers,
+            cache: self.cache.stats(),
+        }
+    }
+
+    fn deploy_site(&self, site: &FleetSite) -> SiteOutcome {
+        let result = match &site.plan {
+            SitePlan::FromScratch { cluster, faults } => deploy_from_scratch_resilient(
+                cluster,
+                faults,
+                &ResilienceConfig::default(),
+                InstallCheckpoint::new(),
+            )
+            .map_err(FleetError::Install),
+            SitePlan::XnitOverlay { existing, method } => {
+                deploy_xnit_overlay_with(existing, *method, Some(Arc::clone(&self.cache)))
+                    .map_err(FleetError::Solve)
+            }
+        };
+        SiteOutcome {
+            name: site.name.clone(),
+            result,
+        }
+    }
+}
+
+/// Solve-cache counter events for the whole fleet run, stamped at time
+/// zero of the fleet timebase (see
+/// [`SolveCache::metrics_events`](xcbc_yum::SolveCache::metrics_events)).
+pub fn fleet_cache_events(fleet: &Fleet) -> Vec<TraceEvent> {
+    fleet.solve_cache().metrics_events(xcbc_sim::SimTime::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::limulus_factory_image;
+    use xcbc_cluster::specs::{limulus_hpc200, littlefe_modified};
+
+    fn limulus_dbs() -> BTreeMap<String, RpmDb> {
+        limulus_hpc200()
+            .nodes
+            .iter()
+            .map(|n| (n.hostname.clone(), limulus_factory_image()))
+            .collect()
+    }
+
+    fn mixed_fleet(threads: usize) -> Fleet {
+        Fleet::new()
+            .add_site(FleetSite::overlay(
+                "montana-state",
+                limulus_dbs(),
+                XnitSetupMethod::RepoRpm,
+            ))
+            .add_site(FleetSite::from_scratch("marshall", littlefe_modified(), 7))
+            .add_site(FleetSite::overlay(
+                "hawaii-hilo",
+                limulus_dbs(),
+                XnitSetupMethod::ManualRepoFile,
+            ))
+            .add_site(FleetSite::overlay(
+                "iu-limulus",
+                limulus_dbs(),
+                XnitSetupMethod::RepoRpm,
+            ))
+            .with_threads(threads)
+    }
+
+    #[test]
+    fn fleet_types_are_sendable_across_workers() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Fleet>();
+        assert_send_sync::<FleetSite>();
+        fn assert_send<T: Send>() {}
+        assert_send::<SiteOutcome>();
+        assert_send::<FleetReport>();
+    }
+
+    #[test]
+    fn fleet_deploys_all_sites_in_order() {
+        let report = mixed_fleet(2).deploy();
+        assert!(report.all_succeeded(), "{}", report.render());
+        let names: Vec<_> = report.sites.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["montana-state", "marshall", "hawaii-hilo", "iu-limulus"],
+            "report order is site order, not completion order"
+        );
+        assert_eq!(report.threads, 2);
+    }
+
+    #[test]
+    fn identical_overlay_sites_hit_the_cache() {
+        let report = mixed_fleet(1).deploy();
+        // three limulus overlays share factory images: the second and
+        // third reuse the first's depsolves
+        assert!(report.cache.hits > 0, "{:?}", report.cache);
+        assert!(report.cache.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn site_trace_is_thread_count_invariant() {
+        let sequential = mixed_fleet(1).deploy();
+        let parallel = mixed_fleet(8).deploy();
+        for site in ["montana-state", "marshall", "hawaii-hilo", "iu-limulus"] {
+            assert_eq!(
+                sequential.site_trace_jsonl(site),
+                parallel.site_trace_jsonl(site),
+                "trace for {site} must not depend on worker count"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_jsonl_tags_site_and_is_deterministic() {
+        let a = mixed_fleet(1).deploy().merged_jsonl();
+        let b = mixed_fleet(4).deploy().merged_jsonl();
+        assert_eq!(a, b, "merged fleet trace is deterministic");
+        assert!(a.lines().all(|l| l.contains("\"site\":")));
+        assert!(a.lines().any(|l| l.contains("marshall")));
+    }
+
+    #[test]
+    fn failed_site_does_not_sink_the_fleet() {
+        // from-scratch on diskless Limulus blades cannot work — the
+        // paper's reason that site uses XNIT
+        let fleet = Fleet::new()
+            .add_site(FleetSite::from_scratch("doomed", limulus_hpc200(), 3))
+            .add_site(FleetSite::overlay(
+                "fine",
+                limulus_dbs(),
+                XnitSetupMethod::RepoRpm,
+            ))
+            .with_threads(2);
+        let report = fleet.deploy();
+        assert!(!report.all_succeeded());
+        assert!(!report.site("doomed").unwrap().succeeded());
+        assert!(report.site("fine").unwrap().succeeded());
+        let rendered = report.render();
+        assert!(rendered.contains("FAILED"), "{rendered}");
+        assert!(rendered.contains("1/2 sites ok"), "{rendered}");
+    }
+
+    #[test]
+    fn shared_cache_spans_fleet_runs() {
+        let cache = Arc::new(SolveCache::new());
+        let first = Fleet::new()
+            .add_site(FleetSite::overlay(
+                "a",
+                limulus_dbs(),
+                XnitSetupMethod::RepoRpm,
+            ))
+            .with_solve_cache(Arc::clone(&cache))
+            .deploy();
+        let second = Fleet::new()
+            .add_site(FleetSite::overlay(
+                "b",
+                limulus_dbs(),
+                XnitSetupMethod::RepoRpm,
+            ))
+            .with_solve_cache(Arc::clone(&cache))
+            .deploy();
+        assert!(second.cache.hits > first.cache.hits, "run 2 reuses run 1");
+        assert!(!fleet_cache_events(&Fleet::new().with_solve_cache(cache)).is_empty());
+    }
+
+    #[test]
+    fn cache_does_not_change_what_gets_installed() {
+        let cached = mixed_fleet(1).deploy();
+        let uncached =
+            deploy_xnit_overlay_with(&limulus_dbs(), XnitSetupMethod::RepoRpm, None).unwrap();
+        let via_fleet = cached.site("montana-state").unwrap();
+        let report = via_fleet.result.as_ref().unwrap();
+        assert_eq!(report.node_dbs, uncached.node_dbs);
+        assert_eq!(report.trace_jsonl(), uncached.trace_jsonl());
+    }
+}

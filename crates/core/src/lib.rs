@@ -17,6 +17,8 @@
 //! * [`update`] — keeping a cluster current: update rolls vs `yum
 //!   update` vs notification scripts, with the production-risk model.
 //! * [`sites`] — the Table 3 deployment registry and fleet statistics.
+//! * [`fleet`] — the fleet orchestrator: N sites deployed concurrently
+//!   over a shared solve cache, merged into one trace report.
 //! * [`training`] — the LittleFe/XCBC curriculum module of §6.
 //! * [`report`] — renderers that regenerate the paper's tables.
 //!
@@ -35,6 +37,7 @@ pub mod community;
 pub mod compat;
 pub mod deploy;
 pub mod docs;
+pub mod fleet;
 pub mod report;
 pub mod roll;
 pub mod sites;
@@ -48,6 +51,7 @@ pub use community::{RequestPipeline, RequestState, RequesterGroup, SoftwareReque
 pub use compat::{check_compatibility, CompatIssue, CompatReport};
 pub use deploy::{DeploymentPath, DeploymentReport};
 pub use docs::{render_kb_barebones_software, render_kb_yum_repository};
+pub use fleet::{Fleet, FleetError, FleetReport, FleetSite, SiteOutcome, SitePlan};
 pub use roll::{xsede_roll, RollRelease, XSEDE_ROLL_RELEASES};
 pub use sites::{deployed_sites, fleet_totals, Site};
 pub use training::{Curriculum, LabSession, LessonStep};

@@ -60,6 +60,7 @@ impl fmt::Display for NodeStage {
 
 /// Errors from [`InstallCheckpoint::parse`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct CheckpointParseError {
     pub line: usize,
     pub message: String,

@@ -210,6 +210,7 @@ impl fmt::Display for FaultSpec {
 
 /// Error from [`FaultPlan::parse`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct PlanParseError {
     pub clause: String,
     pub message: String,

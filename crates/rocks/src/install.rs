@@ -53,7 +53,11 @@ impl InstallProgress {
 }
 
 /// Why an install could not proceed.
+///
+/// Marked `#[non_exhaustive]`: new failure modes may appear as the
+/// fault model grows, so downstream matches need a wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum InstallErrorKind {
     /// The hardware cannot host Rocks (diskless nodes, missing frontend).
     NotInstallable(Vec<String>),
@@ -107,7 +111,7 @@ impl std::fmt::Display for InstallError {
                 "cluster is not Rocks-installable: {}",
                 reasons.join("; ")
             )?,
-            InstallErrorKind::Kickstart(e) => write!(f, "{e}")?,
+            InstallErrorKind::Kickstart(e) => write!(f, "kickstart generation failed: {e}")?,
             InstallErrorKind::MissingPackage { node, package } => write!(
                 f,
                 "{node}: package {package} not found in any selected roll"
@@ -872,6 +876,19 @@ mod tests {
             .into_iter()
             .filter(|r| r.required)
             .collect()
+    }
+
+    #[test]
+    fn install_state_is_send() {
+        // Fleet workers move whole installs (and their outcomes) across
+        // threads; a non-Send field sneaking into any of these types
+        // should fail here, at compile time, not in the orchestrator.
+        fn assert_send<T: Send>() {}
+        assert_send::<ClusterInstall>();
+        assert_send::<InstallReport>();
+        assert_send::<ResilientReport>();
+        assert_send::<InstallError>();
+        assert_send::<InstallProgress>();
     }
 
     #[test]

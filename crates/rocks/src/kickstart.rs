@@ -32,6 +32,7 @@ pub struct KickstartProfile {
 
 /// Why profile generation failed.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum KickstartError {
     /// Rocks cannot install a diskless node.
     DisklessUnsupported { hostname: String },
@@ -60,7 +61,7 @@ impl std::fmt::Display for KickstartError {
                 f,
                 "{hostname}: needs {need_gb:.1} GB but only {have_gb} GB of disk present"
             ),
-            KickstartError::Graph(e) => write!(f, "{e}"),
+            KickstartError::Graph(e) => write!(f, "graph traversal failed: {e}"),
         }
     }
 }

@@ -97,6 +97,7 @@ impl fmt::Display for TransactionProblem {
 
 /// Error returned by [`TransactionSet::run`].
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum TransactionError {
     /// `check` found problems; the database was not touched.
     CheckFailed(Vec<TransactionProblem>),

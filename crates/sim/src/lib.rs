@@ -38,6 +38,6 @@ pub use queue::{EventQueue, Scheduled};
 pub use recorder::{SpanRecorder, BACKOFF_PREFIX};
 pub use time::{SimDuration, SimTime, NANOS_PER_SEC};
 pub use trace::{
-    events_to_jsonl, EventBus, FieldValue, JsonlSink, MetricsSink, RingBufferSink, TraceEvent,
-    TraceKind, TraceSink,
+    events_to_jsonl, EventBus, FieldValue, JsonlSink, MetricsSink, RingBufferSink, SharedSink,
+    TraceEvent, TraceKind, TraceSink,
 };

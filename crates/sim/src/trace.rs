@@ -401,6 +401,71 @@ impl TraceSink for MetricsSink {
     }
 }
 
+/// A `Send + Sync` handle around any [`TraceSink`], so concurrent
+/// producers (e.g. the worker threads of a fleet deploy) can record
+/// into one shared sink.
+///
+/// `SharedSink` clones cheaply — every clone locks the same underlying
+/// sink — and itself implements [`TraceSink`], so a handle can be
+/// attached to an `EventBus` while other handles live on other threads.
+/// When the producers are done, [`SharedSink::into_inner`] recovers the
+/// wrapped sink for inspection.
+///
+/// Per-event locking serializes writers; with deterministic producers
+/// that each buffer locally and merge in a fixed order (the fleet
+/// pattern), contention stays off the hot path.
+#[derive(Debug)]
+pub struct SharedSink<S: TraceSink> {
+    name: String,
+    inner: std::sync::Arc<std::sync::Mutex<S>>,
+}
+
+impl<S: TraceSink> SharedSink<S> {
+    /// Wrap `sink` for cross-thread sharing. The diagnostic name is
+    /// captured now (the wrapped sink is behind a lock afterwards).
+    pub fn new(sink: S) -> SharedSink<S> {
+        let name = format!("shared:{}", sink.name());
+        SharedSink {
+            name,
+            inner: std::sync::Arc::new(std::sync::Mutex::new(sink)),
+        }
+    }
+
+    /// Run `f` against the wrapped sink under the lock.
+    pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut guard)
+    }
+
+    /// Recover the wrapped sink. Panics if other handles are still
+    /// alive — call after every producer thread has finished.
+    pub fn into_inner(self) -> S {
+        std::sync::Arc::try_unwrap(self.inner)
+            .unwrap_or_else(|_| panic!("SharedSink::into_inner with live handles"))
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<S: TraceSink> Clone for SharedSink<S> {
+    fn clone(&self) -> Self {
+        SharedSink {
+            name: self.name.clone(),
+            inner: std::sync::Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S: TraceSink> TraceSink for SharedSink<S> {
+    fn record(&mut self, event: &TraceEvent) {
+        self.with(|sink| sink.record(event));
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
 /// The hub: layers emit events here; the bus keeps the canonical log
 /// and forwards every event to the attached sinks in order.
 #[derive(Default)]
@@ -496,6 +561,41 @@ impl fmt::Debug for EventBus {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shared_sink_is_send_sync_and_aggregates() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedSink<MetricsSink>>();
+
+        let shared = SharedSink::new(MetricsSink::new());
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let mut handle = shared.clone();
+                scope.spawn(move || {
+                    handle.record(&TraceEvent::mark(i as f64, "fleet.site", "deployed"));
+                });
+            }
+        });
+        assert_eq!(shared.with(|m| m.count("fleet.site")), 4);
+        let recovered = shared.into_inner();
+        assert_eq!(recovered.count("fleet.site"), 4);
+    }
+
+    #[test]
+    fn shared_sink_names_after_wrapped() {
+        let shared = SharedSink::new(JsonlSink::new());
+        assert_eq!(shared.name(), "shared:jsonl");
+    }
+
+    #[test]
+    fn shared_sink_attaches_to_bus_while_handle_observes() {
+        let shared = SharedSink::new(RingBufferSink::new(8));
+        let observer = shared.clone();
+        let mut bus = EventBus::new();
+        bus.attach(Box::new(shared));
+        bus.mark(1.0, "test", "hello");
+        assert_eq!(observer.with(|r| r.len()), 1);
+    }
 
     #[test]
     fn jsonl_is_stable_and_escaped() {

@@ -27,6 +27,7 @@
 
 pub mod cache;
 pub mod deplist;
+pub mod fingerprint;
 pub mod groups;
 pub mod history;
 pub mod json;
@@ -36,16 +37,19 @@ pub mod notifier;
 pub mod priorities;
 pub mod repo;
 pub mod repoconfig;
+pub mod solvecache;
 pub mod solver;
 pub mod updates;
 
 pub use cache::MetadataCache;
 pub use deplist::{deplist, render_deplist, DepListEntry};
+pub use fingerprint::{db_fingerprint, repo_fingerprint, repos_fingerprint, Fnv64};
 pub use groups::{group_install, PackageGroupDef};
 pub use history::{HistoryEntry, YumHistory};
 pub use metadata::{MetadataError, PrimaryRecord, RepoMetadata};
 pub use mirror::{
-    Mirror, MirrorList, MirrorOutcome, ResilientFetch, TracedFetch, MIN_BANDWIDTH_MBPS,
+    FetchOptions, FetchReport, Mirror, MirrorList, MirrorOutcome, ResilientFetch, TracedFetch,
+    MIN_BANDWIDTH_MBPS,
 };
 pub use notifier::{NotificationReport, UpdateNotifier, UpdatePolicy};
 pub use priorities::apply_priorities;
@@ -53,9 +57,11 @@ pub use repo::Repository;
 pub use repoconfig::{
     parse_repo_file, render_repo_file, RepoConfig, RepoFileError, XSEDE_REPO_FILE,
 };
-pub use solver::{Solution, SolveError, Solver};
+pub use solvecache::{CacheStats, SolveCache, SOLVECACHE_TRACE_SOURCE};
+pub use solver::{Solution, SolveError, SolveKind, SolveRequest, Solver};
 pub use updates::{CheckUpdate, UpdateKind};
 
+use std::sync::Arc;
 use xcbc_rpm::{RpmDb, TransactionReport, TransactionSet};
 
 /// Top-level Yum engine configuration (`/etc/yum.conf` equivalent).
@@ -87,6 +93,7 @@ pub struct Yum {
     config: YumConfig,
     repositories: Vec<Repository>,
     history: YumHistory,
+    solve_cache: Option<Arc<SolveCache>>,
 }
 
 impl Default for Yum {
@@ -101,7 +108,22 @@ impl Yum {
             config,
             repositories: Vec::new(),
             history: YumHistory::new(),
+            solve_cache: None,
         }
+    }
+
+    /// Attach a (typically fleet-shared) [`SolveCache`]; subsequent
+    /// [`Yum::solve`]/[`Yum::install`]/[`Yum::update`] calls answer
+    /// repeated requests from the cache instead of re-walking the
+    /// dependency closure.
+    pub fn with_solve_cache(mut self, cache: Arc<SolveCache>) -> Self {
+        self.solve_cache = Some(cache);
+        self
+    }
+
+    /// The attached solve cache, if any.
+    pub fn solve_cache(&self) -> Option<&Arc<SolveCache>> {
+        self.solve_cache.as_ref()
     }
 
     pub fn config(&self) -> &YumConfig {
@@ -147,17 +169,29 @@ impl Yum {
         Solver::new(&self.repositories, &self.config)
     }
 
+    /// Resolve a typed [`SolveRequest`] — through the attached
+    /// [`SolveCache`] when one is present, directly otherwise. The
+    /// solver is deterministic, so a cache hit returns byte-for-byte
+    /// the solution a fresh solve would.
+    pub fn solve(&self, db: &RpmDb, request: &SolveRequest) -> Result<Arc<Solution>, SolveError> {
+        match &self.solve_cache {
+            Some(cache) => cache.get_or_solve(&self.repositories, &self.config, db, request),
+            None => self.solver().resolve(db, request).map(Arc::new),
+        }
+    }
+
     /// `yum install <names...>`: resolve, check, and run.
     pub fn install(
         &mut self,
         db: &mut RpmDb,
         names: &[&str],
     ) -> Result<TransactionReport, SolveError> {
-        let solution = self.solver().resolve_install(db, names)?;
+        let request = SolveRequest::install(names.iter().copied());
+        let solution = self.solve(db, &request)?;
         if solution.is_empty() {
             return Ok(TransactionReport::default());
         }
-        let tx = solution.into_transaction();
+        let tx = (*solution).clone().into_transaction();
         let report = tx.run(db).map_err(SolveError::Transaction)?;
         self.history
             .record(&format!("install {}", names.join(" ")), &report);
@@ -176,11 +210,15 @@ impl Yum {
         db: &mut RpmDb,
         names: Option<&[&str]>,
     ) -> Result<TransactionReport, SolveError> {
-        let solution = self.solver().resolve_update(db, names)?;
+        let request = match names {
+            Some(ns) => SolveRequest::update(ns.iter().copied()),
+            None => SolveRequest::update_all(),
+        };
+        let solution = self.solve(db, &request)?;
         if solution.is_empty() {
             return Ok(TransactionReport::default());
         }
-        let tx: TransactionSet = solution.into_transaction();
+        let tx: TransactionSet = (*solution).clone().into_transaction();
         let report = tx.run(db).map_err(SolveError::Transaction)?;
         self.history.record("update", &report);
         Ok(report)

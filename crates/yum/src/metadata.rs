@@ -14,15 +14,18 @@ use xcbc_rpm::{Arch, Evr};
 /// Error from [`RepoMetadata::from_json`]: either malformed JSON or a
 /// well-formed document missing expected fields.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum MetadataError {
+    /// The document is not valid JSON.
     Json(JsonError),
+    /// Valid JSON with an unexpected structure.
     Shape(String),
 }
 
 impl std::fmt::Display for MetadataError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MetadataError::Json(e) => write!(f, "{e}"),
+            MetadataError::Json(e) => write!(f, "metadata parse failed: {e}"),
             MetadataError::Shape(m) => write!(f, "metadata shape error: {m}"),
         }
     }

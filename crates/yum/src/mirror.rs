@@ -5,13 +5,18 @@
 //! provisioning timelines in `xcbc-rocks`/`xcbc-core` can account for
 //! download time, and so failure injection can exercise retry paths.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 use xcbc_fault::{retry_with, FaultInjector, InjectionPoint, RetryPolicy};
 use xcbc_sim::{SimTime, TraceEvent, BACKOFF_PREFIX};
 
 /// Trace source tag for mirror fetch events.
 const TRACE_SOURCE: &str = "yum.mirror";
+
+/// Seed for retry jitter when fetching without a fault injector (the
+/// injector path derives its jitter stream from the plan seed instead).
+const SAMPLER_JITTER_SEED: u64 = 0x5eed_f37c;
 
 /// Floor for [`Mirror::bandwidth_mbps`]: a mirror this slow is
 /// effectively dead, but fetch times stay finite and positive.
@@ -85,78 +90,82 @@ impl MirrorList {
         MirrorList { mirrors }
     }
 
-    /// Attempt to fetch `bytes`, walking the list in order, using `rng`
-    /// for failure sampling. Failed attempts cost 3 timeout-latencies
-    /// (yum's default retry behavior per mirror).
-    pub fn fetch<R: Rng>(&self, bytes: u64, rng: &mut R) -> MirrorOutcome {
-        let mut outcome = MirrorOutcome {
-            served_by: None,
-            failed: Vec::new(),
-            seconds: 0.0,
-        };
-        for m in &self.mirrors {
-            let fails = rng.gen_bool(m.failure_rate);
-            if fails {
-                outcome.failed.push(m.url.clone());
-                outcome.seconds += 3.0 * m.latency_ms / 1000.0;
-                continue;
-            }
-            outcome.seconds += m.fetch_seconds(bytes);
-            outcome.served_by = Some(m.url.clone());
-            break;
-        }
-        outcome
-    }
-
-    /// Deterministic best-case fetch (first healthy mirror, no sampling).
-    pub fn fetch_seconds_best_case(&self, bytes: u64) -> Option<f64> {
-        self.mirrors.first().map(|m| m.fetch_seconds(bytes))
-    }
-
-    /// Fetch `bytes` under fault injection with retry/backoff.
+    /// The one fetch entry point: walk the mirror list under the
+    /// failure model, retry policy, and trace timebase described by
+    /// `options`, returning a full [`FetchReport`].
     ///
-    /// Each attempt walks the mirror list in order; a mirror fails the
-    /// attempt when the injector schedules a `mirror.fetch` fault for
-    /// its URL (the mirror's own `failure_rate` is also sampled, from a
-    /// plan-seeded stream, so legacy flakiness stays deterministic
-    /// under a fault plan). When every mirror fails, the whole pass is
-    /// retried under `policy` with exponential backoff; the backoff
-    /// seconds are reported separately so callers can charge them to an
-    /// install `Timeline`.
-    pub fn fetch_resilient(
-        &self,
-        bytes: u64,
-        injector: &mut FaultInjector,
-        policy: &RetryPolicy,
-    ) -> ResilientFetch {
-        self.fetch_resilient_traced(bytes, injector, policy, SimTime::ZERO)
-            .fetch
+    /// Each pass walks the mirrors in order; a failed attempt costs
+    /// yum's 3 timeout-latencies and a `timeout <url>` span, the
+    /// serving transfer costs [`Mirror::fetch_seconds`] and a
+    /// `fetch <url>` span. When every mirror fails a pass, the pass is
+    /// retried under the options' [`RetryPolicy`] and the backoff is
+    /// reported separately (plus one [`BACKOFF_PREFIX`] span) so
+    /// callers can charge it to an install `Timeline`.
+    ///
+    /// The failure model depends on what the options carry:
+    /// - with an injector ([`FetchOptions::inject`]): faults scheduled
+    ///   at `mirror.fetch` fire, and `failure_rate` is sampled from a
+    ///   plan-seeded stream — byte-for-byte the behavior of the old
+    ///   `fetch_resilient_traced`;
+    /// - with a sampler ([`FetchOptions::sample_with`]): `failure_rate`
+    ///   is sampled from the caller's RNG — the old plain `fetch`;
+    /// - with neither: mirrors never fail (deterministic best case).
+    pub fn fetch_with(&self, options: FetchOptions<'_>) -> FetchReport {
+        let FetchOptions {
+            bytes,
+            policy,
+            injector,
+            sampler,
+            start,
+        } = options;
+        match injector {
+            Some(inj) => {
+                let mut jitter_rng = inj.rng_for("mirror.fetch.backoff");
+                let mut rate_rng = inj.rng_for("mirror.fetch.rate");
+                self.run_passes(bytes, &policy, &mut jitter_rng, start, |m| {
+                    // both streams advance on every attempt (no
+                    // short-circuit): keeps plan-seeded runs identical
+                    // whether or not a fault fires first
+                    let injected = inj
+                        .should_fault(InjectionPoint::MirrorFetch, &m.url)
+                        .is_some();
+                    let sampled = rate_rng.gen_bool(m.failure_rate);
+                    injected || sampled
+                })
+            }
+            None => {
+                let mut jitter_rng = StdRng::seed_from_u64(SAMPLER_JITTER_SEED);
+                let mut sampler = sampler;
+                self.run_passes(
+                    bytes,
+                    &policy,
+                    &mut jitter_rng,
+                    start,
+                    |m| match &mut sampler {
+                        Some(rng) => rng.gen_bool(m.failure_rate),
+                        None => false,
+                    },
+                )
+            }
+        }
     }
 
-    /// [`MirrorList::fetch_resilient`] that also records the fetch as
-    /// trace spans on the shared timebase, starting at `start`: one
-    /// span per mirror attempt (`timeout <url>` for a failed attempt at
-    /// yum's 3-latency cost, `fetch <url>` for the transfer that
-    /// served), plus one [`BACKOFF_PREFIX`] span for any retry backoff
-    /// charged between passes.
-    pub fn fetch_resilient_traced(
+    /// The shared pass/retry/trace loop behind [`MirrorList::fetch_with`].
+    fn run_passes(
         &self,
         bytes: u64,
-        injector: &mut FaultInjector,
         policy: &RetryPolicy,
-        start: impl Into<SimTime>,
-    ) -> TracedFetch {
-        let mut jitter_rng = injector.rng_for("mirror.fetch.backoff");
-        let mut rate_rng = injector.rng_for("mirror.fetch.rate");
+        jitter_rng: &mut StdRng,
+        start: SimTime,
+        mut fails: impl FnMut(&Mirror) -> bool,
+    ) -> FetchReport {
         let mut failed: Vec<String> = Vec::new();
         let mut transfer_s = 0.0;
         let mut events: Vec<TraceEvent> = Vec::new();
-        let mut cursor = start.into();
-        let retry = retry_with(policy, &mut jitter_rng, |attempt| {
+        let mut cursor = start;
+        let retry = retry_with(policy, jitter_rng, |attempt| {
             for m in &self.mirrors {
-                let injected = injector.should_fault(InjectionPoint::MirrorFetch, &m.url);
-                let sampled = rate_rng.gen_bool(m.failure_rate);
-                if injected.is_some() || sampled {
+                if fails(m) {
                     failed.push(m.url.clone());
                     let timeout_s = 3.0 * m.latency_ms / 1000.0;
                     transfer_s += timeout_s;
@@ -191,17 +200,203 @@ impl MirrorList {
                 retry.backoff_s,
             ));
         }
+        FetchReport {
+            outcome: MirrorOutcome {
+                served_by: retry.result.ok(),
+                failed,
+                seconds: transfer_s,
+            },
+            attempts: retry.attempts,
+            backoff_s: retry.backoff_s,
+            events,
+        }
+    }
+
+    /// Attempt to fetch `bytes`, walking the list in order, using `rng`
+    /// for failure sampling. Failed attempts cost 3 timeout-latencies
+    /// (yum's default retry behavior per mirror).
+    #[deprecated(note = "use fetch_with(FetchOptions::new(bytes).sample_with(rng))")]
+    pub fn fetch<R: Rng>(&self, bytes: u64, rng: &mut R) -> MirrorOutcome {
+        self.fetch_with(
+            FetchOptions::new(bytes)
+                .retry(RetryPolicy::none())
+                .sample_with(rng),
+        )
+        .outcome
+    }
+
+    /// Deterministic best-case fetch (first healthy mirror, no sampling).
+    pub fn fetch_seconds_best_case(&self, bytes: u64) -> Option<f64> {
+        self.mirrors.first().map(|m| m.fetch_seconds(bytes))
+    }
+
+    /// Fetch `bytes` under fault injection with retry/backoff.
+    #[deprecated(note = "use fetch_with(FetchOptions::new(bytes).retry(policy).inject(injector))")]
+    pub fn fetch_resilient(
+        &self,
+        bytes: u64,
+        injector: &mut FaultInjector,
+        policy: &RetryPolicy,
+    ) -> ResilientFetch {
+        self.fetch_with(
+            FetchOptions::new(bytes)
+                .retry(policy.clone())
+                .inject(injector),
+        )
+        .into_resilient()
+    }
+
+    /// Fetch `bytes` under fault injection, also recording trace spans
+    /// on the shared timebase starting at `start`.
+    #[deprecated(
+        note = "use fetch_with(FetchOptions::new(bytes).retry(policy).inject(injector).starting_at(start))"
+    )]
+    pub fn fetch_resilient_traced(
+        &self,
+        bytes: u64,
+        injector: &mut FaultInjector,
+        policy: &RetryPolicy,
+        start: impl Into<SimTime>,
+    ) -> TracedFetch {
+        self.fetch_with(
+            FetchOptions::new(bytes)
+                .retry(policy.clone())
+                .inject(injector)
+                .starting_at(start),
+        )
+        .into_traced()
+    }
+}
+
+/// Everything a mirror fetch can be configured with — how many bytes,
+/// how hard to retry, what makes mirrors fail, and where on the sim
+/// timebase the trace spans start.
+///
+/// Built fluent-style and consumed by [`MirrorList::fetch_with`]:
+///
+/// ```
+/// use xcbc_yum::{FetchOptions, Mirror, MirrorList};
+///
+/// let list = MirrorList::new(vec![Mirror::new("http://cb-repo.iu.xsede.org/", 100.0, 20.0)]);
+/// let report = list.fetch_with(FetchOptions::new(650 << 20));
+/// assert!(report.succeeded());
+/// assert_eq!(report.attempts, 1);
+/// ```
+pub struct FetchOptions<'a> {
+    /// Payload size to transfer.
+    bytes: u64,
+    /// Retry policy for whole-list passes.
+    policy: RetryPolicy,
+    /// Fault injector driving scheduled faults + plan-seeded sampling.
+    injector: Option<&'a mut FaultInjector>,
+    /// Caller RNG for `failure_rate` sampling (ignored when an
+    /// injector is present — the plan's stream takes over).
+    sampler: Option<&'a mut dyn RngCore>,
+    /// Trace timebase origin for the emitted spans.
+    start: SimTime,
+}
+
+impl std::fmt::Debug for FetchOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FetchOptions")
+            .field("bytes", &self.bytes)
+            .field("policy", &self.policy)
+            .field("injector", &self.injector.is_some())
+            .field("sampler", &self.sampler.is_some())
+            .field("start", &self.start)
+            .finish()
+    }
+}
+
+impl<'a> FetchOptions<'a> {
+    /// Options to fetch `bytes` with no retries, no failures, and spans
+    /// starting at time zero.
+    pub fn new(bytes: u64) -> FetchOptions<'a> {
+        FetchOptions {
+            bytes,
+            policy: RetryPolicy::none(),
+            injector: None,
+            sampler: None,
+            start: SimTime::ZERO,
+        }
+    }
+
+    /// Retry failed passes under `policy`.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Fail mirrors according to `injector`'s fault plan (scheduled
+    /// `mirror.fetch` faults plus plan-seeded `failure_rate` sampling).
+    pub fn inject(mut self, injector: &'a mut FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Sample each mirror's `failure_rate` from `rng`. Ignored when an
+    /// injector is also set.
+    pub fn sample_with(mut self, rng: &'a mut (impl RngCore + 'a)) -> Self {
+        self.sampler = Some(rng);
+        self
+    }
+
+    /// Start the emitted trace spans at `start` on the sim timebase.
+    pub fn starting_at(mut self, start: impl Into<SimTime>) -> Self {
+        self.start = start.into();
+        self
+    }
+}
+
+/// What [`MirrorList::fetch_with`] reports: the fetch outcome, the
+/// retry accounting, and the trace spans — everything the three legacy
+/// entry points used to return, in one place.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchReport {
+    /// Which mirror served, which failed, and the transfer seconds.
+    pub outcome: MirrorOutcome,
+    /// Full passes over the mirror list (1 = no retry needed).
+    pub attempts: u32,
+    /// Backoff seconds charged between passes.
+    pub backoff_s: f64,
+    /// Spans for every mirror attempt and any backoff, in time order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl FetchReport {
+    /// Did any mirror serve the fetch?
+    pub fn succeeded(&self) -> bool {
+        self.outcome.succeeded()
+    }
+
+    /// Total virtual seconds: transfer/timeout time plus backoff.
+    pub fn total_seconds(&self) -> f64 {
+        self.outcome.seconds + self.backoff_s
+    }
+
+    /// Retries beyond the first pass.
+    pub fn retries(&self) -> u32 {
+        self.attempts.saturating_sub(1)
+    }
+
+    /// The legacy [`ResilientFetch`] view (drops the spans).
+    pub fn into_resilient(self) -> ResilientFetch {
+        ResilientFetch {
+            outcome: self.outcome,
+            attempts: self.attempts,
+            backoff_s: self.backoff_s,
+        }
+    }
+
+    /// The legacy [`TracedFetch`] view.
+    pub fn into_traced(self) -> TracedFetch {
         TracedFetch {
             fetch: ResilientFetch {
-                outcome: MirrorOutcome {
-                    served_by: retry.result.ok(),
-                    failed,
-                    seconds: transfer_s,
-                },
-                attempts: retry.attempts,
-                backoff_s: retry.backoff_s,
+                outcome: self.outcome,
+                attempts: self.attempts,
+                backoff_s: self.backoff_s,
             },
-            events,
+            events: self.events,
         }
     }
 }
@@ -266,7 +461,9 @@ mod tests {
     #[test]
     fn healthy_first_mirror_serves() {
         let mut rng = StdRng::seed_from_u64(1);
-        let out = list().fetch(10 << 20, &mut rng);
+        let out = list()
+            .fetch_with(FetchOptions::new(10 << 20).sample_with(&mut rng))
+            .outcome;
         assert!(out.succeeded());
         assert_eq!(
             out.served_by.as_deref(),
@@ -280,7 +477,9 @@ mod tests {
         let mut l = list();
         l.mirrors[0].failure_rate = 1.0;
         let mut rng = StdRng::seed_from_u64(1);
-        let out = l.fetch(10 << 20, &mut rng);
+        let out = l
+            .fetch_with(FetchOptions::new(10 << 20).sample_with(&mut rng))
+            .outcome;
         assert!(out.succeeded());
         assert_eq!(out.failed.len(), 1);
         assert!(out.served_by.as_deref().unwrap().contains("mirror2"));
@@ -295,18 +494,27 @@ mod tests {
             m.failure_rate = 1.0;
         }
         let mut rng = StdRng::seed_from_u64(1);
-        let out = l.fetch(10 << 20, &mut rng);
-        assert!(!out.succeeded());
-        assert_eq!(out.failed.len(), 2);
+        let report = l.fetch_with(FetchOptions::new(10 << 20).sample_with(&mut rng));
+        assert!(!report.succeeded());
+        assert_eq!(report.outcome.failed.len(), 2);
     }
 
     #[test]
     fn empty_list_fails_instantly() {
         let l = MirrorList::default();
-        let mut rng = StdRng::seed_from_u64(1);
-        let out = l.fetch(1, &mut rng);
-        assert!(!out.succeeded());
-        assert_eq!(out.seconds, 0.0);
+        let report = l.fetch_with(FetchOptions::new(1));
+        assert!(!report.succeeded());
+        assert_eq!(report.outcome.seconds, 0.0);
+    }
+
+    #[test]
+    fn best_case_options_never_fail() {
+        // no injector, no sampler: failure_rate is not consulted
+        let mut l = list();
+        l.mirrors[0].failure_rate = 1.0;
+        let report = l.fetch_with(FetchOptions::new(10 << 20));
+        assert!(report.succeeded());
+        assert!(report.outcome.failed.is_empty());
     }
 
     #[test]
@@ -343,7 +551,11 @@ mod tests {
     #[test]
     fn resilient_fetch_clean_plan_first_pass() {
         let mut inj = xcbc_fault::FaultPlan::new(7).injector();
-        let out = list().fetch_resilient(10 << 20, &mut inj, &xcbc_fault::RetryPolicy::default());
+        let out = list().fetch_with(
+            FetchOptions::new(10 << 20)
+                .retry(xcbc_fault::RetryPolicy::default())
+                .inject(&mut inj),
+        );
         assert!(out.succeeded());
         assert_eq!(out.attempts, 1);
         assert_eq!(out.backoff_s, 0.0);
@@ -359,7 +571,11 @@ mod tests {
             xcbc_fault::FaultWindow::Nth(0),
         );
         let mut inj = plan.injector();
-        let out = list().fetch_resilient(10 << 20, &mut inj, &xcbc_fault::RetryPolicy::default());
+        let out = list().fetch_with(
+            FetchOptions::new(10 << 20)
+                .retry(xcbc_fault::RetryPolicy::default())
+                .inject(&mut inj),
+        );
         assert!(out.succeeded(), "failover + retry should recover");
         assert_eq!(out.attempts, 2);
         assert!(out.backoff_s > 0.0, "backoff charged for the retry");
@@ -380,7 +596,7 @@ mod tests {
         );
         let mut inj = plan.injector();
         let policy = xcbc_fault::RetryPolicy::new(3, 1.0);
-        let out = list().fetch_resilient(10 << 20, &mut inj, &policy);
+        let out = list().fetch_with(FetchOptions::new(10 << 20).retry(policy).inject(&mut inj));
         assert!(!out.succeeded());
         assert_eq!(out.attempts, 3);
         assert_eq!(inj.injected_count(), 6, "2 mirrors x 3 passes");
@@ -394,17 +610,17 @@ mod tests {
             xcbc_fault::FaultWindow::Nth(0),
         );
         let mut inj = plan.injector();
-        let traced = list().fetch_resilient_traced(
-            10 << 20,
-            &mut inj,
-            &xcbc_fault::RetryPolicy::default(),
-            0.0,
+        let report = list().fetch_with(
+            FetchOptions::new(10 << 20)
+                .retry(xcbc_fault::RetryPolicy::default())
+                .inject(&mut inj)
+                .starting_at(0.0),
         );
-        assert!(traced.fetch.succeeded());
+        assert!(report.succeeded());
         // 2 timeouts (first pass), 1 fetch (second pass), 1 backoff span
-        let labels: Vec<_> = traced.events.iter().map(|e| e.label.as_str()).collect();
+        let labels: Vec<_> = report.events.iter().map(|e| e.label.as_str()).collect();
         assert_eq!(
-            traced
+            report
                 .events
                 .iter()
                 .filter(|e| e.label.starts_with("timeout "))
@@ -412,7 +628,7 @@ mod tests {
             2
         );
         assert_eq!(
-            traced
+            report
                 .events
                 .iter()
                 .filter(|e| e.label.starts_with("fetch "))
@@ -424,40 +640,16 @@ mod tests {
             "{labels:?}"
         );
         // span durations account for every virtual second of the fetch
-        let span_total: f64 = traced
+        let span_total: f64 = report
             .events
             .iter()
             .map(|e| e.duration().as_secs_f64())
             .sum();
-        assert!((span_total - traced.fetch.total_seconds()).abs() < 1e-6);
+        assert!((span_total - report.total_seconds()).abs() < 1e-6);
         // attempt spans tile the timeline: each starts where the previous ended
-        for pair in traced.events.windows(2) {
+        for pair in report.events.windows(2) {
             assert_eq!(pair[1].t, pair[0].end());
         }
-    }
-
-    #[test]
-    fn traced_fetch_matches_untraced_result() {
-        let run_traced = || {
-            let plan = xcbc_fault::FaultPlan::new(21)
-                .with_rate(xcbc_fault::InjectionPoint::MirrorFetch, 0.5);
-            let mut inj = plan.injector();
-            list()
-                .fetch_resilient_traced(
-                    10 << 20,
-                    &mut inj,
-                    &xcbc_fault::RetryPolicy::default(),
-                    0.0,
-                )
-                .fetch
-        };
-        let run_untraced = || {
-            let plan = xcbc_fault::FaultPlan::new(21)
-                .with_rate(xcbc_fault::InjectionPoint::MirrorFetch, 0.5);
-            let mut inj = plan.injector();
-            list().fetch_resilient(10 << 20, &mut inj, &xcbc_fault::RetryPolicy::default())
-        };
-        assert_eq!(run_traced(), run_untraced());
     }
 
     #[test]
@@ -466,8 +658,64 @@ mod tests {
             let plan = xcbc_fault::FaultPlan::new(21)
                 .with_rate(xcbc_fault::InjectionPoint::MirrorFetch, 0.5);
             let mut inj = plan.injector();
-            list().fetch_resilient(10 << 20, &mut inj, &xcbc_fault::RetryPolicy::default())
+            list().fetch_with(
+                FetchOptions::new(10 << 20)
+                    .retry(xcbc_fault::RetryPolicy::default())
+                    .inject(&mut inj),
+            )
         };
         assert_eq!(run(), run());
+    }
+
+    /// The three legacy entry points must behave byte-for-byte like
+    /// `fetch_with` with the equivalent options.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_fetch_with() {
+        // plain fetch == sampler options
+        let old = {
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut l = list();
+            l.mirrors[0].failure_rate = 0.5;
+            l.fetch(10 << 20, &mut rng)
+        };
+        let new = {
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut l = list();
+            l.mirrors[0].failure_rate = 0.5;
+            l.fetch_with(FetchOptions::new(10 << 20).sample_with(&mut rng))
+                .outcome
+        };
+        assert_eq!(old, new);
+
+        // fetch_resilient / fetch_resilient_traced == injector options
+        let plan = || {
+            xcbc_fault::FaultPlan::new(21).with_rate(xcbc_fault::InjectionPoint::MirrorFetch, 0.5)
+        };
+        let old_res = {
+            let mut inj = plan().injector();
+            list().fetch_resilient(10 << 20, &mut inj, &xcbc_fault::RetryPolicy::default())
+        };
+        let (new_res, new_events) = {
+            let mut inj = plan().injector();
+            let report = list().fetch_with(
+                FetchOptions::new(10 << 20)
+                    .retry(xcbc_fault::RetryPolicy::default())
+                    .inject(&mut inj),
+            );
+            (report.clone().into_resilient(), report.events)
+        };
+        assert_eq!(old_res, new_res);
+        let old_traced = {
+            let mut inj = plan().injector();
+            list().fetch_resilient_traced(
+                10 << 20,
+                &mut inj,
+                &xcbc_fault::RetryPolicy::default(),
+                0.0,
+            )
+        };
+        assert_eq!(old_traced.fetch, new_res);
+        assert_eq!(old_traced.events, new_events);
     }
 }

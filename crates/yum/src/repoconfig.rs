@@ -23,6 +23,7 @@ pub struct RepoConfig {
 
 /// Errors from [`parse_repo_file`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RepoFileError {
     /// `key=value` line outside any `[section]`.
     KeyOutsideSection { line_no: usize, line: String },

@@ -1,0 +1,336 @@
+//! A concurrent, fleet-shared memo table for depsolve results.
+//!
+//! Deploying a fleet of near-identical sites re-runs the same dependency
+//! closures over and over: every site asks for the same XNIT overlay
+//! against the same repositories. [`SolveCache`] memoizes [`Solution`]s
+//! keyed by the triple of fingerprints a solve is a pure function of —
+//! (repositories + config, installed database, normalized request) —
+//! so the second site onward pays one hash lookup instead of a BFS walk.
+//!
+//! The map itself is copy-on-write behind an [`Arc`]: readers clone the
+//! current snapshot pointer under a briefly-held read lock and then
+//! probe it lock-free, while the (rare) writer swaps in a rebuilt map.
+//! Cached [`Solution`]s hold `Arc<Package>`s, so a hit shares package
+//! payloads across threads without cloning until a site commits the
+//! solution into a transaction.
+//!
+//! Hit/miss counters are plain atomics, exported as counter
+//! [`TraceEvent`]s (`source = "yum.solvecache"`) that the existing
+//! [`MetricsSink`](xcbc_sim::MetricsSink) aggregates like any other
+//! trace source. They are *fleet-level* telemetry: whether a given site
+//! hit or missed depends on scheduling, so the counters deliberately
+//! stay out of per-site traces (which must be byte-identical at any
+//! thread count).
+
+use crate::fingerprint::{db_fingerprint, repos_fingerprint, Fnv64};
+use crate::repo::Repository;
+use crate::solver::{Solution, SolveError, SolveRequest, Solver};
+use crate::YumConfig;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use xcbc_rpm::RpmDb;
+use xcbc_sim::{SimTime, TraceEvent};
+
+/// Trace source for cache telemetry events.
+pub const SOLVECACHE_TRACE_SOURCE: &str = "yum.solvecache";
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a real solve.
+    pub misses: u64,
+    /// Distinct solutions currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0.0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+type Snapshot = Arc<HashMap<u64, Arc<Solution>>>;
+
+/// The concurrent solve cache. Cheap to share: wrap it in an [`Arc`]
+/// and hand clones to every fleet worker.
+#[derive(Debug, Default)]
+pub struct SolveCache {
+    map: RwLock<Snapshot>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SolveCache {
+    /// An empty cache.
+    pub fn new() -> SolveCache {
+        SolveCache::default()
+    }
+
+    /// The cache key for a solve over `repos`/`config` against `db` for
+    /// the normalized `request`.
+    pub fn key(
+        repos: &[Repository],
+        config: &YumConfig,
+        db: &RpmDb,
+        request: &SolveRequest,
+    ) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(repos_fingerprint(repos, config))
+            .write_u64(db_fingerprint(db))
+            .write_u64(request.digest());
+        h.finish()
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        // Read lock held only long enough to clone the Arc; probing the
+        // map afterwards is lock-free.
+        Arc::clone(&self.map.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Probe the cache, bumping the hit/miss counter.
+    pub fn lookup(&self, key: u64) -> Option<Arc<Solution>> {
+        match self.snapshot().get(&key) {
+            Some(sol) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(sol))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a solution, returning the shared handle. Copy-on-write: the
+    /// current snapshot is cloned, extended, and swapped in. If another
+    /// thread raced the same key in first, its entry wins (both computed
+    /// the same deterministic solution, so either is correct).
+    pub fn insert(&self, key: u64, solution: Solution) -> Arc<Solution> {
+        let mut guard = self.map.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = guard.get(&key) {
+            return Arc::clone(existing);
+        }
+        let shared = Arc::new(solution);
+        let mut next: HashMap<u64, Arc<Solution>> = (**guard).clone();
+        next.insert(key, Arc::clone(&shared));
+        *guard = Arc::new(next);
+        shared
+    }
+
+    /// The memoizing front door: answer from the cache, or run the
+    /// solver and remember the result. Errors are not cached — a failed
+    /// solve re-runs (repositories may have gained the missing package).
+    pub fn get_or_solve(
+        &self,
+        repos: &[Repository],
+        config: &YumConfig,
+        db: &RpmDb,
+        request: &SolveRequest,
+    ) -> Result<Arc<Solution>, SolveError> {
+        let key = Self::key(repos, config, db, request);
+        if let Some(hit) = self.lookup(key) {
+            return Ok(hit);
+        }
+        let solution = Solver::new(repos, config).resolve(db, request)?;
+        Ok(self.insert(key, solution))
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.snapshot().len(),
+        }
+    }
+
+    /// Drop every stored solution (counters are kept).
+    pub fn clear(&self) {
+        let mut guard = self.map.write().unwrap_or_else(|e| e.into_inner());
+        *guard = Arc::new(HashMap::new());
+    }
+
+    /// Counter [`TraceEvent`]s (`hits`, `misses`, `entries`) stamped at
+    /// `t`, ready to feed a [`MetricsSink`](xcbc_sim::MetricsSink) or a
+    /// fleet report. Emit these once per run, at fleet level — never
+    /// into a per-site trace, where they would break thread-count
+    /// invariance.
+    pub fn metrics_events(&self, t: SimTime) -> Vec<TraceEvent> {
+        let stats = self.stats();
+        vec![
+            TraceEvent::counter(t, SOLVECACHE_TRACE_SOURCE, "hits", stats.hits),
+            TraceEvent::counter(t, SOLVECACHE_TRACE_SOURCE, "misses", stats.misses),
+            TraceEvent::counter(t, SOLVECACHE_TRACE_SOURCE, "entries", stats.entries as u64),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcbc_rpm::PackageBuilder;
+    use xcbc_sim::{MetricsSink, TraceSink};
+
+    fn repos() -> Vec<Repository> {
+        let mut r = Repository::new("xsede", "XSEDE");
+        r.add_package(
+            PackageBuilder::new("gromacs", "4.6.5", "2")
+                .requires_simple("openmpi")
+                .build(),
+        );
+        r.add_package(PackageBuilder::new("openmpi", "1.6.5", "1").build());
+        vec![r]
+    }
+
+    #[test]
+    fn hit_after_identical_request() {
+        let cache = SolveCache::new();
+        let repos = repos();
+        let cfg = YumConfig::default();
+        let db = RpmDb::new();
+        let req = SolveRequest::install(["gromacs"]);
+
+        let first = cache.get_or_solve(&repos, &cfg, &db, &req).unwrap();
+        let second = cache.get_or_solve(&repos, &cfg, &db, &req).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "second solve must be shared");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn equivalent_requests_share_one_entry() {
+        let cache = SolveCache::new();
+        let repos = repos();
+        let cfg = YumConfig::default();
+        let db = RpmDb::new();
+        cache
+            .get_or_solve(&repos, &cfg, &db, &SolveRequest::install(["gromacs"]))
+            .unwrap();
+        // duplicate targets normalize away → same key, cache hit
+        cache
+            .get_or_solve(
+                &repos,
+                &cfg,
+                &db,
+                &SolveRequest::install(["gromacs", "gromacs"]),
+            )
+            .unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn miss_after_repo_mutation() {
+        let cache = SolveCache::new();
+        let mut repos = repos();
+        let cfg = YumConfig::default();
+        let db = RpmDb::new();
+        let req = SolveRequest::install(["gromacs"]);
+
+        cache.get_or_solve(&repos, &cfg, &db, &req).unwrap();
+        // mutate the repo: revision bumps, fingerprint changes, entry invalid
+        repos[0].add_package(PackageBuilder::new("R", "3.1.0", "1").build());
+        cache.get_or_solve(&repos, &cfg, &db, &req).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0, "mutated repo must not hit");
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn miss_after_db_mutation() {
+        let cache = SolveCache::new();
+        let repos = repos();
+        let cfg = YumConfig::default();
+        let mut db = RpmDb::new();
+        let req = SolveRequest::install(["gromacs"]);
+        cache.get_or_solve(&repos, &cfg, &db, &req).unwrap();
+        db.install(PackageBuilder::new("openmpi", "1.6.5", "1").build());
+        let sol = cache.get_or_solve(&repos, &cfg, &db, &req).unwrap();
+        assert_eq!(cache.stats().misses, 2, "db change must re-solve");
+        assert_eq!(sol.installs.len(), 1, "openmpi now satisfied by db");
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = SolveCache::new();
+        let mut repos = repos();
+        let cfg = YumConfig::default();
+        let db = RpmDb::new();
+        let req = SolveRequest::install(["meep"]);
+        assert!(cache.get_or_solve(&repos, &cfg, &db, &req).is_err());
+        assert_eq!(cache.stats().entries, 0);
+        // the repo gains the package: the retry must succeed (and miss,
+        // because the fingerprint moved with the revision)
+        repos[0].add_package(PackageBuilder::new("meep", "1.2.1", "1").build());
+        assert!(cache.get_or_solve(&repos, &cfg, &db, &req).is_ok());
+    }
+
+    #[test]
+    fn clear_drops_entries_keeps_counters() {
+        let cache = SolveCache::new();
+        let repos = repos();
+        let cfg = YumConfig::default();
+        let db = RpmDb::new();
+        cache
+            .get_or_solve(&repos, &cfg, &db, &SolveRequest::install(["gromacs"]))
+            .unwrap();
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn metrics_events_feed_metrics_sink() {
+        let cache = SolveCache::new();
+        let repos = repos();
+        let cfg = YumConfig::default();
+        let db = RpmDb::new();
+        let req = SolveRequest::install(["gromacs"]);
+        cache.get_or_solve(&repos, &cfg, &db, &req).unwrap();
+        cache.get_or_solve(&repos, &cfg, &db, &req).unwrap();
+
+        let mut sink = MetricsSink::new();
+        for ev in cache.metrics_events(SimTime::ZERO) {
+            sink.record(&ev);
+        }
+        assert_eq!(sink.count(SOLVECACHE_TRACE_SOURCE), 3);
+    }
+
+    #[test]
+    fn concurrent_lookups_share_solutions() {
+        let cache = Arc::new(SolveCache::new());
+        let repos = Arc::new(repos());
+        let cfg = Arc::new(YumConfig::default());
+        let req = SolveRequest::install(["gromacs"]);
+
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let repos = Arc::clone(&repos);
+                let cfg = Arc::clone(&cfg);
+                let req = req.clone();
+                scope.spawn(move || {
+                    let db = RpmDb::new();
+                    let sol = cache.get_or_solve(&repos, &cfg, &db, &req).unwrap();
+                    assert_eq!(sol.installs.len(), 2);
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 8);
+        assert_eq!(stats.entries, 1, "all threads share one entry");
+        assert!(stats.misses >= 1);
+    }
+}

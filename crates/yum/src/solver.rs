@@ -6,19 +6,30 @@
 //! the way yum does: higher-priority repository first (when the
 //! priorities plugin is active), then architecture preference, then
 //! highest EVR, then lexicographically smallest name for determinism.
+//!
+//! Requests are described by the typed [`SolveRequest`] builder — one
+//! vocabulary shared by the install path, the update path, and the
+//! fleet-scale [`crate::SolveCache`]'s key normalization. The historical
+//! `resolve_install` / `resolve_update` entry points remain as thin
+//! wrappers over [`Solver::resolve`].
 
+use crate::fingerprint::Fnv64;
+use crate::groups::PackageGroupDef;
 use crate::priorities::apply_priorities;
 use crate::repo::Repository;
 use crate::YumConfig;
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
-use xcbc_rpm::{Dependency, Package, RpmDb, TransactionError, TransactionSet};
+use std::sync::Arc;
+use xcbc_rpm::{Arch, Dependency, Package, RpmDb, TransactionError, TransactionSet};
 
 /// Why a resolution failed.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum SolveError {
     /// No enabled repository carries anything satisfying `what`.
     NothingProvides {
+        /// The unsatisfied name or capability.
         what: String,
         /// The package whose Requires chain led here (empty for a direct
         /// user request).
@@ -38,21 +49,187 @@ impl fmt::Display for SolveError {
             SolveError::NothingProvides { what, needed_by } => {
                 write!(f, "no package provides {what} (needed by {needed_by})")
             }
-            SolveError::Transaction(e) => write!(f, "{e}"),
+            SolveError::Transaction(e) => write!(f, "transaction check failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for SolveError {}
 
+/// What a [`SolveRequest`] asks the solver to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveKind {
+    /// `yum install <targets>`: pull the targets plus their closure.
+    Install,
+    /// `yum update <targets>`: update the named installed packages.
+    Update,
+    /// `yum update` with no names: update everything installed.
+    UpdateAll,
+}
+
+impl SolveKind {
+    fn tag(self) -> u64 {
+        match self {
+            SolveKind::Install => 1,
+            SolveKind::Update => 2,
+            SolveKind::UpdateAll => 3,
+        }
+    }
+}
+
+/// A typed depsolve request: what operation, against which targets,
+/// under which architecture filter.
+///
+/// Replaces the stringly-typed `resolve_install(&db, &["a", "b"])` /
+/// `resolve_update(&db, None)` call shapes with one builder both paths
+/// share — and gives the solve cache a canonical value to normalize
+/// into a key ([`SolveRequest::digest`]).
+///
+/// ```
+/// use xcbc_yum::{SolveRequest, SolveKind};
+///
+/// let req = SolveRequest::install(["gromacs", "R"]).with_target("hdf5");
+/// assert_eq!(req.kind(), SolveKind::Install);
+/// assert_eq!(req.targets(), ["gromacs", "R", "hdf5"]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveRequest {
+    kind: SolveKind,
+    targets: Vec<String>,
+    arch: Option<Arch>,
+}
+
+impl SolveRequest {
+    /// An install request for the given package names.
+    pub fn install<I, S>(targets: I) -> SolveRequest
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        SolveRequest {
+            kind: SolveKind::Install,
+            targets: targets.into_iter().map(Into::into).collect(),
+            arch: None,
+        }
+    }
+
+    /// An update request limited to the given package names.
+    pub fn update<I, S>(targets: I) -> SolveRequest
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        SolveRequest {
+            kind: SolveKind::Update,
+            targets: targets.into_iter().map(Into::into).collect(),
+            arch: None,
+        }
+    }
+
+    /// An update-everything request (`yum update` with no arguments).
+    pub fn update_all() -> SolveRequest {
+        SolveRequest {
+            kind: SolveKind::UpdateAll,
+            targets: Vec::new(),
+            arch: None,
+        }
+    }
+
+    /// Append one more target (builder style).
+    pub fn with_target(mut self, name: impl Into<String>) -> SolveRequest {
+        self.targets.push(name.into());
+        self
+    }
+
+    /// Append a comps-style group's install set (mandatory + default,
+    /// plus optional packages when `with_optional` is set) — the typed
+    /// equivalent of `yum groupinstall`.
+    pub fn with_group(mut self, group: &PackageGroupDef, with_optional: bool) -> SolveRequest {
+        self.targets
+            .extend(group.install_set().iter().map(|s| s.to_string()));
+        if with_optional {
+            self.targets.extend(group.optional.iter().cloned());
+        }
+        self
+    }
+
+    /// Restrict candidates to packages installable on `arch` (defaults
+    /// to the engine's configured host architecture).
+    pub fn with_arch(mut self, arch: Arch) -> SolveRequest {
+        self.arch = Some(arch);
+        self
+    }
+
+    /// The requested operation.
+    pub fn kind(&self) -> SolveKind {
+        self.kind
+    }
+
+    /// The requested target names, in request order.
+    pub fn targets(&self) -> &[String] {
+        &self.targets
+    }
+
+    /// The architecture filter, if any.
+    pub fn arch(&self) -> Option<Arch> {
+        self.arch
+    }
+
+    /// The canonical form the solve cache keys on: duplicate targets
+    /// collapse to their first occurrence (the solver's `chosen` set
+    /// makes repeats no-ops, so the solution is unchanged), and an
+    /// `UpdateAll` drops targets entirely.
+    pub fn normalized(&self) -> SolveRequest {
+        let mut seen = HashSet::new();
+        let targets = if self.kind == SolveKind::UpdateAll {
+            Vec::new()
+        } else {
+            self.targets
+                .iter()
+                .filter(|t| seen.insert(t.as_str()))
+                .cloned()
+                .collect()
+        };
+        SolveRequest {
+            kind: self.kind,
+            targets,
+            arch: self.arch,
+        }
+    }
+
+    /// Stable 64-bit digest of the normalized request — the request
+    /// component of a [`crate::SolveCache`] key.
+    pub fn digest(&self) -> u64 {
+        let norm = self.normalized();
+        let mut h = Fnv64::new();
+        h.write_u64(norm.kind.tag());
+        match norm.arch {
+            Some(a) => h.write_str(a.as_str()),
+            None => h.write_u64(0),
+        };
+        for t in &norm.targets {
+            h.write_str(t);
+        }
+        h.finish()
+    }
+}
+
 /// A resolved set of operations, ready to become a transaction.
+///
+/// Packages are held behind [`Arc`] so a cached solution can be shared
+/// across fleet sites (and across threads) without deep-cloning the
+/// Requires/Provides payloads; the copies happen only when a site
+/// commits the solution into a transaction.
 #[derive(Debug, Clone, Default)]
 pub struct Solution {
-    pub installs: Vec<Package>,
-    pub upgrades: Vec<Package>,
+    /// Packages to newly install, in closure-discovery order.
+    pub installs: Vec<Arc<Package>>,
+    /// Packages upgrading an installed instance.
+    pub upgrades: Vec<Arc<Package>>,
 }
 
 impl Solution {
+    /// Is there nothing to do?
     pub fn is_empty(&self) -> bool {
         self.installs.is_empty() && self.upgrades.is_empty()
     }
@@ -62,16 +239,61 @@ impl Solution {
         self.installs.len() + self.upgrades.len()
     }
 
-    /// Convert into a checked-later [`TransactionSet`].
+    /// Convert into a checked-later [`TransactionSet`]. Shared packages
+    /// are cloned out of their `Arc`s here — the single point where a
+    /// cache-shared solution pays for ownership.
     pub fn into_transaction(self) -> TransactionSet {
+        let unwrap = |p: Arc<Package>| Arc::try_unwrap(p).unwrap_or_else(|a| (*a).clone());
         let mut tx = TransactionSet::new();
         for p in self.upgrades {
-            tx.add_upgrade(p);
+            tx.add_upgrade(unwrap(p));
         }
         for p in self.installs {
-            tx.add_install(p);
+            tx.add_install(unwrap(p));
         }
         tx
+    }
+}
+
+/// In-progress closure state shared by the install and update walks.
+struct Walk<'a> {
+    installs: Vec<&'a Package>,
+    upgrades: Vec<&'a Package>,
+    chosen: HashSet<&'a str>, // names already in solution
+    queue: VecDeque<&'a Package>,
+}
+
+impl<'a> Walk<'a> {
+    fn new() -> Self {
+        Walk {
+            installs: Vec::new(),
+            upgrades: Vec::new(),
+            chosen: HashSet::new(),
+            queue: VecDeque::new(),
+        }
+    }
+
+    fn enqueue(&mut self, p: &'a Package) {
+        if self.chosen.insert(p.name()) {
+            self.queue.push_back(p);
+        }
+    }
+
+    fn into_solution(self, db: &RpmDb) -> Solution {
+        debug_assert!(self.queue.is_empty());
+        let _ = db;
+        Solution {
+            installs: self
+                .installs
+                .into_iter()
+                .map(|p| Arc::new(p.clone()))
+                .collect(),
+            upgrades: self
+                .upgrades
+                .into_iter()
+                .map(|p| Arc::new(p.clone()))
+                .collect(),
+        }
     }
 }
 
@@ -127,44 +349,70 @@ impl<'a> Solver<'a> {
         .then_with(|| pb.name().cmp(pa.name())) // smaller name wins
     }
 
-    /// Best visible candidate satisfying `req`.
-    pub fn best_provider(&self, req: &Dependency) -> Option<&'a Package> {
+    fn visible(
+        &self,
+        arch: Option<Arch>,
+    ) -> impl Iterator<Item = (&'a Repository, &'a Package)> + '_ {
         self.candidates
             .iter()
-            .filter(|(_, p)| p.satisfies(req))
+            .filter(move |(_, p)| arch.is_none_or(|a| p.arch().installable_on(a)))
             .copied()
+    }
+
+    fn best_provider_filtered(&self, req: &Dependency, arch: Option<Arch>) -> Option<&'a Package> {
+        self.visible(arch)
+            .filter(|(_, p)| p.satisfies(req))
             .max_by(|a, b| self.better(*a, *b))
             .map(|(_, p)| p)
+    }
+
+    fn best_by_name_filtered(&self, name: &str, arch: Option<Arch>) -> Option<&'a Package> {
+        self.visible(arch)
+            .filter(|(_, p)| p.name() == name)
+            .max_by(|a, b| self.better(*a, *b))
+            .map(|(_, p)| p)
+            .or_else(|| self.best_provider_filtered(&Dependency::any(name), arch))
+    }
+
+    /// Best visible candidate satisfying `req`.
+    pub fn best_provider(&self, req: &Dependency) -> Option<&'a Package> {
+        self.best_provider_filtered(req, None)
     }
 
     /// Best visible candidate *by package name* (for direct requests and
     /// update targets). A name request matches real names first; if no
     /// package has that name, yum falls back to `whatprovides`.
     pub fn best_by_name(&self, name: &str) -> Option<&'a Package> {
-        self.candidates
-            .iter()
-            .filter(|(_, p)| p.name() == name)
-            .copied()
-            .max_by(|a, b| self.better(*a, *b))
-            .map(|(_, p)| p)
-            .or_else(|| self.best_provider(&Dependency::any(name)))
+        self.best_by_name_filtered(name, None)
     }
 
-    /// Resolve `yum install <names...>`: returns the closure of installs.
+    /// Resolve a typed [`SolveRequest`] against `db`.
     ///
     /// The worklist and in-progress solution hold `&Package` borrows of
     /// the repository candidates — packages (whose Requires/Provides
-    /// vectors make cloning expensive) are copied exactly once, into
-    /// the returned [`Solution`].
-    pub fn resolve_install(&self, db: &RpmDb, names: &[&str]) -> Result<Solution, SolveError> {
-        let mut installs: Vec<&'a Package> = Vec::new();
-        let mut upgrades: Vec<&'a Package> = Vec::new();
-        let mut chosen: HashSet<&'a str> = HashSet::new(); // names already in solution
-        let mut queue: VecDeque<&'a Package> = VecDeque::new();
+    /// vectors make cloning expensive) are copied exactly once, into the
+    /// returned [`Solution`]'s `Arc`s.
+    pub fn resolve(&self, db: &RpmDb, request: &SolveRequest) -> Result<Solution, SolveError> {
+        let req = request.normalized();
+        let mut walk = Walk::new();
+        match req.kind {
+            SolveKind::Install => self.seed_install(db, &req, &mut walk)?,
+            SolveKind::Update | SolveKind::UpdateAll => self.seed_update(db, &req, &mut walk),
+        }
+        self.drain(db, &mut walk, req.arch)?;
+        Ok(walk.into_solution(db))
+    }
 
-        for name in names {
+    /// Seed the walk for `yum install <names...>`.
+    fn seed_install(
+        &self,
+        db: &RpmDb,
+        req: &SolveRequest,
+        walk: &mut Walk<'a>,
+    ) -> Result<(), SolveError> {
+        for name in req.targets() {
             let p = self
-                .best_by_name(name)
+                .best_by_name_filtered(name, req.arch())
                 .ok_or_else(|| SolveError::NothingProvides {
                     what: name.to_string(),
                     needed_by: String::new(),
@@ -178,125 +426,98 @@ impl<'a> Solver<'a> {
                 // "Nothing to do" for this name
                 continue;
             }
-            if chosen.insert(p.name()) {
-                queue.push_back(p);
+            walk.enqueue(p);
+        }
+        Ok(())
+    }
+
+    /// Seed the walk for `yum update [names...]`: the newest visible
+    /// candidate for every installed (or listed) name that has one,
+    /// plus obsoletes processing when `obsoletes=1`.
+    fn seed_update(&self, db: &RpmDb, req: &SolveRequest, walk: &mut Walk<'a>) {
+        let targets: Vec<String> = match req.kind() {
+            SolveKind::UpdateAll => db.names().iter().map(|s| s.to_string()).collect(),
+            _ => req.targets().to_vec(),
+        };
+        for name in &targets {
+            let installed = match db.newest(name) {
+                Some(ip) => ip,
+                None => continue, // yum update of a not-installed name is a no-op
+            };
+            if let Some(candidate) = self.best_by_name_filtered(name, req.arch()) {
+                if candidate.nevra.evr > installed.package.nevra.evr {
+                    walk.enqueue(candidate);
+                }
+            }
+            // obsoletes processing: a visible package obsoleting this
+            // installed one replaces it (yum's `obsoletes=1`)
+            if self.config.obsoletes {
+                for (_, p) in self.visible(req.arch()) {
+                    if p.obsoletes_package(&installed.package) {
+                        walk.enqueue(p);
+                    }
+                }
             }
         }
+    }
 
-        while let Some(pkg) = queue.pop_front() {
+    /// The shared closure loop: pop work, satisfy each Requires from the
+    /// db, the in-progress solution, or the best visible provider.
+    fn drain(&self, db: &RpmDb, walk: &mut Walk<'a>, arch: Option<Arch>) -> Result<(), SolveError> {
+        while let Some(pkg) = walk.queue.pop_front() {
             for req in &pkg.requires {
                 // satisfied by the db?
                 if db.provides(req) {
                     continue;
                 }
                 // satisfied by something already chosen?
-                let in_solution = installs
+                let in_solution = walk
+                    .installs
                     .iter()
-                    .chain(upgrades.iter())
+                    .chain(walk.upgrades.iter())
                     .chain(std::iter::once(&pkg))
-                    .chain(queue.iter())
+                    .chain(walk.queue.iter())
                     .any(|p| p.satisfies(req));
                 if in_solution {
                     continue;
                 }
-                let provider =
-                    self.best_provider(req)
-                        .ok_or_else(|| SolveError::NothingProvides {
-                            what: req.to_string(),
-                            needed_by: pkg.nevra.to_string(),
-                        })?;
-                if chosen.insert(provider.name()) {
-                    queue.push_back(provider);
-                }
+                let provider = self.best_provider_filtered(req, arch).ok_or_else(|| {
+                    SolveError::NothingProvides {
+                        what: req.to_string(),
+                        needed_by: pkg.nevra.to_string(),
+                    }
+                })?;
+                walk.enqueue(provider);
             }
             // upgrade when an older instance is installed, install otherwise
             if db.is_installed(pkg.name()) {
-                upgrades.push(pkg);
+                walk.upgrades.push(pkg);
             } else {
-                installs.push(pkg);
+                walk.installs.push(pkg);
             }
         }
-        Ok(Solution {
-            installs: installs.into_iter().cloned().collect(),
-            upgrades: upgrades.into_iter().cloned().collect(),
-        })
+        Ok(())
     }
 
-    /// Resolve `yum update [names...]`: pick the newest visible candidate
-    /// for every installed (or listed) name that has one, plus any new
-    /// dependencies those updates require.
+    /// Resolve `yum install <names...>` — compatibility wrapper over
+    /// [`Solver::resolve`] with [`SolveRequest::install`].
+    pub fn resolve_install(&self, db: &RpmDb, names: &[&str]) -> Result<Solution, SolveError> {
+        self.resolve(db, &SolveRequest::install(names.iter().copied()))
+    }
+
+    /// Resolve `yum update [names...]` — compatibility wrapper over
+    /// [`Solver::resolve`] with [`SolveRequest::update`] /
+    /// [`SolveRequest::update_all`].
     pub fn resolve_update(
         &self,
         db: &RpmDb,
         names: Option<&[&str]>,
     ) -> Result<Solution, SolveError> {
-        let targets: Vec<String> = match names {
-            Some(ns) => ns.iter().map(|s| s.to_string()).collect(),
-            None => db.names().iter().map(|s| s.to_string()).collect(),
+        let req = match names {
+            Some(ns) => SolveRequest::update(ns.iter().copied()),
+            None => SolveRequest::update_all(),
         };
-
-        let mut installs: Vec<&'a Package> = Vec::new();
-        let mut upgrades: Vec<&'a Package> = Vec::new();
-        let mut chosen: HashSet<&'a str> = HashSet::new();
-        let mut queue: VecDeque<&'a Package> = VecDeque::new();
-
-        for name in &targets {
-            let installed = match db.newest(name) {
-                Some(ip) => ip,
-                None => continue, // yum update of a not-installed name is a no-op
-            };
-            if let Some(candidate) = self.best_by_name(name) {
-                if candidate.nevra.evr > installed.package.nevra.evr
-                    && chosen.insert(candidate.name())
-                {
-                    queue.push_back(candidate);
-                }
-            }
-            // obsoletes processing: a visible package obsoleting this
-            // installed one replaces it (yum's `obsoletes=1`)
-            if self.config.obsoletes {
-                for (_, p) in &self.candidates {
-                    if p.obsoletes_package(&installed.package) && chosen.insert(p.name()) {
-                        queue.push_back(p);
-                    }
-                }
-            }
-        }
-
-        while let Some(pkg) = queue.pop_front() {
-            for req in &pkg.requires {
-                if db.provides(req) {
-                    continue;
-                }
-                let in_solution = installs
-                    .iter()
-                    .chain(upgrades.iter())
-                    .chain(std::iter::once(&pkg))
-                    .chain(queue.iter())
-                    .any(|p| p.satisfies(req));
-                if in_solution {
-                    continue;
-                }
-                let provider =
-                    self.best_provider(req)
-                        .ok_or_else(|| SolveError::NothingProvides {
-                            what: req.to_string(),
-                            needed_by: pkg.nevra.to_string(),
-                        })?;
-                if chosen.insert(provider.name()) {
-                    queue.push_back(provider);
-                }
-            }
-            if db.is_installed(pkg.name()) {
-                upgrades.push(pkg);
-            } else {
-                installs.push(pkg);
-            }
-        }
-        Ok(Solution {
-            installs: installs.into_iter().cloned().collect(),
-            upgrades: upgrades.into_iter().cloned().collect(),
-        })
+        self.resolve(db, &req)
     }
 }
 
@@ -543,5 +764,94 @@ mod tests {
         let db = RpmDb::new();
         let sol = solver.resolve_install(&db, &["top"]).unwrap();
         assert_eq!(sol.installs.len(), 4, "base must appear exactly once");
+    }
+
+    #[test]
+    fn typed_request_matches_wrapper() {
+        let repos = one_repo(vec![
+            PackageBuilder::new("trinity", "r2013", "1")
+                .requires_simple("bowtie")
+                .build(),
+            PackageBuilder::new("bowtie", "1.0.0", "1").build(),
+        ]);
+        let cfg = config();
+        let solver = Solver::new(&repos, &cfg);
+        let db = RpmDb::new();
+        let via_wrapper = solver.resolve_install(&db, &["trinity"]).unwrap();
+        let via_request = solver
+            .resolve(&db, &SolveRequest::install(["trinity"]))
+            .unwrap();
+        let names = |s: &Solution| {
+            s.installs
+                .iter()
+                .map(|p| p.nevra.to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(names(&via_wrapper), names(&via_request));
+    }
+
+    #[test]
+    fn normalized_request_dedups_and_digests_stably() {
+        let a = SolveRequest::install(["x", "y", "x", "z", "y"]);
+        let b = SolveRequest::install(["x", "y", "z"]);
+        assert_eq!(a.normalized(), b.normalized());
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a.digest(), SolveRequest::update(["x", "y", "z"]).digest());
+        assert_ne!(
+            b.digest(),
+            SolveRequest::install(["x", "y", "z"])
+                .with_arch(Arch::I686)
+                .digest()
+        );
+    }
+
+    #[test]
+    fn group_request_expands_install_set() {
+        let group = PackageGroupDef::new("hpc", "HPC libraries")
+            .mandatory_pkg("openmpi")
+            .default_pkg("fftw")
+            .optional_pkg("petsc");
+        let plain = SolveRequest::install(Vec::<String>::new()).with_group(&group, false);
+        assert_eq!(plain.targets(), ["openmpi", "fftw"]);
+        let with_opt = SolveRequest::install(Vec::<String>::new()).with_group(&group, true);
+        assert_eq!(with_opt.targets(), ["openmpi", "fftw", "petsc"]);
+    }
+
+    #[test]
+    fn request_arch_filter_restricts_candidates() {
+        let repos = one_repo(vec![
+            PackageBuilder::new("tool", "2.0", "1")
+                .arch(Arch::X86_64)
+                .build(),
+            PackageBuilder::new("tool", "1.0", "1")
+                .arch(Arch::Noarch)
+                .build(),
+        ]);
+        let cfg = config();
+        let solver = Solver::new(&repos, &cfg);
+        let db = RpmDb::new();
+        // i686 filter: the x86_64 build is not installable there, so the
+        // noarch one is chosen
+        let sol = solver
+            .resolve(&db, &SolveRequest::install(["tool"]).with_arch(Arch::I686))
+            .unwrap();
+        assert_eq!(sol.installs[0].evr().version, "1.0");
+    }
+
+    #[test]
+    fn solve_error_display_phrasing() {
+        let direct = SolveError::NothingProvides {
+            what: "libctl".into(),
+            needed_by: String::new(),
+        };
+        assert_eq!(direct.to_string(), "no package provides libctl");
+        let chained = SolveError::NothingProvides {
+            what: "libctl".into(),
+            needed_by: "meep-1.2.1-1.x86_64".into(),
+        };
+        assert_eq!(
+            chained.to_string(),
+            "no package provides libctl (needed by meep-1.2.1-1.x86_64)"
+        );
     }
 }

@@ -6,7 +6,10 @@
 //!       [--faults "<plan>"]  inject faults, e.g. "seed=42; node.boot key=compute-0-2"
 //! xcbc lab <student>       run the training curriculum and print the grade sheet
 //! xcbc linpack [n]         run a real HPL point on this machine
-//! xcbc fleet               print the Table 3 fleet report
+//! xcbc fleet               deploy the Table 3 fleet concurrently
+//!       [--threads N]        worker threads (default 4)
+//!       [--jsonl]            emit the merged fleet trace as JSONL
+//!       [--table]            just print the static Table 3 registry
 //! xcbc compat              demo the compatibility checker on a bare cluster
 //! xcbc trace <scenario>    merged event trace of a whole deployment day
 //!       [--faults "<plan>"]  on one simulated timebase (scenario: littlefe)
@@ -21,14 +24,16 @@ use xcbc::cluster::specs::{limulus_hpc200, littlefe_modified};
 use xcbc::core::deploy::{
     deploy_from_scratch, deploy_from_scratch_resilient, deploy_xnit_overlay, limulus_factory_image,
 };
+use xcbc::core::fleet::{Fleet, FleetSite};
 use xcbc::core::report;
+use xcbc::core::sites::{deployed_sites, AdoptionPath};
 use xcbc::core::training::{littlefe_curriculum, LabSession};
 use xcbc::core::XnitSetupMethod;
 use xcbc::fault::{FaultPlan, InstallCheckpoint, RetryPolicy};
 use xcbc::rocks::{boot_node, InstallErrorKind, ResilienceConfig};
 use xcbc::sched::{ClusterSim, JobRequest, SchedPolicy};
 use xcbc::sim::{events_to_jsonl, MetricsSink, SimTime, TraceEvent, TraceKind, TraceSink};
-use xcbc::yum::{Mirror, MirrorList};
+use xcbc::yum::{FetchOptions, Mirror, MirrorList};
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -50,8 +55,18 @@ fn main() -> ExitCode {
         "lab" => lab(args.get(1).map(String::as_str).unwrap_or("student")),
         "linpack" => linpack(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(512)),
         "fleet" => {
-            print!("{}", report::render_table3());
-            ExitCode::SUCCESS
+            if args.iter().any(|a| a == "--table") {
+                print!("{}", report::render_table3());
+                return ExitCode::SUCCESS;
+            }
+            let threads = args
+                .iter()
+                .position(|a| a == "--threads")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(4);
+            let jsonl = args.iter().any(|a| a == "--jsonl");
+            fleet_deploy(threads, jsonl)
         }
         "compat" => compat(),
         "trace" => {
@@ -69,7 +84,7 @@ fn main() -> ExitCode {
         }
         "help" | "--help" | "-h" => {
             eprintln!(
-                "usage: xcbc <tables|deploy [littlefe|limulus|both] [--faults \"<plan>\"]|lab [name]|linpack [n]|fleet|compat|trace [littlefe] [--faults \"<plan>\"] [--jsonl]>"
+                "usage: xcbc <tables|deploy [littlefe|limulus|both] [--faults \"<plan>\"]|lab [name]|linpack [n]|fleet [--threads N] [--jsonl] [--table]|compat|trace [littlefe] [--faults \"<plan>\"] [--jsonl]>"
             );
             ExitCode::SUCCESS
         }
@@ -77,6 +92,43 @@ fn main() -> ExitCode {
             eprintln!("xcbc: unknown command {other:?} (try `xcbc help`)");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Deploy a fleet modeled on Table 3's adoption paths: every
+/// `XcbcFromScratch` row becomes a from-scratch Rocks install (on the
+/// LittleFe spec, seeded per site) and every `XnitRepository` row an
+/// XNIT overlay on a Limulus factory image — all sharing one solve
+/// cache across `threads` workers.
+fn fleet_deploy(threads: usize, jsonl: bool) -> ExitCode {
+    let limulus_dbs = || -> BTreeMap<_, _> {
+        limulus_hpc200()
+            .nodes
+            .iter()
+            .map(|n| (n.hostname.clone(), limulus_factory_image()))
+            .collect()
+    };
+    let mut fleet = Fleet::new().with_threads(threads);
+    for (i, site) in deployed_sites().into_iter().enumerate() {
+        fleet = fleet.add_site(match site.path {
+            AdoptionPath::XcbcFromScratch => {
+                FleetSite::from_scratch(site.name, littlefe_modified(), i as u64)
+            }
+            AdoptionPath::XnitRepository => {
+                FleetSite::overlay(site.name, limulus_dbs(), XnitSetupMethod::RepoRpm)
+            }
+        });
+    }
+    let report = fleet.deploy();
+    if jsonl {
+        print!("{}", report.merged_jsonl());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.all_succeeded() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -244,11 +296,11 @@ fn trace(scenario: &str, faults: Option<&str>, jsonl: bool) -> ExitCode {
         Mirror::new("http://mirror.campus.edu/rocks/6.1.1", 200.0, 15.0),
     ]);
     let mut injector = plan.injector();
-    let fetched = mirrors.fetch_resilient_traced(
-        650 << 20,
-        &mut injector,
-        &RetryPolicy::default(),
-        SimTime::ZERO,
+    let fetched = mirrors.fetch_with(
+        FetchOptions::new(650 << 20)
+            .retry(RetryPolicy::default())
+            .inject(&mut injector)
+            .starting_at(SimTime::ZERO),
     );
     events.extend(fetched.events);
 

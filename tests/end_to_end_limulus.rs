@@ -145,7 +145,9 @@ fn mirror_failover_still_serves_metadata() {
         xcbc::yum::Mirror::new("http://cb-repo.iu.xsede.org/xsederepo/", 80.0, 40.0),
     ]);
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-    let outcome = list.fetch(md.total_size_bytes, &mut rng);
+    let outcome = list
+        .fetch_with(xcbc::yum::FetchOptions::new(md.total_size_bytes).sample_with(&mut rng))
+        .outcome;
     assert!(outcome.succeeded());
     assert_eq!(outcome.failed.len(), 1);
 }

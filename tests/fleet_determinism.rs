@@ -1,0 +1,107 @@
+//! Fleet-level determinism properties: parallelism must be an
+//! implementation detail. A site deployed inside an N-thread fleet must
+//! produce the same per-site trace JSONL as the same site deployed on a
+//! single worker — and the same fleet run twice must replay
+//! byte-identically, merged report included.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use xcbc::cluster::specs::{limulus_hpc200, littlefe_modified};
+use xcbc::core::deploy::limulus_factory_image;
+use xcbc::core::fleet::{Fleet, FleetReport, FleetSite};
+use xcbc::core::XnitSetupMethod;
+use xcbc::fault::{FaultPlan, InjectionPoint};
+use xcbc::rpm::RpmDb;
+
+fn limulus_dbs() -> BTreeMap<String, RpmDb> {
+    limulus_hpc200()
+        .nodes
+        .iter()
+        .map(|n| (n.hostname.clone(), limulus_factory_image()))
+        .collect()
+}
+
+/// A fleet mixing both deployment paths: `overlays` XNIT sites plus one
+/// from-scratch site under a seeded fault plan.
+fn build_fleet(threads: usize, overlays: usize, seed: u64, boot_rate: f64) -> Fleet {
+    let mut fleet = Fleet::new().with_threads(threads);
+    for i in 0..overlays {
+        let method = if i % 2 == 0 {
+            XnitSetupMethod::RepoRpm
+        } else {
+            XnitSetupMethod::ManualRepoFile
+        };
+        fleet = fleet.add_site(FleetSite::overlay(
+            format!("overlay-{i}"),
+            limulus_dbs(),
+            method,
+        ));
+    }
+    let plan = FaultPlan::new(seed).with_rate(InjectionPoint::NodeBoot, boot_rate);
+    fleet.add_site(FleetSite::from_scratch_with_faults(
+        "scratch-0",
+        littlefe_modified(),
+        plan,
+    ))
+}
+
+fn site_traces(report: &FleetReport) -> Vec<(String, Option<String>)> {
+    report
+        .sites
+        .iter()
+        .map(|o| (o.name.clone(), report.site_trace_jsonl(&o.name)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Per-site traces are invariant under the worker thread count:
+    /// deploying on 1 thread and on 8 threads yields byte-identical
+    /// JSONL for every site, and the merged fleet log matches too.
+    #[test]
+    fn site_traces_invariant_under_thread_count(
+        seed in 0u64..500,
+        overlays in 1usize..4,
+        boot_rate in 0.0f64..0.3,
+    ) {
+        let serial = build_fleet(1, overlays, seed, boot_rate).deploy();
+        let parallel = build_fleet(8, overlays, seed, boot_rate).deploy();
+
+        prop_assert_eq!(serial.sites.len(), overlays + 1);
+        prop_assert_eq!(site_traces(&serial), site_traces(&parallel));
+        prop_assert_eq!(serial.merged_jsonl(), parallel.merged_jsonl());
+    }
+
+    /// The same fleet deployed twice at the same thread count replays
+    /// byte-identically, per-site success pattern included.
+    #[test]
+    fn same_fleet_replays_byte_identically(
+        seed in 0u64..500,
+        threads in 1usize..6,
+        boot_rate in 0.0f64..0.4,
+    ) {
+        let a = build_fleet(threads, 2, seed, boot_rate).deploy();
+        let b = build_fleet(threads, 2, seed, boot_rate).deploy();
+
+        let ok_a: Vec<bool> = a.sites.iter().map(|o| o.succeeded()).collect();
+        let ok_b: Vec<bool> = b.sites.iter().map(|o| o.succeeded()).collect();
+        prop_assert_eq!(ok_a, ok_b);
+        prop_assert_eq!(a.merged_jsonl(), b.merged_jsonl());
+    }
+}
+
+/// Non-proptest smoke check kept here so a plain `cargo test
+/// fleet_determinism` exercises the invariant even with proptest cases
+/// dialed down: identical overlay sites must share solve-cache entries.
+#[test]
+fn overlay_fleet_reports_cache_hits() {
+    let fleet = build_fleet(4, 3, 7, 0.0);
+    let report = fleet.deploy();
+    assert!(report.all_succeeded(), "fleet failed:\n{}", report.render());
+    assert!(
+        report.cache.hits > 0,
+        "identical overlay sites should hit the shared solve cache: {:?}",
+        report.cache
+    );
+}
