@@ -1,8 +1,12 @@
-//! Ganglia-substrate throughput: concurrent metric publishing and
-//! cluster-wide aggregation.
+//! Ganglia-substrate throughput: concurrent metric publishing,
+//! cluster-wide aggregation, RRD consolidation, and trace-driven
+//! telemetry ingest.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use xcbc_cluster::{ClusterMonitor, MetricKind};
+use xcbc_cluster::{
+    default_alert_rules, ClusterMonitor, MetricKind, RrdConfig, TelemetryConfig, TelemetrySink,
+};
+use xcbc_sim::{TraceEvent, TraceSink};
 
 fn bench_monitor(c: &mut Criterion) {
     let mut group = c.benchmark_group("monitor/publish");
@@ -31,5 +35,65 @@ fn bench_monitor(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_monitor);
+/// 10k samples streamed into a node's full RRD layout (raw ring plus
+/// AVERAGE and MAX tiers at 60 s steps): the per-sample consolidation
+/// cost is what bounds gmetad's ingest rate.
+fn bench_consolidation(c: &mut Criterion) {
+    c.bench_function("monitor/consolidate_10k_samples", |b| {
+        b.iter(|| {
+            let m = ClusterMonitor::with_config(RrdConfig::default());
+            m.register("compute-0-0");
+            for i in 0..10_000u64 {
+                m.publish(
+                    "compute-0-0",
+                    MetricKind::CpuPercent,
+                    i as f64 * 1.5,
+                    (i % 100) as f64,
+                );
+            }
+            m.cluster_mean(MetricKind::CpuPercent)
+        })
+    });
+}
+
+/// 10k trace spans replayed through the full telemetry sink — host
+/// resolution, busy/idle sample derivation, and alert-rule evaluation
+/// per event — the `xcbc mon` ingest path end to end.
+fn bench_telemetry_ingest(c: &mut Criterion) {
+    let hosts: Vec<String> = (0..6).map(|i| format!("compute-0-{i}")).collect();
+    let events: Vec<TraceEvent> = (0..10_000u64)
+        .map(|i| {
+            let host = &hosts[(i % 6) as usize];
+            TraceEvent::span(
+                i as f64 * 2.0,
+                "rocks.install",
+                format!("{host}: pxe + kickstart install"),
+                1.5,
+            )
+            .with_field("node", host.clone())
+            .with_field("bytes", 500u64 << 20)
+        })
+        .collect();
+    c.bench_function("telemetry/ingest_10k_events", |b| {
+        b.iter(|| {
+            let monitor = ClusterMonitor::with_config(RrdConfig::default());
+            let mut sink = TelemetrySink::new(
+                monitor,
+                TelemetryConfig::new("littlefe", hosts.clone()),
+                default_alert_rules(),
+            );
+            for e in &events {
+                sink.record(e);
+            }
+            sink.alerts().len()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_monitor,
+    bench_consolidation,
+    bench_telemetry_ingest
+);
 criterion_main!(benches);

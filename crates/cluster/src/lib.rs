@@ -33,6 +33,7 @@ pub mod node;
 pub mod power;
 pub mod render;
 pub mod specs;
+pub mod telemetry;
 pub mod thermal;
 pub mod topology;
 
@@ -42,10 +43,15 @@ pub use cost::{Bom, BomLine, CloudOffering, TcoComparison};
 pub use failure::{sample_failures, DegradedCluster, FailedComponent, Failure};
 pub use flops::{gpu_peak_gflops, rpeak_gflops_cpu};
 pub use hw::{Cooler, CpuModel, DiskDrive, DiskKind, FormFactor, Motherboard, Nic, Psu};
-pub use monitor::{ClusterMonitor, MetricKind, MetricSample, NodeMonitor};
+pub use monitor::{
+    default_alert_rules, Alert, AlertEngine, AlertOp, AlertRule, ClusterMonitor, Consolidation,
+    MetricKind, MetricSample, MetricSeries, NodeMonitor, Ring, RrdConfig, RrdTier,
+    ALERT_TRACE_SOURCE,
+};
 pub use node::{NodeRole, NodeSpec, PowerState};
 pub use power::{PowerManager, PowerPolicy, PowerReport};
 pub use render::{render_limulus, render_littlefe_front, render_littlefe_rear};
 pub use specs::{limulus_hpc200, littlefe_modified, littlefe_v4};
+pub use telemetry::{TelemetryConfig, TelemetrySink};
 pub use thermal::{check_node_thermals, ThermalIssue};
 pub use topology::{ClusterSpec, NetworkSpec};

@@ -1,14 +1,34 @@
-//! Ganglia-style cluster monitoring.
+//! Ganglia-style cluster monitoring on the shared simulation clock.
 //!
 //! The `ganglia` roll is part of every XCBC build (Table 1: "Cluster
 //! monitoring system"). We model the gmond (per-node metric daemon) /
-//! gmetad (cluster aggregator) split with fixed-capacity ring buffers in
-//! the spirit of RRDtool.
+//! gmetad (cluster aggregator) split:
+//!
+//! * [`NodeMonitor`] is one gmond: per-metric sample series stamped in
+//!   [`SimTime`], each an RRD-style [`MetricSeries`] — a raw ring plus
+//!   AVERAGE/MAX consolidation tiers that downsample old data instead
+//!   of dropping it;
+//! * [`ClusterMonitor`] is gmetad: thread-safe aggregation across
+//!   gmonds, cluster-wide means, hotspot queries, heartbeat/absent-node
+//!   detection, the classic XML dump
+//!   ([`ganglia_xml`](ClusterMonitor::ganglia_xml)), and export into
+//!   the shared [`MetricRegistry`];
+//! * [`AlertRule`] / [`AlertEngine`] turn threshold crossings into
+//!   [`Alert`]s with hysteresis, each convertible to a `mon.alert`
+//!   [`TraceEvent`] timestamped on the shared clock.
+//!
+//! Everything iterates `BTreeMap`s, so dumps, expositions, and alert
+//! order are deterministic for deterministic inputs.
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
 use std::sync::Arc;
+use xcbc_sim::{format_prom_f64, MetricRegistry, SimDuration, SimTime, TraceEvent};
+
+/// Trace source of fired-alert events.
+pub const ALERT_TRACE_SOURCE: &str = "mon.alert";
 
 /// The metric kinds a stock gmond reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -39,60 +59,108 @@ impl MetricKind {
             MetricKind::NetBytesPerSec => "net_bytes_sec",
         }
     }
+
+    /// Gmond metric units, for the XML dump.
+    pub fn units(self) -> &'static str {
+        match self {
+            MetricKind::LoadOne => "",
+            MetricKind::CpuPercent | MetricKind::MemPercent => "%",
+            MetricKind::NetBytesPerSec => "bytes/sec",
+        }
+    }
 }
 
-/// One observation.
+/// One observation, stamped on the shared simulation clock.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MetricSample {
-    /// Seconds since cluster epoch.
-    pub time_s: f64,
+    /// When the sample was taken.
+    pub time: SimTime,
+    /// The observed value.
     pub value: f64,
 }
 
-/// Fixed-capacity ring of samples (RRD-style: old data falls off).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+impl MetricSample {
+    /// A sample at `time` (accepts `SimTime` or legacy float seconds).
+    pub fn new(time: impl Into<SimTime>, value: f64) -> MetricSample {
+        MetricSample {
+            time: time.into(),
+            value,
+        }
+    }
+
+    /// Seconds since cluster epoch, for call sites that predate the
+    /// shared clock.
+    #[deprecated(note = "use `sample.time` (SimTime) instead of float seconds")]
+    pub fn time_s(&self) -> f64 {
+        self.time.as_secs_f64()
+    }
+}
+
+/// Fixed-capacity circular ring of samples (RRD-style: old data falls
+/// off). Push is O(1); iteration yields oldest-first.
+#[derive(Debug, Clone)]
 pub struct Ring {
     capacity: usize,
-    samples: Vec<MetricSample>,
+    buf: Vec<MetricSample>,
+    /// Index of the oldest sample once the ring has wrapped.
+    head: usize,
 }
 
 impl Ring {
-    fn new(capacity: usize) -> Self {
+    pub fn new(capacity: usize) -> Self {
         Ring {
             capacity,
-            samples: Vec::new(),
+            buf: Vec::new(),
+            head: 0,
         }
     }
 
-    fn push(&mut self, s: MetricSample) {
-        if self.samples.len() == self.capacity {
-            self.samples.remove(0);
+    pub fn push(&mut self, s: MetricSample) {
+        if self.capacity == 0 {
+            return;
         }
-        self.samples.push(s);
+        if self.buf.len() < self.capacity {
+            self.buf.push(s);
+        } else {
+            self.buf[self.head] = s;
+            self.head = (self.head + 1) % self.capacity;
+        }
     }
 
+    /// The most recent sample.
     pub fn latest(&self) -> Option<MetricSample> {
-        self.samples.last().copied()
+        if self.buf.is_empty() {
+            None
+        } else {
+            let idx = (self.head + self.buf.len() - 1) % self.buf.len();
+            Some(self.buf[idx])
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.buf.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.buf.is_empty()
+    }
+
+    /// Samples oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = MetricSample> + '_ {
+        let n = self.buf.len();
+        (0..n).map(move |i| self.buf[(self.head + i) % n])
     }
 
     pub fn mean(&self) -> Option<f64> {
-        if self.samples.is_empty() {
+        if self.buf.is_empty() {
             None
         } else {
-            Some(self.samples.iter().map(|s| s.value).sum::<f64>() / self.samples.len() as f64)
+            Some(self.buf.iter().map(|s| s.value).sum::<f64>() / self.buf.len() as f64)
         }
     }
 
     pub fn max(&self) -> Option<f64> {
-        self.samples
+        self.buf
             .iter()
             .map(|s| s.value)
             .fold(None, |acc, v| match acc {
@@ -102,35 +170,237 @@ impl Ring {
     }
 }
 
+/// RRD consolidation function: how raw samples collapse into one
+/// downsampled point per step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Consolidation {
+    /// Mean of the bucket's samples.
+    Average,
+    /// Max of the bucket's samples.
+    Max,
+}
+
+impl Consolidation {
+    pub fn name(self) -> &'static str {
+        match self {
+            Consolidation::Average => "AVERAGE",
+            Consolidation::Max => "MAX",
+        }
+    }
+}
+
+/// One consolidation tier: raw samples accumulate into fixed `step`
+/// buckets; when the clock crosses a bucket boundary the consolidated
+/// point (stamped at the bucket's end) drops into this tier's ring.
+#[derive(Debug, Clone)]
+pub struct RrdTier {
+    cf: Consolidation,
+    step: SimDuration,
+    ring: Ring,
+    bucket: Option<u64>,
+    acc_sum: f64,
+    acc_max: f64,
+    acc_n: u32,
+}
+
+impl RrdTier {
+    fn new(cf: Consolidation, step: SimDuration, capacity: usize) -> RrdTier {
+        RrdTier {
+            cf,
+            step: if step.is_zero() {
+                SimDuration::from_secs(1)
+            } else {
+                step
+            },
+            ring: Ring::new(capacity),
+            bucket: None,
+            acc_sum: 0.0,
+            acc_max: f64::NEG_INFINITY,
+            acc_n: 0,
+        }
+    }
+
+    /// This tier's consolidation function.
+    pub fn consolidation(&self) -> Consolidation {
+        self.cf
+    }
+
+    /// This tier's bucket width.
+    pub fn step(&self) -> SimDuration {
+        self.step
+    }
+
+    /// The consolidated points that have fallen out of completed
+    /// buckets (the still-open bucket is not visible yet).
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    fn flush(&mut self, bucket: u64) {
+        if self.acc_n == 0 {
+            return;
+        }
+        let value = match self.cf {
+            Consolidation::Average => self.acc_sum / self.acc_n as f64,
+            Consolidation::Max => self.acc_max,
+        };
+        let end = SimTime::from_nanos((bucket + 1).saturating_mul(self.step.as_nanos()));
+        self.ring.push(MetricSample::new(end, value));
+        self.acc_sum = 0.0;
+        self.acc_max = f64::NEG_INFINITY;
+        self.acc_n = 0;
+    }
+
+    fn push(&mut self, s: MetricSample) {
+        let bucket = s.time.as_nanos() / self.step.as_nanos();
+        match self.bucket {
+            Some(b) if bucket > b => {
+                self.flush(b);
+                self.bucket = Some(bucket);
+            }
+            None => self.bucket = Some(bucket),
+            _ => {}
+        }
+        self.acc_sum += s.value;
+        self.acc_max = self.acc_max.max(s.value);
+        self.acc_n += 1;
+    }
+}
+
+/// How a [`MetricSeries`] retains data: the raw ring capacity plus the
+/// consolidation tiers behind it.
+#[derive(Debug, Clone)]
+pub struct RrdConfig {
+    /// How many raw samples to keep.
+    pub raw_capacity: usize,
+    /// `(function, step, capacity)` per consolidation tier.
+    pub tiers: Vec<(Consolidation, SimDuration, usize)>,
+}
+
+impl Default for RrdConfig {
+    /// The stock gmond layout: 64 raw samples, one AVERAGE and one MAX
+    /// tier at 60 s steps, 64 points each.
+    fn default() -> Self {
+        RrdConfig {
+            raw_capacity: 64,
+            tiers: vec![
+                (Consolidation::Average, SimDuration::from_secs(60), 64),
+                (Consolidation::Max, SimDuration::from_secs(60), 64),
+            ],
+        }
+    }
+}
+
+impl RrdConfig {
+    /// A raw-only config (no consolidation tiers) with the given ring
+    /// capacity — what `ClusterMonitor::new(capacity)` used to mean.
+    pub fn raw_only(capacity: usize) -> RrdConfig {
+        RrdConfig {
+            raw_capacity: capacity,
+            tiers: Vec::new(),
+        }
+    }
+}
+
+/// One metric's retained history: the raw ring plus consolidation
+/// tiers.
+#[derive(Debug, Clone)]
+pub struct MetricSeries {
+    raw: Ring,
+    tiers: Vec<RrdTier>,
+}
+
+impl MetricSeries {
+    fn new(config: &RrdConfig) -> MetricSeries {
+        MetricSeries {
+            raw: Ring::new(config.raw_capacity),
+            tiers: config
+                .tiers
+                .iter()
+                .map(|&(cf, step, cap)| RrdTier::new(cf, step, cap))
+                .collect(),
+        }
+    }
+
+    fn push(&mut self, s: MetricSample) {
+        self.raw.push(s);
+        for tier in &mut self.tiers {
+            tier.push(s);
+        }
+    }
+
+    /// The raw ring.
+    pub fn raw(&self) -> &Ring {
+        &self.raw
+    }
+
+    /// The consolidation tiers, in configured order.
+    pub fn tiers(&self) -> &[RrdTier] {
+        &self.tiers
+    }
+
+    /// The first tier with the given consolidation function.
+    pub fn tier(&self, cf: Consolidation) -> Option<&RrdTier> {
+        self.tiers.iter().find(|t| t.cf == cf)
+    }
+}
+
 /// Per-node metric daemon (gmond).
 #[derive(Debug)]
 pub struct NodeMonitor {
     pub hostname: String,
-    rings: BTreeMap<MetricKind, Ring>,
+    series: BTreeMap<MetricKind, MetricSeries>,
+    last_seen: Option<SimTime>,
 }
 
 impl NodeMonitor {
     pub fn new(hostname: impl Into<String>, ring_capacity: usize) -> Self {
-        let rings = MetricKind::ALL
+        NodeMonitor::with_config(
+            hostname,
+            &RrdConfig {
+                raw_capacity: ring_capacity,
+                ..RrdConfig::default()
+            },
+        )
+    }
+
+    /// A gmond with an explicit retention layout.
+    pub fn with_config(hostname: impl Into<String>, config: &RrdConfig) -> Self {
+        let series = MetricKind::ALL
             .iter()
-            .map(|k| (*k, Ring::new(ring_capacity)))
+            .map(|k| (*k, MetricSeries::new(config)))
             .collect();
         NodeMonitor {
             hostname: hostname.into(),
-            rings,
+            series,
+            last_seen: None,
         }
     }
 
-    /// Record one observation.
-    pub fn observe(&mut self, kind: MetricKind, time_s: f64, value: f64) {
-        self.rings
+    /// Record one observation (accepts `SimTime` or float seconds).
+    pub fn observe(&mut self, kind: MetricKind, time: impl Into<SimTime>, value: f64) {
+        let s = MetricSample::new(time, value);
+        self.last_seen = Some(self.last_seen.map_or(s.time, |t| t.max(s.time)));
+        self.series
             .get_mut(&kind)
             .expect("all kinds present")
-            .push(MetricSample { time_s, value });
+            .push(s);
     }
 
+    /// The raw ring of one metric (kept name-compatible with the old
+    /// single-ring gmond).
     pub fn ring(&self, kind: MetricKind) -> &Ring {
-        &self.rings[&kind]
+        self.series[&kind].raw()
+    }
+
+    /// The full series (raw + tiers) of one metric.
+    pub fn series(&self, kind: MetricKind) -> &MetricSeries {
+        &self.series[&kind]
+    }
+
+    /// When this gmond last reported anything.
+    pub fn last_seen(&self) -> Option<SimTime> {
+        self.last_seen
     }
 }
 
@@ -139,34 +409,67 @@ impl NodeMonitor {
 #[derive(Debug, Clone)]
 pub struct ClusterMonitor {
     inner: Arc<RwLock<BTreeMap<String, NodeMonitor>>>,
-    ring_capacity: usize,
+    config: RrdConfig,
 }
 
 impl ClusterMonitor {
+    /// A gmetad whose gmonds keep `ring_capacity` raw samples plus the
+    /// default consolidation tiers.
     pub fn new(ring_capacity: usize) -> Self {
+        ClusterMonitor::with_config(RrdConfig {
+            raw_capacity: ring_capacity,
+            ..RrdConfig::default()
+        })
+    }
+
+    /// A gmetad with an explicit per-gmond retention layout.
+    pub fn with_config(config: RrdConfig) -> Self {
         ClusterMonitor {
             inner: Arc::new(RwLock::new(BTreeMap::new())),
-            ring_capacity,
+            config,
         }
     }
 
-    /// Register a node (idempotent).
+    /// Register a node (idempotent). Registered-but-silent nodes show
+    /// up in [`absent_nodes`](Self::absent_nodes).
     pub fn register(&self, hostname: &str) {
         let mut g = self.inner.write();
-        g.entry(hostname.to_string())
-            .or_insert_with(|| NodeMonitor::new(hostname, self.ring_capacity));
+        if !g.contains_key(hostname) {
+            g.insert(
+                hostname.to_string(),
+                NodeMonitor::with_config(hostname, &self.config),
+            );
+        }
     }
 
     pub fn node_count(&self) -> usize {
         self.inner.read().len()
     }
 
-    /// Publish one observation for a node (auto-registers).
-    pub fn publish(&self, hostname: &str, kind: MetricKind, time_s: f64, value: f64) {
+    /// Registered hostnames, sorted.
+    pub fn hosts(&self) -> Vec<String> {
+        self.inner.read().keys().cloned().collect()
+    }
+
+    /// Publish one observation for a node (auto-registers). Accepts
+    /// `SimTime` or legacy float seconds.
+    pub fn publish(&self, hostname: &str, kind: MetricKind, time: impl Into<SimTime>, value: f64) {
+        let time = time.into();
         let mut g = self.inner.write();
-        g.entry(hostname.to_string())
-            .or_insert_with(|| NodeMonitor::new(hostname, self.ring_capacity))
-            .observe(kind, time_s, value);
+        if !g.contains_key(hostname) {
+            g.insert(
+                hostname.to_string(),
+                NodeMonitor::with_config(hostname, &self.config),
+            );
+        }
+        g.get_mut(hostname)
+            .expect("just inserted")
+            .observe(kind, time, value);
+    }
+
+    /// Run `f` over one gmond.
+    pub fn with_node<R>(&self, hostname: &str, f: impl FnOnce(&NodeMonitor) -> R) -> Option<R> {
+        self.inner.read().get(hostname).map(f)
     }
 
     /// Cluster-wide latest mean of a metric (the front page of a Ganglia
@@ -198,7 +501,21 @@ impl ClusterMonitor {
             .collect()
     }
 
-    /// Text dump in the spirit of gmetad's XML.
+    /// Heartbeat check: registered nodes that have never reported, or
+    /// whose last report is older than `max_age` at instant `now`.
+    pub fn absent_nodes(&self, now: SimTime, max_age: Option<SimDuration>) -> Vec<String> {
+        let g = self.inner.read();
+        g.values()
+            .filter(|n| match (n.last_seen(), max_age) {
+                (None, _) => true,
+                (Some(seen), Some(age)) => seen + age < now,
+                (Some(_), None) => false,
+            })
+            .map(|n| n.hostname.clone())
+            .collect()
+    }
+
+    /// Text dump in the spirit of gmetad's interactive port.
     pub fn dump(&self) -> String {
         let g = self.inner.read();
         let mut out = String::new();
@@ -210,12 +527,315 @@ impl ClusterMonitor {
                         "  METRIC {} = {:.2} @ {:.0}s\n",
                         k.name(),
                         s.value,
-                        s.time_s
+                        s.time.as_secs_f64()
                     ));
                 }
             }
         }
         out
+    }
+
+    /// Ganglia-faithful XML dump (what gmetad serves on its XML port):
+    /// one `CLUSTER` element, one `HOST` per gmond with its `REPORTED`
+    /// heartbeat, one `METRIC` per kind with the latest value.
+    /// Byte-deterministic: hosts in name order, metrics in declaration
+    /// order, all floats through one formatter.
+    pub fn ganglia_xml(&self, cluster_name: &str, now: SimTime) -> String {
+        let g = self.inner.read();
+        let mut out = String::new();
+        out.push_str("<GANGLIA_XML VERSION=\"3.1.7\" SOURCE=\"gmetad\">\n");
+        let _ = writeln!(
+            out,
+            "<CLUSTER NAME=\"{}\" LOCALTIME=\"{}\" OWNER=\"xcbc\">",
+            xml_escape(cluster_name),
+            now.as_nanos() / xcbc_sim::NANOS_PER_SEC
+        );
+        for n in g.values() {
+            let reported = n
+                .last_seen()
+                .map(|t| t.as_nanos() / xcbc_sim::NANOS_PER_SEC)
+                .unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "<HOST NAME=\"{}\" REPORTED=\"{}\">",
+                xml_escape(&n.hostname),
+                reported
+            );
+            for k in MetricKind::ALL {
+                if let Some(s) = n.ring(k).latest() {
+                    let _ = writeln!(
+                        out,
+                        "<METRIC NAME=\"{}\" VAL=\"{}\" TYPE=\"double\" UNITS=\"{}\" TN=\"{}\" SLOPE=\"both\"/>",
+                        k.name(),
+                        format_prom_f64(s.value),
+                        k.units(),
+                        now.since(s.time).as_nanos() / xcbc_sim::NANOS_PER_SEC
+                    );
+                }
+            }
+            out.push_str("</HOST>\n");
+        }
+        out.push_str("</CLUSTER>\n</GANGLIA_XML>\n");
+        out
+    }
+
+    /// Export every gmond's latest values into `registry` as
+    /// `xcbc_node_<metric>` gauges, labelled by the caller's
+    /// `base_labels` (e.g. `site`) then `host` — the gmetad→registry
+    /// bridge.
+    pub fn register_into(&self, registry: &mut MetricRegistry, base_labels: &[(&str, &str)]) {
+        let g = self.inner.read();
+        for n in g.values() {
+            let mut labels: Vec<(&str, &str)> = base_labels.to_vec();
+            labels.push(("host", n.hostname.as_str()));
+            for k in MetricKind::ALL {
+                if let Some(s) = n.ring(k).latest() {
+                    registry.set_gauge(
+                        &format!("xcbc_node_{}", k.name()),
+                        match k {
+                            MetricKind::LoadOne => "gmond 1-minute load average",
+                            MetricKind::CpuPercent => "gmond CPU utilisation percent",
+                            MetricKind::MemPercent => "gmond memory utilisation percent",
+                            MetricKind::NetBytesPerSec => "gmond network bytes per second",
+                        },
+                        &labels,
+                        s.value,
+                    );
+                }
+            }
+            registry.set_gauge(
+                "xcbc_node_heartbeat_seconds",
+                "simulation instant of the gmond's last report",
+                &labels,
+                n.last_seen().map(|t| t.as_secs_f64()).unwrap_or(-1.0),
+            );
+        }
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+// ---------------------------------------------------------------------
+// Alerting
+// ---------------------------------------------------------------------
+
+/// Which side of the threshold violates the rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlertOp {
+    /// Violated when the value exceeds the threshold.
+    Above,
+    /// Violated when the value drops below the threshold.
+    Below,
+}
+
+/// A threshold rule over one metric kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    /// Stable rule identifier (shows up in alert labels).
+    pub name: String,
+    /// Which gmond metric the rule watches.
+    pub kind: MetricKind,
+    /// Violation direction.
+    pub op: AlertOp,
+    /// The threshold value.
+    pub threshold: f64,
+}
+
+impl AlertRule {
+    pub fn above(name: impl Into<String>, kind: MetricKind, threshold: f64) -> AlertRule {
+        AlertRule {
+            name: name.into(),
+            kind,
+            op: AlertOp::Above,
+            threshold,
+        }
+    }
+
+    pub fn below(name: impl Into<String>, kind: MetricKind, threshold: f64) -> AlertRule {
+        AlertRule {
+            name: name.into(),
+            kind,
+            op: AlertOp::Below,
+            threshold,
+        }
+    }
+
+    /// Does `value` violate this rule?
+    pub fn violated(&self, value: f64) -> bool {
+        match self.op {
+            AlertOp::Above => value > self.threshold,
+            AlertOp::Below => value < self.threshold,
+        }
+    }
+}
+
+/// The default XCBC alert pack: thrashing CPU (retry storms push
+/// derived CPU past 95 %), overloaded nodes, and exhausted memory.
+pub fn default_alert_rules() -> Vec<AlertRule> {
+    vec![
+        AlertRule::above("cpu-hot", MetricKind::CpuPercent, 95.0),
+        AlertRule::above("load-high", MetricKind::LoadOne, 4.0),
+        AlertRule::above("mem-high", MetricKind::MemPercent, 90.0),
+    ]
+}
+
+/// One fired alert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// When the violation was observed, on the shared clock.
+    pub t: SimTime,
+    /// The violated rule's name.
+    pub rule: String,
+    /// The violating host.
+    pub host: String,
+    /// The observed value.
+    pub value: f64,
+    /// The rule threshold (0.0 for event alerts like quarantine).
+    pub threshold: f64,
+}
+
+impl Alert {
+    /// The alert as a `mon.alert` mark on the shared timeline.
+    pub fn to_event(&self) -> TraceEvent {
+        TraceEvent::mark(
+            self.t,
+            ALERT_TRACE_SOURCE,
+            format!("{}: {}", self.rule, self.host),
+        )
+        .with_field("host", self.host.as_str())
+        .with_field("value", self.value)
+        .with_field("threshold", self.threshold)
+    }
+
+    /// One dashboard line.
+    pub fn render(&self) -> String {
+        format!(
+            "[{:>10}] ALERT {:<12} {:<14} value={} threshold={}",
+            self.t.to_string(),
+            self.rule,
+            self.host,
+            format_prom_f64(self.value),
+            format_prom_f64(self.threshold),
+        )
+    }
+}
+
+/// Evaluates [`AlertRule`]s sample-by-sample with hysteresis: a rule
+/// fires when a host crosses into violation and will not re-fire for
+/// that host until a sample comes back inside the threshold.
+#[derive(Debug, Default)]
+pub struct AlertEngine {
+    rules: Vec<AlertRule>,
+    active: BTreeSet<(String, String)>,
+    fired: Vec<Alert>,
+}
+
+impl AlertEngine {
+    /// An engine with no rules (use [`push_rule`](Self::push_rule) or
+    /// [`with_rules`](Self::with_rules)).
+    pub fn new() -> AlertEngine {
+        AlertEngine::default()
+    }
+
+    /// An engine evaluating `rules`.
+    pub fn with_rules(rules: Vec<AlertRule>) -> AlertEngine {
+        AlertEngine {
+            rules,
+            ..AlertEngine::default()
+        }
+    }
+
+    /// Add one rule.
+    pub fn push_rule(&mut self, rule: AlertRule) {
+        self.rules.push(rule);
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[AlertRule] {
+        &self.rules
+    }
+
+    /// Evaluate one observation; any newly-fired alerts are recorded.
+    pub fn observe(&mut self, host: &str, kind: MetricKind, t: SimTime, value: f64) {
+        for rule in &self.rules {
+            if rule.kind != kind {
+                continue;
+            }
+            let key = (rule.name.clone(), host.to_string());
+            if rule.violated(value) {
+                if self.active.insert(key) {
+                    self.fired.push(Alert {
+                        t,
+                        rule: rule.name.clone(),
+                        host: host.to_string(),
+                        value,
+                        threshold: rule.threshold,
+                    });
+                }
+            } else {
+                self.active.remove(&key);
+            }
+        }
+    }
+
+    /// Raise an event alert (quarantine, absent heartbeat) directly,
+    /// deduplicated per `(rule, host)` until [`clear`](Self::clear).
+    pub fn raise(&mut self, t: SimTime, rule: &str, host: &str, value: f64) {
+        if self.active.insert((rule.to_string(), host.to_string())) {
+            self.fired.push(Alert {
+                t,
+                rule: rule.to_string(),
+                host: host.to_string(),
+                value,
+                threshold: 0.0,
+            });
+        }
+    }
+
+    /// Clear one `(rule, host)` latch so it may fire again.
+    pub fn clear(&mut self, rule: &str, host: &str) {
+        self.active.remove(&(rule.to_string(), host.to_string()));
+    }
+
+    /// Every alert fired so far, in firing order.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.fired
+    }
+
+    /// Fired alerts as `mon.alert` trace events, in firing order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.fired.iter().map(Alert::to_event).collect()
+    }
+
+    /// Consume the engine, returning the fired alerts.
+    pub fn into_alerts(self) -> Vec<Alert> {
+        self.fired
+    }
+
+    /// Register per-rule fired totals into `registry`.
+    pub fn register_into(&self, registry: &mut MetricRegistry, base_labels: &[(&str, &str)]) {
+        let mut per_rule: BTreeMap<&str, u64> = BTreeMap::new();
+        for rule in &self.rules {
+            per_rule.insert(rule.name.as_str(), 0);
+        }
+        for a in &self.fired {
+            *per_rule.entry(a.rule.as_str()).or_insert(0) += 1;
+        }
+        for (rule, n) in per_rule {
+            let mut labels: Vec<(&str, &str)> = base_labels.to_vec();
+            labels.push(("rule", rule));
+            registry.set_counter(
+                "xcbc_alerts_fired_total",
+                "alerts fired per rule",
+                &labels,
+                n,
+            );
+        }
     }
 }
 
@@ -227,15 +847,14 @@ mod tests {
     fn ring_evicts_oldest() {
         let mut r = Ring::new(3);
         for i in 0..5 {
-            r.push(MetricSample {
-                time_s: i as f64,
-                value: i as f64,
-            });
+            r.push(MetricSample::new(i as f64, i as f64));
         }
         assert_eq!(r.len(), 3);
         assert_eq!(r.latest().unwrap().value, 4.0);
         assert_eq!(r.mean().unwrap(), 3.0); // samples 2,3,4
         assert_eq!(r.max().unwrap(), 4.0);
+        let ordered: Vec<f64> = r.iter().map(|s| s.value).collect();
+        assert_eq!(ordered, [2.0, 3.0, 4.0], "iteration is oldest-first");
     }
 
     #[test]
@@ -245,6 +864,130 @@ mod tests {
         assert!(r.latest().is_none());
         assert!(r.mean().is_none());
         assert!(r.max().is_none());
+        assert_eq!(r.iter().count(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_ring_keeps_nothing() {
+        let mut r = Ring::new(0);
+        r.push(MetricSample::new(1.0, 1.0));
+        assert!(r.is_empty());
+        assert!(r.latest().is_none());
+    }
+
+    #[test]
+    fn single_sample_ring() {
+        let mut r = Ring::new(8);
+        r.push(MetricSample::new(2.5, 7.0));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.latest().unwrap().value, 7.0);
+        assert_eq!(r.latest().unwrap().time, SimTime::from_secs_f64(2.5));
+        assert_eq!(r.mean(), Some(7.0));
+        assert_eq!(r.max(), Some(7.0));
+    }
+
+    #[test]
+    fn exact_capacity_wrap() {
+        // pushing exactly `capacity` then one more must wrap cleanly
+        let mut r = Ring::new(4);
+        for i in 0..4 {
+            r.push(MetricSample::new(i as f64, i as f64));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(
+            r.iter().map(|s| s.value).collect::<Vec<_>>(),
+            [0.0, 1.0, 2.0, 3.0]
+        );
+        r.push(MetricSample::new(4.0, 4.0));
+        assert_eq!(r.len(), 4);
+        assert_eq!(
+            r.iter().map(|s| s.value).collect::<Vec<_>>(),
+            [1.0, 2.0, 3.0, 4.0]
+        );
+        assert_eq!(r.latest().unwrap().value, 4.0);
+    }
+
+    #[test]
+    fn deprecated_seconds_accessor_still_reads() {
+        let s = MetricSample::new(SimTime::from_secs(90), 1.0);
+        #[allow(deprecated)]
+        let secs = s.time_s();
+        assert_eq!(secs, 90.0);
+    }
+
+    #[test]
+    fn average_tier_consolidates_per_step() {
+        let mut series = MetricSeries::new(&RrdConfig::default());
+        // minute 0: samples 10 and 20 → AVERAGE 15, MAX 20
+        series.push(MetricSample::new(10.0, 10.0));
+        series.push(MetricSample::new(50.0, 20.0));
+        // crossing into minute 1 flushes minute 0
+        series.push(MetricSample::new(70.0, 99.0));
+        let avg = series.tier(Consolidation::Average).unwrap();
+        let max = series.tier(Consolidation::Max).unwrap();
+        assert_eq!(avg.ring().len(), 1);
+        assert_eq!(avg.ring().latest().unwrap().value, 15.0);
+        assert_eq!(avg.ring().latest().unwrap().time, SimTime::from_secs(60));
+        assert_eq!(max.ring().latest().unwrap().value, 20.0);
+        // the open minute-1 bucket is not visible yet
+        assert_eq!(series.raw().len(), 3);
+    }
+
+    #[test]
+    fn tier_skips_empty_buckets() {
+        let mut series = MetricSeries::new(&RrdConfig::default());
+        series.push(MetricSample::new(30.0, 8.0));
+        // jump three minutes ahead: exactly one consolidated point (no
+        // fabricated points for the silent minutes)
+        series.push(MetricSample::new(200.0, 2.0));
+        let avg = series.tier(Consolidation::Average).unwrap();
+        assert_eq!(avg.ring().len(), 1);
+        assert_eq!(avg.ring().latest().unwrap().value, 8.0);
+    }
+
+    #[test]
+    fn boundary_sample_opens_the_next_bucket() {
+        // t = 60 s sits exactly on the bucket boundary: it must open
+        // minute 1, flushing minute 0 with only its own samples
+        let mut series = MetricSeries::new(&RrdConfig::default());
+        series.push(MetricSample::new(0.0, 10.0));
+        series.push(MetricSample::new(60.0, 90.0));
+        let avg = series.tier(Consolidation::Average).unwrap();
+        assert_eq!(avg.ring().len(), 1);
+        assert_eq!(avg.ring().latest().unwrap().value, 10.0);
+        // flushing minute 1 shows the boundary sample landed there
+        series.push(MetricSample::new(121.0, 0.0));
+        let avg = series.tier(Consolidation::Average).unwrap();
+        assert_eq!(avg.ring().len(), 2);
+        assert_eq!(avg.ring().latest().unwrap().value, 90.0);
+    }
+
+    #[test]
+    fn late_sample_folds_into_open_bucket() {
+        // a sample stamped before the open bucket must not reopen (or
+        // corrupt) an already-flushed bucket — it folds into the
+        // current accumulator, mirroring rrdtool's refusal to rewind
+        let mut series = MetricSeries::new(&RrdConfig::default());
+        series.push(MetricSample::new(70.0, 4.0));
+        series.push(MetricSample::new(10.0, 8.0)); // late arrival
+        series.push(MetricSample::new(130.0, 1.0)); // flush minute 1
+        let avg = series.tier(Consolidation::Average).unwrap();
+        assert_eq!(avg.ring().len(), 1);
+        assert_eq!(avg.ring().latest().unwrap().value, 6.0); // (4+8)/2
+        let max = series.tier(Consolidation::Max).unwrap();
+        assert_eq!(max.ring().latest().unwrap().value, 8.0);
+    }
+
+    #[test]
+    fn max_tier_handles_negative_values() {
+        // the MAX accumulator resets to -inf, so an all-negative bucket
+        // must still consolidate to its true (negative) max
+        let mut series = MetricSeries::new(&RrdConfig::default());
+        series.push(MetricSample::new(5.0, -7.0));
+        series.push(MetricSample::new(6.0, -3.0));
+        series.push(MetricSample::new(65.0, -1.0));
+        let max = series.tier(Consolidation::Max).unwrap();
+        assert_eq!(max.ring().latest().unwrap().value, -3.0);
     }
 
     #[test]
@@ -255,6 +998,7 @@ mod tests {
         assert_eq!(n.ring(MetricKind::LoadOne).latest().unwrap().value, 1.5);
         assert_eq!(n.ring(MetricKind::CpuPercent).latest().unwrap().value, 88.0);
         assert!(n.ring(MetricKind::MemPercent).is_empty());
+        assert_eq!(n.last_seen(), Some(SimTime::ZERO));
     }
 
     #[test]
@@ -273,6 +1017,20 @@ mod tests {
         m.register("x");
         m.register("x");
         assert_eq!(m.node_count(), 1);
+    }
+
+    #[test]
+    fn absent_nodes_by_heartbeat() {
+        let m = ClusterMonitor::new(8);
+        m.register("silent");
+        m.publish("recent", MetricKind::LoadOne, 100.0, 1.0);
+        m.publish("stale", MetricKind::LoadOne, 10.0, 1.0);
+        let now = SimTime::from_secs(130);
+        assert_eq!(m.absent_nodes(now, None), vec!["silent"]);
+        assert_eq!(
+            m.absent_nodes(now, Some(SimDuration::from_secs(60))),
+            vec!["silent", "stale"]
+        );
     }
 
     #[test]
@@ -307,5 +1065,92 @@ mod tests {
         let d = m.dump();
         assert!(d.contains("HOST compute-0-0"));
         assert!(d.contains("mem_percent = 42.50"));
+    }
+
+    #[test]
+    fn ganglia_xml_is_faithful_and_deterministic() {
+        let m = ClusterMonitor::new(8);
+        m.publish("compute-0-0", MetricKind::LoadOne, 30.0, 1.5);
+        m.publish("littlefe", MetricKind::CpuPercent, 60.0, 12.0);
+        let xml = m.ganglia_xml("littlefe", SimTime::from_secs(90));
+        assert_eq!(xml, m.ganglia_xml("littlefe", SimTime::from_secs(90)));
+        assert!(xml.starts_with("<GANGLIA_XML VERSION=\"3.1.7\" SOURCE=\"gmetad\">"));
+        assert!(xml.contains("<CLUSTER NAME=\"littlefe\" LOCALTIME=\"90\" OWNER=\"xcbc\">"));
+        assert!(xml.contains("<HOST NAME=\"compute-0-0\" REPORTED=\"30\">"));
+        assert!(xml.contains("<METRIC NAME=\"load_one\" VAL=\"1.5\" TYPE=\"double\" UNITS=\"\" TN=\"60\" SLOPE=\"both\"/>"));
+        assert!(xml.trim_end().ends_with("</GANGLIA_XML>"));
+    }
+
+    #[test]
+    fn registry_export_labels_hosts() {
+        let m = ClusterMonitor::new(8);
+        m.publish("compute-0-0", MetricKind::LoadOne, 5.0, 2.0);
+        let mut reg = MetricRegistry::new();
+        m.register_into(&mut reg, &[("site", "littlefe")]);
+        let text = reg.render_prometheus();
+        assert!(text.contains("xcbc_node_load_one{site=\"littlefe\",host=\"compute-0-0\"} 2"));
+        assert!(
+            text.contains("xcbc_node_heartbeat_seconds{site=\"littlefe\",host=\"compute-0-0\"} 5")
+        );
+    }
+
+    #[test]
+    fn alert_engine_fires_with_hysteresis() {
+        let mut eng = AlertEngine::with_rules(default_alert_rules());
+        eng.observe("n0", MetricKind::CpuPercent, SimTime::from_secs(1), 97.0);
+        // still violating: latched, no re-fire
+        eng.observe("n0", MetricKind::CpuPercent, SimTime::from_secs(2), 99.0);
+        assert_eq!(eng.alerts().len(), 1);
+        // back under threshold clears the latch
+        eng.observe("n0", MetricKind::CpuPercent, SimTime::from_secs(3), 10.0);
+        eng.observe("n0", MetricKind::CpuPercent, SimTime::from_secs(4), 98.0);
+        assert_eq!(eng.alerts().len(), 2);
+        let ev = eng.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].source, ALERT_TRACE_SOURCE);
+        assert!(ev[0].label.contains("cpu-hot"));
+    }
+
+    #[test]
+    fn raise_deduplicates_event_alerts() {
+        let mut eng = AlertEngine::new();
+        eng.raise(
+            SimTime::from_secs(5),
+            "node-quarantined",
+            "compute-0-2",
+            1.0,
+        );
+        eng.raise(
+            SimTime::from_secs(9),
+            "node-quarantined",
+            "compute-0-2",
+            1.0,
+        );
+        assert_eq!(eng.alerts().len(), 1);
+        eng.clear("node-quarantined", "compute-0-2");
+        eng.raise(
+            SimTime::from_secs(20),
+            "node-quarantined",
+            "compute-0-2",
+            1.0,
+        );
+        assert_eq!(eng.alerts().len(), 2);
+    }
+
+    #[test]
+    fn alert_totals_register() {
+        let mut eng = AlertEngine::with_rules(default_alert_rules());
+        eng.observe("n0", MetricKind::MemPercent, SimTime::from_secs(1), 95.0);
+        let mut reg = MetricRegistry::new();
+        eng.register_into(&mut reg, &[]);
+        assert_eq!(
+            reg.counter_value("xcbc_alerts_fired_total", &[("rule", "mem-high")]),
+            Some(1)
+        );
+        assert_eq!(
+            reg.counter_value("xcbc_alerts_fired_total", &[("rule", "cpu-hot")]),
+            Some(0),
+            "configured-but-silent rules report zero"
+        );
     }
 }

@@ -1,0 +1,428 @@
+//! Event-driven gmond: derive node metrics from the trace bus.
+//!
+//! The old monitor was fed by nothing — dashboards showed whatever a
+//! demo hand-published. [`TelemetrySink`] closes the loop: it is a
+//! [`TraceSink`] attached to the same stream every layer already emits
+//! (`rocks.install` spans, `sched` job spans, `yum.mirror` fetches,
+//! `cluster.boot` phases) and converts each event into the per-node
+//! samples a real gmond would have measured while that work ran:
+//!
+//! * an install span on a node ⇒ CPU/memory/load busy at span start,
+//!   idle at span end; a `bytes` field ⇒ network bytes/sec for the
+//!   span's duration;
+//! * a retry-backoff span ([`BACKOFF_PREFIX`]) ⇒ a CPU thrash spike —
+//!   which is what trips the `cpu-hot` alert rule under fault
+//!   injection;
+//! * a scheduler job span with a `placement` field ⇒ load/CPU on each
+//!   placed node for the job's lifetime;
+//! * a mirror fetch ⇒ network throughput on the frontend.
+//!
+//! Every derived sample also flows through the [`AlertEngine`], so
+//! threshold alerts fire *at the simulated instant* the violation
+//! happened, deterministically. Because the input trace is
+//! byte-deterministic for a fixed seed, so is everything this sink
+//! derives.
+
+use crate::monitor::{Alert, AlertEngine, AlertRule, ClusterMonitor, MetricKind};
+use xcbc_sim::{FieldValue, SimTime, TraceEvent, TraceKind, TraceSink, BACKOFF_PREFIX};
+
+/// Derived CPU percent while an install span runs.
+pub const INSTALL_CPU: f64 = 88.0;
+/// Derived memory percent while an install span runs.
+pub const INSTALL_MEM: f64 = 62.0;
+/// Derived 1-minute load while an install span runs.
+pub const INSTALL_LOAD: f64 = 1.0;
+/// Derived CPU percent during a retry-backoff span (the node is
+/// thrashing through timeouts and retries) — above the `cpu-hot`
+/// threshold on purpose.
+pub const BACKOFF_CPU: f64 = 97.5;
+/// Derived CPU percent on nodes running a scheduler job.
+pub const JOB_CPU: f64 = 92.0;
+/// Derived CPU percent on the frontend while it serves a mirror fetch.
+pub const MIRROR_CPU: f64 = 35.0;
+/// Derived CPU percent while a node boots.
+pub const BOOT_CPU: f64 = 55.0;
+/// Idle CPU percent published when a span ends.
+pub const IDLE_CPU: f64 = 4.0;
+/// Idle memory percent published when a span ends.
+pub const IDLE_MEM: f64 = 22.0;
+/// Idle load published when a span ends.
+pub const IDLE_LOAD: f64 = 0.05;
+
+/// How the sink maps trace events onto hosts.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// The frontend hostname: unattributable work (mirror fetches,
+    /// insert-ethers, spans with no recognizable host) lands here —
+    /// faithfully, since the frontend runs all of it.
+    pub frontend: String,
+    /// Every hostname in the cluster; registered up front so silent
+    /// nodes show up in heartbeat checks.
+    pub hosts: Vec<String>,
+    /// Scheduler node index `i` maps to host `{sched_host_prefix}{i}`.
+    pub sched_host_prefix: String,
+}
+
+impl TelemetryConfig {
+    /// A config for `frontend` plus `hosts`, with the stock Rocks
+    /// compute naming (`compute-0-<i>`).
+    pub fn new(frontend: impl Into<String>, hosts: Vec<String>) -> TelemetryConfig {
+        TelemetryConfig {
+            frontend: frontend.into(),
+            hosts,
+            sched_host_prefix: "compute-0-".to_string(),
+        }
+    }
+}
+
+/// The event-driven gmond array: one [`TraceSink`] that publishes
+/// derived samples into a [`ClusterMonitor`] and evaluates alert rules
+/// sample-by-sample.
+#[derive(Debug)]
+pub struct TelemetrySink {
+    monitor: ClusterMonitor,
+    engine: AlertEngine,
+    config: TelemetryConfig,
+}
+
+impl TelemetrySink {
+    /// A sink publishing into `monitor` under `rules`. All configured
+    /// hosts are registered immediately.
+    pub fn new(monitor: ClusterMonitor, config: TelemetryConfig, rules: Vec<AlertRule>) -> Self {
+        for h in &config.hosts {
+            monitor.register(h);
+        }
+        monitor.register(&config.frontend);
+        TelemetrySink {
+            monitor,
+            engine: AlertEngine::with_rules(rules),
+            config,
+        }
+    }
+
+    /// The gmetad this sink publishes into.
+    pub fn monitor(&self) -> &ClusterMonitor {
+        &self.monitor
+    }
+
+    /// The alert engine (rules, fired alerts).
+    pub fn engine(&self) -> &AlertEngine {
+        &self.engine
+    }
+
+    /// Alerts fired so far, in firing order.
+    pub fn alerts(&self) -> &[Alert] {
+        self.engine.alerts()
+    }
+
+    /// Raise a quarantine alert for `node` at `t` (fed from the fault
+    /// layer's post-mortem).
+    pub fn note_quarantined(&mut self, t: SimTime, node: &str) {
+        self.engine.raise(t, "node-quarantined", node, 1.0);
+    }
+
+    /// Heartbeat sweep at scenario end: any registered node that never
+    /// reported raises a `node-absent` alert.
+    pub fn finish(&mut self, now: SimTime) {
+        for host in self.monitor.absent_nodes(now, None) {
+            self.engine.raise(now, "node-absent", &host, 1.0);
+        }
+    }
+
+    /// Consume the sink, returning the monitor and the alert engine.
+    pub fn into_parts(self) -> (ClusterMonitor, AlertEngine) {
+        (self.monitor, self.engine)
+    }
+
+    fn emit(&mut self, host: &str, kind: MetricKind, t: SimTime, value: f64) {
+        self.monitor.publish(host, kind, t, value);
+        self.engine.observe(host, kind, t, value);
+    }
+
+    /// Busy samples at span start, idle samples at span end.
+    fn busy_idle(
+        &mut self,
+        host: &str,
+        start: SimTime,
+        end: SimTime,
+        cpu: f64,
+        load: f64,
+        mem: Option<f64>,
+    ) {
+        let host = host.to_string();
+        self.emit(&host, MetricKind::CpuPercent, start, cpu);
+        self.emit(&host, MetricKind::LoadOne, start, load);
+        if let Some(mem) = mem {
+            self.emit(&host, MetricKind::MemPercent, start, mem);
+        }
+        if end > start {
+            self.emit(&host, MetricKind::CpuPercent, end, IDLE_CPU);
+            self.emit(&host, MetricKind::LoadOne, end, IDLE_LOAD);
+            if mem.is_some() {
+                self.emit(&host, MetricKind::MemPercent, end, IDLE_MEM);
+            }
+        }
+    }
+
+    fn net_span(&mut self, host: &str, start: SimTime, end: SimTime, bytes: u64) {
+        let host = host.to_string();
+        let dur_s = end.since(start).as_secs_f64();
+        let rate = if dur_s > 0.0 {
+            bytes as f64 / dur_s
+        } else {
+            bytes as f64
+        };
+        self.emit(&host, MetricKind::NetBytesPerSec, start, rate);
+        if end > start {
+            self.emit(&host, MetricKind::NetBytesPerSec, end, 0.0);
+        }
+    }
+
+    /// Resolve the host an event describes: an explicit `node` field
+    /// wins; otherwise a `<host>:`-prefixed label is matched against
+    /// the known hosts (with `frontend:` aliasing the configured
+    /// frontend); everything else is the frontend's work.
+    fn resolve_host(&self, event: &TraceEvent) -> String {
+        if let Some(FieldValue::Str(node)) = field(event, "node") {
+            return node.clone();
+        }
+        if let Some((prefix, _)) = event.label.split_once(':') {
+            if prefix == "frontend" {
+                return self.config.frontend.clone();
+            }
+            if self.config.hosts.iter().any(|h| h == prefix) {
+                return prefix.to_string();
+            }
+        }
+        self.config.frontend.clone()
+    }
+}
+
+fn field<'a>(event: &'a TraceEvent, key: &str) -> Option<&'a FieldValue> {
+    event.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn field_u64(event: &TraceEvent, key: &str) -> Option<u64> {
+    match field(event, key) {
+        Some(FieldValue::U64(v)) => Some(*v),
+        _ => None,
+    }
+}
+
+impl TraceSink for TelemetrySink {
+    fn record(&mut self, event: &TraceEvent) {
+        let TraceKind::Span { dur } = event.kind else {
+            return; // marks and counters carry no sustained node load
+        };
+        let (start, end) = (event.t, event.t + dur);
+        match event.source.as_str() {
+            "rocks.install" | "xnit.overlay" => {
+                let host = self.resolve_host(event);
+                if event.label.starts_with(BACKOFF_PREFIX) {
+                    // retries thrash the node: CPU spike, no real work
+                    self.busy_idle(&host, start, end, BACKOFF_CPU, INSTALL_LOAD, None);
+                } else {
+                    self.busy_idle(
+                        &host,
+                        start,
+                        end,
+                        INSTALL_CPU,
+                        INSTALL_LOAD,
+                        Some(INSTALL_MEM),
+                    );
+                    if let Some(bytes) = field_u64(event, "bytes") {
+                        self.net_span(&host, start, end, bytes);
+                    }
+                }
+            }
+            "cluster.boot" => {
+                let host = self.resolve_host(event);
+                self.busy_idle(&host, start, end, BOOT_CPU, INSTALL_LOAD, None);
+            }
+            "yum.mirror" => {
+                let host = self.config.frontend.clone();
+                self.busy_idle(&host, start, end, MIRROR_CPU, INSTALL_LOAD, None);
+                if let Some(bytes) = field_u64(event, "bytes") {
+                    self.net_span(&host, start, end, bytes);
+                }
+            }
+            "sched" => {
+                let Some(FieldValue::Str(placement)) = field(event, "placement") else {
+                    return; // reservations and marks: no node load
+                };
+                let hosts: Vec<String> = placement
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|i| format!("{}{i}", self.config.sched_host_prefix))
+                    .collect();
+                if hosts.is_empty() {
+                    return;
+                }
+                let cores = field_u64(event, "cores").unwrap_or(hosts.len() as u64);
+                let per_node_load = cores as f64 / hosts.len() as f64;
+                for host in hosts {
+                    self.busy_idle(&host, start, end, JOB_CPU, per_node_load, None);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "telemetry"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::default_alert_rules;
+
+    fn sink() -> TelemetrySink {
+        let hosts = vec![
+            "littlefe".to_string(),
+            "compute-0-0".to_string(),
+            "compute-0-1".to_string(),
+        ];
+        TelemetrySink::new(
+            ClusterMonitor::new(32),
+            TelemetryConfig::new("littlefe", hosts),
+            default_alert_rules(),
+        )
+    }
+
+    #[test]
+    fn install_span_drives_node_metrics() {
+        let mut s = sink();
+        s.record(
+            &TraceEvent::span(
+                10.0,
+                "rocks.install",
+                "compute-0-0: pxe + kickstart install",
+                600.0,
+            )
+            .with_field("bytes", 300u64 << 20),
+        );
+        let m = s.monitor();
+        let cpu = m
+            .with_node("compute-0-0", |n| n.ring(MetricKind::CpuPercent).latest())
+            .flatten()
+            .unwrap();
+        assert_eq!(cpu.value, IDLE_CPU, "span ended: node back to idle");
+        assert_eq!(cpu.time, SimTime::from_secs(610));
+        let net = m
+            .with_node("compute-0-0", |n| n.ring(MetricKind::NetBytesPerSec).len())
+            .unwrap();
+        assert_eq!(net, 2, "rate at start, zero at end");
+    }
+
+    #[test]
+    fn frontend_labels_map_to_frontend_host() {
+        let mut s = sink();
+        s.record(&TraceEvent::span(
+            0.0,
+            "rocks.install",
+            "frontend: installer screens & roll selection",
+            300.0,
+        ));
+        assert!(s
+            .monitor()
+            .with_node("littlefe", |n| !n.ring(MetricKind::CpuPercent).is_empty())
+            .unwrap());
+    }
+
+    #[test]
+    fn backoff_spike_fires_cpu_hot_alert() {
+        let mut s = sink();
+        s.record(&TraceEvent::span(
+            50.0,
+            "rocks.install",
+            format!("{BACKOFF_PREFIX}compute-0-1: boot retries"),
+            20.0,
+        ));
+        // the label after the prefix is not a known-host prefix match,
+        // but the spike still lands (on the frontend) and trips the rule
+        let alerts = s.alerts();
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].rule, "cpu-hot");
+        assert_eq!(alerts[0].t, SimTime::from_secs(50));
+    }
+
+    #[test]
+    fn job_span_places_load_on_placed_nodes() {
+        let mut s = sink();
+        s.record(
+            &TraceEvent::span(100.0, "sched", "job hello-mpi", 600.0)
+                .with_field("cores", 4u64)
+                .with_field("placement", "0,1"),
+        );
+        for host in ["compute-0-0", "compute-0-1"] {
+            let load = s
+                .monitor()
+                .with_node(host, |n| n.ring(MetricKind::LoadOne).iter().next())
+                .flatten()
+                .unwrap();
+            assert_eq!(load.value, 2.0, "4 cores over 2 nodes");
+        }
+    }
+
+    #[test]
+    fn sched_marks_and_reservations_carry_no_load() {
+        let mut s = sink();
+        s.record(&TraceEvent::mark(0.0, "sched", "submit hello"));
+        s.record(
+            &TraceEvent::span(0.0, "sched", "reservation: maintenance", 3600.0)
+                .with_field("nodes", 2u64),
+        );
+        assert!(s
+            .monitor()
+            .with_node("compute-0-0", |n| n.ring(MetricKind::LoadOne).is_empty())
+            .unwrap());
+    }
+
+    #[test]
+    fn mirror_fetch_is_frontend_network() {
+        let mut s = sink();
+        s.record(
+            &TraceEvent::span(0.0, "yum.mirror", "fetch http://mirror/rocks", 100.0)
+                .with_field("bytes", 1000u64 * 100),
+        );
+        let net = s
+            .monitor()
+            .with_node("littlefe", |n| {
+                n.ring(MetricKind::NetBytesPerSec).iter().next()
+            })
+            .flatten()
+            .unwrap();
+        assert_eq!(net.value, 1000.0);
+    }
+
+    #[test]
+    fn finish_raises_absent_alerts_for_silent_nodes() {
+        let mut s = sink();
+        s.record(&TraceEvent::span(
+            0.0,
+            "rocks.install",
+            "compute-0-0: pxe + kickstart install",
+            60.0,
+        ));
+        s.finish(SimTime::from_secs(120));
+        let absent: Vec<&str> = s
+            .alerts()
+            .iter()
+            .filter(|a| a.rule == "node-absent")
+            .map(|a| a.host.as_str())
+            .collect();
+        // compute-0-1 and the frontend never reported
+        assert_eq!(absent, ["compute-0-1", "littlefe"]);
+    }
+
+    #[test]
+    fn quarantine_notes_become_alerts() {
+        let mut s = sink();
+        s.note_quarantined(SimTime::from_secs(30), "compute-0-1");
+        s.note_quarantined(SimTime::from_secs(31), "compute-0-1");
+        assert_eq!(s.alerts().len(), 1);
+        assert_eq!(s.alerts()[0].rule, "node-quarantined");
+    }
+}

@@ -30,11 +30,14 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use xcbc_cluster::ClusterSpec;
+use xcbc_cluster::{
+    default_alert_rules, Alert, ClusterMonitor, ClusterSpec, MetricKind, RrdConfig,
+    TelemetryConfig, TelemetrySink,
+};
 use xcbc_fault::{FaultPlan, InstallCheckpoint};
 use xcbc_rocks::{InstallError, ResilienceConfig};
 use xcbc_rpm::RpmDb;
-use xcbc_sim::TraceEvent;
+use xcbc_sim::{MetricRegistry, SimTime, TraceEvent, TraceSink};
 use xcbc_yum::{CacheStats, SolveCache};
 
 /// How one fleet site gets deployed.
@@ -393,11 +396,151 @@ impl Fleet {
     }
 }
 
-/// Solve-cache counter events for the whole fleet run, stamped at time
-/// zero of the fleet timebase (see
-/// [`SolveCache::metrics_events`](xcbc_yum::SolveCache::metrics_events)).
-pub fn fleet_cache_events(fleet: &Fleet) -> Vec<TraceEvent> {
-    fleet.solve_cache().metrics_events(xcbc_sim::SimTime::ZERO)
+/// Fleet-wide telemetry rollup: one gmetad per site, aggregated upward
+/// into a meta-gmetad the way production Ganglia federates gmetads.
+///
+/// Each site's monitor is built by replaying that site's own
+/// deterministic trace through a
+/// [`TelemetrySink`] — and because
+/// per-site traces are byte-identical at any worker-thread count, so is
+/// everything derived here, including the Prometheus exposition
+/// (property-tested in `tests/fleet_determinism.rs`). The only
+/// scheduling-dependent values (the solve cache's hit/miss *split*) are
+/// deliberately excluded; the deterministic totals (lookups, entries)
+/// are registered instead.
+#[derive(Debug)]
+pub struct FleetTelemetry {
+    /// Per-site gmetads, keyed by site name.
+    pub sites: BTreeMap<String, ClusterMonitor>,
+    /// The meta-gmetad: every node of every site, namespaced
+    /// `site/host`, carrying each node's latest sample per metric.
+    pub meta: ClusterMonitor,
+    /// Heartbeat/quarantine/threshold alerts across all sites, in site
+    /// order then firing order.
+    pub alerts: Vec<Alert>,
+    /// The fleet registry: per-site node gauges (labelled `site`,
+    /// `host`), per-site alert totals, and the deterministic
+    /// solve-cache totals.
+    pub registry: MetricRegistry,
+}
+
+impl FleetTelemetry {
+    /// Build the rollup from a finished fleet deployment.
+    pub fn from_report(report: &FleetReport) -> FleetTelemetry {
+        let mut sites = BTreeMap::new();
+        let meta = ClusterMonitor::with_config(RrdConfig::default());
+        let mut alerts = Vec::new();
+        let mut registry = MetricRegistry::new();
+
+        for site in &report.sites {
+            let Ok(dep) = &site.result else { continue };
+            let mut hosts: Vec<String> = dep.node_dbs.keys().cloned().collect();
+            if let Some(pm) = &dep.post_mortem {
+                for (node, _) in &pm.quarantined {
+                    if !hosts.contains(node) {
+                        hosts.push(node.clone());
+                    }
+                }
+            }
+            // the frontend is the non-compute host (BTreeMap order makes
+            // this stable); single-role sites fall back to the first host
+            let frontend = hosts
+                .iter()
+                .find(|h| !h.starts_with("compute-"))
+                .or_else(|| hosts.first())
+                .cloned()
+                .unwrap_or_else(|| site.name.clone());
+            let end = dep
+                .trace
+                .iter()
+                .map(TraceEvent::end)
+                .max()
+                .unwrap_or(SimTime::ZERO);
+
+            let monitor = ClusterMonitor::with_config(RrdConfig::default());
+            let mut sink = TelemetrySink::new(
+                monitor.clone(),
+                TelemetryConfig::new(frontend, hosts),
+                default_alert_rules(),
+            );
+            for event in &dep.trace {
+                sink.record(event);
+            }
+            if let Some(pm) = &dep.post_mortem {
+                for (node, _) in &pm.quarantined {
+                    sink.note_quarantined(end, node);
+                }
+            }
+            sink.finish(end);
+            let (_, engine) = sink.into_parts();
+
+            let base: &[(&str, &str)] = &[("site", &site.name)];
+            monitor.register_into(&mut registry, base);
+            engine.register_into(&mut registry, base);
+
+            // aggregate upward: the meta-gmetad keeps each node's
+            // latest sample per metric, namespaced by site
+            for host in monitor.hosts() {
+                let fleet_host = format!("{}/{host}", site.name);
+                meta.register(&fleet_host);
+                monitor.with_node(&host, |n| {
+                    for kind in MetricKind::ALL {
+                        if let Some(s) = n.ring(kind).latest() {
+                            meta.publish(&fleet_host, kind, s.time, s.value);
+                        }
+                    }
+                });
+            }
+
+            alerts.extend(engine.into_alerts());
+            sites.insert(site.name.clone(), monitor);
+        }
+
+        // fleet-level solve-cache telemetry: only the
+        // scheduling-independent totals (see module docs)
+        registry.set_counter(
+            "xcbc_solvecache_lookups_total",
+            "Depsolve lookups against the fleet-shared cache",
+            &[],
+            report.cache.hits + report.cache.misses,
+        );
+        registry.set_gauge(
+            "xcbc_solvecache_entries",
+            "Distinct solutions stored in the fleet-shared cache",
+            &[],
+            report.cache.entries as f64,
+        );
+
+        FleetTelemetry {
+            sites,
+            meta,
+            alerts,
+            registry,
+        }
+    }
+
+    /// Prometheus text exposition of the fleet registry —
+    /// byte-identical at any worker-thread count.
+    pub fn prometheus(&self) -> String {
+        self.registry.render_prometheus()
+    }
+
+    /// The meta-gmetad's Ganglia XML dump (`site/host` node names),
+    /// stamped at the latest sample the fleet saw.
+    pub fn ganglia_xml(&self) -> String {
+        let now = self
+            .sites
+            .values()
+            .flat_map(|m| {
+                m.hosts()
+                    .into_iter()
+                    .filter_map(|h| m.with_node(&h, |n| n.last_seen()).flatten())
+                    .collect::<Vec<_>>()
+            })
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        self.meta.ganglia_xml("fleet", now)
+    }
 }
 
 #[cfg(test)]
@@ -530,7 +673,33 @@ mod tests {
             .with_solve_cache(Arc::clone(&cache))
             .deploy();
         assert!(second.cache.hits > first.cache.hits, "run 2 reuses run 1");
-        assert!(!fleet_cache_events(&Fleet::new().with_solve_cache(cache)).is_empty());
+        let mut registry = xcbc_sim::MetricRegistry::new();
+        cache.register_metrics(&mut registry);
+        assert!(
+            registry
+                .counter_value("xcbc_solvecache_hits_total", &[])
+                .unwrap()
+                > 0,
+            "shared counters export through the registry"
+        );
+    }
+
+    #[test]
+    fn fleet_telemetry_rolls_up_per_site_gmetads() {
+        let telemetry = FleetTelemetry::from_report(&mixed_fleet(2).deploy());
+        assert_eq!(telemetry.sites.len(), 4);
+        // the meta-gmetad namespaces every site's nodes
+        let meta_hosts = telemetry.meta.hosts();
+        assert!(
+            meta_hosts.iter().any(|h| h.starts_with("marshall/")),
+            "{meta_hosts:?}"
+        );
+        assert!(meta_hosts.iter().any(|h| h == "montana-state/limulus"));
+        let prom = telemetry.prometheus();
+        assert!(prom.contains("site=\"hawaii-hilo\""), "{prom}");
+        assert!(prom.contains("xcbc_solvecache_lookups_total"));
+        let xml = telemetry.ganglia_xml();
+        assert!(xml.contains("CLUSTER NAME=\"fleet\""), "{xml}");
     }
 
     #[test]

@@ -38,8 +38,10 @@ pub mod compat;
 pub mod deploy;
 pub mod docs;
 pub mod fleet;
+pub mod mon;
 pub mod report;
 pub mod roll;
+pub mod scenario;
 pub mod sites;
 pub mod training;
 pub mod update;
@@ -51,8 +53,10 @@ pub use community::{RequestPipeline, RequestState, RequesterGroup, SoftwareReque
 pub use compat::{check_compatibility, CompatIssue, CompatReport};
 pub use deploy::{DeploymentPath, DeploymentReport};
 pub use docs::{render_kb_barebones_software, render_kb_yum_repository};
-pub use fleet::{Fleet, FleetError, FleetReport, FleetSite, SiteOutcome, SitePlan};
+pub use fleet::{Fleet, FleetError, FleetReport, FleetSite, FleetTelemetry, SiteOutcome, SitePlan};
+pub use mon::{monitor_run, sparkline, MonReport};
 pub use roll::{xsede_roll, RollRelease, XSEDE_ROLL_RELEASES};
+pub use scenario::{littlefe_day_one, DayOneRun};
 pub use sites::{deployed_sites, fleet_totals, Site};
 pub use training::{Curriculum, LabSession, LessonStep};
 pub use update::{UpdateRisk, UpdateStrategy};

@@ -328,14 +328,18 @@ impl ClusterInstall {
             "frontend: installer screens & roll selection",
             FRONTEND_SCREENS_S,
         );
+        rec.with_field("node", fe.hostname.clone());
         rec.record(
             "frontend: package installation",
             fe_payload as f64 / (INSTALL_MBPS * 1024.0 * 1024.0),
         );
+        rec.with_field("node", fe.hostname.clone())
+            .with_field("bytes", fe_payload);
         rec.record(
             "frontend: post-install (db, dhcpd, central tree)",
             FRONTEND_POST_S,
         );
+        rec.with_field("node", fe.hostname.clone());
         node_dbs.insert(fe.hostname.clone(), fe_db);
         checkpoint.mark_frontend_committed();
         checkpoint.record(&fe.hostname, NodeStage::PackagesCommitted);
@@ -384,8 +388,8 @@ impl ClusterInstall {
                     let p = InstallProgress::from_checkpoint(&checkpoint, Some(&n.hostname));
                     e.with_progress(p)
                 })?;
-            let secs =
-                NODE_PXE_S + db.installed_size_bytes() as f64 / (INSTALL_MBPS * 1024.0 * 1024.0);
+            let payload = db.installed_size_bytes();
+            let secs = NODE_PXE_S + payload as f64 / (INSTALL_MBPS * 1024.0 * 1024.0);
             let label = format!("{}: pxe + kickstart install", n.hostname);
             if first {
                 rec.record(label, secs);
@@ -394,6 +398,8 @@ impl ClusterInstall {
                 // computes install concurrently from the frontend tree
                 rec.record_parallel(label, secs);
             }
+            rec.with_field("node", n.hostname.clone())
+                .with_field("bytes", payload);
             node_dbs.insert(n.hostname.clone(), db);
             checkpoint.record(&n.hostname, NodeStage::PackagesCommitted);
         }
@@ -531,14 +537,18 @@ impl ClusterInstall {
                 "frontend: installer screens & roll selection",
                 FRONTEND_SCREENS_S,
             );
+            rec.with_field("node", fe.hostname.clone());
             rec.record(
                 "frontend: package installation",
                 fe_payload as f64 / (INSTALL_MBPS * 1024.0 * 1024.0),
             );
+            rec.with_field("node", fe.hostname.clone())
+                .with_field("bytes", fe_payload);
             rec.record(
                 "frontend: post-install (db, dhcpd, central tree)",
                 FRONTEND_POST_S,
             );
+            rec.with_field("node", fe.hostname.clone());
             node_dbs.insert(fe.hostname.clone(), fe_db);
             checkpoint.mark_frontend_committed();
             checkpoint.record(&fe.hostname, NodeStage::PackagesCommitted);
@@ -771,8 +781,8 @@ impl ClusterInstall {
                     .with_progress(p));
                 }
             };
-            let secs =
-                NODE_PXE_S + db.installed_size_bytes() as f64 / (INSTALL_MBPS * 1024.0 * 1024.0);
+            let payload = db.installed_size_bytes();
+            let secs = NODE_PXE_S + payload as f64 / (INSTALL_MBPS * 1024.0 * 1024.0);
             let label = format!("{}: pxe + kickstart install", n.hostname);
             if first {
                 rec.record(label, secs);
@@ -780,6 +790,8 @@ impl ClusterInstall {
             } else {
                 rec.record_parallel(label, secs);
             }
+            rec.with_field("node", n.hostname.clone())
+                .with_field("bytes", payload);
             node_dbs.insert(n.hostname.clone(), db);
             checkpoint.record(&n.hostname, NodeStage::PackagesCommitted);
             if injector

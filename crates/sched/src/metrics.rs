@@ -47,6 +47,55 @@ impl SimMetrics {
         }
     }
 
+    /// Export the workload summary into a [`xcbc_sim::MetricRegistry`]
+    /// alongside the gmond/gmetad node metrics, labelled by scheduling
+    /// policy.
+    pub fn register_into(&self, registry: &mut xcbc_sim::MetricRegistry) {
+        let labels: &[(&str, &str)] = &[("policy", &self.policy)];
+        registry.set_counter(
+            "xcbc_sched_jobs_finished_total",
+            "Jobs that ran to completion or timeout",
+            labels,
+            self.jobs_finished as u64,
+        );
+        registry.set_counter(
+            "xcbc_sched_jobs_timed_out_total",
+            "Jobs killed at their walltime limit",
+            labels,
+            self.jobs_timed_out as u64,
+        );
+        registry.set_gauge(
+            "xcbc_sched_makespan_seconds",
+            "Simulated time at which the workload drained",
+            labels,
+            self.makespan_s,
+        );
+        registry.set_gauge(
+            "xcbc_sched_utilization_ratio",
+            "Core-seconds used over cores times makespan",
+            labels,
+            self.utilization,
+        );
+        registry.set_gauge(
+            "xcbc_sched_wait_seconds_mean",
+            "Mean job queue wait",
+            labels,
+            self.mean_wait_s,
+        );
+        registry.set_gauge(
+            "xcbc_sched_wait_seconds_max",
+            "Worst job queue wait",
+            labels,
+            self.max_wait_s,
+        );
+        registry.set_gauge(
+            "xcbc_sched_bounded_slowdown_mean",
+            "Mean bounded slowdown over finished jobs",
+            labels,
+            self.mean_bounded_slowdown,
+        );
+    }
+
     /// One-line rendering for bench tables.
     pub fn render_row(&self) -> String {
         format!(

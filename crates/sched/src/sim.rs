@@ -387,6 +387,7 @@ impl ClusterSim {
                 job.placement.clone(),
                 job.request.user.clone(),
             );
+            let placed: Vec<String> = placement.iter().map(|n| n.to_string()).collect();
             let span = TraceEvent::span(
                 start_s,
                 TRACE_SOURCE,
@@ -395,7 +396,8 @@ impl ClusterSim {
             )
             .with_field("user", user.clone())
             .with_field("cores", job.request.cores())
-            .with_field("state", if timed_out { "timed-out" } else { "completed" });
+            .with_field("state", if timed_out { "timed-out" } else { "completed" })
+            .with_field("placement", placed.join(","));
             self.bus.emit(span);
             self.used_core_seconds += core_secs;
             *self.usage.entry(user).or_insert(0.0) += core_secs;

@@ -18,7 +18,12 @@
 //!   ([`RingBufferSink`], [`JsonlSink`], [`MetricsSink`]);
 //! * [`SpanRecorder`] — span recording with the classic boot-timeline
 //!   placement rules, so `cluster::Timeline` can become a pure view
-//!   over the trace log.
+//!   over the trace log;
+//! * [`MetricRegistry`] / [`LatencyHistogram`] / [`HistogramSink`] —
+//!   the observability spine: per-source span latency histograms with
+//!   fixed log-spaced buckets and a registry that gmetad, the scheduler
+//!   metrics, and the depsolve cache all export into, rendered as
+//!   byte-deterministic Prometheus exposition text.
 //!
 //! Everything is deterministic by construction: no wall clock, no
 //! hash-order iteration, FIFO tie-breaking at equal timestamps. Two
@@ -28,12 +33,16 @@
 #![deny(missing_docs)]
 
 mod clock;
+mod metrics;
 mod queue;
 mod recorder;
 mod time;
 mod trace;
 
 pub use clock::SimClock;
+pub use metrics::{
+    format_prom_f64, HistogramSink, LatencyHistogram, MetricRegistry, HISTOGRAM_BUCKETS_S,
+};
 pub use queue::{EventQueue, Scheduled};
 pub use recorder::{SpanRecorder, BACKOFF_PREFIX};
 pub use time::{SimDuration, SimTime, NANOS_PER_SEC};

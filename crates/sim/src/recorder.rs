@@ -92,6 +92,20 @@ impl SpanRecorder {
         self
     }
 
+    /// Attach a structured field to the most recently recorded event
+    /// (e.g. the node a span ran on, or the bytes it transferred).
+    /// No-op when nothing has been recorded yet.
+    pub fn with_field(
+        &mut self,
+        key: impl Into<String>,
+        value: impl Into<crate::trace::FieldValue>,
+    ) -> &mut Self {
+        if let Some(last) = self.events.last_mut() {
+            last.fields.push((key.into(), value.into()));
+        }
+        self
+    }
+
     /// The recorded events, in emission order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events

@@ -14,13 +14,13 @@
 //! payloads across threads without cloning until a site commits the
 //! solution into a transaction.
 //!
-//! Hit/miss counters are plain atomics, exported as counter
-//! [`TraceEvent`]s (`source = "yum.solvecache"`) that the existing
-//! [`MetricsSink`](xcbc_sim::MetricsSink) aggregates like any other
-//! trace source. They are *fleet-level* telemetry: whether a given site
-//! hit or missed depends on scheduling, so the counters deliberately
-//! stay out of per-site traces (which must be byte-identical at any
-//! thread count).
+//! Hit/miss counters are plain atomics, exported through the shared
+//! [`MetricRegistry`] (see
+//! [`register_metrics`](SolveCache::register_metrics)) as
+//! `xcbc_solvecache_*` series next to the gmond/gmetad node metrics.
+//! They are *fleet-level* telemetry: whether a given site hit or missed
+//! depends on scheduling, so the counters deliberately stay out of
+//! per-site traces (which must be byte-identical at any thread count).
 
 use crate::fingerprint::{db_fingerprint, repos_fingerprint, Fnv64};
 use crate::repo::Repository;
@@ -30,7 +30,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use xcbc_rpm::RpmDb;
-use xcbc_sim::{SimTime, TraceEvent};
+use xcbc_sim::MetricRegistry;
 
 /// Trace source for cache telemetry events.
 pub const SOLVECACHE_TRACE_SOURCE: &str = "yum.solvecache";
@@ -159,18 +159,30 @@ impl SolveCache {
         *guard = Arc::new(HashMap::new());
     }
 
-    /// Counter [`TraceEvent`]s (`hits`, `misses`, `entries`) stamped at
-    /// `t`, ready to feed a [`MetricsSink`](xcbc_sim::MetricsSink) or a
-    /// fleet report. Emit these once per run, at fleet level — never
-    /// into a per-site trace, where they would break thread-count
-    /// invariance.
-    pub fn metrics_events(&self, t: SimTime) -> Vec<TraceEvent> {
+    /// Export the cache counters into a [`MetricRegistry`] — the one
+    /// place fleet-level telemetry is reported. Hit/miss totals depend
+    /// on scheduling, so they register here rather than into per-site
+    /// traces (which must stay byte-identical at any thread count).
+    pub fn register_metrics(&self, registry: &mut MetricRegistry) {
         let stats = self.stats();
-        vec![
-            TraceEvent::counter(t, SOLVECACHE_TRACE_SOURCE, "hits", stats.hits),
-            TraceEvent::counter(t, SOLVECACHE_TRACE_SOURCE, "misses", stats.misses),
-            TraceEvent::counter(t, SOLVECACHE_TRACE_SOURCE, "entries", stats.entries as u64),
-        ]
+        registry.set_counter(
+            "xcbc_solvecache_hits_total",
+            "Depsolve lookups answered from the shared cache",
+            &[],
+            stats.hits,
+        );
+        registry.set_counter(
+            "xcbc_solvecache_misses_total",
+            "Depsolve lookups that fell through to a real solve",
+            &[],
+            stats.misses,
+        );
+        registry.set_gauge(
+            "xcbc_solvecache_entries",
+            "Distinct solutions currently stored",
+            &[],
+            stats.entries as f64,
+        );
     }
 }
 
@@ -178,7 +190,6 @@ impl SolveCache {
 mod tests {
     use super::*;
     use xcbc_rpm::PackageBuilder;
-    use xcbc_sim::{MetricsSink, TraceSink};
 
     fn repos() -> Vec<Repository> {
         let mut r = Repository::new("xsede", "XSEDE");
@@ -292,7 +303,7 @@ mod tests {
     }
 
     #[test]
-    fn metrics_events_feed_metrics_sink() {
+    fn counters_register_into_shared_registry() {
         let cache = SolveCache::new();
         let repos = repos();
         let cfg = YumConfig::default();
@@ -301,11 +312,22 @@ mod tests {
         cache.get_or_solve(&repos, &cfg, &db, &req).unwrap();
         cache.get_or_solve(&repos, &cfg, &db, &req).unwrap();
 
-        let mut sink = MetricsSink::new();
-        for ev in cache.metrics_events(SimTime::ZERO) {
-            sink.record(&ev);
-        }
-        assert_eq!(sink.count(SOLVECACHE_TRACE_SOURCE), 3);
+        let mut registry = MetricRegistry::new();
+        cache.register_metrics(&mut registry);
+        assert_eq!(
+            registry.counter_value("xcbc_solvecache_hits_total", &[]),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value("xcbc_solvecache_misses_total", &[]),
+            Some(1)
+        );
+        assert_eq!(
+            registry.gauge_value("xcbc_solvecache_entries", &[]),
+            Some(1.0)
+        );
+        let prom = registry.render_prometheus();
+        assert!(prom.contains("xcbc_solvecache_hits_total 1"), "{prom}");
     }
 
     #[test]

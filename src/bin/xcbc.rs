@@ -14,26 +14,30 @@
 //! xcbc trace <scenario>    merged event trace of a whole deployment day
 //!       [--faults "<plan>"]  on one simulated timebase (scenario: littlefe)
 //!       [--jsonl]            emit the raw deterministic JSONL log instead
+//! xcbc mon <scenario>      gmond/gmetad telemetry dashboard over the same
+//!       [--faults "<plan>"]  deployment day: sparkline rings, alerts,
+//!       [--prom|--xml|--jsonl]  span-latency table — or machine exposition
 //! ```
 
 use std::collections::BTreeMap;
 use std::env;
 use std::process::ExitCode;
 
+use xcbc::cluster::default_alert_rules;
 use xcbc::cluster::specs::{limulus_hpc200, littlefe_modified};
 use xcbc::core::deploy::{
     deploy_from_scratch, deploy_from_scratch_resilient, deploy_xnit_overlay, limulus_factory_image,
 };
 use xcbc::core::fleet::{Fleet, FleetSite};
+use xcbc::core::mon::monitor_run;
 use xcbc::core::report;
+use xcbc::core::scenario::littlefe_day_one;
 use xcbc::core::sites::{deployed_sites, AdoptionPath};
 use xcbc::core::training::{littlefe_curriculum, LabSession};
 use xcbc::core::XnitSetupMethod;
-use xcbc::fault::{FaultPlan, InstallCheckpoint, RetryPolicy};
-use xcbc::rocks::{boot_node, InstallErrorKind, ResilienceConfig};
-use xcbc::sched::{ClusterSim, JobRequest, SchedPolicy};
-use xcbc::sim::{events_to_jsonl, MetricsSink, SimTime, TraceEvent, TraceKind, TraceSink};
-use xcbc::yum::{FetchOptions, Mirror, MirrorList};
+use xcbc::fault::{FaultPlan, InstallCheckpoint};
+use xcbc::rocks::{InstallErrorKind, ResilienceConfig};
+use xcbc::sim::{events_to_jsonl, MetricsSink, SimTime, TraceKind, TraceSink};
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -82,9 +86,30 @@ fn main() -> ExitCode {
             let jsonl = args.iter().any(|a| a == "--jsonl");
             trace(scenario, faults, jsonl)
         }
+        "mon" => {
+            let scenario = match args.get(1).map(String::as_str) {
+                Some(s) if !s.starts_with("--") => s,
+                _ => "littlefe",
+            };
+            let faults = args
+                .iter()
+                .position(|a| a == "--faults")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str);
+            let format = if args.iter().any(|a| a == "--prom") {
+                MonFormat::Prometheus
+            } else if args.iter().any(|a| a == "--xml") {
+                MonFormat::GangliaXml
+            } else if args.iter().any(|a| a == "--jsonl") {
+                MonFormat::Jsonl
+            } else {
+                MonFormat::Dashboard
+            };
+            mon(scenario, faults, format)
+        }
         "help" | "--help" | "-h" => {
             eprintln!(
-                "usage: xcbc <tables|deploy [littlefe|limulus|both] [--faults \"<plan>\"]|lab [name]|linpack [n]|fleet [--threads N] [--jsonl] [--table]|compat|trace [littlefe] [--faults \"<plan>\"] [--jsonl]>"
+                "usage: xcbc <tables|deploy [littlefe|limulus|both] [--faults \"<plan>\"]|lab [name]|linpack [n]|fleet [--threads N] [--jsonl] [--table]|compat|trace [littlefe] [--faults \"<plan>\"] [--jsonl]|mon [littlefe] [--faults \"<plan>\"] [--prom|--xml|--jsonl]>"
             );
             ExitCode::SUCCESS
         }
@@ -258,136 +283,59 @@ fn linpack(n: usize) -> ExitCode {
     }
 }
 
-/// One virtual day-one on a LittleFe, end to end, on a single timebase:
-/// fetch the XSEDE roll over the mirror network, build the cluster from
-/// scratch (under the fault plan, if any), PXE-boot the first compute
-/// node into production, then push an opening workload through the
-/// scheduler. Every subsystem records spans through `xcbc-sim`, so the
-/// merged log reads as one coherent timeline — and, for a fixed plan
-/// seed, replays byte-identically (`--jsonl` emits the raw log).
+/// Parse a `--faults` plan (default seed 42) or report why it's bad.
+fn parse_plan(command: &str, faults: Option<&str>) -> Result<FaultPlan, ExitCode> {
+    faults
+        .map(FaultPlan::parse)
+        .unwrap_or_else(|| Ok(FaultPlan::new(42)))
+        .map_err(|e| {
+            eprintln!("xcbc {command}: bad fault plan: {e}");
+            ExitCode::FAILURE
+        })
+}
+
+/// One virtual day-one on a LittleFe, end to end, on a single timebase
+/// (see `xcbc_core::scenario`): mirror fetch, from-scratch install under
+/// the fault plan, production PXE boot, shared-cache depsolves, opening
+/// workload. For a fixed plan seed the log replays byte-identically
+/// (`--jsonl` emits the raw log).
 fn trace(scenario: &str, faults: Option<&str>, jsonl: bool) -> ExitCode {
     if scenario != "littlefe" {
         eprintln!("xcbc trace: unknown scenario {scenario:?} (try `littlefe`)");
         return ExitCode::FAILURE;
     }
-    let plan = match faults
-        .map(FaultPlan::parse)
-        .unwrap_or_else(|| Ok(FaultPlan::new(42)))
-    {
+    let plan = match parse_plan("trace", faults) {
         Ok(p) => p,
+        Err(code) => return code,
+    };
+    let run = match littlefe_day_one(&plan) {
+        Ok(r) => r,
         Err(e) => {
-            eprintln!("xcbc trace: bad fault plan: {e}");
+            eprintln!("xcbc trace: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let elapsed = |events: &[TraceEvent]| {
-        events
-            .iter()
-            .map(TraceEvent::end)
-            .max()
-            .unwrap_or(SimTime::ZERO)
-            .since(SimTime::ZERO)
-    };
-    let mut events: Vec<TraceEvent> = Vec::new();
-
-    // 1. pull the XSEDE roll ISO from the mirror network (yum.mirror)
-    let mirrors = MirrorList::new(vec![
-        Mirror::new("http://mirror.xsede.org/rocks/6.1.1", 80.0, 40.0),
-        Mirror::new("http://mirror.campus.edu/rocks/6.1.1", 200.0, 15.0),
-    ]);
-    let mut injector = plan.injector();
-    let fetched = mirrors.fetch_with(
-        FetchOptions::new(650 << 20)
-            .retry(RetryPolicy::default())
-            .inject(&mut injector)
-            .starting_at(SimTime::ZERO),
-    );
-    events.extend(fetched.events);
-
-    // 2. from-scratch resilient install (rocks.install), resuming
-    //    across any power losses the plan injects
-    let cluster = littlefe_modified();
-    let mut checkpoint = InstallCheckpoint::new();
-    let mut report = None;
-    for _ in 0..=cluster.nodes.len() {
-        match deploy_from_scratch_resilient(
-            &cluster,
-            &plan,
-            &ResilienceConfig::default(),
-            checkpoint.clone(),
-        ) {
-            Ok(r) => {
-                report = Some(r);
-                break;
-            }
-            Err(e) if matches!(e.kind, InstallErrorKind::PowerLoss) => {
-                checkpoint = e.progress.checkpoint.clone();
-            }
-            Err(e) => {
-                eprintln!("xcbc trace: littlefe deploy failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    let Some(report) = report else {
-        eprintln!("xcbc trace: gave up after repeated power losses");
-        return ExitCode::FAILURE;
-    };
-    let t_install = elapsed(&events);
-    events.extend(report.trace.iter().map(|e| e.shifted(t_install)));
-
-    // 3. the first compute node's production PXE boot (cluster.boot)
-    let payload = report
-        .node_dbs
-        .get("compute-0-0")
-        .map(|db| db.installed_size_bytes())
-        .unwrap_or(500 << 20);
-    let t_boot = elapsed(&events);
-    events.extend(
-        boot_node("compute-0-0", payload, None)
-            .timeline
-            .to_spans("cluster.boot")
-            .iter()
-            .map(|e| e.shifted(t_boot)),
-    );
-
-    // 4. the opening workload through the scheduler (sched)
-    let mut sim = ClusterSim::new(5, 2, SchedPolicy::maui_default());
-    sim.add_reservation("maintenance window", vec![4], 3600.0, 7200.0);
-    sim.submit_at(0.0, JobRequest::new("hello-mpi", 2, 2, 600.0, 300.0));
-    sim.submit_at(
-        120.0,
-        JobRequest::new("gromacs-bench", 4, 2, 1800.0, 1500.0),
-    );
-    sim.submit_at(300.0, JobRequest::new("hpl-smoke", 5, 2, 900.0, 700.0));
-    sim.run_to_completion();
-    let t_sched = elapsed(&events);
-    events.extend(sim.take_trace().iter().map(|e| e.shifted(t_sched)));
-
-    // one shared timebase: merge-sort by timestamp (stable, so events
-    // emitted together stay together)
-    events.sort_by_key(|e| e.t);
 
     if jsonl {
-        print!("{}", events_to_jsonl(&events));
+        print!("{}", events_to_jsonl(&run.events));
         return ExitCode::SUCCESS;
     }
     let mut metrics = MetricsSink::new();
-    for e in &events {
+    for e in &run.events {
         metrics.record(e);
     }
     println!(
         "== xcbc trace: {scenario} (fault plan seed {}) ==",
-        plan.seed
+        run.seed
     );
-    for e in &events {
+    for e in &run.events {
         let detail = match &e.kind {
             TraceKind::Span { dur } => format!("  [ran {dur}]"),
             TraceKind::Mark => String::new(),
             TraceKind::Counter { value } => format!("  = {value}"),
         };
         println!(
-            "[{:>10}] {:<13} {}{}",
+            "[{:>10}] {:<14} {}{}",
             e.t.to_string(),
             e.source,
             e.label,
@@ -402,9 +350,46 @@ fn trace(scenario: &str, faults: Option<&str>, jsonl: bool) -> ExitCode {
     println!(
         "{:<14} {:>7} {:>14}",
         "total",
-        events.len(),
-        elapsed(&events).to_string()
+        run.events.len(),
+        run.end().since(SimTime::ZERO).to_string()
     );
+    ExitCode::SUCCESS
+}
+
+/// Output formats for `xcbc mon`.
+enum MonFormat {
+    Dashboard,
+    Prometheus,
+    GangliaXml,
+    Jsonl,
+}
+
+/// Replay the deployment day through the telemetry pipeline — gmond
+/// samples derived from the trace, gmetad aggregation, RRD rings,
+/// threshold/heartbeat alerts — and render the result.
+fn mon(scenario: &str, faults: Option<&str>, format: MonFormat) -> ExitCode {
+    if scenario != "littlefe" {
+        eprintln!("xcbc mon: unknown scenario {scenario:?} (try `littlefe`)");
+        return ExitCode::FAILURE;
+    }
+    let plan = match parse_plan("mon", faults) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let run = match littlefe_day_one(&plan) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xcbc mon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = monitor_run(&run, default_alert_rules());
+    match format {
+        MonFormat::Dashboard => print!("{}", report.dashboard()),
+        MonFormat::Prometheus => print!("{}", report.prometheus()),
+        MonFormat::GangliaXml => print!("{}", report.ganglia_xml()),
+        MonFormat::Jsonl => print!("{}", report.jsonl()),
+    }
     ExitCode::SUCCESS
 }
 

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use std::collections::BTreeMap;
 use xcbc::cluster::specs::{limulus_hpc200, littlefe_modified};
 use xcbc::core::deploy::limulus_factory_image;
-use xcbc::core::fleet::{Fleet, FleetReport, FleetSite};
+use xcbc::core::fleet::{Fleet, FleetReport, FleetSite, FleetTelemetry};
 use xcbc::core::XnitSetupMethod;
 use xcbc::fault::{FaultPlan, InjectionPoint};
 use xcbc::rpm::RpmDb;
@@ -71,6 +71,22 @@ proptest! {
         prop_assert_eq!(serial.sites.len(), overlays + 1);
         prop_assert_eq!(site_traces(&serial), site_traces(&parallel));
         prop_assert_eq!(serial.merged_jsonl(), parallel.merged_jsonl());
+    }
+
+    /// The telemetry rollup is derived purely from the per-site traces,
+    /// so the fleet-wide Prometheus and Ganglia XML expositions must be
+    /// byte-identical at any worker thread count.
+    #[test]
+    fn telemetry_exposition_invariant_under_thread_count(
+        seed in 0u64..500,
+        overlays in 1usize..4,
+        boot_rate in 0.0f64..0.3,
+    ) {
+        let serial = FleetTelemetry::from_report(&build_fleet(1, overlays, seed, boot_rate).deploy());
+        let parallel = FleetTelemetry::from_report(&build_fleet(4, overlays, seed, boot_rate).deploy());
+
+        prop_assert_eq!(serial.prometheus(), parallel.prometheus());
+        prop_assert_eq!(serial.ganglia_xml(), parallel.ganglia_xml());
     }
 
     /// The same fleet deployed twice at the same thread count replays

@@ -1,0 +1,51 @@
+//! Golden-file check of the seeded LittleFe Prometheus exposition.
+//!
+//! `xcbc mon littlefe --prom` must be byte-stable across refactors: the
+//! scrape is the observability contract downstream dashboards are built
+//! against. This test replays the default (seed 42, fault-free) day-one
+//! scenario through the telemetry pipeline and diffs the exposition
+//! against `tests/golden/littlefe.prom`.
+//!
+//! When an intentional change shifts the exposition, regenerate with:
+//!
+//! ```text
+//! XCBC_BLESS=1 cargo test --test mon_golden
+//! ```
+
+use xcbc::cluster::default_alert_rules;
+use xcbc::core::mon::monitor_run;
+use xcbc::core::scenario::littlefe_day_one;
+use xcbc::fault::FaultPlan;
+
+const GOLDEN_PATH: &str = "tests/golden/littlefe.prom";
+
+#[test]
+fn littlefe_prometheus_exposition_matches_golden() {
+    let run = littlefe_day_one(&FaultPlan::new(42)).expect("clean day-one run");
+    let report = monitor_run(&run, default_alert_rules());
+    let actual = report.prometheus();
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    if std::env::var_os("XCBC_BLESS").is_some() {
+        std::fs::write(&path, &actual).expect("bless golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e} (run with XCBC_BLESS=1 to create)",
+            GOLDEN_PATH
+        )
+    });
+    if actual != expected {
+        let first_diff = actual
+            .lines()
+            .zip(expected.lines())
+            .enumerate()
+            .find(|(_, (a, e))| a != e);
+        panic!(
+            "exposition drifted from {GOLDEN_PATH} (first differing line: {:?}); \
+             if intentional, regenerate with XCBC_BLESS=1 cargo test --test mon_golden",
+            first_diff
+        );
+    }
+}
