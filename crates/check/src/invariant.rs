@@ -1,0 +1,51 @@
+//! The [`Invariant`] trait and the registry of default checkers.
+
+use crate::invariants;
+use crate::outcome::SoakOutcome;
+use std::fmt;
+
+/// One observed breach of an invariant, with enough context to debug it
+/// from the printed soak report alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Name of the invariant that failed ([`Invariant::name`]).
+    pub invariant: &'static str,
+    /// What exactly was inconsistent, with the offending values.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+/// A cross-crate property that must hold for every
+/// [`SoakOutcome`], whatever the seed, fleet shape, fault plan, or
+/// workload.
+///
+/// Checkers are pure observers: they may re-run deterministic
+/// computations (a fresh depsolve, a trace walk) but must not mutate
+/// the outcome. Returning an empty vec means the invariant held.
+pub trait Invariant {
+    /// Stable identifier used in reports and by the shrinker to decide
+    /// whether a smaller scenario still reproduces the *same* failure.
+    fn name(&self) -> &'static str;
+
+    /// Check the outcome, returning every violation found.
+    fn check(&self, outcome: &SoakOutcome) -> Vec<Violation>;
+}
+
+/// The full default suite, in the order violations are reported.
+pub fn default_invariants() -> Vec<Box<dyn Invariant + Send + Sync>> {
+    vec![
+        Box::new(invariants::RpmTxConservation),
+        Box::new(invariants::EvrTotalOrder),
+        Box::new(invariants::TimelineMonotone),
+        Box::new(invariants::SchedConservation),
+        Box::new(invariants::SchedNoStarvation),
+        Box::new(invariants::SolveCacheCoherence),
+        Box::new(invariants::CheckpointResumeEquivalence),
+        Box::new(invariants::GmetadRollup),
+    ]
+}

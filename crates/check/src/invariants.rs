@@ -1,0 +1,600 @@
+//! The default cross-crate invariant suite.
+
+use std::collections::BTreeMap;
+
+use xcbc_cluster::monitor::MetricKind;
+use xcbc_rpm::{rpmvercmp, Evr, RpmDb};
+use xcbc_sched::JobState;
+use xcbc_sim::{TraceEvent, TraceKind};
+use xcbc_yum::{Solution, SolveCache, Solver};
+
+use crate::invariant::{Invariant, Violation};
+use crate::outcome::SoakOutcome;
+
+fn violation(invariant: &'static str, detail: String) -> Violation {
+    Violation { invariant, detail }
+}
+
+/// Multiset of installed NEVRA strings in a database.
+fn nevra_multiset(db: &RpmDb) -> BTreeMap<String, usize> {
+    let mut out: BTreeMap<String, usize> = BTreeMap::new();
+    for name in db.names() {
+        for ip in db.get(name) {
+            *out.entry(ip.package.nevra.to_string()).or_default() += 1;
+        }
+    }
+    out
+}
+
+/// `a − b` as a multiset difference.
+fn multiset_sub(
+    a: &BTreeMap<String, usize>,
+    b: &BTreeMap<String, usize>,
+) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    for (k, &n) in a {
+        let m = b.get(k).copied().unwrap_or(0);
+        if n > m {
+            out.insert(k.clone(), n - m);
+        }
+    }
+    out
+}
+
+/// RPM transaction conservation: what a transaction *reports* doing
+/// must equal what actually happened to the database — every reported
+/// install/upgrade appears, nothing unreported appears, every reported
+/// erase disappears, and the byte delta matches exactly.
+pub struct RpmTxConservation;
+
+impl Invariant for RpmTxConservation {
+    fn name(&self) -> &'static str {
+        "rpm.tx-conservation"
+    }
+
+    fn check(&self, outcome: &SoakOutcome) -> Vec<Violation> {
+        let mut v = Vec::new();
+        for rec in &outcome.transactions {
+            let before = nevra_multiset(&rec.before);
+            let after = nevra_multiset(&rec.after);
+            let added = multiset_sub(&after, &before);
+            let removed = multiset_sub(&before, &after);
+
+            let mut expected_added: BTreeMap<String, usize> = BTreeMap::new();
+            for n in rec.report.installed.iter().chain(&rec.report.upgraded) {
+                *expected_added.entry(n.clone()).or_default() += 1;
+            }
+            if added != expected_added {
+                v.push(violation(
+                    self.name(),
+                    format!(
+                        "{}: db additions {:?} != reported installs+upgrades {:?}",
+                        rec.label, added, expected_added
+                    ),
+                ));
+            }
+            for erased in &rec.report.erased {
+                if !removed.contains_key(erased) {
+                    v.push(violation(
+                        self.name(),
+                        format!(
+                            "{}: reported erase of {erased} but it is still installed",
+                            rec.label
+                        ),
+                    ));
+                }
+            }
+
+            let actual_delta =
+                rec.after.installed_size_bytes() as i64 - rec.before.installed_size_bytes() as i64;
+            if actual_delta != rec.report.size_delta_bytes {
+                v.push(violation(
+                    self.name(),
+                    format!(
+                        "{}: db grew by {actual_delta} bytes but transaction reported {}",
+                        rec.label, rec.report.size_delta_bytes
+                    ),
+                ));
+            }
+
+            let broken = rec.after.verify();
+            if !broken.is_empty() {
+                v.push(violation(
+                    self.name(),
+                    format!(
+                        "{}: post-transaction db fails verify: {broken:?}",
+                        rec.label
+                    ),
+                ));
+            }
+        }
+        v
+    }
+}
+
+/// EVR comparison is a total order: reflexive, antisymmetric,
+/// transitive over the harvested sample set, and `Evr`'s `Eq`/`Hash`
+/// agree with `Ord`.
+pub struct EvrTotalOrder;
+
+impl Invariant for EvrTotalOrder {
+    fn name(&self) -> &'static str {
+        "rpm.evr-total-order"
+    }
+
+    fn check(&self, outcome: &SoakOutcome) -> Vec<Violation> {
+        use std::cmp::Ordering;
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+
+        let mut v = Vec::new();
+        let samples: Vec<&str> = outcome
+            .evr_samples
+            .iter()
+            .map(String::as_str)
+            .take(20)
+            .collect();
+
+        for &a in &samples {
+            if rpmvercmp(a, a) != Ordering::Equal {
+                v.push(violation(
+                    self.name(),
+                    format!("rpmvercmp({a:?}, {a:?}) != Equal"),
+                ));
+            }
+            for &b in &samples {
+                let ab = rpmvercmp(a, b);
+                let ba = rpmvercmp(b, a);
+                if ab != ba.reverse() {
+                    v.push(violation(
+                        self.name(),
+                        format!(
+                            "antisymmetry: cmp({a:?},{b:?})={ab:?} but cmp({b:?},{a:?})={ba:?}"
+                        ),
+                    ));
+                }
+                let (ea, eb) = (Evr::new(0, a, "1"), Evr::new(0, b, "1"));
+                let eq_by_cmp = ea.cmp(&eb) == Ordering::Equal;
+                if (ea == eb) != eq_by_cmp {
+                    v.push(violation(
+                        self.name(),
+                        format!("Eq disagrees with Ord for {a:?} vs {b:?}"),
+                    ));
+                }
+                if eq_by_cmp {
+                    let mut ha = DefaultHasher::new();
+                    let mut hb = DefaultHasher::new();
+                    ea.hash(&mut ha);
+                    eb.hash(&mut hb);
+                    if ha.finish() != hb.finish() {
+                        v.push(violation(
+                            self.name(),
+                            format!("equal Evrs {a:?} and {b:?} hash differently"),
+                        ));
+                    }
+                }
+            }
+        }
+
+        let t: Vec<&str> = samples.iter().copied().take(14).collect();
+        for &a in &t {
+            for &b in &t {
+                for &c in &t {
+                    let (ab, bc, ac) = (rpmvercmp(a, b), rpmvercmp(b, c), rpmvercmp(a, c));
+                    if ab != Ordering::Greater && bc != Ordering::Greater && ac == Ordering::Greater
+                    {
+                        v.push(violation(
+                            self.name(),
+                            format!("transitivity: {a:?} <= {b:?} <= {c:?} but {a:?} > {c:?}"),
+                        ));
+                    }
+                }
+            }
+        }
+        v
+    }
+}
+
+/// A `(label, start_ns, end_ns)` span within one node's stream.
+type NodeSpan = (String, u64, u64);
+
+/// Span events grouped by `(source, node)` as `(label, start, end)`.
+fn node_spans(trace: &[TraceEvent]) -> BTreeMap<(String, String), Vec<NodeSpan>> {
+    let mut out: BTreeMap<(String, String), Vec<NodeSpan>> = BTreeMap::new();
+    for e in trace {
+        if let TraceKind::Span { .. } = e.kind {
+            let node = e.fields.iter().find_map(|(k, val)| {
+                if k == "node" {
+                    if let xcbc_sim::FieldValue::Str(s) = val {
+                        return Some(s.clone());
+                    }
+                }
+                None
+            });
+            if let Some(node) = node {
+                out.entry((e.source.clone(), node)).or_default().push((
+                    e.label.clone(),
+                    e.t.as_nanos(),
+                    e.end().as_nanos(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Per-node timeline sanity: within one `(source, node)` stream, spans
+/// are emitted with monotone non-decreasing starts and never overlap —
+/// a node cannot be running two install phases at once.
+pub struct TimelineMonotone;
+
+impl TimelineMonotone {
+    fn check_trace(&self, what: &str, trace: &[TraceEvent], v: &mut Vec<Violation>) {
+        for ((source, node), spans) in node_spans(trace) {
+            for w in spans.windows(2) {
+                let (ref l0, s0, e0) = w[0];
+                let (ref l1, s1, _) = w[1];
+                if s1 < s0 {
+                    v.push(violation(
+                        self.name(),
+                        format!(
+                            "{what}: {source}/{node}: span {l1:?} starts at {s1}ns before predecessor {l0:?} ({s0}ns)"
+                        ),
+                    ));
+                } else if s1 < e0 {
+                    v.push(violation(
+                        self.name(),
+                        format!(
+                            "{what}: {source}/{node}: span {l1:?} (start {s1}ns) overlaps {l0:?} (ends {e0}ns)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+impl Invariant for TimelineMonotone {
+    fn name(&self) -> &'static str {
+        "trace.timeline-monotone"
+    }
+
+    fn check(&self, outcome: &SoakOutcome) -> Vec<Violation> {
+        let mut v = Vec::new();
+        for site in &outcome.fleet.sites {
+            if let Ok(dep) = &site.result {
+                self.check_trace(&format!("site {}", site.name), &dep.trace, &mut v);
+            }
+        }
+        if let Some(resume) = &outcome.resume {
+            self.check_trace("resume:uninterrupted", &resume.uninterrupted_trace, &mut v);
+            self.check_trace("resume:resumed", &resume.resumed_trace, &mut v);
+        }
+        v
+    }
+}
+
+/// Scheduler job conservation: every submitted job is accounted for,
+/// nothing is left running after drain, core-second accounting matches
+/// the per-job state, and the trace carries one mark per submit and
+/// one span per finished job.
+pub struct SchedConservation;
+
+impl Invariant for SchedConservation {
+    fn name(&self) -> &'static str {
+        "sched.job-conservation"
+    }
+
+    fn check(&self, outcome: &SoakOutcome) -> Vec<Violation> {
+        let mut v = Vec::new();
+        let sched = &outcome.sched;
+        let total = sched.sim.jobs().count();
+        if total != sched.submitted {
+            v.push(violation(
+                self.name(),
+                format!(
+                    "submitted {} jobs but simulator holds {total}",
+                    sched.submitted
+                ),
+            ));
+        }
+
+        let mut finished = 0usize;
+        let mut core_seconds = 0.0f64;
+        for job in sched.sim.jobs() {
+            match job.state {
+                JobState::Running { .. } => v.push(violation(
+                    self.name(),
+                    format!(
+                        "job {} ({}) still Running after drain",
+                        job.id, job.request.name
+                    ),
+                )),
+                JobState::Completed { start_s, end_s } | JobState::TimedOut { start_s, end_s } => {
+                    finished += 1;
+                    core_seconds += job.request.cores() as f64 * (end_s - start_s);
+                    if end_s < start_s {
+                        v.push(violation(
+                            self.name(),
+                            format!(
+                                "job {} ends at {end_s} before it starts at {start_s}",
+                                job.id
+                            ),
+                        ));
+                    }
+                }
+                JobState::Queued | JobState::Cancelled => {}
+            }
+        }
+
+        let reported = sched.sim.used_core_seconds();
+        let tol = 1e-6 * core_seconds.abs().max(1.0);
+        if (reported - core_seconds).abs() > tol {
+            v.push(violation(
+                self.name(),
+                format!("used_core_seconds {reported} != per-job accounting {core_seconds}"),
+            ));
+        }
+
+        let spans = sched
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Span { .. }))
+            .count();
+        let marks = sched
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Mark) && e.label.starts_with("submit "))
+            .count();
+        if spans != finished {
+            v.push(violation(
+                self.name(),
+                format!("{finished} jobs finished but trace holds {spans} job spans"),
+            ));
+        }
+        if marks != sched.submitted {
+            v.push(violation(
+                self.name(),
+                format!(
+                    "{} jobs submitted but trace holds {marks} submit marks",
+                    sched.submitted
+                ),
+            ));
+        }
+        v
+    }
+}
+
+/// No starvation: the generator only emits satisfiable jobs (nodes and
+/// ppn within the cluster shape), so after the event queue drains every
+/// job must have reached a terminal state.
+pub struct SchedNoStarvation;
+
+impl Invariant for SchedNoStarvation {
+    fn name(&self) -> &'static str {
+        "sched.no-starvation"
+    }
+
+    fn check(&self, outcome: &SoakOutcome) -> Vec<Violation> {
+        let mut v = Vec::new();
+        for job in outcome.sched.sim.jobs() {
+            if matches!(job.state, JobState::Queued) {
+                v.push(violation(
+                    self.name(),
+                    format!(
+                        "job {} ({}, {}x{} cores) starved: still queued after drain",
+                        job.id, job.request.name, job.request.nodes, job.request.ppn
+                    ),
+                ));
+            }
+        }
+        v
+    }
+}
+
+/// Canonical rendering of a solution for byte-comparison.
+fn canonical_solution(sol: &Solution) -> String {
+    let mut out = String::new();
+    for p in &sol.installs {
+        out.push_str("i ");
+        out.push_str(&p.nevra.to_string());
+        out.push('\n');
+    }
+    for p in &sol.upgrades {
+        out.push_str("u ");
+        out.push_str(&p.nevra.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Solve-cache coherence: for every depsolve the scenario routed
+/// through the shared cache, a fresh solve over the recorded inputs
+/// must byte-equal what the cache holds for that key.
+pub struct SolveCacheCoherence;
+
+impl Invariant for SolveCacheCoherence {
+    fn name(&self) -> &'static str {
+        "yum.solvecache-coherence"
+    }
+
+    fn check(&self, outcome: &SoakOutcome) -> Vec<Violation> {
+        let mut v = Vec::new();
+        for (i, probe) in outcome.solve_probes.iter().enumerate() {
+            let key = SolveCache::key(&probe.repos, &probe.config, &probe.db, &probe.request);
+            let Some(cached) = outcome.cache.peek(key) else {
+                continue; // solve failed and was (correctly) not cached
+            };
+            match Solver::new(&probe.repos, &probe.config).resolve(&probe.db, &probe.request) {
+                Ok(fresh) => {
+                    let (c, f) = (canonical_solution(&cached), canonical_solution(&fresh));
+                    if c != f {
+                        v.push(violation(
+                            self.name(),
+                            format!(
+                                "probe {i} ({:?}): cached solution differs from fresh solve:\ncached:\n{c}fresh:\n{f}",
+                                probe.request
+                            ),
+                        ));
+                    }
+                }
+                Err(e) => v.push(violation(
+                    self.name(),
+                    format!(
+                        "probe {i} ({:?}): cache holds a solution but a fresh solve fails: {e}",
+                        probe.request
+                    ),
+                )),
+            }
+        }
+        v
+    }
+}
+
+/// `(label, duration)` pairs of every span in emission order.
+fn span_seq(trace: &[TraceEvent]) -> Vec<(String, u64)> {
+    trace
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceKind::Span { dur } => Some((e.label.clone(), dur.as_nanos())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Checkpoint/resume equivalence: resuming an aborted install must
+/// converge to the same final per-node databases, and every span the
+/// resumed run emits must appear, in order and with the same duration,
+/// in the uninterrupted run (the resumed trace is the uninterrupted
+/// trace minus the work the checkpoint already committed).
+pub struct CheckpointResumeEquivalence;
+
+impl Invariant for CheckpointResumeEquivalence {
+    fn name(&self) -> &'static str {
+        "rocks.checkpoint-resume"
+    }
+
+    fn check(&self, outcome: &SoakOutcome) -> Vec<Violation> {
+        let mut v = Vec::new();
+        let Some(resume) = &outcome.resume else {
+            return v;
+        };
+        if resume.aborts != 1 {
+            v.push(violation(
+                self.name(),
+                format!(
+                    "scheduled exactly one power loss but observed {} aborts",
+                    resume.aborts
+                ),
+            ));
+        }
+        if resume.resumed_dbs != resume.uninterrupted_dbs {
+            let missing: Vec<&String> = resume
+                .uninterrupted_dbs
+                .keys()
+                .filter(|k| !resume.resumed_dbs.contains_key(*k))
+                .collect();
+            v.push(violation(
+                self.name(),
+                format!(
+                    "resumed install's final node DBs differ from the uninterrupted run \
+                     (nodes missing after resume: {missing:?})"
+                ),
+            ));
+        }
+
+        let full = span_seq(&resume.uninterrupted_trace);
+        let part = span_seq(&resume.resumed_trace);
+        let mut cursor = 0usize;
+        for span in &part {
+            match full[cursor..].iter().position(|s| s == span) {
+                Some(at) => cursor += at + 1,
+                None => {
+                    v.push(violation(
+                        self.name(),
+                        format!(
+                            "resumed run span {:?} ({}ns) is not an in-order subsequence match \
+                             of the uninterrupted trace",
+                            span.0, span.1
+                        ),
+                    ));
+                    return v;
+                }
+            }
+        }
+        if let (Some(a), Some(b)) = (full.last(), part.last()) {
+            if a != b {
+                v.push(violation(
+                    self.name(),
+                    format!(
+                        "final spans differ: uninterrupted ends with {:?}, resumed with {:?}",
+                        a.0, b.0
+                    ),
+                ));
+            }
+        }
+        v
+    }
+}
+
+/// gmetad rollup consistency: the fleet meta-gmetad must hold exactly
+/// the per-site hosts (namespaced `site/host`), and for every host and
+/// metric kind the meta sample must bit-equal the site gmond's latest.
+pub struct GmetadRollup;
+
+impl Invariant for GmetadRollup {
+    fn name(&self) -> &'static str {
+        "mon.gmetad-rollup"
+    }
+
+    fn check(&self, outcome: &SoakOutcome) -> Vec<Violation> {
+        let mut v = Vec::new();
+        let telemetry = &outcome.telemetry;
+        let mut expected_hosts = 0usize;
+        for (site, mon) in &telemetry.sites {
+            for host in mon.hosts() {
+                expected_hosts += 1;
+                let meta_name = format!("{site}/{host}");
+                for kind in MetricKind::ALL {
+                    let local = mon.with_node(&host, |n| n.ring(kind).latest()).flatten();
+                    let rolled = telemetry
+                        .meta
+                        .with_node(&meta_name, |n| n.ring(kind).latest())
+                        .flatten();
+                    match (local, rolled) {
+                        (Some(a), Some(b)) => {
+                            if a.time != b.time || a.value.to_bits() != b.value.to_bits() {
+                                v.push(violation(
+                                    self.name(),
+                                    format!(
+                                        "{meta_name} {kind:?}: meta-gmetad ({:?} @ {:?}) != site gmond ({:?} @ {:?})",
+                                        b.value, b.time, a.value, a.time
+                                    ),
+                                ));
+                            }
+                        }
+                        (Some(_), None) => v.push(violation(
+                            self.name(),
+                            format!("{meta_name} {kind:?}: site has a sample the meta-gmetad lost"),
+                        )),
+                        (None, Some(_)) => v.push(violation(
+                            self.name(),
+                            format!("{meta_name} {kind:?}: meta-gmetad invented a sample"),
+                        )),
+                        (None, None) => {}
+                    }
+                }
+            }
+        }
+        let meta_hosts = telemetry.meta.hosts().len();
+        if meta_hosts != expected_hosts {
+            v.push(violation(
+                self.name(),
+                format!(
+                    "meta-gmetad tracks {meta_hosts} hosts but the sites have {expected_hosts}"
+                ),
+            ));
+        }
+        v
+    }
+}

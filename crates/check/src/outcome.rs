@@ -1,0 +1,97 @@
+//! What one soaked scenario leaves behind for the checkers.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use xcbc_core::fleet::{FleetReport, FleetTelemetry};
+use xcbc_rpm::{RpmDb, TransactionReport};
+use xcbc_sched::ClusterSim;
+use xcbc_sim::TraceEvent;
+use xcbc_yum::{Repository, SolveCache, SolveRequest, YumConfig};
+
+/// Input snapshot of one depsolve routed through the shared cache,
+/// kept so the coherence checker can replay it fresh and byte-compare
+/// against what the cache served.
+#[derive(Debug, Clone)]
+pub struct SolveProbe {
+    /// Repositories the solve ran against.
+    pub repos: Vec<Repository>,
+    /// Yum configuration in effect.
+    pub config: YumConfig,
+    /// The RPM database state *before* the solve.
+    pub db: RpmDb,
+    /// The request.
+    pub request: SolveRequest,
+}
+
+/// One executed RPM transaction with before/after database snapshots,
+/// for the conservation checker.
+#[derive(Debug, Clone)]
+pub struct TxRecord {
+    /// Where in the scenario this transaction ran (for reports).
+    pub label: String,
+    /// Database before the transaction.
+    pub before: RpmDb,
+    /// What the transaction reported doing.
+    pub report: TransactionReport,
+    /// Database after the transaction.
+    pub after: RpmDb,
+}
+
+/// The scheduler stage's outcome: the drained simulator plus the trace
+/// it emitted and the ids it handed out.
+#[derive(Debug)]
+pub struct SchedOutcome {
+    /// The simulator after `run_to_completion` (holds final job states).
+    pub sim: ClusterSim,
+    /// Structured trace drained from the simulator.
+    pub trace: Vec<TraceEvent>,
+    /// How many jobs the scenario submitted.
+    pub submitted: usize,
+}
+
+/// The checkpoint/resume stage: the same cluster installed twice —
+/// once uninterrupted, once with a power loss after the frontend commit
+/// and then resumed from the checkpoint.
+#[derive(Debug)]
+pub struct ResumeOutcome {
+    /// Trace of the uninterrupted run.
+    pub uninterrupted_trace: Vec<TraceEvent>,
+    /// Final per-node databases of the uninterrupted run.
+    pub uninterrupted_dbs: BTreeMap<String, RpmDb>,
+    /// Trace of the final (resumed) run after the power loss.
+    pub resumed_trace: Vec<TraceEvent>,
+    /// Final per-node databases after resume.
+    pub resumed_dbs: BTreeMap<String, RpmDb>,
+    /// How many power-loss aborts happened before the resumed run
+    /// completed (the scenario schedules exactly one).
+    pub aborts: usize,
+}
+
+/// Everything one soaked seed produced, handed to every
+/// [`Invariant`](crate::Invariant).
+#[derive(Debug)]
+pub struct SoakOutcome {
+    /// The seed that generated the scenario.
+    pub seed: u64,
+    /// Whether fault injection was enabled.
+    pub faults: bool,
+    /// The fleet deployment report (per-site traces, node DBs).
+    pub fleet: FleetReport,
+    /// Telemetry rolled up from the fleet report (per-site gmetads plus
+    /// the meta-gmetad).
+    pub telemetry: FleetTelemetry,
+    /// The shared solve cache after the whole scenario ran.
+    pub cache: Arc<SolveCache>,
+    /// Recorded depsolve inputs for the coherence checker.
+    pub solve_probes: Vec<SolveProbe>,
+    /// Executed XNIT update transactions with DB snapshots.
+    pub transactions: Vec<TxRecord>,
+    /// The scheduler workload outcome.
+    pub sched: SchedOutcome,
+    /// The checkpoint/resume equivalence stage, when the scenario ran it.
+    pub resume: Option<ResumeOutcome>,
+    /// EVR strings harvested from the scenario (generated edge cases
+    /// plus versions seen in deployed node databases).
+    pub evr_samples: Vec<String>,
+}

@@ -1,0 +1,521 @@
+//! Seeded scenario generation and execution.
+//!
+//! A [`Scenario`] is generated *whole* from a seed — fleet shape,
+//! Table 4 hardware mixes, fault plans, XNIT update sequences, and a
+//! scheduler workload — then truncated to [`ScenarioLimits`]. Because
+//! every section draws from its own salted RNG stream, lowering a limit
+//! only drops a suffix and never reshuffles what remains: a shrunk
+//! scenario is a strict sub-scenario of the original, which is what
+//! makes greedy shrinking sound.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xcbc_cluster::hw;
+use xcbc_cluster::node::{NodeRole, NodeSpec};
+use xcbc_cluster::specs::{limulus_hpc200, littlefe_modified};
+use xcbc_cluster::topology::{ClusterSpec, NetworkSpec};
+use xcbc_core::deploy::{deploy_from_scratch_resilient, limulus_factory_image};
+use xcbc_core::fleet::{Fleet, FleetSite, FleetTelemetry};
+use xcbc_core::xnit::XnitSetupMethod;
+use xcbc_fault::{FaultPlan, FaultWindow, InjectionPoint, InstallCheckpoint};
+use xcbc_rocks::install::{InstallErrorKind, ResilienceConfig};
+use xcbc_rpm::{RpmDb, TransactionSet};
+use xcbc_sched::{ClusterSim, JobRequest, SchedPolicy};
+use xcbc_yum::{SolveCache, SolveRequest, YumConfig};
+
+use crate::outcome::{ResumeOutcome, SchedOutcome, SoakOutcome, SolveProbe, TxRecord};
+
+/// Most sites one scenario deploys.
+pub const MAX_SITES: usize = 5;
+/// Most scheduled fault specs one scenario injects.
+pub const MAX_FAULT_SPECS: usize = 8;
+/// Most scheduler jobs one scenario submits.
+pub const MAX_JOBS: usize = 24;
+/// Most XNIT update requests one scenario applies.
+pub const MAX_UPDATES: usize = 4;
+
+/// Upper bounds on each scenario dimension. The soak driver shrinks a
+/// failing seed by lowering these, one dimension at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioLimits {
+    /// Max fleet sites deployed.
+    pub sites: usize,
+    /// Max scheduled fault specs (only meaningful with faults enabled).
+    pub fault_specs: usize,
+    /// Max scheduler jobs submitted.
+    pub jobs: usize,
+    /// Max XNIT update requests applied.
+    pub updates: usize,
+}
+
+impl Default for ScenarioLimits {
+    fn default() -> Self {
+        ScenarioLimits {
+            sites: MAX_SITES,
+            fault_specs: MAX_FAULT_SPECS,
+            jobs: MAX_JOBS,
+            updates: MAX_UPDATES,
+        }
+    }
+}
+
+/// How one fleet site is deployed.
+#[derive(Debug, Clone)]
+pub enum SiteBlueprint {
+    /// Bare-metal Rocks/XCBC install of a generated cluster, under the
+    /// given fault plan.
+    Scratch {
+        /// Generated Table 4-style hardware mix.
+        cluster: ClusterSpec,
+        /// Per-site deterministic fault plan (empty without `--faults`).
+        plan: FaultPlan,
+    },
+    /// XNIT overlay on an existing (Limulus-style) cluster.
+    Overlay {
+        /// The XNIT setup method the site's admin uses.
+        method: XnitSetupMethod,
+    },
+}
+
+/// One drawn fault, not yet bound to a site's plan. Kept in a flat,
+/// truncatable list so `limits.fault_specs` shrinks faults globally.
+#[derive(Debug, Clone)]
+struct FaultDraw {
+    /// Index into the *generated* site list (may point at a site that
+    /// the limits cut — then the draw is inert, which is fine).
+    site: usize,
+    point: InjectionPoint,
+    key: Option<String>,
+    window: FaultWindow,
+}
+
+/// A fully generated soak scenario. [`Scenario::run`] executes it.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Seed it was generated from.
+    pub seed: u64,
+    /// Whether fault injection was requested.
+    pub faults: bool,
+    /// Effective limits (after clamping to the generator maxima).
+    pub limits: ScenarioLimits,
+    /// Site blueprints, already truncated to the limits.
+    pub sites: Vec<(String, SiteBlueprint)>,
+    /// Scheduler cluster shape.
+    pub sched_nodes: usize,
+    /// Cores per scheduler node.
+    pub sched_cores: u32,
+    /// Scheduling policy in force.
+    pub policy: SchedPolicy,
+    /// `(submit time, request)` pairs, submit times non-decreasing.
+    pub workload: Vec<(f64, JobRequest)>,
+    /// XNIT update requests applied in order to one evolving host DB.
+    pub updates: Vec<SolveRequest>,
+    /// Generated adversarial EVR strings.
+    pub evr_samples: Vec<String>,
+}
+
+fn salted(seed: u64, salt: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ salt.wrapping_mul(0x9e3779b97f4a7c15))
+}
+
+/// Generate a Table 4-flavoured hardware mix: 3–6 nodes on the
+/// GA-Q87TN board with Haswell-era CPUs, per-node mSATA disks (Rocks
+/// needs disks) and a dual-homed frontend.
+fn gen_cluster(rng: &mut StdRng, idx: usize) -> ClusterSpec {
+    let n_nodes = rng.gen_range(3usize..=6);
+    let mut c = ClusterSpec::new(
+        format!("soak-{idx}"),
+        NetworkSpec::gigabit_ethernet((n_nodes + 2) as u32),
+    );
+    for i in 0..n_nodes {
+        let role = if i == 0 {
+            NodeRole::Frontend
+        } else {
+            NodeRole::Compute
+        };
+        let name = if i == 0 {
+            format!("soak{idx}-fe")
+        } else {
+            format!("compute-0-{}", i - 1)
+        };
+        let cpu = if rng.gen_bool(0.5) {
+            hw::CELERON_G1840
+        } else {
+            hw::I7_4770S
+        };
+        let cooler = if rng.gen_bool(0.5) {
+            hw::ROSEWILL_RCX_Z775_LP
+        } else {
+            hw::INTEL_STOCK_COOLER
+        };
+        let ram = [4u32, 8, 16][rng.gen_range(0usize..3)];
+        let mut b = NodeSpec::new(name, role)
+            .board(hw::GA_Q87TN)
+            .cpu(cpu)
+            .cooler(cooler)
+            .ram_gb(ram)
+            .disk(hw::CRUCIAL_M550_MSATA)
+            .psu(hw::PER_NODE_PSU);
+        if i == 0 {
+            b = b.nic(hw::GBE_NIC);
+        }
+        c.nodes.push(b.build());
+    }
+    c
+}
+
+impl Scenario {
+    /// Generate the scenario for `seed`, truncated to `limits`.
+    pub fn generate(seed: u64, faults: bool, limits: &ScenarioLimits) -> Scenario {
+        let limits = ScenarioLimits {
+            sites: limits.sites.min(MAX_SITES),
+            fault_specs: limits.fault_specs.min(MAX_FAULT_SPECS),
+            jobs: limits.jobs.min(MAX_JOBS),
+            updates: limits.updates.min(MAX_UPDATES),
+        };
+
+        // Natural sizes: how big the scenario *wants* to be for this
+        // seed. Limits can only cut these down.
+        let mut shape = salted(seed, 1);
+        let natural_sites = shape.gen_range(1usize..=MAX_SITES);
+        let natural_faults = if faults {
+            shape.gen_range(1usize..=MAX_FAULT_SPECS)
+        } else {
+            0
+        };
+        let natural_jobs = shape.gen_range(4usize..=MAX_JOBS);
+        let natural_updates = shape.gen_range(1usize..=MAX_UPDATES);
+
+        // Sites: always generate MAX_SITES blueprints from a dedicated
+        // stream, then keep a prefix.
+        let mut site_rng = salted(seed, 2);
+        let mut all_sites: Vec<(String, SiteBlueprint)> = Vec::new();
+        for idx in 0..MAX_SITES {
+            let site_seed = site_rng.gen_range(0u64..=u64::MAX - 1);
+            if site_rng.gen_bool(0.35) {
+                let method = if site_rng.gen_bool(0.5) {
+                    XnitSetupMethod::RepoRpm
+                } else {
+                    XnitSetupMethod::ManualRepoFile
+                };
+                all_sites.push((format!("overlay-{idx}"), SiteBlueprint::Overlay { method }));
+            } else {
+                let cluster = gen_cluster(&mut site_rng, idx);
+                all_sites.push((
+                    format!("scratch-{idx}"),
+                    SiteBlueprint::Scratch {
+                        cluster,
+                        plan: FaultPlan::new(site_seed),
+                    },
+                ));
+            }
+        }
+
+        // Fault draws: a flat truncatable pool targeting site indices.
+        // PowerLoss is deliberately excluded — fleet sites do not
+        // resume, so a power loss would just fail the site; the resume
+        // stage exercises it under a controlled resume loop instead.
+        let mut fault_rng = salted(seed, 3);
+        let mut draws: Vec<FaultDraw> = Vec::new();
+        for _ in 0..MAX_FAULT_SPECS {
+            let site = fault_rng.gen_range(0usize..MAX_SITES);
+            let point = match fault_rng.gen_range(0u32..4) {
+                0 => InjectionPoint::DhcpDiscover,
+                1 => InjectionPoint::NodeBoot,
+                2 => InjectionPoint::KickstartGenerate,
+                _ => InjectionPoint::RpmScriptlet,
+            };
+            let key = if fault_rng.gen_bool(0.5) {
+                Some(format!("compute-0-{}", fault_rng.gen_range(0u32..3)))
+            } else {
+                None
+            };
+            let window = match fault_rng.gen_range(0u32..3) {
+                0 => FaultWindow::Nth(fault_rng.gen_range(0u64..2)),
+                1 => FaultWindow::FirstN(fault_rng.gen_range(1u64..=2)),
+                _ => FaultWindow::Range {
+                    start: 0,
+                    end: fault_rng.gen_range(1u64..=3),
+                },
+            };
+            draws.push(FaultDraw {
+                site,
+                point,
+                key,
+                window,
+            });
+        }
+        let used_faults = natural_faults.min(limits.fault_specs);
+        draws.truncate(used_faults);
+
+        let used_sites = natural_sites.min(limits.sites);
+        all_sites.truncate(used_sites);
+        for (i, (_, blueprint)) in all_sites.iter_mut().enumerate() {
+            if let SiteBlueprint::Scratch { plan, .. } = blueprint {
+                for d in draws.iter().filter(|d| d.site == i) {
+                    *plan = plan.clone().fail(d.point, d.key.as_deref(), d.window);
+                }
+            }
+        }
+
+        // Scheduler workload: satisfiable by construction (nodes and
+        // ppn clamped to the cluster shape) so that a job left queued
+        // after drain is a genuine no-starvation violation.
+        let mut sched_rng = salted(seed, 4);
+        let sched_nodes = sched_rng.gen_range(4usize..=8);
+        let sched_cores = [2u32, 4][sched_rng.gen_range(0usize..2)];
+        let policy = match sched_rng.gen_range(0u32..3) {
+            0 => SchedPolicy::Fifo,
+            1 => SchedPolicy::EasyBackfill,
+            _ => SchedPolicy::maui_default(),
+        };
+        let mut workload: Vec<(f64, JobRequest)> = Vec::new();
+        let mut t = 0.0f64;
+        let users = ["alice", "bob", "carol"];
+        for j in 0..MAX_JOBS {
+            t += sched_rng.gen_range(0.0..900.0);
+            let nodes = sched_rng.gen_range(1u32..=(sched_nodes as u32).min(4));
+            let ppn = sched_rng.gen_range(1u32..=sched_cores);
+            let walltime = sched_rng.gen_range(300.0..3600.0);
+            // Some jobs overrun their walltime (and get killed at the
+            // limit) — TimedOut is a legitimate terminal state.
+            let runtime = walltime * sched_rng.gen_range(0.3..1.2);
+            let mut req = JobRequest::new(&format!("job-{j}"), nodes, ppn, walltime, runtime);
+            req.user = users[sched_rng.gen_range(0usize..users.len())].to_string();
+            workload.push((t, req));
+        }
+        workload.truncate(natural_jobs.min(limits.jobs));
+
+        // XNIT update sequence against one evolving host database.
+        let mut upd_rng = salted(seed, 5);
+        let pool = ["paraview", "visit", "wrf", "amber-tools", "gromacs"];
+        let mut updates: Vec<SolveRequest> = Vec::new();
+        for _ in 0..MAX_UPDATES {
+            let req = match upd_rng.gen_range(0u32..4) {
+                0..=1 => {
+                    let n = upd_rng.gen_range(1usize..=2);
+                    let names: Vec<&str> = (0..n)
+                        .map(|_| pool[upd_rng.gen_range(0usize..pool.len())])
+                        .collect();
+                    SolveRequest::install(names)
+                }
+                2 => SolveRequest::update(vec![pool[upd_rng.gen_range(0usize..pool.len())]]),
+                _ => SolveRequest::update_all(),
+            };
+            updates.push(req);
+        }
+        updates.truncate(natural_updates.min(limits.updates));
+
+        // Adversarial EVR strings: the shapes that historically trip
+        // comparators, plus seeded random compositions.
+        let mut evr_rng = salted(seed, 6);
+        let atoms = [
+            "1", "2", "10", "01", "007", "0", "a", "rc", "alpha", "fc", ".", "-", "_", "~", "^",
+        ];
+        let mut evr_samples: Vec<String> = vec![
+            "1.05".into(),
+            "1.5".into(),
+            "1.0~rc1".into(),
+            "1.0^git1".into(),
+            "1.0".into(),
+        ];
+        for _ in 0..12 {
+            let n = evr_rng.gen_range(0usize..=5);
+            let s: String = (0..n)
+                .map(|_| atoms[evr_rng.gen_range(0usize..atoms.len())])
+                .collect();
+            evr_samples.push(s);
+        }
+
+        Scenario {
+            seed,
+            faults,
+            limits,
+            sites: all_sites,
+            sched_nodes,
+            sched_cores,
+            policy,
+            workload,
+            updates,
+            evr_samples,
+        }
+    }
+
+    /// Execute the scenario and collect everything the invariant suite
+    /// needs. Deterministic: the same seed/limits produce an identical
+    /// outcome (site traces are byte-identical at any thread count by
+    /// the fleet engine's own guarantee).
+    pub fn run(&self) -> SoakOutcome {
+        let cache: Arc<SolveCache> = Arc::new(SolveCache::new());
+
+        // --- fleet deployment over the shared solve cache ---
+        let mut fleet = Fleet::new()
+            .with_threads(2)
+            .with_solve_cache(Arc::clone(&cache));
+        for (name, blueprint) in &self.sites {
+            let site = match blueprint {
+                SiteBlueprint::Scratch { cluster, plan } => {
+                    FleetSite::from_scratch_with_faults(name, cluster.clone(), plan.clone())
+                }
+                SiteBlueprint::Overlay { method } => {
+                    let factory = limulus_factory_image();
+                    let existing: BTreeMap<String, RpmDb> = limulus_hpc200()
+                        .nodes
+                        .iter()
+                        .map(|n| (n.hostname.clone(), factory.clone()))
+                        .collect();
+                    FleetSite::overlay(name, existing, *method)
+                }
+            };
+            fleet = fleet.add_site(site);
+        }
+        let report = fleet.deploy();
+        let telemetry = FleetTelemetry::from_report(&report);
+
+        // --- XNIT update sequence (through the same cache) ---
+        let repos = vec![xcbc_core::xnit::xnit_repository()];
+        let config = YumConfig::default();
+        let mut db = limulus_factory_image();
+        let mut solve_probes: Vec<SolveProbe> = Vec::new();
+        let mut transactions: Vec<TxRecord> = Vec::new();
+        for (i, request) in self.updates.iter().enumerate() {
+            solve_probes.push(SolveProbe {
+                repos: repos.clone(),
+                config: config.clone(),
+                db: db.clone(),
+                request: request.clone(),
+            });
+            let solution = match cache.get_or_solve(&repos, &config, &db, request) {
+                Ok(s) => s,
+                Err(_) => continue, // an unresolvable request is a tolerated outcome
+            };
+            if solution.is_empty() {
+                continue;
+            }
+            let mut tx = TransactionSet::new();
+            for p in &solution.upgrades {
+                tx.add_upgrade((**p).clone());
+            }
+            for p in &solution.installs {
+                tx.add_install((**p).clone());
+            }
+            let before = db.clone();
+            let tx_report = match tx.run(&mut db) {
+                Ok(r) => r,
+                Err(_) => continue,
+            };
+            transactions.push(TxRecord {
+                label: format!("update[{i}] {request:?}"),
+                before,
+                report: tx_report,
+                after: db.clone(),
+            });
+        }
+
+        // --- scheduler workload ---
+        let mut sim = ClusterSim::new(self.sched_nodes, self.sched_cores, self.policy);
+        for (t, req) in &self.workload {
+            sim.submit_at(*t, req.clone());
+        }
+        sim.run_to_completion();
+        let trace = sim.take_trace();
+        let sched = SchedOutcome {
+            sim,
+            trace,
+            submitted: self.workload.len(),
+        };
+
+        // --- checkpoint/resume equivalence stage ---
+        let resume = run_resume_stage(self.seed);
+
+        // --- EVR harvest: generated edge cases + deployed versions ---
+        let mut evr_samples = self.evr_samples.clone();
+        'harvest: for site in &report.sites {
+            if let Ok(dep) = &site.result {
+                if let Some(db) = dep.node_dbs.values().next() {
+                    for name in db.names() {
+                        if let Some(ip) = db.newest(name) {
+                            let evr = ip.package.evr();
+                            evr_samples.push(evr.version.clone());
+                            if !evr.release.is_empty() {
+                                evr_samples.push(evr.release.clone());
+                            }
+                        }
+                        if evr_samples.len() >= 48 {
+                            break 'harvest;
+                        }
+                    }
+                }
+            }
+        }
+        evr_samples.sort();
+        evr_samples.dedup();
+
+        SoakOutcome {
+            seed: self.seed,
+            faults: self.faults,
+            fleet: report,
+            telemetry,
+            cache,
+            solve_probes,
+            transactions,
+            sched,
+            resume: Some(resume),
+            evr_samples,
+        }
+    }
+}
+
+/// Install the modified LittleFe twice with the same seed: once
+/// uninterrupted, once with a power loss right after the frontend
+/// commit, resumed from the checkpoint. The checkers then require the
+/// resumed run to converge to the same final state and for its trace
+/// to be a suffix (subsequence) of the uninterrupted one.
+fn run_resume_stage(seed: u64) -> ResumeOutcome {
+    let cluster = littlefe_modified();
+    let cfg = ResilienceConfig::default();
+    let fe_host = cluster
+        .frontend()
+        .expect("littlefe_modified has a frontend")
+        .hostname
+        .clone();
+
+    let base = FaultPlan::new(seed);
+    let clean = deploy_from_scratch_resilient(&cluster, &base, &cfg, InstallCheckpoint::new())
+        .expect("uninterrupted littlefe install succeeds");
+
+    let lossy = FaultPlan::new(seed).fail(
+        InjectionPoint::PowerLoss,
+        Some(&fe_host),
+        FaultWindow::Nth(0),
+    );
+    let mut checkpoint = InstallCheckpoint::new();
+    let mut aborts = 0usize;
+    let mut resumed = None;
+    for _ in 0..=cluster.nodes.len() {
+        match deploy_from_scratch_resilient(&cluster, &lossy, &cfg, checkpoint.clone()) {
+            Ok(rep) => {
+                resumed = Some(rep);
+                break;
+            }
+            Err(e) if matches!(e.kind, InstallErrorKind::PowerLoss) => {
+                aborts += 1;
+                checkpoint = e.progress.checkpoint.clone();
+            }
+            Err(e) => panic!("unexpected install error in resume stage: {e}"),
+        }
+    }
+    let resumed = resumed.expect("resume loop converges");
+
+    ResumeOutcome {
+        uninterrupted_trace: clean.trace,
+        uninterrupted_dbs: clean.node_dbs,
+        resumed_trace: resumed.trace,
+        resumed_dbs: resumed.node_dbs,
+        aborts,
+    }
+}

@@ -172,11 +172,73 @@ fn strip_leading_zeros(s: &[u8]) -> &[u8] {
 ///
 /// Epoch dominates, then version, then release, each compared with
 /// [`rpmvercmp`]. A missing epoch is epoch 0.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Equality and hashing follow the comparator, not the raw strings:
+/// `rpmvercmp` treats `"1.05"` and `"1.5"` (and `"1.0"` / `"1..0"`) as
+/// equal, so a derived structural `PartialEq` would disagree with
+/// [`Ord`] and break the total-order contract (`a == b` iff
+/// `a.cmp(&b) == Ordering::Equal`). [`Hash`] is computed over the
+/// normalized segment stream so equal values hash equally.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Evr {
     pub epoch: u32,
     pub version: String,
     pub release: String,
+}
+
+impl PartialEq for Evr {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Evr {}
+
+impl std::hash::Hash for Evr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.epoch.hash(state);
+        hash_vercmp_segments(&self.version, state);
+        hash_vercmp_segments(&self.release, state);
+    }
+}
+
+/// Feed a version string into a hasher as the segment stream
+/// [`rpmvercmp`] actually compares: separators dropped, tilde/caret as
+/// markers, digit runs with leading zeros stripped, alpha runs verbatim.
+/// Two strings produce the same stream iff `rpmvercmp` calls them equal,
+/// which is exactly the `Eq`/`Hash` consistency `Evr` needs.
+fn hash_vercmp_segments<H: std::hash::Hasher>(s: &str, state: &mut H) {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'~' {
+            state.write_u8(1);
+            i += 1;
+        } else if c == b'^' {
+            state.write_u8(2);
+            i += 1;
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            state.write_u8(3);
+            state.write(strip_leading_zeros(&b[start..i]));
+            state.write_u8(0);
+        } else if c.is_ascii_alphabetic() {
+            let start = i;
+            while i < b.len() && b[i].is_ascii_alphabetic() {
+                i += 1;
+            }
+            state.write_u8(4);
+            state.write(&b[start..i]);
+            state.write_u8(0);
+        } else {
+            // separator: skipped by the comparator, skipped here
+            i += 1;
+        }
+    }
 }
 
 impl Evr {
@@ -388,5 +450,138 @@ mod tests {
         lt("5.5p2", "5.6p1");
         lt("5.e5p1", "5.5p1");
         lt("6.5p17", "10xyz");
+    }
+
+    /// rpmvercmp edge cases that historically trip reimplementations:
+    /// leading zeros, tilde pre-releases, caret post-releases, mixed
+    /// alpha/numeric splits, separator runs, and epoch dominance.
+    #[test]
+    fn rpmvercmp_edge_case_table() {
+        // leading zeros: numeric value wins, so these are *equal*
+        eq("1.05", "1.5");
+        eq("1.001", "1.1");
+        eq("0.0", "00.000");
+        lt("1.05", "1.6");
+        // separators collapse
+        eq("1.0", "1..0");
+        eq("1.0", "1.0.");
+        eq("fc4", "fc.4");
+        eq("2-0", "2_0");
+        // tilde sorts before everything, even end-of-string
+        lt("1.0~rc1", "1.0");
+        eq("1.0~rc1", "1.0~rc1");
+        lt("1.0~rc1", "1.0~rc2");
+        lt("1.0~rc1~git123", "1.0~rc1");
+        lt("1.0~~", "1.0~");
+        // caret sorts after end-of-string, before a longer suffix
+        lt("1.0", "1.0^");
+        eq("1.0^", "1.0^");
+        lt("1.0^git1", "1.0^git2");
+        lt("1.0^", "1.0^git1");
+        lt("1.0^git1", "1.01");
+        lt("1.0^20160101", "1.0.1");
+        // tilde beats caret
+        lt("1.0~rc1", "1.0^git1");
+        lt("1.0^git1~pre", "1.0^git1");
+        // alpha vs numeric splits: a numeric segment is always newer
+        lt("1.0a", "1.0.1");
+        lt("a", "1");
+        lt("2a", "2.0");
+        lt("1.0gamma", "1.0.1");
+        // longer alpha run compares lexicographically
+        lt("alpha", "beta");
+        lt("Z", "a");
+        // big digit runs (no integer overflow)
+        lt("20101121", "99999999999999999999999999999999");
+        eq("00000000000000000000000000000001", "000001");
+        // epoch dominates version and release
+        assert!(Evr::parse("1:1.0-1") > Evr::parse("0:99.0-99"));
+        assert!(Evr::parse("2.0-1") < Evr::parse("1:0.1-1"));
+    }
+
+    /// `Evr` equality/hash must agree with the comparator: rpmvercmp
+    /// calls `"1.05"` and `"1.5"` equal, so the `Evr`s must be `==` and
+    /// hash identically (they are keys in newest-candidate selection).
+    #[test]
+    fn evr_eq_and_hash_follow_rpmvercmp() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        fn h(e: &Evr) -> u64 {
+            let mut s = DefaultHasher::new();
+            e.hash(&mut s);
+            s.finish()
+        }
+        let pairs = [
+            ("1.05-1", "1.5-1"),
+            ("1.0-1", "1..0-1"),
+            ("1.0-01", "1.0-1"),
+            ("fc4-0", "fc.4-0"),
+            ("0:1.0-1", "1.0-1"),
+        ];
+        for (a, b) in pairs {
+            let (ea, eb) = (Evr::parse(a), Evr::parse(b));
+            assert_eq!(ea.cmp(&eb), Ordering::Equal, "{a} vs {b}");
+            assert_eq!(ea, eb, "{a} vs {b} must be ==");
+            assert_eq!(h(&ea), h(&eb), "{a} vs {b} must hash equal");
+        }
+        assert_ne!(Evr::parse("1.0-1"), Evr::parse("1.0-2"));
+        assert_ne!(Evr::parse("1:1.0-1"), Evr::parse("1.0-1"));
+    }
+
+    // --- property tests: rpmvercmp is a total order ---
+
+    use proptest::prelude::*;
+
+    /// Strings drawn from the alphabet rpmvercmp actually sees: digits
+    /// (with leading zeros), letters, separators, tilde, caret. A small
+    /// alphabet keeps collisions (and thus Equal outcomes) frequent, so
+    /// the transitivity/Eq branches are actually exercised.
+    const VERSION_STRATEGY: &str = "[012ab.~^_-]{0,6}";
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn vercmp_reflexive(a in VERSION_STRATEGY) {
+            prop_assert_eq!(rpmvercmp(&a, &a), Ordering::Equal);
+        }
+
+        #[test]
+        fn vercmp_antisymmetric(a in VERSION_STRATEGY, b in VERSION_STRATEGY) {
+            prop_assert_eq!(rpmvercmp(&a, &b), rpmvercmp(&b, &a).reverse());
+        }
+
+        #[test]
+        fn vercmp_transitive(
+            a in VERSION_STRATEGY,
+            b in VERSION_STRATEGY,
+            c in VERSION_STRATEGY,
+        ) {
+            use Ordering::*;
+            let (ab, bc, ac) = (rpmvercmp(&a, &b), rpmvercmp(&b, &c), rpmvercmp(&a, &c));
+            if ab != Greater && bc != Greater {
+                prop_assert_ne!(ac, Greater, "{} <= {} <= {} but {} > {}", a, b, c, a, c);
+            }
+            if ab == Equal && bc == Equal {
+                prop_assert_eq!(ac, Equal);
+            }
+        }
+
+        #[test]
+        fn evr_eq_hash_consistent(a in VERSION_STRATEGY, b in VERSION_STRATEGY) {
+            use std::collections::hash_map::DefaultHasher;
+            use std::hash::{Hash, Hasher};
+            let ea = Evr::new(0, a.clone(), "1");
+            let eb = Evr::new(0, b.clone(), "1");
+            let equal_by_cmp = ea.cmp(&eb) == Ordering::Equal;
+            prop_assert_eq!(ea == eb, equal_by_cmp, "Eq must follow Ord for {} vs {}", a, b);
+            if equal_by_cmp {
+                let mut ha = DefaultHasher::new();
+                let mut hb = DefaultHasher::new();
+                ea.hash(&mut ha);
+                eb.hash(&mut hb);
+                prop_assert_eq!(ha.finish(), hb.finish(), "equal Evrs must hash equal");
+            }
+        }
     }
 }

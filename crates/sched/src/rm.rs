@@ -35,6 +35,12 @@ pub trait ResourceManager {
     /// Access the underlying simulator.
     fn sim(&self) -> &ClusterSim;
 
+    /// Mutable access to the underlying simulator — used by parity
+    /// tests and the soak harness to normalize scheduling policy across
+    /// frontends and to drain the recorded trace
+    /// ([`ClusterSim::take_trace`]).
+    fn sim_mut(&mut self) -> &mut ClusterSim;
+
     /// Metrics snapshot.
     fn metrics(&self) -> SimMetrics {
         SimMetrics::from_sim(self.sim())

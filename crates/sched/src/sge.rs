@@ -110,6 +110,10 @@ impl ResourceManager for SgeCell {
     fn sim(&self) -> &ClusterSim {
         &self.sim
     }
+
+    fn sim_mut(&mut self) -> &mut ClusterSim {
+        &mut self.sim
+    }
 }
 
 #[cfg(test)]

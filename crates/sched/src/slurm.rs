@@ -94,6 +94,10 @@ impl ResourceManager for Slurm {
     fn sim(&self) -> &ClusterSim {
         &self.sim
     }
+
+    fn sim_mut(&mut self) -> &mut ClusterSim {
+        &mut self.sim
+    }
 }
 
 #[cfg(test)]

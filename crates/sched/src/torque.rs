@@ -111,6 +111,10 @@ impl ResourceManager for TorqueServer {
     fn sim(&self) -> &ClusterSim {
         &self.sim
     }
+
+    fn sim_mut(&mut self) -> &mut ClusterSim {
+        &mut self.sim
+    }
 }
 
 /// Convenience: run a whole workload through a RM and return metrics.

@@ -110,6 +110,23 @@ impl SolveCache {
         }
     }
 
+    /// Probe the cache without touching the hit/miss counters. This is
+    /// the read path for invariant checkers (xcbc-check's SolveCache
+    /// coherence audit): they must be able to inspect cached solutions
+    /// without perturbing the statistics the run under test reports.
+    pub fn peek(&self, key: u64) -> Option<Arc<Solution>> {
+        self.snapshot().get(&key).map(Arc::clone)
+    }
+
+    /// Every `(key, solution)` pair currently cached, in unspecified
+    /// order. Counter-neutral, like [`peek`](Self::peek).
+    pub fn entries(&self) -> Vec<(u64, Arc<Solution>)> {
+        self.snapshot()
+            .iter()
+            .map(|(k, v)| (*k, Arc::clone(v)))
+            .collect()
+    }
+
     /// Store a solution, returning the shared handle. Copy-on-write: the
     /// current snapshot is cloned, extended, and swapped in. If another
     /// thread raced the same key in first, its entry wins (both computed

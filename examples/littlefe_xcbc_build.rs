@@ -15,6 +15,7 @@ use xcbc::core::roll::xsede_roll;
 use xcbc::modules::{generate_from_rpmdb, ModuleSystem};
 use xcbc::rocks::{standard_rolls, ClusterInstall, RocksCli};
 use xcbc::sched::{JobRequest, ResourceManager, TorqueServer};
+use xcbc::sim::SimTime;
 
 fn main() {
     let cluster = littlefe_modified();
@@ -59,10 +60,15 @@ fn main() {
         monitor.publish(
             &node.hostname,
             MetricKind::LoadOne,
-            60.0,
+            SimTime::from_secs(60),
             1.5 + i as f64 * 0.1,
         );
-        monitor.publish(&node.hostname, MetricKind::CpuPercent, 60.0, 85.0);
+        monitor.publish(
+            &node.hostname,
+            MetricKind::CpuPercent,
+            SimTime::from_secs(60),
+            85.0,
+        );
     }
     println!(
         "  {} nodes reporting; cluster mean load {:.2}",

@@ -17,6 +17,12 @@
 //! xcbc mon <scenario>      gmond/gmetad telemetry dashboard over the same
 //!       [--faults "<plan>"]  deployment day: sparkline rings, alerts,
 //!       [--prom|--xml|--jsonl]  span-latency table — or machine exposition
+//! xcbc soak --seeds N      chaos-soak: run N seeded random scenarios through
+//!       [--seed S]           the whole stack and check every cross-crate
+//!       [--faults]           invariant; violations shrink to a minimal seed
+//!       [--no-shrink]        with an exact repro command. --sites/--fault-specs/
+//!       [--mutate]           --jobs/--updates bound (and replay) scenario size;
+//!                            --mutate breaks an invariant on purpose (self-test)
 //! ```
 
 use std::collections::BTreeMap;
@@ -107,9 +113,10 @@ fn main() -> ExitCode {
             };
             mon(scenario, faults, format)
         }
+        "soak" => soak_cmd(&args),
         "help" | "--help" | "-h" => {
             eprintln!(
-                "usage: xcbc <tables|deploy [littlefe|limulus|both] [--faults \"<plan>\"]|lab [name]|linpack [n]|fleet [--threads N] [--jsonl] [--table]|compat|trace [littlefe] [--faults \"<plan>\"] [--jsonl]|mon [littlefe] [--faults \"<plan>\"] [--prom|--xml|--jsonl]>"
+                "usage: xcbc <tables|deploy [littlefe|limulus|both] [--faults \"<plan>\"]|lab [name]|linpack [n]|fleet [--threads N] [--jsonl] [--table]|compat|trace [littlefe] [--faults \"<plan>\"] [--jsonl]|mon [littlefe] [--faults \"<plan>\"] [--prom|--xml|--jsonl]|soak [--seeds N] [--seed S] [--faults] [--no-shrink] [--mutate] [--sites N] [--fault-specs N] [--jobs N] [--updates N]>"
             );
             ExitCode::SUCCESS
         }
@@ -391,6 +398,52 @@ fn mon(scenario: &str, faults: Option<&str>, format: MonFormat) -> ExitCode {
         MonFormat::Jsonl => print!("{}", report.jsonl()),
     }
     ExitCode::SUCCESS
+}
+
+/// `xcbc soak`: run seeded random scenarios through the whole stack and
+/// check every cross-crate invariant. Exit code is the CI gate; on
+/// violation the report ends with the exact command that replays the
+/// (shrunk) failure deterministically.
+fn soak_cmd(args: &[String]) -> ExitCode {
+    use xcbc::check::{default_invariants, mutation_invariant, soak, ScenarioLimits, SoakConfig};
+
+    fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+    }
+
+    let defaults = ScenarioLimits::default();
+    let mut config = SoakConfig {
+        seeds: flag_value(args, "--seeds").unwrap_or(100),
+        start_seed: 0,
+        faults: args.iter().any(|a| a == "--faults"),
+        shrink: !args.iter().any(|a| a == "--no-shrink"),
+        limits: ScenarioLimits {
+            sites: flag_value(args, "--sites").unwrap_or(defaults.sites),
+            fault_specs: flag_value(args, "--fault-specs").unwrap_or(defaults.fault_specs),
+            jobs: flag_value(args, "--jobs").unwrap_or(defaults.jobs),
+            updates: flag_value(args, "--updates").unwrap_or(defaults.updates),
+        },
+        mutate: args.iter().any(|a| a == "--mutate"),
+    };
+    if let Some(seed) = flag_value::<u64>(args, "--seed") {
+        config.start_seed = seed;
+        config.seeds = 1;
+    }
+
+    let mut suite = default_invariants();
+    if config.mutate {
+        suite.push(mutation_invariant());
+    }
+    let report = soak(&config, &suite);
+    print!("{}", report.render());
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn compat() -> ExitCode {

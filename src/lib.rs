@@ -16,7 +16,10 @@
 //!   checking, deployment paths, training curriculum
 //! * [`sim`] — the shared simulation clock, event queue, and trace bus
 //!   every layer above records onto
+//! * [`check`] — the deterministic chaos-soak harness: seeded scenario
+//!   generation, cross-crate invariant checking, seed shrinking
 
+pub use xcbc_check as check;
 pub use xcbc_cluster as cluster;
 pub use xcbc_core as core;
 pub use xcbc_fault as fault;
