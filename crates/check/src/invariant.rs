@@ -47,5 +47,7 @@ pub fn default_invariants() -> Vec<Box<dyn Invariant + Send + Sync>> {
         Box::new(invariants::SolveCacheCoherence),
         Box::new(invariants::CheckpointResumeEquivalence),
         Box::new(invariants::GmetadRollup),
+        Box::new(invariants::CampaignNoJobLost),
+        Box::new(invariants::CampaignConverges),
     ]
 }

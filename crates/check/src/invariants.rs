@@ -598,3 +598,148 @@ impl Invariant for GmetadRollup {
         v
     }
 }
+
+/// No job is lost or double-run across a campaign drain: every job
+/// submitted before the rolling update finishes exactly once — never
+/// cancelled (the scenario cancels nothing, so a cancel means a drain
+/// dropped it), never left queued or running after the post-campaign
+/// drain, with exactly one `job <name>` completion span in the
+/// scheduler trace, and the accounted core-seconds equal the sum over
+/// those spans of `cores x duration`.
+pub struct CampaignNoJobLost;
+
+impl Invariant for CampaignNoJobLost {
+    fn name(&self) -> &'static str {
+        "campaign.no-job-lost"
+    }
+
+    fn check(&self, outcome: &SoakOutcome) -> Vec<Violation> {
+        let mut v = Vec::new();
+        let Some(rec) = &outcome.campaign else {
+            return v;
+        };
+
+        for (name, state) in &rec.job_states {
+            match state {
+                JobState::Cancelled => v.push(violation(
+                    self.name(),
+                    format!("job {name} was cancelled: a drain dropped it instead of requeueing"),
+                )),
+                JobState::Queued | JobState::Running { .. } => v.push(violation(
+                    self.name(),
+                    format!("job {name} still {state:?} after the post-campaign drain"),
+                )),
+                _ => {}
+            }
+        }
+
+        // Exactly one completion span per submitted job: zero means the
+        // job vanished, two means a requeue re-ran work it already
+        // finished (stale incarnation not fenced off).
+        let mut spans: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut span_core_seconds = 0.0f64;
+        for ev in &rec.trace {
+            if let TraceKind::Span { dur } = &ev.kind {
+                if let Some(name) = ev.label.strip_prefix("job ") {
+                    *spans.entry(name).or_default() += 1;
+                    let cores = ev
+                        .fields
+                        .iter()
+                        .find(|(k, _)| k == "cores")
+                        .and_then(|(_, f)| match f {
+                            xcbc_sim::FieldValue::U64(n) => Some(*n as f64),
+                            _ => None,
+                        })
+                        .unwrap_or(0.0);
+                    span_core_seconds += cores * dur.as_secs_f64();
+                }
+            }
+        }
+        for name in &rec.submitted {
+            match spans.get(name.as_str()).copied().unwrap_or(0) {
+                1 => {}
+                0 => v.push(violation(
+                    self.name(),
+                    format!("job {name} has no completion span: it was lost across a drain"),
+                )),
+                n => v.push(violation(
+                    self.name(),
+                    format!("job {name} has {n} completion spans: it ran more than once"),
+                )),
+            }
+        }
+
+        let accounted = rec.used_core_seconds;
+        if (span_core_seconds - accounted).abs() > 1e-6 * accounted.max(1.0) {
+            v.push(violation(
+                self.name(),
+                format!(
+                    "span core-seconds ({span_core_seconds}) != accounted core-seconds \
+                     ({accounted}): work was dropped or double-charged across a drain"
+                ),
+            ));
+        }
+        v
+    }
+}
+
+/// The fleet converges to the campaign's target package set — or the
+/// campaign reports exactly which nodes did not and why. Every executed
+/// wave must carry a skew-probe summary, every node whose final
+/// database still needs the target must be accounted for (listed as
+/// failed, or the campaign halted/rolled back before reaching it), and
+/// no node reported as failed may actually be converged.
+pub struct CampaignConverges;
+
+impl Invariant for CampaignConverges {
+    fn name(&self) -> &'static str {
+        "campaign.converges"
+    }
+
+    fn check(&self, outcome: &SoakOutcome) -> Vec<Violation> {
+        let mut v = Vec::new();
+        let Some(rec) = &outcome.campaign else {
+            return v;
+        };
+        let report = &rec.report;
+
+        for wave in &report.waves {
+            if wave.skew.is_none() {
+                v.push(violation(
+                    self.name(),
+                    format!("wave {} committed without a version-skew probe", wave.index),
+                ));
+            }
+        }
+
+        let failed: BTreeMap<&str, &str> = report.checkpoint.failed().collect();
+        let completed = matches!(
+            report.outcome,
+            xcbc_core::campaign::CampaignOutcome::Completed
+        );
+        let solver = Solver::new(&rec.target.repos, &rec.target.config);
+        for (node, db) in &rec.final_dbs {
+            let converged = match solver.resolve(db, &rec.target.request) {
+                Ok(solution) => solution.is_empty(),
+                Err(_) => false,
+            };
+            if converged {
+                if let Some(reason) = failed.get(node.as_str()) {
+                    v.push(violation(
+                        self.name(),
+                        format!("node {node} is converged but reported as failed ({reason})"),
+                    ));
+                }
+            } else if completed && !failed.contains_key(node.as_str()) {
+                v.push(violation(
+                    self.name(),
+                    format!(
+                        "node {node} did not reach the target package set and the \
+                         completed campaign does not report why"
+                    ),
+                ));
+            }
+        }
+        v
+    }
+}

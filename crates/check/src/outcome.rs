@@ -3,9 +3,10 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use xcbc_core::campaign::{CampaignReport, CampaignTarget};
 use xcbc_core::fleet::{FleetReport, FleetTelemetry};
 use xcbc_rpm::{RpmDb, TransactionReport};
-use xcbc_sched::ClusterSim;
+use xcbc_sched::{ClusterSim, JobState};
 use xcbc_sim::TraceEvent;
 use xcbc_yum::{Repository, SolveCache, SolveRequest, YumConfig};
 
@@ -68,6 +69,29 @@ pub struct ResumeOutcome {
     pub aborts: usize,
 }
 
+/// The rolling-campaign stage: a multi-wave drained update executed
+/// against a live scheduler frontend, resumed across any injected
+/// `campaign.drain` aborts.
+#[derive(Debug)]
+pub struct CampaignRecord {
+    /// What the campaign was updating the fleet to.
+    pub target: CampaignTarget,
+    /// Per-node package databases after the campaign.
+    pub final_dbs: BTreeMap<String, RpmDb>,
+    /// The report of the final (completing) campaign segment.
+    pub report: CampaignReport,
+    /// How many `campaign.drain` aborts were resumed from a checkpoint.
+    pub resumes: usize,
+    /// Names of the jobs submitted to the campaign's scheduler.
+    pub submitted: Vec<String>,
+    /// `(name, state)` of every job after the post-campaign drain.
+    pub job_states: Vec<(String, JobState)>,
+    /// The scheduler trace across the whole campaign (all segments).
+    pub trace: Vec<TraceEvent>,
+    /// Core-seconds the scheduler accounted for.
+    pub used_core_seconds: f64,
+}
+
 /// Everything one soaked seed produced, handed to every
 /// [`Invariant`](crate::Invariant).
 #[derive(Debug)]
@@ -91,6 +115,8 @@ pub struct SoakOutcome {
     pub sched: SchedOutcome,
     /// The checkpoint/resume equivalence stage, when the scenario ran it.
     pub resume: Option<ResumeOutcome>,
+    /// The rolling-campaign stage, when the scenario ran it.
+    pub campaign: Option<CampaignRecord>,
     /// EVR strings harvested from the scenario (generated edge cases
     /// plus versions seen in deployed node databases).
     pub evr_samples: Vec<String>,

@@ -18,16 +18,23 @@ use xcbc_cluster::hw;
 use xcbc_cluster::node::{NodeRole, NodeSpec};
 use xcbc_cluster::specs::{limulus_hpc200, littlefe_modified};
 use xcbc_cluster::topology::{ClusterSpec, NetworkSpec};
+use xcbc_core::campaign::{
+    run_campaign, CampaignConfig, CampaignError, CampaignMutation, CampaignTarget, CanaryAction,
+};
 use xcbc_core::deploy::{deploy_from_scratch_resilient, limulus_factory_image};
 use xcbc_core::fleet::{Fleet, FleetSite, FleetTelemetry};
-use xcbc_core::xnit::XnitSetupMethod;
-use xcbc_fault::{FaultPlan, FaultWindow, InjectionPoint, InstallCheckpoint};
+use xcbc_core::xnit::{xnit_repository, XnitSetupMethod};
+use xcbc_fault::{CampaignCheckpoint, FaultPlan, FaultWindow, InjectionPoint, InstallCheckpoint};
 use xcbc_rocks::install::{InstallErrorKind, ResilienceConfig};
-use xcbc_rpm::{RpmDb, TransactionSet};
-use xcbc_sched::{ClusterSim, JobRequest, SchedPolicy};
+use xcbc_rpm::{PackageBuilder, RpmDb, TransactionSet};
+use xcbc_sched::{
+    ClusterSim, JobRequest, ResourceManager, SchedPolicy, SgeCell, Slurm, TorqueServer,
+};
 use xcbc_yum::{SolveCache, SolveRequest, YumConfig};
 
-use crate::outcome::{ResumeOutcome, SchedOutcome, SoakOutcome, SolveProbe, TxRecord};
+use crate::outcome::{
+    CampaignRecord, ResumeOutcome, SchedOutcome, SoakOutcome, SolveProbe, TxRecord,
+};
 
 /// Most sites one scenario deploys.
 pub const MAX_SITES: usize = 5;
@@ -38,8 +45,10 @@ pub const MAX_JOBS: usize = 24;
 /// Most XNIT update requests one scenario applies.
 pub const MAX_UPDATES: usize = 4;
 
-/// Upper bounds on each scenario dimension. The soak driver shrinks a
-/// failing seed by lowering these, one dimension at a time.
+/// Upper bounds on each scenario dimension (plus the campaign-stage
+/// mutation switch, which rides along so a mutated repro survives
+/// shrinking unchanged). The soak driver shrinks a failing seed by
+/// lowering the bounds, one dimension at a time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScenarioLimits {
     /// Max fleet sites deployed.
@@ -50,6 +59,9 @@ pub struct ScenarioLimits {
     pub jobs: usize,
     /// Max XNIT update requests applied.
     pub updates: usize,
+    /// Deliberate campaign-stage misbehavior for invariant self-tests
+    /// (`None` in normal soaks).
+    pub campaign_mutation: Option<CampaignMutation>,
 }
 
 impl Default for ScenarioLimits {
@@ -59,6 +71,7 @@ impl Default for ScenarioLimits {
             fault_specs: MAX_FAULT_SPECS,
             jobs: MAX_JOBS,
             updates: MAX_UPDATES,
+            campaign_mutation: None,
         }
     }
 }
@@ -116,6 +129,27 @@ pub struct Scenario {
     pub updates: Vec<SolveRequest>,
     /// Generated adversarial EVR strings.
     pub evr_samples: Vec<String>,
+    /// Rolling-campaign stage: fleet size.
+    pub campaign_nodes: usize,
+    /// Rolling-campaign stage: canary cohort size.
+    pub campaign_canary: usize,
+    /// Rolling-campaign stage: total waves.
+    pub campaign_waves: usize,
+    /// Which scheduler frontend runs the campaign fleet (0 = Torque,
+    /// 1 = SLURM, 2 = SGE).
+    pub campaign_rm: u32,
+    /// Canary failure policy for the campaign.
+    pub campaign_canary_action: CanaryAction,
+    /// Long-running jobs the campaign drains around.
+    pub campaign_workload: Vec<JobRequest>,
+    /// Fault plan the campaign runs under (may schedule `campaign.drain`
+    /// aborts, which the stage resumes from checkpoints).
+    pub campaign_plan: FaultPlan,
+    /// Package names the campaign installs fleet-wide.
+    pub campaign_targets: Vec<&'static str>,
+    /// Deliberate campaign misbehavior (from the limits), for
+    /// invariant self-tests.
+    pub campaign_mutation: Option<CampaignMutation>,
 }
 
 fn salted(seed: u64, salt: u64) -> StdRng {
@@ -176,6 +210,7 @@ impl Scenario {
             fault_specs: limits.fault_specs.min(MAX_FAULT_SPECS),
             jobs: limits.jobs.min(MAX_JOBS),
             updates: limits.updates.min(MAX_UPDATES),
+            campaign_mutation: limits.campaign_mutation,
         };
 
         // Natural sizes: how big the scenario *wants* to be for this
@@ -331,6 +366,60 @@ impl Scenario {
             evr_samples.push(s);
         }
 
+        // Rolling-campaign stage: a small live fleet updated in drained
+        // waves. About half of faulted seeds schedule a `campaign.drain`
+        // abort so checkpoint resumes get exercised, and about a third
+        // add scriptlet faults so retry budgets and partial rollouts do.
+        let mut camp_rng = salted(seed, 7);
+        let campaign_nodes = camp_rng.gen_range(3usize..=8);
+        let campaign_canary = camp_rng.gen_range(1usize..=2);
+        let campaign_waves = camp_rng.gen_range(2usize..=4);
+        let campaign_rm = camp_rng.gen_range(0u32..3);
+        let campaign_canary_action = if camp_rng.gen_bool(0.5) {
+            CanaryAction::Halt
+        } else {
+            CanaryAction::Rollback
+        };
+        let mut campaign_workload = Vec::new();
+        for j in 0..camp_rng.gen_range(1usize..=4) {
+            // long-running so drains catch them mid-flight; walltime
+            // roomy enough that requeues don't time the job out
+            let nodes = camp_rng.gen_range(1u32..=2);
+            let ppn = camp_rng.gen_range(1u32..=4);
+            let runtime = camp_rng.gen_range(1500.0..6000.0);
+            campaign_workload.push(JobRequest::new(
+                &format!("cjob-{j}"),
+                nodes,
+                ppn,
+                40_000.0,
+                runtime,
+            ));
+        }
+        let mut campaign_plan = FaultPlan::new(camp_rng.gen_range(0u64..=u64::MAX - 1));
+        if faults {
+            if camp_rng.gen_bool(0.5) {
+                let wave = camp_rng.gen_range(1usize..campaign_waves.max(2));
+                campaign_plan = campaign_plan.fail(
+                    InjectionPoint::CampaignDrain,
+                    Some(&format!("wave-{wave}")),
+                    FaultWindow::Nth(0),
+                );
+            }
+            if camp_rng.gen_bool(0.35) {
+                campaign_plan = campaign_plan.fail(
+                    InjectionPoint::RpmScriptlet,
+                    None,
+                    FaultWindow::FirstN(camp_rng.gen_range(1u64..=2)),
+                );
+            }
+        }
+        let pool = ["paraview", "visit", "wrf", "amber-tools", "gromacs"];
+        let mut campaign_targets = vec![pool[camp_rng.gen_range(0usize..pool.len())]];
+        if camp_rng.gen_bool(0.4) {
+            campaign_targets.push(pool[camp_rng.gen_range(0usize..pool.len())]);
+        }
+        campaign_targets.dedup();
+
         Scenario {
             seed,
             faults,
@@ -342,6 +431,15 @@ impl Scenario {
             workload,
             updates,
             evr_samples,
+            campaign_nodes,
+            campaign_canary,
+            campaign_waves,
+            campaign_rm,
+            campaign_canary_action,
+            campaign_workload,
+            campaign_plan,
+            campaign_targets,
+            campaign_mutation: limits.campaign_mutation,
         }
     }
 
@@ -432,6 +530,9 @@ impl Scenario {
         // --- checkpoint/resume equivalence stage ---
         let resume = run_resume_stage(self.seed);
 
+        // --- rolling-campaign stage over the same shared cache ---
+        let campaign = self.run_campaign_stage(&cache);
+
         // --- EVR harvest: generated edge cases + deployed versions ---
         let mut evr_samples = self.evr_samples.clone();
         'harvest: for site in &report.sites {
@@ -465,7 +566,116 @@ impl Scenario {
             transactions,
             sched,
             resume: Some(resume),
+            campaign: Some(campaign),
             evr_samples,
+        }
+    }
+
+    /// Run the rolling-campaign stage: a small live fleet (per-node
+    /// factory databases, one of the three scheduler frontends, a few
+    /// long-running jobs) updated wave-by-wave, resuming from a
+    /// [`CampaignCheckpoint`] whenever the plan's `campaign.drain`
+    /// fault aborts the run between waves.
+    fn run_campaign_stage(&self, cache: &Arc<SolveCache>) -> CampaignRecord {
+        // Odd-numbered nodes carry an extra site-local package so the
+        // campaign's skew probe always sees more than one start state.
+        let skew_pkg = PackageBuilder::new("site-local-tool", "1.0", "1").build();
+        let mut dbs: BTreeMap<String, RpmDb> = BTreeMap::new();
+        for i in 0..self.campaign_nodes {
+            let mut db = limulus_factory_image();
+            if i % 2 == 1 {
+                db.install(skew_pkg.clone());
+            }
+            dbs.insert(format!("cnode-{i:02}"), db);
+        }
+
+        let mut rm: Box<dyn ResourceManager> = match self.campaign_rm {
+            0 => Box::new(TorqueServer::with_maui(
+                "campaign-head",
+                self.campaign_nodes,
+                4,
+            )),
+            1 => Box::new(Slurm::new("batch", self.campaign_nodes, 4)),
+            _ => Box::new(SgeCell::new(self.campaign_nodes, 4)),
+        };
+        let mut submitted = Vec::new();
+        for req in &self.campaign_workload {
+            submitted.push(req.name.clone());
+            rm.sim_mut().submit(req.clone());
+        }
+        rm.advance_to(5.0);
+
+        let target = CampaignTarget {
+            repos: vec![xnit_repository()],
+            config: YumConfig::default(),
+            request: SolveRequest::install(self.campaign_targets.iter().copied()),
+        };
+        let config = CampaignConfig {
+            canary: self.campaign_canary,
+            waves: self.campaign_waves,
+            threads: 2,
+            drain_grace_s: 90.0,
+            on_canary_failure: self.campaign_canary_action,
+            retry_budget: 2,
+            mutation: self.campaign_mutation,
+        };
+
+        let mut resumes = 0usize;
+        let mut checkpoint_text: Option<String> = None;
+        let mut report = None;
+        // each scheduled drain fault fires at most once (Nth windows),
+        // so `waves` bounds the abort/resume loop
+        for _ in 0..=self.campaign_waves {
+            let resume_cp = checkpoint_text.as_deref().map(|text| {
+                CampaignCheckpoint::parse(text).expect("campaign checkpoint round-trips")
+            });
+            match run_campaign(
+                &target,
+                &mut dbs,
+                rm.as_mut(),
+                &self.campaign_plan,
+                cache,
+                &config,
+                resume_cp.as_ref(),
+            ) {
+                Ok(r) => {
+                    report = Some(r);
+                    break;
+                }
+                Err(CampaignError::Aborted { checkpoint, .. }) => {
+                    resumes += 1;
+                    checkpoint_text = Some(checkpoint.to_text());
+                }
+                Err(e) => panic!("campaign stage cannot run: {e}"),
+            }
+        }
+        let report = report.expect("campaign completes within `waves` resumes");
+
+        // Repair whatever the campaign left offline (failed canaries
+        // stay down) so the remaining workload can finish, then drain.
+        for i in 0..self.campaign_nodes {
+            if rm.sim().is_offline(i) {
+                rm.sim_mut().set_online(i);
+            }
+        }
+        rm.sim_mut().run_to_completion();
+        let trace = rm.sim_mut().take_trace();
+        let job_states = rm
+            .sim()
+            .jobs()
+            .map(|j| (j.request.name.clone(), j.state))
+            .collect();
+        let used_core_seconds = rm.sim().used_core_seconds();
+
+        CampaignRecord {
+            target,
+            final_dbs: dbs,
+            report,
+            resumes,
+            submitted,
+            job_states,
+            trace,
+            used_core_seconds,
         }
     }
 }

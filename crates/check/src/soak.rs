@@ -3,6 +3,7 @@
 use crate::invariant::{Invariant, Violation};
 use crate::outcome::SoakOutcome;
 use crate::scenario::{Scenario, ScenarioLimits};
+use xcbc_core::campaign::CampaignMutation;
 use xcbc_sched::JobState;
 
 /// Configuration for one [`soak`] run.
@@ -47,6 +48,11 @@ pub fn repro_command(seed: u64, faults: bool, limits: &ScenarioLimits, mutate: b
     }
     if mutate {
         cmd.push_str(" --mutate");
+    }
+    match limits.campaign_mutation {
+        Some(CampaignMutation::DropJobOnDrain) => cmd.push_str(" --campaign-mutation drop-job"),
+        Some(CampaignMutation::SkipSkewSolve) => cmd.push_str(" --campaign-mutation skip-skew"),
+        None => {}
     }
     cmd
 }
@@ -108,6 +114,10 @@ pub struct SoakReport {
     /// The first failing seed, if any. The run stops at the first
     /// failure: one minimal repro beats a pile of correlated ones.
     pub failure: Option<SeedFailure>,
+    /// How many campaign-stage checkpoint resumes happened across the
+    /// clean seeds (faulted soaks should see a nonzero count — it is
+    /// the evidence that abort/resume paths were actually exercised).
+    pub campaign_resumes: u64,
 }
 
 impl SoakReport {
@@ -123,11 +133,13 @@ impl SoakReport {
         match &self.failure {
             None => {
                 out.push_str(&format!(
-                    "soak: {} seed(s) passed ({}..{}), faults={}, all invariants held\n",
+                    "soak: {} seed(s) passed ({}..{}), faults={}, campaign-resumes={}, \
+                     all invariants held\n",
                     self.seeds_passed,
                     self.config.start_seed,
                     self.config.start_seed + self.config.seeds,
                     self.config.faults,
+                    self.campaign_resumes,
                 ));
             }
             Some(fail) => {
@@ -289,8 +301,13 @@ pub fn shrink(
 /// it if configured).
 pub fn soak(config: &SoakConfig, invariants: &[Box<dyn Invariant + Send + Sync>]) -> SoakReport {
     let mut seeds_passed = 0u64;
+    let mut campaign_resumes = 0u64;
     for seed in config.start_seed..config.start_seed.saturating_add(config.seeds) {
-        let violations = run_seed(seed, config.faults, &config.limits, invariants);
+        let outcome = Scenario::generate(seed, config.faults, &config.limits).run();
+        if let Some(rec) = &outcome.campaign {
+            campaign_resumes += rec.resumes as u64;
+        }
+        let violations = check_outcome(&outcome, invariants);
         if violations.is_empty() {
             seeds_passed += 1;
             continue;
@@ -316,12 +333,14 @@ pub fn soak(config: &SoakConfig, invariants: &[Box<dyn Invariant + Send + Sync>]
                 violations,
                 shrink: shrunk,
             }),
+            campaign_resumes,
         };
     }
     SoakReport {
         config: *config,
         seeds_passed,
         failure: None,
+        campaign_resumes,
     }
 }
 

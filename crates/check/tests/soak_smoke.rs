@@ -19,6 +19,7 @@ fn default_suite_green_with_faults() {
             fault_specs: 4,
             jobs: 10,
             updates: 2,
+            campaign_mutation: None,
         },
         mutate: false,
     };
@@ -38,6 +39,7 @@ fn run_seed_is_deterministic() {
         fault_specs: 2,
         jobs: 6,
         updates: 1,
+        campaign_mutation: None,
     };
     let mut suite = default_invariants();
     suite.push(mutation_invariant());
@@ -55,6 +57,7 @@ fn mutation_is_caught_and_shrunk_to_a_deterministic_repro() {
         fault_specs: 2,
         jobs: 12,
         updates: 1,
+        campaign_mutation: None,
     };
     let mut suite = default_invariants();
     suite.push(mutation_invariant());

@@ -87,13 +87,6 @@ impl MetricSample {
             value,
         }
     }
-
-    /// Seconds since cluster epoch, for call sites that predate the
-    /// shared clock.
-    #[deprecated(note = "use `sample.time` (SimTime) instead of float seconds")]
-    pub fn time_s(&self) -> f64 {
-        self.time.as_secs_f64()
-    }
 }
 
 /// Fixed-capacity circular ring of samples (RRD-style: old data falls
@@ -908,11 +901,9 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_seconds_accessor_still_reads() {
+    fn sample_time_reads_in_seconds_via_simtime() {
         let s = MetricSample::new(SimTime::from_secs(90), 1.0);
-        #[allow(deprecated)]
-        let secs = s.time_s();
-        assert_eq!(secs, 90.0);
+        assert_eq!(s.time.as_secs_f64(), 90.0);
     }
 
     #[test]

@@ -24,7 +24,36 @@
 //! derives.
 
 use crate::monitor::{Alert, AlertEngine, AlertRule, ClusterMonitor, MetricKind};
+use std::collections::BTreeMap;
 use xcbc_sim::{FieldValue, SimTime, TraceEvent, TraceKind, TraceSink, BACKOFF_PREFIX};
+
+/// Where a node stands in a rolling update campaign, as seen by the
+/// monitoring plane. Driven by `campaign`-source trace marks
+/// (`drain <host>` / `update <host>` / `online <host>` / `fail <host>`),
+/// so dashboards can show service state next to load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServiceState {
+    /// Accepting jobs; not part of an active wave.
+    #[default]
+    InService,
+    /// Taken out of the scheduler; waiting for running jobs to clear.
+    Draining,
+    /// Drained and applying the target package set.
+    Updating,
+    /// The campaign gave up on this node (retry budget exhausted).
+    Failed,
+}
+
+impl ServiceState {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServiceState::InService => "in-service",
+            ServiceState::Draining => "draining",
+            ServiceState::Updating => "updating",
+            ServiceState::Failed => "failed",
+        }
+    }
+}
 
 /// Derived CPU percent while an install span runs.
 pub const INSTALL_CPU: f64 = 88.0;
@@ -83,6 +112,9 @@ pub struct TelemetrySink {
     monitor: ClusterMonitor,
     engine: AlertEngine,
     config: TelemetryConfig,
+    /// Campaign service state per host; hosts never touched by a
+    /// campaign stay [`ServiceState::InService`].
+    service: BTreeMap<String, ServiceState>,
 }
 
 impl TelemetrySink {
@@ -97,7 +129,18 @@ impl TelemetrySink {
             monitor,
             engine: AlertEngine::with_rules(rules),
             config,
+            service: BTreeMap::new(),
         }
+    }
+
+    /// The campaign service state of `host`.
+    pub fn service_state(&self, host: &str) -> ServiceState {
+        self.service.get(host).copied().unwrap_or_default()
+    }
+
+    /// Hosts whose service state a campaign has touched, sorted by name.
+    pub fn service_states(&self) -> impl Iterator<Item = (&str, ServiceState)> {
+        self.service.iter().map(|(h, s)| (h.as_str(), *s))
     }
 
     /// The gmetad this sink publishes into.
@@ -211,6 +254,27 @@ fn field_u64(event: &TraceEvent, key: &str) -> Option<u64> {
 
 impl TraceSink for TelemetrySink {
     fn record(&mut self, event: &TraceEvent) {
+        if event.source == "campaign" {
+            if let TraceKind::Mark = event.kind {
+                if let Some((verb, host)) = event.label.split_once(' ') {
+                    let state = match verb {
+                        "drain" => Some(ServiceState::Draining),
+                        "update" => Some(ServiceState::Updating),
+                        "online" => Some(ServiceState::InService),
+                        "fail" => Some(ServiceState::Failed),
+                        _ => None,
+                    };
+                    if let Some(state) = state {
+                        self.service.insert(host.to_string(), state);
+                        if state == ServiceState::Failed {
+                            self.engine
+                                .raise(event.t, "campaign-node-failed", host, 1.0);
+                        }
+                    }
+                }
+            }
+            return;
+        }
         let TraceKind::Span { dur } = event.kind else {
             return; // marks and counters carry no sustained node load
         };
@@ -415,6 +479,37 @@ mod tests {
             .collect();
         // compute-0-1 and the frontend never reported
         assert_eq!(absent, ["compute-0-1", "littlefe"]);
+    }
+
+    #[test]
+    fn campaign_marks_drive_service_state() {
+        let mut s = sink();
+        assert_eq!(s.service_state("compute-0-0"), ServiceState::InService);
+        s.record(&TraceEvent::mark(10.0, "campaign", "drain compute-0-0"));
+        assert_eq!(s.service_state("compute-0-0"), ServiceState::Draining);
+        s.record(&TraceEvent::mark(20.0, "campaign", "update compute-0-0"));
+        assert_eq!(s.service_state("compute-0-0"), ServiceState::Updating);
+        s.record(&TraceEvent::mark(30.0, "campaign", "online compute-0-0"));
+        assert_eq!(s.service_state("compute-0-0"), ServiceState::InService);
+        s.record(&TraceEvent::mark(40.0, "campaign", "fail compute-0-1"));
+        assert_eq!(s.service_state("compute-0-1"), ServiceState::Failed);
+        let states: Vec<_> = s.service_states().collect();
+        assert_eq!(
+            states,
+            vec![
+                ("compute-0-0", ServiceState::InService),
+                ("compute-0-1", ServiceState::Failed),
+            ]
+        );
+        // a failed node raises a campaign alert on the monitoring plane
+        assert!(s
+            .alerts()
+            .iter()
+            .any(|a| a.rule == "campaign-node-failed" && a.host == "compute-0-1"));
+        // unknown campaign verbs and non-campaign marks are ignored
+        s.record(&TraceEvent::mark(50.0, "campaign", "ponder compute-0-0"));
+        s.record(&TraceEvent::mark(50.0, "sched", "drain compute-0-0"));
+        assert_eq!(s.service_state("compute-0-0"), ServiceState::InService);
     }
 
     #[test]

@@ -196,7 +196,8 @@ impl FleetReport {
     }
 
     /// Sum of per-site deployment wall estimates (the sequential cost
-    /// the fleet's parallelism amortizes).
+    /// the fleet's parallelism amortizes). A zero-site fleet (or one
+    /// where every site failed) sums to exactly `0.0`.
     pub fn total_site_seconds(&self) -> f64 {
         self.sites
             .iter()
@@ -211,8 +212,13 @@ impl FleetReport {
     /// host cores, but this models what N parallel site crews buy on
     /// the simulation clock (8 equal sites on 4 workers → 2 sites per
     /// worker → a 4× shorter campaign). Deterministic: assignment uses
-    /// site order and breaks ties by lowest worker index.
+    /// site order and breaks ties by lowest worker index. A zero-site
+    /// fleet has a makespan of exactly `0.0` (never `NaN`), whatever
+    /// the worker count.
     pub fn makespan_seconds(&self) -> f64 {
+        if self.sites.is_empty() {
+            return 0.0;
+        }
         let workers = self.threads.max(1);
         let mut loads = vec![0.0f64; workers];
         for site in &self.sites {
@@ -307,7 +313,20 @@ impl Fleet {
 
     /// Append a site (builder style). Sites deploy independently; order
     /// only determines report order.
-    pub fn add_site(mut self, site: FleetSite) -> Fleet {
+    ///
+    /// Site names address per-site traces in the report, so a duplicate
+    /// name is deterministically renamed by appending the lowest free
+    /// `-2`, `-3`, ... suffix (two "tech-u" sites become "tech-u" and
+    /// "tech-u-2", regardless of add order elsewhere).
+    pub fn add_site(mut self, mut site: FleetSite) -> Fleet {
+        if self.sites.iter().any(|s| s.name == site.name) {
+            let base = site.name.clone();
+            let mut k = 2usize;
+            while self.sites.iter().any(|s| s.name == format!("{base}-{k}")) {
+                k += 1;
+            }
+            site.name = format!("{base}-{k}");
+        }
         self.sites.push(site);
         self
     }
@@ -711,5 +730,73 @@ mod tests {
         let report = via_fleet.result.as_ref().unwrap();
         assert_eq!(report.node_dbs, uncached.node_dbs);
         assert_eq!(report.trace_jsonl(), uncached.trace_jsonl());
+    }
+
+    #[test]
+    fn empty_fleet_deploys_to_a_zeroed_report() {
+        let report = Fleet::new().with_threads(8).deploy();
+        assert!(report.sites.is_empty());
+        assert!(report.all_succeeded(), "vacuously true: no site failed");
+        assert_eq!(report.total_site_seconds(), 0.0);
+        assert_eq!(report.makespan_seconds(), 0.0);
+        assert!(
+            report.makespan_seconds().is_finite(),
+            "empty fleet must never yield NaN"
+        );
+        let rendered = report.render();
+        assert!(rendered.contains("0/0 sites ok"), "{rendered}");
+        assert_eq!(report.merged_jsonl(), "");
+    }
+
+    #[test]
+    fn duplicate_site_names_are_deterministically_renamed() {
+        let fleet = Fleet::new()
+            .add_site(FleetSite::overlay(
+                "tech-u",
+                limulus_dbs(),
+                XnitSetupMethod::RepoRpm,
+            ))
+            .add_site(FleetSite::overlay(
+                "tech-u",
+                limulus_dbs(),
+                XnitSetupMethod::ManualRepoFile,
+            ))
+            .add_site(FleetSite::overlay(
+                "tech-u",
+                limulus_dbs(),
+                XnitSetupMethod::RepoRpm,
+            ));
+        let names: Vec<_> = fleet.sites().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["tech-u", "tech-u-2", "tech-u-3"]);
+
+        // renames survive into the report, so every site stays addressable
+        let report = fleet.with_threads(2).deploy();
+        assert!(report.all_succeeded(), "{}", report.render());
+        assert!(report.site("tech-u").is_some());
+        assert!(report.site("tech-u-2").is_some());
+        assert!(report.site("tech-u-3").is_some());
+        assert!(report.site_trace_jsonl("tech-u-2").is_some());
+    }
+
+    #[test]
+    fn rename_skips_suffixes_already_taken() {
+        let fleet = Fleet::new()
+            .add_site(FleetSite::overlay(
+                "lab",
+                limulus_dbs(),
+                XnitSetupMethod::RepoRpm,
+            ))
+            .add_site(FleetSite::overlay(
+                "lab-2",
+                limulus_dbs(),
+                XnitSetupMethod::RepoRpm,
+            ))
+            .add_site(FleetSite::overlay(
+                "lab",
+                limulus_dbs(),
+                XnitSetupMethod::RepoRpm,
+            ));
+        let names: Vec<_> = fleet.sites().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["lab", "lab-2", "lab-3"]);
     }
 }

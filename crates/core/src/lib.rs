@@ -19,6 +19,8 @@
 //! * [`sites`] — the Table 3 deployment registry and fleet statistics.
 //! * [`fleet`] — the fleet orchestrator: N sites deployed concurrently
 //!   over a shared solve cache, merged into one trace report.
+//! * [`campaign`] — rolling update campaigns: drain-aware, canaried,
+//!   checkpoint-resumable waves over a live fleet.
 //! * [`training`] — the LittleFe/XCBC curriculum module of §6.
 //! * [`report`] — renderers that regenerate the paper's tables.
 //!
@@ -32,6 +34,7 @@
 //! ```
 
 pub mod bridging;
+pub mod campaign;
 pub mod catalog;
 pub mod community;
 pub mod compat;
@@ -48,6 +51,11 @@ pub mod update;
 pub mod xnit;
 
 pub use bridging::{setup_endpoint, transfer, Endpoint, GffsNamespace, TransferFile};
+pub use campaign::{
+    campaign_digest, plan_waves, run_campaign, CampaignConfig, CampaignError, CampaignMutation,
+    CampaignOutcome, CampaignReport, CampaignTarget, CanaryAction, WaveReport,
+    CAMPAIGN_TRACE_SOURCE,
+};
 pub use catalog::{xcbc_catalog, xsede_reference, CatalogEntry};
 pub use community::{RequestPipeline, RequestState, RequesterGroup, SoftwareRequest};
 pub use compat::{check_compatibility, CompatIssue, CompatReport};

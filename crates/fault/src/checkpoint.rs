@@ -14,7 +14,7 @@
 //! [`InstallCheckpoint::parse`], standing in for the state file a real
 //! frontend would keep under `/var/lib/`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// How far a node got through provisioning, in order.
@@ -206,8 +206,11 @@ impl InstallCheckpoint {
                     let name = words
                         .next()
                         .ok_or_else(|| err("missing node name".into()))?;
+                    // Forward compatibility: only the first token after the
+                    // name is the stage; later writers may append fields.
                     let stage_s = words
                         .next()
+                        .and_then(|rest| rest.split_whitespace().next())
                         .ok_or_else(|| err("missing node stage".into()))?;
                     let stage = NodeStage::parse(stage_s)
                         .ok_or_else(|| err(format!("unknown stage `{stage_s}`")))?;
@@ -219,6 +222,162 @@ impl InstallCheckpoint {
                         .ok_or_else(|| err("missing node name".into()))?;
                     let reason = words.next().unwrap_or("").to_string();
                     cp.quarantined.insert(name.to_string(), reason);
+                }
+                Some(other) => {
+                    return Err(err(format!("unknown directive `{other}`")));
+                }
+                None => unreachable!("splitn yields at least one item"),
+            }
+        }
+        Ok(cp)
+    }
+}
+
+/// Durable record of a rolling update campaign's progress: which waves
+/// completed, which nodes committed their update, and which nodes were
+/// given up on (retry budget exhausted) with the reason.
+///
+/// Like [`InstallCheckpoint`], the format is line-oriented text and the
+/// recorders are monotone, so replaying a resumed campaign's early waves
+/// cannot regress the file. The `digest` line identifies the campaign
+/// (target package set + cohort layout) so a resume can refuse to pick
+/// up a checkpoint written by a different campaign.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignCheckpoint {
+    /// Stable digest of the campaign definition this file belongs to.
+    digest: String,
+    /// Waves `0..waves_completed` finished (drain + update + skew probe).
+    waves_completed: usize,
+    /// Nodes whose update transaction committed.
+    updated: BTreeSet<String>,
+    /// Nodes the campaign gave up on, with the reason.
+    failed: BTreeMap<String, String>,
+}
+
+impl CampaignCheckpoint {
+    pub fn new(digest: &str) -> Self {
+        CampaignCheckpoint {
+            digest: digest.to_string(),
+            ..CampaignCheckpoint::default()
+        }
+    }
+
+    /// The campaign-definition digest this checkpoint belongs to.
+    pub fn digest(&self) -> &str {
+        &self.digest
+    }
+
+    /// Number of fully completed waves (waves `0..n` are done).
+    pub fn waves_completed(&self) -> usize {
+        self.waves_completed
+    }
+
+    /// Record that wave `wave_index` (0-based) completed. Monotone:
+    /// recording an earlier wave never regresses the counter.
+    pub fn mark_wave_completed(&mut self, wave_index: usize) {
+        self.waves_completed = self.waves_completed.max(wave_index + 1);
+    }
+
+    /// Record that `node`'s update transaction committed.
+    pub fn record_updated(&mut self, node: &str) {
+        self.updated.insert(node.to_string());
+    }
+
+    pub fn is_updated(&self, node: &str) -> bool {
+        self.updated.contains(node)
+    }
+
+    /// Names of all updated nodes, sorted.
+    pub fn updated_nodes(&self) -> impl Iterator<Item = &str> {
+        self.updated.iter().map(String::as_str)
+    }
+
+    /// Give up on `node`, recording why.
+    pub fn record_failed(&mut self, node: &str, reason: &str) {
+        self.failed.insert(node.to_string(), reason.to_string());
+    }
+
+    pub fn is_failed(&self, node: &str) -> bool {
+        self.failed.contains_key(node)
+    }
+
+    /// Failed nodes with reasons, sorted by name.
+    pub fn failed(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.failed.iter().map(|(n, r)| (n.as_str(), r.as_str()))
+    }
+
+    pub fn failed_count(&self) -> usize {
+        self.failed.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.waves_completed == 0 && self.updated.is_empty() && self.failed.is_empty()
+    }
+
+    /// Serialize to the line-oriented state-file format:
+    ///
+    /// ```text
+    /// campaign 4f2a9c01d3e8b576
+    /// waves-completed 2
+    /// updated compute-0-0
+    /// failed compute-0-3 rpm.scriptlet: retry budget exhausted
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = format!("campaign {}\n", self.digest);
+        out.push_str(&format!("waves-completed {}\n", self.waves_completed));
+        for name in &self.updated {
+            out.push_str(&format!("updated {name}\n"));
+        }
+        for (name, reason) in &self.failed {
+            out.push_str(&format!("failed {name} {reason}\n"));
+        }
+        out
+    }
+
+    /// Parse the [`to_text`](Self::to_text) format. Blank lines and `#`
+    /// comments are ignored; unknown *trailing fields* on recognized
+    /// directives are tolerated (forward compatibility), but unknown
+    /// directives fail with a typed [`CheckpointParseError`].
+    pub fn parse(text: &str) -> Result<CampaignCheckpoint, CheckpointParseError> {
+        let mut cp = CampaignCheckpoint::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |message: String| CheckpointParseError {
+                line: idx + 1,
+                message,
+            };
+            let mut words = line.splitn(3, ' ');
+            match words.next() {
+                Some("campaign") => {
+                    cp.digest = words
+                        .next()
+                        .ok_or_else(|| err("missing campaign digest".into()))?
+                        .to_string();
+                }
+                Some("waves-completed") => {
+                    let n = words
+                        .next()
+                        .ok_or_else(|| err("missing wave count".into()))?;
+                    cp.waves_completed = cp.waves_completed.max(
+                        n.parse()
+                            .map_err(|_| err(format!("bad wave count `{n}`")))?,
+                    );
+                }
+                Some("updated") => {
+                    let name = words
+                        .next()
+                        .ok_or_else(|| err("missing node name".into()))?;
+                    cp.updated.insert(name.to_string());
+                }
+                Some("failed") => {
+                    let name = words
+                        .next()
+                        .ok_or_else(|| err("missing node name".into()))?;
+                    let reason = words.next().unwrap_or("").to_string();
+                    cp.failed.insert(name.to_string(), reason);
                 }
                 Some(other) => {
                     return Err(err(format!("unknown directive `{other}`")));
@@ -315,5 +474,84 @@ mod tests {
     fn empty_checkpoint_is_empty() {
         assert!(InstallCheckpoint::new().is_empty());
         assert!(InstallCheckpoint::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn install_parse_tolerates_unknown_trailing_fields() {
+        // A future writer may append fields after the stage; old parsers
+        // must still read the part they understand.
+        let cp = InstallCheckpoint::parse(
+            "frontend committed at=2016-07-12\n\
+             node compute-0-0 packages-committed epoch=3\n",
+        )
+        .unwrap();
+        assert!(cp.frontend_committed());
+        assert!(cp.is_committed("compute-0-0"));
+        // Unknown *directives* are still a typed error, not silence.
+        let err = InstallCheckpoint::parse("overlay xnit done").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("overlay"));
+    }
+
+    #[test]
+    fn campaign_checkpoint_round_trip() {
+        let mut cp = CampaignCheckpoint::new("4f2a9c01d3e8b576");
+        cp.mark_wave_completed(0);
+        cp.mark_wave_completed(1);
+        cp.record_updated("compute-0-0");
+        cp.record_updated("compute-0-1");
+        cp.record_failed("compute-0-3", "rpm.scriptlet: retry budget exhausted");
+        let parsed = CampaignCheckpoint::parse(&cp.to_text()).unwrap();
+        assert_eq!(parsed, cp);
+        assert_eq!(parsed.digest(), "4f2a9c01d3e8b576");
+        assert_eq!(parsed.waves_completed(), 2);
+        assert!(parsed.is_updated("compute-0-1"));
+        assert!(parsed.is_failed("compute-0-3"));
+        assert_eq!(parsed.failed_count(), 1);
+    }
+
+    #[test]
+    fn campaign_recorders_are_monotone() {
+        let mut cp = CampaignCheckpoint::new("d");
+        cp.mark_wave_completed(3);
+        cp.mark_wave_completed(1);
+        assert_eq!(cp.waves_completed(), 4);
+        assert!(!cp.is_empty());
+        assert!(CampaignCheckpoint::new("d").is_empty());
+    }
+
+    #[test]
+    fn campaign_parse_tolerates_unknown_trailing_fields() {
+        let cp = CampaignCheckpoint::parse(
+            "campaign abc123 schema=2\n\
+             waves-completed 1 of=4\n\
+             updated compute-0-0 at=wave:0\n\
+             failed compute-0-2 canary: health check failed\n",
+        )
+        .unwrap();
+        assert_eq!(cp.digest(), "abc123");
+        assert_eq!(cp.waves_completed(), 1);
+        assert!(cp.is_updated("compute-0-0"));
+        let failed: Vec<_> = cp.failed().collect();
+        assert_eq!(failed, vec![("compute-0-2", "canary: health check failed")]);
+    }
+
+    #[test]
+    fn campaign_parse_rejects_garbage() {
+        let err = CampaignCheckpoint::parse("rollback everything").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("rollback"));
+        assert!(CampaignCheckpoint::parse("waves-completed many").is_err());
+        assert!(CampaignCheckpoint::parse("updated").is_err());
+        assert!(CampaignCheckpoint::parse("campaign").is_err());
+    }
+
+    #[test]
+    fn campaign_comments_and_blanks_ignored() {
+        let cp = CampaignCheckpoint::parse(
+            "# resumed after power loss\n\ncampaign x\nwaves-completed 2\n",
+        )
+        .unwrap();
+        assert_eq!(cp.waves_completed(), 2);
     }
 }

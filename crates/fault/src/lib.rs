@@ -28,7 +28,7 @@ pub mod plan;
 pub mod postmortem;
 pub mod retry;
 
-pub use checkpoint::{CheckpointParseError, InstallCheckpoint, NodeStage};
+pub use checkpoint::{CampaignCheckpoint, CheckpointParseError, InstallCheckpoint, NodeStage};
 pub use plan::{
     FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultWindow, InjectionPoint,
     PlanParseError,

@@ -28,16 +28,24 @@ pub enum InjectionPoint {
     NodeBoot,
     /// Whole-frontend power loss mid-install (`xcbc-rocks`/`xcbc-core`).
     PowerLoss,
+    /// The drain step at a rolling-update wave boundary (`xcbc-core`).
+    /// A fault here aborts the campaign driver, leaving the checkpoint.
+    CampaignDrain,
+    /// The canary health check after the canary wave (`xcbc-core`). A
+    /// fault here fails the health check and halts/rolls back the run.
+    CampaignCanary,
 }
 
 impl InjectionPoint {
-    pub const ALL: [InjectionPoint; 6] = [
+    pub const ALL: [InjectionPoint; 8] = [
         InjectionPoint::MirrorFetch,
         InjectionPoint::DhcpDiscover,
         InjectionPoint::KickstartGenerate,
         InjectionPoint::RpmScriptlet,
         InjectionPoint::NodeBoot,
         InjectionPoint::PowerLoss,
+        InjectionPoint::CampaignDrain,
+        InjectionPoint::CampaignCanary,
     ];
 
     /// The stable name used in plan syntax and reports.
@@ -49,6 +57,8 @@ impl InjectionPoint {
             InjectionPoint::RpmScriptlet => "rpm.scriptlet",
             InjectionPoint::NodeBoot => "node.boot",
             InjectionPoint::PowerLoss => "power.loss",
+            InjectionPoint::CampaignDrain => "campaign.drain",
+            InjectionPoint::CampaignCanary => "campaign.canary",
         }
     }
 
@@ -65,6 +75,8 @@ impl InjectionPoint {
             InjectionPoint::RpmScriptlet => FaultKind::ScriptletError,
             InjectionPoint::NodeBoot => FaultKind::Hang,
             InjectionPoint::PowerLoss => FaultKind::PowerLoss,
+            InjectionPoint::CampaignDrain => FaultKind::PowerLoss,
+            InjectionPoint::CampaignCanary => FaultKind::ScriptletError,
         }
     }
 }
@@ -573,5 +585,8 @@ mod tests {
         let plan = FaultPlan::parse("power.loss on=nth:0; dhcp.discover key=x").unwrap();
         assert_eq!(plan.specs[0].kind, FaultKind::PowerLoss);
         assert_eq!(plan.specs[1].kind, FaultKind::Timeout);
+        let campaign = FaultPlan::parse("campaign.drain on=nth:1; campaign.canary").unwrap();
+        assert_eq!(campaign.specs[0].kind, FaultKind::PowerLoss);
+        assert_eq!(campaign.specs[1].kind, FaultKind::ScriptletError);
     }
 }

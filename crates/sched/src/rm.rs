@@ -45,6 +45,30 @@ pub trait ResourceManager {
     fn metrics(&self) -> SimMetrics {
         SimMetrics::from_sim(self.sim())
     }
+
+    /// Take a node out of service (rolling-update drain): running jobs
+    /// keep running, new placements skip it. The façades expose the
+    /// native spelling (`pbsnodes -o` / `scontrol update state=drain` /
+    /// `qmod -d`); this is the uniform entry point campaigns use.
+    fn offline_node(&mut self, node: usize) -> bool {
+        self.sim_mut().set_offline(node)
+    }
+
+    /// Return a node to service after its update.
+    fn online_node(&mut self, node: usize) -> bool {
+        self.sim_mut().set_online(node)
+    }
+
+    /// Losslessly requeue whatever still runs on a draining node;
+    /// returns the requeued job ids.
+    fn requeue_node(&mut self, node: usize) -> Vec<JobId> {
+        self.sim_mut().requeue_jobs_on(node)
+    }
+
+    /// True when `node` has no running jobs (safe to reinstall).
+    fn node_idle(&self, node: usize) -> bool {
+        self.sim().node_idle(node)
+    }
 }
 
 /// Parse the numeric part out of an RM job id like `"42.littlefe"` or

@@ -59,6 +59,16 @@ impl SgeCell {
         Ok(id.to_string())
     }
 
+    /// `qmod -d <queue>@<node>`: disable the queue instance on a node.
+    pub fn qmod_disable(&mut self, node: usize) -> bool {
+        self.sim.set_offline(node)
+    }
+
+    /// `qmod -e <queue>@<node>`: re-enable it.
+    pub fn qmod_enable(&mut self, node: usize) -> bool {
+        self.sim.set_online(node)
+    }
+
     /// `qstat` (SGE flavor).
     pub fn qstat(&self) -> String {
         let mut out = String::from("job-ID  name      state\n");
@@ -155,6 +165,20 @@ mod tests {
         let q = cell.qstat();
         assert!(q.contains("running") && q.contains(" r"));
         assert!(q.contains("waiting") && q.contains("qw"));
+    }
+
+    #[test]
+    fn qmod_disable_and_enable() {
+        let mut cell = SgeCell::new(2, 2);
+        assert!(cell.qmod_disable(0));
+        cell.qsub_pe("steered", 2, 10.0, 5.0).unwrap();
+        ResourceManager::drain(&mut cell);
+        assert_eq!(cell.sim().running_on(0), vec![]);
+        assert!(cell.qmod_enable(0));
+        // the uniform trait entry points route to the same state
+        assert!(cell.offline_node(1));
+        assert!(cell.node_idle(1));
+        assert!(cell.online_node(1));
     }
 
     #[test]

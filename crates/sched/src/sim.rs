@@ -11,7 +11,7 @@
 
 use crate::job::{Job, JobId, JobRequest, JobState};
 use crate::policy::SchedPolicy;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use xcbc_sim::{EventBus, EventQueue, SimClock, SimTime, TraceEvent};
 
 /// Trace source tag for events this simulator emits.
@@ -19,7 +19,9 @@ const TRACE_SOURCE: &str = "sched";
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EventKind {
-    End(JobId),
+    /// Job end for one incarnation; a requeue bumps the incarnation so
+    /// the stale end event of the interrupted run is ignored.
+    End(JobId, u32),
     Submit(JobId),
     /// Scheduler wake-up (reservation boundaries).
     Wake,
@@ -86,6 +88,10 @@ pub struct ClusterSim {
     reservations: Vec<Reservation>,
     /// Held job ids (`qhold`): queued but not eligible to start.
     held: std::collections::HashSet<JobId>,
+    /// Offline (drained) node indices: no new placements land there.
+    offline: BTreeSet<usize>,
+    /// Per-job restart counter; see [`EventKind::End`].
+    incarnations: HashMap<JobId, u32>,
 }
 
 impl ClusterSim {
@@ -106,6 +112,8 @@ impl ClusterSim {
             used_core_seconds: 0.0,
             reservations: Vec::new(),
             held: std::collections::HashSet::new(),
+            offline: BTreeSet::new(),
+            incarnations: HashMap::new(),
         }
     }
 
@@ -308,6 +316,100 @@ impl ClusterSim {
         self.used_core_seconds
     }
 
+    // ----- node service state (drain support) -----
+
+    /// Take a node out of service (`pbsnodes -o` / `scontrol update
+    /// nodename=... state=drain`): running jobs keep running but no new
+    /// placements land on it. Returns false if already offline.
+    pub fn set_offline(&mut self, node: usize) -> bool {
+        assert!(node < self.free.len(), "node out of range");
+        if !self.offline.insert(node) {
+            return false;
+        }
+        let now = self.clock.now();
+        self.bus.emit(TraceEvent::mark(
+            now,
+            TRACE_SOURCE,
+            format!("offline node {node}"),
+        ));
+        true
+    }
+
+    /// Return a node to service; queued jobs are re-evaluated
+    /// immediately. Returns false if it was not offline.
+    pub fn set_online(&mut self, node: usize) -> bool {
+        assert!(node < self.free.len(), "node out of range");
+        if !self.offline.remove(&node) {
+            return false;
+        }
+        let now = self.clock.now();
+        self.bus.emit(TraceEvent::mark(
+            now,
+            TRACE_SOURCE,
+            format!("online node {node}"),
+        ));
+        self.try_start_jobs();
+        true
+    }
+
+    pub fn is_offline(&self, node: usize) -> bool {
+        self.offline.contains(&node)
+    }
+
+    /// Offline node indices, ascending.
+    pub fn offline_nodes(&self) -> Vec<usize> {
+        self.offline.iter().copied().collect()
+    }
+
+    /// Ids of jobs currently running on `node`, ascending.
+    pub fn running_on(&self, node: usize) -> Vec<JobId> {
+        self.jobs
+            .values()
+            .filter(|j| matches!(j.state, JobState::Running { .. }) && j.placement.contains(&node))
+            .map(|j| j.id)
+            .collect()
+    }
+
+    /// True when no job occupies any core of `node`.
+    pub fn node_idle(&self, node: usize) -> bool {
+        self.free[node] == self.cores_per_node
+    }
+
+    /// Requeue every job running on `node` losslessly: cores are freed
+    /// on the job's whole placement, the job re-enters the queue with
+    /// its original submit time, and the interrupted run's end event is
+    /// invalidated (no span is emitted and no core-seconds are charged
+    /// for the partial run). Returns the requeued job ids, ascending.
+    pub fn requeue_jobs_on(&mut self, node: usize) -> Vec<JobId> {
+        assert!(node < self.free.len(), "node out of range");
+        let victims = self.running_on(node);
+        for &id in &victims {
+            let (placement, ppn, name) = {
+                let job = self.jobs.get_mut(&id).expect("job exists");
+                job.state = JobState::Queued;
+                (
+                    std::mem::take(&mut job.placement),
+                    job.request.ppn,
+                    job.request.name.clone(),
+                )
+            };
+            *self.incarnations.entry(id).or_insert(0) += 1;
+            for n in placement {
+                self.free[n] += ppn;
+            }
+            let now = self.clock.now();
+            self.bus.emit(
+                TraceEvent::mark(now, TRACE_SOURCE, format!("requeue {name}"))
+                    .with_field("node", node),
+            );
+            self.queue.push(id);
+        }
+        if !victims.is_empty() {
+            self.try_start_jobs();
+        }
+        victims
+    }
+
     /// Per-user core-second usage so far.
     pub fn user_usage(&self, user: &str) -> f64 {
         self.usage.get(user).copied().unwrap_or(0.0)
@@ -315,11 +417,17 @@ impl ClusterSim {
 
     // ----- placement -----
 
-    /// Find a placement for `nodes × ppn` in the given free vector.
-    fn find_placement(free: &[u32], nodes: u32, ppn: u32) -> Option<Vec<usize>> {
+    /// Find a placement for `nodes × ppn` in the given free vector,
+    /// skipping offline nodes.
+    fn find_placement(
+        free: &[u32],
+        offline: &BTreeSet<usize>,
+        nodes: u32,
+        ppn: u32,
+    ) -> Option<Vec<usize>> {
         let mut picked = Vec::with_capacity(nodes as usize);
         for (i, &f) in free.iter().enumerate() {
-            if f >= ppn {
+            if f >= ppn && !offline.contains(&i) {
                 picked.push(i);
                 if picked.len() == nodes as usize {
                     return Some(picked);
@@ -338,7 +446,7 @@ impl ClusterSim {
                 .reservations
                 .iter()
                 .any(|r| r.blocks(i, job_start, job_end));
-            if f >= req.ppn && !reserved {
+            if f >= req.ppn && !reserved && !self.offline.contains(&i) {
                 picked.push(i);
                 if picked.len() == req.nodes as usize {
                     return Some(picked);
@@ -362,10 +470,16 @@ impl ClusterSim {
         job.state = JobState::Running { start_s: now_s };
         let end = now_s + job.request.effective_runtime();
         self.queue.retain(|&q| q != id);
-        self.push_event(end, EventKind::End(id));
+        let inc = self.incarnations.get(&id).copied().unwrap_or(0);
+        self.push_event(end, EventKind::End(id, inc));
     }
 
-    fn finish_job(&mut self, id: JobId) {
+    fn finish_job(&mut self, id: JobId, inc: u32) {
+        if self.incarnations.get(&id).copied().unwrap_or(0) != inc {
+            // End event of a run that was requeued off its node; the
+            // current incarnation has its own end event.
+            return;
+        }
         let now_s = self.now();
         let job = self.jobs.get_mut(&id).expect("job exists");
         if let JobState::Running { start_s } = job.state {
@@ -463,7 +577,7 @@ impl ClusterSim {
             for n in placement {
                 free[n] += ppn;
             }
-            if Self::find_placement(&free, head.nodes, head.ppn).is_some() {
+            if Self::find_placement(&free, &self.offline, head.nodes, head.ppn).is_some() {
                 return t;
             }
         }
@@ -526,7 +640,7 @@ impl ClusterSim {
                         self.queue.push(id);
                     }
                 }
-                EventKind::End(id) => self.finish_job(id),
+                EventKind::End(id, inc) => self.finish_job(id, inc),
                 EventKind::Wake => {}
             }
             self.try_start_jobs();
@@ -830,6 +944,89 @@ mod tests {
             .find(|e| e.label == "job second")
             .expect("span");
         assert_eq!(second.t, SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn offline_node_takes_no_new_placements() {
+        let mut sim = ClusterSim::new(2, 2, SchedPolicy::Fifo);
+        assert!(sim.set_offline(0));
+        assert!(!sim.set_offline(0), "double offline is a no-op");
+        assert!(sim.is_offline(0));
+        assert_eq!(sim.offline_nodes(), vec![0]);
+        let j = sim.submit_at(0.0, req("steered", 1, 2, 10.0, 5.0));
+        sim.run_to_completion();
+        assert_eq!(sim.job(j).unwrap().placement, vec![1]);
+        assert!(sim.set_online(0));
+        assert!(!sim.set_online(0));
+    }
+
+    #[test]
+    fn online_restarts_blocked_queue() {
+        let mut sim = ClusterSim::new(1, 2, SchedPolicy::Fifo);
+        sim.set_offline(0);
+        let j = sim.submit_at(0.0, req("waits", 1, 2, 10.0, 5.0));
+        sim.run_until(1.0);
+        assert!(sim.job(j).unwrap().wait_s().is_none());
+        sim.set_online(0);
+        sim.run_to_completion();
+        assert!(matches!(
+            sim.job(j).unwrap().state,
+            JobState::Completed { .. }
+        ));
+    }
+
+    #[test]
+    fn requeue_is_lossless_and_ignores_stale_end() {
+        let mut sim = ClusterSim::new(2, 2, SchedPolicy::Fifo);
+        let j = sim.submit_at(0.0, req("evicted", 1, 2, 100.0, 50.0));
+        sim.run_until(10.0);
+        assert_eq!(sim.running_on(0), vec![j]);
+        assert!(!sim.node_idle(0));
+        sim.set_offline(0);
+        assert_eq!(sim.requeue_jobs_on(0), vec![j]);
+        assert!(sim.node_idle(0));
+        // restarts immediately on node 1; the stale end at t=50 must not
+        // complete the new run (it would credit only 40s of work)
+        sim.run_to_completion();
+        let job = sim.job(j).unwrap();
+        assert_eq!(job.placement, vec![1]);
+        assert!(
+            matches!(job.state, JobState::Completed { start_s, end_s } if start_s == 10.0 && end_s == 60.0),
+            "restarted run must span 10..60, got {:?}",
+            job.state
+        );
+        // exactly one job span, charged for the full restarted run only
+        let spans: Vec<_> = sim
+            .trace_events()
+            .iter()
+            .filter(|e| e.label == "job evicted")
+            .collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(sim.used_core_seconds(), 2.0 * 50.0);
+        // requeue left a mark in the trace
+        assert!(sim
+            .trace_events()
+            .iter()
+            .any(|e| e.label == "requeue evicted"));
+    }
+
+    #[test]
+    fn drain_then_online_resumes_service() {
+        let mut sim = ClusterSim::new(1, 1, SchedPolicy::Fifo);
+        let j = sim.submit_at(0.0, req("v", 1, 1, 100.0, 30.0));
+        sim.run_until(5.0);
+        sim.set_offline(0);
+        sim.requeue_jobs_on(0);
+        sim.run_until(20.0);
+        assert!(
+            sim.job(j).unwrap().state == JobState::Queued,
+            "only node offline: job waits"
+        );
+        sim.set_online(0);
+        sim.run_to_completion();
+        assert!(
+            matches!(sim.job(j).unwrap().state, JobState::Completed { start_s, end_s } if start_s == 20.0 && end_s == 50.0)
+        );
     }
 
     #[test]

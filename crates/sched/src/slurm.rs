@@ -60,6 +60,16 @@ impl Slurm {
             .map(|n| self.sim.cancel(n))
             .unwrap_or(false)
     }
+
+    /// `scontrol update nodename=<node> state=drain`.
+    pub fn scontrol_drain(&mut self, node: usize) -> bool {
+        self.sim.set_offline(node)
+    }
+
+    /// `scontrol update nodename=<node> state=resume`.
+    pub fn scontrol_resume(&mut self, node: usize) -> bool {
+        self.sim.set_online(node)
+    }
 }
 
 impl ResourceManager for Slurm {
@@ -136,6 +146,17 @@ mod tests {
         let id = s.sbatch(JobRequest::new("victim", 1, 1, 100.0, 50.0));
         s.advance_to(1.0);
         assert!(s.scancel(&id));
+    }
+
+    #[test]
+    fn scontrol_drain_and_resume() {
+        let mut s = Slurm::new("compute", 2, 2);
+        assert!(s.scontrol_drain(0));
+        s.sbatch(JobRequest::new("steered", 1, 2, 10.0, 5.0));
+        s.drain();
+        assert_eq!(s.sim().running_on(0), vec![]);
+        assert!(s.scontrol_resume(0));
+        assert!(!s.sim().is_offline(0));
     }
 
     #[test]

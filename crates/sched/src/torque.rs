@@ -66,9 +66,26 @@ impl TorqueServer {
     pub fn pbsnodes(&self) -> String {
         let mut out = String::new();
         for i in 0..self.sim.node_count() {
-            out.push_str(&format!("compute-0-{i}\n     state = free\n     np = ?\n"));
+            let state = if self.sim.is_offline(i) {
+                "offline"
+            } else {
+                "free"
+            };
+            out.push_str(&format!(
+                "compute-0-{i}\n     state = {state}\n     np = ?\n"
+            ));
         }
         out
+    }
+
+    /// `pbsnodes -o <node>`: mark a node offline (drain).
+    pub fn pbsnodes_offline(&mut self, node: usize) -> bool {
+        self.sim.set_offline(node)
+    }
+
+    /// `pbsnodes -c <node>`: clear the offline state.
+    pub fn pbsnodes_clear(&mut self, node: usize) -> bool {
+        self.sim.set_online(node)
     }
 
     /// `qdel <id>`.
@@ -196,6 +213,18 @@ mod tests {
     fn pbsnodes_lists_all() {
         let t = TorqueServer::with_maui("littlefe", 6, 2);
         assert_eq!(t.pbsnodes().matches("state = free").count(), 6);
+    }
+
+    #[test]
+    fn pbsnodes_offline_drains_node() {
+        let mut t = TorqueServer::with_maui("littlefe", 2, 2);
+        assert!(t.pbsnodes_offline(1));
+        assert_eq!(t.pbsnodes().matches("state = offline").count(), 1);
+        t.qsub(JobRequest::new("steered", 1, 2, 10.0, 5.0));
+        t.drain();
+        assert_eq!(t.sim().running_on(1), vec![]);
+        assert!(t.pbsnodes_clear(1));
+        assert_eq!(t.pbsnodes().matches("state = free").count(), 2);
     }
 
     #[test]

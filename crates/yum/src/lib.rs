@@ -37,6 +37,7 @@ pub mod notifier;
 pub mod priorities;
 pub mod repo;
 pub mod repoconfig;
+pub mod skew;
 pub mod solvecache;
 pub mod solver;
 pub mod updates;
@@ -57,6 +58,7 @@ pub use repo::Repository;
 pub use repoconfig::{
     parse_repo_file, render_repo_file, RepoConfig, RepoFileError, XSEDE_REPO_FILE,
 };
+pub use skew::{solve_across_skew, SkewGroup, SkewReport};
 pub use solvecache::{CacheStats, SolveCache, SOLVECACHE_TRACE_SOURCE};
 pub use solver::{Solution, SolveError, SolveKind, SolveRequest, Solver};
 pub use updates::{CheckUpdate, UpdateKind};

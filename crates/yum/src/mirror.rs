@@ -105,10 +105,9 @@ impl MirrorList {
     /// The failure model depends on what the options carry:
     /// - with an injector ([`FetchOptions::inject`]): faults scheduled
     ///   at `mirror.fetch` fire, and `failure_rate` is sampled from a
-    ///   plan-seeded stream — byte-for-byte the behavior of the old
-    ///   `fetch_resilient_traced`;
+    ///   plan-seeded stream;
     /// - with a sampler ([`FetchOptions::sample_with`]): `failure_rate`
-    ///   is sampled from the caller's RNG — the old plain `fetch`;
+    ///   is sampled from the caller's RNG;
     /// - with neither: mirrors never fail (deterministic best case).
     pub fn fetch_with(&self, options: FetchOptions<'_>) -> FetchReport {
         let FetchOptions {
@@ -212,59 +211,9 @@ impl MirrorList {
         }
     }
 
-    /// Attempt to fetch `bytes`, walking the list in order, using `rng`
-    /// for failure sampling. Failed attempts cost 3 timeout-latencies
-    /// (yum's default retry behavior per mirror).
-    #[deprecated(note = "use fetch_with(FetchOptions::new(bytes).sample_with(rng))")]
-    pub fn fetch<R: Rng>(&self, bytes: u64, rng: &mut R) -> MirrorOutcome {
-        self.fetch_with(
-            FetchOptions::new(bytes)
-                .retry(RetryPolicy::none())
-                .sample_with(rng),
-        )
-        .outcome
-    }
-
     /// Deterministic best-case fetch (first healthy mirror, no sampling).
     pub fn fetch_seconds_best_case(&self, bytes: u64) -> Option<f64> {
         self.mirrors.first().map(|m| m.fetch_seconds(bytes))
-    }
-
-    /// Fetch `bytes` under fault injection with retry/backoff.
-    #[deprecated(note = "use fetch_with(FetchOptions::new(bytes).retry(policy).inject(injector))")]
-    pub fn fetch_resilient(
-        &self,
-        bytes: u64,
-        injector: &mut FaultInjector,
-        policy: &RetryPolicy,
-    ) -> ResilientFetch {
-        self.fetch_with(
-            FetchOptions::new(bytes)
-                .retry(policy.clone())
-                .inject(injector),
-        )
-        .into_resilient()
-    }
-
-    /// Fetch `bytes` under fault injection, also recording trace spans
-    /// on the shared timebase starting at `start`.
-    #[deprecated(
-        note = "use fetch_with(FetchOptions::new(bytes).retry(policy).inject(injector).starting_at(start))"
-    )]
-    pub fn fetch_resilient_traced(
-        &self,
-        bytes: u64,
-        injector: &mut FaultInjector,
-        policy: &RetryPolicy,
-        start: impl Into<SimTime>,
-    ) -> TracedFetch {
-        self.fetch_with(
-            FetchOptions::new(bytes)
-                .retry(policy.clone())
-                .inject(injector)
-                .starting_at(start),
-        )
-        .into_traced()
     }
 }
 
@@ -401,8 +350,8 @@ impl FetchReport {
     }
 }
 
-/// Outcome of [`MirrorList::fetch_resilient_traced`]: the fetch result
-/// plus its per-attempt trace spans.
+/// A fetch result plus its per-attempt trace spans (the
+/// [`FetchReport::into_traced`] view).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TracedFetch {
     pub fetch: ResilientFetch,
@@ -410,8 +359,8 @@ pub struct TracedFetch {
     pub events: Vec<TraceEvent>,
 }
 
-/// Outcome of [`MirrorList::fetch_resilient`]: the fetch result plus the
-/// retry/backoff accounting the resilience layer owes the timeline.
+/// A fetch result plus the retry/backoff accounting the resilience
+/// layer owes the timeline (the [`FetchReport::into_resilient`] view).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResilientFetch {
     pub outcome: MirrorOutcome,
@@ -667,55 +616,26 @@ mod tests {
         assert_eq!(run(), run());
     }
 
-    /// The three legacy entry points must behave byte-for-byte like
-    /// `fetch_with` with the equivalent options.
+    /// The `into_resilient`/`into_traced` views are pure projections of
+    /// one `fetch_with` report: same outcome, same accounting, same
+    /// spans.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_fetch_with() {
-        // plain fetch == sampler options
-        let old = {
-            let mut rng = StdRng::seed_from_u64(42);
-            let mut l = list();
-            l.mirrors[0].failure_rate = 0.5;
-            l.fetch(10 << 20, &mut rng)
-        };
-        let new = {
-            let mut rng = StdRng::seed_from_u64(42);
-            let mut l = list();
-            l.mirrors[0].failure_rate = 0.5;
-            l.fetch_with(FetchOptions::new(10 << 20).sample_with(&mut rng))
-                .outcome
-        };
-        assert_eq!(old, new);
-
-        // fetch_resilient / fetch_resilient_traced == injector options
+    fn report_views_are_consistent_projections() {
         let plan = || {
             xcbc_fault::FaultPlan::new(21).with_rate(xcbc_fault::InjectionPoint::MirrorFetch, 0.5)
         };
-        let old_res = {
-            let mut inj = plan().injector();
-            list().fetch_resilient(10 << 20, &mut inj, &xcbc_fault::RetryPolicy::default())
-        };
-        let (new_res, new_events) = {
-            let mut inj = plan().injector();
-            let report = list().fetch_with(
-                FetchOptions::new(10 << 20)
-                    .retry(xcbc_fault::RetryPolicy::default())
-                    .inject(&mut inj),
-            );
-            (report.clone().into_resilient(), report.events)
-        };
-        assert_eq!(old_res, new_res);
-        let old_traced = {
-            let mut inj = plan().injector();
-            list().fetch_resilient_traced(
-                10 << 20,
-                &mut inj,
-                &xcbc_fault::RetryPolicy::default(),
-                0.0,
-            )
-        };
-        assert_eq!(old_traced.fetch, new_res);
-        assert_eq!(old_traced.events, new_events);
+        let mut inj = plan().injector();
+        let report = list().fetch_with(
+            FetchOptions::new(10 << 20)
+                .retry(xcbc_fault::RetryPolicy::default())
+                .inject(&mut inj),
+        );
+        let resilient = report.clone().into_resilient();
+        let traced = report.clone().into_traced();
+        assert_eq!(traced.fetch, resilient);
+        assert_eq!(traced.events, report.events);
+        assert_eq!(resilient.outcome, report.outcome);
+        assert_eq!(resilient.attempts, report.attempts);
+        assert_eq!(resilient.backoff_s, report.backoff_s);
     }
 }

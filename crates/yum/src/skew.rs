@@ -1,0 +1,207 @@
+//! Version-skew window solves for rolling updates.
+//!
+//! Mid-campaign, a fleet is a mixed-NEVRA population: updated nodes,
+//! drained nodes about to update, and pending nodes still on the old
+//! package set. The campaign must prove the *next* transaction still
+//! solves against every distinct database state in that window — without
+//! paying one solver walk per node. Nodes are grouped by
+//! [`db_fingerprint`], one solve runs per distinct state (answered from
+//! the shared [`SolveCache`] when warm), and the [`SkewReport`] says
+//! exactly which nodes — if any — the target no longer solves for.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use xcbc_rpm::RpmDb;
+
+use crate::fingerprint::db_fingerprint;
+use crate::repo::Repository;
+use crate::solvecache::SolveCache;
+use crate::solver::{Solution, SolveError, SolveRequest};
+use crate::YumConfig;
+
+/// One distinct database state in the skew window and its solve outcome.
+#[derive(Debug)]
+pub struct SkewGroup {
+    /// [`db_fingerprint`] of the shared database state.
+    pub fingerprint: u64,
+    /// Node names sharing this state, sorted.
+    pub nodes: Vec<String>,
+    /// The solve for the target request against this state.
+    pub result: Result<Arc<Solution>, SolveError>,
+}
+
+/// Outcome of probing one request across every database state in a
+/// skew window.
+#[derive(Debug, Default)]
+pub struct SkewReport {
+    /// Groups in ascending fingerprint order.
+    pub groups: Vec<SkewGroup>,
+}
+
+impl SkewReport {
+    /// True when the request solves against every state in the window.
+    pub fn is_solvable(&self) -> bool {
+        self.groups.iter().all(|g| g.result.is_ok())
+    }
+
+    /// Number of distinct database states probed (== solves performed).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total nodes covered by the probe.
+    pub fn node_count(&self) -> usize {
+        self.groups.iter().map(|g| g.nodes.len()).sum()
+    }
+
+    /// Nodes the request does not solve for, with the failing group's
+    /// error, sorted by node name.
+    pub fn unsolvable_nodes(&self) -> Vec<(&str, &SolveError)> {
+        let mut out: Vec<(&str, &SolveError)> = self
+            .groups
+            .iter()
+            .filter_map(|g| g.result.as_ref().err().map(|e| (g, e)))
+            .flat_map(|(g, e)| g.nodes.iter().map(move |n| (n.as_str(), e)))
+            .collect();
+        out.sort_by_key(|(n, _)| *n);
+        out
+    }
+
+    /// One-line summary for campaign logs.
+    pub fn render(&self) -> String {
+        format!(
+            "skew window: {} nodes in {} states, {}",
+            self.node_count(),
+            self.group_count(),
+            if self.is_solvable() {
+                "all solvable".to_string()
+            } else {
+                format!("{} nodes unsolvable", self.unsolvable_nodes().len())
+            }
+        )
+    }
+}
+
+/// Probe `request` against every distinct database state in `dbs`
+/// (node name → that node's [`RpmDb`]). One solve runs per distinct
+/// [`db_fingerprint`], answered from `cache` when warm, so a 100-node
+/// fleet in 3 states costs 3 solves, not 100.
+pub fn solve_across_skew(
+    cache: &SolveCache,
+    repos: &[Repository],
+    config: &YumConfig,
+    dbs: &BTreeMap<String, RpmDb>,
+    request: &SolveRequest,
+) -> SkewReport {
+    // Group nodes by database state. BTreeMap keys are visited in
+    // sorted order, so group membership and report order are
+    // deterministic regardless of how `dbs` was built.
+    let mut groups: BTreeMap<u64, (Vec<String>, &RpmDb)> = BTreeMap::new();
+    for (node, db) in dbs {
+        groups
+            .entry(db_fingerprint(db))
+            .or_insert_with(|| (Vec::new(), db))
+            .0
+            .push(node.clone());
+    }
+    SkewReport {
+        groups: groups
+            .into_iter()
+            .map(|(fingerprint, (nodes, db))| SkewGroup {
+                fingerprint,
+                nodes,
+                result: cache.get_or_solve(repos, config, db, request),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcbc_rpm::PackageBuilder;
+
+    fn repo() -> Repository {
+        let mut repo = Repository::new("xsede", "XSEDE repo");
+        repo.add_package(PackageBuilder::new("wrf", "3.5", "1.el6").build());
+        repo.add_package(PackageBuilder::new("gromacs", "4.6.5", "2.el6").build());
+        repo
+    }
+
+    fn db_with(names: &[&str]) -> RpmDb {
+        let mut db = RpmDb::new();
+        for n in names {
+            db.install(PackageBuilder::new(n, "1.0", "1.el6").build());
+        }
+        db
+    }
+
+    #[test]
+    fn groups_by_distinct_db_state() {
+        let repos = vec![repo()];
+        let config = YumConfig::default();
+        let cache = SolveCache::new();
+        let mut dbs = BTreeMap::new();
+        dbs.insert("compute-0-0".to_string(), db_with(&["base"]));
+        dbs.insert("compute-0-1".to_string(), db_with(&["base"]));
+        dbs.insert("compute-0-2".to_string(), db_with(&["base", "extra"]));
+        let req = SolveRequest::install(["wrf"]);
+        let report = solve_across_skew(&cache, &repos, &config, &dbs, &req);
+        assert_eq!(report.group_count(), 2, "two distinct states");
+        assert_eq!(report.node_count(), 3);
+        assert!(report.is_solvable());
+        assert_eq!(
+            report.render(),
+            "skew window: 3 nodes in 2 states, all solvable"
+        );
+        // exactly one solve per state: both misses, zero hits wasted
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn repeated_probe_hits_cache() {
+        let repos = vec![repo()];
+        let config = YumConfig::default();
+        let cache = SolveCache::new();
+        let mut dbs = BTreeMap::new();
+        dbs.insert("a".to_string(), db_with(&["base"]));
+        dbs.insert("b".to_string(), db_with(&["base"]));
+        let req = SolveRequest::install(["gromacs"]);
+        solve_across_skew(&cache, &repos, &config, &dbs, &req);
+        solve_across_skew(&cache, &repos, &config, &dbs, &req);
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+    }
+
+    #[test]
+    fn unsolvable_nodes_are_named() {
+        let repos = vec![repo()];
+        let config = YumConfig::default();
+        let cache = SolveCache::new();
+        let mut dbs = BTreeMap::new();
+        dbs.insert("ok-node".to_string(), db_with(&["base"]));
+        let req = SolveRequest::install(["no-such-package"]);
+        let report = solve_across_skew(&cache, &repos, &config, &dbs, &req);
+        assert!(!report.is_solvable());
+        let bad = report.unsolvable_nodes();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, "ok-node");
+        assert!(report.render().contains("1 nodes unsolvable"));
+    }
+
+    #[test]
+    fn empty_window_is_trivially_solvable() {
+        let repos = vec![repo()];
+        let cache = SolveCache::new();
+        let report = solve_across_skew(
+            &cache,
+            &repos,
+            &YumConfig::default(),
+            &BTreeMap::new(),
+            &SolveRequest::update_all(),
+        );
+        assert!(report.is_solvable());
+        assert_eq!(report.group_count(), 0);
+    }
+}

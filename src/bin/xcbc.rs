@@ -114,9 +114,10 @@ fn main() -> ExitCode {
             mon(scenario, faults, format)
         }
         "soak" => soak_cmd(&args),
+        "campaign" => campaign_cmd(&args),
         "help" | "--help" | "-h" => {
             eprintln!(
-                "usage: xcbc <tables|deploy [littlefe|limulus|both] [--faults \"<plan>\"]|lab [name]|linpack [n]|fleet [--threads N] [--jsonl] [--table]|compat|trace [littlefe] [--faults \"<plan>\"] [--jsonl]|mon [littlefe] [--faults \"<plan>\"] [--prom|--xml|--jsonl]|soak [--seeds N] [--seed S] [--faults] [--no-shrink] [--mutate] [--sites N] [--fault-specs N] [--jobs N] [--updates N]>"
+                "usage: xcbc <tables|deploy [littlefe|limulus|both] [--faults \"<plan>\"]|lab [name]|linpack [n]|fleet [--threads N] [--jsonl] [--table]|compat|trace [littlefe] [--faults \"<plan>\"] [--jsonl]|mon [littlefe] [--faults \"<plan>\"] [--prom|--xml|--jsonl]|soak [--seeds N] [--seed S] [--faults] [--no-shrink] [--mutate] [--sites N] [--fault-specs N] [--jobs N] [--updates N] [--campaign-mutation drop-job|skip-skew]|campaign [--nodes N] [--canary N] [--waves N] [--threads N] [--rollback] [--resume] [--faults \"<plan>\"] [--jsonl]>"
             );
             ExitCode::SUCCESS
         }
@@ -406,6 +407,7 @@ fn mon(scenario: &str, faults: Option<&str>, format: MonFormat) -> ExitCode {
 /// (shrunk) failure deterministically.
 fn soak_cmd(args: &[String]) -> ExitCode {
     use xcbc::check::{default_invariants, mutation_invariant, soak, ScenarioLimits, SoakConfig};
+    use xcbc::core::campaign::CampaignMutation;
 
     fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
         args.iter()
@@ -425,6 +427,18 @@ fn soak_cmd(args: &[String]) -> ExitCode {
             fault_specs: flag_value(args, "--fault-specs").unwrap_or(defaults.fault_specs),
             jobs: flag_value(args, "--jobs").unwrap_or(defaults.jobs),
             updates: flag_value(args, "--updates").unwrap_or(defaults.updates),
+            campaign_mutation: match flag_value::<String>(args, "--campaign-mutation").as_deref() {
+                Some("drop-job") => Some(CampaignMutation::DropJobOnDrain),
+                Some("skip-skew") => Some(CampaignMutation::SkipSkewSolve),
+                Some(other) => {
+                    eprintln!(
+                        "xcbc soak: unknown --campaign-mutation {other} \
+                         (expected drop-job or skip-skew)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                None => None,
+            },
         },
         mutate: args.iter().any(|a| a == "--mutate"),
     };
@@ -444,6 +458,143 @@ fn soak_cmd(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// `xcbc campaign`: roll a package update across a live fleet in
+/// drained, canaried waves. Without `--resume`, a `campaign.drain`
+/// (power/drain) fault aborts with the checkpoint printed; with it, the
+/// campaign resumes from the last completed wave — exactly the way an
+/// administrator re-running the tool after a machine-room power blip
+/// would — and the stitched trace matches an uninterrupted run.
+fn campaign_cmd(args: &[String]) -> ExitCode {
+    use xcbc::core::campaign::{
+        run_campaign, CampaignConfig, CampaignError, CampaignTarget, CanaryAction,
+    };
+    use xcbc::core::xnit_repository;
+    use xcbc::fault::CampaignCheckpoint;
+    use xcbc::sched::{JobRequest, ResourceManager, Slurm};
+    use xcbc::yum::{SolveCache, SolveRequest, YumConfig};
+
+    fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+    }
+
+    let faults = args
+        .iter()
+        .position(|a| a == "--faults")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    let plan = match parse_plan("campaign", faults) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let nodes: usize = flag_value(args, "--nodes").unwrap_or(8);
+    let config = CampaignConfig {
+        canary: flag_value(args, "--canary").unwrap_or(1),
+        waves: flag_value(args, "--waves").unwrap_or(3),
+        threads: flag_value(args, "--threads").unwrap_or(1),
+        on_canary_failure: if args.iter().any(|a| a == "--rollback") {
+            CanaryAction::Rollback
+        } else {
+            CanaryAction::Halt
+        },
+        ..CampaignConfig::default()
+    };
+    let auto_resume = args.iter().any(|a| a == "--resume");
+    let jsonl = args.iter().any(|a| a == "--jsonl");
+
+    // A Limulus-style fleet: factory images under SLURM, with a small
+    // opening workload so the drains have something to wait on.
+    let target = CampaignTarget {
+        repos: vec![xnit_repository()],
+        config: YumConfig::default(),
+        request: SolveRequest::install(["gromacs"]),
+    };
+    let mut dbs: BTreeMap<String, _> = (0..nodes)
+        .map(|i| (format!("node-{i:02}"), limulus_factory_image()))
+        .collect();
+    let mut rm = Slurm::new("batch", nodes, 4);
+    for i in 0..nodes.min(4) {
+        rm.sim_mut().submit(JobRequest::new(
+            &format!("wrf-{i}"),
+            1,
+            4,
+            4000.0,
+            200.0 + 90.0 * i as f64,
+        ));
+    }
+    rm.advance_to(10.0);
+
+    let cache = std::sync::Arc::new(SolveCache::new());
+    let mut checkpoint_text: Option<String> = None;
+    let mut stitched = String::new();
+    // each resume completes at least one wave, so `waves` bounds the loop
+    for _ in 0..=config.waves {
+        let resume_cp = match &checkpoint_text {
+            Some(text) => match CampaignCheckpoint::parse(text) {
+                Ok(cp) => Some(cp),
+                Err(e) => {
+                    eprintln!("xcbc campaign: bad checkpoint: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        match run_campaign(
+            &target,
+            &mut dbs,
+            &mut rm,
+            &plan,
+            &cache,
+            &config,
+            resume_cp.as_ref(),
+        ) {
+            Ok(report) => {
+                stitched.push_str(&report.trace_jsonl());
+                if jsonl {
+                    print!("{stitched}");
+                } else {
+                    if report.resumed_from_wave > 0 {
+                        println!("resumed from wave {}", report.resumed_from_wave);
+                    }
+                    print!("{}", report.render());
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(CampaignError::Aborted {
+                wave,
+                checkpoint,
+                trace,
+            }) => {
+                for ev in &trace {
+                    stitched.push_str(&ev.to_jsonl());
+                    stitched.push('\n');
+                }
+                if !auto_resume {
+                    eprintln!("campaign aborted before wave {wave}; checkpoint:");
+                    eprint!("{}", checkpoint.to_text());
+                    eprintln!("(re-run with --resume to continue from it)");
+                    return ExitCode::FAILURE;
+                }
+                if !jsonl {
+                    println!(
+                        "power lost before wave {wave} [{} wave(s) committed]; resuming from checkpoint",
+                        checkpoint.waves_completed()
+                    );
+                }
+                checkpoint_text = Some(checkpoint.to_text());
+            }
+            Err(e) => {
+                eprintln!("xcbc campaign: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!("xcbc campaign: gave up after repeated aborts");
+    ExitCode::FAILURE
 }
 
 fn compat() -> ExitCode {
