@@ -49,5 +49,7 @@ pub fn default_invariants() -> Vec<Box<dyn Invariant + Send + Sync>> {
         Box::new(invariants::GmetadRollup),
         Box::new(invariants::CampaignNoJobLost),
         Box::new(invariants::CampaignConverges),
+        Box::new(invariants::ElasticNoJobLost),
+        Box::new(invariants::ElasticConverges),
     ]
 }

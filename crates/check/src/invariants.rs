@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use xcbc_cluster::monitor::MetricKind;
+use xcbc_core::elastic::{Autoscaler, ElasticVerdict};
 use xcbc_rpm::{rpmvercmp, Evr, RpmDb};
 use xcbc_sched::JobState;
 use xcbc_sim::{TraceEvent, TraceKind};
@@ -678,6 +679,148 @@ impl Invariant for CampaignNoJobLost {
                      ({accounted}): work was dropped or double-charged across a drain"
                 ),
             ));
+        }
+        v
+    }
+}
+
+/// No job is lost across an elastic scale-down: every job submitted to
+/// the self-scaling fleet is served to completion. A cancelled job
+/// means a drain dropped it instead of requeueing it, and is always a
+/// violation; a job still queued or running is a violation whenever the
+/// run's verdict claims demand was satisfied. Terminal states are
+/// counted directly (the simulator's `jobs_finished` counts
+/// cancellations as finished, which would mask exactly this bug).
+pub struct ElasticNoJobLost;
+
+impl Invariant for ElasticNoJobLost {
+    fn name(&self) -> &'static str {
+        "elastic.no-job-lost"
+    }
+
+    fn check(&self, outcome: &SoakOutcome) -> Vec<Violation> {
+        let mut v = Vec::new();
+        let Some(rec) = &outcome.elastic else {
+            return v;
+        };
+        let satisfied = matches!(rec.report.verdict, ElasticVerdict::Satisfied);
+        let mut served = 0usize;
+        for (name, state) in &rec.job_states {
+            match state {
+                JobState::Cancelled => v.push(violation(
+                    self.name(),
+                    format!(
+                        "job {name} was cancelled: a scale-down drain dropped it \
+                         instead of requeueing"
+                    ),
+                )),
+                JobState::Completed { .. } | JobState::TimedOut { .. } => served += 1,
+                JobState::Queued | JobState::Running { .. } => {
+                    if satisfied {
+                        v.push(violation(
+                            self.name(),
+                            format!(
+                                "job {name} still {state:?} although the verdict claims \
+                                 demand was satisfied"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        if satisfied && served != rec.submitted.len() {
+            v.push(violation(
+                self.name(),
+                format!(
+                    "submitted {} jobs but only {served} reached a served terminal state",
+                    rec.submitted.len()
+                ),
+            ));
+        }
+        v
+    }
+}
+
+/// The autoscaler does exactly what its policy dictates and the run
+/// ends in a consistent verdict: replaying the recorded metric samples
+/// through a fresh autoscaler must reproduce every recorded decision
+/// (across abort/resume segments), the provisioned fleet stays within
+/// the `[floor, ceiling]` policy bounds at every tick, and the final
+/// tick's sample agrees with the verdict — demand satisfied means an
+/// empty queue and an idle fleet, at-max-size means the reported
+/// backlog is what the last sample actually saw.
+pub struct ElasticConverges;
+
+impl Invariant for ElasticConverges {
+    fn name(&self) -> &'static str {
+        "elastic.converges"
+    }
+
+    fn check(&self, outcome: &SoakOutcome) -> Vec<Violation> {
+        let mut v = Vec::new();
+        let Some(rec) = &outcome.elastic else {
+            return v;
+        };
+        let policy = rec.report.policy;
+
+        let replayed = Autoscaler::replay(policy, rec.ticks.iter().map(|t| t.sample));
+        for (t, want) in rec.ticks.iter().zip(&replayed) {
+            if t.decision != *want {
+                v.push(violation(
+                    self.name(),
+                    format!(
+                        "tick {}: recorded decision `{}` but the policy dictates `{}` \
+                         for sample {:?}",
+                        t.tick,
+                        t.decision.render(),
+                        want.render(),
+                        t.sample
+                    ),
+                ));
+            }
+        }
+
+        for t in &rec.ticks {
+            let provisioned = t.sample.capacity + t.sample.booting;
+            if provisioned < policy.min_nodes || provisioned > policy.max_nodes {
+                v.push(violation(
+                    self.name(),
+                    format!(
+                        "tick {}: {provisioned} node(s) provisioned, outside the \
+                         [{}, {}] policy bounds",
+                        t.tick, policy.min_nodes, policy.max_nodes
+                    ),
+                ));
+            }
+        }
+
+        if let Some(last) = rec.ticks.last() {
+            match rec.report.verdict {
+                ElasticVerdict::Satisfied => {
+                    if last.sample.queue_depth != 0 || last.sample.busy_nodes != 0 {
+                        v.push(violation(
+                            self.name(),
+                            format!(
+                                "verdict says demand was satisfied but the last tick \
+                                 sampled queue={} busy={}",
+                                last.sample.queue_depth, last.sample.busy_nodes
+                            ),
+                        ));
+                    }
+                }
+                ElasticVerdict::AtMaxSize { queued } => {
+                    if queued != last.sample.queue_depth {
+                        v.push(violation(
+                            self.name(),
+                            format!(
+                                "verdict reports {queued} jobs queued at max size but \
+                                 the last tick sampled queue={}",
+                                last.sample.queue_depth
+                            ),
+                        ));
+                    }
+                }
+            }
         }
         v
     }

@@ -15,7 +15,10 @@
 //!   those outcomes: RPM transaction conservation, EVR total-order,
 //!   per-node timeline monotonicity, scheduler job conservation and
 //!   no-starvation, solve-cache coherence, checkpoint/resume
-//!   equivalence, and gmetad rollup consistency.
+//!   equivalence, gmetad rollup consistency, campaign job-safety and
+//!   convergence, and elastic-fleet job-safety and autoscaler
+//!   convergence (the recorded decision stream must replay exactly
+//!   from the recorded metric samples).
 //! * [`soak`](soak::soak) — the driver: run N seeds, and on any
 //!   violation shrink (fewer sites → fewer faults → shorter workload)
 //!   to a minimal reproducing seed with an exact repro command.

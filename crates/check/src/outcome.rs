@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use xcbc_core::campaign::{CampaignReport, CampaignTarget};
+use xcbc_core::elastic::{ElasticReport, TickStat};
 use xcbc_core::fleet::{FleetReport, FleetTelemetry};
 use xcbc_rpm::{RpmDb, TransactionReport};
 use xcbc_sched::{ClusterSim, JobState};
@@ -92,6 +93,25 @@ pub struct CampaignRecord {
     pub used_core_seconds: f64,
 }
 
+/// The elastic-membership stage: a fleet self-scaling between its
+/// floor and ceiling under a bursty workload, resumed across any
+/// injected `elastic.scale-up` aborts.
+#[derive(Debug)]
+pub struct ElasticRecord {
+    /// The report of the final (completing) run segment.
+    pub report: ElasticReport,
+    /// Tick stats concatenated across every segment (aborted prefixes
+    /// plus the completing run) — the full decision stream the
+    /// convergence checker replays through a fresh autoscaler.
+    pub ticks: Vec<TickStat>,
+    /// How many `elastic.scale-up` aborts were resumed from checkpoints.
+    pub resumes: usize,
+    /// Names of the jobs submitted to the elastic fleet.
+    pub submitted: Vec<String>,
+    /// `(name, state)` of every job after the run settled.
+    pub job_states: Vec<(String, JobState)>,
+}
+
 /// Everything one soaked seed produced, handed to every
 /// [`Invariant`](crate::Invariant).
 #[derive(Debug)]
@@ -117,6 +137,8 @@ pub struct SoakOutcome {
     pub resume: Option<ResumeOutcome>,
     /// The rolling-campaign stage, when the scenario ran it.
     pub campaign: Option<CampaignRecord>,
+    /// The elastic-membership stage, when the scenario ran it.
+    pub elastic: Option<ElasticRecord>,
     /// EVR strings harvested from the scenario (generated edge cases
     /// plus versions seen in deployed node databases).
     pub evr_samples: Vec<String>,

@@ -22,9 +22,16 @@ use xcbc_core::campaign::{
     run_campaign, CampaignConfig, CampaignError, CampaignMutation, CampaignTarget, CanaryAction,
 };
 use xcbc_core::deploy::{deploy_from_scratch_resilient, limulus_factory_image};
+use xcbc_core::elastic::{
+    run_elastic, BurstSite, ElasticConfig, ElasticError, ElasticMutation, ElasticState,
+    ElasticWorld,
+};
 use xcbc_core::fleet::{Fleet, FleetSite, FleetTelemetry};
 use xcbc_core::xnit::{xnit_repository, XnitSetupMethod};
-use xcbc_fault::{CampaignCheckpoint, FaultPlan, FaultWindow, InjectionPoint, InstallCheckpoint};
+use xcbc_fault::{
+    CampaignCheckpoint, ElasticCheckpoint, FaultPlan, FaultWindow, InjectionPoint,
+    InstallCheckpoint,
+};
 use xcbc_rocks::install::{InstallErrorKind, ResilienceConfig};
 use xcbc_rpm::{PackageBuilder, RpmDb, TransactionSet};
 use xcbc_sched::{
@@ -33,7 +40,7 @@ use xcbc_sched::{
 use xcbc_yum::{SolveCache, SolveRequest, YumConfig};
 
 use crate::outcome::{
-    CampaignRecord, ResumeOutcome, SchedOutcome, SoakOutcome, SolveProbe, TxRecord,
+    CampaignRecord, ElasticRecord, ResumeOutcome, SchedOutcome, SoakOutcome, SolveProbe, TxRecord,
 };
 
 /// Most sites one scenario deploys.
@@ -62,6 +69,9 @@ pub struct ScenarioLimits {
     /// Deliberate campaign-stage misbehavior for invariant self-tests
     /// (`None` in normal soaks).
     pub campaign_mutation: Option<CampaignMutation>,
+    /// Deliberate elastic-stage misbehavior for invariant self-tests
+    /// (`None` in normal soaks).
+    pub elastic_mutation: Option<ElasticMutation>,
 }
 
 impl Default for ScenarioLimits {
@@ -72,6 +82,7 @@ impl Default for ScenarioLimits {
             jobs: MAX_JOBS,
             updates: MAX_UPDATES,
             campaign_mutation: None,
+            elastic_mutation: None,
         }
     }
 }
@@ -150,6 +161,26 @@ pub struct Scenario {
     /// Deliberate campaign misbehavior (from the limits), for
     /// invariant self-tests.
     pub campaign_mutation: Option<CampaignMutation>,
+    /// Elastic stage: fleet floor (powered-on minimum).
+    pub elastic_min: usize,
+    /// Elastic stage: fleet ceiling the autoscaler may reach.
+    pub elastic_max: usize,
+    /// Elastic stage: workload ticks before the settle phase.
+    pub elastic_ticks: usize,
+    /// Elastic stage: which scheduler frontend runs the fleet
+    /// (0 = Torque, 1 = SLURM, 2 = SGE).
+    pub elastic_rm: u32,
+    /// Elastic stage: `(tick, request)` job arrivals.
+    pub elastic_workload: Vec<(usize, JobRequest)>,
+    /// Elastic stage: burst sites as `(join_tick, leave_tick, method)`.
+    pub elastic_bursts: Vec<(usize, Option<usize>, XnitSetupMethod)>,
+    /// Fault plan the elastic stage runs under (may schedule
+    /// `elastic.scale-up` aborts, which the stage resumes from
+    /// checkpoints, and `elastic.burst-join` failures).
+    pub elastic_plan: FaultPlan,
+    /// Deliberate elastic misbehavior (from the limits), for invariant
+    /// self-tests.
+    pub elastic_mutation: Option<ElasticMutation>,
 }
 
 fn salted(seed: u64, salt: u64) -> StdRng {
@@ -211,6 +242,7 @@ impl Scenario {
             jobs: limits.jobs.min(MAX_JOBS),
             updates: limits.updates.min(MAX_UPDATES),
             campaign_mutation: limits.campaign_mutation,
+            elastic_mutation: limits.elastic_mutation,
         };
 
         // Natural sizes: how big the scenario *wants* to be for this
@@ -420,6 +452,78 @@ impl Scenario {
         }
         campaign_targets.dedup();
 
+        // Elastic-membership stage: a small self-scaling fleet under a
+        // bursty workload, with burst sites joining mid-run. About half
+        // of faulted seeds schedule an `elastic.scale-up` abort (resumed
+        // from a checkpoint) and about a third fail one burst join.
+        let mut el_rng = salted(seed, 8);
+        let elastic_min = el_rng.gen_range(1usize..=2);
+        let elastic_max = elastic_min + el_rng.gen_range(2usize..=4);
+        let elastic_ticks = el_rng.gen_range(10usize..=16);
+        let elastic_rm = el_rng.gen_range(0u32..3);
+        let mut elastic_workload: Vec<(usize, JobRequest)> = Vec::new();
+        let mut job_idx = 0usize;
+        for _ in 0..el_rng.gen_range(1usize..=3) {
+            // arrivals come in bursts so queue pressure actually
+            // persists past the up-streak; jobs are no wider than the
+            // floor (satisfiable even after a full scale-down) with
+            // walltime roomy enough that a drain requeue never times
+            // the job out
+            let tick = el_rng.gen_range(0usize..(elastic_ticks * 2) / 3);
+            for _ in 0..el_rng.gen_range(3usize..=6) {
+                let nodes = el_rng.gen_range(1u32..=elastic_min as u32);
+                let ppn = el_rng.gen_range(1u32..=2);
+                // a mix of short fillers and multi-tick stragglers: the
+                // stragglers keep scaled-up nodes busy into the idle
+                // phase so scale-down drains catch live work
+                let runtime = if el_rng.gen_bool(0.3) {
+                    el_rng.gen_range(2400.0..5400.0)
+                } else {
+                    el_rng.gen_range(500.0..1600.0)
+                };
+                elastic_workload.push((
+                    tick,
+                    JobRequest::new(&format!("ejob-{job_idx}"), nodes, ppn, 40_000.0, runtime),
+                ));
+                job_idx += 1;
+            }
+        }
+        elastic_workload.sort_by_key(|(t, _)| *t);
+        let mut elastic_bursts: Vec<(usize, Option<usize>, XnitSetupMethod)> = Vec::new();
+        for _ in 0..el_rng.gen_range(0usize..=2) {
+            let join = el_rng.gen_range(1usize..=elastic_ticks / 2);
+            let leave = if el_rng.gen_bool(0.5) {
+                Some(join + el_rng.gen_range(2usize..=4))
+            } else {
+                None
+            };
+            let method = if el_rng.gen_bool(0.5) {
+                XnitSetupMethod::RepoRpm
+            } else {
+                XnitSetupMethod::ManualRepoFile
+            };
+            elastic_bursts.push((join, leave, method));
+        }
+        let mut elastic_plan = FaultPlan::new(el_rng.gen_range(0u64..=u64::MAX - 1));
+        if faults {
+            if el_rng.gen_bool(0.5) {
+                let tick = el_rng.gen_range(1usize..=6.min(elastic_ticks));
+                elastic_plan = elastic_plan.fail(
+                    InjectionPoint::ScaleUp,
+                    Some(&format!("tick-{tick}")),
+                    FaultWindow::Nth(0),
+                );
+            }
+            if !elastic_bursts.is_empty() && el_rng.gen_bool(0.35) {
+                let which = el_rng.gen_range(0usize..elastic_bursts.len());
+                elastic_plan = elastic_plan.fail(
+                    InjectionPoint::BurstJoin,
+                    Some(&format!("burst-{which}")),
+                    FaultWindow::Nth(0),
+                );
+            }
+        }
+
         Scenario {
             seed,
             faults,
@@ -440,6 +544,14 @@ impl Scenario {
             campaign_plan,
             campaign_targets,
             campaign_mutation: limits.campaign_mutation,
+            elastic_min,
+            elastic_max,
+            elastic_ticks,
+            elastic_rm,
+            elastic_workload,
+            elastic_bursts,
+            elastic_plan,
+            elastic_mutation: limits.elastic_mutation,
         }
     }
 
@@ -533,6 +645,9 @@ impl Scenario {
         // --- rolling-campaign stage over the same shared cache ---
         let campaign = self.run_campaign_stage(&cache);
 
+        // --- elastic-membership stage over the same shared cache ---
+        let elastic = self.run_elastic_stage(&cache);
+
         // --- EVR harvest: generated edge cases + deployed versions ---
         let mut evr_samples = self.evr_samples.clone();
         'harvest: for site in &report.sites {
@@ -567,7 +682,112 @@ impl Scenario {
             sched,
             resume: Some(resume),
             campaign: Some(campaign),
+            elastic: Some(elastic),
             evr_samples,
+        }
+    }
+
+    /// Run the elastic-membership stage: a fleet that self-scales
+    /// between its floor and ceiling under a bursty workload, burst
+    /// sites joining mid-run through the shared solve cache, resumed
+    /// from an [`ElasticCheckpoint`] whenever the plan's
+    /// `elastic.scale-up` fault aborts the run between ticks.
+    fn run_elastic_stage(&self, cache: &Arc<SolveCache>) -> ElasticRecord {
+        let config = ElasticConfig {
+            min_nodes: self.elastic_min,
+            max_nodes: self.elastic_max,
+            tick_s: 600.0,
+            ticks: self.elastic_ticks,
+            up_streak: 2,
+            down_streak: 3,
+            step: 2,
+            boot_s: 120.0,
+            drain_grace_s: 300.0,
+            max_settle_ticks: 200,
+            threads: 2,
+            mutation: self.elastic_mutation,
+        };
+        let mut world = ElasticWorld {
+            workload: self.elastic_workload.clone(),
+            burst_sites: Vec::new(),
+        };
+        let factory = limulus_factory_image();
+        for (i, (join, leave, method)) in self.elastic_bursts.iter().enumerate() {
+            let existing: BTreeMap<String, RpmDb> = (0..2)
+                .map(|n| (format!("burst{i}-n{n}"), factory.clone()))
+                .collect();
+            let mut site = BurstSite::new(&format!("burst-{i}"), *join, existing, *method);
+            if let Some(leave) = leave {
+                site = site.leaving_at(*leave);
+            }
+            world.burst_sites.push(site);
+        }
+
+        let mut state = ElasticState::new(&config);
+        let mut rm: Box<dyn ResourceManager> = match self.elastic_rm {
+            0 => Box::new(TorqueServer::with_maui("elastic-head", config.min_nodes, 2)),
+            1 => Box::new(Slurm::new("elastic", config.min_nodes, 2)),
+            _ => Box::new(SgeCell::new(config.min_nodes, 2)),
+        };
+
+        let mut resumes = 0usize;
+        let mut checkpoint_text: Option<String> = None;
+        let mut ticks = Vec::new();
+        let mut report = None;
+        // fault keys match by substring, so one scheduled abort (say
+        // `tick-1`) can re-fire on every later tick whose key contains
+        // it — including settle ticks (`tick-100`…). Each resume still
+        // completes at least one tick, so horizon + settle bounds the
+        // loop; the cap only guards a livelock bug
+        for _ in 0..=config.ticks + config.max_settle_ticks {
+            let resume_cp = checkpoint_text.as_deref().map(|text| {
+                ElasticCheckpoint::parse(text).expect("elastic checkpoint round-trips")
+            });
+            match run_elastic(
+                &world,
+                &mut state,
+                rm.as_mut(),
+                &self.elastic_plan,
+                cache,
+                &config,
+                resume_cp.as_ref(),
+            ) {
+                Ok(r) => {
+                    ticks.extend(r.ticks.iter().copied());
+                    report = Some(r);
+                    break;
+                }
+                Err(ElasticError::Aborted {
+                    checkpoint,
+                    ticks: segment,
+                    ..
+                }) => {
+                    resumes += 1;
+                    ticks.extend(segment);
+                    checkpoint_text = Some(checkpoint.to_text());
+                }
+                Err(e) => panic!("elastic stage cannot run: {e}"),
+            }
+        }
+        let report = report.expect("elastic run completes within `ticks` resumes");
+
+        let submitted = self
+            .elastic_workload
+            .iter()
+            .map(|(_, r)| r.name.clone())
+            .collect();
+        let job_states = rm
+            .sim()
+            .jobs()
+            .map(|j| (j.request.name.clone(), j.state))
+            .collect();
+
+        ElasticRecord {
+            report,
+            ticks,
+            resumes,
+            submitted,
+            job_states,
         }
     }
 

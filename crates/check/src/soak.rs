@@ -4,6 +4,7 @@ use crate::invariant::{Invariant, Violation};
 use crate::outcome::SoakOutcome;
 use crate::scenario::{Scenario, ScenarioLimits};
 use xcbc_core::campaign::CampaignMutation;
+use xcbc_core::elastic::ElasticMutation;
 use xcbc_sched::JobState;
 
 /// Configuration for one [`soak`] run.
@@ -52,6 +53,11 @@ pub fn repro_command(seed: u64, faults: bool, limits: &ScenarioLimits, mutate: b
     match limits.campaign_mutation {
         Some(CampaignMutation::DropJobOnDrain) => cmd.push_str(" --campaign-mutation drop-job"),
         Some(CampaignMutation::SkipSkewSolve) => cmd.push_str(" --campaign-mutation skip-skew"),
+        None => {}
+    }
+    match limits.elastic_mutation {
+        Some(ElasticMutation::DropJobOnScaleDown) => cmd.push_str(" --elastic-mutation drop-job"),
+        Some(ElasticMutation::SkipScaleUp) => cmd.push_str(" --elastic-mutation skip-scale-up"),
         None => {}
     }
     cmd
@@ -118,6 +124,13 @@ pub struct SoakReport {
     /// clean seeds (faulted soaks should see a nonzero count — it is
     /// the evidence that abort/resume paths were actually exercised).
     pub campaign_resumes: u64,
+    /// How many elastic-stage checkpoint resumes happened across the
+    /// clean seeds.
+    pub elastic_resumes: u64,
+    /// How many jobs elastic scale-down drains requeued across the
+    /// clean seeds (a nonzero count is the evidence that drains caught
+    /// running work and moved it losslessly).
+    pub elastic_requeues: u64,
 }
 
 impl SoakReport {
@@ -134,12 +147,14 @@ impl SoakReport {
             None => {
                 out.push_str(&format!(
                     "soak: {} seed(s) passed ({}..{}), faults={}, campaign-resumes={}, \
-                     all invariants held\n",
+                     elastic-resumes={}, elastic-requeues={}, all invariants held\n",
                     self.seeds_passed,
                     self.config.start_seed,
                     self.config.start_seed + self.config.seeds,
                     self.config.faults,
                     self.campaign_resumes,
+                    self.elastic_resumes,
+                    self.elastic_requeues,
                 ));
             }
             Some(fail) => {
@@ -302,10 +317,16 @@ pub fn shrink(
 pub fn soak(config: &SoakConfig, invariants: &[Box<dyn Invariant + Send + Sync>]) -> SoakReport {
     let mut seeds_passed = 0u64;
     let mut campaign_resumes = 0u64;
+    let mut elastic_resumes = 0u64;
+    let mut elastic_requeues = 0u64;
     for seed in config.start_seed..config.start_seed.saturating_add(config.seeds) {
         let outcome = Scenario::generate(seed, config.faults, &config.limits).run();
         if let Some(rec) = &outcome.campaign {
             campaign_resumes += rec.resumes as u64;
+        }
+        if let Some(rec) = &outcome.elastic {
+            elastic_resumes += rec.resumes as u64;
+            elastic_requeues += rec.report.requeued_jobs as u64;
         }
         let violations = check_outcome(&outcome, invariants);
         if violations.is_empty() {
@@ -334,6 +355,8 @@ pub fn soak(config: &SoakConfig, invariants: &[Box<dyn Invariant + Send + Sync>]
                 shrink: shrunk,
             }),
             campaign_resumes,
+            elastic_resumes,
+            elastic_requeues,
         };
     }
     SoakReport {
@@ -341,6 +364,8 @@ pub fn soak(config: &SoakConfig, invariants: &[Box<dyn Invariant + Send + Sync>]
         seeds_passed,
         failure: None,
         campaign_resumes,
+        elastic_resumes,
+        elastic_requeues,
     }
 }
 

@@ -20,6 +20,7 @@ fn default_suite_green_with_faults() {
             jobs: 10,
             updates: 2,
             campaign_mutation: None,
+            elastic_mutation: None,
         },
         mutate: false,
     };
@@ -40,6 +41,7 @@ fn run_seed_is_deterministic() {
         jobs: 6,
         updates: 1,
         campaign_mutation: None,
+        elastic_mutation: None,
     };
     let mut suite = default_invariants();
     suite.push(mutation_invariant());
@@ -58,6 +60,7 @@ fn mutation_is_caught_and_shrunk_to_a_deterministic_repro() {
         jobs: 12,
         updates: 1,
         campaign_mutation: None,
+        elastic_mutation: None,
     };
     let mut suite = default_invariants();
     suite.push(mutation_invariant());

@@ -49,9 +49,11 @@ pub use monitor::{
     ALERT_TRACE_SOURCE,
 };
 pub use node::{NodeRole, NodeSpec, PowerState};
-pub use power::{PowerManager, PowerPolicy, PowerReport};
+pub use power::{
+    PowerManager, PowerPolicy, PowerReport, PowerRun, PowerSequencer, POWER_TRACE_SOURCE,
+};
 pub use render::{render_limulus, render_littlefe_front, render_littlefe_rear};
 pub use specs::{limulus_hpc200, littlefe_modified, littlefe_v4};
-pub use telemetry::{ServiceState, TelemetryConfig, TelemetrySink};
+pub use telemetry::{ServiceState, TelemetryConfig, TelemetrySink, MEMBERSHIP_TRACE_SOURCE};
 pub use thermal::{check_node_thermals, ThermalIssue};
 pub use topology::{ClusterSpec, NetworkSpec};

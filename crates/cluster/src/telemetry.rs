@@ -24,8 +24,17 @@
 //! derives.
 
 use crate::monitor::{Alert, AlertEngine, AlertRule, ClusterMonitor, MetricKind};
+use crate::node::PowerState;
+use crate::power::POWER_TRACE_SOURCE;
 use std::collections::BTreeMap;
 use xcbc_sim::{FieldValue, SimTime, TraceEvent, TraceKind, TraceSink, BACKOFF_PREFIX};
+
+/// Trace source for fleet membership marks (`join <host>` /
+/// `drain <host>` / `leave <host>`). Emitted by the elastic membership
+/// engine; a join doubles as a heartbeat so always-on floor nodes and
+/// mid-run burst sites register without ever booting through the power
+/// sequencer.
+pub const MEMBERSHIP_TRACE_SOURCE: &str = "fleet.membership";
 
 /// Where a node stands in a rolling update campaign, as seen by the
 /// monitoring plane. Driven by `campaign`-source trace marks
@@ -115,6 +124,9 @@ pub struct TelemetrySink {
     /// Campaign service state per host; hosts never touched by a
     /// campaign stay [`ServiceState::InService`].
     service: BTreeMap<String, ServiceState>,
+    /// Power state per host, driven by `cluster.power` boot spans and
+    /// power-off marks; hosts never power-managed stay [`PowerState::On`].
+    power: BTreeMap<String, PowerState>,
 }
 
 impl TelemetrySink {
@@ -130,6 +142,7 @@ impl TelemetrySink {
             engine: AlertEngine::with_rules(rules),
             config,
             service: BTreeMap::new(),
+            power: BTreeMap::new(),
         }
     }
 
@@ -141,6 +154,17 @@ impl TelemetrySink {
     /// Hosts whose service state a campaign has touched, sorted by name.
     pub fn service_states(&self) -> impl Iterator<Item = (&str, ServiceState)> {
         self.service.iter().map(|(h, s)| (h.as_str(), *s))
+    }
+
+    /// The power state of `host` as last reported on the trace. Hosts
+    /// never touched by power management are assumed on.
+    pub fn power_state(&self, host: &str) -> PowerState {
+        self.power.get(host).copied().unwrap_or(PowerState::On)
+    }
+
+    /// Hosts whose power state the trace has touched, sorted by name.
+    pub fn power_states(&self) -> impl Iterator<Item = (&str, PowerState)> {
+        self.power.iter().map(|(h, s)| (h.as_str(), *s))
     }
 
     /// The gmetad this sink publishes into.
@@ -272,6 +296,54 @@ impl TraceSink for TelemetrySink {
                         }
                     }
                 }
+            }
+            return;
+        }
+        if event.source == MEMBERSHIP_TRACE_SOURCE {
+            if let TraceKind::Mark = event.kind {
+                if let Some((verb, host)) = event.label.split_once(' ') {
+                    match verb {
+                        // A join is the member's first heartbeat: an
+                        // idle sample registers it with the gmetad so
+                        // the absence sweep sees it, without inventing
+                        // load the node never carried.
+                        "join" => {
+                            let host = host.to_string();
+                            self.emit(&host, MetricKind::CpuPercent, event.t, 0.0);
+                            self.emit(&host, MetricKind::LoadOne, event.t, 0.0);
+                            self.power.insert(host.clone(), PowerState::On);
+                            self.service.insert(host, ServiceState::InService);
+                        }
+                        "drain" => {
+                            self.service
+                                .insert(host.to_string(), ServiceState::Draining);
+                        }
+                        "leave" => {
+                            self.power.insert(host.to_string(), PowerState::Off);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            return;
+        }
+        if event.source == POWER_TRACE_SOURCE {
+            // `boot node N` spans and `power-off node N` marks carry a
+            // numeric `node` field; aggregate `boot N nodes` spans and
+            // `nodes-on` counters carry no per-host state.
+            let Some(n) = field_u64(event, "node") else {
+                return;
+            };
+            let host = format!("{}{n}", self.config.sched_host_prefix);
+            match event.kind {
+                TraceKind::Span { dur } => {
+                    self.busy_idle(&host, event.t, event.t + dur, BOOT_CPU, INSTALL_LOAD, None);
+                    self.power.insert(host, PowerState::On);
+                }
+                TraceKind::Mark => {
+                    self.power.insert(host, PowerState::Off);
+                }
+                TraceKind::Counter { .. } => {}
             }
             return;
         }
@@ -510,6 +582,39 @@ mod tests {
         s.record(&TraceEvent::mark(50.0, "campaign", "ponder compute-0-0"));
         s.record(&TraceEvent::mark(50.0, "sched", "drain compute-0-0"));
         assert_eq!(s.service_state("compute-0-0"), ServiceState::InService);
+    }
+
+    #[test]
+    fn power_events_drive_power_state_and_boot_load() {
+        let mut s = sink();
+        assert_eq!(s.power_state("compute-0-1"), PowerState::On);
+        s.record(
+            &TraceEvent::span(100.0, POWER_TRACE_SOURCE, "boot node 1", 90.0)
+                .with_field("node", 1u64),
+        );
+        assert_eq!(s.power_state("compute-0-1"), PowerState::On);
+        // the boot span drives CPU on the booting node
+        let cpu = s
+            .monitor()
+            .with_node("compute-0-1", |n| {
+                n.ring(MetricKind::CpuPercent).iter().next()
+            })
+            .flatten()
+            .unwrap();
+        assert_eq!(cpu.value, BOOT_CPU);
+        s.record(
+            &TraceEvent::mark(500.0, POWER_TRACE_SOURCE, "power-off node 1")
+                .with_field("node", 1u64),
+        );
+        assert_eq!(s.power_state("compute-0-1"), PowerState::Off);
+        let states: Vec<_> = s.power_states().collect();
+        assert_eq!(states, vec![("compute-0-1", PowerState::Off)]);
+        // aggregate events (no `node` field) carry no per-host state
+        s.record(
+            &TraceEvent::span(600.0, POWER_TRACE_SOURCE, "boot 2 nodes", 90.0)
+                .with_field("nodes", 2u64),
+        );
+        assert_eq!(s.power_state("compute-0-0"), PowerState::On);
     }
 
     #[test]

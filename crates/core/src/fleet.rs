@@ -165,9 +165,28 @@ impl FleetReport {
         self.sites.iter().all(SiteOutcome::succeeded)
     }
 
-    /// Look up one site's outcome by name.
-    pub fn site(&self, name: &str) -> Option<&SiteOutcome> {
+    /// Look up one site's outcome by its *post-dedup* name — the name
+    /// the report actually carries after [`Fleet::add_site`]'s duplicate
+    /// renaming (`tech-u`, `tech-u-2`, ...). This is the canonical
+    /// lookup; an exact match on the renamed name is required, so the
+    /// second `tech-u` site is only addressable as `tech-u-2`.
+    pub fn find(&self, name: &str) -> Option<&SiteOutcome> {
         self.sites.iter().find(|s| s.name == name)
+    }
+
+    /// Alias for [`FleetReport::find`].
+    pub fn site(&self, name: &str) -> Option<&SiteOutcome> {
+        self.find(name)
+    }
+
+    /// Number of sites in the report.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// True when the fleet had no sites.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
     }
 
     /// One site's trace as byte-deterministic JSONL — identical at any
@@ -348,6 +367,16 @@ impl Fleet {
     /// The configured sites.
     pub fn sites(&self) -> &[FleetSite] {
         &self.sites
+    }
+
+    /// Number of configured sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// True when no sites have been added.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
     }
 
     /// The shared solve cache.
@@ -734,8 +763,11 @@ mod tests {
 
     #[test]
     fn empty_fleet_deploys_to_a_zeroed_report() {
+        assert!(Fleet::new().is_empty());
+        assert_eq!(Fleet::new().len(), 0);
         let report = Fleet::new().with_threads(8).deploy();
-        assert!(report.sites.is_empty());
+        assert!(report.is_empty());
+        assert_eq!(report.len(), 0);
         assert!(report.all_succeeded(), "vacuously true: no site failed");
         assert_eq!(report.total_site_seconds(), 0.0);
         assert_eq!(report.makespan_seconds(), 0.0);
@@ -768,13 +800,21 @@ mod tests {
             ));
         let names: Vec<_> = fleet.sites().iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names, ["tech-u", "tech-u-2", "tech-u-3"]);
+        assert_eq!(fleet.len(), 3);
+        assert!(!fleet.is_empty());
 
         // renames survive into the report, so every site stays addressable
         let report = fleet.with_threads(2).deploy();
         assert!(report.all_succeeded(), "{}", report.render());
-        assert!(report.site("tech-u").is_some());
-        assert!(report.site("tech-u-2").is_some());
+        assert_eq!(report.len(), 3);
+        assert!(!report.is_empty());
+        assert!(report.find("tech-u").is_some());
+        assert!(report.find("tech-u-2").is_some());
         assert!(report.site("tech-u-3").is_some());
+        assert!(
+            report.find("tech-u-4").is_none(),
+            "find is exact on post-dedup names"
+        );
         assert!(report.site_trace_jsonl("tech-u-2").is_some());
     }
 

@@ -21,6 +21,8 @@
 //!   over a shared solve cache, merged into one trace report.
 //! * [`campaign`] — rolling update campaigns: drain-aware, canaried,
 //!   checkpoint-resumable waves over a live fleet.
+//! * [`elastic`] — dynamic fleet membership: the power-aware autoscaler,
+//!   burst sites joining mid-run, and the membership ledger.
 //! * [`training`] — the LittleFe/XCBC curriculum module of §6.
 //! * [`report`] — renderers that regenerate the paper's tables.
 //!
@@ -40,6 +42,7 @@ pub mod community;
 pub mod compat;
 pub mod deploy;
 pub mod docs;
+pub mod elastic;
 pub mod fleet;
 pub mod mon;
 pub mod report;
@@ -61,6 +64,12 @@ pub use community::{RequestPipeline, RequestState, RequesterGroup, SoftwareReque
 pub use compat::{check_compatibility, CompatIssue, CompatReport};
 pub use deploy::{DeploymentPath, DeploymentReport};
 pub use docs::{render_kb_barebones_software, render_kb_yum_repository};
+pub use elastic::{
+    elastic_digest, run_elastic, Autoscaler, BurstSite, ElasticConfig, ElasticError,
+    ElasticMutation, ElasticReport, ElasticState, ElasticVerdict, ElasticWorld, FleetMembership,
+    MemberState, MetricSample, ScaleDecision, ScalerPolicy, TickStat, ELASTIC_TRACE_SOURCE,
+    MEMBERSHIP_TRACE_SOURCE,
+};
 pub use fleet::{Fleet, FleetError, FleetReport, FleetSite, FleetTelemetry, SiteOutcome, SitePlan};
 pub use mon::{monitor_run, sparkline, MonReport};
 pub use roll::{xsede_roll, RollRelease, XSEDE_ROLL_RELEASES};

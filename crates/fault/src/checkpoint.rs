@@ -389,6 +389,106 @@ impl CampaignCheckpoint {
     }
 }
 
+/// Durable record of an elastic fleet run's progress: how many
+/// autoscaler ticks completed before an abort.
+///
+/// The heavyweight live state (scheduler, power sequencer, node DBs) is
+/// caller-held, exactly as campaigns hold their node DBs across an
+/// abort; the checkpoint only pins where the tick loop restarts. Like
+/// the other checkpoints the format is line-oriented text, the recorder
+/// is monotone, and the `digest` line lets a resume refuse a checkpoint
+/// written by a different elastic run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ElasticCheckpoint {
+    /// Stable digest of the elastic run definition this file belongs to.
+    digest: String,
+    /// Ticks `0..ticks_completed` finished (decision + transitions).
+    ticks_completed: usize,
+}
+
+impl ElasticCheckpoint {
+    pub fn new(digest: &str) -> Self {
+        ElasticCheckpoint {
+            digest: digest.to_string(),
+            ..ElasticCheckpoint::default()
+        }
+    }
+
+    /// The run-definition digest this checkpoint belongs to.
+    pub fn digest(&self) -> &str {
+        &self.digest
+    }
+
+    /// Number of fully completed ticks (ticks `0..n` are done).
+    pub fn ticks_completed(&self) -> usize {
+        self.ticks_completed
+    }
+
+    /// Record that tick `tick_index` (0-based) completed. Monotone:
+    /// recording an earlier tick never regresses the counter.
+    pub fn mark_tick_completed(&mut self, tick_index: usize) {
+        self.ticks_completed = self.ticks_completed.max(tick_index + 1);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ticks_completed == 0
+    }
+
+    /// Serialize to the line-oriented state-file format:
+    ///
+    /// ```text
+    /// elastic 4f2a9c01d3e8b576
+    /// ticks-completed 5
+    /// ```
+    pub fn to_text(&self) -> String {
+        format!(
+            "elastic {}\nticks-completed {}\n",
+            self.digest, self.ticks_completed
+        )
+    }
+
+    /// Parse the [`to_text`](Self::to_text) format. Blank lines and `#`
+    /// comments are ignored; unknown *trailing fields* on recognized
+    /// directives are tolerated (forward compatibility), but unknown
+    /// directives fail with a typed [`CheckpointParseError`].
+    pub fn parse(text: &str) -> Result<ElasticCheckpoint, CheckpointParseError> {
+        let mut cp = ElasticCheckpoint::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |message: String| CheckpointParseError {
+                line: idx + 1,
+                message,
+            };
+            let mut words = line.splitn(3, ' ');
+            match words.next() {
+                Some("elastic") => {
+                    cp.digest = words
+                        .next()
+                        .ok_or_else(|| err("missing elastic digest".into()))?
+                        .to_string();
+                }
+                Some("ticks-completed") => {
+                    let n = words
+                        .next()
+                        .ok_or_else(|| err("missing tick count".into()))?;
+                    cp.ticks_completed = cp.ticks_completed.max(
+                        n.parse()
+                            .map_err(|_| err(format!("bad tick count `{n}`")))?,
+                    );
+                }
+                Some(other) => {
+                    return Err(err(format!("unknown directive `{other}`")));
+                }
+                None => unreachable!("splitn yields at least one item"),
+            }
+        }
+        Ok(cp)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -553,5 +653,45 @@ mod tests {
         )
         .unwrap();
         assert_eq!(cp.waves_completed(), 2);
+    }
+
+    #[test]
+    fn elastic_checkpoint_round_trip() {
+        let mut cp = ElasticCheckpoint::new("4f2a9c01d3e8b576");
+        cp.mark_tick_completed(0);
+        cp.mark_tick_completed(4);
+        let parsed = ElasticCheckpoint::parse(&cp.to_text()).unwrap();
+        assert_eq!(parsed, cp);
+        assert_eq!(parsed.digest(), "4f2a9c01d3e8b576");
+        assert_eq!(parsed.ticks_completed(), 5);
+    }
+
+    #[test]
+    fn elastic_recorder_is_monotone() {
+        let mut cp = ElasticCheckpoint::new("d");
+        cp.mark_tick_completed(3);
+        cp.mark_tick_completed(1);
+        assert_eq!(cp.ticks_completed(), 4);
+        assert!(!cp.is_empty());
+        assert!(ElasticCheckpoint::new("d").is_empty());
+    }
+
+    #[test]
+    fn elastic_parse_tolerates_unknown_trailing_fields() {
+        let cp = ElasticCheckpoint::parse(
+            "# resumed after scale-up fault\n\nelastic abc123 schema=2\nticks-completed 3 of=12\n",
+        )
+        .unwrap();
+        assert_eq!(cp.digest(), "abc123");
+        assert_eq!(cp.ticks_completed(), 3);
+    }
+
+    #[test]
+    fn elastic_parse_rejects_garbage() {
+        let err = ElasticCheckpoint::parse("scale everything").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("scale"));
+        assert!(ElasticCheckpoint::parse("ticks-completed many").is_err());
+        assert!(ElasticCheckpoint::parse("elastic").is_err());
     }
 }

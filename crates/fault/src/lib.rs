@@ -28,7 +28,9 @@ pub mod plan;
 pub mod postmortem;
 pub mod retry;
 
-pub use checkpoint::{CampaignCheckpoint, CheckpointParseError, InstallCheckpoint, NodeStage};
+pub use checkpoint::{
+    CampaignCheckpoint, CheckpointParseError, ElasticCheckpoint, InstallCheckpoint, NodeStage,
+};
 pub use plan::{
     FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultWindow, InjectionPoint,
     PlanParseError,

@@ -34,10 +34,16 @@ pub enum InjectionPoint {
     /// The canary health check after the canary wave (`xcbc-core`). A
     /// fault here fails the health check and halts/rolls back the run.
     CampaignCanary,
+    /// An elastic scale decision boundary (`xcbc-core`). A fault here
+    /// aborts the elastic engine, leaving its checkpoint.
+    ScaleUp,
+    /// A burst site joining a running fleet (`xcbc-core`). A fault here
+    /// fails the join; the fleet continues without the site.
+    BurstJoin,
 }
 
 impl InjectionPoint {
-    pub const ALL: [InjectionPoint; 8] = [
+    pub const ALL: [InjectionPoint; 10] = [
         InjectionPoint::MirrorFetch,
         InjectionPoint::DhcpDiscover,
         InjectionPoint::KickstartGenerate,
@@ -46,6 +52,8 @@ impl InjectionPoint {
         InjectionPoint::PowerLoss,
         InjectionPoint::CampaignDrain,
         InjectionPoint::CampaignCanary,
+        InjectionPoint::ScaleUp,
+        InjectionPoint::BurstJoin,
     ];
 
     /// The stable name used in plan syntax and reports.
@@ -59,6 +67,8 @@ impl InjectionPoint {
             InjectionPoint::PowerLoss => "power.loss",
             InjectionPoint::CampaignDrain => "campaign.drain",
             InjectionPoint::CampaignCanary => "campaign.canary",
+            InjectionPoint::ScaleUp => "elastic.scale-up",
+            InjectionPoint::BurstJoin => "elastic.burst-join",
         }
     }
 
@@ -77,6 +87,8 @@ impl InjectionPoint {
             InjectionPoint::PowerLoss => FaultKind::PowerLoss,
             InjectionPoint::CampaignDrain => FaultKind::PowerLoss,
             InjectionPoint::CampaignCanary => FaultKind::ScriptletError,
+            InjectionPoint::ScaleUp => FaultKind::PowerLoss,
+            InjectionPoint::BurstJoin => FaultKind::Transient,
         }
     }
 }

@@ -69,6 +69,26 @@ pub trait ResourceManager {
     fn node_idle(&self, node: usize) -> bool {
         self.sim().node_idle(node)
     }
+
+    /// Grow the cluster by one node (elastic scale-up / burst join);
+    /// returns the new node's index. The façades expose the native
+    /// spelling (`qmgr -c "create node"` / `scontrol create nodename` /
+    /// `qconf -ae`); this is the uniform entry point the elastic engine
+    /// uses.
+    fn add_node(&mut self) -> usize {
+        self.sim_mut().add_node()
+    }
+
+    /// Permanently remove an idle, drained node (elastic scale-down /
+    /// burst departure). Returns false if already retired.
+    fn retire_node(&mut self, node: usize) -> bool {
+        self.sim_mut().retire_node(node)
+    }
+
+    /// Eligible queued jobs — the autoscaler's demand signal.
+    fn queue_depth(&self) -> usize {
+        self.sim().queue_depth()
+    }
 }
 
 /// Parse the numeric part out of an RM job id like `"42.littlefe"` or

@@ -69,6 +69,21 @@ impl SgeCell {
         self.sim.set_online(node)
     }
 
+    /// `qconf -ae <node>`: add an execution host to the cell. Returns
+    /// the new node's index; slot-shape math sees the new capacity.
+    pub fn qconf_add_exec(&mut self) -> usize {
+        let node = self.sim.add_node();
+        self.nodes += 1;
+        node
+    }
+
+    /// `qconf -de <node>`: permanently remove a drained execution host.
+    /// The husk keeps its index, so the cell's slot ceiling is not
+    /// shrunk retroactively for queued requests.
+    pub fn qconf_delete_exec(&mut self, node: usize) -> bool {
+        self.sim.retire_node(node)
+    }
+
     /// `qstat` (SGE flavor).
     pub fn qstat(&self) -> String {
         let mut out = String::from("job-ID  name      state\n");
@@ -123,6 +138,11 @@ impl ResourceManager for SgeCell {
 
     fn sim_mut(&mut self) -> &mut ClusterSim {
         &mut self.sim
+    }
+
+    fn add_node(&mut self) -> usize {
+        // keep the slot-shape node count in step with the simulator
+        self.qconf_add_exec()
     }
 }
 
@@ -179,6 +199,20 @@ mod tests {
         assert!(cell.offline_node(1));
         assert!(cell.node_idle(1));
         assert!(cell.online_node(1));
+    }
+
+    #[test]
+    fn qconf_grows_and_shrinks_the_cell() {
+        let mut cell = SgeCell::new(1, 2);
+        assert_eq!(cell.shape_for_slots(4), None);
+        assert_eq!(cell.qconf_add_exec(), 1);
+        assert_eq!(cell.shape_for_slots(4), Some((2, 2)));
+        // the trait entry point keeps slot math in step too
+        assert_eq!(ResourceManager::add_node(&mut cell), 2);
+        assert_eq!(cell.shape_for_slots(6), Some((3, 2)));
+        assert!(cell.qmod_disable(2));
+        assert!(cell.qconf_delete_exec(2));
+        assert!(!cell.qmod_enable(2), "deleted host stays out");
     }
 
     #[test]

@@ -90,6 +90,10 @@ pub struct ClusterSim {
     held: std::collections::HashSet<JobId>,
     /// Offline (drained) node indices: no new placements land there.
     offline: BTreeSet<usize>,
+    /// Retired node indices: permanently out of service (scale-down /
+    /// burst-site departure). Always a subset of `offline`; a retired
+    /// node cannot be brought back with [`ClusterSim::set_online`].
+    retired: BTreeSet<usize>,
     /// Per-job restart counter; see [`EventKind::End`].
     incarnations: HashMap<JobId, u32>,
 }
@@ -113,6 +117,7 @@ impl ClusterSim {
             reservations: Vec::new(),
             held: std::collections::HashSet::new(),
             offline: BTreeSet::new(),
+            retired: BTreeSet::new(),
             incarnations: HashMap::new(),
         }
     }
@@ -289,6 +294,35 @@ impl ClusterSim {
         false
     }
 
+    /// Kill a job in any unfinished state (`qdel`/`scancel` of a running
+    /// job): a queued job is cancelled in place; a running job is
+    /// evicted, its cores freed, and its scheduled end fenced off via an
+    /// incarnation bump. Returns false for finished or unknown jobs.
+    pub fn kill(&mut self, id: JobId) -> bool {
+        if self.cancel(id) {
+            return true;
+        }
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return false;
+        };
+        if !matches!(job.state, JobState::Running { .. }) {
+            return false;
+        }
+        job.state = JobState::Cancelled;
+        let placement = std::mem::take(&mut job.placement);
+        let ppn = job.request.ppn;
+        let name = job.request.name.clone();
+        *self.incarnations.entry(id).or_insert(0) += 1;
+        for n in placement {
+            self.free[n] += ppn;
+        }
+        let now = self.clock.now();
+        self.bus
+            .emit(TraceEvent::mark(now, TRACE_SOURCE, format!("kill {name}")));
+        self.try_start_jobs();
+        true
+    }
+
     pub fn job(&self, id: JobId) -> Option<&Job> {
         self.jobs.get(&id)
     }
@@ -336,9 +370,13 @@ impl ClusterSim {
     }
 
     /// Return a node to service; queued jobs are re-evaluated
-    /// immediately. Returns false if it was not offline.
+    /// immediately. Returns false if it was not offline or has been
+    /// retired.
     pub fn set_online(&mut self, node: usize) -> bool {
         assert!(node < self.free.len(), "node out of range");
+        if self.retired.contains(&node) {
+            return false;
+        }
         if !self.offline.remove(&node) {
             return false;
         }
@@ -359,6 +397,73 @@ impl ClusterSim {
     /// Offline node indices, ascending.
     pub fn offline_nodes(&self) -> Vec<usize> {
         self.offline.iter().copied().collect()
+    }
+
+    // ----- dynamic membership (elastic scaling) -----
+
+    /// Grow the cluster by one node (elastic scale-up / burst join).
+    /// The node arrives online with all cores free; queued jobs are
+    /// re-evaluated immediately. Returns the new node's index.
+    pub fn add_node(&mut self) -> usize {
+        let node = self.free.len();
+        self.free.push(self.cores_per_node);
+        let now = self.clock.now();
+        self.bus.emit(TraceEvent::mark(
+            now,
+            TRACE_SOURCE,
+            format!("add node {node}"),
+        ));
+        self.try_start_jobs();
+        node
+    }
+
+    /// Permanently remove an idle node from service (elastic
+    /// scale-down / burst departure). The caller drains the node first
+    /// ([`ClusterSim::set_offline`] + [`ClusterSim::requeue_jobs_on`]);
+    /// retiring a node with running jobs panics. A retired node takes
+    /// no placements and refuses [`ClusterSim::set_online`]. Returns
+    /// false if the node was already retired.
+    pub fn retire_node(&mut self, node: usize) -> bool {
+        assert!(node < self.free.len(), "node out of range");
+        assert!(
+            self.node_idle(node),
+            "retire requires an idle node: drain and requeue first"
+        );
+        if !self.retired.insert(node) {
+            return false;
+        }
+        self.offline.insert(node);
+        let now = self.clock.now();
+        self.bus.emit(TraceEvent::mark(
+            now,
+            TRACE_SOURCE,
+            format!("retire node {node}"),
+        ));
+        true
+    }
+
+    /// Has the node been permanently retired?
+    pub fn is_retired(&self, node: usize) -> bool {
+        self.retired.contains(&node)
+    }
+
+    /// Retired node indices, ascending.
+    pub fn retired_nodes(&self) -> Vec<usize> {
+        self.retired.iter().copied().collect()
+    }
+
+    /// Nodes currently in service (neither offline nor retired).
+    pub fn active_node_count(&self) -> usize {
+        self.free.len() - self.offline.len()
+    }
+
+    /// Jobs sitting in the queue and eligible to run (not held) — the
+    /// autoscaler's demand signal.
+    pub fn queue_depth(&self) -> usize {
+        self.queue
+            .iter()
+            .filter(|id| !self.held.contains(id))
+            .count()
     }
 
     /// Ids of jobs currently running on `node`, ascending.
@@ -1027,6 +1132,100 @@ mod tests {
         assert!(
             matches!(sim.job(j).unwrap().state, JobState::Completed { start_s, end_s } if start_s == 20.0 && end_s == 50.0)
         );
+    }
+
+    #[test]
+    fn add_node_grows_capacity_and_starts_queue() {
+        let mut sim = ClusterSim::new(1, 2, SchedPolicy::Fifo);
+        sim.submit_at(0.0, req("running", 1, 2, 100.0, 100.0));
+        let waiting = sim.submit_at(1.0, req("waiting", 1, 2, 50.0, 50.0));
+        sim.run_until(5.0);
+        assert_eq!(sim.queue_depth(), 1);
+        assert_eq!(sim.add_node(), 1);
+        assert_eq!(sim.node_count(), 2);
+        assert_eq!(sim.active_node_count(), 2);
+        assert_eq!(sim.queue_depth(), 0, "queued job starts on the new node");
+        sim.run_to_completion();
+        assert_eq!(sim.job(waiting).unwrap().placement, vec![1]);
+        assert!(sim.trace_events().iter().any(|e| e.label == "add node 1"));
+    }
+
+    #[test]
+    fn retired_node_refuses_service_and_online() {
+        let mut sim = ClusterSim::new(2, 2, SchedPolicy::Fifo);
+        sim.set_offline(1);
+        assert!(sim.retire_node(1));
+        assert!(!sim.retire_node(1), "double retire is a no-op");
+        assert!(sim.is_retired(1));
+        assert_eq!(sim.retired_nodes(), vec![1]);
+        assert_eq!(sim.active_node_count(), 1);
+        assert!(!sim.set_online(1), "retired nodes stay out of service");
+        let j = sim.submit_at(0.0, req("steered", 1, 2, 10.0, 5.0));
+        sim.run_to_completion();
+        assert_eq!(sim.job(j).unwrap().placement, vec![0]);
+        assert!(sim
+            .trace_events()
+            .iter()
+            .any(|e| e.label == "retire node 1"));
+    }
+
+    #[test]
+    fn retire_without_prior_offline_still_blocks_placement() {
+        let mut sim = ClusterSim::new(2, 2, SchedPolicy::Fifo);
+        assert!(sim.retire_node(0));
+        assert!(sim.is_offline(0), "retire implies offline");
+        let j = sim.submit_at(0.0, req("j", 1, 1, 10.0, 5.0));
+        sim.run_to_completion();
+        assert_eq!(sim.job(j).unwrap().placement, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle")]
+    fn retire_busy_node_panics() {
+        let mut sim = ClusterSim::new(1, 2, SchedPolicy::Fifo);
+        sim.submit_at(0.0, req("busy", 1, 2, 100.0, 100.0));
+        sim.run_until(5.0);
+        sim.retire_node(0);
+    }
+
+    #[test]
+    fn queue_depth_ignores_held_jobs() {
+        let mut sim = ClusterSim::new(1, 1, SchedPolicy::Fifo);
+        sim.submit_at(0.0, req("running", 1, 1, 100.0, 100.0));
+        let held = sim.submit_at(1.0, req("held", 1, 1, 10.0, 5.0));
+        sim.submit_at(2.0, req("queued", 1, 1, 10.0, 5.0));
+        sim.run_until(3.0);
+        assert_eq!(sim.queue_depth(), 2);
+        sim.hold(held);
+        assert_eq!(sim.queue_depth(), 1);
+    }
+
+    #[test]
+    fn kill_evicts_a_running_job_and_frees_its_cores() {
+        let mut sim = ClusterSim::new(1, 2, SchedPolicy::Fifo);
+        let victim = sim.submit_at(0.0, req("victim", 1, 2, 1000.0, 900.0));
+        let next = sim.submit_at(0.0, req("next", 1, 2, 10.0, 5.0));
+        sim.run_until(1.0);
+        assert!(matches!(
+            sim.job(victim).unwrap().state,
+            JobState::Running { .. }
+        ));
+        assert!(sim.kill(victim), "running job must be killable");
+        assert!(!sim.kill(victim), "already dead");
+        assert_eq!(sim.job(victim).unwrap().state, JobState::Cancelled);
+        // the freed cores go straight to the next queued job, and the
+        // victim's stale end event never resurrects it
+        sim.run_to_completion();
+        assert!(matches!(
+            sim.job(next).unwrap().state,
+            JobState::Completed { .. }
+        ));
+        assert_eq!(sim.job(victim).unwrap().state, JobState::Cancelled);
+        let served = sim
+            .jobs()
+            .filter(|j| matches!(j.state, JobState::Completed { .. }))
+            .count();
+        assert_eq!(served, 1);
     }
 
     #[test]

@@ -88,6 +88,18 @@ impl TorqueServer {
         self.sim.set_online(node)
     }
 
+    /// `qmgr -c "create node compute-0-N"`: add a node to the server's
+    /// node list (elastic scale-up). Returns the new node's index.
+    pub fn qmgr_create_node(&mut self) -> usize {
+        self.sim.add_node()
+    }
+
+    /// `qmgr -c "delete node compute-0-N"`: permanently remove a
+    /// drained node.
+    pub fn qmgr_delete_node(&mut self, node: usize) -> bool {
+        self.sim.retire_node(node)
+    }
+
     /// `qdel <id>`.
     pub fn qdel(&mut self, id: &str) -> bool {
         parse_numeric_id(id)
@@ -225,6 +237,17 @@ mod tests {
         assert_eq!(t.sim().running_on(1), vec![]);
         assert!(t.pbsnodes_clear(1));
         assert_eq!(t.pbsnodes().matches("state = free").count(), 2);
+    }
+
+    #[test]
+    fn qmgr_node_lifecycle() {
+        let mut t = TorqueServer::with_maui("littlefe", 1, 2);
+        assert_eq!(t.qmgr_create_node(), 1);
+        assert_eq!(t.pbsnodes().matches("state = free").count(), 2);
+        assert!(t.pbsnodes_offline(1));
+        assert!(t.qmgr_delete_node(1));
+        assert!(!t.pbsnodes_clear(1), "deleted node stays offline");
+        assert_eq!(t.queue_depth(), 0);
     }
 
     #[test]

@@ -17,12 +17,18 @@
 //! xcbc mon <scenario>      gmond/gmetad telemetry dashboard over the same
 //!       [--faults "<plan>"]  deployment day: sparkline rings, alerts,
 //!       [--prom|--xml|--jsonl]  span-latency table — or machine exposition
+//!                            (scenario: littlefe | elastic)
 //! xcbc soak --seeds N      chaos-soak: run N seeded random scenarios through
 //!       [--seed S]           the whole stack and check every cross-crate
 //!       [--faults]           invariant; violations shrink to a minimal seed
 //!       [--no-shrink]        with an exact repro command. --sites/--fault-specs/
 //!       [--mutate]           --jobs/--updates bound (and replay) scenario size;
 //!                            --mutate breaks an invariant on purpose (self-test)
+//! xcbc elastic             elastic fleet demo: the power-aware autoscaler
+//!       [--min N] [--max N]  grows a bursty fleet from its floor to its
+//!       [--ticks N]          ceiling and back, burst sites join mid-run
+//!       [--faults "<plan>"]  through the shared solve cache; scale-up
+//!       [--resume] [--jsonl] aborts resume from a printed checkpoint
 //! ```
 
 use std::collections::BTreeMap;
@@ -115,9 +121,10 @@ fn main() -> ExitCode {
         }
         "soak" => soak_cmd(&args),
         "campaign" => campaign_cmd(&args),
+        "elastic" => elastic_cmd(&args),
         "help" | "--help" | "-h" => {
             eprintln!(
-                "usage: xcbc <tables|deploy [littlefe|limulus|both] [--faults \"<plan>\"]|lab [name]|linpack [n]|fleet [--threads N] [--jsonl] [--table]|compat|trace [littlefe] [--faults \"<plan>\"] [--jsonl]|mon [littlefe] [--faults \"<plan>\"] [--prom|--xml|--jsonl]|soak [--seeds N] [--seed S] [--faults] [--no-shrink] [--mutate] [--sites N] [--fault-specs N] [--jobs N] [--updates N] [--campaign-mutation drop-job|skip-skew]|campaign [--nodes N] [--canary N] [--waves N] [--threads N] [--rollback] [--resume] [--faults \"<plan>\"] [--jsonl]>"
+                "usage: xcbc <tables|deploy [littlefe|limulus|both] [--faults \"<plan>\"]|lab [name]|linpack [n]|fleet [--threads N] [--jsonl] [--table]|compat|trace [littlefe] [--faults \"<plan>\"] [--jsonl]|mon [littlefe|elastic] [--faults \"<plan>\"] [--prom|--xml|--jsonl]|soak [--seeds N] [--seed S] [--faults] [--no-shrink] [--mutate] [--sites N] [--fault-specs N] [--jobs N] [--updates N] [--campaign-mutation drop-job|skip-skew] [--elastic-mutation drop-job|skip-scale-up]|campaign [--nodes N] [--canary N] [--waves N] [--threads N] [--rollback] [--resume] [--faults \"<plan>\"] [--jsonl]|elastic [--min N] [--max N] [--ticks N] [--faults \"<plan>\"] [--resume] [--jsonl]>"
             );
             ExitCode::SUCCESS
         }
@@ -376,8 +383,11 @@ enum MonFormat {
 /// samples derived from the trace, gmetad aggregation, RRD rings,
 /// threshold/heartbeat alerts — and render the result.
 fn mon(scenario: &str, faults: Option<&str>, format: MonFormat) -> ExitCode {
+    if scenario == "elastic" {
+        return mon_elastic(faults, format);
+    }
     if scenario != "littlefe" {
-        eprintln!("xcbc mon: unknown scenario {scenario:?} (try `littlefe`)");
+        eprintln!("xcbc mon: unknown scenario {scenario:?} (try `littlefe` or `elastic`)");
         return ExitCode::FAILURE;
     }
     let plan = match parse_plan("mon", faults) {
@@ -408,6 +418,7 @@ fn mon(scenario: &str, faults: Option<&str>, format: MonFormat) -> ExitCode {
 fn soak_cmd(args: &[String]) -> ExitCode {
     use xcbc::check::{default_invariants, mutation_invariant, soak, ScenarioLimits, SoakConfig};
     use xcbc::core::campaign::CampaignMutation;
+    use xcbc::core::elastic::ElasticMutation;
 
     fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
         args.iter()
@@ -434,6 +445,18 @@ fn soak_cmd(args: &[String]) -> ExitCode {
                     eprintln!(
                         "xcbc soak: unknown --campaign-mutation {other} \
                          (expected drop-job or skip-skew)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                None => None,
+            },
+            elastic_mutation: match flag_value::<String>(args, "--elastic-mutation").as_deref() {
+                Some("drop-job") => Some(ElasticMutation::DropJobOnScaleDown),
+                Some("skip-scale-up") => Some(ElasticMutation::SkipScaleUp),
+                Some(other) => {
+                    eprintln!(
+                        "xcbc soak: unknown --elastic-mutation {other} \
+                         (expected drop-job or skip-scale-up)"
                     );
                     return ExitCode::FAILURE;
                 }
@@ -595,6 +618,224 @@ fn campaign_cmd(args: &[String]) -> ExitCode {
     }
     eprintln!("xcbc campaign: gave up after repeated aborts");
     ExitCode::FAILURE
+}
+
+/// The demo fleet `xcbc elastic` (and `xcbc mon elastic`) runs: an
+/// opening burst of single-node jobs drives the autoscaler from the
+/// floor to the ceiling, a mid-run surge keeps the fleet busy while two
+/// cloud sites join through the shared solve cache (one leaves again),
+/// and the lull afterwards lets the fleet shrink back to the floor.
+fn elastic_demo_world(
+    config: &xcbc::core::elastic::ElasticConfig,
+) -> xcbc::core::elastic::ElasticWorld {
+    use xcbc::core::elastic::{BurstSite, ElasticWorld};
+    use xcbc::sched::JobRequest;
+
+    let mut world = ElasticWorld::default();
+    for i in 0..12 {
+        world.workload.push((
+            0,
+            JobRequest::new(&format!("burst-a-{i}"), 1, 2, 40_000.0, 2600.0),
+        ));
+    }
+    let surge = config.ticks / 2;
+    for i in 0..5 {
+        world.workload.push((
+            surge,
+            JobRequest::new(&format!("burst-b-{i}"), 1, 2, 40_000.0, 1400.0),
+        ));
+    }
+    for (name, join, leave) in [("cloud-a", 2usize, Some(surge + 4)), ("cloud-b", 4, None)] {
+        let existing: BTreeMap<_, _> = (0..2)
+            .map(|n| (format!("{name}-n{n}"), limulus_factory_image()))
+            .collect();
+        let mut site = BurstSite::new(name, join, existing, XnitSetupMethod::RepoRpm);
+        if let Some(leave) = leave {
+            site = site.leaving_at(leave);
+        }
+        world.burst_sites.push(site);
+    }
+    world
+}
+
+/// Drive the shared elastic demo fleet to completion, resuming from the
+/// checkpoint after each fault-injected abort when `auto_resume` is
+/// set. Returns the final report, the stitched cross-segment trace, the
+/// drained scheduler frontend, and the shared solve cache (the latter
+/// two feed `xcbc mon elastic`).
+#[allow(clippy::type_complexity)]
+fn run_elastic_demo(
+    config: &xcbc::core::elastic::ElasticConfig,
+    plan: &FaultPlan,
+    auto_resume: bool,
+    announce: bool,
+) -> Result<
+    (
+        xcbc::core::elastic::ElasticReport,
+        Vec<xcbc::sim::TraceEvent>,
+        xcbc::sched::TorqueServer,
+        std::sync::Arc<xcbc::yum::SolveCache>,
+    ),
+    ExitCode,
+> {
+    use xcbc::core::elastic::{run_elastic, ElasticError, ElasticState};
+    use xcbc::fault::ElasticCheckpoint;
+    use xcbc::sched::TorqueServer;
+    use xcbc::yum::SolveCache;
+
+    let world = elastic_demo_world(config);
+    let mut state = ElasticState::new(config);
+    let mut rm = TorqueServer::with_maui("elastic-head", config.min_nodes, 2);
+    let cache = std::sync::Arc::new(SolveCache::new());
+    let mut checkpoint_text: Option<String> = None;
+    let mut stitched: Vec<xcbc::sim::TraceEvent> = Vec::new();
+    // each resume completes at least one tick, so `ticks` bounds the loop
+    for _ in 0..=config.ticks {
+        let resume_cp = match &checkpoint_text {
+            Some(text) => match ElasticCheckpoint::parse(text) {
+                Ok(cp) => Some(cp),
+                Err(e) => {
+                    eprintln!("xcbc elastic: bad checkpoint: {e}");
+                    return Err(ExitCode::FAILURE);
+                }
+            },
+            None => None,
+        };
+        match run_elastic(
+            &world,
+            &mut state,
+            &mut rm,
+            plan,
+            &cache,
+            config,
+            resume_cp.as_ref(),
+        ) {
+            Ok(report) => {
+                stitched.extend(report.trace.iter().cloned());
+                return Ok((report, stitched, rm, cache));
+            }
+            Err(ElasticError::Aborted {
+                tick,
+                checkpoint,
+                trace,
+                ..
+            }) => {
+                stitched.extend(trace);
+                if !auto_resume {
+                    eprintln!("elastic run aborted before tick {tick}; checkpoint:");
+                    eprint!("{}", checkpoint.to_text());
+                    eprintln!("(re-run with --resume to continue from it)");
+                    return Err(ExitCode::FAILURE);
+                }
+                if announce {
+                    println!(
+                        "power lost before tick {tick} [{} tick(s) completed]; resuming from checkpoint",
+                        checkpoint.ticks_completed()
+                    );
+                }
+                checkpoint_text = Some(checkpoint.to_text());
+            }
+            Err(e) => {
+                eprintln!("xcbc elastic: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    }
+    eprintln!("xcbc elastic: gave up after repeated aborts");
+    Err(ExitCode::FAILURE)
+}
+
+/// `xcbc elastic`: the dynamic-membership demo — a power-aware
+/// autoscaler grows a bursty fleet from its floor to its ceiling and
+/// back, with cloud-burst sites joining mid-run through the shared
+/// solve cache. A scheduled `elastic.scale-up` fault aborts with the
+/// checkpoint printed; with `--resume` the run continues from it and
+/// the stitched trace matches an uninterrupted run byte for byte.
+fn elastic_cmd(args: &[String]) -> ExitCode {
+    use xcbc::core::elastic::ElasticConfig;
+
+    fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+    }
+
+    let faults = args
+        .iter()
+        .position(|a| a == "--faults")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    let plan = match parse_plan("elastic", faults) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let mut config = ElasticConfig::default();
+    if let Some(n) = flag_value(args, "--min") {
+        config.min_nodes = n;
+    }
+    if let Some(n) = flag_value(args, "--max") {
+        config.max_nodes = n;
+    }
+    if let Some(n) = flag_value(args, "--ticks") {
+        config.ticks = n;
+    }
+    let auto_resume = args.iter().any(|a| a == "--resume");
+    let jsonl = args.iter().any(|a| a == "--jsonl");
+
+    match run_elastic_demo(&config, &plan, auto_resume, !jsonl) {
+        Ok((report, stitched, _, _)) => {
+            if jsonl {
+                print!("{}", events_to_jsonl(&stitched));
+            } else {
+                if report.resumed_from_tick > 0 {
+                    println!("resumed from tick {}", report.resumed_from_tick);
+                }
+                print!("{}", report.render());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(code) => code,
+    }
+}
+
+/// `xcbc mon elastic`: replay the elastic demo fleet through the same
+/// gmond/gmetad telemetry pipeline as the deployment day — the power
+/// sequencer's boot spans and power-off marks ride the trace, so scale
+/// events show up on the dashboard next to the autoscaler's queue-depth
+/// counters.
+fn mon_elastic(faults: Option<&str>, format: MonFormat) -> ExitCode {
+    use xcbc::core::elastic::{node_name, ElasticConfig};
+    use xcbc::core::scenario::DayOneRun;
+    use xcbc::sched::{ResourceManager, SimMetrics};
+
+    let plan = match parse_plan("mon", faults) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let config = ElasticConfig::default();
+    let (_, events, rm, cache) = match run_elastic_demo(&config, &plan, true, false) {
+        Ok(demo) => demo,
+        Err(code) => return code,
+    };
+    let run = DayOneRun {
+        scenario: "elastic".into(),
+        seed: plan.seed,
+        frontend: "elastic-head".into(),
+        hosts: (0..config.max_nodes).map(node_name).collect(),
+        events,
+        quarantined: Vec::new(),
+        solve_cache: cache,
+        sched_metrics: SimMetrics::from_sim(rm.sim()),
+    };
+    let report = monitor_run(&run, default_alert_rules());
+    match format {
+        MonFormat::Dashboard => print!("{}", report.dashboard()),
+        MonFormat::Prometheus => print!("{}", report.prometheus()),
+        MonFormat::GangliaXml => print!("{}", report.ganglia_xml()),
+        MonFormat::Jsonl => print!("{}", report.jsonl()),
+    }
+    ExitCode::SUCCESS
 }
 
 fn compat() -> ExitCode {

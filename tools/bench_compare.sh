@@ -1,0 +1,117 @@
+#!/usr/bin/env sh
+# Re-run the criterion benches, snapshot per-iteration times to a flat
+# name -> nanoseconds JSON (same shape as BENCH_baseline.json), and
+# fail if any bench regressed more than the allowed percentage against
+# the baseline.
+#
+#   tools/bench_compare.sh [baseline.json] [snapshot-out.json]
+#
+# MAX_REGRESS_PCT (default 15) sets the failure threshold. Because the
+# baseline was recorded on whatever machine state a past PR ran under,
+# raw nanoseconds are not comparable across runs — the gate first
+# computes the median new/baseline ratio over ALL benches as the
+# machine-speed factor, then flags benches that regressed more than
+# the threshold beyond that factor. A uniform slowdown (slower runner,
+# thermal throttling) cancels out; a genuine regression in a few
+# benches stands out against the fleet median. A small absolute slack
+# (1µs) is added so nanosecond-scale benches don't trip on scheduler
+# noise alone. Benches present in the baseline but missing from the
+# run fail the gate (a deleted bench must be deleted from the baseline
+# deliberately); new benches are recorded without being compared.
+set -eu
+
+baseline="${1:-BENCH_baseline.json}"
+out="${2:-BENCH_pr7.json}"
+max_pct="${MAX_REGRESS_PCT:-15}"
+runs="${BENCH_RUNS:-3}"
+slack_ns=1000
+
+[ -f "$baseline" ] || { echo "bench_compare: no baseline at $baseline" >&2; exit 2; }
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# The criterion shim does a handful of unwarmed iterations, so a single
+# run is noisy; take the best of several runs per bench.
+: >"$tmpdir/all.tsv"
+for i in $(seq 1 "$runs"); do
+    echo "bench_compare: cargo bench -p xcbc-bench (run $i/$runs) ..." >&2
+    cargo bench -q -p xcbc-bench >"$tmpdir/bench.out" 2>"$tmpdir/bench.err" || {
+        cat "$tmpdir/bench.err" >&2
+        echo "bench_compare: cargo bench failed" >&2
+        exit 2
+    }
+    [ "$i" = 1 ] && cat "$tmpdir/bench.out"
+
+    # Shim output lines look like:
+    #   solver/install_closure/400                       3.84ms/iter over 30 iters
+    # Convert the duration token to integer nanoseconds.
+    awk '/\/iter over [0-9]+ iters$/ {
+        tok = $2
+        sub(/\/iter$/, "", tok)
+        value = tok; sub(/[^0-9.].*$/, "", value)
+        unit = tok; sub(/^[0-9.]+/, "", unit)
+        ns = value + 0
+        if (unit == "s")       ns *= 1000000000
+        else if (unit == "ms") ns *= 1000000
+        else if (unit == "\xc2\xb5s" || unit == "us") ns *= 1000
+        printf "%s\t%.0f\n", $1, ns
+    }' "$tmpdir/bench.out" >>"$tmpdir/all.tsv"
+done
+
+awk -F'\t' '!($1 in best) || $2 < best[$1] { best[$1] = $2 }
+    END { for (name in best) printf "%s\t%s\n", name, best[name] }' \
+    "$tmpdir/all.tsv" | sort >"$tmpdir/new.tsv"
+
+[ -s "$tmpdir/new.tsv" ] || { echo "bench_compare: parsed no bench results" >&2; exit 2; }
+
+awk -F'\t' 'BEGIN { print "{" }
+    { line[NR] = sprintf("  \"%s\": %s", $1, $2) }
+    END {
+        for (i = 1; i <= NR; i++) printf "%s%s\n", line[i], (i < NR ? "," : "")
+        print "}"
+    }' "$tmpdir/new.tsv" >"$out"
+echo "bench_compare: wrote $(wc -l <"$tmpdir/new.tsv") results to $out" >&2
+
+# Flatten the baseline JSON ("name": ns pairs) to the same TSV shape.
+awk 'match($0, /"[^"]+"[ ]*:[ ]*[0-9]+/) {
+    pair = substr($0, RSTART, RLENGTH)
+    name = pair; sub(/^"/, "", name); sub(/".*$/, "", name)
+    ns = pair; sub(/^.*:[ ]*/, "", ns)
+    printf "%s\t%s\n", name, ns
+}' "$baseline" | sort >"$tmpdir/base.tsv"
+
+join -t "$(printf '\t')" "$tmpdir/base.tsv" "$tmpdir/new.tsv" >"$tmpdir/joined.tsv"
+
+missing=$(join -t "$(printf '\t')" -v 1 "$tmpdir/base.tsv" "$tmpdir/new.tsv" | cut -f1)
+if [ -n "$missing" ]; then
+    echo "bench_compare: benches in $baseline but not in this run:" >&2
+    echo "$missing" | sed 's/^/  /' >&2
+    exit 1
+fi
+
+# Machine-speed factor: the median new/base ratio across every bench.
+factor=$(awk -F'\t' '{ print $3 / $2 }' "$tmpdir/joined.tsv" \
+    | sort -n | awk '{ r[NR] = $1 } END { print r[int((NR + 1) / 2)] }')
+
+awk -F'\t' -v pct="$max_pct" -v slack="$slack_ns" -v factor="$factor" '
+    BEGIN {
+        printf "bench_compare: machine-speed factor %.3f (median new/base ratio)\n", factor
+    }
+    {
+        allowed = $2 * factor * (100 + pct) / 100 + slack
+        delta = ($3 / factor - $2) * 100.0 / $2
+        if ($3 > allowed) {
+            printf "REGRESSED  %-48s %12d -> %12d ns (%+.1f%% vs fleet)\n", $1, $2, $3, delta
+            bad++
+        } else {
+            printf "ok         %-48s %12d -> %12d ns (%+.1f%% vs fleet)\n", $1, $2, $3, delta
+        }
+    }
+    END {
+        if (bad > 0) {
+            printf "bench_compare: %d bench(es) regressed more than %s%% beyond the fleet median\n", bad, pct
+            exit 1
+        }
+        printf "bench_compare: all %d benches within %s%% of the speed-adjusted baseline\n", NR, pct
+    }' "$tmpdir/joined.tsv"
