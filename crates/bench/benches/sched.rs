@@ -2,7 +2,7 @@
 //! LittleFe-class machine under the teaching-lab workload.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use xcbc_sched::{ClusterSim, SchedPolicy, WorkloadGenerator, WorkloadProfile};
+use xcbc_sched::{ClusterSim, SchedPolicy, WorkloadSpec};
 
 fn run_policy(policy: SchedPolicy, jobs: &[(f64, xcbc_sched::JobRequest)]) -> f64 {
     let mut sim = ClusterSim::new(6, 2, policy);
@@ -15,8 +15,7 @@ fn run_policy(policy: SchedPolicy, jobs: &[(f64, xcbc_sched::JobRequest)]) -> f6
 }
 
 fn bench_sched(c: &mut Criterion) {
-    let mut gen = WorkloadGenerator::new(WorkloadProfile::teaching_lab(), 6, 2, 42);
-    let jobs = gen.generate(200);
+    let jobs = WorkloadSpec::teaching_lab().generate(42, 6, 2, 200);
 
     let mut group = c.benchmark_group("sched/200_jobs_littlefe");
     for (label, policy) in [

@@ -1,0 +1,34 @@
+//! Open-loop workload engine at scale: one iteration pushes a million
+//! simulator events (500k generated jobs, one Submit + one End each)
+//! through EASY backfill on an 8×4 machine, tracing off — the
+//! configuration `xcbc exp` sweeps run in. Guards the event-loop hot
+//! path (backfill shadow time, policy ordering) against quadratic
+//! regressions: the run must stay in the seconds range at 10^6 events.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xcbc_sched::{ClusterSim, SchedPolicy, SimMetrics, WorkloadSpec};
+
+const JOBS: usize = 500_000;
+
+fn bench_workload(c: &mut Criterion) {
+    let jobs = WorkloadSpec::teaching_lab().generate(0, 8, 4, JOBS);
+
+    let mut group = c.benchmark_group("workload");
+    group.bench_function("million_events_easy_8x4", |b| {
+        b.iter(|| {
+            let mut sim = ClusterSim::new(8, 4, SchedPolicy::EasyBackfill);
+            sim.set_tracing(false);
+            for (t, req) in &jobs {
+                sim.run_until(*t);
+                sim.submit_at(*t, req.clone());
+            }
+            sim.run_to_completion();
+            assert_eq!(sim.events_processed(), 2 * JOBS as u64);
+            SimMetrics::from_sim(&sim).utilization
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload);
+criterion_main!(benches);

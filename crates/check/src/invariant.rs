@@ -51,5 +51,6 @@ pub fn default_invariants() -> Vec<Box<dyn Invariant + Send + Sync>> {
         Box::new(invariants::CampaignConverges),
         Box::new(invariants::ElasticNoJobLost),
         Box::new(invariants::ElasticConverges),
+        Box::new(invariants::WorkloadConservation),
     ]
 }

@@ -393,6 +393,78 @@ impl Invariant for SchedNoStarvation {
     }
 }
 
+/// Generated-workload conservation: the open-loop stream's books must
+/// balance. Every generated job reaches a terminal state, the job count
+/// is conserved end-to-end, and the core-seconds the simulator accounts
+/// for equal the generator's own ledger (Σ cores × capped runtime) —
+/// i.e. the workload engine neither invents nor loses work.
+pub struct WorkloadConservation;
+
+impl Invariant for WorkloadConservation {
+    fn name(&self) -> &'static str {
+        "workload.conserves-core-seconds"
+    }
+
+    fn check(&self, outcome: &SoakOutcome) -> Vec<Violation> {
+        let mut v = Vec::new();
+        let Some(wl) = &outcome.workload else {
+            return v;
+        };
+        if wl.job_states.len() != wl.generated.len() {
+            v.push(violation(
+                self.name(),
+                format!(
+                    "generated {} jobs but the frontend holds {}",
+                    wl.generated.len(),
+                    wl.job_states.len()
+                ),
+            ));
+        }
+        let mut expected = 0.0f64;
+        for (_, cores, busy_s) in &wl.generated {
+            expected += *cores as f64 * busy_s;
+        }
+        for (name, state) in &wl.job_states {
+            match state {
+                JobState::Completed { start_s, end_s } | JobState::TimedOut { start_s, end_s } => {
+                    if end_s < start_s {
+                        v.push(violation(
+                            self.name(),
+                            format!("job {name} ends at {end_s} before it starts at {start_s}"),
+                        ));
+                    }
+                }
+                other => v.push(violation(
+                    self.name(),
+                    format!("job {name} not terminal after drain: {other:?}"),
+                )),
+            }
+        }
+        let tol = 1e-6 * expected.abs().max(1.0);
+        if (wl.used_core_seconds - expected).abs() > tol {
+            v.push(violation(
+                self.name(),
+                format!(
+                    "simulator accounted {} core-seconds but the generator's ledger says {expected}",
+                    wl.used_core_seconds
+                ),
+            ));
+        }
+        // jobs_finished already counts TimedOut terminals
+        if wl.metrics.jobs_finished != wl.generated.len() {
+            v.push(violation(
+                self.name(),
+                format!(
+                    "metrics count {} terminal jobs but {} were generated",
+                    wl.metrics.jobs_finished,
+                    wl.generated.len()
+                ),
+            ));
+        }
+        v
+    }
+}
+
 /// Canonical rendering of a solution for byte-comparison.
 fn canonical_solution(sol: &Solution) -> String {
     let mut out = String::new();

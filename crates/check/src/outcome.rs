@@ -7,7 +7,7 @@ use xcbc_core::campaign::{CampaignReport, CampaignTarget};
 use xcbc_core::elastic::{ElasticReport, TickStat};
 use xcbc_core::fleet::{FleetReport, FleetTelemetry};
 use xcbc_rpm::{RpmDb, TransactionReport};
-use xcbc_sched::{ClusterSim, JobState};
+use xcbc_sched::{ClusterSim, JobState, RmKind, SimMetrics};
 use xcbc_sim::TraceEvent;
 use xcbc_yum::{Repository, SolveCache, SolveRequest, YumConfig};
 
@@ -112,6 +112,30 @@ pub struct ElasticRecord {
     pub job_states: Vec<(String, JobState)>,
 }
 
+/// The generated-workload stage: an open-loop [`WorkloadSpec`]
+/// (`xcbc_sched::WorkloadSpec`) stream run end-to-end through one RM
+/// frontend, with the expected-consumption ledger kept alongside so
+/// the conservation checker can audit the books.
+#[derive(Debug)]
+pub struct WorkloadRecord {
+    /// Digest of the normalized spec that generated the stream.
+    pub spec_digest: u64,
+    /// Stream seed.
+    pub seed: u64,
+    /// Which frontend ran the stream.
+    pub rm: RmKind,
+    /// `(name, cores, expected_busy_s)` per generated request in
+    /// submission order, where `expected_busy_s` is the runtime capped
+    /// at the walltime (the simulator kills at the limit).
+    pub generated: Vec<(String, u32, f64)>,
+    /// `(name, state)` of every job after the drain.
+    pub job_states: Vec<(String, JobState)>,
+    /// Core-seconds the simulator accounted for.
+    pub used_core_seconds: f64,
+    /// Metrics snapshot after the drain.
+    pub metrics: SimMetrics,
+}
+
 /// Everything one soaked seed produced, handed to every
 /// [`Invariant`](crate::Invariant).
 #[derive(Debug)]
@@ -139,6 +163,8 @@ pub struct SoakOutcome {
     pub campaign: Option<CampaignRecord>,
     /// The elastic-membership stage, when the scenario ran it.
     pub elastic: Option<ElasticRecord>,
+    /// The generated-workload stage, when the scenario ran it.
+    pub workload: Option<WorkloadRecord>,
     /// EVR strings harvested from the scenario (generated edge cases
     /// plus versions seen in deployed node databases).
     pub evr_samples: Vec<String>,

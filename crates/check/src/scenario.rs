@@ -34,13 +34,12 @@ use xcbc_fault::{
 };
 use xcbc_rocks::install::{InstallErrorKind, ResilienceConfig};
 use xcbc_rpm::{PackageBuilder, RpmDb, TransactionSet};
-use xcbc_sched::{
-    ClusterSim, JobRequest, ResourceManager, SchedPolicy, SgeCell, Slurm, TorqueServer,
-};
+use xcbc_sched::{run_workload, ClusterSim, JobRequest, RmKind, SchedPolicy, WorkloadSpec};
 use xcbc_yum::{SolveCache, SolveRequest, YumConfig};
 
 use crate::outcome::{
     CampaignRecord, ElasticRecord, ResumeOutcome, SchedOutcome, SoakOutcome, SolveProbe, TxRecord,
+    WorkloadRecord,
 };
 
 /// Most sites one scenario deploys.
@@ -146,9 +145,8 @@ pub struct Scenario {
     pub campaign_canary: usize,
     /// Rolling-campaign stage: total waves.
     pub campaign_waves: usize,
-    /// Which scheduler frontend runs the campaign fleet (0 = Torque,
-    /// 1 = SLURM, 2 = SGE).
-    pub campaign_rm: u32,
+    /// Which scheduler frontend runs the campaign fleet.
+    pub campaign_rm: RmKind,
     /// Canary failure policy for the campaign.
     pub campaign_canary_action: CanaryAction,
     /// Long-running jobs the campaign drains around.
@@ -167,9 +165,8 @@ pub struct Scenario {
     pub elastic_max: usize,
     /// Elastic stage: workload ticks before the settle phase.
     pub elastic_ticks: usize,
-    /// Elastic stage: which scheduler frontend runs the fleet
-    /// (0 = Torque, 1 = SLURM, 2 = SGE).
-    pub elastic_rm: u32,
+    /// Elastic stage: which scheduler frontend runs the fleet.
+    pub elastic_rm: RmKind,
     /// Elastic stage: `(tick, request)` job arrivals.
     pub elastic_workload: Vec<(usize, JobRequest)>,
     /// Elastic stage: burst sites as `(join_tick, leave_tick, method)`.
@@ -181,6 +178,18 @@ pub struct Scenario {
     /// Deliberate elastic misbehavior (from the limits), for invariant
     /// self-tests.
     pub elastic_mutation: Option<ElasticMutation>,
+    /// Generated-workload stage: the open-loop spec driving the stream.
+    pub workload_spec: WorkloadSpec,
+    /// Generated-workload stage: stream seed.
+    pub workload_seed: u64,
+    /// Generated-workload stage: jobs drawn from the stream.
+    pub workload_jobs: usize,
+    /// Generated-workload stage: cluster shape `(nodes, cores/node)`.
+    pub workload_shape: (usize, u32),
+    /// Generated-workload stage: frontend running the stream.
+    pub workload_rm: RmKind,
+    /// Generated-workload stage: scheduling policy.
+    pub workload_policy: SchedPolicy,
 }
 
 fn salted(seed: u64, salt: u64) -> StdRng {
@@ -406,7 +415,7 @@ impl Scenario {
         let campaign_nodes = camp_rng.gen_range(3usize..=8);
         let campaign_canary = camp_rng.gen_range(1usize..=2);
         let campaign_waves = camp_rng.gen_range(2usize..=4);
-        let campaign_rm = camp_rng.gen_range(0u32..3);
+        let campaign_rm = RmKind::ALL[camp_rng.gen_range(0u32..3) as usize];
         let campaign_canary_action = if camp_rng.gen_bool(0.5) {
             CanaryAction::Halt
         } else {
@@ -460,7 +469,7 @@ impl Scenario {
         let elastic_min = el_rng.gen_range(1usize..=2);
         let elastic_max = elastic_min + el_rng.gen_range(2usize..=4);
         let elastic_ticks = el_rng.gen_range(10usize..=16);
-        let elastic_rm = el_rng.gen_range(0u32..3);
+        let elastic_rm = RmKind::ALL[el_rng.gen_range(0u32..3) as usize];
         let mut elastic_workload: Vec<(usize, JobRequest)> = Vec::new();
         let mut job_idx = 0usize;
         for _ in 0..el_rng.gen_range(1usize..=3) {
@@ -524,6 +533,30 @@ impl Scenario {
             }
         }
 
+        // Generated-workload stage: an open-loop WorkloadSpec stream
+        // (the PR 8 workload engine) run through a per-seed frontend and
+        // policy, so the generators themselves soak under the invariant
+        // suite. Every spec keeps walltime ≥ runtime, so expected
+        // consumption is exactly Σ cores × runtime.
+        let mut wl_rng = salted(seed, 9);
+        let workload_spec = match wl_rng.gen_range(0u32..3) {
+            0 => WorkloadSpec::teaching_lab(),
+            1 => WorkloadSpec::campus_research(),
+            _ => WorkloadSpec::heavy_tail(),
+        };
+        let workload_seed = wl_rng.gen_range(0u64..=u64::MAX - 1);
+        let workload_jobs = wl_rng.gen_range(40usize..=120).min(limits.jobs.max(1));
+        let workload_shape = (
+            wl_rng.gen_range(4usize..=8),
+            [2u32, 4][wl_rng.gen_range(0usize..2)],
+        );
+        let workload_rm = RmKind::ALL[wl_rng.gen_range(0u32..3) as usize];
+        let workload_policy = match wl_rng.gen_range(0u32..3) {
+            0 => SchedPolicy::Fifo,
+            1 => SchedPolicy::EasyBackfill,
+            _ => SchedPolicy::maui_default(),
+        };
+
         Scenario {
             seed,
             faults,
@@ -552,6 +585,12 @@ impl Scenario {
             elastic_bursts,
             elastic_plan,
             elastic_mutation: limits.elastic_mutation,
+            workload_spec,
+            workload_seed,
+            workload_jobs,
+            workload_shape,
+            workload_rm,
+            workload_policy,
         }
     }
 
@@ -648,6 +687,9 @@ impl Scenario {
         // --- elastic-membership stage over the same shared cache ---
         let elastic = self.run_elastic_stage(&cache);
 
+        // --- generated-workload stage: open-loop stream through an RM ---
+        let workload = self.run_workload_stage();
+
         // --- EVR harvest: generated edge cases + deployed versions ---
         let mut evr_samples = self.evr_samples.clone();
         'harvest: for site in &report.sites {
@@ -683,7 +725,48 @@ impl Scenario {
             resume: Some(resume),
             campaign: Some(campaign),
             elastic: Some(elastic),
+            workload: Some(workload),
             evr_samples,
+        }
+    }
+
+    /// Run the generated-workload stage: draw `workload_jobs` arrivals
+    /// from the scenario's [`WorkloadSpec`] stream, feed them through
+    /// the chosen frontend, and keep the expected-consumption ledger
+    /// beside the drained job states for the conservation checker.
+    fn run_workload_stage(&self) -> WorkloadRecord {
+        let (nodes, cores_per_node) = self.workload_shape;
+        let spec = self.workload_spec.normalized();
+        let mut generated = Vec::new();
+        let mut jobs = Vec::new();
+        for (t, req) in spec
+            .stream(self.workload_seed, nodes as u32, cores_per_node)
+            .take(self.workload_jobs)
+        {
+            generated.push((
+                req.name.clone(),
+                req.cores(),
+                req.runtime_s.min(req.walltime_s),
+            ));
+            jobs.push((t, req));
+        }
+        let mut rm = self
+            .workload_rm
+            .build(nodes, cores_per_node, self.workload_policy);
+        let metrics = run_workload(rm.as_mut(), jobs);
+        let job_states = rm
+            .sim()
+            .jobs()
+            .map(|j| (j.request.name.clone(), j.state))
+            .collect();
+        WorkloadRecord {
+            spec_digest: spec.digest(),
+            seed: self.workload_seed,
+            rm: self.workload_rm,
+            generated,
+            job_states,
+            used_core_seconds: rm.sim().used_core_seconds(),
+            metrics,
         }
     }
 
@@ -724,21 +807,18 @@ impl Scenario {
         }
 
         let mut state = ElasticState::new(&config);
-        let mut rm: Box<dyn ResourceManager> = match self.elastic_rm {
-            0 => Box::new(TorqueServer::with_maui("elastic-head", config.min_nodes, 2)),
-            1 => Box::new(Slurm::new("elastic", config.min_nodes, 2)),
-            _ => Box::new(SgeCell::new(config.min_nodes, 2)),
-        };
+        let mut rm = self
+            .elastic_rm
+            .build_default("elastic-head", config.min_nodes, 2);
 
         let mut resumes = 0usize;
         let mut checkpoint_text: Option<String> = None;
         let mut ticks = Vec::new();
         let mut report = None;
-        // fault keys match by substring, so one scheduled abort (say
-        // `tick-1`) can re-fire on every later tick whose key contains
-        // it — including settle ticks (`tick-100`…). Each resume still
-        // completes at least one tick, so horizon + settle bounds the
-        // loop; the cap only guards a livelock bug
+        // fault keys match exactly (a scheduled `tick-1` abort cannot
+        // re-fire on `tick-100`), and each resume completes at least
+        // one tick, so horizon + settle bounds the loop; the cap only
+        // guards a livelock bug
         for _ in 0..=config.ticks + config.max_settle_ticks {
             let resume_cp = checkpoint_text.as_deref().map(|text| {
                 ElasticCheckpoint::parse(text).expect("elastic checkpoint round-trips")
@@ -809,15 +889,9 @@ impl Scenario {
             dbs.insert(format!("cnode-{i:02}"), db);
         }
 
-        let mut rm: Box<dyn ResourceManager> = match self.campaign_rm {
-            0 => Box::new(TorqueServer::with_maui(
-                "campaign-head",
-                self.campaign_nodes,
-                4,
-            )),
-            1 => Box::new(Slurm::new("batch", self.campaign_nodes, 4)),
-            _ => Box::new(SgeCell::new(self.campaign_nodes, 4)),
-        };
+        let mut rm = self
+            .campaign_rm
+            .build_default("campaign-head", self.campaign_nodes, 4);
         let mut submitted = Vec::new();
         for req in &self.campaign_workload {
             submitted.push(req.name.clone());

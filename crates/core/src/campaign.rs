@@ -28,7 +28,7 @@ use std::sync::{Arc, Mutex};
 
 use xcbc_fault::{CampaignCheckpoint, FaultPlan, InjectionPoint};
 use xcbc_rpm::{RpmDb, TransactionError};
-use xcbc_sched::ResourceManager;
+use xcbc_sched::{JobRequest, ResourceManager};
 use xcbc_sim::TraceEvent;
 use xcbc_yum::{solve_across_skew, Fnv64, Repository, SolveCache, SolveRequest, YumConfig};
 
@@ -42,6 +42,25 @@ pub struct CampaignTarget {
     pub repos: Vec<Repository>,
     pub config: YumConfig,
     pub request: SolveRequest,
+}
+
+/// Keep the long-running spine of an open-loop `(arrival_s, request)`
+/// stream — e.g. from `xcbc_sched::WorkloadSpec::stream` — as a
+/// campaign's background workload: only jobs running at least
+/// `min_runtime_s` survive, and each keeps walltime headroom of at
+/// least 4× its runtime so a drain requeue never pushes it past the
+/// limit mid-campaign.
+pub fn background_workload(
+    jobs: impl IntoIterator<Item = (f64, JobRequest)>,
+    min_runtime_s: f64,
+) -> Vec<JobRequest> {
+    jobs.into_iter()
+        .filter(|(_, req)| req.runtime_s >= min_runtime_s)
+        .map(|(_, mut req)| {
+            req.walltime_s = req.walltime_s.max(4.0 * req.runtime_s);
+            req
+        })
+        .collect()
 }
 
 /// What to do when the canary wave's health check fails.
@@ -731,6 +750,39 @@ mod tests {
             .skew
             .as_deref()
             .is_some_and(|s| s.contains("all solvable"))));
+    }
+
+    #[test]
+    fn generated_stream_supplies_background_workload() {
+        let stream = xcbc_sched::WorkloadSpec::campus_research().generate(5, 2, 2, 30);
+        let workload = background_workload(stream, 1500.0);
+        assert!(!workload.is_empty());
+        assert!(workload
+            .iter()
+            .all(|j| j.runtime_s >= 1500.0 && j.walltime_s >= 4.0 * j.runtime_s));
+
+        let target = target();
+        let mut dbs = fleet(3);
+        let mut rm = TorqueServer::with_maui("head", 3, 2);
+        for req in &workload {
+            rm.sim_mut().submit(req.clone());
+        }
+        rm.advance_to(5.0);
+        let cache = Arc::new(SolveCache::new());
+        let report = run_campaign(
+            &target,
+            &mut dbs,
+            &mut rm,
+            &FaultPlan::new(4),
+            &cache,
+            &CampaignConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(report.outcome, CampaignOutcome::Completed);
+        // the campaign drained around the generated jobs without losing any
+        rm.drain();
+        assert_eq!(rm.metrics().jobs_finished, workload.len());
     }
 
     #[test]

@@ -344,6 +344,27 @@ pub struct ElasticWorld {
     pub burst_sites: Vec<BurstSite>,
 }
 
+impl ElasticWorld {
+    /// Bucket an open-loop `(arrival_s, request)` stream — e.g. from
+    /// `xcbc_sched::WorkloadSpec::stream` — onto autoscaler ticks: each
+    /// arrival lands on the tick containing its arrival time, clamped
+    /// to the workload horizon so late arrivals still run before the
+    /// settle phase. This is how generated workloads drive the fleet.
+    pub fn from_stream(
+        jobs: impl IntoIterator<Item = (f64, JobRequest)>,
+        tick_s: f64,
+        horizon_ticks: usize,
+    ) -> ElasticWorld {
+        assert!(tick_s > 0.0 && horizon_ticks > 0);
+        let mut world = ElasticWorld::default();
+        for (t, req) in jobs {
+            let tick = ((t.max(0.0) / tick_s) as usize).min(horizon_ticks - 1);
+            world.workload.push((tick, req));
+        }
+        world
+    }
+}
+
 /// Test-only behavioral mutations, used by the soak harness to prove
 /// the elastic invariants can actually fire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1121,6 +1142,29 @@ mod tests {
         // power ledger agrees with the scheduler
         assert_eq!(state.seq.powered_count(), report.final_nodes);
         assert!(state.membership.active_count() == report.final_nodes);
+    }
+
+    #[test]
+    fn generated_stream_drives_the_autoscaler() {
+        let config = config();
+        // A teaching-lab stream bucketed onto ticks. Width draws clamp
+        // to the 1-node shape passed to the generator, so every job
+        // stays satisfiable even after a full scale-down.
+        let jobs = xcbc_sched::WorkloadSpec::teaching_lab().generate(11, 1, 2, 12);
+        let n = jobs.len();
+        let world = ElasticWorld::from_stream(jobs, config.tick_s, config.ticks);
+        assert_eq!(world.workload.len(), n);
+        assert!(world.workload.iter().all(|(tick, _)| *tick < config.ticks));
+        let (r, _state, mut rm) = run_once(&world, &FaultPlan::new(3), &config);
+        let report = r.unwrap();
+        assert_eq!(
+            report.verdict,
+            ElasticVerdict::Satisfied,
+            "{}",
+            report.render()
+        );
+        rm.drain();
+        assert_eq!(rm.metrics().jobs_finished, n, "no generated job lost");
     }
 
     #[test]

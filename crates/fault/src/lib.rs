@@ -32,8 +32,8 @@ pub use checkpoint::{
     CampaignCheckpoint, CheckpointParseError, ElasticCheckpoint, InstallCheckpoint, NodeStage,
 };
 pub use plan::{
-    FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultWindow, InjectionPoint,
-    PlanParseError,
+    key_matches, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultWindow,
+    InjectionPoint, PlanParseError,
 };
 pub use postmortem::PostMortem;
 pub use retry::{retry_with, RetryOutcome, RetryPolicy};

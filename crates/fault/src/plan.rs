@@ -1,8 +1,9 @@
 //! Deterministic fault plans and the injector that executes them.
 //!
 //! A [`FaultPlan`] is a pure value: a seed plus a list of [`FaultSpec`]s
-//! ("the 2nd fetch from any mirror whose URL contains `mirror2` times
-//! out") and optional per-point random rates. The [`FaultInjector`] built
+//! ("the 2nd fetch from any mirror whose URL contains `mirror2` —
+//! key filter `*mirror2*` — times out") and optional per-point random
+//! rates. The [`FaultInjector`] built
 //! from it is consulted at named [`InjectionPoint`]s throughout the
 //! provisioning pipeline; identical plans produce identical fault
 //! sequences, so any failure scenario — including the randomized ones —
@@ -204,11 +205,30 @@ impl fmt::Display for FaultWindow {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultSpec {
     pub point: InjectionPoint,
-    /// Substring filter on the operation key (hostname, mirror URL,
-    /// package name, ...). `None` matches every key.
+    /// Filter on the operation key (hostname, mirror URL, package
+    /// name, ...). `None` matches every key. A bare filter matches the
+    /// key **exactly**; leading/trailing `*` anchors loosen it
+    /// (`foo*` prefix, `*foo` suffix, `*foo*` substring). Exact is the
+    /// default because keys are often numbered streams — a substring
+    /// `tick-1` would also fire on `tick-10` and `tick-100`.
     pub key: Option<String>,
     pub window: FaultWindow,
     pub kind: FaultKind,
+}
+
+/// Does `key` satisfy `filter` under the anchored-wildcard rules
+/// documented on [`FaultSpec::key`]?
+pub fn key_matches(filter: &str, key: &str) -> bool {
+    match (filter.strip_prefix('*'), filter.strip_suffix('*')) {
+        // "*foo*" (also handles the degenerate "*" → contains "")
+        (Some(rest), Some(_)) => {
+            let needle = rest.strip_suffix('*').unwrap_or(rest);
+            key.contains(needle)
+        }
+        (Some(suffix), None) => key.ends_with(suffix),
+        (None, Some(prefix)) => key.starts_with(prefix),
+        (None, None) => key == filter,
+    }
 }
 
 impl FaultSpec {
@@ -218,7 +238,7 @@ impl FaultSpec {
             && self
                 .key
                 .as_deref()
-                .is_none_or(|filter| key.contains(filter))
+                .is_none_or(|filter| key_matches(filter, key))
     }
 }
 
@@ -307,7 +327,7 @@ impl FaultPlan {
     /// Parse the compact plan syntax documented in the README:
     ///
     /// ```text
-    /// seed=42; mirror.fetch key=mirror2 on=first:2 kind=timeout; rate mirror.fetch 0.05
+    /// seed=42; mirror.fetch key=*mirror2* on=first:2 kind=timeout; rate mirror.fetch 0.05
     /// ```
     ///
     /// Clauses are `;`-separated. `seed=N` sets the seed (default 0).
@@ -518,10 +538,28 @@ mod tests {
     }
 
     #[test]
+    fn key_matching_is_exact_unless_anchored() {
+        // bare filters are exact: the gotcha PR 7 worked around
+        assert!(key_matches("tick-1", "tick-1"));
+        assert!(!key_matches("tick-1", "tick-100"));
+        assert!(!key_matches("tick-1", "settle-tick-1"));
+        // prefix / suffix / contains anchors
+        assert!(key_matches("tick-*", "tick-100"));
+        assert!(!key_matches("tick-*", "settle-tick-1"));
+        assert!(key_matches("*-1", "tick-1"));
+        assert!(!key_matches("*-1", "tick-100"));
+        assert!(key_matches("*mirror2*", "http://mirror2.example.edu/"));
+        assert!(!key_matches("*mirror2*", "http://mirror1.example.edu/"));
+        // degenerate "*" matches everything
+        assert!(key_matches("*", "anything"));
+        assert!(key_matches("**", ""));
+    }
+
+    #[test]
     fn scheduled_fault_fires_on_matching_stream_only() {
         let plan = FaultPlan::new(1).fail_at(
             InjectionPoint::MirrorFetch,
-            Some("mirror2"),
+            Some("*mirror2*"),
             FaultWindow::FirstN(2),
             FaultKind::Timeout,
         );
@@ -573,7 +611,7 @@ mod tests {
 
     #[test]
     fn plan_syntax_round_trips() {
-        let text = "seed=42; mirror.fetch key=mirror2 on=first:2 kind=timeout; \
+        let text = "seed=42; mirror.fetch key=*mirror2* on=first:2 kind=timeout; \
                     node.boot key=compute-0-3 on=nth:0 kind=hang; rate rpm.scriptlet 0.01";
         let plan = FaultPlan::parse(text).unwrap();
         assert_eq!(plan.seed, 42);

@@ -20,6 +20,8 @@
 pub mod accounting;
 pub mod arrays;
 pub mod condor;
+pub mod dist;
+pub mod exp;
 pub mod job;
 pub mod metrics;
 pub mod policy;
@@ -33,12 +35,16 @@ pub mod workload;
 pub use accounting::{usage_report, UsageReport, UserUsage};
 pub use arrays::{submit_array, JobArray};
 pub use condor::{CondorJob, CondorPool, CondorState};
+pub use dist::Dist;
+pub use exp::{run_grid, run_point, ExpGrid, ExpPoint, ExpReport, RunResult};
 pub use job::{Job, JobId, JobRequest, JobState};
 pub use metrics::SimMetrics;
 pub use policy::SchedPolicy;
-pub use rm::ResourceManager;
+pub use rm::{run_workload, ResourceManager, RmKind};
 pub use sge::SgeCell;
 pub use sim::{ClusterSim, Reservation};
 pub use slurm::Slurm;
 pub use torque::TorqueServer;
-pub use workload::{WorkloadGenerator, WorkloadProfile};
+pub use workload::{
+    ArrivalProcess, Diurnal, JobStream, QueueClass, UserMix, WidthMix, WorkloadSpec,
+};

@@ -3,6 +3,11 @@
 use crate::sim::ClusterSim;
 use serde::{Deserialize, Serialize};
 
+/// A job is "starved" when it waited in the queue longer than this
+/// (4 hours) — the threshold the starvation counter and the experiment
+/// harness's CSV column use.
+pub const STARVATION_WAIT_S: f64 = 4.0 * 3600.0;
+
 /// Summary statistics of a simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimMetrics {
@@ -13,15 +18,20 @@ pub struct SimMetrics {
     /// Core-seconds used / (total cores × makespan).
     pub utilization: f64,
     pub mean_wait_s: f64,
+    /// 95th-percentile job queue wait.
+    pub p95_wait_s: f64,
     pub max_wait_s: f64,
     pub mean_bounded_slowdown: f64,
+    /// Jobs that waited longer than [`STARVATION_WAIT_S`].
+    pub starved_jobs: usize,
 }
 
 impl SimMetrics {
     /// Compute metrics from a (fully or partially) run simulator.
     pub fn from_sim(sim: &ClusterSim) -> Self {
         let finished: Vec<_> = sim.completed();
-        let waits: Vec<f64> = finished.iter().filter_map(|j| j.wait_s()).collect();
+        let mut waits: Vec<f64> = finished.iter().filter_map(|j| j.wait_s()).collect();
+        waits.sort_by(f64::total_cmp);
         let slowdowns: Vec<f64> = finished
             .iter()
             .filter_map(|j| j.bounded_slowdown())
@@ -42,8 +52,10 @@ impl SimMetrics {
                 0.0
             },
             mean_wait_s: mean(&waits),
-            max_wait_s: waits.iter().copied().fold(0.0, f64::max),
+            p95_wait_s: percentile(&waits, 0.95),
+            max_wait_s: waits.last().copied().unwrap_or(0.0),
             mean_bounded_slowdown: mean(&slowdowns),
+            starved_jobs: waits.iter().filter(|&&w| w > STARVATION_WAIT_S).count(),
         }
     }
 
@@ -89,6 +101,18 @@ impl SimMetrics {
             self.max_wait_s,
         );
         registry.set_gauge(
+            "xcbc_sched_wait_seconds_p95",
+            "95th-percentile job queue wait",
+            labels,
+            self.p95_wait_s,
+        );
+        registry.set_counter(
+            "xcbc_sched_jobs_starved_total",
+            "Jobs that waited longer than the starvation threshold",
+            labels,
+            self.starved_jobs as u64,
+        );
+        registry.set_gauge(
             "xcbc_sched_bounded_slowdown_mean",
             "Mean bounded slowdown over finished jobs",
             labels,
@@ -116,6 +140,15 @@ fn mean(xs: &[f64]) -> f64 {
     } else {
         xs.iter().sum::<f64>() / xs.len() as f64
     }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 #[cfg(test)]

@@ -48,6 +48,27 @@ impl SchedPolicy {
     pub fn backfills(&self) -> bool {
         !matches!(self, SchedPolicy::Fifo)
     }
+
+    /// Short machine-friendly name, used in sweep variant directories
+    /// and CLI grids ([`SchedPolicy::parse`] round-trips it).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            SchedPolicy::Fifo => "fifo",
+            SchedPolicy::EasyBackfill => "easy",
+            SchedPolicy::MauiPriority { .. } => "maui",
+        }
+    }
+
+    /// Parse the slug spelling (`fifo` / `easy` / `maui`); `maui` gets
+    /// the shipped default weights.
+    pub fn parse(s: &str) -> Result<SchedPolicy, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "fifo" => Ok(SchedPolicy::Fifo),
+            "easy" => Ok(SchedPolicy::EasyBackfill),
+            "maui" => Ok(SchedPolicy::maui_default()),
+            other => Err(format!("unknown policy {other:?} (want fifo/easy/maui)")),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,12 @@
 
 use crate::job::{JobId, JobRequest};
 use crate::metrics::SimMetrics;
+use crate::policy::SchedPolicy;
+use crate::sge::SgeCell;
 use crate::sim::ClusterSim;
+use crate::slurm::Slurm;
+use crate::torque::TorqueServer;
+use std::fmt;
 
 /// A batch system facade over the simulator.
 pub trait ResourceManager {
@@ -22,6 +27,15 @@ pub trait ResourceManager {
 
     /// Cancel by textual id; true if a queued job was removed.
     fn cancel(&mut self, id: &str) -> bool;
+
+    /// Kill a *running* job by textual id (operator `qdel`/`scancel`
+    /// on a job that already started); freed cores are re-evaluated
+    /// immediately. True if a running job was terminated.
+    fn kill(&mut self, id: &str) -> bool {
+        parse_numeric_id(id)
+            .map(|n| self.sim_mut().kill(n))
+            .unwrap_or(false)
+    }
 
     /// Render the queue status listing (`qstat` / `squeue`).
     fn status(&self) -> String;
@@ -95,6 +109,96 @@ pub trait ResourceManager {
 /// `"42"`.
 pub(crate) fn parse_numeric_id(id: &str) -> Option<JobId> {
     id.split('.').next()?.parse().ok()
+}
+
+/// Which resource-manager frontend a run uses — the typed spelling of
+/// XCBC's "Torque, SLURM, sge (choose one)". Generators and the
+/// experiment sweep driver are written against [`ResourceManager`],
+/// so an `RmKind` is all they need to be backend-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RmKind {
+    Torque,
+    Slurm,
+    Sge,
+}
+
+impl RmKind {
+    /// Every frontend, in canonical order (sweep default).
+    pub const ALL: [RmKind; 3] = [RmKind::Torque, RmKind::Slurm, RmKind::Sge];
+
+    /// The package name XCBC installs for this RM.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RmKind::Torque => "torque",
+            RmKind::Slurm => "slurm",
+            RmKind::Sge => "sge",
+        }
+    }
+
+    /// Parse the package-name spelling.
+    pub fn parse(s: &str) -> Result<RmKind, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "torque" | "pbs" => Ok(RmKind::Torque),
+            "slurm" => Ok(RmKind::Slurm),
+            "sge" | "gridengine" => Ok(RmKind::Sge),
+            other => Err(format!(
+                "unknown resource manager {other:?} (want torque/slurm/sge)"
+            )),
+        }
+    }
+
+    /// Build this frontend over a fresh cluster with its native default
+    /// scheduler (Torque ships Maui; SLURM and SGE default to EASY
+    /// backfill). `name` labels the server where the frontend has one.
+    pub fn build_default(
+        &self,
+        name: &str,
+        nodes: usize,
+        cores_per_node: u32,
+    ) -> Box<dyn ResourceManager> {
+        match self {
+            RmKind::Torque => Box::new(TorqueServer::with_maui(name, nodes, cores_per_node)),
+            RmKind::Slurm => Box::new(Slurm::new(name, nodes, cores_per_node)),
+            RmKind::Sge => Box::new(SgeCell::new(nodes, cores_per_node)),
+        }
+    }
+
+    /// Build this frontend over a fresh cluster, with the given
+    /// scheduling policy installed — the uniform constructor the
+    /// workload engine and sweep driver use.
+    pub fn build(
+        &self,
+        nodes: usize,
+        cores_per_node: u32,
+        policy: SchedPolicy,
+    ) -> Box<dyn ResourceManager> {
+        let mut rm = self.build_default("cluster", nodes, cores_per_node);
+        rm.sim_mut().set_policy(policy);
+        rm
+    }
+}
+
+impl fmt::Display for RmKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Run a whole `(submit_time, request)` workload through an RM and
+/// return metrics. Jobs are submitted in time order; the façade
+/// advances between submissions the way a live cluster would.
+pub fn run_workload<R: ResourceManager + ?Sized>(
+    rm: &mut R,
+    jobs: impl IntoIterator<Item = (f64, JobRequest)>,
+) -> SimMetrics {
+    let mut jobs: Vec<(f64, JobRequest)> = jobs.into_iter().collect();
+    jobs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    for (t, req) in jobs {
+        rm.advance_to(t);
+        rm.submit(req);
+    }
+    rm.drain();
+    rm.metrics()
 }
 
 #[cfg(test)]

@@ -80,6 +80,12 @@ pub struct ClusterSim {
     jobs: BTreeMap<JobId, Job>,
     /// Queued job ids in arrival order.
     queue: Vec<JobId>,
+    /// Running job ids. An index, not state: kept in lockstep with
+    /// `jobs[*].state` so per-event work (backfill shadow time, drain
+    /// queries) scans the ≤ nodes×cores running jobs instead of every
+    /// job ever submitted — the difference between O(n²) and O(n) over
+    /// a million-event run.
+    running_ids: BTreeSet<JobId>,
     /// Per-user consumed core-seconds (fairshare input).
     usage: HashMap<String, f64>,
     /// Core-seconds actually executed (utilization numerator).
@@ -96,6 +102,12 @@ pub struct ClusterSim {
     retired: BTreeSet<usize>,
     /// Per-job restart counter; see [`EventKind::End`].
     incarnations: HashMap<JobId, u32>,
+    /// Emit structured trace events? On by default; million-event
+    /// experiment runs turn it off so the event loop does no string
+    /// formatting or trace allocation.
+    tracing: bool,
+    /// Events popped off the queue so far (throughput accounting).
+    events_processed: u64,
 }
 
 impl ClusterSim {
@@ -112,6 +124,7 @@ impl ClusterSim {
             bus: EventBus::new(),
             jobs: BTreeMap::new(),
             queue: Vec::new(),
+            running_ids: BTreeSet::new(),
             usage: HashMap::new(),
             used_core_seconds: 0.0,
             reservations: Vec::new(),
@@ -119,7 +132,34 @@ impl ClusterSim {
             offline: BTreeSet::new(),
             retired: BTreeSet::new(),
             incarnations: HashMap::new(),
+            tracing: true,
+            events_processed: 0,
         }
+    }
+
+    /// Events popped off the queue so far — the denominator of the
+    /// million-event throughput bench.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Builder form of [`ClusterSim::set_tracing`].
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Turn structured trace emission on or off. Scheduling decisions
+    /// and metrics are identical either way; off skips all per-event
+    /// string formatting, which is what lets a run sustain ~10^6
+    /// events in seconds (see the `million_events` bench).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Is structured trace emission enabled?
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing
     }
 
     /// `qhold`: keep a queued job from starting. Returns false for
@@ -165,15 +205,17 @@ impl ClusterSim {
             nodes.iter().all(|&n| n < self.free.len()),
             "reserved node out of range"
         );
-        self.bus.emit(
-            TraceEvent::span(
-                start,
-                TRACE_SOURCE,
-                format!("reservation: {label}"),
-                end - start,
-            )
-            .with_field("nodes", nodes.len()),
-        );
+        if self.tracing {
+            self.bus.emit(
+                TraceEvent::span(
+                    start,
+                    TRACE_SOURCE,
+                    format!("reservation: {label}"),
+                    end - start,
+                )
+                .with_field("nodes", nodes.len()),
+            );
+        }
         self.reservations.push(Reservation {
             label: label.to_string(),
             nodes,
@@ -256,12 +298,14 @@ impl ClusterSim {
         );
         self.next_id += 1;
         let id = self.next_id;
-        self.bus.emit(
-            TraceEvent::mark(t, TRACE_SOURCE, format!("submit {}", request.name))
-                .with_field("user", request.user.clone())
-                .with_field("nodes", request.nodes)
-                .with_field("ppn", request.ppn),
-        );
+        if self.tracing {
+            self.bus.emit(
+                TraceEvent::mark(t, TRACE_SOURCE, format!("submit {}", request.name))
+                    .with_field("user", request.user.clone())
+                    .with_field("nodes", request.nodes)
+                    .with_field("ppn", request.ppn),
+            );
+        }
         self.jobs.insert(
             id,
             Job {
@@ -312,13 +356,16 @@ impl ClusterSim {
         let placement = std::mem::take(&mut job.placement);
         let ppn = job.request.ppn;
         let name = job.request.name.clone();
+        self.running_ids.remove(&id);
         *self.incarnations.entry(id).or_insert(0) += 1;
         for n in placement {
             self.free[n] += ppn;
         }
         let now = self.clock.now();
-        self.bus
-            .emit(TraceEvent::mark(now, TRACE_SOURCE, format!("kill {name}")));
+        if self.tracing {
+            self.bus
+                .emit(TraceEvent::mark(now, TRACE_SOURCE, format!("kill {name}")));
+        }
         self.try_start_jobs();
         true
     }
@@ -336,10 +383,7 @@ impl ClusterSim {
     }
 
     pub fn running(&self) -> Vec<&Job> {
-        self.jobs
-            .values()
-            .filter(|j| matches!(j.state, JobState::Running { .. }))
-            .collect()
+        self.running_ids.iter().map(|id| &self.jobs[id]).collect()
     }
 
     pub fn completed(&self) -> Vec<&Job> {
@@ -361,11 +405,13 @@ impl ClusterSim {
             return false;
         }
         let now = self.clock.now();
-        self.bus.emit(TraceEvent::mark(
-            now,
-            TRACE_SOURCE,
-            format!("offline node {node}"),
-        ));
+        if self.tracing {
+            self.bus.emit(TraceEvent::mark(
+                now,
+                TRACE_SOURCE,
+                format!("offline node {node}"),
+            ));
+        }
         true
     }
 
@@ -381,11 +427,13 @@ impl ClusterSim {
             return false;
         }
         let now = self.clock.now();
-        self.bus.emit(TraceEvent::mark(
-            now,
-            TRACE_SOURCE,
-            format!("online node {node}"),
-        ));
+        if self.tracing {
+            self.bus.emit(TraceEvent::mark(
+                now,
+                TRACE_SOURCE,
+                format!("online node {node}"),
+            ));
+        }
         self.try_start_jobs();
         true
     }
@@ -408,11 +456,13 @@ impl ClusterSim {
         let node = self.free.len();
         self.free.push(self.cores_per_node);
         let now = self.clock.now();
-        self.bus.emit(TraceEvent::mark(
-            now,
-            TRACE_SOURCE,
-            format!("add node {node}"),
-        ));
+        if self.tracing {
+            self.bus.emit(TraceEvent::mark(
+                now,
+                TRACE_SOURCE,
+                format!("add node {node}"),
+            ));
+        }
         self.try_start_jobs();
         node
     }
@@ -434,11 +484,13 @@ impl ClusterSim {
         }
         self.offline.insert(node);
         let now = self.clock.now();
-        self.bus.emit(TraceEvent::mark(
-            now,
-            TRACE_SOURCE,
-            format!("retire node {node}"),
-        ));
+        if self.tracing {
+            self.bus.emit(TraceEvent::mark(
+                now,
+                TRACE_SOURCE,
+                format!("retire node {node}"),
+            ));
+        }
         true
     }
 
@@ -468,10 +520,10 @@ impl ClusterSim {
 
     /// Ids of jobs currently running on `node`, ascending.
     pub fn running_on(&self, node: usize) -> Vec<JobId> {
-        self.jobs
-            .values()
-            .filter(|j| matches!(j.state, JobState::Running { .. }) && j.placement.contains(&node))
-            .map(|j| j.id)
+        self.running_ids
+            .iter()
+            .filter(|id| self.jobs[id].placement.contains(&node))
+            .copied()
             .collect()
     }
 
@@ -498,15 +550,18 @@ impl ClusterSim {
                     job.request.name.clone(),
                 )
             };
+            self.running_ids.remove(&id);
             *self.incarnations.entry(id).or_insert(0) += 1;
             for n in placement {
                 self.free[n] += ppn;
             }
             let now = self.clock.now();
-            self.bus.emit(
-                TraceEvent::mark(now, TRACE_SOURCE, format!("requeue {name}"))
-                    .with_field("node", node),
-            );
+            if self.tracing {
+                self.bus.emit(
+                    TraceEvent::mark(now, TRACE_SOURCE, format!("requeue {name}"))
+                        .with_field("node", node),
+                );
+            }
             self.queue.push(id);
         }
         if !victims.is_empty() {
@@ -574,6 +629,7 @@ impl ClusterSim {
         job.placement = placement;
         job.state = JobState::Running { start_s: now_s };
         let end = now_s + job.request.effective_runtime();
+        self.running_ids.insert(id);
         self.queue.retain(|&q| q != id);
         let inc = self.incarnations.get(&id).copied().unwrap_or(0);
         self.push_event(end, EventKind::End(id, inc));
@@ -588,6 +644,7 @@ impl ClusterSim {
         let now_s = self.now();
         let job = self.jobs.get_mut(&id).expect("job exists");
         if let JobState::Running { start_s } = job.state {
+            self.running_ids.remove(&id);
             let timed_out = job.request.runtime_s > job.request.walltime_s;
             job.state = if timed_out {
                 JobState::TimedOut {
@@ -606,18 +663,20 @@ impl ClusterSim {
                 job.placement.clone(),
                 job.request.user.clone(),
             );
-            let placed: Vec<String> = placement.iter().map(|n| n.to_string()).collect();
-            let span = TraceEvent::span(
-                start_s,
-                TRACE_SOURCE,
-                format!("job {}", job.request.name),
-                now_s - start_s,
-            )
-            .with_field("user", user.clone())
-            .with_field("cores", job.request.cores())
-            .with_field("state", if timed_out { "timed-out" } else { "completed" })
-            .with_field("placement", placed.join(","));
-            self.bus.emit(span);
+            if self.tracing {
+                let placed: Vec<String> = placement.iter().map(|n| n.to_string()).collect();
+                let span = TraceEvent::span(
+                    start_s,
+                    TRACE_SOURCE,
+                    format!("job {}", job.request.name),
+                    now_s - start_s,
+                )
+                .with_field("user", user.clone())
+                .with_field("cores", job.request.cores())
+                .with_field("state", if timed_out { "timed-out" } else { "completed" })
+                .with_field("placement", placed.join(","));
+                self.bus.emit(span);
+            }
             self.used_core_seconds += core_secs;
             *self.usage.entry(user).or_insert(0.0) += core_secs;
             for n in placement {
@@ -642,13 +701,17 @@ impl ClusterSim {
                 queue_weight,
                 fairshare_weight,
             } => {
-                let mut ids = eligible;
-                ids.sort_by(|&a, &b| {
-                    let pa = self.maui_priority(a, queue_weight, fairshare_weight);
-                    let pb = self.maui_priority(b, queue_weight, fairshare_weight);
-                    pb.total_cmp(&pa).then(a.cmp(&b))
-                });
-                ids
+                // Priority depends only on the job, not on the other
+                // queue entries, so compute it once per id instead of
+                // on every comparison. The comparator is a total order
+                // (total_cmp + id tie-break), so the resulting order is
+                // identical to sorting with inline evaluation.
+                let mut keyed: Vec<(f64, JobId)> = eligible
+                    .into_iter()
+                    .map(|id| (self.maui_priority(id, queue_weight, fairshare_weight), id))
+                    .collect();
+                keyed.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+                keyed.into_iter().map(|(_, id)| id).collect()
             }
         }
     }
@@ -666,15 +729,18 @@ impl ClusterSim {
         let mut free = self.free.clone();
         // (planned_end, ppn, placement)
         let mut releases: Vec<(f64, u32, Vec<usize>)> = self
-            .jobs
-            .values()
-            .filter_map(|j| match j.state {
-                JobState::Running { start_s } => Some((
-                    start_s + j.request.walltime_s,
-                    j.request.ppn,
-                    j.placement.clone(),
-                )),
-                _ => None,
+            .running_ids
+            .iter()
+            .filter_map(|id| {
+                let j = &self.jobs[id];
+                match j.state {
+                    JobState::Running { start_s } => Some((
+                        start_s + j.request.walltime_s,
+                        j.request.ppn,
+                        j.placement.clone(),
+                    )),
+                    _ => None,
+                }
             })
             .collect();
         releases.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -738,6 +804,7 @@ impl ClusterSim {
                 break;
             }
             let scheduled = self.events.pop().expect("peeked");
+            self.events_processed += 1;
             self.clock.advance_to(scheduled.t);
             match scheduled.event {
                 EventKind::Submit(id) => {

@@ -2,7 +2,6 @@
 //! Table 2 lists "maui, torque" under Scheduler and Resource Manager).
 
 use crate::job::{JobRequest, JobState};
-use crate::metrics::SimMetrics;
 use crate::policy::SchedPolicy;
 use crate::rm::{parse_numeric_id, ResourceManager};
 use crate::sim::ClusterSim;
@@ -146,23 +145,10 @@ impl ResourceManager for TorqueServer {
     }
 }
 
-/// Convenience: run a whole workload through a RM and return metrics.
-pub fn run_workload<R: ResourceManager>(rm: &mut R, jobs: Vec<(f64, JobRequest)>) -> SimMetrics {
-    // jobs must be submitted in time order; the façade advances between
-    // submissions the way a live cluster would.
-    let mut jobs = jobs;
-    jobs.sort_by(|a, b| a.0.total_cmp(&b.0));
-    for (t, req) in jobs {
-        rm.advance_to(t);
-        rm.submit(req);
-    }
-    rm.drain();
-    rm.metrics()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rm::run_workload;
 
     #[test]
     fn qsub_returns_pbs_style_id() {

@@ -29,6 +29,14 @@
 //!       [--ticks N]          ceiling and back, burst sites join mid-run
 //!       [--faults "<plan>"]  through the shared solve cache; scale-up
 //!       [--resume] [--jsonl] aborts resume from a printed checkpoint
+//! xcbc exp                 sweep the open-loop workload engine over a
+//!       [--spec S]           frontend x policy x load x seed grid on a
+//!       [--policies a,b]     worker pool; per-variant JSONL, aggregated
+//!       [--rms a,b]          CSV and utilization/wait curves land under
+//!       [--loads 1.0,2.0]    results/exp-NNN/ (spec: teaching-lab |
+//!       [--seeds N]          campus-research | heavy-tail). Byte-identical
+//!       [--jobs N]           re-runs at any --workers count.
+//!       [--nodes N] [--cores N] [--workers N] [--out DIR] [--name NAME]
 //! ```
 
 use std::collections::BTreeMap;
@@ -122,9 +130,10 @@ fn main() -> ExitCode {
         "soak" => soak_cmd(&args),
         "campaign" => campaign_cmd(&args),
         "elastic" => elastic_cmd(&args),
+        "exp" => exp_cmd(&args),
         "help" | "--help" | "-h" => {
             eprintln!(
-                "usage: xcbc <tables|deploy [littlefe|limulus|both] [--faults \"<plan>\"]|lab [name]|linpack [n]|fleet [--threads N] [--jsonl] [--table]|compat|trace [littlefe] [--faults \"<plan>\"] [--jsonl]|mon [littlefe|elastic] [--faults \"<plan>\"] [--prom|--xml|--jsonl]|soak [--seeds N] [--seed S] [--faults] [--no-shrink] [--mutate] [--sites N] [--fault-specs N] [--jobs N] [--updates N] [--campaign-mutation drop-job|skip-skew] [--elastic-mutation drop-job|skip-scale-up]|campaign [--nodes N] [--canary N] [--waves N] [--threads N] [--rollback] [--resume] [--faults \"<plan>\"] [--jsonl]|elastic [--min N] [--max N] [--ticks N] [--faults \"<plan>\"] [--resume] [--jsonl]>"
+                "usage: xcbc <tables|deploy [littlefe|limulus|both] [--faults \"<plan>\"]|lab [name]|linpack [n]|fleet [--threads N] [--jsonl] [--table]|compat|trace [littlefe] [--faults \"<plan>\"] [--jsonl]|mon [littlefe|elastic] [--faults \"<plan>\"] [--prom|--xml|--jsonl]|soak [--seeds N] [--seed S] [--faults] [--no-shrink] [--mutate] [--sites N] [--fault-specs N] [--jobs N] [--updates N] [--campaign-mutation drop-job|skip-skew] [--elastic-mutation drop-job|skip-scale-up]|campaign [--nodes N] [--canary N] [--waves N] [--threads N] [--rollback] [--resume] [--faults \"<plan>\"] [--jsonl]|elastic [--min N] [--max N] [--ticks N] [--faults \"<plan>\"] [--resume] [--jsonl]|exp [--spec teaching-lab|campus-research|heavy-tail] [--policies fifo,easy,maui] [--rms torque,slurm,sge] [--loads 1.0,2.0] [--seeds N] [--jobs N] [--nodes N] [--cores N] [--workers N] [--out DIR] [--name NAME]>"
             );
             ExitCode::SUCCESS
         }
@@ -853,5 +862,136 @@ fn compat() -> ExitCode {
         "  ... and {} more",
         report.missing().len().saturating_sub(10)
     );
+    ExitCode::SUCCESS
+}
+
+/// `xcbc exp`: sweep the open-loop workload engine over a frontend ×
+/// policy × load × seed grid on a worker pool. Per-variant JSONL runs,
+/// the aggregated CSV and the utilization/wait curves land under
+/// `<out>/exp-NNN/`; the same grid produces byte-identical artifacts at
+/// any `--workers` count.
+fn exp_cmd(args: &[String]) -> ExitCode {
+    use std::fs;
+    use std::path::Path;
+    use xcbc::sched::{run_grid, ExpGrid, RmKind, SchedPolicy, WorkloadSpec};
+
+    fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+    }
+
+    let spec_name =
+        flag_value::<String>(args, "--spec").unwrap_or_else(|| "teaching-lab".to_string());
+    let spec = match spec_name.as_str() {
+        "teaching-lab" => WorkloadSpec::teaching_lab(),
+        "campus-research" => WorkloadSpec::campus_research(),
+        "heavy-tail" => WorkloadSpec::heavy_tail(),
+        other => {
+            eprintln!(
+                "xcbc exp: unknown --spec {other:?} \
+                 (expected teaching-lab, campus-research or heavy-tail)"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let name = flag_value::<String>(args, "--name").unwrap_or(spec_name);
+    let mut grid = ExpGrid::new(&name).spec(spec);
+
+    if let Some(list) = flag_value::<String>(args, "--policies") {
+        let mut policies = Vec::new();
+        for part in list.split(',') {
+            match SchedPolicy::parse(part) {
+                Ok(p) => policies.push(p),
+                Err(e) => {
+                    eprintln!("xcbc exp: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        grid = grid.policies(policies);
+    }
+    if let Some(list) = flag_value::<String>(args, "--rms") {
+        let mut rms = Vec::new();
+        for part in list.split(',') {
+            match RmKind::parse(part) {
+                Ok(r) => rms.push(r),
+                Err(e) => {
+                    eprintln!("xcbc exp: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        grid = grid.rms(rms);
+    }
+    if let Some(list) = flag_value::<String>(args, "--loads") {
+        let mut loads = Vec::new();
+        for part in list.split(',') {
+            match part.trim().parse::<f64>() {
+                Ok(l) if l > 0.0 => loads.push(l),
+                _ => {
+                    eprintln!("xcbc exp: bad load {part:?} (want a positive number)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        grid = grid.loads(loads);
+    }
+    let seed_count = flag_value::<u64>(args, "--seeds").unwrap_or(2).max(1);
+    grid = grid.seeds((0..seed_count).collect());
+    if let Some(jobs) = flag_value::<usize>(args, "--jobs") {
+        grid = grid.jobs_per_run(jobs);
+    }
+    let nodes = flag_value::<usize>(args, "--nodes").unwrap_or(8).max(1);
+    let cores = flag_value::<u32>(args, "--cores").unwrap_or(4).max(1);
+    grid = grid.cluster(nodes, cores);
+    let workers = flag_value::<usize>(args, "--workers").unwrap_or(4).max(1);
+    let out_root = flag_value::<String>(args, "--out").unwrap_or_else(|| "results".to_string());
+
+    let report = run_grid(&grid, workers);
+
+    // next free exp-NNN slot under the results root
+    let root = Path::new(&out_root);
+    let mut n = 1usize;
+    let dir = loop {
+        let d = root.join(format!("exp-{n:03}"));
+        if !d.exists() {
+            break d;
+        }
+        n += 1;
+    };
+    let write = |rel: String, contents: &str| -> std::io::Result<()> {
+        let path = dir.join(rel);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, contents)
+    };
+    let io = || -> std::io::Result<()> {
+        write("grid.txt".to_string(), &report.grid.render())?;
+        write("summary.csv".to_string(), &report.aggregate_csv())?;
+        write("curves.txt".to_string(), &report.curves())?;
+        for label in report.variant_labels() {
+            write(format!("{label}/runs.jsonl"), &report.variant_jsonl(&label))?;
+        }
+        Ok(())
+    };
+    if let Err(e) = io() {
+        eprintln!("xcbc exp: cannot write {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    print!("{}", report.grid.render());
+    println!(
+        "{} runs on {workers} workers, {} simulator events -> {}",
+        report.runs.len(),
+        report.total_events(),
+        dir.display()
+    );
+    println!();
+    print!("{}", report.aggregate_csv());
+    println!();
+    print!("{}", report.curves());
     ExitCode::SUCCESS
 }

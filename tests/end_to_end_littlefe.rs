@@ -95,10 +95,9 @@ fn graph_traversal_matches_install_contents() {
 
 #[test]
 fn cluster_runs_a_realistic_job_mix() {
-    use xcbc::sched::{SimMetrics, WorkloadGenerator, WorkloadProfile};
+    use xcbc::sched::{SimMetrics, WorkloadSpec};
     let mut torque = TorqueServer::with_maui("littlefe", 5, 2);
-    let mut gen = WorkloadGenerator::new(WorkloadProfile::teaching_lab(), 5, 2, 99);
-    for (t, req) in gen.generate(60) {
+    for (t, req) in WorkloadSpec::teaching_lab().generate(99, 5, 2, 60) {
         torque.advance_to(t);
         torque.submit(req);
     }
