@@ -1,0 +1,81 @@
+//! Causal trace analysis throughput: critical-path extraction, lane
+//! reconstruction, and the rendered views over synthetic traces shaped
+//! like real deployment days (per-node install spans feeding a serial
+//! scheduler chain).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xcbc_sim::{analyze, TraceEvent};
+
+/// A deployment-day-shaped trace: `nodes` parallel install lanes (boot,
+/// kickstart, depsolve per node) followed by a serial scheduler chain,
+/// with interleaved marks and counters the analyser must skip over.
+fn synthetic_trace(nodes: usize, chain: usize) -> Vec<TraceEvent> {
+    let mut events = Vec::with_capacity(nodes * 4 + chain + 2);
+    events.push(TraceEvent::span(0.0, "yum.mirror", "fetch repo", 8.0));
+    for i in 0..nodes {
+        let host = format!("compute-0-{i}");
+        let start = 8.0 + (i % 7) as f64 * 3.0;
+        events.push(
+            TraceEvent::span(start, "cluster.boot", format!("{host}: pxe"), 45.0)
+                .with_field("node", host.clone()),
+        );
+        events.push(
+            TraceEvent::span(
+                start + 45.0,
+                "rocks.install",
+                format!("{host}: kickstart"),
+                600.0,
+            )
+            .with_field("node", host.clone()),
+        );
+        events.push(
+            TraceEvent::span(
+                start + 645.0,
+                "yum.solvecache",
+                format!("{host}: depsolve"),
+                2.0,
+            )
+            .with_field("node", host.clone()),
+        );
+        events.push(TraceEvent::mark(
+            start + 647.0,
+            "fleet.membership",
+            format!("join {host}"),
+        ));
+    }
+    let mut t = 8.0 + 6.0 * 3.0 + 647.0;
+    for j in 0..chain {
+        let dur = 100.0 + (j % 13) as f64 * 17.0;
+        events.push(TraceEvent::span(t, "sched", format!("job batch-{j}"), dur));
+        events.push(TraceEvent::counter(
+            t,
+            "sched",
+            "queue depth",
+            (chain - j) as u64,
+        ));
+        t += dur;
+    }
+    events
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze/day");
+    for (nodes, chain) in [(6usize, 50usize), (36, 200), (220, 1000)] {
+        let events = synthetic_trace(nodes, chain);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nodes}x{chain}")),
+            &events,
+            |b, events| b.iter(|| analyze(events).path.segments.len()),
+        );
+    }
+    group.finish();
+
+    let events = synthetic_trace(36, 200);
+    c.bench_function("analyze/render_36x200", |b| {
+        let a = analyze(&events);
+        b.iter(|| a.render().len() + a.flame().len() + a.folded().len())
+    });
+}
+
+criterion_group!(benches, bench_analyze);
+criterion_main!(benches);

@@ -88,6 +88,20 @@ fn bench_telemetry_ingest(c: &mut Criterion) {
             sink.alerts().len()
         })
     });
+    // same stream, one `accept_batch` call: the fan-out derives every
+    // sample first, then publishes them under a single monitor lock
+    c.bench_function("telemetry/ingest_10k_events_batched", |b| {
+        b.iter(|| {
+            let monitor = ClusterMonitor::with_config(RrdConfig::default());
+            let mut sink = TelemetrySink::new(
+                monitor,
+                TelemetryConfig::new("littlefe", hosts.clone()),
+                default_alert_rules(),
+            );
+            sink.accept_batch(&events);
+            sink.alerts().len()
+        })
+    });
 }
 
 criterion_group!(

@@ -52,5 +52,6 @@ pub fn default_invariants() -> Vec<Box<dyn Invariant + Send + Sync>> {
         Box::new(invariants::ElasticNoJobLost),
         Box::new(invariants::ElasticConverges),
         Box::new(invariants::WorkloadConservation),
+        Box::new(invariants::AnalysisCriticalPath),
     ]
 }

@@ -958,3 +958,68 @@ impl Invariant for CampaignConverges {
         v
     }
 }
+
+/// Causal-analysis coherence: re-running the trace analyser over any
+/// recorded trace is byte-stable (same render, flame, and folded
+/// stacks), and the critical path telescopes exactly — every segment's
+/// blocked gap plus busy time sums to the trace's span makespan.
+pub struct AnalysisCriticalPath;
+
+impl Invariant for AnalysisCriticalPath {
+    fn name(&self) -> &'static str {
+        "analyze.critical-path"
+    }
+
+    fn check(&self, outcome: &SoakOutcome) -> Vec<Violation> {
+        let mut v = Vec::new();
+        let mut traces: Vec<(String, &[TraceEvent])> = Vec::new();
+        for site in &outcome.fleet.sites {
+            if let Ok(report) = &site.result {
+                traces.push((format!("fleet/{}", site.name), &report.trace));
+            }
+        }
+        traces.push(("sched".to_string(), &outcome.sched.trace));
+        if let Some(campaign) = &outcome.campaign {
+            traces.push(("campaign".to_string(), &campaign.trace));
+        }
+        if let Some(resume) = &outcome.resume {
+            traces.push((
+                "resume/uninterrupted".to_string(),
+                &resume.uninterrupted_trace,
+            ));
+            traces.push(("resume/resumed".to_string(), &resume.resumed_trace));
+        }
+        for (label, trace) in traces {
+            let a = xcbc_sim::analyze(trace);
+            let b = xcbc_sim::analyze(trace);
+            if a.render() != b.render() || a.flame() != b.flame() || a.folded() != b.folded() {
+                v.push(violation(
+                    self.name(),
+                    format!("{label}: analysis output not replay-stable"),
+                ));
+                continue;
+            }
+            if a.path.total() != a.makespan {
+                v.push(violation(
+                    self.name(),
+                    format!(
+                        "{label}: critical path total {} != span makespan {} \
+                         ({} segment(s), busy {}, blocked {})",
+                        xcbc_sim::analyze::fmt_secs(a.path.total()),
+                        xcbc_sim::analyze::fmt_secs(a.makespan),
+                        a.path.segments.len(),
+                        xcbc_sim::analyze::fmt_secs(a.path.busy()),
+                        xcbc_sim::analyze::fmt_secs(a.path.blocked()),
+                    ),
+                ));
+            }
+            if a.spans > 0 && a.path.segments.is_empty() {
+                v.push(violation(
+                    self.name(),
+                    format!("{label}: {} span(s) but an empty critical path", a.spans),
+                ));
+            }
+        }
+        v
+    }
+}

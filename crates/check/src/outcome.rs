@@ -112,8 +112,9 @@ pub struct ElasticRecord {
     pub job_states: Vec<(String, JobState)>,
 }
 
-/// The generated-workload stage: an open-loop [`WorkloadSpec`]
-/// (`xcbc_sched::WorkloadSpec`) stream run end-to-end through one RM
+/// The generated-workload stage: an open-loop
+/// [`WorkloadSpec`](xcbc_sched::workload::WorkloadSpec) stream run
+/// end-to-end through one RM
 /// frontend, with the expected-consumption ledger kept alongside so
 /// the conservation checker can audit the books.
 #[derive(Debug)]

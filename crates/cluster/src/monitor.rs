@@ -397,6 +397,21 @@ impl NodeMonitor {
     }
 }
 
+/// One derived observation headed for a node's metric rings — the unit
+/// of [`ClusterMonitor::publish_all`] batching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricUpdate {
+    /// The reporting host. Shared (`Arc<str>`) so the several samples a
+    /// single trace event derives reuse one allocation.
+    pub host: Arc<str>,
+    /// Which metric the sample belongs to.
+    pub kind: MetricKind,
+    /// When the sample was taken.
+    pub time: SimTime,
+    /// The sampled value.
+    pub value: f64,
+}
+
 /// Cluster aggregator (gmetad): thread-safe so parallel node simulations
 /// can publish concurrently.
 #[derive(Debug, Clone)]
@@ -458,6 +473,42 @@ impl ClusterMonitor {
         g.get_mut(hostname)
             .expect("just inserted")
             .observe(kind, time, value);
+    }
+
+    /// Publish a whole batch of observations under **one** write-lock
+    /// acquisition, with consecutive same-host updates sharing a single
+    /// map lookup. Observationally identical to calling
+    /// [`publish`](Self::publish) once per update in order — per
+    /// `(host, kind)` series the samples land in the same order — but
+    /// ~an order of magnitude cheaper for telemetry-ingest workloads
+    /// where every trace event derives several samples for one host.
+    pub fn publish_all<'a>(&self, updates: impl IntoIterator<Item = &'a MetricUpdate>) {
+        let mut updates = updates.into_iter();
+        let Some(mut cur) = updates.next() else {
+            return;
+        };
+        let mut g = self.inner.write();
+        'runs: loop {
+            let host: &str = &cur.host;
+            if !g.contains_key(host) {
+                g.insert(
+                    host.to_string(),
+                    NodeMonitor::with_config(host, &self.config),
+                );
+            }
+            let node = g.get_mut(host).expect("just inserted");
+            node.observe(cur.kind, cur.time, cur.value);
+            loop {
+                match updates.next() {
+                    Some(u) if *u.host == *host => node.observe(u.kind, u.time, u.value),
+                    Some(u) => {
+                        cur = u;
+                        continue 'runs;
+                    }
+                    None => return,
+                }
+            }
+        }
     }
 
     /// Run `f` over one gmond.
@@ -724,7 +775,14 @@ impl Alert {
 #[derive(Debug, Default)]
 pub struct AlertEngine {
     rules: Vec<AlertRule>,
-    active: BTreeSet<(String, String)>,
+    /// Per-host threshold latches, indexed by rule position: `true` ⇔
+    /// that rule is currently in violation for the host. Keyed by host
+    /// so the per-sample hot path is a borrowed `&str` lookup — no
+    /// allocation unless an alert actually fires.
+    latched: BTreeMap<String, Vec<bool>>,
+    /// Event-alert latches ([`raise`](Self::raise)/[`clear`](Self::clear))
+    /// for names that are not configured threshold rules.
+    raised: BTreeSet<(String, String)>,
     fired: Vec<Alert>,
 }
 
@@ -755,13 +813,14 @@ impl AlertEngine {
 
     /// Evaluate one observation; any newly-fired alerts are recorded.
     pub fn observe(&mut self, host: &str, kind: MetricKind, t: SimTime, value: f64) {
-        for rule in &self.rules {
+        for i in 0..self.rules.len() {
+            let rule = &self.rules[i];
             if rule.kind != kind {
                 continue;
             }
-            let key = (rule.name.clone(), host.to_string());
             if rule.violated(value) {
-                if self.active.insert(key) {
+                if self.latch(i, host) {
+                    let rule = &self.rules[i];
                     self.fired.push(Alert {
                         t,
                         rule: rule.name.clone(),
@@ -770,16 +829,38 @@ impl AlertEngine {
                         threshold: rule.threshold,
                     });
                 }
-            } else {
-                self.active.remove(&key);
+            } else if let Some(latch) = self.latched.get_mut(host) {
+                if let Some(b) = latch.get_mut(i) {
+                    *b = false;
+                }
             }
         }
     }
 
+    /// Set latch `i` for `host`; returns true if it was newly set.
+    fn latch(&mut self, i: usize, host: &str) -> bool {
+        if !self.latched.contains_key(host) {
+            self.latched.insert(host.to_string(), Vec::new());
+        }
+        let latch = self.latched.get_mut(host).expect("just inserted");
+        if latch.len() <= i {
+            latch.resize(i + 1, false);
+        }
+        let newly = !latch[i];
+        latch[i] = true;
+        newly
+    }
+
     /// Raise an event alert (quarantine, absent heartbeat) directly,
     /// deduplicated per `(rule, host)` until [`clear`](Self::clear).
+    /// Raising the name of a configured threshold rule shares that
+    /// rule's hysteresis latch.
     pub fn raise(&mut self, t: SimTime, rule: &str, host: &str, value: f64) {
-        if self.active.insert((rule.to_string(), host.to_string())) {
+        let newly = match self.rules.iter().position(|r| r.name == rule) {
+            Some(i) => self.latch(i, host),
+            None => self.raised.insert((rule.to_string(), host.to_string())),
+        };
+        if newly {
             self.fired.push(Alert {
                 t,
                 rule: rule.to_string(),
@@ -792,7 +873,18 @@ impl AlertEngine {
 
     /// Clear one `(rule, host)` latch so it may fire again.
     pub fn clear(&mut self, rule: &str, host: &str) {
-        self.active.remove(&(rule.to_string(), host.to_string()));
+        match self.rules.iter().position(|r| r.name == rule) {
+            Some(i) => {
+                if let Some(latch) = self.latched.get_mut(host) {
+                    if let Some(b) = latch.get_mut(i) {
+                        *b = false;
+                    }
+                }
+            }
+            None => {
+                self.raised.remove(&(rule.to_string(), host.to_string()));
+            }
+        }
     }
 
     /// Every alert fired so far, in firing order.

@@ -23,11 +23,14 @@
 //! byte-deterministic for a fixed seed, so is everything this sink
 //! derives.
 
-use crate::monitor::{Alert, AlertEngine, AlertRule, ClusterMonitor, MetricKind};
+use crate::monitor::{Alert, AlertEngine, AlertRule, ClusterMonitor, MetricKind, MetricUpdate};
 use crate::node::PowerState;
 use crate::power::POWER_TRACE_SOURCE;
 use std::collections::BTreeMap;
-use xcbc_sim::{FieldValue, SimTime, TraceEvent, TraceKind, TraceSink, BACKOFF_PREFIX};
+use std::sync::Arc;
+use xcbc_sim::{
+    FieldValue, SimTime, TraceEvent, TraceKind, TraceSink, ANALYZE_TRACE_SOURCE, BACKOFF_PREFIX,
+};
 
 /// Trace source for fleet membership marks (`join <host>` /
 /// `drain <host>` / `leave <host>`). Emitted by the elastic membership
@@ -113,6 +116,38 @@ impl TelemetryConfig {
     }
 }
 
+/// One derived monitoring action, buffered so a batch of trace events
+/// can publish under a single monitor lock while the alert engine
+/// still sees every action in exact emission order.
+#[derive(Debug)]
+enum TelemetryOp {
+    /// A sample for the gmetad rings *and* the alert engine.
+    Sample(MetricUpdate),
+    /// A direct alert raise (campaign failures and the like).
+    Raise {
+        t: SimTime,
+        rule: &'static str,
+        host: String,
+    },
+}
+
+/// The last trace-analysis summary observed on the
+/// [`ANALYZE_TRACE_SOURCE`] stream (the `critical-path` mark the
+/// analyser emits), so dashboards can show what bounded the run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AnalysisSummary {
+    /// Links in the critical path.
+    pub segments: u64,
+    /// Busy seconds along the path.
+    pub busy_s: f64,
+    /// Blocked seconds along the path.
+    pub blocked_s: f64,
+    /// The span makespan the path telescopes to.
+    pub makespan_s: f64,
+    /// Label of the terminal (makespan-bounding) span, if any.
+    pub terminal: Option<String>,
+}
+
 /// The event-driven gmond array: one [`TraceSink`] that publishes
 /// derived samples into a [`ClusterMonitor`] and evaluates alert rules
 /// sample-by-sample.
@@ -127,6 +162,15 @@ pub struct TelemetrySink {
     /// Power state per host, driven by `cluster.power` boot spans and
     /// power-off marks; hosts never power-managed stay [`PowerState::On`].
     power: BTreeMap<String, PowerState>,
+    /// The last `trace.analyze` critical-path summary seen, if any.
+    analysis: Option<AnalysisSummary>,
+    /// Reused per-event op buffer, so single-event `record` doesn't
+    /// allocate a fresh vec per trace event.
+    scratch: Vec<TelemetryOp>,
+    /// The frontend hostname as a shared allocation: unattributable
+    /// work resolves here on every event, so cloning must be a
+    /// refcount bump, not a heap allocation.
+    frontend: Arc<str>,
 }
 
 impl TelemetrySink {
@@ -137,13 +181,23 @@ impl TelemetrySink {
             monitor.register(h);
         }
         monitor.register(&config.frontend);
+        let frontend = Arc::from(config.frontend.as_str());
         TelemetrySink {
             monitor,
             engine: AlertEngine::with_rules(rules),
             config,
             service: BTreeMap::new(),
             power: BTreeMap::new(),
+            analysis: None,
+            scratch: Vec::new(),
+            frontend,
         }
+    }
+
+    /// The last critical-path summary seen on the `trace.analyze`
+    /// stream, if the run's trace was analysed.
+    pub fn analysis(&self) -> Option<&AnalysisSummary> {
+        self.analysis.as_ref()
     }
 
     /// The campaign service state of `host`.
@@ -201,67 +255,44 @@ impl TelemetrySink {
         (self.monitor, self.engine)
     }
 
-    fn emit(&mut self, host: &str, kind: MetricKind, t: SimTime, value: f64) {
-        self.monitor.publish(host, kind, t, value);
-        self.engine.observe(host, kind, t, value);
-    }
-
-    /// Busy samples at span start, idle samples at span end.
-    fn busy_idle(
-        &mut self,
-        host: &str,
-        start: SimTime,
-        end: SimTime,
-        cpu: f64,
-        load: f64,
-        mem: Option<f64>,
-    ) {
-        let host = host.to_string();
-        self.emit(&host, MetricKind::CpuPercent, start, cpu);
-        self.emit(&host, MetricKind::LoadOne, start, load);
-        if let Some(mem) = mem {
-            self.emit(&host, MetricKind::MemPercent, start, mem);
-        }
-        if end > start {
-            self.emit(&host, MetricKind::CpuPercent, end, IDLE_CPU);
-            self.emit(&host, MetricKind::LoadOne, end, IDLE_LOAD);
-            if mem.is_some() {
-                self.emit(&host, MetricKind::MemPercent, end, IDLE_MEM);
+    /// Replay buffered ops: every sample lands in the gmetad under one
+    /// [`publish_all`](ClusterMonitor::publish_all) lock acquisition,
+    /// then the alert engine sees every op in exact derivation order —
+    /// so batched ingest is observationally identical to per-event
+    /// ingest, just without a lock round-trip per sample.
+    fn apply(&mut self, ops: &[TelemetryOp]) {
+        self.monitor
+            .publish_all(ops.iter().filter_map(|op| match op {
+                TelemetryOp::Sample(u) => Some(u),
+                TelemetryOp::Raise { .. } => None,
+            }));
+        for op in ops {
+            match op {
+                TelemetryOp::Sample(u) => self.engine.observe(&u.host, u.kind, u.time, u.value),
+                TelemetryOp::Raise { t, rule, host } => self.engine.raise(*t, rule, host, 1.0),
             }
-        }
-    }
-
-    fn net_span(&mut self, host: &str, start: SimTime, end: SimTime, bytes: u64) {
-        let host = host.to_string();
-        let dur_s = end.since(start).as_secs_f64();
-        let rate = if dur_s > 0.0 {
-            bytes as f64 / dur_s
-        } else {
-            bytes as f64
-        };
-        self.emit(&host, MetricKind::NetBytesPerSec, start, rate);
-        if end > start {
-            self.emit(&host, MetricKind::NetBytesPerSec, end, 0.0);
         }
     }
 
     /// Resolve the host an event describes: an explicit `node` field
     /// wins; otherwise a `<host>:`-prefixed label is matched against
     /// the known hosts (with `frontend:` aliasing the configured
-    /// frontend); everything else is the frontend's work.
-    fn resolve_host(&self, event: &TraceEvent) -> String {
+    /// frontend); everything else is the frontend's work. Returns a
+    /// shared allocation so the event's derived samples can all point
+    /// at one host string.
+    fn resolve_host(&self, event: &TraceEvent) -> Arc<str> {
         if let Some(FieldValue::Str(node)) = field(event, "node") {
-            return node.clone();
+            return Arc::from(node.as_str());
         }
         if let Some((prefix, _)) = event.label.split_once(':') {
             if prefix == "frontend" {
-                return self.config.frontend.clone();
+                return Arc::clone(&self.frontend);
             }
             if self.config.hosts.iter().any(|h| h == prefix) {
-                return prefix.to_string();
+                return Arc::from(prefix);
             }
         }
-        self.config.frontend.clone()
+        Arc::clone(&self.frontend)
     }
 }
 
@@ -276,8 +307,71 @@ fn field_u64(event: &TraceEvent, key: &str) -> Option<u64> {
     }
 }
 
-impl TraceSink for TelemetrySink {
-    fn record(&mut self, event: &TraceEvent) {
+fn field_f64(event: &TraceEvent, key: &str) -> Option<f64> {
+    match field(event, key) {
+        Some(FieldValue::F64(v)) => Some(*v),
+        _ => None,
+    }
+}
+
+fn sample(
+    ops: &mut Vec<TelemetryOp>,
+    host: &Arc<str>,
+    kind: MetricKind,
+    time: SimTime,
+    value: f64,
+) {
+    ops.push(TelemetryOp::Sample(MetricUpdate {
+        host: Arc::clone(host),
+        kind,
+        time,
+        value,
+    }));
+}
+
+/// Busy samples at span start, idle samples at span end.
+fn busy_idle(
+    ops: &mut Vec<TelemetryOp>,
+    host: &Arc<str>,
+    start: SimTime,
+    end: SimTime,
+    cpu: f64,
+    load: f64,
+    mem: Option<f64>,
+) {
+    sample(ops, host, MetricKind::CpuPercent, start, cpu);
+    sample(ops, host, MetricKind::LoadOne, start, load);
+    if let Some(mem) = mem {
+        sample(ops, host, MetricKind::MemPercent, start, mem);
+    }
+    if end > start {
+        sample(ops, host, MetricKind::CpuPercent, end, IDLE_CPU);
+        sample(ops, host, MetricKind::LoadOne, end, IDLE_LOAD);
+        if mem.is_some() {
+            sample(ops, host, MetricKind::MemPercent, end, IDLE_MEM);
+        }
+    }
+}
+
+fn net_span(ops: &mut Vec<TelemetryOp>, host: &Arc<str>, start: SimTime, end: SimTime, bytes: u64) {
+    let dur_s = end.since(start).as_secs_f64();
+    let rate = if dur_s > 0.0 {
+        bytes as f64 / dur_s
+    } else {
+        bytes as f64
+    };
+    sample(ops, host, MetricKind::NetBytesPerSec, start, rate);
+    if end > start {
+        sample(ops, host, MetricKind::NetBytesPerSec, end, 0.0);
+    }
+}
+
+impl TelemetrySink {
+    /// Convert one trace event into buffered monitoring ops and state
+    /// updates. Shared verbatim by [`record`](TraceSink::record) and
+    /// [`accept_batch`](TraceSink::accept_batch), so both paths derive
+    /// the exact same op sequence.
+    fn derive(&mut self, event: &TraceEvent, ops: &mut Vec<TelemetryOp>) {
         if event.source == "campaign" {
             if let TraceKind::Mark = event.kind {
                 if let Some((verb, host)) = event.label.split_once(' ') {
@@ -291,8 +385,11 @@ impl TraceSink for TelemetrySink {
                     if let Some(state) = state {
                         self.service.insert(host.to_string(), state);
                         if state == ServiceState::Failed {
-                            self.engine
-                                .raise(event.t, "campaign-node-failed", host, 1.0);
+                            ops.push(TelemetryOp::Raise {
+                                t: event.t,
+                                rule: "campaign-node-failed",
+                                host: host.to_string(),
+                            });
                         }
                     }
                 }
@@ -308,11 +405,12 @@ impl TraceSink for TelemetrySink {
                         // the absence sweep sees it, without inventing
                         // load the node never carried.
                         "join" => {
-                            let host = host.to_string();
-                            self.emit(&host, MetricKind::CpuPercent, event.t, 0.0);
-                            self.emit(&host, MetricKind::LoadOne, event.t, 0.0);
-                            self.power.insert(host.clone(), PowerState::On);
-                            self.service.insert(host, ServiceState::InService);
+                            let shared: Arc<str> = Arc::from(host);
+                            sample(ops, &shared, MetricKind::CpuPercent, event.t, 0.0);
+                            sample(ops, &shared, MetricKind::LoadOne, event.t, 0.0);
+                            self.power.insert(host.to_string(), PowerState::On);
+                            self.service
+                                .insert(host.to_string(), ServiceState::InService);
                         }
                         "drain" => {
                             self.service
@@ -327,6 +425,26 @@ impl TraceSink for TelemetrySink {
             }
             return;
         }
+        if event.source == ANALYZE_TRACE_SOURCE {
+            // analysis summaries update dashboard state; they carry no
+            // node load (the analyser ran on the operator's machine)
+            if let TraceKind::Mark = event.kind {
+                if event.label == "critical-path" {
+                    let terminal = match field(event, "terminal") {
+                        Some(FieldValue::Str(s)) => Some(s.clone()),
+                        _ => None,
+                    };
+                    self.analysis = Some(AnalysisSummary {
+                        segments: field_u64(event, "segments").unwrap_or(0),
+                        busy_s: field_f64(event, "busy_s").unwrap_or(0.0),
+                        blocked_s: field_f64(event, "blocked_s").unwrap_or(0.0),
+                        makespan_s: field_f64(event, "makespan_s").unwrap_or(0.0),
+                        terminal,
+                    });
+                }
+            }
+            return;
+        }
         if event.source == POWER_TRACE_SOURCE {
             // `boot node N` spans and `power-off node N` marks carry a
             // numeric `node` field; aggregate `boot N nodes` spans and
@@ -337,7 +455,16 @@ impl TraceSink for TelemetrySink {
             let host = format!("{}{n}", self.config.sched_host_prefix);
             match event.kind {
                 TraceKind::Span { dur } => {
-                    self.busy_idle(&host, event.t, event.t + dur, BOOT_CPU, INSTALL_LOAD, None);
+                    let shared: Arc<str> = Arc::from(host.as_str());
+                    busy_idle(
+                        ops,
+                        &shared,
+                        event.t,
+                        event.t + dur,
+                        BOOT_CPU,
+                        INSTALL_LOAD,
+                        None,
+                    );
                     self.power.insert(host, PowerState::On);
                 }
                 TraceKind::Mark => {
@@ -356,9 +483,10 @@ impl TraceSink for TelemetrySink {
                 let host = self.resolve_host(event);
                 if event.label.starts_with(BACKOFF_PREFIX) {
                     // retries thrash the node: CPU spike, no real work
-                    self.busy_idle(&host, start, end, BACKOFF_CPU, INSTALL_LOAD, None);
+                    busy_idle(ops, &host, start, end, BACKOFF_CPU, INSTALL_LOAD, None);
                 } else {
-                    self.busy_idle(
+                    busy_idle(
+                        ops,
                         &host,
                         start,
                         end,
@@ -367,41 +495,69 @@ impl TraceSink for TelemetrySink {
                         Some(INSTALL_MEM),
                     );
                     if let Some(bytes) = field_u64(event, "bytes") {
-                        self.net_span(&host, start, end, bytes);
+                        net_span(ops, &host, start, end, bytes);
                     }
                 }
             }
             "cluster.boot" => {
                 let host = self.resolve_host(event);
-                self.busy_idle(&host, start, end, BOOT_CPU, INSTALL_LOAD, None);
+                busy_idle(ops, &host, start, end, BOOT_CPU, INSTALL_LOAD, None);
             }
             "yum.mirror" => {
-                let host = self.config.frontend.clone();
-                self.busy_idle(&host, start, end, MIRROR_CPU, INSTALL_LOAD, None);
+                let host = Arc::clone(&self.frontend);
+                busy_idle(ops, &host, start, end, MIRROR_CPU, INSTALL_LOAD, None);
                 if let Some(bytes) = field_u64(event, "bytes") {
-                    self.net_span(&host, start, end, bytes);
+                    net_span(ops, &host, start, end, bytes);
                 }
             }
             "sched" => {
                 let Some(FieldValue::Str(placement)) = field(event, "placement") else {
                     return; // reservations and marks: no node load
                 };
-                let hosts: Vec<String> = placement
+                let hosts: Vec<Arc<str>> = placement
                     .split(',')
                     .filter(|s| !s.is_empty())
-                    .map(|i| format!("{}{i}", self.config.sched_host_prefix))
+                    .map(|i| Arc::from(format!("{}{i}", self.config.sched_host_prefix)))
                     .collect();
                 if hosts.is_empty() {
                     return;
                 }
                 let cores = field_u64(event, "cores").unwrap_or(hosts.len() as u64);
                 let per_node_load = cores as f64 / hosts.len() as f64;
-                for host in hosts {
-                    self.busy_idle(&host, start, end, JOB_CPU, per_node_load, None);
+                for host in &hosts {
+                    busy_idle(ops, host, start, end, JOB_CPU, per_node_load, None);
                 }
             }
             _ => {}
         }
+    }
+}
+
+impl TraceSink for TelemetrySink {
+    fn record(&mut self, event: &TraceEvent) {
+        let mut ops = std::mem::take(&mut self.scratch);
+        ops.clear();
+        self.derive(event, &mut ops);
+        self.apply(&ops);
+        self.scratch = ops;
+    }
+
+    fn accept_batch(&mut self, events: &[TraceEvent]) {
+        // Chunked rather than all-at-once: each chunk's samples publish
+        // under one monitor lock, while the op buffer stays small
+        // enough to stay cache-resident and is reused across chunks
+        // (an unbounded buffer for a large batch costs more in memory
+        // traffic than the saved lock round-trips buy back).
+        const CHUNK: usize = 256;
+        let mut ops = std::mem::take(&mut self.scratch);
+        for chunk in events.chunks(CHUNK) {
+            ops.clear();
+            for event in chunk {
+                self.derive(event, &mut ops);
+            }
+            self.apply(&ops);
+        }
+        self.scratch = ops;
     }
 
     fn name(&self) -> &str {
@@ -615,6 +771,89 @@ mod tests {
                 .with_field("nodes", 2u64),
         );
         assert_eq!(s.power_state("compute-0-0"), PowerState::On);
+    }
+
+    #[test]
+    fn batch_ingest_matches_per_event_ingest() {
+        // a mixed stream touching every derivation branch
+        let mut events = Vec::new();
+        for i in 0..40u64 {
+            events.push(
+                TraceEvent::span(
+                    (i * 10) as f64,
+                    "rocks.install",
+                    format!("compute-0-{}: pxe + kickstart install", i % 2),
+                    60.0,
+                )
+                .with_field("node", format!("compute-0-{}", i % 2))
+                .with_field("bytes", 1u64 << 20),
+            );
+            events.push(
+                TraceEvent::span((i * 10 + 2) as f64, "sched", format!("job j{i}"), 30.0)
+                    .with_field("cores", 2u64)
+                    .with_field("placement", "0,1"),
+            );
+        }
+        events.push(TraceEvent::mark(500.0, "campaign", "fail compute-0-1"));
+        events.push(TraceEvent::span(
+            600.0,
+            "rocks.install",
+            format!("{BACKOFF_PREFIX}retries"),
+            20.0,
+        ));
+
+        let mut looped = sink();
+        for e in &events {
+            looped.record(e);
+        }
+        let mut batched = sink();
+        batched.accept_batch(&events);
+
+        assert_eq!(looped.alerts(), batched.alerts(), "same alerts, same order");
+        for host in ["littlefe", "compute-0-0", "compute-0-1"] {
+            for kind in [
+                MetricKind::CpuPercent,
+                MetricKind::LoadOne,
+                MetricKind::MemPercent,
+                MetricKind::NetBytesPerSec,
+            ] {
+                let a: Vec<_> = looped
+                    .monitor()
+                    .with_node(host, |n| n.ring(kind).iter().collect::<Vec<_>>())
+                    .unwrap();
+                let b: Vec<_> = batched
+                    .monitor()
+                    .with_node(host, |n| n.ring(kind).iter().collect::<Vec<_>>())
+                    .unwrap();
+                assert_eq!(a, b, "{host}/{kind:?} series identical");
+            }
+        }
+    }
+
+    #[test]
+    fn analysis_marks_update_summary_state() {
+        let mut s = sink();
+        assert!(s.analysis().is_none());
+        s.record(
+            &TraceEvent::mark(100.0, ANALYZE_TRACE_SOURCE, "critical-path")
+                .with_field("segments", 3u64)
+                .with_field("busy_s", 80.0)
+                .with_field("blocked_s", 20.0)
+                .with_field("makespan_s", 100.0)
+                .with_field("terminal", "sched drain"),
+        );
+        let a = s.analysis().unwrap();
+        assert_eq!(a.segments, 3);
+        assert_eq!(a.makespan_s, 100.0);
+        assert_eq!(a.terminal.as_deref(), Some("sched drain"));
+        // lane marks and unrelated labels don't clobber the summary
+        s.record(&TraceEvent::mark(100.0, ANALYZE_TRACE_SOURCE, "lane sched"));
+        assert_eq!(s.analysis().unwrap().segments, 3);
+        // analysis marks derive no node load
+        assert!(s
+            .monitor()
+            .with_node("compute-0-0", |n| n.ring(MetricKind::CpuPercent).is_empty())
+            .unwrap());
     }
 
     #[test]

@@ -197,6 +197,21 @@ pub fn deploy_from_scratch_resilient(
         ))
     };
 
+    // faulted runs carry their last moments: replay the trace through
+    // a bounded flight recorder and pin the tail to the post-mortem
+    let mut post_mortem = resilient.post_mortem;
+    if !post_mortem.is_clean() {
+        let flight = xcbc_sim::FlightRecorder::from_events(
+            xcbc_sim::FLIGHT_RECORDER_CAPACITY,
+            &resilient.report.trace,
+        );
+        post_mortem.record_flight_tail(
+            flight.tail().map(|ev| ev.to_jsonl()),
+            flight.seen(),
+            flight.dropped(),
+        );
+    }
+
     Ok(DeploymentReport {
         path: DeploymentPath::FromScratch,
         admin_steps,
@@ -206,7 +221,7 @@ pub fn deploy_from_scratch_resilient(
         timeline: resilient.report.timeline,
         trace: resilient.report.trace,
         node_dbs: resilient.report.node_dbs,
-        post_mortem: Some(resilient.post_mortem),
+        post_mortem: Some(post_mortem),
         degraded,
         checkpoint: Some(resilient.checkpoint),
     })

@@ -19,7 +19,10 @@ use crate::scenario::DayOneRun;
 use xcbc_cluster::{
     Alert, AlertRule, ClusterMonitor, MetricKind, RrdConfig, TelemetryConfig, TelemetrySink,
 };
-use xcbc_sim::{events_to_jsonl, HistogramSink, MetricRegistry, SimTime, TraceEvent, TraceSink};
+use xcbc_sim::{
+    analyze, events_to_jsonl, Analysis, FlightRecorder, HistogramSink, MetricRegistry, SimTime,
+    TraceEvent, TraceSink, FLIGHT_RECORDER_CAPACITY,
+};
 
 /// Everything the telemetry pipeline derived from one run.
 #[derive(Debug)]
@@ -36,8 +39,13 @@ pub struct MonReport {
     pub histograms: HistogramSink,
     /// The registry every layer exported into.
     pub registry: MetricRegistry,
-    /// The merged timeline, now including the fired `mon.alert` events.
+    /// The merged timeline, now including the fired `mon.alert` events
+    /// and the analyser's `trace.analyze` summary marks.
     pub events: Vec<TraceEvent>,
+    /// Causal analysis of the run's trace (critical path, lanes).
+    pub analysis: Analysis,
+    /// The bounded last-N-events recorder, with overflow counters.
+    pub flight: FlightRecorder,
     /// The instant the run ended.
     pub end: SimTime,
 }
@@ -54,10 +62,18 @@ pub fn monitor_run(run: &DayOneRun, rules: Vec<AlertRule>) -> MonReport {
         rules,
     );
     let mut histograms = HistogramSink::new();
-    for event in &run.events {
-        telemetry.record(event);
-        histograms.record(event);
-    }
+    // batched ingest: one monitor-lock acquisition for the whole
+    // stream instead of one per derived sample
+    telemetry.accept_batch(&run.events);
+    histograms.accept_batch(&run.events);
+
+    // causal analysis of the same trace; its summary marks flow back
+    // through the gmond array like any other layer's events
+    let analysis = analyze(&run.events);
+    let marks = analysis.analysis_marks();
+    telemetry.accept_batch(&marks);
+    let flight = FlightRecorder::from_events(FLIGHT_RECORDER_CAPACITY, &run.events);
+
     for (node, _reason) in &run.quarantined {
         telemetry.note_quarantined(end, node);
     }
@@ -71,9 +87,12 @@ pub fn monitor_run(run: &DayOneRun, rules: Vec<AlertRule>) -> MonReport {
     histograms.register_into(&mut registry);
     run.solve_cache.register_metrics(&mut registry);
     run.sched_metrics.register_into(&mut registry);
+    analysis.register_into(&mut registry);
+    flight.register_into(&mut registry);
 
     let mut events = run.events.clone();
     events.extend(engine.events());
+    events.extend(marks);
     events.sort_by_key(|e| e.t);
 
     MonReport {
@@ -84,6 +103,8 @@ pub fn monitor_run(run: &DayOneRun, rules: Vec<AlertRule>) -> MonReport {
         histograms,
         registry,
         events,
+        analysis,
+        flight,
         end,
     }
 }
@@ -113,10 +134,27 @@ impl MonReport {
             self.scenario, self.seed
         ));
         out.push_str(&format!(
-            "{} hosts, {} events, ended at {}\n\n",
+            "{} hosts, {} events, ended at {}\n",
             self.monitor.hosts().len(),
             self.events.len(),
             self.end
+        ));
+        let path = &self.analysis.path;
+        if let Some(terminal) = path.segments.last() {
+            out.push_str(&format!(
+                "critical path: {} segment(s), busy {}s + blocked {}s = makespan {}s, bounded by {}\n",
+                path.segments.len(),
+                xcbc_sim::analyze::fmt_secs(path.busy()),
+                xcbc_sim::analyze::fmt_secs(path.blocked()),
+                xcbc_sim::analyze::fmt_secs(self.analysis.makespan),
+                terminal.label
+            ));
+        }
+        out.push_str(&format!(
+            "flight recorder: {} of {} event(s) retained ({} dropped)\n\n",
+            self.flight.len(),
+            self.flight.seen(),
+            self.flight.dropped()
         ));
 
         out.push_str(&format!(

@@ -31,6 +31,16 @@ pub struct PostMortem {
     /// Notable resilience moments (retry absorbed, quarantine, resume)
     /// stamped on the shared simulation clock, in occurrence order.
     pub moments: Vec<(SimTime, String)>,
+    /// Flight-recorder tail: the last events (as JSONL lines) the run
+    /// emitted before it finished or faulted, plus how many of the
+    /// observed events fell out of the bounded ring. Populated by the
+    /// deployment engines for non-clean runs.
+    pub flight_tail: Vec<String>,
+    /// Total events the flight recorder observed (`0` when no recorder
+    /// ran); `flight_dropped` of them were evicted from the ring.
+    pub flight_seen: u64,
+    /// Events evicted from the flight-recorder ring.
+    pub flight_dropped: u64,
 }
 
 impl PostMortem {
@@ -66,6 +76,19 @@ impl PostMortem {
         self.moments.push((at.into(), what.into()));
     }
 
+    /// Attach a flight-recorder tail (last-events JSONL lines plus the
+    /// ring's seen/dropped counters) to the report.
+    pub fn record_flight_tail(
+        &mut self,
+        tail: impl IntoIterator<Item = String>,
+        seen: u64,
+        dropped: u64,
+    ) {
+        self.flight_tail = tail.into_iter().collect();
+        self.flight_seen = seen;
+        self.flight_dropped = dropped;
+    }
+
     /// Merge another post-mortem (e.g. from a sub-phase) into this one.
     pub fn absorb(&mut self, other: PostMortem) {
         self.faults.extend(other.faults);
@@ -74,6 +97,12 @@ impl PostMortem {
         self.quarantined.extend(other.quarantined);
         self.resumed_nodes.extend(other.resumed_nodes);
         self.moments.extend(other.moments);
+        // the latest sub-phase's tail wins: it is closest to the failure
+        if !other.flight_tail.is_empty() {
+            self.flight_tail = other.flight_tail;
+            self.flight_seen = other.flight_seen;
+            self.flight_dropped = other.flight_dropped;
+        }
     }
 
     /// True when the run saw no faults, retries, or quarantines — the
@@ -121,6 +150,17 @@ impl PostMortem {
             out.push_str("moments:\n");
             for (t, what) in &self.moments {
                 out.push_str(&format!("  [{t:>10}] {what}\n"));
+            }
+        }
+        if !self.flight_tail.is_empty() {
+            out.push_str(&format!(
+                "flight recorder   : last {} of {} event(s) ({} dropped)\n",
+                self.flight_tail.len(),
+                self.flight_seen,
+                self.flight_dropped
+            ));
+            for line in &self.flight_tail {
+                out.push_str(&format!("  | {line}\n"));
             }
         }
         out
@@ -208,6 +248,31 @@ mod tests {
         let q = text.find("quarantined compute-0-3").unwrap();
         let r = text.find("absorbed 1 retry").unwrap();
         assert!(q < r);
+    }
+
+    #[test]
+    fn flight_tail_renders_and_survives_absorb() {
+        let mut pm = PostMortem::new(Some(4));
+        pm.record_quarantine("compute-0-1", "hang");
+        pm.record_flight_tail(
+            vec![
+                "{\"t_ns\":1,\"source\":\"a\",\"kind\":\"mark\",\"label\":\"x\"}".to_string(),
+                "{\"t_ns\":2,\"source\":\"b\",\"kind\":\"mark\",\"label\":\"y\"}".to_string(),
+            ],
+            10,
+            8,
+        );
+        let text = pm.render();
+        assert!(text.contains("flight recorder   : last 2 of 10 event(s) (8 dropped)"));
+        assert!(text.contains("  | {\"t_ns\":2"));
+
+        let mut main = PostMortem::new(Some(4));
+        main.absorb(pm);
+        assert_eq!(main.flight_tail.len(), 2);
+        assert_eq!(main.flight_seen, 10);
+        // absorbing a tail-less report keeps the existing tail
+        main.absorb(PostMortem::new(Some(4)));
+        assert_eq!(main.flight_dropped, 8);
     }
 
     #[test]

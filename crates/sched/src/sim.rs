@@ -820,11 +820,15 @@ impl ClusterSim {
         self.clock.advance_to(t);
     }
 
-    /// Run until the event queue drains.
+    /// Run until the event queue drains. The whole drain is timed as
+    /// one [`xcbc_sim::SECTION_SCHED_RUN`] self-profile observation —
+    /// deliberately coarse, so the per-event loop stays timer-free.
     pub fn run_to_completion(&mut self) {
-        while let Some(et) = self.events.peek_time() {
-            self.run_until(et);
-        }
+        xcbc_sim::self_profiler().time(xcbc_sim::SECTION_SCHED_RUN, || {
+            while let Some(et) = self.events.peek_time() {
+                self.run_until(et);
+            }
+        });
     }
 }
 

@@ -32,21 +32,30 @@
 
 #![deny(missing_docs)]
 
+pub mod analyze;
 mod clock;
 mod metrics;
 mod queue;
 mod recorder;
+mod selfprof;
 mod time;
 mod trace;
 
+pub use analyze::{
+    analyze, Analysis, CriticalPath, Frame, Lane, PathSegment, ANALYZE_TRACE_SOURCE,
+};
 pub use clock::SimClock;
 pub use metrics::{
     format_prom_f64, HistogramSink, LatencyHistogram, MetricRegistry, HISTOGRAM_BUCKETS_S,
 };
 pub use queue::{EventQueue, Scheduled};
 pub use recorder::{SpanRecorder, BACKOFF_PREFIX};
+pub use selfprof::{
+    self_profiler, SelfProfiler, SECTION_DEPSOLVE, SECTION_SCHED_RUN, SECTION_TRACE_ANALYZE,
+    SECTION_TRACE_RENDER,
+};
 pub use time::{SimDuration, SimTime, NANOS_PER_SEC};
 pub use trace::{
-    events_to_jsonl, EventBus, FieldValue, JsonlSink, MetricsSink, RingBufferSink, SharedSink,
-    TraceEvent, TraceKind, TraceSink,
+    events_to_jsonl, EventBus, FieldValue, FlightRecorder, JsonlSink, MetricsSink, RingBufferSink,
+    SharedSink, TraceEvent, TraceKind, TraceSink, FLIGHT_RECORDER_CAPACITY,
 };

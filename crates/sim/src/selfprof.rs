@@ -1,0 +1,164 @@
+//! Engine self-profiling: wall-clock timers around the engines that
+//! *produce* the deterministic simulation, feeding the same
+//! [`LatencyHistogram`] machinery the simulation exports.
+//!
+//! Everything else in this crate measures *simulated* time. This
+//! module measures the **host** — how long the depsolver, the
+//! scheduler event loop, trace rendering, and trace analysis actually
+//! take on the machine running them — so ROADMAP's performance work
+//! is observable from inside the system (`xcbc mon --self`) instead
+//! of only from external benches.
+//!
+//! Because the readings are wall-clock they are *not* deterministic,
+//! so they live in a process-global profiler that is kept **out** of
+//! every golden-tested rendering: callers opt in by registering a
+//! snapshot into their own [`MetricRegistry`]. Timer overhead is two
+//! `Instant` reads plus one mutex lock per *section invocation* —
+//! instrumented call sites are coarse (a whole depsolve, a whole
+//! scheduler drain), never per simulated event.
+
+use crate::metrics::{LatencyHistogram, MetricRegistry};
+use crate::time::SimDuration;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Section name for whole-depsolve timings.
+pub const SECTION_DEPSOLVE: &str = "yum.depsolve";
+/// Section name for scheduler `run_to_completion` drains.
+pub const SECTION_SCHED_RUN: &str = "sched.run";
+/// Section name for whole-log JSONL rendering.
+pub const SECTION_TRACE_RENDER: &str = "trace.render";
+/// Section name for trace analysis passes.
+pub const SECTION_TRACE_ANALYZE: &str = "trace.analyze";
+
+/// The process-global self-profiler: named sections, each a wall-clock
+/// [`LatencyHistogram`].
+#[derive(Debug, Default)]
+pub struct SelfProfiler {
+    sections: Mutex<BTreeMap<&'static str, LatencyHistogram>>,
+}
+
+/// The global profiler every instrumented engine reports into.
+pub fn self_profiler() -> &'static SelfProfiler {
+    static GLOBAL: OnceLock<SelfProfiler> = OnceLock::new();
+    GLOBAL.get_or_init(SelfProfiler::default)
+}
+
+impl SelfProfiler {
+    /// Run `f`, recording its wall-clock elapsed time under `section`.
+    pub fn time<R>(&self, section: &'static str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.observe(section, start.elapsed());
+        out
+    }
+
+    /// Record one wall-clock duration under `section`.
+    pub fn observe(&self, section: &'static str, elapsed: std::time::Duration) {
+        let d = SimDuration::from_nanos(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+        let mut sections = self.sections.lock().unwrap_or_else(|e| e.into_inner());
+        sections.entry(section).or_default().observe(d);
+    }
+
+    /// A snapshot of every section's histogram, in section order.
+    pub fn snapshot(&self) -> BTreeMap<&'static str, LatencyHistogram> {
+        self.sections
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Forget all recorded sections (tests; fresh CLI invocations
+    /// don't need this — the profiler dies with the process).
+    pub fn reset(&self) {
+        self.sections
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+
+    /// Register every section as the `xcbc_selfprof_seconds` histogram
+    /// family, labelled by section. Wall-clock values — keep out of
+    /// golden-tested registries.
+    pub fn register_into(&self, registry: &mut MetricRegistry) {
+        for (section, hist) in self.snapshot() {
+            registry.set_histogram(
+                "xcbc_selfprof_seconds",
+                "Wall-clock engine hot-path latency",
+                &[("section", section)],
+                &hist,
+            );
+        }
+    }
+
+    /// A human-readable table: one row per section with count, total,
+    /// and conservative p50/p95 bucket edges.
+    pub fn render_table(&self) -> String {
+        let snapshot = self.snapshot();
+        let mut out = String::from(
+            "engine self-profile (host wall-clock)\n\
+             section              count     total      p50       p95\n",
+        );
+        if snapshot.is_empty() {
+            out.push_str("  (no instrumented sections ran)\n");
+            return out;
+        }
+        for (section, hist) in &snapshot {
+            let fmt_edge = |q: Option<f64>| match q {
+                Some(v) if v.is_finite() => format!("{v}s"),
+                Some(_) => ">1e6s".to_string(),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<20} {:>6} {:>9.3}s {:>9} {:>9}",
+                section,
+                hist.count(),
+                hist.sum_seconds(),
+                fmt_edge(hist.p50()),
+                fmt_edge(hist.p95()),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_records_and_returns() {
+        let prof = SelfProfiler::default();
+        let answer = prof.time("test.section", || 41 + 1);
+        assert_eq!(answer, 42);
+        let snap = prof.snapshot();
+        assert_eq!(snap["test.section"].count(), 1);
+    }
+
+    #[test]
+    fn registry_and_table_render_sections() {
+        let prof = SelfProfiler::default();
+        prof.observe("b.section", std::time::Duration::from_millis(5));
+        prof.observe("a.section", std::time::Duration::from_millis(1));
+        let mut reg = MetricRegistry::new();
+        prof.register_into(&mut reg);
+        let text = reg.render_prometheus();
+        assert!(text.contains("xcbc_selfprof_seconds_count{section=\"a.section\"} 1"));
+        let table = prof.render_table();
+        let a = table.find("a.section").unwrap();
+        let b = table.find("b.section").unwrap();
+        assert!(a < b, "sections sorted");
+        prof.reset();
+        assert!(prof.render_table().contains("no instrumented sections"));
+    }
+
+    #[test]
+    fn global_profiler_is_shared() {
+        // don't reset here: other tests may be racing on the global
+        self_profiler().observe("selfprof.test", std::time::Duration::from_micros(10));
+        assert!(self_profiler().snapshot()["selfprof.test"].count() >= 1);
+    }
+}

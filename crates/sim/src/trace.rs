@@ -254,30 +254,53 @@ fn format_json_f64(x: f64) -> String {
     }
 }
 
-/// Render a whole event log as JSONL, one event per line.
+/// Render a whole event log as JSONL, one event per line. The whole
+/// render is timed into the engine self-profiler (section
+/// [`SECTION_TRACE_RENDER`](crate::SECTION_TRACE_RENDER)) — one timer
+/// per log, not per event.
 pub fn events_to_jsonl(events: &[TraceEvent]) -> String {
-    let mut out = String::new();
-    for ev in events {
-        out.push_str(&ev.to_jsonl());
-        out.push('\n');
-    }
-    out
+    crate::self_profiler().time(crate::SECTION_TRACE_RENDER, || {
+        let mut out = String::new();
+        for ev in events {
+            out.push_str(&ev.to_jsonl());
+            out.push('\n');
+        }
+        out
+    })
 }
 
 /// A destination for trace events.
 pub trait TraceSink {
     /// Observe one event. Called in emission order.
     fn record(&mut self, event: &TraceEvent);
+
+    /// Observe a contiguous batch of events, in emission order.
+    ///
+    /// The default forwards to [`record`](TraceSink::record) one event
+    /// at a time, so every sink works unchanged; sinks with per-call
+    /// overhead (a lock to take, a map entry to look up) override this
+    /// to amortize it across the whole batch. Implementations must be
+    /// observationally identical to the per-event loop.
+    fn accept_batch(&mut self, events: &[TraceEvent]) {
+        for event in events {
+            self.record(event);
+        }
+    }
+
     /// A short name for diagnostics.
     fn name(&self) -> &str;
 }
 
 /// Keeps only the most recent `capacity` events — the "flight
-/// recorder" sink for long scenarios.
+/// recorder" sink for long scenarios. Evictions are counted, never
+/// silent: [`dropped`](RingBufferSink::dropped) says how many events
+/// the ring let go.
 #[derive(Debug)]
 pub struct RingBufferSink {
     capacity: usize,
     buf: VecDeque<TraceEvent>,
+    seen: u64,
+    dropped: u64,
 }
 
 impl RingBufferSink {
@@ -286,6 +309,8 @@ impl RingBufferSink {
         RingBufferSink {
             capacity,
             buf: VecDeque::new(),
+            seen: 0,
+            dropped: 0,
         }
     }
 
@@ -303,21 +328,191 @@ impl RingBufferSink {
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
     }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many events the ring has observed in total.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// How many observed events were evicted (or refused outright by a
+    /// zero-capacity ring). `seen - dropped == len`.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
 }
 
 impl TraceSink for RingBufferSink {
     fn record(&mut self, event: &TraceEvent) {
+        self.seen += 1;
         if self.capacity == 0 {
+            self.dropped += 1;
             return;
         }
         if self.buf.len() == self.capacity {
             self.buf.pop_front();
+            self.dropped += 1;
         }
         self.buf.push_back(event.clone());
     }
 
+    fn accept_batch(&mut self, events: &[TraceEvent]) {
+        self.seen += events.len() as u64;
+        if self.capacity == 0 {
+            self.dropped += events.len() as u64;
+            return;
+        }
+        // only the tail of the batch can survive; drop the rest without
+        // ever cloning them through the ring
+        let keep = events.len().min(self.capacity);
+        let skipped = events.len() - keep;
+        self.dropped += skipped as u64;
+        let evict = (self.buf.len() + keep).saturating_sub(self.capacity);
+        for _ in 0..evict {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.extend(events[skipped..].iter().cloned());
+    }
+
     fn name(&self) -> &str {
         "ring"
+    }
+}
+
+/// A bounded last-N-events recorder for post-mortems: wraps a
+/// [`RingBufferSink`] and knows how to render its tail for crash and
+/// abort reports, and how to surface its overflow counters through a
+/// [`MetricRegistry`](crate::MetricRegistry) so truncation is visible
+/// on the `xcbc mon` endpoint rather than silent.
+///
+/// Attach one to a bus (or replay a finished log through
+/// [`from_events`](FlightRecorder::from_events)) and, when a run
+/// faults or aborts, [`tail_jsonl`](FlightRecorder::tail_jsonl) /
+/// [`render_tail`](FlightRecorder::render_tail) dump the last moments
+/// before the failure.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: RingBufferSink,
+}
+
+/// Default number of events a [`FlightRecorder`] retains.
+pub const FLIGHT_RECORDER_CAPACITY: usize = 32;
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(FLIGHT_RECORDER_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` events.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            ring: RingBufferSink::new(capacity),
+        }
+    }
+
+    /// Replay a finished log through a fresh recorder — the cheap way
+    /// to get "the last N events before the end" from any trace.
+    pub fn from_events(capacity: usize, events: &[TraceEvent]) -> FlightRecorder {
+        let mut fr = FlightRecorder::new(capacity);
+        fr.accept_batch(events);
+        fr
+    }
+
+    /// The retained tail, oldest first.
+    pub fn tail(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.events()
+    }
+
+    /// How many events the recorder has observed in total.
+    pub fn seen(&self) -> u64 {
+        self.ring.seen()
+    }
+
+    /// How many observed events fell out of the ring.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// How many events are currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Is the tail empty?
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The retained tail as byte-deterministic JSONL.
+    pub fn tail_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.ring.events() {
+            out.push_str(&ev.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A human-readable tail block for post-mortem and abort reports:
+    /// a header stating retention/truncation, then one indented JSONL
+    /// line per retained event.
+    pub fn render_tail(&self) -> String {
+        let mut out = format!(
+            "flight recorder     : last {} of {} event(s) ({} dropped)\n",
+            self.ring.len(),
+            self.ring.seen(),
+            self.ring.dropped()
+        );
+        for ev in self.ring.events() {
+            out.push_str("  | ");
+            out.push_str(&ev.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Surface the overflow counters as the `xcbc_flightrecorder_*`
+    /// families.
+    pub fn register_into(&self, registry: &mut crate::MetricRegistry) {
+        registry.set_counter(
+            "xcbc_flightrecorder_seen_total",
+            "Events the flight recorder observed",
+            &[],
+            self.ring.seen(),
+        );
+        registry.set_counter(
+            "xcbc_flightrecorder_dropped_total",
+            "Events evicted from the flight-recorder ring",
+            &[],
+            self.ring.dropped(),
+        );
+        registry.set_gauge(
+            "xcbc_flightrecorder_retained",
+            "Events currently retained in the flight-recorder ring",
+            &[],
+            self.ring.len() as f64,
+        );
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn record(&mut self, event: &TraceEvent) {
+        self.ring.record(event);
+    }
+
+    fn accept_batch(&mut self, events: &[TraceEvent]) {
+        self.ring.accept_batch(events);
+    }
+
+    fn name(&self) -> &str {
+        "flight"
     }
 }
 
@@ -461,6 +656,11 @@ impl<S: TraceSink> TraceSink for SharedSink<S> {
         self.with(|sink| sink.record(event));
     }
 
+    fn accept_batch(&mut self, events: &[TraceEvent]) {
+        // one lock acquisition for the whole batch
+        self.with(|sink| sink.accept_batch(events));
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -491,6 +691,18 @@ impl EventBus {
             sink.record(&event);
         }
         self.log.push(event);
+    }
+
+    /// Emit a batch of events: one
+    /// [`accept_batch`](TraceSink::accept_batch) call per sink instead
+    /// of one dynamic dispatch per event per sink, then append the
+    /// batch to the log. Observationally identical to emitting the
+    /// events one by one.
+    pub fn emit_batch(&mut self, events: Vec<TraceEvent>) {
+        for sink in &mut self.sinks {
+            sink.accept_batch(&events);
+        }
+        self.log.extend(events);
     }
 
     /// Convenience: emit a span.
@@ -657,6 +869,98 @@ mod tests {
             })
             .collect();
         assert_eq!(kept, [3, 4]);
+    }
+
+    #[test]
+    fn ring_counts_drops_and_batches_match_loop() {
+        let events: Vec<TraceEvent> = (0..10u64)
+            .map(|i| TraceEvent::counter(i as f64, "c", "tick", i))
+            .collect();
+
+        let mut looped = RingBufferSink::new(3);
+        for e in &events {
+            looped.record(e);
+        }
+        let mut batched = RingBufferSink::new(3);
+        batched.accept_batch(&events);
+
+        assert_eq!(looped.seen(), 10);
+        assert_eq!(looped.dropped(), 7);
+        assert_eq!(batched.seen(), looped.seen());
+        assert_eq!(batched.dropped(), looped.dropped());
+        let a: Vec<_> = looped.events().cloned().collect();
+        let b: Vec<_> = batched.events().cloned().collect();
+        assert_eq!(a, b);
+
+        let mut zero = RingBufferSink::new(0);
+        zero.accept_batch(&events);
+        assert_eq!(zero.dropped(), 10);
+        assert!(zero.is_empty());
+    }
+
+    #[test]
+    fn ring_batch_partial_eviction() {
+        let events: Vec<TraceEvent> = (0..3u64)
+            .map(|i| TraceEvent::counter(i as f64, "c", "tick", i))
+            .collect();
+        let mut ring = RingBufferSink::new(4);
+        ring.accept_batch(&events); // 3 of 4 filled
+        ring.accept_batch(&events[..2]); // evicts 1
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.seen(), 5);
+        assert_eq!(ring.dropped(), 1);
+        let first = ring.events().next().unwrap();
+        assert!(matches!(first.kind, TraceKind::Counter { value: 1 }));
+    }
+
+    #[test]
+    fn emit_batch_matches_per_event_emission() {
+        let events: Vec<TraceEvent> = (0..5u64)
+            .map(|i| TraceEvent::span(i as f64, "a", format!("e{i}"), 1.0))
+            .collect();
+
+        let mut one = EventBus::new();
+        one.attach(Box::new(JsonlSink::new()));
+        for e in events.clone() {
+            one.emit(e);
+        }
+        let mut batch = EventBus::new();
+        batch.attach(Box::new(JsonlSink::new()));
+        batch.emit_batch(events);
+
+        assert_eq!(one.to_jsonl(), batch.to_jsonl());
+        assert_eq!(one.len(), batch.len());
+    }
+
+    #[test]
+    fn flight_recorder_tail_and_registry() {
+        let events: Vec<TraceEvent> = (0..6u64)
+            .map(|i| TraceEvent::mark(i as f64, "x", format!("m{i}")))
+            .collect();
+        let fr = FlightRecorder::from_events(4, &events);
+        assert_eq!(fr.len(), 4);
+        assert_eq!(fr.seen(), 6);
+        assert_eq!(fr.dropped(), 2);
+        let tail = fr.render_tail();
+        assert!(tail.starts_with("flight recorder     : last 4 of 6 event(s) (2 dropped)"));
+        assert!(tail.contains("m5"));
+        assert!(!tail.contains("m1"));
+        assert_eq!(fr.tail_jsonl().lines().count(), 4);
+
+        let mut reg = crate::MetricRegistry::new();
+        fr.register_into(&mut reg);
+        assert_eq!(
+            reg.counter_value("xcbc_flightrecorder_dropped_total", &[]),
+            Some(2)
+        );
+        assert_eq!(
+            reg.counter_value("xcbc_flightrecorder_seen_total", &[]),
+            Some(6)
+        );
+        assert_eq!(
+            reg.gauge_value("xcbc_flightrecorder_retained", &[]),
+            Some(4.0)
+        );
     }
 
     #[test]

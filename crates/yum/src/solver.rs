@@ -393,14 +393,16 @@ impl<'a> Solver<'a> {
     /// vectors make cloning expensive) are copied exactly once, into the
     /// returned [`Solution`]'s `Arc`s.
     pub fn resolve(&self, db: &RpmDb, request: &SolveRequest) -> Result<Solution, SolveError> {
-        let req = request.normalized();
-        let mut walk = Walk::new();
-        match req.kind {
-            SolveKind::Install => self.seed_install(db, &req, &mut walk)?,
-            SolveKind::Update | SolveKind::UpdateAll => self.seed_update(db, &req, &mut walk),
-        }
-        self.drain(db, &mut walk, req.arch)?;
-        Ok(walk.into_solution(db))
+        xcbc_sim::self_profiler().time(xcbc_sim::SECTION_DEPSOLVE, || {
+            let req = request.normalized();
+            let mut walk = Walk::new();
+            match req.kind {
+                SolveKind::Install => self.seed_install(db, &req, &mut walk)?,
+                SolveKind::Update | SolveKind::UpdateAll => self.seed_update(db, &req, &mut walk),
+            }
+            self.drain(db, &mut walk, req.arch)?;
+            Ok(walk.into_solution(db))
+        })
     }
 
     /// Seed the walk for `yum install <names...>`.

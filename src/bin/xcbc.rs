@@ -14,10 +14,15 @@
 //! xcbc trace <scenario>    merged event trace of a whole deployment day
 //!       [--faults "<plan>"]  on one simulated timebase (scenario: littlefe)
 //!       [--jsonl]            emit the raw deterministic JSONL log instead
+//! xcbc trace analyze <scenario>  causal analysis of the same trace: the
+//!       [--faults "<plan>"]  critical path bounding the simulated makespan
+//!       [--folded|--top N]   plus ASCII flame lanes — or folded stacks /
+//!                            the top-N self-time frames
 //! xcbc mon <scenario>      gmond/gmetad telemetry dashboard over the same
 //!       [--faults "<plan>"]  deployment day: sparkline rings, alerts,
 //!       [--prom|--xml|--jsonl]  span-latency table — or machine exposition
-//!                            (scenario: littlefe | elastic)
+//!       [--self]             (scenario: littlefe | elastic); --self prints
+//!                            the engine's own wall-clock hot-path profile
 //! xcbc soak --seeds N      chaos-soak: run N seeded random scenarios through
 //!       [--seed S]           the whole stack and check every cross-crate
 //!       [--faults]           invariant; violations shrink to a minimal seed
@@ -94,6 +99,25 @@ fn main() -> ExitCode {
         }
         "compat" => compat(),
         "trace" => {
+            if args.get(1).map(String::as_str) == Some("analyze") {
+                let scenario = match args.get(2).map(String::as_str) {
+                    Some(s) if !s.starts_with("--") => s,
+                    _ => "littlefe",
+                };
+                let faults = args
+                    .iter()
+                    .position(|a| a == "--faults")
+                    .and_then(|i| args.get(i + 1))
+                    .map(String::as_str)
+                    .filter(|s| !s.starts_with("--"));
+                let folded = args.iter().any(|a| a == "--folded");
+                let top = args
+                    .iter()
+                    .position(|a| a == "--top")
+                    .and_then(|i| args.get(i + 1))
+                    .and_then(|s| s.parse().ok());
+                return trace_analyze(scenario, faults, folded, top);
+            }
             let scenario = match args.get(1).map(String::as_str) {
                 None | Some("--faults") | Some("--jsonl") => "littlefe",
                 Some(s) => s,
@@ -122,6 +146,8 @@ fn main() -> ExitCode {
                 MonFormat::GangliaXml
             } else if args.iter().any(|a| a == "--jsonl") {
                 MonFormat::Jsonl
+            } else if args.iter().any(|a| a == "--self") {
+                MonFormat::SelfProfile
             } else {
                 MonFormat::Dashboard
             };
@@ -133,7 +159,7 @@ fn main() -> ExitCode {
         "exp" => exp_cmd(&args),
         "help" | "--help" | "-h" => {
             eprintln!(
-                "usage: xcbc <tables|deploy [littlefe|limulus|both] [--faults \"<plan>\"]|lab [name]|linpack [n]|fleet [--threads N] [--jsonl] [--table]|compat|trace [littlefe] [--faults \"<plan>\"] [--jsonl]|mon [littlefe|elastic] [--faults \"<plan>\"] [--prom|--xml|--jsonl]|soak [--seeds N] [--seed S] [--faults] [--no-shrink] [--mutate] [--sites N] [--fault-specs N] [--jobs N] [--updates N] [--campaign-mutation drop-job|skip-skew] [--elastic-mutation drop-job|skip-scale-up]|campaign [--nodes N] [--canary N] [--waves N] [--threads N] [--rollback] [--resume] [--faults \"<plan>\"] [--jsonl]|elastic [--min N] [--max N] [--ticks N] [--faults \"<plan>\"] [--resume] [--jsonl]|exp [--spec teaching-lab|campus-research|heavy-tail] [--policies fifo,easy,maui] [--rms torque,slurm,sge] [--loads 1.0,2.0] [--seeds N] [--jobs N] [--nodes N] [--cores N] [--workers N] [--out DIR] [--name NAME]>"
+                "usage: xcbc <tables|deploy [littlefe|limulus|both] [--faults \"<plan>\"]|lab [name]|linpack [n]|fleet [--threads N] [--jsonl] [--table]|compat|trace [littlefe] [--faults \"<plan>\"] [--jsonl]|trace analyze [littlefe] [--faults \"<plan>\"] [--folded|--top N]|mon [littlefe|elastic] [--faults \"<plan>\"] [--prom|--xml|--jsonl|--self]|soak [--seeds N] [--seed S] [--faults] [--no-shrink] [--mutate] [--sites N] [--fault-specs N] [--jobs N] [--updates N] [--campaign-mutation drop-job|skip-skew] [--elastic-mutation drop-job|skip-scale-up]|campaign [--nodes N] [--canary N] [--waves N] [--threads N] [--rollback] [--resume] [--faults \"<plan>\"] [--jsonl]|elastic [--min N] [--max N] [--ticks N] [--faults \"<plan>\"] [--resume] [--jsonl]|exp [--spec teaching-lab|campus-research|heavy-tail] [--policies fifo,easy,maui] [--rms torque,slurm,sge] [--loads 1.0,2.0] [--seeds N] [--jobs N] [--nodes N] [--cores N] [--workers N] [--out DIR] [--name NAME]>"
             );
             ExitCode::SUCCESS
         }
@@ -380,12 +406,74 @@ fn trace(scenario: &str, faults: Option<&str>, jsonl: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Causal analysis of the same deterministic day-one trace `xcbc trace`
+/// prints: the critical path that bounds the simulated makespan (with
+/// blocked-time attribution), per-(source, node) flame lanes, and —
+/// via `--folded` — folded stacks consumable by standard flamegraph
+/// tooling. `--top N` lists the N frames with the largest self time.
+fn trace_analyze(
+    scenario: &str,
+    faults: Option<&str>,
+    folded: bool,
+    top: Option<usize>,
+) -> ExitCode {
+    if scenario != "littlefe" {
+        eprintln!("xcbc trace analyze: unknown scenario {scenario:?} (try `littlefe`)");
+        return ExitCode::FAILURE;
+    }
+    let plan = match parse_plan("trace analyze", faults) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let run = match littlefe_day_one(&plan) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xcbc trace analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let analysis = xcbc::sim::analyze(&run.events);
+    if folded {
+        print!("{}", analysis.folded());
+        return ExitCode::SUCCESS;
+    }
+    if let Some(n) = top {
+        print!("{}", analysis.top(n));
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "== xcbc trace analyze: {scenario} (fault plan seed {}) ==",
+        run.seed
+    );
+    print!("{}", analysis.render());
+    println!();
+    print!("{}", analysis.flame());
+    ExitCode::SUCCESS
+}
+
 /// Output formats for `xcbc mon`.
 enum MonFormat {
     Dashboard,
     Prometheus,
     GangliaXml,
     Jsonl,
+    /// The engine's own wall-clock hot-path profile (`--self`).
+    SelfProfile,
+}
+
+/// Render the process-global engine self-profile: the wall-clock timer
+/// table plus its Prometheus exposition. Called after the scenario ran,
+/// so the depsolve/scheduler/render/analysis sections have observations.
+fn render_self_profile() -> String {
+    use xcbc::sim::MetricRegistry;
+    let profiler = xcbc::sim::self_profiler();
+    let mut registry = MetricRegistry::new();
+    profiler.register_into(&mut registry);
+    format!(
+        "{}\n{}",
+        profiler.render_table(),
+        registry.render_prometheus()
+    )
 }
 
 /// Replay the deployment day through the telemetry pipeline — gmond
@@ -416,6 +504,7 @@ fn mon(scenario: &str, faults: Option<&str>, format: MonFormat) -> ExitCode {
         MonFormat::Prometheus => print!("{}", report.prometheus()),
         MonFormat::GangliaXml => print!("{}", report.ganglia_xml()),
         MonFormat::Jsonl => print!("{}", report.jsonl()),
+        MonFormat::SelfProfile => print!("{}", render_self_profile()),
     }
     ExitCode::SUCCESS
 }
@@ -608,6 +697,13 @@ fn campaign_cmd(args: &[String]) -> ExitCode {
                 if !auto_resume {
                     eprintln!("campaign aborted before wave {wave}; checkpoint:");
                     eprint!("{}", checkpoint.to_text());
+                    let flight = xcbc::sim::FlightRecorder::from_events(
+                        xcbc::sim::FLIGHT_RECORDER_CAPACITY,
+                        &trace,
+                    );
+                    if !flight.is_empty() {
+                        eprint!("{}", flight.render_tail());
+                    }
                     eprintln!("(re-run with --resume to continue from it)");
                     return ExitCode::FAILURE;
                 }
@@ -733,6 +829,13 @@ fn run_elastic_demo(
                 if !auto_resume {
                     eprintln!("elastic run aborted before tick {tick}; checkpoint:");
                     eprint!("{}", checkpoint.to_text());
+                    let flight = xcbc::sim::FlightRecorder::from_events(
+                        xcbc::sim::FLIGHT_RECORDER_CAPACITY,
+                        &stitched,
+                    );
+                    if !flight.is_empty() {
+                        eprint!("{}", flight.render_tail());
+                    }
                     eprintln!("(re-run with --resume to continue from it)");
                     return Err(ExitCode::FAILURE);
                 }
@@ -843,6 +946,7 @@ fn mon_elastic(faults: Option<&str>, format: MonFormat) -> ExitCode {
         MonFormat::Prometheus => print!("{}", report.prometheus()),
         MonFormat::GangliaXml => print!("{}", report.ganglia_xml()),
         MonFormat::Jsonl => print!("{}", report.jsonl()),
+        MonFormat::SelfProfile => print!("{}", render_self_profile()),
     }
     ExitCode::SUCCESS
 }
