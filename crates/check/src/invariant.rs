@@ -53,5 +53,7 @@ pub fn default_invariants() -> Vec<Box<dyn Invariant + Send + Sync>> {
         Box::new(invariants::ElasticConverges),
         Box::new(invariants::WorkloadConservation),
         Box::new(invariants::AnalysisCriticalPath),
+        Box::new(invariants::SvcAdmission),
+        Box::new(invariants::SvcReplay),
     ]
 }

@@ -7,6 +7,7 @@ use xcbc_core::elastic::{Autoscaler, ElasticVerdict};
 use xcbc_rpm::{rpmvercmp, Evr, RpmDb};
 use xcbc_sched::JobState;
 use xcbc_sim::{TraceEvent, TraceKind};
+use xcbc_svc::{AdmissionController, Disposition, Journal};
 use xcbc_yum::{Solution, SolveCache, Solver};
 
 use crate::invariant::{Invariant, Violation};
@@ -1018,6 +1019,214 @@ impl Invariant for AnalysisCriticalPath {
                     self.name(),
                     format!("{label}: {} span(s) but an empty critical path", a.spans),
                 ));
+            }
+        }
+        v
+    }
+}
+
+/// Service admission soundness: the accept/reject stream `xcbcd`
+/// produced must be exactly what a clean admission controller derives
+/// from the recorded request stream and quota table — dispositions
+/// conserve (accepted + rejected == submitted, per tenant and in
+/// total), no tenant is ever admitted past its bucket (a leaked quota
+/// token shows up as a decision mismatch), and the journal carries no
+/// residue of rejected requests (every entry matches the recomputed
+/// accepted stream at its sequence number).
+pub struct SvcAdmission;
+
+impl Invariant for SvcAdmission {
+    fn name(&self) -> &'static str {
+        "svc.admission"
+    }
+
+    fn check(&self, outcome: &SoakOutcome) -> Vec<Violation> {
+        let mut v = Vec::new();
+        let Some(svc) = &outcome.svc else {
+            return v;
+        };
+        let report = &svc.report;
+
+        // disposition conservation, in total and per tenant
+        if report.accepted + report.rejected_quota + report.rejected_backpressure
+            != svc.requests.len()
+        {
+            v.push(violation(
+                self.name(),
+                format!(
+                    "dispositions do not conserve: accepted={} + quota={} + backpressure={} != submitted={}",
+                    report.accepted,
+                    report.rejected_quota,
+                    report.rejected_backpressure,
+                    svc.requests.len()
+                ),
+            ));
+        }
+        for (tenant, (acc, quota, bp)) in &report.tenant_dispositions {
+            let presented = svc.requests.iter().filter(|r| &r.tenant == tenant).count() as u64;
+            if acc + quota + bp != presented {
+                v.push(violation(
+                    self.name(),
+                    format!(
+                        "tenant {tenant}: dispositions {acc}+{quota}+{bp} != {presented} presented"
+                    ),
+                ));
+            }
+        }
+
+        // re-derive every decision with a clean controller (no mutation)
+        let mut clean = AdmissionController::new(svc.config.quotas.clone(), svc.config.queue_limit);
+        let mut expected_accepted: Vec<&xcbc_svc::SvcRequest> = Vec::new();
+        for (i, (req, resp)) in svc.requests.iter().zip(&report.responses).enumerate() {
+            let expected = clean.admit(&req.tenant, req.tick);
+            match (expected, resp.disposition) {
+                (Ok(()), Disposition::Accepted { seq }) => {
+                    if seq != expected_accepted.len() as u64 {
+                        v.push(violation(
+                            self.name(),
+                            format!(
+                                "request {i} ({}): accepted under seq {seq}, expected {}",
+                                req.tenant,
+                                expected_accepted.len()
+                            ),
+                        ));
+                    }
+                    expected_accepted.push(req);
+                }
+                (Err(want), Disposition::Rejected(got)) => {
+                    if want != got {
+                        v.push(violation(
+                            self.name(),
+                            format!(
+                                "request {i} ({}): rejected {} but a clean controller says {}",
+                                req.tenant,
+                                got.as_str(),
+                                want.as_str()
+                            ),
+                        ));
+                    }
+                }
+                (Ok(()), Disposition::Rejected(got)) => {
+                    v.push(violation(
+                        self.name(),
+                        format!(
+                            "request {i} ({}): rejected {} but a clean controller admits it",
+                            req.tenant,
+                            got.as_str()
+                        ),
+                    ));
+                    // keep bucket accounting aligned with the clean model
+                    expected_accepted.push(req);
+                }
+                (Err(want), Disposition::Accepted { .. }) => {
+                    v.push(violation(
+                        self.name(),
+                        format!(
+                            "request {i} ({}): admitted past its quota (a clean controller rejects it {})",
+                            req.tenant,
+                            want.as_str()
+                        ),
+                    ));
+                }
+            }
+            if v.len() >= 8 {
+                return v; // one mutation floods; the first few decisions tell the story
+            }
+        }
+
+        // rejected requests leave no journal residue: every journaled
+        // entry must match the recomputed accepted stream at its seq
+        match Journal::parse(&report.journal_text) {
+            Err(e) => v.push(violation(
+                self.name(),
+                format!("journal does not parse: {e}"),
+            )),
+            Ok(journal) => {
+                for entry in &journal.entries {
+                    match expected_accepted.get(entry.seq as usize) {
+                        None => v.push(violation(
+                            self.name(),
+                            format!(
+                                "journal entry seq {} is beyond the {} accepted request(s): rejected residue",
+                                entry.seq,
+                                expected_accepted.len()
+                            ),
+                        )),
+                        Some(req) => {
+                            if entry.tenant != req.tenant || entry.digest != req.op.digest() {
+                                v.push(violation(
+                                    self.name(),
+                                    format!(
+                                        "journal entry seq {}: ({}, digest {}) does not match the accepted request ({}, digest {})",
+                                        entry.seq,
+                                        entry.tenant,
+                                        entry.digest,
+                                        req.tenant,
+                                        req.op.digest()
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        v
+    }
+}
+
+/// Service replay fidelity: re-executing the journal single-threaded
+/// must reproduce every recorded response-body digest and the exact
+/// cache-counter totals, whatever worker count originally served the
+/// stream — and the journal itself must account for every accepted
+/// request (a dropped entry is unaccounted work).
+pub struct SvcReplay;
+
+impl Invariant for SvcReplay {
+    fn name(&self) -> &'static str {
+        "svc.replay"
+    }
+
+    fn check(&self, outcome: &SoakOutcome) -> Vec<Violation> {
+        let mut v = Vec::new();
+        let Some(svc) = &outcome.svc else {
+            return v;
+        };
+        match xcbc_svc::replay(&svc.report.journal_text) {
+            Err(e) => v.push(violation(
+                self.name(),
+                format!("journal does not parse: {e}"),
+            )),
+            Ok(replayed) => {
+                for m in replayed.mismatches.iter().take(8) {
+                    v.push(violation(self.name(), m.clone()));
+                }
+                // every replayed body must also byte-match the response
+                // the live run handed back (digest equality is already
+                // checked; this pins the journal to the actual bodies)
+                let bodies = svc.report.accepted_bodies();
+                for (seq, _tenant, body) in &replayed.responses {
+                    match bodies.get(seq) {
+                        None => v.push(violation(
+                            self.name(),
+                            format!("replayed seq {seq} has no live response"),
+                        )),
+                        Some(live) => {
+                            if &live.body != body {
+                                v.push(violation(
+                                    self.name(),
+                                    format!(
+                                        "seq {seq}: replayed body {:?} != live body {:?}",
+                                        body, live.body
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    if v.len() >= 8 {
+                        break;
+                    }
+                }
             }
         }
         v

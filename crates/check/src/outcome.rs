@@ -9,6 +9,7 @@ use xcbc_core::fleet::{FleetReport, FleetTelemetry};
 use xcbc_rpm::{RpmDb, TransactionReport};
 use xcbc_sched::{ClusterSim, JobState, RmKind, SimMetrics};
 use xcbc_sim::TraceEvent;
+use xcbc_svc::{SvcConfig, SvcReport, SvcRequest};
 use xcbc_yum::{Repository, SolveCache, SolveRequest, YumConfig};
 
 /// Input snapshot of one depsolve routed through the shared cache,
@@ -137,6 +138,21 @@ pub struct WorkloadRecord {
     pub metrics: SimMetrics,
 }
 
+/// The service stage: a seeded multi-tenant request stream served by
+/// `xcbcd`, kept with its full input so the admission checker can
+/// re-derive every accept/reject decision and the replay checker can
+/// re-execute the journal single-threaded.
+#[derive(Debug)]
+pub struct SvcRecord {
+    /// The generated request stream, in submission order.
+    pub requests: Vec<SvcRequest>,
+    /// The service configuration the stream was served under (includes
+    /// any planted mutation).
+    pub config: SvcConfig,
+    /// What the service produced: responses, journal, counters.
+    pub report: SvcReport,
+}
+
 /// Everything one soaked seed produced, handed to every
 /// [`Invariant`](crate::Invariant).
 #[derive(Debug)]
@@ -166,6 +182,8 @@ pub struct SoakOutcome {
     pub elastic: Option<ElasticRecord>,
     /// The generated-workload stage, when the scenario ran it.
     pub workload: Option<WorkloadRecord>,
+    /// The service stage, when the scenario ran it.
+    pub svc: Option<SvcRecord>,
     /// EVR strings harvested from the scenario (generated edge cases
     /// plus versions seen in deployed node databases).
     pub evr_samples: Vec<String>,

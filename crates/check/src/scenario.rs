@@ -35,11 +35,12 @@ use xcbc_fault::{
 use xcbc_rocks::install::{InstallErrorKind, ResilienceConfig};
 use xcbc_rpm::{PackageBuilder, RpmDb, TransactionSet};
 use xcbc_sched::{run_workload, ClusterSim, JobRequest, RmKind, SchedPolicy, WorkloadSpec};
+use xcbc_svc::{serve, SvcMutation, SvcWorkload};
 use xcbc_yum::{SolveCache, SolveRequest, YumConfig};
 
 use crate::outcome::{
-    CampaignRecord, ElasticRecord, ResumeOutcome, SchedOutcome, SoakOutcome, SolveProbe, TxRecord,
-    WorkloadRecord,
+    CampaignRecord, ElasticRecord, ResumeOutcome, SchedOutcome, SoakOutcome, SolveProbe, SvcRecord,
+    TxRecord, WorkloadRecord,
 };
 
 /// Most sites one scenario deploys.
@@ -71,6 +72,9 @@ pub struct ScenarioLimits {
     /// Deliberate elastic-stage misbehavior for invariant self-tests
     /// (`None` in normal soaks).
     pub elastic_mutation: Option<ElasticMutation>,
+    /// Deliberate service-stage misbehavior for invariant self-tests
+    /// (`None` in normal soaks).
+    pub svc_mutation: Option<SvcMutation>,
 }
 
 impl Default for ScenarioLimits {
@@ -82,6 +86,7 @@ impl Default for ScenarioLimits {
             updates: MAX_UPDATES,
             campaign_mutation: None,
             elastic_mutation: None,
+            svc_mutation: None,
         }
     }
 }
@@ -190,6 +195,18 @@ pub struct Scenario {
     pub workload_rm: RmKind,
     /// Generated-workload stage: scheduling policy.
     pub workload_policy: SchedPolicy,
+    /// Service stage: tenant count for the `xcbcd` workload.
+    pub svc_tenants: usize,
+    /// Service stage: request-stream length (capped by `limits.jobs` so
+    /// shrinking the jobs dimension also shrinks the service stream).
+    pub svc_requests: usize,
+    /// Service stage: worker-pool width the stream is served at.
+    pub svc_workers: usize,
+    /// Service stage: workload-generator seed.
+    pub svc_seed: u64,
+    /// Deliberate service misbehavior (from the limits), for invariant
+    /// self-tests.
+    pub svc_mutation: Option<SvcMutation>,
 }
 
 fn salted(seed: u64, salt: u64) -> StdRng {
@@ -252,6 +269,7 @@ impl Scenario {
             updates: limits.updates.min(MAX_UPDATES),
             campaign_mutation: limits.campaign_mutation,
             elastic_mutation: limits.elastic_mutation,
+            svc_mutation: limits.svc_mutation,
         };
 
         // Natural sizes: how big the scenario *wants* to be for this
@@ -557,6 +575,16 @@ impl Scenario {
             _ => SchedPolicy::maui_default(),
         };
 
+        // Service stage: a seeded multi-tenant xcbcd stream, served at a
+        // per-seed worker count (the admission/replay invariants must
+        // hold at *any* width). Stream length rides the jobs limit so
+        // the shrinker can cut it.
+        let mut svc_rng = salted(seed, 10);
+        let svc_tenants = svc_rng.gen_range(2usize..=4);
+        let svc_requests = svc_rng.gen_range(8usize..=24).min(limits.jobs.max(1));
+        let svc_workers = svc_rng.gen_range(1usize..=4);
+        let svc_seed = svc_rng.gen_range(0u64..=u64::MAX - 1);
+
         Scenario {
             seed,
             faults,
@@ -591,6 +619,11 @@ impl Scenario {
             workload_shape,
             workload_rm,
             workload_policy,
+            svc_tenants,
+            svc_requests,
+            svc_workers,
+            svc_seed,
+            svc_mutation: limits.svc_mutation,
         }
     }
 
@@ -690,6 +723,9 @@ impl Scenario {
         // --- generated-workload stage: open-loop stream through an RM ---
         let workload = self.run_workload_stage();
 
+        // --- service stage: the multi-tenant xcbcd stream ---
+        let svc = self.run_svc_stage();
+
         // --- EVR harvest: generated edge cases + deployed versions ---
         let mut evr_samples = self.evr_samples.clone();
         'harvest: for site in &report.sites {
@@ -726,7 +762,31 @@ impl Scenario {
             campaign: Some(campaign),
             elastic: Some(elastic),
             workload: Some(workload),
+            svc: Some(svc),
             evr_samples,
+        }
+    }
+
+    /// Run the service stage: generate the seeded multi-tenant stream
+    /// and serve it through `xcbcd` at the scenario's worker count,
+    /// keeping the submitted requests and config beside the report so
+    /// the admission checker can re-derive every decision and the
+    /// replay checker can re-execute the journal.
+    fn run_svc_stage(&self) -> SvcRecord {
+        let workload = SvcWorkload {
+            tenants: self.svc_tenants,
+            requests: self.svc_requests,
+            seed: self.svc_seed,
+            ..SvcWorkload::default()
+        };
+        let requests = workload.generate();
+        let mut config = workload.config(self.svc_workers);
+        config.mutation = self.svc_mutation;
+        let report = serve(&requests, &config);
+        SvcRecord {
+            requests,
+            config,
+            report,
         }
     }
 

@@ -60,6 +60,10 @@ pub fn repro_command(seed: u64, faults: bool, limits: &ScenarioLimits, mutate: b
         Some(ElasticMutation::SkipScaleUp) => cmd.push_str(" --elastic-mutation skip-scale-up"),
         None => {}
     }
+    if let Some(m) = limits.svc_mutation {
+        cmd.push_str(" --svc-mutation ");
+        cmd.push_str(m.as_str());
+    }
     cmd
 }
 

@@ -19,6 +19,7 @@ fn mutated_config(mutation: ElasticMutation, seeds: u64) -> SoakConfig {
             updates: 1,
             campaign_mutation: None,
             elastic_mutation: Some(mutation),
+            svc_mutation: None,
         },
         mutate: false,
     }

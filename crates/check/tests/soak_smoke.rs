@@ -21,6 +21,7 @@ fn default_suite_green_with_faults() {
             updates: 2,
             campaign_mutation: None,
             elastic_mutation: None,
+            svc_mutation: None,
         },
         mutate: false,
     };
@@ -42,6 +43,7 @@ fn run_seed_is_deterministic() {
         updates: 1,
         campaign_mutation: None,
         elastic_mutation: None,
+        svc_mutation: None,
     };
     let mut suite = default_invariants();
     suite.push(mutation_invariant());
@@ -61,6 +63,7 @@ fn mutation_is_caught_and_shrunk_to_a_deterministic_repro() {
         updates: 1,
         campaign_mutation: None,
         elastic_mutation: None,
+        svc_mutation: None,
     };
     let mut suite = default_invariants();
     suite.push(mutation_invariant());

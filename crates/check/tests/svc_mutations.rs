@@ -1,12 +1,12 @@
-//! Self-tests for the campaign invariants: each deliberate campaign
+//! Self-tests for the service invariants: each deliberate `xcbcd`
 //! mutation must be caught by exactly the invariant built to see it,
 //! shrink to a deterministic repro, and carry the mutation flag through
 //! to the repro command (so the shrunk scenario replays mutated).
 
 use xcbc_check::{default_invariants, repro_command, run_seed, soak, ScenarioLimits, SoakConfig};
-use xcbc_core::campaign::CampaignMutation;
+use xcbc_svc::SvcMutation;
 
-fn mutated_config(mutation: CampaignMutation) -> SoakConfig {
+fn mutated_config(mutation: SvcMutation) -> SoakConfig {
     SoakConfig {
         seeds: 10,
         start_seed: 0,
@@ -15,31 +15,31 @@ fn mutated_config(mutation: CampaignMutation) -> SoakConfig {
         limits: ScenarioLimits {
             sites: 1,
             fault_specs: 2,
-            jobs: 4,
+            jobs: 8,
             updates: 1,
-            campaign_mutation: Some(mutation),
+            campaign_mutation: None,
             elastic_mutation: None,
-            svc_mutation: None,
+            svc_mutation: Some(mutation),
         },
         mutate: false,
     }
 }
 
 #[test]
-fn drop_job_mutation_is_caught_and_shrunk() {
+fn drop_journal_entry_mutation_is_caught_and_shrunk() {
     let suite = default_invariants();
-    let config = mutated_config(CampaignMutation::DropJobOnDrain);
+    let config = mutated_config(SvcMutation::DropJournalEntry);
     let report = soak(&config, &suite);
     let failure = report
         .failure
         .as_ref()
-        .expect("a drain must drop a running job within 10 seeds");
+        .expect("a dropped journal entry must break replay within 10 seeds");
     assert!(
         failure
             .violations
             .iter()
-            .any(|v| v.invariant == "campaign.no-job-lost"),
-        "expected campaign.no-job-lost, got:\n{}",
+            .any(|v| v.invariant == "svc.replay"),
+        "expected svc.replay, got:\n{}",
         report.render()
     );
 
@@ -47,8 +47,8 @@ fn drop_job_mutation_is_caught_and_shrunk() {
     // The mutation rides through shrinking: the minimal scenario is
     // still mutated, so the repro still fires.
     assert_eq!(
-        shrunk.limits.campaign_mutation,
-        Some(CampaignMutation::DropJobOnDrain)
+        shrunk.limits.svc_mutation,
+        Some(SvcMutation::DropJournalEntry)
     );
     let again = run_seed(shrunk.seed, shrunk.faults, &shrunk.limits, &suite);
     assert_eq!(
@@ -57,32 +57,29 @@ fn drop_job_mutation_is_caught_and_shrunk() {
     );
 
     let cmd = repro_command(shrunk.seed, shrunk.faults, &shrunk.limits, false);
-    assert!(cmd.contains("--campaign-mutation drop-job"), "{cmd}");
+    assert!(cmd.contains("--svc-mutation drop-journal-entry"), "{cmd}");
 }
 
 #[test]
-fn skip_skew_mutation_is_caught_and_shrunk() {
+fn leak_quota_mutation_is_caught_and_shrunk() {
     let suite = default_invariants();
-    let config = mutated_config(CampaignMutation::SkipSkewSolve);
+    let config = mutated_config(SvcMutation::LeakQuota);
     let report = soak(&config, &suite);
     let failure = report
         .failure
         .as_ref()
-        .expect("a committed wave without a skew probe must be caught");
+        .expect("an admission past an empty bucket must be caught within 10 seeds");
     assert!(
         failure
             .violations
             .iter()
-            .any(|v| v.invariant == "campaign.converges"),
-        "expected campaign.converges, got:\n{}",
+            .any(|v| v.invariant == "svc.admission"),
+        "expected svc.admission, got:\n{}",
         report.render()
     );
 
     let shrunk = failure.shrink.as_ref().expect("shrink was enabled");
-    assert_eq!(
-        shrunk.limits.campaign_mutation,
-        Some(CampaignMutation::SkipSkewSolve)
-    );
+    assert_eq!(shrunk.limits.svc_mutation, Some(SvcMutation::LeakQuota));
     let again = run_seed(shrunk.seed, shrunk.faults, &shrunk.limits, &suite);
     assert_eq!(
         again, shrunk.violations,
@@ -90,20 +87,5 @@ fn skip_skew_mutation_is_caught_and_shrunk() {
     );
 
     let cmd = repro_command(shrunk.seed, shrunk.faults, &shrunk.limits, false);
-    assert!(cmd.contains("--campaign-mutation skip-skew"), "{cmd}");
-}
-
-#[test]
-fn unmutated_campaign_invariants_hold_over_faulted_seeds() {
-    let suite = default_invariants();
-    let config = SoakConfig {
-        seeds: 5,
-        start_seed: 0,
-        faults: true,
-        shrink: false,
-        limits: ScenarioLimits::default(),
-        mutate: false,
-    };
-    let report = soak(&config, &suite);
-    assert!(report.passed(), "{}", report.render());
+    assert!(cmd.contains("--svc-mutation leak-quota"), "{cmd}");
 }

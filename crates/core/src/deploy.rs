@@ -249,6 +249,22 @@ pub fn deploy_xnit_overlay_with(
     method: XnitSetupMethod,
     solve_cache: Option<Arc<SolveCache>>,
 ) -> Result<DeploymentReport, SolveError> {
+    deploy_xnit_overlay_salted(existing, method, solve_cache, 0)
+}
+
+/// [`deploy_xnit_overlay_with`] under a cache-key salt (see
+/// [`SolveCache::salted_key`](xcbc_yum::SolveCache::salted_key)). The
+/// multi-tenant service passes each tenant's salt here together with
+/// that tenant's home cache shard, so overlay solves memoize per tenant
+/// without ever serving one tenant a solution another tenant computed.
+/// Salt `0` is the fleet-shared (unsalted) behavior of
+/// [`deploy_xnit_overlay_with`].
+pub fn deploy_xnit_overlay_salted(
+    existing: &BTreeMap<String, RpmDb>,
+    method: XnitSetupMethod,
+    solve_cache: Option<Arc<SolveCache>>,
+    cache_salt: u64,
+) -> Result<DeploymentReport, SolveError> {
     let mut node_dbs = existing.clone();
     let mut rec = SpanRecorder::new(OVERLAY_TRACE_SOURCE);
     let mut admin_steps: Vec<String> = method.steps().iter().map(|s| s.to_string()).collect();
@@ -260,7 +276,7 @@ pub fn deploy_xnit_overlay_with(
     for (host, db) in node_dbs.iter_mut() {
         let before: Vec<String> = db.names().iter().map(|s| s.to_string()).collect();
 
-        let mut yum = Yum::new(YumConfig::default());
+        let mut yum = Yum::new(YumConfig::default()).with_cache_salt(cache_salt);
         if let Some(cache) = &solve_cache {
             yum = yum.with_solve_cache(Arc::clone(cache));
         }
@@ -450,6 +466,41 @@ mod tests {
         let row = overlay.render_row();
         assert!(row.contains("XNIT overlay"));
         assert!(row.contains("reinstalls=0"));
+    }
+
+    #[test]
+    fn salted_overlay_deploys_are_tenant_disjoint() {
+        let cache = Arc::new(SolveCache::new());
+        let salt_a = xcbc_yum::ShardedSolveCache::tenant_salt("campus-a");
+        let salt_b = xcbc_yum::ShardedSolveCache::tenant_salt("campus-b");
+        let a = deploy_xnit_overlay_salted(
+            &limulus_dbs(),
+            XnitSetupMethod::RepoRpm,
+            Some(Arc::clone(&cache)),
+            salt_a,
+        )
+        .unwrap();
+        let after_a = cache.stats();
+        assert!(after_a.entries > 0, "overlay solves were memoized");
+
+        // an identical tenant under a different salt must not hit A's entries
+        let b = deploy_xnit_overlay_salted(
+            &limulus_dbs(),
+            XnitSetupMethod::RepoRpm,
+            Some(Arc::clone(&cache)),
+            salt_b,
+        )
+        .unwrap();
+        let after_b = cache.stats();
+        assert_eq!(
+            after_b.entries,
+            2 * after_a.entries,
+            "tenant B re-solved under its own keys"
+        );
+        assert_eq!(after_b.hits, 2 * after_a.hits, "no cross-tenant hits");
+        // the cache never changes *what* is deployed
+        assert_eq!(a.node_dbs, b.node_dbs);
+        assert_eq!(a.trace_jsonl(), b.trace_jsonl());
     }
 
     #[test]

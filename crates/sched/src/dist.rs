@@ -9,7 +9,7 @@
 //! variant so streams stay aligned under parameter sweeps.
 
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, RngCore};
 use std::fmt;
 
 /// A continuous distribution over positive reals (seconds, widths).
@@ -280,6 +280,36 @@ impl fmt::Display for Dist {
     }
 }
 
+/// Sample an index from discrete, non-negative `weights` (a categorical
+/// draw): index `i` is chosen with probability `weights[i] / Σ weights`.
+/// Zero-weight entries are never chosen; if every weight is zero (or
+/// the slice is empty) the draw falls back to index 0. One RNG word is
+/// consumed per call, so callers interleaving this with other draws
+/// stay stream-stable. The multi-tenant service uses it for skewed
+/// tenant and operation mixes over [`Dist`]-sampled arrival gaps.
+pub fn sample_weighted(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+    let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    if total <= 0.0 {
+        return 0;
+    }
+    let mut point = unit * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if !(w.is_finite() && w > 0.0) {
+            continue;
+        }
+        if point < w {
+            return i;
+        }
+        point -= w;
+    }
+    // float round-off on the last positive weight
+    weights
+        .iter()
+        .rposition(|w| w.is_finite() && *w > 0.0)
+        .unwrap_or(0)
+}
+
 /// FNV-1a, the same digest the yum solve cache keys on — kept local so
 /// the scheduler crate stays dependency-free.
 #[derive(Debug, Clone)]
@@ -329,6 +359,41 @@ mod tests {
     fn samples(d: Dist, seed: u64, n: usize) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn weighted_draws_respect_weights() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..4000 {
+            counts[sample_weighted(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero weight is never drawn");
+        assert!(counts[2] > counts[0] * 2, "3:1 skew shows up: {counts:?}");
+        assert_eq!(counts[0] + counts[2], 4000);
+    }
+
+    #[test]
+    fn weighted_draw_degenerate_cases() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(sample_weighted(&mut rng, &[]), 0);
+        assert_eq!(sample_weighted(&mut rng, &[0.0, 0.0]), 0);
+        assert_eq!(sample_weighted(&mut rng, &[0.0, 5.0]), 1);
+        // deterministic for a fixed seed
+        let a: Vec<usize> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..32)
+                .map(|_| sample_weighted(&mut r, &[2.0, 1.0, 1.0]))
+                .collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..32)
+                .map(|_| sample_weighted(&mut r, &[2.0, 1.0, 1.0]))
+                .collect()
+        };
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod workload;
 pub use accounting::{usage_report, UsageReport, UserUsage};
 pub use arrays::{submit_array, JobArray};
 pub use condor::{CondorJob, CondorPool, CondorState};
-pub use dist::Dist;
+pub use dist::{sample_weighted, Dist};
 pub use exp::{run_grid, run_point, ExpGrid, ExpPoint, ExpReport, RunResult};
 pub use job::{Job, JobId, JobRequest, JobState};
 pub use metrics::SimMetrics;

@@ -51,8 +51,8 @@ pub use metrics::{
 pub use queue::{EventQueue, Scheduled};
 pub use recorder::{SpanRecorder, BACKOFF_PREFIX};
 pub use selfprof::{
-    self_profiler, SelfProfiler, SECTION_DEPSOLVE, SECTION_SCHED_RUN, SECTION_TRACE_ANALYZE,
-    SECTION_TRACE_RENDER,
+    self_profiler, SelfProfiler, SECTION_DEPSOLVE, SECTION_SCHED_RUN, SECTION_SVC_SERVE,
+    SECTION_TRACE_ANALYZE, SECTION_TRACE_RENDER,
 };
 pub use time::{SimDuration, SimTime, NANOS_PER_SEC};
 pub use trace::{

@@ -32,6 +32,9 @@ pub const SECTION_SCHED_RUN: &str = "sched.run";
 pub const SECTION_TRACE_RENDER: &str = "trace.render";
 /// Section name for trace analysis passes.
 pub const SECTION_TRACE_ANALYZE: &str = "trace.analyze";
+/// Section name for whole-stream multi-tenant service runs (admission
+/// through the last worker response).
+pub const SECTION_SVC_SERVE: &str = "svc.serve";
 
 /// The process-global self-profiler: named sections, each a wall-clock
 /// [`LatencyHistogram`].

@@ -1,0 +1,297 @@
+//! The deterministic request journal — `xcbcd`'s audit log and replay
+//! input.
+//!
+//! Every *accepted* request is journaled at admission time with its
+//! sequence number, tenant, normalized request digest, generator seed,
+//! and the canonical text form of the operation. Rejected requests
+//! leave no trace here (the admission invariant checks exactly that).
+//! A footer records the body digest of every response and the final
+//! cache-counter totals, which is what makes the file self-verifying:
+//! `xcbcd --replay LOG` re-executes the entries single-threaded and
+//! must land on byte-identical bodies and identical totals, regardless
+//! of the worker count that originally served the stream.
+//!
+//! The rendered text is itself part of the determinism contract: two
+//! runs of the same seeded stream at different worker counts must
+//! produce byte-identical journals (the CI quick-gate diffs them), so
+//! nothing scheduling-dependent — wall clock, worker ids, interleaving
+//! — may appear in it.
+
+use crate::api::SvcOp;
+use xcbc_yum::CacheStats;
+
+/// One accepted request, as journaled at admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Dense 0-based sequence number (admission order).
+    pub seq: u64,
+    /// The tenant the request belongs to.
+    pub tenant: String,
+    /// Normalized request digest ([`SvcOp::digest`]).
+    pub digest: u64,
+    /// The workload-generator seed the request was drawn under.
+    pub seed: u64,
+    /// The operation, parseable via [`SvcOp::parse`].
+    pub op: SvcOp,
+}
+
+/// A parsed (or freshly written) journal: header, entries, and the
+/// self-verification footer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Journal {
+    /// The stream seed from the header.
+    pub seed: u64,
+    /// Cache shard count the run used.
+    pub shards: usize,
+    /// The quota table, rendered line-by-line in the header
+    /// (round-trips through [`QuotaTable::parse`](crate::QuotaTable::parse)).
+    pub quota_lines: Vec<String>,
+    /// Accepted requests in sequence order.
+    pub entries: Vec<JournalEntry>,
+    /// `(seq, body digest)` for every accepted response.
+    pub response_digests: Vec<(u64, u64)>,
+    /// Final bank-wide cache totals `(hits, misses, entries)`.
+    pub cache_totals: (u64, u64, usize),
+}
+
+/// Parse failure, with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "journal line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+const MAGIC: &str = "xcbcd-journal v1";
+
+impl Journal {
+    /// Render the canonical text form. Byte-deterministic: a pure
+    /// function of this struct's fields.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push('\n');
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("shards {}\n", self.shards));
+        for line in &self.quota_lines {
+            out.push_str(&format!("quota {line}\n"));
+        }
+        for e in &self.entries {
+            out.push_str(&format!(
+                "entry {} {} {} {} {}\n",
+                e.seq,
+                e.tenant,
+                e.digest,
+                e.seed,
+                e.op.render()
+            ));
+        }
+        out.push_str(&format!("end entries {}\n", self.entries.len()));
+        for (seq, digest) in &self.response_digests {
+            out.push_str(&format!("response {seq} {digest}\n"));
+        }
+        let (hits, misses, entries) = self.cache_totals;
+        out.push_str(&format!(
+            "cache hits {hits} misses {misses} entries {entries}\n"
+        ));
+        out
+    }
+
+    /// Parse the text form back ([`render`](Self::render) round-trips).
+    pub fn parse(text: &str) -> Result<Journal, JournalError> {
+        let err = |line: usize, message: String| JournalError { line, message };
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, first)) if first == MAGIC => {}
+            other => {
+                return Err(err(
+                    1,
+                    format!("expected {MAGIC:?}, got {:?}", other.map(|(_, l)| l)),
+                ))
+            }
+        }
+        let mut journal = Journal::default();
+        let mut saw_end = false;
+        let mut saw_cache = false;
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match tag {
+                "seed" => {
+                    journal.seed = rest
+                        .parse()
+                        .map_err(|e| err(lineno, format!("seed: {e}")))?;
+                }
+                "shards" => {
+                    journal.shards = rest
+                        .parse()
+                        .map_err(|e| err(lineno, format!("shards: {e}")))?;
+                }
+                "quota" => journal.quota_lines.push(rest.to_string()),
+                "entry" => {
+                    let mut fields = rest.splitn(4, ' ');
+                    let seq: u64 = fields
+                        .next()
+                        .ok_or_else(|| err(lineno, "entry: missing seq".into()))?
+                        .parse()
+                        .map_err(|e| err(lineno, format!("entry seq: {e}")))?;
+                    let tenant = fields
+                        .next()
+                        .ok_or_else(|| err(lineno, "entry: missing tenant".into()))?
+                        .to_string();
+                    let digest: u64 = fields
+                        .next()
+                        .ok_or_else(|| err(lineno, "entry: missing digest".into()))?
+                        .parse()
+                        .map_err(|e| err(lineno, format!("entry digest: {e}")))?;
+                    let tail = fields
+                        .next()
+                        .ok_or_else(|| err(lineno, "entry: missing seed/op".into()))?;
+                    let (seed_text, op_text) = tail
+                        .split_once(' ')
+                        .ok_or_else(|| err(lineno, "entry: missing op".into()))?;
+                    let seed: u64 = seed_text
+                        .parse()
+                        .map_err(|e| err(lineno, format!("entry seed: {e}")))?;
+                    let op = SvcOp::parse(op_text).map_err(|e| err(lineno, e))?;
+                    journal.entries.push(JournalEntry {
+                        seq,
+                        tenant,
+                        digest,
+                        seed,
+                        op,
+                    });
+                }
+                "end" => {
+                    saw_end = true;
+                    let declared: usize = rest
+                        .strip_prefix("entries ")
+                        .and_then(|n| n.parse().ok())
+                        .ok_or_else(|| err(lineno, format!("malformed end line {line:?}")))?;
+                    if declared != journal.entries.len() {
+                        return Err(err(
+                            lineno,
+                            format!(
+                                "end declares {declared} entries, journal carries {}",
+                                journal.entries.len()
+                            ),
+                        ));
+                    }
+                }
+                "response" => {
+                    let (seq, digest) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| err(lineno, format!("malformed response line {line:?}")))?;
+                    journal.response_digests.push((
+                        seq.parse()
+                            .map_err(|e| err(lineno, format!("response seq: {e}")))?,
+                        digest
+                            .parse()
+                            .map_err(|e| err(lineno, format!("response digest: {e}")))?,
+                    ));
+                }
+                "cache" => {
+                    saw_cache = true;
+                    let fields: Vec<&str> = rest.split(' ').collect();
+                    match fields.as_slice() {
+                        ["hits", h, "misses", m, "entries", n] => {
+                            journal.cache_totals = (
+                                h.parse()
+                                    .map_err(|e| err(lineno, format!("cache hits: {e}")))?,
+                                m.parse()
+                                    .map_err(|e| err(lineno, format!("cache misses: {e}")))?,
+                                n.parse()
+                                    .map_err(|e| err(lineno, format!("cache entries: {e}")))?,
+                            );
+                        }
+                        _ => return Err(err(lineno, format!("malformed cache line {line:?}"))),
+                    }
+                }
+                other => return Err(err(lineno, format!("unknown journal tag {other:?}"))),
+            }
+        }
+        if !saw_end || !saw_cache {
+            return Err(err(
+                text.lines().count(),
+                "journal is truncated (missing end/cache footer)".into(),
+            ));
+        }
+        Ok(journal)
+    }
+
+    /// Fill the footer's cache totals from a bank-wide aggregate.
+    pub fn set_cache_totals(&mut self, stats: &CacheStats) {
+        self.cache_totals = (stats.hits, stats.misses, stats.entries);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcbc_yum::SolveRequest;
+
+    fn sample() -> Journal {
+        Journal {
+            seed: 42,
+            shards: 4,
+            quota_lines: vec![
+                "tenant=campus-a rate=2 burst=4".into(),
+                "tenant=campus-b rate=1 burst=2".into(),
+            ],
+            entries: vec![
+                JournalEntry {
+                    seq: 0,
+                    tenant: "campus-a".into(),
+                    digest: SvcOp::Solve(SolveRequest::install(["gromacs"])).digest(),
+                    seed: 7,
+                    op: SvcOp::Solve(SolveRequest::install(["gromacs"])),
+                },
+                JournalEntry {
+                    seq: 1,
+                    tenant: "campus-b".into(),
+                    digest: SvcOp::Deploy.digest(),
+                    seed: 9,
+                    op: SvcOp::Deploy,
+                },
+            ],
+            response_digests: vec![(0, 111), (1, 222)],
+            cache_totals: (3, 2, 2),
+        }
+    }
+
+    #[test]
+    fn journal_text_round_trips() {
+        let j = sample();
+        let text = j.render();
+        let parsed = Journal::parse(&text).unwrap();
+        assert_eq!(parsed, j);
+        assert_eq!(parsed.render(), text, "render ∘ parse is the identity");
+    }
+
+    #[test]
+    fn truncated_and_corrupt_journals_are_rejected() {
+        let text = sample().render();
+        // chop the footer off
+        let truncated: String = text.lines().take(4).map(|l| format!("{l}\n")).collect();
+        assert!(Journal::parse(&truncated).is_err());
+        // wrong magic
+        assert!(Journal::parse("xcbcd-journal v9\nend entries 0\n").is_err());
+        // entry-count mismatch
+        let lied = text.replace("end entries 2", "end entries 3");
+        let e = Journal::parse(&lied).unwrap_err();
+        assert!(e.message.contains("declares 3"), "{e}");
+    }
+}

@@ -59,7 +59,7 @@ pub use repoconfig::{
     parse_repo_file, render_repo_file, RepoConfig, RepoFileError, XSEDE_REPO_FILE,
 };
 pub use skew::{solve_across_skew, SkewGroup, SkewReport};
-pub use solvecache::{CacheStats, SolveCache, SOLVECACHE_TRACE_SOURCE};
+pub use solvecache::{CacheStats, ShardedSolveCache, SolveCache, SOLVECACHE_TRACE_SOURCE};
 pub use solver::{Solution, SolveError, SolveKind, SolveRequest, Solver};
 pub use updates::{CheckUpdate, UpdateKind};
 
@@ -96,6 +96,7 @@ pub struct Yum {
     repositories: Vec<Repository>,
     history: YumHistory,
     solve_cache: Option<Arc<SolveCache>>,
+    cache_salt: u64,
 }
 
 impl Default for Yum {
@@ -111,6 +112,7 @@ impl Yum {
             repositories: Vec::new(),
             history: YumHistory::new(),
             solve_cache: None,
+            cache_salt: 0,
         }
     }
 
@@ -126,6 +128,22 @@ impl Yum {
     /// The attached solve cache, if any.
     pub fn solve_cache(&self) -> Option<&Arc<SolveCache>> {
         self.solve_cache.as_ref()
+    }
+
+    /// Salt every cache key this engine computes (see
+    /// [`SolveCache::salted_key`]). The multi-tenant service sets a
+    /// per-tenant salt here so engine entry points that route through
+    /// an attached cache — the XNIT overlay deploy path in particular —
+    /// keep tenants' entries disjoint. Salt `0` (the default) is the
+    /// historical unsalted behavior.
+    pub fn with_cache_salt(mut self, salt: u64) -> Self {
+        self.cache_salt = salt;
+        self
+    }
+
+    /// The cache-key salt in effect (0 = unsalted).
+    pub fn cache_salt(&self) -> u64 {
+        self.cache_salt
     }
 
     pub fn config(&self) -> &YumConfig {
@@ -177,7 +195,13 @@ impl Yum {
     /// the solution a fresh solve would.
     pub fn solve(&self, db: &RpmDb, request: &SolveRequest) -> Result<Arc<Solution>, SolveError> {
         match &self.solve_cache {
-            Some(cache) => cache.get_or_solve(&self.repositories, &self.config, db, request),
+            Some(cache) => cache.get_or_solve_salted(
+                self.cache_salt,
+                &self.repositories,
+                &self.config,
+                db,
+                request,
+            ),
             None => self.solver().resolve(db, request).map(Arc::new),
         }
     }

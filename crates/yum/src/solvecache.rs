@@ -90,6 +90,28 @@ impl SolveCache {
         h.finish()
     }
 
+    /// [`key`](Self::key) mixed with a caller-chosen `salt`. Salt `0` is
+    /// the identity (so unsalted callers keep their historical keys);
+    /// any other value partitions the key space, which is how the
+    /// multi-tenant service keeps one tenant's cached solutions
+    /// unobservable by another even when both sit in the same shard.
+    pub fn salted_key(
+        salt: u64,
+        repos: &[Repository],
+        config: &YumConfig,
+        db: &RpmDb,
+        request: &SolveRequest,
+    ) -> u64 {
+        let base = Self::key(repos, config, db, request);
+        if salt == 0 {
+            base
+        } else {
+            let mut h = Fnv64::new();
+            h.write_u64(salt).write_u64(base);
+            h.finish()
+        }
+    }
+
     fn snapshot(&self) -> Snapshot {
         // Read lock held only long enough to clone the Arc; probing the
         // map afterwards is lock-free.
@@ -153,7 +175,21 @@ impl SolveCache {
         db: &RpmDb,
         request: &SolveRequest,
     ) -> Result<Arc<Solution>, SolveError> {
-        let key = Self::key(repos, config, db, request);
+        self.get_or_solve_salted(0, repos, config, db, request)
+    }
+
+    /// [`get_or_solve`](Self::get_or_solve) under a key salt (see
+    /// [`salted_key`](Self::salted_key)). Distinct salts never share
+    /// entries: a hit under salt A says nothing about salt B.
+    pub fn get_or_solve_salted(
+        &self,
+        salt: u64,
+        repos: &[Repository],
+        config: &YumConfig,
+        db: &RpmDb,
+        request: &SolveRequest,
+    ) -> Result<Arc<Solution>, SolveError> {
+        let key = Self::salted_key(salt, repos, config, db, request);
         if let Some(hit) = self.lookup(key) {
             return Ok(hit);
         }
@@ -200,6 +236,137 @@ impl SolveCache {
             &[],
             stats.entries as f64,
         );
+    }
+}
+
+/// A bank of independent [`SolveCache`] shards, routed by salted
+/// request digest. This is the multi-tenant service's cache plane:
+/// each tenant derives a non-zero salt from its name
+/// ([`tenant_salt`](ShardedSolveCache::tenant_salt)), the salted key
+/// picks a shard, and hit/miss counters live **per shard** rather than
+/// in one process-global pair — so shard occupancy and hit rates stay
+/// attributable under the `xcbc_svc_*` metric families.
+///
+/// Isolation falls out of the salting, not the sharding: two tenants
+/// may well land in the same shard, but their keys never collide, so
+/// neither can observe (or be served) the other's entries.
+#[derive(Debug)]
+pub struct ShardedSolveCache {
+    shards: Vec<Arc<SolveCache>>,
+}
+
+impl ShardedSolveCache {
+    /// A bank of `shards` empty caches (clamped to at least one).
+    pub fn new(shards: usize) -> ShardedSolveCache {
+        ShardedSolveCache {
+            shards: (0..shards.max(1))
+                .map(|_| Arc::new(SolveCache::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards in the bank.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The canonical non-zero salt for a tenant name (FNV-1a over the
+    /// name, with the zero value remapped since salt 0 means unsalted).
+    pub fn tenant_salt(tenant: &str) -> u64 {
+        let mut h = Fnv64::new();
+        h.write(tenant.as_bytes());
+        let salt = h.finish();
+        if salt == 0 {
+            0x9e3779b97f4a7c15
+        } else {
+            salt
+        }
+    }
+
+    /// Which shard a salted key routes to.
+    pub fn shard_index(&self, key: u64) -> usize {
+        // fold the high bits in so the modulo sees the whole key
+        ((key ^ (key >> 32)) % self.shards.len() as u64) as usize
+    }
+
+    /// The shard a salted key routes to.
+    pub fn shard(&self, key: u64) -> &Arc<SolveCache> {
+        &self.shards[self.shard_index(key)]
+    }
+
+    /// A tenant's *home* shard: where engine entry points that compute
+    /// their own keys internally (the XNIT overlay deploy path) park
+    /// that tenant's solves. Routed by the tenant salt itself so the
+    /// choice is stable across requests.
+    pub fn home_shard(&self, salt: u64) -> &Arc<SolveCache> {
+        self.shard(salt)
+    }
+
+    /// Memoized solve, routed to the shard the salted key selects.
+    pub fn get_or_solve(
+        &self,
+        salt: u64,
+        repos: &[Repository],
+        config: &YumConfig,
+        db: &RpmDb,
+        request: &SolveRequest,
+    ) -> Result<Arc<Solution>, SolveError> {
+        let key = SolveCache::salted_key(salt, repos, config, db, request);
+        let shard = self.shard(key);
+        if let Some(hit) = shard.lookup(key) {
+            return Ok(hit);
+        }
+        let solution = Solver::new(repos, config).resolve(db, request)?;
+        Ok(shard.insert(key, solution))
+    }
+
+    /// Counter-neutral probe across the bank (routes like
+    /// [`get_or_solve`](Self::get_or_solve), touches no counters).
+    pub fn peek(&self, key: u64) -> Option<Arc<Solution>> {
+        self.shard(key).peek(key)
+    }
+
+    /// Per-shard counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Bank-wide aggregate of the per-shard counters.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.shards {
+            let stats = s.stats();
+            total.hits += stats.hits;
+            total.misses += stats.misses;
+            total.entries += stats.entries;
+        }
+        total
+    }
+
+    /// Export per-shard counters as `xcbc_svc_*` families (one series
+    /// per shard, labeled `shard="i"`), plus bank-wide totals.
+    pub fn register_metrics(&self, registry: &mut MetricRegistry) {
+        for (i, stats) in self.shard_stats().iter().enumerate() {
+            let shard = i.to_string();
+            registry.set_counter(
+                "xcbc_svc_cache_hits_total",
+                "Tenant-salted depsolve lookups answered from a service cache shard",
+                &[("shard", &shard)],
+                stats.hits,
+            );
+            registry.set_counter(
+                "xcbc_svc_cache_misses_total",
+                "Tenant-salted depsolve lookups that fell through to a real solve",
+                &[("shard", &shard)],
+                stats.misses,
+            );
+            registry.set_gauge(
+                "xcbc_svc_shard_entries",
+                "Distinct solutions currently stored in a service cache shard",
+                &[("shard", &shard)],
+                stats.entries as f64,
+            );
+        }
     }
 }
 
@@ -345,6 +512,71 @@ mod tests {
         );
         let prom = registry.render_prometheus();
         assert!(prom.contains("xcbc_solvecache_hits_total 1"), "{prom}");
+    }
+
+    #[test]
+    fn salt_zero_is_the_identity_key() {
+        let repos = repos();
+        let cfg = YumConfig::default();
+        let db = RpmDb::new();
+        let req = SolveRequest::install(["gromacs"]);
+        assert_eq!(
+            SolveCache::salted_key(0, &repos, &cfg, &db, &req),
+            SolveCache::key(&repos, &cfg, &db, &req),
+        );
+        assert_ne!(
+            SolveCache::salted_key(7, &repos, &cfg, &db, &req),
+            SolveCache::key(&repos, &cfg, &db, &req),
+        );
+    }
+
+    #[test]
+    fn distinct_salts_never_share_entries() {
+        let cache = SolveCache::new();
+        let repos = repos();
+        let cfg = YumConfig::default();
+        let db = RpmDb::new();
+        let req = SolveRequest::install(["gromacs"]);
+        cache
+            .get_or_solve_salted(1, &repos, &cfg, &db, &req)
+            .unwrap();
+        cache
+            .get_or_solve_salted(2, &repos, &cfg, &db, &req)
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 2));
+    }
+
+    #[test]
+    fn sharded_counters_are_per_shard() {
+        let bank = ShardedSolveCache::new(4);
+        let repos = repos();
+        let cfg = YumConfig::default();
+        let db = RpmDb::new();
+        let req = SolveRequest::install(["gromacs"]);
+        let salt = ShardedSolveCache::tenant_salt("campus-a");
+        bank.get_or_solve(salt, &repos, &cfg, &db, &req).unwrap();
+        bank.get_or_solve(salt, &repos, &cfg, &db, &req).unwrap();
+
+        let key = SolveCache::salted_key(salt, &repos, &cfg, &db, &req);
+        let home = bank.shard_index(key);
+        let stats = bank.shard_stats();
+        assert_eq!((stats[home].hits, stats[home].misses), (1, 1));
+        for (i, s) in stats.iter().enumerate() {
+            if i != home {
+                assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0), "shard {i}");
+            }
+        }
+        assert_eq!(bank.stats().entries, 1);
+        assert!(bank.peek(key).is_some());
+
+        let mut registry = MetricRegistry::new();
+        bank.register_metrics(&mut registry);
+        let shard = home.to_string();
+        assert_eq!(
+            registry.counter_value("xcbc_svc_cache_hits_total", &[("shard", &shard)]),
+            Some(1)
+        );
     }
 
     #[test]

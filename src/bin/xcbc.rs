@@ -34,6 +34,13 @@
 //!       [--ticks N]          ceiling and back, burst sites join mid-run
 //!       [--faults "<plan>"]  through the shared solve cache; scale-up
 //!       [--resume] [--jsonl] aborts resume from a printed checkpoint
+//! xcbc svc                 serve a seeded multi-tenant request stream
+//!       [--tenants N]        through xcbcd: admission-controlled solves,
+//!       [--workers N]        deploys and monitoring reads over sharded
+//!       [--requests N]       tenant-salted caches; prints the run summary,
+//!       [--seed S]           verifies the journal by single-threaded
+//!       [--journal FILE]     replay, and (with --journal) writes the
+//!       [--prom]             journal for `xcbcd --replay`
 //! xcbc exp                 sweep the open-loop workload engine over a
 //!       [--spec S]           frontend x policy x load x seed grid on a
 //!       [--policies a,b]     worker pool; per-variant JSONL, aggregated
@@ -157,9 +164,10 @@ fn main() -> ExitCode {
         "campaign" => campaign_cmd(&args),
         "elastic" => elastic_cmd(&args),
         "exp" => exp_cmd(&args),
+        "svc" => svc_cmd(&args),
         "help" | "--help" | "-h" => {
             eprintln!(
-                "usage: xcbc <tables|deploy [littlefe|limulus|both] [--faults \"<plan>\"]|lab [name]|linpack [n]|fleet [--threads N] [--jsonl] [--table]|compat|trace [littlefe] [--faults \"<plan>\"] [--jsonl]|trace analyze [littlefe] [--faults \"<plan>\"] [--folded|--top N]|mon [littlefe|elastic] [--faults \"<plan>\"] [--prom|--xml|--jsonl|--self]|soak [--seeds N] [--seed S] [--faults] [--no-shrink] [--mutate] [--sites N] [--fault-specs N] [--jobs N] [--updates N] [--campaign-mutation drop-job|skip-skew] [--elastic-mutation drop-job|skip-scale-up]|campaign [--nodes N] [--canary N] [--waves N] [--threads N] [--rollback] [--resume] [--faults \"<plan>\"] [--jsonl]|elastic [--min N] [--max N] [--ticks N] [--faults \"<plan>\"] [--resume] [--jsonl]|exp [--spec teaching-lab|campus-research|heavy-tail] [--policies fifo,easy,maui] [--rms torque,slurm,sge] [--loads 1.0,2.0] [--seeds N] [--jobs N] [--nodes N] [--cores N] [--workers N] [--out DIR] [--name NAME]>"
+                "usage: xcbc <tables|deploy [littlefe|limulus|both] [--faults \"<plan>\"]|lab [name]|linpack [n]|fleet [--threads N] [--jsonl] [--table]|compat|trace [littlefe] [--faults \"<plan>\"] [--jsonl]|trace analyze [littlefe] [--faults \"<plan>\"] [--folded|--top N]|mon [littlefe|elastic] [--faults \"<plan>\"] [--prom|--xml|--jsonl|--self]|soak [--seeds N] [--seed S] [--faults] [--no-shrink] [--mutate] [--sites N] [--fault-specs N] [--jobs N] [--updates N] [--campaign-mutation drop-job|skip-skew] [--elastic-mutation drop-job|skip-scale-up] [--svc-mutation drop-journal-entry|leak-quota]|campaign [--nodes N] [--canary N] [--waves N] [--threads N] [--rollback] [--resume] [--faults \"<plan>\"] [--jsonl]|elastic [--min N] [--max N] [--ticks N] [--faults \"<plan>\"] [--resume] [--jsonl]|exp [--spec teaching-lab|campus-research|heavy-tail] [--policies fifo,easy,maui] [--rms torque,slurm,sge] [--loads 1.0,2.0] [--seeds N] [--jobs N] [--nodes N] [--cores N] [--workers N] [--out DIR] [--name NAME]|svc [--tenants N] [--workers N] [--requests N] [--seed S] [--shards N] [--journal FILE] [--prom]>"
             );
             ExitCode::SUCCESS
         }
@@ -517,6 +525,7 @@ fn soak_cmd(args: &[String]) -> ExitCode {
     use xcbc::check::{default_invariants, mutation_invariant, soak, ScenarioLimits, SoakConfig};
     use xcbc::core::campaign::CampaignMutation;
     use xcbc::core::elastic::ElasticMutation;
+    use xcbc::svc::SvcMutation;
 
     fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
         args.iter()
@@ -560,6 +569,16 @@ fn soak_cmd(args: &[String]) -> ExitCode {
                 }
                 None => None,
             },
+            svc_mutation: match flag_value::<String>(args, "--svc-mutation").as_deref() {
+                Some(text) => match SvcMutation::parse(text) {
+                    Ok(m) => Some(m),
+                    Err(e) => {
+                        eprintln!("xcbc soak: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => None,
+            },
         },
         mutate: args.iter().any(|a| a == "--mutate"),
     };
@@ -578,6 +597,89 @@ fn soak_cmd(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// `xcbc svc`: serve a seeded synthetic multi-tenant stream through the
+/// xcbcd engine and verify its own journal by single-threaded replay —
+/// the one-command demonstration of the service's determinism contract.
+fn svc_cmd(args: &[String]) -> ExitCode {
+    use xcbc::sim::MetricRegistry;
+    use xcbc::svc::{replay, serve, Disposition, SvcWorkload};
+
+    fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+    }
+
+    let workload = SvcWorkload {
+        tenants: flag_value(args, "--tenants").unwrap_or(3),
+        requests: flag_value(args, "--requests").unwrap_or(32),
+        seed: flag_value(args, "--seed").unwrap_or(0),
+        ..SvcWorkload::default()
+    };
+    let mut config = workload.config(flag_value(args, "--workers").unwrap_or(4));
+    if let Some(shards) = flag_value(args, "--shards") {
+        config.shards = shards;
+    }
+
+    let requests = workload.generate();
+    let report = serve(&requests, &config);
+
+    println!(
+        "xcbcd: serving seed {} ({} tenants, {} requests, {} workers, {} shards)",
+        workload.seed,
+        workload.tenants,
+        requests.len(),
+        config.workers,
+        config.shards
+    );
+    for (i, (req, resp)) in requests.iter().zip(&report.responses).enumerate() {
+        let disposition = match resp.disposition {
+            Disposition::Accepted { seq } => format!("seq {seq}"),
+            Disposition::Rejected(reason) => format!("REJECTED {}", reason.as_str()),
+        };
+        println!(
+            "  [{i:3}] t{:<3} {:<9} {:<24} {}",
+            req.tick,
+            req.tenant,
+            req.op.render(),
+            disposition
+        );
+    }
+    println!();
+    print!("{}", report.summary());
+
+    if args.iter().any(|a| a == "--prom") {
+        let mut registry = MetricRegistry::new();
+        report.register_metrics(&mut registry);
+        println!();
+        print!("{}", registry.render_prometheus());
+    }
+
+    if let Some(path) = flag_value::<String>(args, "--journal") {
+        if let Err(e) = std::fs::write(&path, &report.journal_text) {
+            eprintln!("xcbc svc: cannot write journal {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("journal: {} entries written to {path}", report.accepted);
+    }
+
+    match replay(&report.journal_text) {
+        Ok(verdict) => {
+            print!("{}", verdict.render());
+            if verdict.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xcbc svc: journal does not parse: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

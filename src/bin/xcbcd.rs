@@ -1,0 +1,94 @@
+//! `xcbcd` — the multi-tenant depsolve/deploy service daemon, in its
+//! batch form: serve a seeded stream and journal it, or replay a
+//! journal and verify it.
+//!
+//! ```text
+//! xcbcd --tenants N --workers N --requests N [--seed S] [--shards N]
+//!       [--journal FILE]     serve a seeded synthetic stream; print the
+//!                            run summary and (optionally) write the
+//!                            journal. The journal is byte-identical at
+//!                            any --workers value — that is the
+//!                            determinism contract the soak harness and
+//!                            CI quick-gate enforce.
+//! xcbcd --replay FILE        re-execute a journal single-threaded and
+//!                            verify every recorded response-body digest
+//!                            and the cache-counter totals. Exit status
+//!                            is the verdict.
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use xcbc::svc::{replay, serve, SvcWorkload};
+
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: xcbcd [--tenants N] [--workers N] [--requests N] [--seed S] \
+             [--shards N] [--journal FILE] | xcbcd --replay FILE"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = flag_value::<String>(&args, "--replay") {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xcbcd: cannot read journal {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match replay(&text) {
+            Ok(verdict) => {
+                print!("{}", verdict.render());
+                if verdict.is_clean() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("xcbcd: journal does not parse: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let workload = SvcWorkload {
+        tenants: flag_value(&args, "--tenants").unwrap_or(3),
+        requests: flag_value(&args, "--requests").unwrap_or(32),
+        seed: flag_value(&args, "--seed").unwrap_or(0),
+        ..SvcWorkload::default()
+    };
+    let mut config = workload.config(flag_value(&args, "--workers").unwrap_or(4));
+    if let Some(shards) = flag_value(&args, "--shards") {
+        config.shards = shards;
+    }
+
+    let report = serve(&workload.generate(), &config);
+    print!("{}", report.summary());
+
+    match flag_value::<String>(&args, "--journal") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &report.journal_text) {
+                eprintln!("xcbcd: cannot write journal {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("journal: {} entries written to {path}", report.accepted);
+        }
+        None => {
+            // no journal destination: emit it on stdout so pipelines can
+            // capture and diff it (the CI quick-gate does exactly this)
+            print!("{}", report.journal_text);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -16,6 +16,9 @@
 //!   checking, deployment paths, training curriculum
 //! * [`sim`] — the shared simulation clock, event queue, and trace bus
 //!   every layer above records onto
+//! * [`svc`] — `xcbcd`: the concurrent multi-tenant depsolve/deploy
+//!   service with admission control, sharded tenant-salted solve
+//!   caches, and deterministic-replay request journals
 //! * [`check`] — the deterministic chaos-soak harness: seeded scenario
 //!   generation, cross-crate invariant checking, seed shrinking
 
@@ -29,4 +32,5 @@ pub use xcbc_rocks as rocks;
 pub use xcbc_rpm as rpm;
 pub use xcbc_sched as sched;
 pub use xcbc_sim as sim;
+pub use xcbc_svc as svc;
 pub use xcbc_yum as yum;

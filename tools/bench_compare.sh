@@ -21,7 +21,7 @@
 set -eu
 
 baseline="${1:-BENCH_baseline.json}"
-out="${2:-BENCH_pr9.json}"
+out="${2:-BENCH_pr10.json}"
 max_pct="${MAX_REGRESS_PCT:-15}"
 runs="${BENCH_RUNS:-3}"
 slack_ns=1000
